@@ -1,0 +1,644 @@
+// Benchmarks regenerating the paper's figures and comparative claims.
+// Each BenchmarkXX corresponds to an experiment in DESIGN.md §4 and a
+// row in EXPERIMENTS.md. cmd/experiments runs the same code paths and
+// prints paper-style tables; these targets give the raw numbers via
+// `go test -bench=. -benchmem`.
+package amoeba
+
+import (
+	"fmt"
+	"testing"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/keymatrix"
+	"amoeba/internal/locate"
+	"amoeba/internal/rpc"
+)
+
+// --------------------------------------------------------------------
+// F2: the Fig. 2 wire format.
+
+func BenchmarkF2_EncodeDecode(b *testing.B) {
+	c := cap.Capability{Server: 0x123456789abc, Object: 0xABCDEF, Rights: 0x5A, Check: 0x0F0E0D0C0B0A}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := c.Encode()
+		dec, err := cap.Decode(w[:])
+		if err != nil || dec != c {
+			b.Fatal("round trip failed")
+		}
+	}
+}
+
+// --------------------------------------------------------------------
+// F1: the F-box port transformation (both one-way functions).
+
+func BenchmarkF1_PortTransform(b *testing.B) {
+	for _, f := range []crypto.OneWay{crypto.SHA48{Tag: 1}, crypto.Purdy{}} {
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			x := uint64(0x7777)
+			for i := 0; i < b.N; i++ {
+				x = f.F(x)
+			}
+			sinkUint = x
+		})
+	}
+}
+
+var sinkUint uint64
+
+// --------------------------------------------------------------------
+// E1–E4: mint and validate cost for the four §2.3 schemes.
+
+func benchSchemes(b *testing.B, run func(b *testing.B, s cap.Scheme, secret uint64, owner cap.Capability)) {
+	b.Helper()
+	src := crypto.NewSeededSource(0xBE4C)
+	for _, id := range cap.AllSchemeIDs() {
+		s, err := cap.NewScheme(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secret := s.PrepareSecret(crypto.Rand48(src))
+		owner := s.Mint(cap.Port(0xABC), 1, secret)
+		b.Run(id.String(), func(b *testing.B) {
+			run(b, s, secret, owner)
+		})
+	}
+}
+
+func BenchmarkE1to4_Mint(b *testing.B) {
+	benchSchemes(b, func(b *testing.B, s cap.Scheme, secret uint64, _ cap.Capability) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := s.Mint(cap.Port(0xABC), 1, secret)
+			sinkUint = c.Check
+		}
+	})
+}
+
+func BenchmarkE1to4_Validate(b *testing.B) {
+	benchSchemes(b, func(b *testing.B, s cap.Scheme, secret uint64, owner cap.Capability) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Validate(owner, secret); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE1_Scheme0Validate(b *testing.B) {
+	s := cap.CompareScheme{}
+	secret := s.PrepareSecret(12345)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Validate(owner, secret); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2_Scheme1Validate(b *testing.B) {
+	s, err := cap.NewEncryptedScheme(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secret := s.PrepareSecret(12345)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Validate(owner, secret); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_Scheme2Validate(b *testing.B) {
+	s := cap.NewOneWayScheme(nil)
+	secret := s.PrepareSecret(12345)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Validate(owner, secret); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4: scheme 3 validation cost grows with the number of deleted
+// rights (the server applies one commutative function per cleared
+// bit).
+func BenchmarkE4_Scheme3Validate(b *testing.B) {
+	s := cap.NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(777)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	for deleted := 0; deleted <= 8; deleted += 2 {
+		mask := cap.AllRights << uint(deleted) // clears `deleted` low bits
+		weak, err := s.RestrictLocal(owner, mask)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("deleted=%d", deleted), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Validate(weak, secret); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4: local restriction (scheme 3's whole point) — pure computation.
+func BenchmarkE4_Scheme3Restrict(b *testing.B) {
+	s := cap.NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(777)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := s.RestrictLocal(owner, cap.RightRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkUint = c.Check
+	}
+}
+
+// E4 headline: restricting a capability locally (scheme 3) vs going
+// back to the server over the network (scheme 2, the paper's "requires
+// going back to the server every time").
+func BenchmarkE4_RestrictLocalVsServer(b *testing.B) {
+	b.Run("scheme3-local", func(b *testing.B) {
+		s := cap.NewCommutativeScheme(nil)
+		secret := s.PrepareSecret(777)
+		owner := s.Mint(cap.Port(0xABC), 1, secret)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := s.RestrictLocal(owner, cap.RightRead)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkUint = c.Check
+		}
+	})
+	b.Run("scheme2-server-roundtrip", func(b *testing.B) {
+		cl, err := NewCluster(ClusterConfig{Scheme: SchemeOneWay, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		f, err := cl.Files().Create()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Files().Restrict(f, cap.RightRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E3 companion: the same server restriction under scheme 2 explicitly.
+func BenchmarkE3_RestrictViaServer(b *testing.B) {
+	cl, err := NewCluster(ClusterConfig{Scheme: SchemeOneWay, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	f, err := cl.Files().Create()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Files().Restrict(f, cap.RightRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5: validation without the rights field — try all 2^N combinations.
+func BenchmarkE5_ExhaustiveValidate(b *testing.B) {
+	s := cap.NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(99)
+	owner := s.Mint(cap.Port(0xABC), 1, secret)
+	weak, err := s.RestrictLocal(owner, cap.RightRead|cap.RightCreate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-rights-field", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Validate(weak, secret); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive-no-rights-field", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ValidateExhaustive(weak, secret); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E6: revocation cost (re-key the object, mint the replacement).
+func BenchmarkE6_Revoke(b *testing.B) {
+	for _, id := range cap.AllSchemeIDs() {
+		b.Run(id.String(), func(b *testing.B) {
+			s, err := cap.NewScheme(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t := cap.NewTable(s, cap.Port(0xABC), crypto.NewSeededSource(uint64(id)))
+			owner, err := t.Create()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				owner, err = t.Revoke(owner)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7: signature generation (F-transform on send) plus verification.
+func BenchmarkE7_Signature(b *testing.B) {
+	f := crypto.SHA48{Tag: 1}
+	signer := fbox.NewSigner(crypto.NewSeededSource(1), f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		onWire := cap.Port(f.F(uint64(signer.Secret())))
+		if !fbox.VerifySignature(fbox.Received{Message: fbox.Message{Sig: onWire}}, signer.Public()) {
+			b.Fatal("signature failed")
+		}
+	}
+}
+
+// E8: §2.4 key-matrix capability sealing — cache miss vs hit, and the
+// bootstrap handshake.
+func BenchmarkE8_MatrixEncrypt(b *testing.B) {
+	m := keymatrix.NewMatrix(crypto.NewSeededSource(8))
+	peers := []amnet.MachineID{1, 2}
+	g := m.Guard(1, peers, nil)
+	c := cap.Capability{Server: 0xABC, Object: 1, Rights: 0xFF, Check: 0x123456}
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.FlushCaches()
+			if _, err := g.Seal(c, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		if _, err := g.Seal(c, 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Seal(c, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE8_CacheHitVsMiss(b *testing.B) {
+	// Server-side Open path.
+	m := keymatrix.NewMatrix(crypto.NewSeededSource(9))
+	peers := []amnet.MachineID{1, 2}
+	client := m.Guard(1, peers, nil)
+	server := m.Guard(2, peers, nil)
+	c := cap.Capability{Server: 0xABC, Object: 1, Rights: 0xFF, Check: 0x123456}
+	enc, err := client.Seal(c, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("open-miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			server.FlushCaches()
+			if _, err := server.Open(enc, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("open-hit", func(b *testing.B) {
+		if _, err := server.Open(enc, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := server.Open(enc, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE8_Bootstrap(b *testing.B) {
+	priv, err := crypto.GenerateRSA(512, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := crypto.NewSeededSource(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		client := keymatrix.NewGuard(1, nil)
+		server := keymatrix.NewGuard(2, nil)
+		if err := keymatrix.Bootstrap(client, server, priv, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9: cost of rejecting forged capabilities (the defender's work per
+// guess), per scheme.
+func BenchmarkE9_ForgeryRejection(b *testing.B) {
+	benchSchemes(b, func(b *testing.B, s cap.Scheme, secret uint64, owner cap.Capability) {
+		forged := owner
+		forged.Check ^= 1
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Validate(forged, secret); err == nil {
+				b.Fatal("forgery accepted")
+			}
+		}
+	})
+}
+
+// --------------------------------------------------------------------
+// E10: the §3 services end-to-end over the simulated network.
+
+func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	cl, err := NewCluster(ClusterConfig{Seed: 0xE10, DiskBlocks: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func BenchmarkE10_SegmentWrite(b *testing.B) {
+	cl := benchCluster(b)
+	seg, err := cl.Memory().CreateSegment(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.ResetTimer()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := cl.Memory().Write(seg, uint32(i%(1<<8))*4096, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_FileWriteRead(b *testing.B) {
+	cl := benchCluster(b)
+	f, err := cl.Files().Create()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	b.Run("write-1k", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if err := cl.Files().WriteAt(f, uint64(i%64)*1024, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-1k", func(b *testing.B) {
+		b.SetBytes(1024)
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Files().ReadAt(f, uint64(i%64)*1024, 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE10_DirLookup(b *testing.B) {
+	cl := benchCluster(b)
+	dirs := cl.Dirs()
+	// Build a chain of depth d and look the whole path up.
+	for _, depth := range []int{1, 4, 16} {
+		root, err := dirs.CreateDir(cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur := root
+		path := ""
+		for i := 0; i < depth; i++ {
+			sub, err := dirs.CreateDir(cl.DirPort())
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := fmt.Sprintf("d%d", i)
+			if err := dirs.Enter(cur, name, sub); err != nil {
+				b.Fatal(err)
+			}
+			cur = sub
+			path += "/" + name
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dirs.LookupPath(root, path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10_MVCommit(b *testing.B) {
+	// COW commit cost as a function of dirtied pages.
+	cl := benchCluster(b)
+	mv := cl.Versions()
+	for _, dirty := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("dirty=%d", dirty), func(b *testing.B) {
+			f, err := mv.CreateFile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			page := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := mv.NewVersion(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p := 0; p < dirty; p++ {
+					if err := mv.WritePage(v, uint32(p), page); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, _, err := mv.Commit(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10_BankTransfer(b *testing.B) {
+	cl := benchCluster(b)
+	bank := cl.Bank()
+	src, err := bank.CreateAccount("dollar", 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := bank.CreateAccount("dollar", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deposit, err := bank.Restrict(dst, cap.RightCreate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bank.Transfer(src, deposit, "dollar", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------------
+// E11: the blocking trans() primitive.
+
+func BenchmarkE11_TransSimnet(b *testing.B) {
+	cl := benchCluster(b)
+	port := cl.files.PutPort()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := cl.RPC().Trans(port, rpc.Request{Op: rpc.OpEcho, Data: payload})
+		if err != nil || rep.Status != rpc.StatusOK {
+			b.Fatal(err, rep.Status)
+		}
+	}
+}
+
+func BenchmarkE11_TransTCP(b *testing.B) {
+	// Real TCP loopback between two OS processes' worth of stack (one
+	// process, two sockets).
+	reg := map[amnet.MachineID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	srvNet, err := amnet.NewTCPNet(1, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srvNet.Close()
+	reg2 := map[amnet.MachineID]string{1: srvNet.Addr(), 2: "127.0.0.1:0"}
+	cliNet, err := amnet.NewTCPNet(2, reg2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cliNet.Close()
+	srvNet.SetPeer(2, cliNet.Addr())
+
+	srvFB := fbox.New(srvNet, nil)
+	defer srvFB.Close()
+	cliFB := fbox.New(cliNet, nil)
+	defer cliFB.Close()
+
+	src := crypto.NewSeededSource(0x7C9)
+	server := rpc.NewServer(srvFB, src)
+	server.Handle(rpc.OpEcho, func(_ rpc.Context, req rpc.Request) rpc.Reply {
+		return rpc.OkReply(req.Data)
+	})
+	if err := server.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+
+	res := locate.New(cliFB, locate.Config{})
+	client := rpc.NewClient(cliFB, res, rpc.ClientConfig{Source: src})
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := client.Trans(server.PutPort(), rpc.Request{Op: rpc.OpEcho, Data: payload})
+		if err != nil || rep.Status != rpc.StatusOK {
+			b.Fatal(err, rep.Status)
+		}
+	}
+}
+
+// --------------------------------------------------------------------
+// E12: LOCATE — cache hit vs broadcast round.
+
+func BenchmarkE12_Locate(b *testing.B) {
+	cl := benchCluster(b)
+	fb, _, err := cl.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	port := cl.files.PutPort()
+	b.Run("cache-hit", func(b *testing.B) {
+		res := locate.New(fb, locate.Config{TTL: -1})
+		if _, err := res.Lookup(port); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := res.Lookup(port); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		res := locate.New(fb, locate.Config{})
+		for i := 0; i < b.N; i++ {
+			res.Invalidate(port)
+			if _, err := res.Lookup(port); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E8 ablation: what capability sealing costs per transaction —
+// plain trans() vs. trans() with the §2.4 key matrix active.
+func BenchmarkE8_SealedRPC(b *testing.B) {
+	run := func(b *testing.B, sealed bool) {
+		cl, err := NewCluster(ClusterConfig{Seed: 0x5EA1, SealCapabilities: sealed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		f, err := cl.Files().Create()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.RPC().Validate(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("sealed", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,349 @@
+package amoeba
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/keymatrix"
+	"amoeba/internal/locate"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/banksvr"
+	"amoeba/internal/server/blocksvr"
+	"amoeba/internal/server/dirsvr"
+	"amoeba/internal/server/flatfs"
+	"amoeba/internal/server/memsvr"
+	"amoeba/internal/server/mvfs"
+	"amoeba/internal/server/unixfs"
+	"amoeba/internal/vdisk"
+)
+
+// ClusterConfig configures a simulated Amoeba cluster. The zero value
+// starts every service with scheme 2 (one-way functions, the scheme
+// production Amoeba used) on a perfect network.
+type ClusterConfig struct {
+	// Scheme selects the rights-protection algorithm for all services
+	// (default SchemeOneWay).
+	Scheme SchemeID
+	// Seed makes the cluster deterministic; 0 draws from crypto/rand.
+	Seed uint64
+	// Latency and LossRate shape the simulated network.
+	Latency  time.Duration
+	LossRate float64
+	// DiskBlocks and DiskBlockSize set the block server's geometry
+	// (defaults: 4096 × 1 KiB).
+	DiskBlocks    uint32
+	DiskBlockSize int
+	// Bank sets the bank server's policy (default: minting allowed,
+	// dollar/franc convertible at 5 francs per dollar).
+	Bank *banksvr.Config
+	// SealCapabilities additionally protects every capability in
+	// flight with the §2.4 key matrix: request and reply capability
+	// fields are encrypted under per-(source, destination) keys. This
+	// composes with the F-box protection; a wiretap then sees only
+	// ciphertext capabilities. See EXPERIMENTS.md E8.
+	SealCapabilities bool
+}
+
+// Cluster is a complete single-process Amoeba system on a simulated
+// network: one machine per service plus one client machine. It exists
+// so examples, tests and experiments can stand a whole system up in a
+// few milliseconds; the services themselves are the same code a TCP
+// deployment runs.
+type Cluster struct {
+	net *amnet.SimNet
+	src crypto.Source
+
+	client   *rpc.Client
+	clientFB *fbox.FBox
+
+	memory *memsvr.Server
+	blocks *blocksvr.Server
+	files  *flatfs.Server
+	dirs   *dirsvr.Server
+	multi  *mvfs.Server
+	bank   *banksvr.Server
+	disk   *vdisk.Disk
+
+	// matrix is non-nil when SealCapabilities is on.
+	matrix *keymatrix.Matrix
+
+	closers []func() error
+}
+
+// NewCluster boots a cluster with every §3 service running.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Scheme == 0 {
+		cfg.Scheme = SchemeOneWay
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 4096
+	}
+	if cfg.DiskBlockSize == 0 {
+		cfg.DiskBlockSize = 1024
+	}
+	scheme, err := cap.NewScheme(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	var src crypto.Source
+	if cfg.Seed != 0 {
+		src = crypto.NewSeededSource(cfg.Seed)
+	} else {
+		src = crypto.SystemSource()
+	}
+
+	cl := &Cluster{
+		net: amnet.NewSimNet(amnet.SimConfig{
+			Latency:  cfg.Latency,
+			LossRate: cfg.LossRate,
+			Seed:     cfg.Seed,
+		}),
+		src: src,
+	}
+	if cfg.SealCapabilities {
+		cl.matrix = keymatrix.NewMatrix(src)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			cl.Close()
+		}
+	}()
+
+	// Client machine.
+	cl.clientFB, err = cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.client = cl.newRPCClient(cl.clientFB)
+
+	// Memory server.
+	memFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.memory = memsvr.New(memFB, scheme, src)
+	cl.sealServer(memFB, cl.memory.SetSealer)
+	if err := cl.start(cl.memory.Start, cl.memory.Close); err != nil {
+		return nil, err
+	}
+
+	// Block server.
+	cl.disk, err = vdisk.New(cfg.DiskBlocks, cfg.DiskBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	blkFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.blocks, err = blocksvr.New(blkFB, scheme, src, cl.disk)
+	if err != nil {
+		return nil, err
+	}
+	cl.sealServer(blkFB, cl.blocks.SetSealer)
+	if err := cl.start(cl.blocks.Start, cl.blocks.Close); err != nil {
+		return nil, err
+	}
+
+	// Flat file server (a client of the block server, from its own
+	// machine).
+	fileFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	fileRPC := cl.newRPCClient(fileFB)
+	cl.files, err = flatfs.New(fileFB, scheme, src, blocksvr.NewClient(fileRPC, cl.blocks.PutPort()))
+	if err != nil {
+		return nil, err
+	}
+	cl.sealServer(fileFB, cl.files.SetSealer)
+	if err := cl.start(cl.files.Start, cl.files.Close); err != nil {
+		return nil, err
+	}
+
+	// Directory server.
+	dirFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.dirs = dirsvr.New(dirFB, scheme, src)
+	cl.sealServer(dirFB, cl.dirs.SetSealer)
+	if err := cl.start(cl.dirs.Start, cl.dirs.Close); err != nil {
+		return nil, err
+	}
+
+	// Multiversion file server.
+	mvFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.multi = mvfs.New(mvFB, scheme, src)
+	cl.sealServer(mvFB, cl.multi.SetSealer)
+	if err := cl.start(cl.multi.Start, cl.multi.Close); err != nil {
+		return nil, err
+	}
+
+	// Bank server.
+	bankCfg := banksvr.Config{
+		MintingAllowed: true,
+		Rates: map[[2]string]banksvr.Rate{
+			{"dollar", "franc"}: {Num: 5, Den: 1},
+			{"franc", "dollar"}: {Num: 1, Den: 5},
+		},
+	}
+	if cfg.Bank != nil {
+		bankCfg = *cfg.Bank
+	}
+	bankFB, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	cl.bank = banksvr.New(bankFB, scheme, src, bankCfg)
+	cl.sealServer(bankFB, cl.bank.SetSealer)
+	if err := cl.start(cl.bank.Start, cl.bank.Close); err != nil {
+		return nil, err
+	}
+
+	ok = true
+	return cl, nil
+}
+
+func (cl *Cluster) newFBox() (*fbox.FBox, error) {
+	nic, err := cl.net.Attach()
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: attaching machine: %w", err)
+	}
+	fb := fbox.New(nic, nil)
+	cl.closers = append(cl.closers, fb.Close)
+	return fb, nil
+}
+
+func (cl *Cluster) newRPCClient(fb *fbox.FBox) *rpc.Client {
+	res := locate.New(fb, locate.Config{})
+	return rpc.NewClient(fb, res, rpc.ClientConfig{
+		Source: cl.src,
+		Sealer: cl.sealerFor(fb),
+	})
+}
+
+// sealerFor returns the machine's key-matrix guard, or nil when
+// sealing is off.
+func (cl *Cluster) sealerFor(fb *fbox.FBox) rpc.CapSealer {
+	if cl.matrix == nil {
+		return nil
+	}
+	return cl.matrix.DynamicGuard(fb.Machine(), nil)
+}
+
+// sealServer installs a guard on a service server when sealing is on.
+func (cl *Cluster) sealServer(fb *fbox.FBox, set func(rpc.CapSealer)) {
+	if s := cl.sealerFor(fb); s != nil {
+		set(s)
+	}
+}
+
+func (cl *Cluster) start(start func() error, close func() error) error {
+	if err := start(); err != nil {
+		return err
+	}
+	cl.closers = append(cl.closers, close)
+	return nil
+}
+
+// Close shuts every server and machine down.
+func (cl *Cluster) Close() error {
+	var firstErr error
+	for i := len(cl.closers) - 1; i >= 0; i-- {
+		if err := cl.closers[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	cl.closers = nil
+	if err := cl.net.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Memory returns a typed client for the memory server (§3.1).
+func (cl *Cluster) Memory() *memsvr.Client {
+	return memsvr.NewClient(cl.client, cl.memory.PutPort())
+}
+
+// Blocks returns a typed client for the block server (§3.2).
+func (cl *Cluster) Blocks() *blocksvr.Client {
+	return blocksvr.NewClient(cl.client, cl.blocks.PutPort())
+}
+
+// Files returns a typed client for the flat file server (§3.3).
+func (cl *Cluster) Files() *flatfs.Client {
+	return flatfs.NewClient(cl.client, cl.files.PutPort())
+}
+
+// FilesFor binds a flat-file client to a different RPC client (one
+// obtained from NewMachine) — a second user process with its own
+// machine, reply ports and locate cache.
+func (cl *Cluster) FilesFor(c *rpc.Client) *flatfs.Client {
+	return flatfs.NewClient(c, cl.files.PutPort())
+}
+
+// Dirs returns a typed client for directory services (§3.4).
+func (cl *Cluster) Dirs() *dirsvr.Client {
+	return dirsvr.NewClient(cl.client)
+}
+
+// DirPort returns the directory server's put-port (CreateDir needs a
+// server to create the directory on).
+func (cl *Cluster) DirPort() Port { return cl.dirs.PutPort() }
+
+// Versions returns a typed client for the multiversion file server
+// (§3.5).
+func (cl *Cluster) Versions() *mvfs.Client {
+	return mvfs.NewClient(cl.client, cl.multi.PutPort())
+}
+
+// Bank returns a typed client for the bank server (§3.6).
+func (cl *Cluster) Bank() *banksvr.Client {
+	return banksvr.NewClient(cl.client, cl.bank.PutPort())
+}
+
+// NewUnixFS creates a fresh root directory and returns a UNIX-like
+// view over it (the paper's third file system).
+func (cl *Cluster) NewUnixFS() (*unixfs.FS, error) {
+	dirs := cl.Dirs()
+	root, err := dirs.CreateDir(cl.dirs.PutPort())
+	if err != nil {
+		return nil, err
+	}
+	return unixfs.New(dirs, cl.Files(), root), nil
+}
+
+// RPC returns the cluster's default client for raw transactions.
+func (cl *Cluster) RPC() *rpc.Client { return cl.client }
+
+// NewMachine attaches a fresh machine (its own F-box and RPC client) —
+// a second user workstation, an intruder host, a server host for
+// custom services.
+func (cl *Cluster) NewMachine() (*fbox.FBox, *rpc.Client, error) {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fb, cl.newRPCClient(fb), nil
+}
+
+// Tap attaches a passive wiretap to the cluster network (the §2.4
+// intruder's capture capability).
+func (cl *Cluster) Tap() (*amnet.Tap, error) { return cl.net.Tap() }
+
+// Net exposes the simulated network (partitions, stats).
+func (cl *Cluster) Net() *amnet.SimNet { return cl.net }
+
+// ErrNoCluster is returned by helpers that need a running cluster.
+var ErrNoCluster = errors.New("amoeba: cluster not running")

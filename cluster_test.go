@@ -1,0 +1,253 @@
+package amoeba
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xC1045E4
+	}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestClusterBootsAllServices(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{})
+	if _, err := cl.Memory().CreateSegment(64); err != nil {
+		t.Errorf("memory: %v", err)
+	}
+	if _, err := cl.Blocks().Alloc(); err != nil {
+		t.Errorf("blocks: %v", err)
+	}
+	if _, err := cl.Files().Create(); err != nil {
+		t.Errorf("files: %v", err)
+	}
+	if _, err := cl.Dirs().CreateDir(cl.DirPort()); err != nil {
+		t.Errorf("dirs: %v", err)
+	}
+	if _, err := cl.Versions().CreateFile(); err != nil {
+		t.Errorf("versions: %v", err)
+	}
+	if _, err := cl.Bank().CreateAccount("dollar", 10); err != nil {
+		t.Errorf("bank: %v", err)
+	}
+}
+
+func TestClusterEveryScheme(t *testing.T) {
+	for _, id := range []SchemeID{SchemeCompare, SchemeEncrypted, SchemeOneWay, SchemeCommutative} {
+		t.Run(id.String(), func(t *testing.T) {
+			cl := newTestCluster(t, ClusterConfig{Scheme: id, Seed: uint64(id) + 100})
+			f, err := cl.Files().Create()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Files().WriteAt(f, 0, []byte("scheme test")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Files().ReadAt(f, 0, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "scheme test" {
+				t.Fatalf("read %q", got)
+			}
+		})
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	// §2.3's end-to-end example: create a file, write data into it,
+	// then give another client permission to read (but not modify) it.
+	cl := newTestCluster(t, ClusterConfig{})
+	files := cl.Files()
+
+	f, err := files.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := files.WriteAt(f, 0, []byte("important data")); err != nil {
+		t.Fatal(err)
+	}
+	readOnly, err := files.Restrict(f, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "The other client": a fresh machine with its own RPC client. The
+	// capability travels as 16 opaque bytes.
+	_, otherRPC, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := readOnly.Encode()
+	received, err := Decode(wire[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cl.FilesFor(otherRPC)
+	got, err := other.ReadAt(received, 0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "important data" {
+		t.Fatalf("other client read %q", got)
+	}
+	if err := other.WriteAt(received, 0, []byte("vandalism")); !IsStatus(err, StatusNoPermission) {
+		t.Fatalf("other client write: %v", err)
+	}
+}
+
+func TestClusterWithLatency(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{Latency: 2_000_000 /* 2ms */})
+	f, err := cl.Files().Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Files().WriteAt(f, 0, []byte("slow network")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnixFSOnCluster(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{})
+	fs, err := cl.NewUnixFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("etc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("etc/motd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("etc/motd", 0, []byte("welcome to amoeba")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("etc/motd", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("welcome to amoeba")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestDeterministicClusters(t *testing.T) {
+	run := func() Capability {
+		cl, err := NewCluster(ClusterConfig{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		f, err := cl.Files().Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different capabilities:\n %v\n %v", a, b)
+	}
+}
+
+func TestCrossServiceCapabilityRejected(t *testing.T) {
+	// A capability minted by the file server must not authorize
+	// anything at the directory server, even with the same scheme.
+	cl := newTestCluster(t, ClusterConfig{})
+	f, err := cl.Files().Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Dirs().Lookup(f, "x"); err == nil {
+		t.Fatal("file capability accepted by directory server")
+	}
+}
+
+func TestSealedCluster(t *testing.T) {
+	// SealCapabilities composes the §2.4 key matrix with the F-box:
+	// everything still works, and no plaintext capability crosses the
+	// wire.
+	cl := newTestCluster(t, ClusterConfig{SealCapabilities: true, Seed: 0x5EA1ED})
+	tap, err := cl.Tap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cl.Files().Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Files().WriteAt(f, 0, []byte("sealed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Files().ReadAt(f, 0, 6)
+	if err != nil || string(got) != "sealed" {
+		t.Fatalf("read %q %v", got, err)
+	}
+	weak, err := cl.Files().Restrict(f, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Server != f.Server {
+		t.Fatal("restricted capability mangled by sealing")
+	}
+	// Sweep the tap: the file capability must never appear in clear.
+	wire := f.Encode()
+	deadline := time.After(200 * time.Millisecond)
+	frames := 0
+	for {
+		select {
+		case fr := <-tap.Recv():
+			frames++
+			for i := 0; i+16 <= len(fr.Payload); i++ {
+				if string(fr.Payload[i:i+16]) == string(wire[:]) {
+					t.Fatal("plaintext capability on the wire despite sealing")
+				}
+			}
+		case <-deadline:
+			if frames == 0 {
+				t.Fatal("tap captured nothing")
+			}
+			return
+		}
+	}
+}
+
+func TestSealedClusterAllServices(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{SealCapabilities: true, Seed: 0x5EA1EE})
+	seg, err := cl.Memory().CreateSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Memory().Write(seg, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := cl.Dirs().CreateDir(cl.DirPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Dirs().Enter(dir, "seg", seg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cl.Dirs().Lookup(dir, "seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != seg {
+		t.Fatal("capability corrupted crossing sealed directory server")
+	}
+	acct, err := cl.Bank().CreateAccount("dollar", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Bank().Balance(acct); err != nil {
+		t.Fatal(err)
+	}
+}

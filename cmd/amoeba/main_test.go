@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestSplitComma(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"a", []string{"a"}},
+		{"", nil},
+		{",,a,,b,", []string{"a", "b"}},
+	}
+	for _, tc := range tests {
+		got := splitComma(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitComma(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitComma(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestCut(t *testing.T) {
+	if pre, post, ok := cut("a=b=c", '='); !ok || pre != "a" || post != "b=c" {
+		t.Errorf("cut first: %q %q %v", pre, post, ok)
+	}
+	if _, _, ok := cut("nope", '='); ok {
+		t.Error("cut found a separator that is not there")
+	}
+}

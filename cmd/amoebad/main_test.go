@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"amoeba/internal/amnet"
+)
+
+func TestParseRegistry(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    map[amnet.MachineID]string
+		wantErr bool
+	}{
+		{
+			name: "single entry",
+			in:   "1=127.0.0.1:7001",
+			want: map[amnet.MachineID]string{1: "127.0.0.1:7001"},
+		},
+		{
+			name: "multiple with spaces",
+			in:   "1=a:1, 2=b:2 ,3=c:3",
+			want: map[amnet.MachineID]string{1: "a:1", 2: "b:2", 3: "c:3"},
+		},
+		{
+			name: "trailing comma",
+			in:   "5=host:9,",
+			want: map[amnet.MachineID]string{5: "host:9"},
+		},
+		{name: "missing equals", in: "1:badform", wantErr: true},
+		{name: "bad id", in: "x=host:1", wantErr: true},
+		{name: "empty", in: "", wantErr: true},
+		{name: "only commas", in: ",,,", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseRegistry(tc.in)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v want %v", got, tc.want)
+			}
+			for id, addr := range tc.want {
+				if got[id] != addr {
+					t.Errorf("id %d: got %q want %q", id, got[id], addr)
+				}
+			}
+		})
+	}
+}

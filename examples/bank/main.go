@@ -1,0 +1,102 @@
+// Bank: §3.6 resource control and accounting with virtual money.
+//
+// The file server charges one dollar per block of storage. A client
+// with a 5-dollar quota pre-pays the file server (one transfer, §3.6's
+// "pre-pay for a substantial amount of work"), stores files until the
+// prepaid balance is gone, and is then refused. CPU time is charged in
+// a separate currency (francs), convertible at the bank's posted rate.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amoeba"
+	"amoeba/internal/server/banksvr"
+)
+
+func main() {
+	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{
+		Seed: 3,
+		Bank: &banksvr.Config{
+			// A real quota configuration: money is minted only from
+			// the treasury, so total supply is bounded.
+			Treasury: map[string]int64{"dollar": 1000, "franc": 5000},
+			Rates: map[[2]string]banksvr.Rate{
+				{"dollar", "franc"}: {Num: 5, Den: 1},
+				{"franc", "dollar"}: {Num: 1, Den: 5},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatalf("booting cluster: %v", err)
+	}
+	defer cl.Close()
+	bank := cl.Bank()
+	files := cl.Files()
+
+	// Accounts: the client gets a 5-dollar quota; the file server
+	// opens an empty account and publishes a deposit-only capability.
+	clientAcct, err := bank.CreateAccount("dollar", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsAcct, err := bank.CreateAccount("dollar", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsDeposit, err := bank.Restrict(fsAcct, amoeba.RightCreate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client quota: 5 dollars; file server charges 1 dollar per block\n\n")
+
+	// The storage loop: pay, then write one block.
+	const pricePerBlock = 1
+	stored := 0
+	for i := 0; ; i++ {
+		if err := bank.Transfer(clientAcct, fsDeposit, "dollar", pricePerBlock); err != nil {
+			fmt.Printf("block %d refused: %v\n", i, err)
+			break
+		}
+		f, err := files.Create()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := files.WriteAt(f, 0, make([]byte, 1024)); err != nil {
+			log.Fatal(err)
+		}
+		stored++
+		fmt.Printf("block %d stored (paid %d dollar)\n", i, pricePerBlock)
+	}
+	fmt.Printf("\nstored %d blocks before the quota ran out\n", stored)
+
+	cb, err := bank.Balance(clientAcct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := bank.Balance(fsAcct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client balance:      %v\n", cb)
+	fmt.Printf("file server balance: %v\n\n", fb)
+
+	// Multi-currency: the file server converts its dollar income into
+	// francs to buy CPU time (charged in francs, per the paper).
+	if err := bank.Convert(fsAcct, "dollar", "franc", 5); err != nil {
+		log.Fatal(err)
+	}
+	fb, err = bank.Balance(fsAcct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file server after converting 5 dollars to francs (rate 5/1): %v\n", fb)
+
+	// Yen exists but is inconvertible here — the paper's "possibly
+	// inconvertible currencies".
+	err = bank.Convert(fsAcct, "franc", "yen", 1)
+	fmt.Printf("franc->yen conversion refused: %v\n", err)
+}

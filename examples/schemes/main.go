@@ -1,0 +1,118 @@
+// Schemes: the four §2.3 rights-protection algorithms side by side.
+//
+// One object is created under each scheme; the program then walks the
+// paper's narrative for each: what the capability looks like, whether
+// rights can be distinguished, how restriction works (server round
+// trip vs. the purely local Fk application of scheme 3), and what
+// happens to a tampered capability.
+//
+// Run with: go run ./examples/schemes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amoeba"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+)
+
+func main() {
+	src := crypto.NewSeededSource(5)
+	const serverPort = amoeba.Port(0x0A0EBA000001)
+
+	for _, id := range []amoeba.SchemeID{
+		amoeba.SchemeCompare,
+		amoeba.SchemeEncrypted,
+		amoeba.SchemeOneWay,
+		amoeba.SchemeCommutative,
+	} {
+		scheme, err := amoeba.NewScheme(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table := cap.NewTable(scheme, serverPort, src)
+		owner, err := table.Create()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %v\n", id)
+		fmt.Printf("   owner capability: %v\n", owner)
+
+		// Rights distinction.
+		rights, err := table.Validate(owner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if id == amoeba.SchemeCompare {
+			zeroed := owner
+			zeroed.Rights = 0
+			r2, err := table.Validate(zeroed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   rights ignored: even with the field zeroed the capability conveys %v\n", r2)
+		} else {
+			fmt.Printf("   rights protected: conveys %v\n", rights)
+		}
+
+		// Restriction.
+		switch {
+		case id == amoeba.SchemeCompare:
+			_, err := table.Restrict(owner, amoeba.RightRead)
+			fmt.Printf("   restriction: impossible (%v)\n", err != nil)
+		case scheme.CanRestrictLocally():
+			weak, err := scheme.RestrictLocal(owner, amoeba.RightRead)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := table.Validate(weak)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   restriction: LOCAL — no server involved; server still validates it as %v\n", r)
+		default:
+			weak, err := table.Restrict(owner, amoeba.RightRead)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := table.Validate(weak)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   restriction: requires a server round trip; result conveys %v\n", r)
+		}
+
+		// Tampering.
+		forged := owner
+		forged.Check ^= 1 << 17
+		if _, err := table.Validate(forged); err != nil {
+			fmt.Printf("   tampered check field: rejected\n")
+		} else {
+			fmt.Printf("   tampered check field: ACCEPTED (scheme broken!)\n")
+		}
+		if id != amoeba.SchemeCompare {
+			weak, err := table.Restrict(owner, amoeba.RightRead)
+			if err != nil && id == amoeba.SchemeCompare {
+				weak = owner
+			}
+			escalated := weak
+			escalated.Rights |= amoeba.RightWrite
+			if r, err := table.Validate(escalated); err != nil || !r.Has(amoeba.RightWrite) {
+				fmt.Printf("   rights-bit escalation: rejected\n")
+			} else {
+				fmt.Printf("   rights-bit escalation: ACCEPTED (scheme broken!)\n")
+			}
+		}
+
+		// Revocation works the same everywhere.
+		if _, err := table.Revoke(owner); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := table.Validate(owner); err != nil {
+			fmt.Printf("   revocation: all outstanding capabilities invalidated\n\n")
+		}
+	}
+	fmt.Println("see EXPERIMENTS.md E1-E4 for the measured costs of each scheme")
+}

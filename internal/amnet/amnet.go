@@ -1,0 +1,84 @@
+// Package amnet is the network substrate under the Amoeba stack: the
+// broadcast LAN the paper assumes, with machines attached through NICs
+// that stamp an unforgeable hardware source address on every frame
+// ("in nearly all networks an intruder can forge nearly all parts of a
+// message being sent except the source address, which is supplied by
+// the network interface hardware", §2.4).
+//
+// Two implementations share one interface: SimNet, an in-memory network
+// with configurable latency, loss and wiretaps (the paper's "building
+// full of rooms with wall sockets"); and a TCP transport for running
+// real multi-process clusters. The F-box (package fbox) interposes on a
+// NIC; the simulated network is the substitute for the paper's VLSI
+// F-box placement — hosts built on this stack structurally cannot emit
+// or receive a frame except through their F-box.
+package amnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MachineID identifies a machine (a network attachment point). It is
+// the "source machine" of §2.4: stamped by the network, not by the
+// sender's software.
+type MachineID uint32
+
+// BroadcastID addresses a frame to every attached machine. LOCATE uses
+// it to find which machine serves a port.
+const BroadcastID MachineID = 0xffffffff
+
+// String renders the machine id.
+func (m MachineID) String() string {
+	if m == BroadcastID {
+		return "m*"
+	}
+	return fmt.Sprintf("m%d", uint32(m))
+}
+
+// Frame is the unit the wire carries.
+type Frame struct {
+	// Src is the hardware-stamped source machine. Receivers may trust
+	// it exactly as far as the underlying network allows source
+	// forgery (SimNet: only via an explicitly configured forging tap).
+	Src MachineID
+	// Dst is the destination machine, or BroadcastID.
+	Dst MachineID
+	// Payload is the frame body. Receivers must treat it as untrusted.
+	Payload []byte
+}
+
+// NIC is one machine's network attachment.
+type NIC interface {
+	// ID returns this machine's address.
+	ID() MachineID
+	// Send transmits payload to dst. The network stamps this NIC's ID
+	// as the frame source.
+	Send(dst MachineID, payload []byte) error
+	// Broadcast transmits payload to every attached machine. The
+	// simulated LAN excludes the sender (hardware semantics); the TCP
+	// transport includes it, because a TCP "machine" is a whole daemon
+	// whose services must be able to LOCATE one another. Best effort:
+	// unreachable peers just miss the frame.
+	Broadcast(payload []byte) error
+	// Recv returns the channel of inbound frames. It is closed when
+	// the NIC is closed or detached.
+	Recv() <-chan Frame
+	// Close detaches the NIC. Further sends fail with ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a detached NIC.
+var ErrClosed = errors.New("amnet: NIC closed")
+
+// ErrNoRoute is returned when the destination machine is not attached.
+var ErrNoRoute = errors.New("amnet: no route to machine")
+
+// ErrTooLarge is returned when a payload exceeds the network MTU.
+var ErrTooLarge = errors.New("amnet: payload exceeds MTU")
+
+// MTU is the largest payload a frame may carry. Amoeba messages above
+// this are rejected; the RPC layer documents the resulting request
+// size limit (the paper's Amoeba used 32K transactions; we allow 64K
+// plus headroom for headers).
+const MTU = 1 << 17

@@ -1,0 +1,360 @@
+package amnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba/internal/crypto"
+)
+
+// SimNet is the in-memory broadcast LAN used by tests, examples and
+// experiments. It delivers frames between attached NICs with optional
+// latency and loss, supports wiretaps (passive capture of every frame,
+// the §2.4 intruder) and — only when explicitly enabled — source-forging
+// injection, to demonstrate why the key-matrix scheme leans on the
+// unforgeable source address.
+type SimNet struct {
+	cfg SimConfig
+
+	mu      sync.RWMutex
+	nextID  MachineID
+	nics    map[MachineID]*simNIC
+	taps    []*Tap
+	cut     map[[2]MachineID]bool // severed pairs (partitions)
+	closed  bool
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+// SimConfig tunes the simulated network. The zero value is a perfect,
+// instantaneous LAN.
+type SimConfig struct {
+	// Latency delays every delivery by a fixed duration.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate drops each frame with this probability (0..1).
+	LossRate float64
+	// AllowSourceForgery permits Tap.InjectAs to forge source
+	// addresses. Leave false to model the paper's assumption; set true
+	// to run the replay-attack-succeeds ablation.
+	AllowSourceForgery bool
+	// QueueLen is each NIC's inbound queue length (default 256).
+	// Frames arriving at a full queue are dropped, like a real NIC.
+	QueueLen int
+	// Seed makes loss and jitter deterministic; 0 uses a fixed default
+	// so simulations are reproducible by default.
+	Seed uint64
+}
+
+// Stats counts network activity, for experiments.
+type Stats struct {
+	Sent      uint64 // frames handed to the network
+	Delivered uint64 // frame deliveries (broadcast counts each copy)
+	Lost      uint64 // frames dropped by the loss model
+	Overrun   uint64 // frames dropped at a full receive queue
+}
+
+// NewSimNet builds an empty simulated network.
+func NewSimNet(cfg SimConfig) *SimNet {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xA0EBA
+	}
+	return &SimNet{
+		cfg:    cfg,
+		nextID: 1,
+		nics:   make(map[MachineID]*simNIC),
+		cut:    make(map[[2]MachineID]bool),
+	}
+}
+
+// Attach adds a machine and returns its NIC.
+func (n *SimNet) Attach() (NIC, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	id := n.nextID
+	n.nextID++
+	nic := &simNIC{
+		net: n,
+		id:  id,
+		in:  make(chan Frame, n.cfg.QueueLen),
+		rnd: crypto.NewSeededSource(n.cfg.Seed ^ uint64(id)*0x9e3779b97f4a7c15),
+	}
+	n.nics[id] = nic
+	return nic, nil
+}
+
+// Tap attaches a passive wiretap that receives a copy of every frame
+// on the network — the §2.4 intruder who "can easily capture messages".
+// A tap cannot transmit unless the network allows source forgery.
+func (n *SimNet) Tap() (*Tap, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	t := &Tap{net: n, in: make(chan Frame, n.cfg.QueueLen)}
+	n.taps = append(n.taps, t)
+	return t, nil
+}
+
+// Partition severs the link between two machines in both directions.
+func (n *SimNet) Partition(a, b MachineID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[pairKey(a, b)] = true
+}
+
+// Heal restores the link between two machines.
+func (n *SimNet) Heal(a, b MachineID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, pairKey(a, b))
+}
+
+func pairKey(a, b MachineID) [2]MachineID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]MachineID{a, b}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *SimNet) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+// Close detaches every NIC and tap.
+func (n *SimNet) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, nic := range n.nics {
+		nic.closeLocked()
+	}
+	n.nics = map[MachineID]*simNIC{}
+	for _, t := range n.taps {
+		t.closeOnce()
+	}
+	n.taps = nil
+	return nil
+}
+
+// transmit is the core delivery path. src has already been stamped.
+func (n *SimNet) transmit(f Frame) error {
+	if len(f.Payload) > MTU {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return ErrClosed
+	}
+	// Copy the payload once so senders cannot mutate in-flight frames.
+	payload := make([]byte, len(f.Payload))
+	copy(payload, f.Payload)
+	f.Payload = payload
+
+	var targets []*simNIC
+	if f.Dst == BroadcastID {
+		targets = make([]*simNIC, 0, len(n.nics))
+		for id, nic := range n.nics {
+			if id != f.Src && !n.cut[pairKey(f.Src, id)] {
+				targets = append(targets, nic)
+			}
+		}
+	} else {
+		nic, ok := n.nics[f.Dst]
+		if !ok {
+			n.mu.RUnlock()
+			return fmt.Errorf("%w: %v", ErrNoRoute, f.Dst)
+		}
+		if !n.cut[pairKey(f.Src, f.Dst)] {
+			targets = []*simNIC{nic}
+		}
+	}
+	taps := n.taps
+	n.mu.RUnlock()
+
+	n.bumpSent()
+	// Taps see every frame, before loss (they sit on the wire).
+	for _, t := range taps {
+		t.deliver(f)
+	}
+	for _, nic := range targets {
+		n.deliverTo(nic, f)
+	}
+	return nil
+}
+
+func (n *SimNet) deliverTo(nic *simNIC, f Frame) {
+	if n.cfg.LossRate > 0 && nic.chance(n.cfg.LossRate) {
+		n.bumpLost()
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(nic.rnd.Uint64() % uint64(n.cfg.Jitter))
+	}
+	if delay == 0 {
+		nic.deliver(f, n)
+		return
+	}
+	time.AfterFunc(delay, func() { nic.deliver(f, n) })
+}
+
+func (n *SimNet) bumpSent()      { n.statsMu.Lock(); n.stats.Sent++; n.statsMu.Unlock() }
+func (n *SimNet) bumpLost()      { n.statsMu.Lock(); n.stats.Lost++; n.statsMu.Unlock() }
+func (n *SimNet) bumpDelivered() { n.statsMu.Lock(); n.stats.Delivered++; n.statsMu.Unlock() }
+func (n *SimNet) bumpOverrun()   { n.statsMu.Lock(); n.stats.Overrun++; n.statsMu.Unlock() }
+
+// simNIC implements NIC on a SimNet.
+type simNIC struct {
+	net *SimNet
+	id  MachineID
+	rnd *crypto.SeededSource
+
+	mu     sync.Mutex
+	in     chan Frame
+	closed bool
+}
+
+var _ NIC = (*simNIC)(nil)
+
+func (nic *simNIC) ID() MachineID { return nic.id }
+
+func (nic *simNIC) Send(dst MachineID, payload []byte) error {
+	nic.mu.Lock()
+	closed := nic.closed
+	nic.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return nic.net.transmit(Frame{Src: nic.id, Dst: dst, Payload: payload})
+}
+
+func (nic *simNIC) Broadcast(payload []byte) error {
+	return nic.Send(BroadcastID, payload)
+}
+
+func (nic *simNIC) Recv() <-chan Frame { return nic.in }
+
+func (nic *simNIC) Close() error {
+	nic.net.mu.Lock()
+	delete(nic.net.nics, nic.id)
+	nic.net.mu.Unlock()
+	nic.mu.Lock()
+	defer nic.mu.Unlock()
+	nic.closeInner()
+	return nil
+}
+
+// closeLocked is called with the network lock held (during net.Close).
+func (nic *simNIC) closeLocked() {
+	nic.mu.Lock()
+	defer nic.mu.Unlock()
+	nic.closeInner()
+}
+
+func (nic *simNIC) closeInner() {
+	if !nic.closed {
+		nic.closed = true
+		close(nic.in)
+	}
+}
+
+func (nic *simNIC) deliver(f Frame, n *SimNet) {
+	nic.mu.Lock()
+	defer nic.mu.Unlock()
+	if nic.closed {
+		return
+	}
+	select {
+	case nic.in <- f:
+		n.bumpDelivered()
+	default:
+		n.bumpOverrun()
+	}
+}
+
+// chance returns true with the given probability, deterministically
+// from the NIC's seeded source.
+func (nic *simNIC) chance(p float64) bool {
+	const scale = 1 << 53
+	return float64(nic.rnd.Uint64()>>11)/scale < p
+}
+
+// Tap is a passive wiretap: a promiscuous receiver of every frame on
+// the network. It models the §2.4 intruder. InjectAs is only permitted
+// when the network was configured with AllowSourceForgery.
+type Tap struct {
+	net *SimNet
+
+	mu     sync.Mutex
+	in     chan Frame
+	closed bool
+}
+
+// Recv returns the channel of captured frames.
+func (t *Tap) Recv() <-chan Frame { return t.in }
+
+// InjectAs transmits a frame with a forged source address. It fails
+// with ErrForgeryForbidden unless the network explicitly allows source
+// forgery; the paper's security argument assumes it does not.
+func (t *Tap) InjectAs(src, dst MachineID, payload []byte) error {
+	if !t.net.cfg.AllowSourceForgery {
+		return ErrForgeryForbidden
+	}
+	return t.net.transmit(Frame{Src: src, Dst: dst, Payload: payload})
+}
+
+// ErrForgeryForbidden is returned by Tap.InjectAs on networks that
+// enforce hardware source addresses.
+var ErrForgeryForbidden = fmt.Errorf("amnet: source address forgery forbidden by network")
+
+func (t *Tap) deliver(f Frame) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.in <- f:
+	default: // taps never block the network
+	}
+}
+
+func (t *Tap) closeOnce() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		close(t.in)
+	}
+}
+
+// Close detaches the tap.
+func (t *Tap) Close() error {
+	t.net.mu.Lock()
+	for i, other := range t.net.taps {
+		if other == t {
+			t.net.taps = append(t.net.taps[:i], t.net.taps[i+1:]...)
+			break
+		}
+	}
+	t.net.mu.Unlock()
+	t.closeOnce()
+	return nil
+}

@@ -1,0 +1,340 @@
+package amnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func recvWithin(t *testing.T, ch <-chan Frame, d time.Duration) Frame {
+	t.Helper()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return f
+	case <-time.After(d):
+		t.Fatal("timed out waiting for frame")
+	}
+	return Frame{}
+}
+
+func TestSimNetPointToPoint(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, err := n.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.ID(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvWithin(t, b.Recv(), time.Second)
+	if f.Src != a.ID() || f.Dst != b.ID() || string(f.Payload) != "hello" {
+		t.Fatalf("got frame %+v", f)
+	}
+}
+
+func TestSimNetSourceIsStamped(t *testing.T) {
+	// The sender cannot choose its source address: it is the NIC's ID.
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvWithin(t, b.Recv(), time.Second)
+	if f.Src != a.ID() {
+		t.Fatalf("source = %v, want %v", f.Src, a.ID())
+	}
+}
+
+func TestSimNetBroadcast(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	c, _ := n.Attach()
+	if err := a.Broadcast([]byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	for _, nic := range []NIC{b, c} {
+		f := recvWithin(t, nic.Recv(), time.Second)
+		if string(f.Payload) != "all" || f.Dst != BroadcastID {
+			t.Fatalf("broadcast frame %+v", f)
+		}
+	}
+	// Sender must not hear its own broadcast.
+	select {
+	case f := <-a.Recv():
+		t.Fatalf("sender received own broadcast: %+v", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSimNetNoRoute(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	if err := a.Send(999, []byte("x")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestSimNetMTU(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	if err := a.Send(b.ID(), make([]byte, MTU+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if err := a.Send(b.ID(), make([]byte, MTU)); err != nil {
+		t.Fatalf("MTU-sized frame rejected: %v", err)
+	}
+}
+
+func TestSimNetPayloadIsolation(t *testing.T) {
+	// Mutating the sender's buffer after Send must not affect delivery.
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	buf := []byte("original")
+	if err := a.Send(b.ID(), buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "TAMPERED")
+	f := recvWithin(t, b.Recv(), time.Second)
+	if !bytes.Equal(f.Payload, []byte("original")) {
+		t.Fatalf("payload aliased sender buffer: %q", f.Payload)
+	}
+}
+
+func TestSimNetClosedNIC(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.ID(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed NIC: %v", err)
+	}
+	if err := a.Send(b.ID(), []byte("x")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("send to detached NIC: %v", err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Fatal("closed NIC channel still open")
+	}
+}
+
+func TestSimNetPartition(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	n.Partition(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err) // partition drops silently, like a cut cable
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame crossed partition: %+v", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+	n.Heal(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Recv(), time.Second)
+}
+
+func TestSimNetLatency(t *testing.T) {
+	n := NewSimNet(SimConfig{Latency: 30 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	start := time.Now()
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Recv(), time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("frame arrived after %v; latency not applied", elapsed)
+	}
+}
+
+func TestSimNetLoss(t *testing.T) {
+	n := NewSimNet(SimConfig{LossRate: 1.0})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.ID(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame survived 100%% loss: %+v", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if s := n.Stats(); s.Lost != 10 {
+		t.Fatalf("Lost = %d, want 10", s.Lost)
+	}
+}
+
+func TestSimNetDeterministicLoss(t *testing.T) {
+	run := func() (delivered uint64) {
+		n := NewSimNet(SimConfig{LossRate: 0.5, Seed: 42})
+		defer n.Close()
+		a, _ := n.Attach()
+		b, _ := n.Attach()
+		for i := 0; i < 200; i++ {
+			if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n.Stats().Delivered
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different deliveries: %d vs %d", a, b)
+	}
+}
+
+func TestSimNetTapSeesEverything(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	tap, err := n.Tap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.ID(), []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvWithin(t, tap.Recv(), time.Second)
+	if string(f.Payload) != "secret" {
+		t.Fatalf("tap missed the frame: %+v", f)
+	}
+}
+
+func TestSimNetTapCannotForgeByDefault(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	tap, _ := n.Tap()
+	err := tap.InjectAs(a.ID(), b.ID(), []byte("forged"))
+	if !errors.Is(err, ErrForgeryForbidden) {
+		t.Fatalf("InjectAs = %v, want ErrForgeryForbidden", err)
+	}
+}
+
+func TestSimNetTapForgeryWhenAllowed(t *testing.T) {
+	n := NewSimNet(SimConfig{AllowSourceForgery: true})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	tap, _ := n.Tap()
+	if err := tap.InjectAs(a.ID(), b.ID(), []byte("forged")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvWithin(t, b.Recv(), time.Second)
+	if f.Src != a.ID() || string(f.Payload) != "forged" {
+		t.Fatalf("forged frame mangled: %+v", f)
+	}
+}
+
+func TestSimNetStats(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	c, _ := n.Attach()
+	_ = a.Send(b.ID(), []byte("x"))
+	_ = a.Broadcast([]byte("y"))
+	// Drain to guarantee delivery accounting.
+	recvWithin(t, b.Recv(), time.Second)
+	recvWithin(t, b.Recv(), time.Second)
+	recvWithin(t, c.Recv(), time.Second)
+	s := n.Stats()
+	if s.Sent != 2 || s.Delivered != 3 {
+		t.Fatalf("stats = %+v, want Sent 2 Delivered 3", s)
+	}
+}
+
+func TestSimNetCloseIdempotent(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	a, _ := n.Attach()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("x")); err == nil {
+		t.Fatal("send succeeded on closed network")
+	}
+	if _, err := n.Attach(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Attach on closed net: %v", err)
+	}
+	if _, err := n.Tap(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Tap on closed net: %v", err)
+	}
+}
+
+func TestMachineIDString(t *testing.T) {
+	if got := MachineID(3).String(); got != "m3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := BroadcastID.String(); got != "m*" {
+		t.Errorf("broadcast String = %q", got)
+	}
+}
+
+func TestSimNetQueueOverrun(t *testing.T) {
+	n := NewSimNet(SimConfig{QueueLen: 2})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	for i := 0; i < 5; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := n.Stats(); s.Overrun != 3 {
+		t.Fatalf("Overrun = %d, want 3", s.Overrun)
+	}
+}
+
+func TestSimNetJitter(t *testing.T) {
+	n := NewSimNet(SimConfig{Latency: 5 * time.Millisecond, Jitter: 20 * time.Millisecond, Seed: 3})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	start := time.Now()
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		recvWithin(t, b.Recv(), 2*time.Second)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("all frames arrived in %v; latency+jitter not applied", elapsed)
+	}
+}

@@ -1,0 +1,342 @@
+package amnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNet implements NIC over real TCP, for multi-process clusters run
+// by cmd/amoebad. A static registry maps every MachineID to a TCP
+// address; each machine listens on its own address and dials peers on
+// demand, caching connections. Broadcast is sent peer-by-peer (the
+// paper notes LOCATE can be "carried out efficiently, even in a
+// network without broadcasting").
+//
+// Source addresses: a frame's claimed Src is accepted only if the
+// remote host matches the registry entry for that Src, approximating
+// the unforgeable hardware source of §2.4 (host granularity: processes
+// sharing a host could impersonate one another; real deployments want
+// per-machine hosts, as in the paper).
+type TCPNet struct {
+	id       MachineID
+	registry map[MachineID]string
+	ln       net.Listener
+
+	mu       sync.Mutex
+	conns    map[MachineID]net.Conn
+	accepted map[net.Conn]struct{}
+	in       chan Frame
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ NIC = (*TCPNet)(nil)
+
+// tcpMagic guards against cross-protocol noise.
+const tcpMagic = 0xA0EB
+
+// NewTCPNet attaches machine id to the cluster described by registry
+// (MachineID → "host:port"). The registry must contain id; its entry
+// is listened on. Registry entries with port 0 pick an ephemeral port;
+// Addr reports the actual address.
+func NewTCPNet(id MachineID, registry map[MachineID]string) (*TCPNet, error) {
+	addr, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("amnet: machine %v not in registry", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("amnet: listen %s: %w", addr, err)
+	}
+	reg := make(map[MachineID]string, len(registry))
+	for k, v := range registry {
+		reg[k] = v
+	}
+	reg[id] = ln.Addr().String()
+	t := &TCPNet{
+		id:       id,
+		registry: reg,
+		ln:       ln,
+		conns:    make(map[MachineID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		in:       make(chan Frame, 256),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ID implements NIC.
+func (t *TCPNet) ID() MachineID { return t.id }
+
+// Addr returns the address this machine actually listens on.
+func (t *TCPNet) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer updates (or adds) a peer's address, for clusters whose
+// members bind ephemeral ports and learn each other's addresses after
+// startup. Existing cached connections to the peer are dropped.
+func (t *TCPNet) SetPeer(id MachineID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.registry[id] = addr
+	if c, ok := t.conns[id]; ok {
+		c.Close()
+		delete(t.conns, id)
+	}
+}
+
+// Registry returns a copy of the cluster map with this machine's
+// resolved address.
+func (t *TCPNet) Registry() map[MachineID]string {
+	out := make(map[MachineID]string, len(t.registry))
+	for k, v := range t.registry {
+		out[k] = v
+	}
+	return out
+}
+
+// Send implements NIC.
+func (t *TCPNet) Send(dst MachineID, payload []byte) error {
+	if len(payload) > MTU {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if dst == BroadcastID {
+		return t.broadcast(payload)
+	}
+	if dst == t.id {
+		t.loopback(payload)
+		return nil
+	}
+	return t.sendTo(dst, payload)
+}
+
+// Broadcast implements NIC.
+func (t *TCPNet) Broadcast(payload []byte) error { return t.Send(BroadcastID, payload) }
+
+// broadcast is best-effort, like a real broadcast medium: peers that
+// are down simply miss the frame. Unlike the simulated LAN, the frame
+// is also delivered locally — a TCP "machine" is a whole daemon, and
+// services inside it (the flat file server locating a co-resident
+// block server) must be reachable by broadcast too.
+func (t *TCPNet) broadcast(payload []byte) error {
+	t.loopback(payload)
+	t.mu.Lock()
+	ids := make([]MachineID, 0, len(t.registry))
+	for id := range t.registry {
+		if id != t.id {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.Unlock()
+	for _, id := range ids {
+		_ = t.sendTo(id, payload)
+	}
+	return nil
+}
+
+func (t *TCPNet) loopback(payload []byte) {
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.in <- Frame{Src: t.id, Dst: t.id, Payload: p}:
+	default:
+	}
+}
+
+func (t *TCPNet) sendTo(dst MachineID, payload []byte) error {
+	conn, err := t.conn(dst)
+	if err != nil {
+		return err
+	}
+	var hdr [14]byte
+	binary.BigEndian.PutUint16(hdr[0:], tcpMagic)
+	binary.BigEndian.PutUint32(hdr[2:], uint32(t.id))
+	binary.BigEndian.PutUint32(hdr[6:], uint32(dst))
+	binary.BigEndian.PutUint32(hdr[10:], uint32(len(payload)))
+	buf := make([]byte, 0, len(hdr)+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, err := conn.Write(buf); err != nil {
+		delete(t.conns, dst)
+		conn.Close()
+		return fmt.Errorf("amnet: send to %v: %w", dst, err)
+	}
+	return nil
+}
+
+// conn returns a cached or fresh connection to dst.
+func (t *TCPNet) conn(dst MachineID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[dst]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.registry[dst]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("amnet: dial %v (%s): %w", dst, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[dst]; ok {
+		c.Close()
+		return existing, nil
+	}
+	t.conns[dst] = c
+	return c, nil
+}
+
+// Recv implements NIC.
+func (t *TCPNet) Recv() <-chan Frame { return t.in }
+
+// Close implements NIC.
+func (t *TCPNet) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = map[MachineID]net.Conn{}
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.accepted = map[net.Conn]struct{}{}
+	t.mu.Unlock()
+	t.ln.Close()
+	t.wg.Wait()
+	t.mu.Lock()
+	close(t.in)
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *TCPNet) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPNet) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	remoteHost, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
+	for {
+		var hdr [14]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		if binary.BigEndian.Uint16(hdr[0:]) != tcpMagic {
+			return // protocol violation: drop the connection
+		}
+		src := MachineID(binary.BigEndian.Uint32(hdr[2:]))
+		dst := MachineID(binary.BigEndian.Uint32(hdr[6:]))
+		n := binary.BigEndian.Uint32(hdr[10:])
+		if n > MTU {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if !t.sourcePlausible(src, remoteHost) {
+			continue // forged source: drop the frame
+		}
+		t.mu.Lock()
+		closed := t.closed
+		if !closed {
+			select {
+			case t.in <- Frame{Src: src, Dst: dst, Payload: payload}:
+			default:
+			}
+		}
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// sourcePlausible checks the claimed source machine against the
+// connection's remote host.
+func (t *TCPNet) sourcePlausible(src MachineID, remoteHost string) bool {
+	addr, ok := t.registry[src]
+	if !ok {
+		return false
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return false
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		return true // wildcard listener: cannot pin a host
+	}
+	return hostsEqual(host, remoteHost)
+}
+
+func hostsEqual(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ipA, ipB := net.ParseIP(a), net.ParseIP(b)
+	if ipA != nil && ipB != nil {
+		if ipA.Equal(ipB) {
+			return true
+		}
+		// Loopback is loopback: 127.0.0.1 vs ::1 both mean "this host".
+		return ipA.IsLoopback() && ipB.IsLoopback()
+	}
+	return false
+}
+
+// ErrBadRegistry is returned by cluster helpers for malformed
+// registries.
+var ErrBadRegistry = errors.New("amnet: bad registry")

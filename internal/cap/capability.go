@@ -1,0 +1,183 @@
+// Package cap implements Amoeba sparse capabilities: the 128-bit
+// capability format of the paper's Fig. 2 and the four rights-protection
+// algorithms of §2.3, together with the server-side object tables that
+// mint, validate, restrict and revoke capabilities.
+//
+// A capability is a bearer token held directly in user address space.
+// The kernel neither stores nor interprets it; forgery is prevented by
+// the sparseness of its 48-bit check field (and of the 48-bit server
+// port), plus one of four cryptographic schemes that bind the rights
+// bits to the check field.
+package cap
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Port is a 48-bit Amoeba port carried in the low bits of a uint64.
+// The Server field of every capability is the put-port of the server
+// managing the object. (Get-ports and the F-box transformation live in
+// package fbox; a Port value itself is just a sparse 48-bit number.)
+type Port uint64
+
+// PortMask selects the valid bits of a Port.
+const PortMask = Port(1)<<48 - 1
+
+// String renders the port as 12 hex digits.
+func (p Port) String() string {
+	var buf [6]byte
+	binary.BigEndian.PutUint16(buf[0:], uint16(p>>32))
+	binary.BigEndian.PutUint32(buf[2:], uint32(p))
+	return hex.EncodeToString(buf[:])
+}
+
+// Valid reports whether the port fits in 48 bits.
+func (p Port) Valid() bool { return p&^PortMask == 0 }
+
+// Rights is the 8-bit rights field: one bit per permitted operation.
+// The named constants are the library-wide conventions; each server
+// documents which bits its operations demand (e.g. the directory
+// server's lookup demands RightRead).
+type Rights uint8
+
+const (
+	// RightRead permits reading the object (READ FILE, lookup, ...).
+	RightRead Rights = 1 << iota
+	// RightWrite permits modifying the object.
+	RightWrite
+	// RightDestroy permits destroying/deallocating the object.
+	RightDestroy
+	// RightCreate permits creating subordinate objects (e.g. directory
+	// entries, new file versions, account withdrawals).
+	RightCreate
+	// RightX1, RightX2, RightX3 are server-specific.
+	RightX1
+	RightX2
+	RightX3
+	// RightRevoke permits replacing the object's random number,
+	// instantly invalidating all outstanding capabilities (§2.3).
+	RightRevoke
+)
+
+// AllRights has every bit set; newly minted capabilities are owner
+// capabilities carrying all rights.
+const AllRights Rights = 0xff
+
+// Has reports whether r includes every right in want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+// String renders the rights as the paper would: a bitmap, MSB first.
+func (r Rights) String() string {
+	var b strings.Builder
+	names := [8]byte{'v', '3', '2', '1', 'c', 'd', 'w', 'r'} // bit 7..0
+	for i := 7; i >= 0; i-- {
+		if r&(1<<uint(i)) != 0 {
+			b.WriteByte(names[7-i])
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// ObjectMask selects the valid bits of the 24-bit object number.
+const ObjectMask uint32 = 1<<24 - 1
+
+// CheckMask selects the valid bits of the 48-bit check field.
+const CheckMask uint64 = 1<<48 - 1
+
+// Size is the wire size of a capability in bytes: 48+24+8+48 bits
+// (paper Fig. 2).
+const Size = 16
+
+// Capability is the paper's Fig. 2 token:
+//
+//	Server Port | Object | Rights | Check Field
+//	48 bits     | 24     | 8      | 48
+//
+// Under schemes 0, 2 and 3 the Check field carries (a function of) the
+// object's random number and Rights is plaintext. Under scheme 1 the
+// Rights and Check fields together carry the 56-bit ciphertext of
+// RIGHTS ∥ KNOWN-CONSTANT.
+type Capability struct {
+	Server Port   // put-port of the managing server (48 bits)
+	Object uint32 // object number, meaningful only to the server (24 bits)
+	Rights Rights // one bit per permitted operation (8 bits)
+	Check  uint64 // the cryptographic protection field (48 bits)
+}
+
+// Nil is the zero capability, used to mean "no capability" in message
+// slots that do not carry one.
+var Nil Capability
+
+// IsNil reports whether c is the zero capability.
+func (c Capability) IsNil() bool { return c == Nil }
+
+// Valid reports whether every field fits its Fig. 2 width.
+func (c Capability) Valid() bool {
+	return c.Server.Valid() && c.Object&^ObjectMask == 0 && c.Check&^CheckMask == 0
+}
+
+// ErrBadWireSize is returned by Decode for buffers that are not
+// exactly 16 bytes.
+var ErrBadWireSize = errors.New("cap: capability wire size must be 16 bytes")
+
+// Encode serializes the capability into its 16-byte wire format:
+// big-endian server port (6), object (3), rights (1), check (6).
+func (c Capability) Encode() [Size]byte {
+	var w [Size]byte
+	binary.BigEndian.PutUint16(w[0:], uint16(c.Server>>32))
+	binary.BigEndian.PutUint32(w[2:], uint32(c.Server))
+	w[6] = byte(c.Object >> 16)
+	w[7] = byte(c.Object >> 8)
+	w[8] = byte(c.Object)
+	w[9] = byte(c.Rights)
+	binary.BigEndian.PutUint16(w[10:], uint16(c.Check>>32))
+	binary.BigEndian.PutUint32(w[12:], uint32(c.Check))
+	return w
+}
+
+// AppendTo appends the wire encoding to dst and returns the result.
+func (c Capability) AppendTo(dst []byte) []byte {
+	w := c.Encode()
+	return append(dst, w[:]...)
+}
+
+// Decode parses a 16-byte wire capability.
+func Decode(buf []byte) (Capability, error) {
+	if len(buf) != Size {
+		return Nil, fmt.Errorf("%w: got %d", ErrBadWireSize, len(buf))
+	}
+	var c Capability
+	c.Server = Port(binary.BigEndian.Uint16(buf[0:]))<<32 | Port(binary.BigEndian.Uint32(buf[2:]))
+	c.Object = uint32(buf[6])<<16 | uint32(buf[7])<<8 | uint32(buf[8])
+	c.Rights = Rights(buf[9])
+	c.Check = uint64(binary.BigEndian.Uint16(buf[10:]))<<32 | uint64(binary.BigEndian.Uint32(buf[12:]))
+	return c, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c Capability) MarshalBinary() ([]byte, error) {
+	w := c.Encode()
+	return w[:], nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Capability) UnmarshalBinary(data []byte) error {
+	dec, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	*c = dec
+	return nil
+}
+
+// String renders the capability like the tooling does:
+// "port/object(rights)check".
+func (c Capability) String() string {
+	return fmt.Sprintf("%s/%06x(%s)%012x", c.Server, c.Object, c.Rights, c.Check)
+}

@@ -1,0 +1,179 @@
+package cap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireFormatIsFig2(t *testing.T) {
+	// Fig. 2: 48-bit server port, 24-bit object, 8-bit rights, 48-bit
+	// check; 16 bytes total, in that order, big-endian.
+	c := Capability{
+		Server: 0x010203040506,
+		Object: 0x0a0b0c,
+		Rights: 0xd5,
+		Check:  0x111213141516,
+	}
+	w := c.Encode()
+	want := []byte{
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, // server port
+		0x0a, 0x0b, 0x0c, // object
+		0xd5,                               // rights
+		0x11, 0x12, 0x13, 0x14, 0x15, 0x16, // check
+	}
+	if !bytes.Equal(w[:], want) {
+		t.Fatalf("wire layout mismatch:\n got %x\nwant %x", w, want)
+	}
+	if Size != 16 {
+		t.Fatalf("capability Size = %d, want 16", Size)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(server uint64, object uint32, rights uint8, check uint64) bool {
+		c := Capability{
+			Server: Port(server) & PortMask,
+			Object: object & ObjectMask,
+			Rights: Rights(rights),
+			Check:  check & CheckMask,
+		}
+		w := c.Encode()
+		dec, err := Decode(w[:])
+		return err == nil && dec == c
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsWrongSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := Decode(make([]byte, n)); err == nil {
+			t.Errorf("Decode accepted %d bytes", n)
+		}
+	}
+}
+
+func TestBinaryMarshalerRoundTrip(t *testing.T) {
+	c := Capability{Server: 42, Object: 7, Rights: RightRead | RightWrite, Check: 0xabc}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Capability
+	if err := dec.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if dec != c {
+		t.Fatalf("round trip: got %v want %v", dec, c)
+	}
+	if err := dec.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("UnmarshalBinary accepted 3 bytes")
+	}
+}
+
+func TestAppendTo(t *testing.T) {
+	c := Capability{Server: 1, Object: 2, Rights: 3, Check: 4}
+	buf := c.AppendTo([]byte("prefix"))
+	if len(buf) != 6+Size {
+		t.Fatalf("AppendTo length = %d", len(buf))
+	}
+	dec, err := Decode(buf[6:])
+	if err != nil || dec != c {
+		t.Fatalf("AppendTo did not append the wire form: %v %v", dec, err)
+	}
+}
+
+func TestCapabilityValid(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Capability
+		want bool
+	}{
+		{"zero", Capability{}, true},
+		{"max fields", Capability{Server: PortMask, Object: ObjectMask, Rights: 0xff, Check: CheckMask}, true},
+		{"port too wide", Capability{Server: PortMask + 1}, false},
+		{"object too wide", Capability{Object: ObjectMask + 1}, false},
+		{"check too wide", Capability{Check: CheckMask + 1}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.c.Valid(); got != tc.want {
+			t.Errorf("%s: Valid() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNilCapability(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	if (Capability{Check: 1}).IsNil() {
+		t.Fatal("non-zero capability claims to be nil")
+	}
+}
+
+func TestRightsHas(t *testing.T) {
+	r := RightRead | RightWrite
+	if !r.Has(RightRead) || !r.Has(RightRead|RightWrite) {
+		t.Error("Has missed present rights")
+	}
+	if r.Has(RightDestroy) || r.Has(RightRead|RightDestroy) {
+		t.Error("Has granted absent rights")
+	}
+	if !r.Has(0) {
+		t.Error("Has(0) should always be true")
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	tests := []struct {
+		r    Rights
+		want string
+	}{
+		{0, "--------"},
+		{AllRights, "v321cdwr"},
+		{RightRead, "-------r"},
+		{RightRevoke, "v-------"},
+		{RightRead | RightWrite | RightDestroy, "-----dwr"},
+	}
+	for _, tc := range tests {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("Rights(%#02x).String() = %q, want %q", uint8(tc.r), got, tc.want)
+		}
+	}
+}
+
+func TestPortString(t *testing.T) {
+	if got := Port(0xABCDEF012345).String(); got != "abcdef012345" {
+		t.Errorf("Port.String() = %q", got)
+	}
+	if got := Port(1).String(); got != "000000000001" {
+		t.Errorf("Port.String() = %q", got)
+	}
+}
+
+func TestCapabilityString(t *testing.T) {
+	c := Capability{Server: 0xff, Object: 1, Rights: RightRead, Check: 2}
+	want := "0000000000ff/000001(-------r)000000000002"
+	if got := c.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRightConstantsAreDistinctBits(t *testing.T) {
+	rights := []Rights{RightRead, RightWrite, RightDestroy, RightCreate, RightX1, RightX2, RightX3, RightRevoke}
+	var all Rights
+	for i, r := range rights {
+		if r == 0 || r&(r-1) != 0 {
+			t.Errorf("right %d is not a single bit: %#02x", i, uint8(r))
+		}
+		if all&r != 0 {
+			t.Errorf("right %d overlaps earlier rights", i)
+		}
+		all |= r
+	}
+	if all != AllRights {
+		t.Errorf("rights do not cover all 8 bits: %#02x", uint8(all))
+	}
+}

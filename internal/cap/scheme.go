@@ -1,0 +1,437 @@
+package cap
+
+import (
+	"errors"
+	"fmt"
+
+	"amoeba/internal/crypto"
+)
+
+// SchemeID numbers the four §2.3 rights-protection algorithms in the
+// order the paper presents them.
+type SchemeID uint8
+
+const (
+	// SchemeCompare is the simplest system: the check field is the
+	// object's random number; equality means genuine, and "all
+	// operations on the file are allowed" — no rights distinction.
+	SchemeCompare SchemeID = iota + 1
+	// SchemeEncrypted is the first rights-protecting algorithm: the
+	// RIGHTS ∥ KNOWN-CONSTANT block is encrypted under a per-object key.
+	SchemeEncrypted
+	// SchemeOneWay is the second: CHECK = F(random XOR rights) with
+	// plaintext rights. Restriction requires the server.
+	SchemeOneWay
+	// SchemeCommutative is the third: deleting right k replaces the
+	// check R with Fk(R) client-side; the Fk commute.
+	SchemeCommutative
+)
+
+// String returns the paper's name for the scheme.
+func (id SchemeID) String() string {
+	switch id {
+	case SchemeCompare:
+		return "scheme0-compare"
+	case SchemeEncrypted:
+		return "scheme1-encrypted"
+	case SchemeOneWay:
+		return "scheme2-oneway"
+	case SchemeCommutative:
+		return "scheme3-commutative"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(id))
+	}
+}
+
+// Errors shared by every scheme.
+var (
+	// ErrInvalidCapability means the check failed: the capability is
+	// forged, tampered with, revoked, or for a deleted object.
+	ErrInvalidCapability = errors.New("cap: invalid capability")
+	// ErrNeedsServer is returned by RestrictLocal for schemes in which
+	// fabricating a sub-capability requires the object's secret, i.e. a
+	// round trip to the server.
+	ErrNeedsServer = errors.New("cap: restriction requires the server for this scheme")
+)
+
+// Scheme is one of the four §2.3 algorithms. A Scheme is a pure
+// strategy: all object state (the per-object random number, the
+// "secret") lives in the server's Table. Secrets are 48-bit values;
+// scheme 3 additionally requires them to be sampled into its
+// commutative domain, which Table handles via PrepareSecret.
+type Scheme interface {
+	// ID identifies the algorithm.
+	ID() SchemeID
+
+	// PrepareSecret maps a raw 48-bit random value to a usable
+	// per-object secret (identity for all schemes except 3, which needs
+	// a unit of its modular domain).
+	PrepareSecret(raw uint64) uint64
+
+	// Mint builds the owner capability (all rights) for a new object
+	// with the given secret.
+	Mint(server Port, object uint32, secret uint64) Capability
+
+	// Validate checks c against the object's secret and returns the
+	// rights the capability actually conveys, or ErrInvalidCapability.
+	Validate(c Capability, secret uint64) (Rights, error)
+
+	// Restrict fabricates, with the object's secret, a capability
+	// carrying rights ∩ mask. This is the server-side path available
+	// under every scheme.
+	Restrict(c Capability, mask Rights, secret uint64) (Capability, error)
+
+	// CanRestrictLocally reports whether holders can fabricate weaker
+	// capabilities without the server (true only for scheme 3).
+	CanRestrictLocally() bool
+
+	// RestrictLocal fabricates a weaker capability client-side, or
+	// returns ErrNeedsServer.
+	RestrictLocal(c Capability, mask Rights) (Capability, error)
+}
+
+// NewScheme constructs the identified scheme with default primitives:
+// SHA-48 one-way function, Feistel cipher, default commutative family.
+func NewScheme(id SchemeID) (Scheme, error) {
+	switch id {
+	case SchemeCompare:
+		return CompareScheme{}, nil
+	case SchemeEncrypted:
+		return NewEncryptedScheme(nil)
+	case SchemeOneWay:
+		return NewOneWayScheme(nil), nil
+	case SchemeCommutative:
+		return NewCommutativeScheme(nil), nil
+	default:
+		return nil, fmt.Errorf("cap: unknown scheme id %d", uint8(id))
+	}
+}
+
+// AllSchemeIDs lists the four algorithms in paper order, for
+// experiments that sweep schemes.
+func AllSchemeIDs() []SchemeID {
+	return []SchemeID{SchemeCompare, SchemeEncrypted, SchemeOneWay, SchemeCommutative}
+}
+
+// ---------------------------------------------------------------------
+// Scheme 0: compare the random number.
+
+// CompareScheme implements SchemeCompare. The check field carries the
+// object's random number in the clear (sparse, so unguessable); a
+// matching check conveys all rights. The rights field is carried but
+// not protected: the server must ignore it, and Validate always
+// returns AllRights on success, faithfully reproducing the paper's
+// "does not distinguish between READ, WRITE, DELETE".
+type CompareScheme struct{}
+
+var _ Scheme = CompareScheme{}
+
+// ID implements Scheme.
+func (CompareScheme) ID() SchemeID { return SchemeCompare }
+
+// PrepareSecret implements Scheme.
+func (CompareScheme) PrepareSecret(raw uint64) uint64 { return raw & CheckMask }
+
+// Mint implements Scheme.
+func (CompareScheme) Mint(server Port, object uint32, secret uint64) Capability {
+	return Capability{Server: server, Object: object & ObjectMask, Rights: AllRights, Check: secret & CheckMask}
+}
+
+// Validate implements Scheme.
+func (CompareScheme) Validate(c Capability, secret uint64) (Rights, error) {
+	if c.Check != secret&CheckMask {
+		return 0, ErrInvalidCapability
+	}
+	return AllRights, nil
+}
+
+// Restrict implements Scheme. Scheme 0 cannot express restricted
+// rights: any valid capability conveys everything, so restriction is
+// meaningless and the paper's simple system simply does not offer it.
+func (CompareScheme) Restrict(c Capability, mask Rights, secret uint64) (Capability, error) {
+	if _, err := (CompareScheme{}).Validate(c, secret); err != nil {
+		return Nil, err
+	}
+	return Nil, fmt.Errorf("cap: %s cannot restrict rights: %w", SchemeCompare, ErrNeedsServer)
+}
+
+// CanRestrictLocally implements Scheme.
+func (CompareScheme) CanRestrictLocally() bool { return false }
+
+// RestrictLocal implements Scheme.
+func (CompareScheme) RestrictLocal(Capability, Rights) (Capability, error) {
+	return Nil, ErrNeedsServer
+}
+
+// ---------------------------------------------------------------------
+// Scheme 1: encrypt RIGHTS ∥ KNOWN-CONSTANT under a per-object key.
+
+// KnownConstant is the 48-bit constant whose survival through
+// decryption proves the capability genuine under scheme 1. The paper
+// suggests "a known constant, say, 0".
+const KnownConstant uint64 = 0
+
+// EncryptedScheme implements SchemeEncrypted. The per-object secret is
+// used as the key of a 56-bit block cipher; the ciphertext of
+// RIGHTS(8) ∥ KNOWN-CONSTANT(48) is carried in the capability's
+// combined Rights+Check fields. An encryption function that "mixes the
+// bits thoroughly" is required — constructing the scheme with the XOR
+// cipher reproduces the paper's warning (see experiment E2).
+type EncryptedScheme struct {
+	factory func(key uint64) (crypto.BlockCipher64, error)
+}
+
+var _ Scheme = EncryptedScheme{}
+
+// NewEncryptedScheme builds scheme 1 with the given 56-bit block
+// cipher factory, or the default Feistel cipher if factory is nil.
+func NewEncryptedScheme(factory func(key uint64) (crypto.BlockCipher64, error)) (EncryptedScheme, error) {
+	if factory == nil {
+		factory = func(key uint64) (crypto.BlockCipher64, error) {
+			return crypto.NewFeistelUint64Block(key, 56)
+		}
+	}
+	// Fail fast on a broken factory.
+	if _, err := factory(0); err != nil {
+		return EncryptedScheme{}, fmt.Errorf("cap: scheme 1 cipher factory: %w", err)
+	}
+	return EncryptedScheme{factory: factory}, nil
+}
+
+// NewXOREncryptedScheme builds scheme 1 with the insecure XOR cipher,
+// solely so experiment E2 can demonstrate the paper's warning that
+// XORing a constant "will not do".
+func NewXOREncryptedScheme() EncryptedScheme {
+	s, err := NewEncryptedScheme(func(key uint64) (crypto.BlockCipher64, error) {
+		return crypto.XORCipher{Pad: key & (1<<56 - 1)}, nil
+	})
+	if err != nil {
+		panic("cap: XOR factory cannot fail: " + err.Error())
+	}
+	return s
+}
+
+// ID implements Scheme.
+func (EncryptedScheme) ID() SchemeID { return SchemeEncrypted }
+
+// PrepareSecret implements Scheme.
+func (EncryptedScheme) PrepareSecret(raw uint64) uint64 { return raw & CheckMask }
+
+func (s EncryptedScheme) cipher(secret uint64) crypto.BlockCipher64 {
+	c, err := s.factory(secret)
+	if err != nil {
+		// The factory was validated at construction; per-key failure is
+		// a programming error in the factory.
+		panic("cap: scheme 1 cipher factory failed: " + err.Error())
+	}
+	return c
+}
+
+// seal encrypts rights into the combined 56-bit field and splits it
+// across the capability's Rights and Check fields.
+func (s EncryptedScheme) seal(c Capability, rights Rights, secret uint64) Capability {
+	block := uint64(rights)<<48 | (KnownConstant & CheckMask)
+	ct := s.cipher(secret).Encrypt(block)
+	c.Rights = Rights(ct >> 48)
+	c.Check = ct & CheckMask
+	return c
+}
+
+// Mint implements Scheme.
+func (s EncryptedScheme) Mint(server Port, object uint32, secret uint64) Capability {
+	return s.seal(Capability{Server: server, Object: object & ObjectMask}, AllRights, secret)
+}
+
+// Validate implements Scheme.
+func (s EncryptedScheme) Validate(c Capability, secret uint64) (Rights, error) {
+	ct := uint64(c.Rights)<<48 | c.Check
+	pt := s.cipher(secret).Decrypt(ct)
+	if pt&CheckMask != KnownConstant&CheckMask {
+		return 0, ErrInvalidCapability
+	}
+	return Rights(pt >> 48), nil
+}
+
+// Restrict implements Scheme: decrypt, intersect, re-encrypt.
+func (s EncryptedScheme) Restrict(c Capability, mask Rights, secret uint64) (Capability, error) {
+	rights, err := s.Validate(c, secret)
+	if err != nil {
+		return Nil, err
+	}
+	return s.seal(c, rights&mask, secret), nil
+}
+
+// CanRestrictLocally implements Scheme.
+func (EncryptedScheme) CanRestrictLocally() bool { return false }
+
+// RestrictLocal implements Scheme.
+func (EncryptedScheme) RestrictLocal(Capability, Rights) (Capability, error) {
+	return Nil, ErrNeedsServer
+}
+
+// ---------------------------------------------------------------------
+// Scheme 2: CHECK = F(random XOR rights), rights in plaintext.
+
+// OneWayScheme implements SchemeOneWay.
+type OneWayScheme struct {
+	f crypto.OneWay
+}
+
+var _ Scheme = OneWayScheme{}
+
+// NewOneWayScheme builds scheme 2 over the given one-way function, or
+// SHA-48 if f is nil.
+func NewOneWayScheme(f crypto.OneWay) OneWayScheme {
+	if f == nil {
+		f = crypto.SHA48{Tag: 2}
+	}
+	return OneWayScheme{f: f}
+}
+
+// ID implements Scheme.
+func (OneWayScheme) ID() SchemeID { return SchemeOneWay }
+
+// PrepareSecret implements Scheme.
+func (OneWayScheme) PrepareSecret(raw uint64) uint64 { return raw & CheckMask }
+
+func (s OneWayScheme) check(secret uint64, rights Rights) uint64 {
+	return s.f.F((secret ^ uint64(rights)) & CheckMask)
+}
+
+// Mint implements Scheme.
+func (s OneWayScheme) Mint(server Port, object uint32, secret uint64) Capability {
+	return Capability{
+		Server: server,
+		Object: object & ObjectMask,
+		Rights: AllRights,
+		Check:  s.check(secret, AllRights),
+	}
+}
+
+// Validate implements Scheme. "Although a user can tamper with the
+// plaintext RIGHTS field, such tampering will result in the server
+// ultimately rejecting the capability."
+func (s OneWayScheme) Validate(c Capability, secret uint64) (Rights, error) {
+	if s.check(secret, c.Rights) != c.Check {
+		return 0, ErrInvalidCapability
+	}
+	return c.Rights, nil
+}
+
+// Restrict implements Scheme: the server recomputes F over the new
+// rights. This is the round trip scheme 3 exists to avoid.
+func (s OneWayScheme) Restrict(c Capability, mask Rights, secret uint64) (Capability, error) {
+	rights, err := s.Validate(c, secret)
+	if err != nil {
+		return Nil, err
+	}
+	c.Rights = rights & mask
+	c.Check = s.check(secret, c.Rights)
+	return c, nil
+}
+
+// CanRestrictLocally implements Scheme.
+func (OneWayScheme) CanRestrictLocally() bool { return false }
+
+// RestrictLocal implements Scheme.
+func (OneWayScheme) RestrictLocal(Capability, Rights) (Capability, error) {
+	return Nil, ErrNeedsServer
+}
+
+// ---------------------------------------------------------------------
+// Scheme 3: commutative one-way functions; client-side restriction.
+
+// CommutativeScheme implements SchemeCommutative. The object's secret
+// is a unit of the family's modular domain; the freshly minted
+// capability carries it in the clear with all rights set. Any holder
+// deletes right k by replacing the check R with Fk(R) and clearing bit
+// k — no server involvement; commutativity makes the deletion order
+// irrelevant. The server validates by applying the functions for every
+// cleared bit to its stored secret and comparing.
+type CommutativeScheme struct {
+	fam *crypto.Commutative
+}
+
+var _ Scheme = CommutativeScheme{}
+
+// NewCommutativeScheme builds scheme 3 over the given family, or the
+// default 8-function family if fam is nil. The family must have at
+// least 8 functions (one per rights bit).
+func NewCommutativeScheme(fam *crypto.Commutative) CommutativeScheme {
+	if fam == nil {
+		fam = crypto.DefaultCommutative()
+	}
+	if fam.Size() < 8 {
+		panic(fmt.Sprintf("cap: scheme 3 needs ≥8 commutative functions, got %d", fam.Size()))
+	}
+	return CommutativeScheme{fam: fam}
+}
+
+// Family exposes the commutative family for experiments.
+func (s CommutativeScheme) Family() *crypto.Commutative { return s.fam }
+
+// ID implements Scheme.
+func (CommutativeScheme) ID() SchemeID { return SchemeCommutative }
+
+// PrepareSecret implements Scheme: secrets must be units of Z_n.
+func (s CommutativeScheme) PrepareSecret(raw uint64) uint64 {
+	return s.fam.SampleDomain(raw)
+}
+
+// Mint implements Scheme.
+func (s CommutativeScheme) Mint(server Port, object uint32, secret uint64) Capability {
+	return Capability{
+		Server: server,
+		Object: object & ObjectMask,
+		Rights: AllRights,
+		Check:  secret & CheckMask,
+	}
+}
+
+// Validate implements Scheme: apply Fk for every deleted right to the
+// stored secret; accept on match. Cost grows with the number of
+// deleted rights (experiment E4).
+func (s CommutativeScheme) Validate(c Capability, secret uint64) (Rights, error) {
+	deleted := uint64(AllRights &^ c.Rights)
+	if s.fam.ApplySet(deleted, secret) != c.Check {
+		return 0, ErrInvalidCapability
+	}
+	return c.Rights, nil
+}
+
+// ValidateExhaustive validates ignoring the plaintext rights field, by
+// trying all 2^N combinations of deleted rights — the paper's remark
+// that "the RIGHTS field is not even needed, since the server could try
+// all 2^N combinations... Its presence merely speeds up the checking."
+// It returns the rights actually encoded in the check field.
+func (s CommutativeScheme) ValidateExhaustive(c Capability, secret uint64) (Rights, error) {
+	for deleted := uint64(0); deleted < 256; deleted++ {
+		if s.fam.ApplySet(deleted, secret) == c.Check {
+			return AllRights &^ Rights(deleted), nil
+		}
+	}
+	return 0, ErrInvalidCapability
+}
+
+// Restrict implements Scheme. Even though holders can restrict
+// locally, the server path also exists (an owner may prefer it); it
+// validates first, then applies the local derivation.
+func (s CommutativeScheme) Restrict(c Capability, mask Rights, secret uint64) (Capability, error) {
+	if _, err := s.Validate(c, secret); err != nil {
+		return Nil, err
+	}
+	return s.RestrictLocal(c, mask)
+}
+
+// CanRestrictLocally implements Scheme.
+func (CommutativeScheme) CanRestrictLocally() bool { return true }
+
+// RestrictLocal implements Scheme: for every right present in c but
+// absent from mask, apply the corresponding one-way function to the
+// check field and clear the bit. Purely client-side.
+func (s CommutativeScheme) RestrictLocal(c Capability, mask Rights) (Capability, error) {
+	drop := uint64(c.Rights &^ mask)
+	c.Check = s.fam.ApplySet(drop, c.Check)
+	c.Rights &= mask
+	return c, nil
+}

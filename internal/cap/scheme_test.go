@@ -1,0 +1,443 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"amoeba/internal/crypto"
+)
+
+// allSchemes instantiates every scheme with default primitives.
+func allSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	schemes := make([]Scheme, 0, 4)
+	for _, id := range AllSchemeIDs() {
+		s, err := NewScheme(id)
+		if err != nil {
+			t.Fatalf("NewScheme(%v): %v", id, err)
+		}
+		if s.ID() != id {
+			t.Fatalf("NewScheme(%v).ID() = %v", id, s.ID())
+		}
+		schemes = append(schemes, s)
+	}
+	return schemes
+}
+
+const testPort = Port(0x123456789abc)
+
+func TestAllSchemesMintValidate(t *testing.T) {
+	src := crypto.NewSeededSource(1)
+	for _, s := range allSchemes(t) {
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			c := s.Mint(testPort, 17, secret)
+			if !c.Valid() {
+				t.Fatalf("minted capability has out-of-width fields: %v", c)
+			}
+			if c.Server != testPort || c.Object != 17 {
+				t.Fatalf("minted capability misnames the object: %v", c)
+			}
+			rights, err := s.Validate(c, secret)
+			if err != nil {
+				t.Fatalf("freshly minted capability invalid: %v", err)
+			}
+			if rights != AllRights {
+				t.Fatalf("minted rights = %v, want all", rights)
+			}
+		})
+	}
+}
+
+func TestAllSchemesRejectWrongSecret(t *testing.T) {
+	src := crypto.NewSeededSource(2)
+	for _, s := range allSchemes(t) {
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			other := s.PrepareSecret(crypto.Rand48(src))
+			if secret == other {
+				t.Skip("seeded collision (astronomically unlikely)")
+			}
+			c := s.Mint(testPort, 1, secret)
+			if _, err := s.Validate(c, other); !errors.Is(err, ErrInvalidCapability) {
+				t.Fatalf("validated against wrong secret: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllSchemesDetectCheckTampering(t *testing.T) {
+	src := crypto.NewSeededSource(3)
+	for _, s := range allSchemes(t) {
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			c := s.Mint(testPort, 1, secret)
+			for bit := 0; bit < 48; bit += 7 {
+				bad := c
+				bad.Check ^= 1 << uint(bit)
+				if _, err := s.Validate(bad, secret); err == nil {
+					t.Fatalf("check-field bit %d flip went undetected", bit)
+				}
+			}
+		})
+	}
+}
+
+func TestRightsTamperingDetected(t *testing.T) {
+	// Schemes 1-3 must detect plaintext/ciphertext rights tampering.
+	// (Scheme 0 carries no protected rights: excluded by design.)
+	src := crypto.NewSeededSource(4)
+	for _, s := range allSchemes(t) {
+		if s.ID() == SchemeCompare {
+			continue
+		}
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			c := s.Mint(testPort, 1, secret)
+			// Weaken to read-only via the legitimate path...
+			weak, err := s.Restrict(c, RightRead, secret)
+			if err != nil {
+				t.Fatalf("Restrict: %v", err)
+			}
+			// ...then try to claw back rights by flipping rights bits.
+			for bit := 0; bit < 8; bit++ {
+				bad := weak
+				bad.Rights ^= 1 << uint(bit)
+				if bad.Rights == weak.Rights {
+					continue
+				}
+				got, err := s.Validate(bad, secret)
+				if err == nil && got.Has(bad.Rights) && bad.Rights&^weak.Rights != 0 {
+					t.Fatalf("rights bit %d forgery accepted: conveys %v", bit, got)
+				}
+			}
+		})
+	}
+}
+
+func TestScheme0ConveysAllRightsRegardless(t *testing.T) {
+	// The paper: the simple system "does not distinguish between READ,
+	// WRITE, DELETE"; a valid capability conveys everything even if the
+	// holder zeroes the rights field.
+	s := CompareScheme{}
+	secret := s.PrepareSecret(12345)
+	c := s.Mint(testPort, 1, secret)
+	c.Rights = 0
+	rights, err := s.Validate(c, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rights != AllRights {
+		t.Fatalf("scheme 0 rights = %v, want all", rights)
+	}
+	if _, err := s.Restrict(c, RightRead, secret); err == nil {
+		t.Fatal("scheme 0 claimed to restrict rights")
+	}
+}
+
+func TestSchemesRestrictViaServer(t *testing.T) {
+	src := crypto.NewSeededSource(5)
+	for _, s := range allSchemes(t) {
+		if s.ID() == SchemeCompare {
+			continue
+		}
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			c := s.Mint(testPort, 9, secret)
+			weak, err := s.Restrict(c, RightRead|RightWrite, secret)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rights, err := s.Validate(weak, secret)
+			if err != nil {
+				t.Fatalf("restricted capability invalid: %v", err)
+			}
+			if rights != RightRead|RightWrite {
+				t.Fatalf("restricted rights = %v", rights)
+			}
+			// Restriction only intersects: restricting the weak cap with
+			// a mask containing more rights must not add any.
+			again, err := s.Restrict(weak, AllRights, secret)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rights, err = s.Validate(again, secret)
+			if err != nil || rights != RightRead|RightWrite {
+				t.Fatalf("restrict-with-wider-mask escalated to %v (err %v)", rights, err)
+			}
+		})
+	}
+}
+
+func TestOnlyScheme3RestrictsLocally(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		want := s.ID() == SchemeCommutative
+		if got := s.CanRestrictLocally(); got != want {
+			t.Errorf("%v.CanRestrictLocally() = %v, want %v", s.ID(), got, want)
+		}
+		if !want {
+			if _, err := s.RestrictLocal(Capability{}, RightRead); !errors.Is(err, ErrNeedsServer) {
+				t.Errorf("%v.RestrictLocal error = %v, want ErrNeedsServer", s.ID(), err)
+			}
+		}
+	}
+}
+
+func TestScheme3LocalRestriction(t *testing.T) {
+	s := NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(777)
+	c := s.Mint(testPort, 3, secret)
+
+	readOnly, err := s.RestrictLocal(c, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rights, err := s.Validate(readOnly, secret)
+	if err != nil {
+		t.Fatalf("locally restricted capability rejected: %v", err)
+	}
+	if rights != RightRead {
+		t.Fatalf("rights = %v, want read-only", rights)
+	}
+}
+
+func TestScheme3RestrictionOrderIrrelevant(t *testing.T) {
+	// Drop write then destroy, and destroy then write: identical caps.
+	s := NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(4242)
+	c := s.Mint(testPort, 3, secret)
+
+	a, err := s.RestrictLocal(c, AllRights&^RightWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = s.RestrictLocal(a, AllRights&^(RightWrite|RightDestroy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RestrictLocal(c, AllRights&^RightDestroy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = s.RestrictLocal(b, AllRights&^(RightWrite|RightDestroy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("deletion order changed the capability:\n a=%v\n b=%v", a, b)
+	}
+	if a, err2 := s.RestrictLocal(c, AllRights&^(RightWrite|RightDestroy)); err2 != nil || a != b {
+		t.Fatalf("single-step restriction differs from two-step: %v vs %v (%v)", a, b, err2)
+	}
+}
+
+func TestScheme3CannotRegainRights(t *testing.T) {
+	// Turning a rights bit back on without inverting Fk must fail.
+	s := NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(31337)
+	c := s.Mint(testPort, 3, secret)
+	weak, err := s.RestrictLocal(c, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := weak
+	forged.Rights |= RightWrite
+	if _, err := s.Validate(forged, secret); !errors.Is(err, ErrInvalidCapability) {
+		t.Fatalf("re-added rights bit accepted: %v", err)
+	}
+}
+
+func TestScheme3ExhaustiveValidation(t *testing.T) {
+	// E5: the rights field is an optimization; the server can recover
+	// the rights by trying all 2^N deleted-sets.
+	s := NewCommutativeScheme(nil)
+	secret := s.PrepareSecret(99)
+	c := s.Mint(testPort, 3, secret)
+	weak, err := s.RestrictLocal(c, RightRead|RightCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erase the rights field entirely.
+	blind := weak
+	blind.Rights = 0xAA // garbage
+	rights, err := s.ValidateExhaustive(blind, secret)
+	if err != nil {
+		t.Fatalf("exhaustive validation failed: %v", err)
+	}
+	if rights != RightRead|RightCreate {
+		t.Fatalf("exhaustive validation recovered %v, want %v", rights, RightRead|RightCreate)
+	}
+	// A forged check must fail even exhaustively.
+	blind.Check ^= 1
+	if _, err := s.ValidateExhaustive(blind, secret); !errors.Is(err, ErrInvalidCapability) {
+		t.Fatalf("exhaustive validation accepted forged check: %v", err)
+	}
+}
+
+func TestScheme1XORCipherIsInsufficient(t *testing.T) {
+	// E2: the paper's warning. With the XOR "cipher", a holder can flip
+	// rights bits in the ciphertext and the known constant still
+	// decrypts correctly, so the forgery is accepted.
+	s := NewXOREncryptedScheme()
+	secret := s.PrepareSecret(0xBEEF)
+	c := s.Mint(testPort, 1, secret)
+	weak, err := s.Restrict(c, RightRead, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ciphertext's high 8 bits correspond positionally to the
+	// rights byte; flip the Write bit there.
+	forged := weak
+	forged.Rights ^= RightWrite
+	rights, err := s.Validate(forged, secret)
+	if err != nil {
+		t.Fatal("XOR scheme rejected the bit-flip forgery; expected it to be fooled")
+	}
+	if !rights.Has(RightWrite) {
+		t.Fatal("forgery accepted but did not escalate; test is miswired")
+	}
+
+	// The Feistel cipher must NOT be fooled by the same attack.
+	f, err := NewEncryptedScheme(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := f.Mint(testPort, 1, secret)
+	fweak, err := f.Restrict(fc, RightRead, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fforged := fweak
+	fforged.Rights ^= RightWrite
+	if _, err := f.Validate(fforged, secret); !errors.Is(err, ErrInvalidCapability) {
+		t.Fatalf("Feistel scheme accepted the bit-flip forgery: %v", err)
+	}
+}
+
+func TestForgeryProbabilityIsSparse(t *testing.T) {
+	// E9 (miniature): random check guesses essentially never validate.
+	src := crypto.NewSeededSource(6)
+	for _, s := range allSchemes(t) {
+		t.Run(s.ID().String(), func(t *testing.T) {
+			secret := s.PrepareSecret(crypto.Rand48(src))
+			c := s.Mint(testPort, 1, secret)
+			hits := 0
+			for i := 0; i < 20000; i++ {
+				guess := c
+				guess.Check = crypto.Rand48(src)
+				if s.ID() == SchemeEncrypted {
+					guess.Rights = Rights(src.Uint64())
+				}
+				if _, err := s.Validate(guess, secret); err == nil {
+					if guess == c {
+						continue // drew the real capability by luck
+					}
+					hits++
+				}
+			}
+			if hits > 0 {
+				t.Fatalf("%d/20000 random guesses validated; check field is not sparse", hits)
+			}
+		})
+	}
+}
+
+func TestSchemeIDStrings(t *testing.T) {
+	tests := []struct {
+		id   SchemeID
+		want string
+	}{
+		{SchemeCompare, "scheme0-compare"},
+		{SchemeEncrypted, "scheme1-encrypted"},
+		{SchemeOneWay, "scheme2-oneway"},
+		{SchemeCommutative, "scheme3-commutative"},
+		{SchemeID(99), "scheme(99)"},
+	}
+	for _, tc := range tests {
+		if got := tc.id.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.id, got, tc.want)
+		}
+	}
+	if _, err := NewScheme(SchemeID(99)); err == nil {
+		t.Error("NewScheme accepted unknown id")
+	}
+}
+
+func TestScheme2CustomOneWay(t *testing.T) {
+	s := NewOneWayScheme(crypto.Purdy{})
+	secret := s.PrepareSecret(123)
+	c := s.Mint(testPort, 1, secret)
+	if _, err := s.Validate(c, secret); err != nil {
+		t.Fatalf("Purdy-backed scheme 2 failed: %v", err)
+	}
+}
+
+func TestScheme3PropertyRandomMasks(t *testing.T) {
+	s := NewCommutativeScheme(nil)
+	prop := func(seed uint64, m1, m2 uint8) bool {
+		secret := s.PrepareSecret(seed)
+		c := s.Mint(testPort, 1, secret)
+		w1, err := s.RestrictLocal(c, Rights(m1))
+		if err != nil {
+			return false
+		}
+		w2, err := s.RestrictLocal(w1, Rights(m2))
+		if err != nil {
+			return false
+		}
+		rights, err := s.Validate(w2, secret)
+		return err == nil && rights == Rights(m1)&Rights(m2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrictNeverEscalates(t *testing.T) {
+	// Property: under every scheme, any chain of restrictions conveys
+	// exactly the intersection of all masks — never more.
+	for _, s := range allSchemes(t) {
+		if s.ID() == SchemeCompare {
+			continue
+		}
+		s := s
+		t.Run(s.ID().String(), func(t *testing.T) {
+			prop := func(seed uint64, m1, m2, m3 uint8) bool {
+				secret := s.PrepareSecret(seed | 1)
+				c := s.Mint(testPort, 1, secret)
+				for _, m := range []Rights{Rights(m1), Rights(m2), Rights(m3)} {
+					var err error
+					c, err = s.Restrict(c, m, secret)
+					if err != nil {
+						return false
+					}
+				}
+				rights, err := s.Validate(c, secret)
+				return err == nil && rights == AllRights&Rights(m1)&Rights(m2)&Rights(m3)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	// Fuzz-flavoured: any 16 bytes decode into a structurally valid
+	// capability (all fields within Fig. 2 widths) and re-encode to the
+	// same bytes.
+	prop := func(raw [16]byte) bool {
+		c, err := Decode(raw[:])
+		if err != nil {
+			return false
+		}
+		if !c.Valid() {
+			return false
+		}
+		return c.Encode() == raw
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package cap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/crypto"
+)
+
+// ErrNoSuchObject is returned when a capability names an object number
+// the server has no entry for (never created, or destroyed).
+var ErrNoSuchObject = errors.New("cap: no such object")
+
+// ErrTableFull is returned when all 2^24 object numbers are live.
+var ErrTableFull = errors.New("cap: object table full (2^24 objects)")
+
+// Table is the per-server object table of §2.3: for every live object
+// it stores the random number ("the server would then pick a random
+// number, store this number in its object table"). Servers embed one
+// Table and key their own object state by object number. Table is safe
+// for concurrent use.
+type Table struct {
+	scheme Scheme
+	server Port
+	src    crypto.Source
+
+	mu      sync.RWMutex
+	secrets map[uint32]uint64
+	next    uint32
+	free    []uint32 // destroyed object numbers available for reuse
+}
+
+// NewTable builds an object table for a server listening on the given
+// put-port, protecting its objects with the given scheme. A nil source
+// selects crypto/rand.
+func NewTable(scheme Scheme, server Port, src crypto.Source) *Table {
+	if src == nil {
+		src = crypto.SystemSource()
+	}
+	return &Table{
+		scheme:  scheme,
+		server:  server & PortMask,
+		src:     src,
+		secrets: make(map[uint32]uint64),
+	}
+}
+
+// Scheme returns the table's protection scheme.
+func (t *Table) Scheme() Scheme { return t.scheme }
+
+// Server returns the put-port capabilities minted here name.
+func (t *Table) Server() Port { return t.server }
+
+// Len returns the number of live objects.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.secrets)
+}
+
+// Create allocates a fresh object number, picks and stores its random
+// number, and mints the owner capability (all rights).
+func (t *Table) Create() (Capability, error) {
+	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj, err := t.allocLocked()
+	if err != nil {
+		return Nil, err
+	}
+	t.secrets[obj] = secret
+	return t.scheme.Mint(t.server, obj, secret), nil
+}
+
+// CreateObject is Create with a caller-chosen object number (servers
+// whose objects have natural numbers — the block server's block
+// numbers, for instance — keep capability object numbers aligned with
+// them). Fails if the number is live.
+func (t *Table) CreateObject(obj uint32) (Capability, error) {
+	if obj&^ObjectMask != 0 {
+		return Nil, fmt.Errorf("cap: object number %d exceeds 24 bits", obj)
+	}
+	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, live := t.secrets[obj]; live {
+		return Nil, fmt.Errorf("cap: object %d already live", obj)
+	}
+	t.secrets[obj] = secret
+	return t.scheme.Mint(t.server, obj, secret), nil
+}
+
+// allocLocked picks an unused 24-bit object number.
+func (t *Table) allocLocked() (uint32, error) {
+	if n := len(t.free); n > 0 {
+		obj := t.free[n-1]
+		t.free = t.free[:n-1]
+		return obj, nil
+	}
+	for tries := uint32(0); tries <= ObjectMask; tries++ {
+		obj := t.next & ObjectMask
+		t.next++
+		if _, live := t.secrets[obj]; !live {
+			return obj, nil
+		}
+	}
+	return 0, ErrTableFull
+}
+
+// Validate checks a presented capability: the object must exist here
+// (right server, live object number) and the scheme check must pass.
+// On success it returns the rights the capability conveys.
+func (t *Table) Validate(c Capability) (Rights, error) {
+	if c.Server != t.server {
+		return 0, fmt.Errorf("cap: capability for server %s presented to %s: %w",
+			c.Server, t.server, ErrInvalidCapability)
+	}
+	t.mu.RLock()
+	secret, ok := t.secrets[c.Object&ObjectMask]
+	t.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("cap: object %d: %w", c.Object, ErrNoSuchObject)
+	}
+	return t.scheme.Validate(c, secret)
+}
+
+// Demand validates c and then requires every right in need, returning
+// ErrPermission if any is missing. It is the one-call guard servers
+// put at the top of each operation.
+func (t *Table) Demand(c Capability, need Rights) (Rights, error) {
+	rights, err := t.Validate(c)
+	if err != nil {
+		return 0, err
+	}
+	if !rights.Has(need) {
+		return 0, fmt.Errorf("cap: have %s, need %s: %w", rights, need, ErrPermission)
+	}
+	return rights, nil
+}
+
+// ErrPermission is returned by Demand when the capability is genuine
+// but lacks a required right.
+var ErrPermission = errors.New("cap: permission denied")
+
+// Restrict fabricates a new capability for the same object carrying
+// rights ∩ mask, the server-side path: "the process must send the
+// capability back to the server along with a bit mask and a request to
+// fabricate a new capability with fewer rights."
+func (t *Table) Restrict(c Capability, mask Rights) (Capability, error) {
+	if c.Server != t.server {
+		return Nil, fmt.Errorf("cap: capability for server %s presented to %s: %w",
+			c.Server, t.server, ErrInvalidCapability)
+	}
+	t.mu.RLock()
+	secret, ok := t.secrets[c.Object&ObjectMask]
+	t.mu.RUnlock()
+	if !ok {
+		return Nil, fmt.Errorf("cap: object %d: %w", c.Object, ErrNoSuchObject)
+	}
+	return t.scheme.Restrict(c, mask, secret)
+}
+
+// Revoke implements §2.3 revocation: holders of the RightRevoke bit ask
+// the server to replace the object's random number; every outstanding
+// capability for the object is instantly invalidated and a fresh owner
+// capability is returned.
+func (t *Table) Revoke(c Capability) (Capability, error) {
+	if _, err := t.Demand(c, RightRevoke); err != nil {
+		return Nil, err
+	}
+	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
+	obj := c.Object & ObjectMask
+	t.mu.Lock()
+	if _, live := t.secrets[obj]; !live {
+		t.mu.Unlock()
+		return Nil, fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
+	}
+	t.secrets[obj] = secret
+	t.mu.Unlock()
+	return t.scheme.Mint(t.server, obj, secret), nil
+}
+
+// Destroy removes the object's entry entirely (the object is gone, not
+// just re-keyed). The capability must carry RightDestroy.
+func (t *Table) Destroy(c Capability) error {
+	if _, err := t.Demand(c, RightDestroy); err != nil {
+		return err
+	}
+	obj := c.Object & ObjectMask
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, live := t.secrets[obj]; !live {
+		return fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
+	}
+	delete(t.secrets, obj)
+	t.free = append(t.free, obj)
+	return nil
+}
+
+// DestroyObject removes an object by number without a capability
+// check; servers use it for internal garbage collection (e.g. the
+// multiversion server discarding an aborted version).
+func (t *Table) DestroyObject(obj uint32) error {
+	obj &= ObjectMask
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, live := t.secrets[obj]; !live {
+		return fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
+	}
+	delete(t.secrets, obj)
+	t.free = append(t.free, obj)
+	return nil
+}
+
+// Snapshot serializes the table's object secrets so a service can
+// persist them and, after a restart, honour capabilities it minted in
+// a previous life (a block server with a persistent disk needs this —
+// fresh random numbers would instantly revoke every stored block's
+// capability). The snapshot contains the secrets: protect it like the
+// objects themselves.
+func (t *Table) Snapshot() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buf := make([]byte, 0, 12+len(t.secrets)*12)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], tableSnapMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(t.secrets)))
+	binary.BigEndian.PutUint32(hdr[8:], t.next)
+	buf = append(buf, hdr[:]...)
+	for obj, secret := range t.secrets {
+		var e [12]byte
+		binary.BigEndian.PutUint32(e[0:], obj)
+		binary.BigEndian.PutUint64(e[4:], secret)
+		buf = append(buf, e[:]...)
+	}
+	return buf
+}
+
+const tableSnapMagic = 0xA0EB7AB1
+
+// Restore rebuilds the secrets from a Snapshot, replacing any current
+// contents. The scheme and server port must match the snapshotting
+// table's or restored capabilities will not validate.
+func (t *Table) Restore(data []byte) error {
+	if len(data) < 12 || binary.BigEndian.Uint32(data) != tableSnapMagic {
+		return errors.New("cap: not a table snapshot")
+	}
+	n := binary.BigEndian.Uint32(data[4:])
+	next := binary.BigEndian.Uint32(data[8:])
+	if uint32(len(data)-12) != n*12 {
+		return fmt.Errorf("cap: snapshot truncated: %d entries, %d bytes", n, len(data))
+	}
+	secrets := make(map[uint32]uint64, n)
+	for i := uint32(0); i < n; i++ {
+		e := data[12+i*12:]
+		secrets[binary.BigEndian.Uint32(e)] = binary.BigEndian.Uint64(e[4:])
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.secrets = secrets
+	t.next = next
+	t.free = nil
+	return nil
+}
+
+// Objects returns the live object numbers (unordered). Servers use it
+// after Restore to rebuild their own per-object state indexes.
+func (t *Table) Objects() []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]uint32, 0, len(t.secrets))
+	for obj := range t.secrets {
+		out = append(out, obj)
+	}
+	return out
+}

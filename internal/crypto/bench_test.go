@@ -1,0 +1,126 @@
+package crypto
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Per-primitive costs feeding the experiment tables: the F-box pays
+// one OneWay per transformed field, scheme 1 pays two Feistel blocks,
+// scheme 3 pays one modular exponentiation per deleted right.
+
+var benchSink uint64
+
+func BenchmarkOneWay(b *testing.B) {
+	for _, f := range []OneWay{SHA48{}, SHA48{Tag: 1}, Purdy{}} {
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			x := uint64(0x1234)
+			for i := 0; i < b.N; i++ {
+				x = f.F(x)
+			}
+			benchSink = x
+		})
+	}
+}
+
+func BenchmarkFeistelEncrypt(b *testing.B) {
+	for _, bitsN := range []int{56, 64} {
+		f, err := NewFeistelBlock([]byte("bench key"), bitsN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("block=%d", bitsN), func(b *testing.B) {
+			b.ReportAllocs()
+			x := uint64(0x5a5a5a5a)
+			for i := 0; i < b.N; i++ {
+				x = f.Encrypt(x)
+			}
+			benchSink = x
+		})
+	}
+}
+
+func BenchmarkFeistelKeySchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFeistelUint64(uint64(i))
+		benchSink = f.Encrypt(0)
+	}
+}
+
+func BenchmarkCommutativeApply(b *testing.B) {
+	c := DefaultCommutative()
+	x := c.SampleDomain(0xBEEF)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = c.Apply(i%c.Size(), x)
+	}
+	benchSink = x
+}
+
+func BenchmarkCommutativeApplySet(b *testing.B) {
+	c := DefaultCommutative()
+	x := c.SampleDomain(0xBEEF)
+	for _, bits := range []uint64{0x01, 0x0F, 0xFF} {
+		b.Run(fmt.Sprintf("mask=%02x", bits), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink = c.ApplySet(bits, x)
+			}
+		})
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	b.ReportAllocs()
+	x := uint64(0x123456789)
+	for i := 0; i < b.N; i++ {
+		x = MulMod(x, 0x9e3779b97f4a7c15, purdyP)
+	}
+	benchSink = x
+}
+
+func BenchmarkRSA(b *testing.B) {
+	key, err := GenerateRSA(1024, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("conventional key")
+	ct, err := key.RSAPublicKey.Encrypt(nil, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encrypt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := key.RSAPublicKey.Encrypt(nil, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decrypt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Decrypt(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSeededSource(b *testing.B) {
+	s := NewSeededSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = s.Uint64()
+	}
+}
+
+func BenchmarkSystemSource(b *testing.B) {
+	s := SystemSource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = s.Uint64()
+	}
+}

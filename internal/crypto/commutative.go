@@ -1,0 +1,149 @@
+package crypto
+
+import "fmt"
+
+// Commutative is a family of N pairwise-commuting one-way functions
+// F0..F(N-1) on 48-bit values, as required by rights-protection scheme
+// 3 (§2.3): a client deletes right k from a capability by replacing the
+// check field R with Fk(R), with no server round trip; the server
+// re-applies the functions for every cleared rights bit and compares.
+// Commutativity (Fi∘Fj = Fj∘Fi) makes the result independent of the
+// order in which rights were deleted.
+//
+// The construction is the classic one from the literature the paper
+// cites (Mullender's thesis): modular exponentiation to fixed distinct
+// prime exponents over a fixed RSA-style modulus n = p*q whose
+// factorization is discarded,
+//
+//	Fk(x) = x^{e_k} mod n.
+//
+// Exponentiation commutes ((x^a)^b = x^{ab} = (x^b)^a), and computing
+// e_k-th roots modulo a composite of unknown factorization is the RSA
+// problem. Because the paper fixes the check field at 48 bits, the
+// default modulus also fits in 48 bits — trivially factorable by a
+// modern adversary, but exactly as strong as the 48-bit sparseness that
+// protects every other part of the design. NewCommutative accepts any
+// modulus so deployments with wider check fields can use real RSA
+// moduli.
+type Commutative struct {
+	n    uint64   // composite modulus, fits in 48 bits for the default
+	exps []uint64 // one exponent per rights bit, pairwise coprime primes
+}
+
+// DefaultModulus48 is the default scheme-3 modulus: the product of the
+// two 24-bit primes 16777213 and 16777199 (the two largest primes below
+// 2^24), giving a 48-bit semiprime. The factorization above is of
+// course public here; see the Commutative doc for the security
+// discussion.
+const DefaultModulus48 = uint64(16777213) * 16777199
+
+// NewCommutative returns a commutative family of nfuncs functions over
+// the given modulus. The modulus must be odd and > 3; nfuncs must be
+// between 1 and 64. The exponents are the first nfuncs odd primes,
+// skipping any that divide lambda (pass λ(n) = lcm(p-1, q-1) if known
+// so that every F_k is a permutation of the units; pass 0 if λ is
+// unknown — validation only requires determinism, not bijectivity).
+func NewCommutative(modulus uint64, nfuncs int, lambda uint64) (*Commutative, error) {
+	if modulus <= 3 || modulus%2 == 0 {
+		return nil, fmt.Errorf("crypto: commutative modulus must be odd and > 3, got %d", modulus)
+	}
+	if nfuncs < 1 || nfuncs > 64 {
+		return nil, fmt.Errorf("crypto: commutative family size must be in [1,64], got %d", nfuncs)
+	}
+	exps := make([]uint64, 0, nfuncs)
+	for p := uint64(5); len(exps) < nfuncs; p += 2 {
+		if !isSmallPrime(p) {
+			continue
+		}
+		if lambda != 0 && lambda%p == 0 {
+			continue // p divides λ(n): x^p would not permute the units
+		}
+		exps = append(exps, p)
+	}
+	return &Commutative{n: modulus, exps: exps}, nil
+}
+
+// DefaultCommutative returns the family used by capability scheme 3:
+// eight functions (one per rights bit) over DefaultModulus48, with
+// exponents chosen coprime to λ(n) so each is a permutation.
+func DefaultCommutative() *Commutative {
+	c, err := NewCommutative(DefaultModulus48, 8, Lambda24())
+	if err != nil {
+		// The default parameters are compile-time constants that satisfy
+		// NewCommutative's contract; failure is a programming error.
+		panic("crypto: default commutative family invalid: " + err.Error())
+	}
+	return c
+}
+
+// Size returns the number of functions in the family.
+func (c *Commutative) Size() int { return len(c.exps) }
+
+// Modulus returns the family's modulus.
+func (c *Commutative) Modulus() uint64 { return c.n }
+
+// Apply returns Fk(x) = x^{e_k} mod n. k must be in [0, Size()).
+func (c *Commutative) Apply(k int, x uint64) uint64 {
+	return PowMod(x%c.n, c.exps[k], c.n)
+}
+
+// ApplySet applies Fk for every set bit k of mask, in ascending bit
+// order; by commutativity the order is irrelevant. Bits at or above
+// Size() must be clear.
+func (c *Commutative) ApplySet(mask uint64, x uint64) uint64 {
+	x %= c.n
+	for k := 0; mask != 0; k++ {
+		if mask&1 == 1 {
+			x = PowMod(x, c.exps[k], c.n)
+		}
+		mask >>= 1
+	}
+	return x
+}
+
+// SampleDomain maps an arbitrary 48-bit random value into the usable
+// domain: a unit of Z_n in [2, n-1]. Servers mint object random
+// numbers through this so that repeated application of the family never
+// collapses to the fixed points 0 and 1.
+func (c *Commutative) SampleDomain(r uint64) uint64 {
+	x := r % (c.n - 3) // [0, n-4]
+	x += 2             // [2, n-2]
+	for gcd(x, c.n) != 1 {
+		x++
+		if x >= c.n-1 {
+			x = 2
+		}
+	}
+	return x
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// isSmallPrime reports whether p is prime, by trial division; used only
+// for generating small exponent tables at construction time.
+func isSmallPrime(p uint64) bool {
+	if p < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lambda24 reports λ(n) for the default modulus so tests can verify
+// that the default exponents are coprime to it: λ(pq) = lcm(p-1, q-1).
+func Lambda24() uint64 {
+	const p, q = uint64(16777213), uint64(16777199)
+	return (p - 1) / gcd(p-1, q-1) * (q - 1)
+}
+
+// Exponent returns e_k, exported for experiment output.
+func (c *Commutative) Exponent(k int) uint64 { return c.exps[k] }

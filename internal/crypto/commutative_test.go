@@ -1,0 +1,157 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommutativePairwise(t *testing.T) {
+	c := DefaultCommutative()
+	x := c.SampleDomain(0xdeadbeef)
+	for i := 0; i < c.Size(); i++ {
+		for j := 0; j < c.Size(); j++ {
+			ij := c.Apply(i, c.Apply(j, x))
+			ji := c.Apply(j, c.Apply(i, x))
+			if ij != ji {
+				t.Fatalf("F%d∘F%d ≠ F%d∘F%d at x=%d: %d vs %d", i, j, j, i, x, ij, ji)
+			}
+		}
+	}
+}
+
+func TestCommutativeAnyOrderProperty(t *testing.T) {
+	// The core scheme-3 invariant: applying any subset of the family in
+	// any order gives the same result as ApplySet with that subset.
+	c := DefaultCommutative()
+	prop := func(seed uint64, mask uint8, perm uint8) bool {
+		x := c.SampleDomain(seed)
+		want := c.ApplySet(uint64(mask), x)
+		// Apply the same set bits in a rotated order.
+		got := x
+		order := make([]int, 0, 8)
+		for k := 0; k < 8; k++ {
+			if mask&(1<<k) != 0 {
+				order = append(order, k)
+			}
+		}
+		rot := 0
+		if len(order) > 0 {
+			rot = int(perm) % len(order)
+		}
+		for i := range order {
+			got = c.Apply(order[(i+rot)%len(order)], got)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativeApplySetEmptyMask(t *testing.T) {
+	c := DefaultCommutative()
+	x := c.SampleDomain(42)
+	if got := c.ApplySet(0, x); got != x {
+		t.Fatalf("ApplySet(0, x) = %d, want x = %d", got, x)
+	}
+}
+
+func TestCommutativeOutputsStayInDomain(t *testing.T) {
+	c := DefaultCommutative()
+	prop := func(seed uint64, k uint8) bool {
+		x := c.SampleDomain(seed)
+		y := c.Apply(int(k)%c.Size(), x)
+		return y < c.Modulus() && y&^Mask48 == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativeIsPermutationOnUnits(t *testing.T) {
+	// With gcd(e_k, λ(n)) = 1 each F_k permutes the units; check the
+	// default exponents are coprime to λ(n) and spot-check injectivity.
+	lam := Lambda24()
+	c := DefaultCommutative()
+	for k := 0; k < c.Size(); k++ {
+		if gcd(c.Exponent(k), lam) != 1 {
+			t.Errorf("exponent e_%d = %d shares a factor with λ(n) = %d", k, c.Exponent(k), lam)
+		}
+	}
+	seen := make(map[uint64]uint64, 2000)
+	for seed := uint64(0); seed < 2000; seed++ {
+		x := c.SampleDomain(seed*7919 + 1)
+		y := c.Apply(0, x)
+		if prev, dup := seen[y]; dup && prev != x {
+			t.Fatalf("F0 not injective: F0(%d) = F0(%d) = %d", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+func TestSampleDomainCoprime(t *testing.T) {
+	c := DefaultCommutative()
+	prop := func(r uint64) bool {
+		x := c.SampleDomain(r)
+		return x >= 2 && x < c.Modulus() && gcd(x, c.Modulus()) == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCommutativeValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		modulus uint64
+		nfuncs  int
+		wantErr bool
+	}{
+		{"even modulus", 100, 4, true},
+		{"tiny modulus", 3, 4, true},
+		{"zero funcs", DefaultModulus48, 0, true},
+		{"too many funcs", DefaultModulus48, 65, true},
+		{"valid", DefaultModulus48, 8, false},
+		{"single func", 15, 1, false},
+		{"max funcs", DefaultModulus48, 64, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCommutative(tc.modulus, tc.nfuncs, 0)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewCommutative(%d, %d) error = %v, wantErr %v", tc.modulus, tc.nfuncs, err, tc.wantErr)
+			}
+			if err == nil && c.Size() != tc.nfuncs {
+				t.Errorf("Size() = %d, want %d", c.Size(), tc.nfuncs)
+			}
+		})
+	}
+}
+
+func TestDefaultModulusIsTheDocumentedSemiprime(t *testing.T) {
+	const p, q = uint64(16777213), uint64(16777199)
+	if !isSmallPrime(p) || !isSmallPrime(q) {
+		t.Fatal("documented factors are not prime")
+	}
+	if DefaultModulus48 != p*q {
+		t.Fatalf("DefaultModulus48 = %d, want %d", DefaultModulus48, p*q)
+	}
+	if DefaultModulus48&^Mask48 != 0 {
+		t.Fatal("default modulus does not fit in 48 bits")
+	}
+}
+
+func TestCommutativeExponentsAreDistinctPrimes(t *testing.T) {
+	c := DefaultCommutative()
+	seen := map[uint64]bool{}
+	for k := 0; k < c.Size(); k++ {
+		e := c.Exponent(k)
+		if !isSmallPrime(e) {
+			t.Errorf("exponent %d not prime", e)
+		}
+		if seen[e] {
+			t.Errorf("exponent %d repeated", e)
+		}
+		seen[e] = true
+	}
+}

@@ -1,0 +1,21 @@
+// Package crypto provides the cryptographic primitives that the Amoeba
+// sparse-capability design builds on: public one-way functions (used by
+// the F-box port transformation and by rights-protection scheme 2), a
+// family of commutative one-way functions (rights-protection scheme 3),
+// a 64-bit block cipher (rights-protection scheme 1 and the §2.4 key
+// matrix), textbook RSA (the §2.4 public-key bootstrap handshake), and
+// randomness sources for minting sparse values.
+//
+// Everything here is implemented from scratch on the Go standard
+// library. The primitives are parameterized so that tests can run with
+// small, fast instances while the defaults match the paper's field
+// widths (48-bit ports and check fields).
+//
+// Security note: the paper's protection rests on *sparseness* — an
+// intruder must guess a 48-bit value to forge anything. 48-bit
+// primitives are not cryptographically strong by modern standards; the
+// library faithfully reproduces the 1986 design rather than hardening
+// it. The one place this matters is the commutative family (scheme 3),
+// whose modulus fits in the 48-bit check field and could be factored by
+// a modern adversary; see Commutative for discussion.
+package crypto

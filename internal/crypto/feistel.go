@@ -1,0 +1,182 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockCipher64 is a keyed permutation of 64-bit blocks. Scheme 1
+// encrypts the concatenated RIGHTS (8 bits) and known-constant (48
+// bits) fields — 56 bits, carried in a 64-bit block — under a
+// per-object key; the §2.4 key matrix encrypts whole capabilities block
+// by block under per-(source, destination) keys. The paper used DES;
+// any 64-bit block cipher that "mixes the bits thoroughly" serves.
+type BlockCipher64 interface {
+	Encrypt(block uint64) uint64
+	Decrypt(block uint64) uint64
+	Name() string
+}
+
+// Feistel is a 16-round balanced Feistel cipher with a SHA-256-based
+// round function, on blocks of 2k bits for any k in [8, 32] (so block
+// sizes 16..64 bits, even). It is the library's stand-in for DES:
+// structurally faithful (16-round Feistel), thoroughly mixing, and a
+// permutation by construction for any round function. Rights-protection
+// scheme 1 uses a 56-bit block (8 rights bits ∥ 48-bit constant); the
+// §2.4 key matrix uses 64-bit blocks.
+type Feistel struct {
+	subkeys   [feistelRounds][32]byte
+	halfBits  uint   // k: bits per half
+	halfMask  uint32 // (1<<k)-1
+	blockBits int
+}
+
+const feistelRounds = 16
+
+var _ BlockCipher64 = (*Feistel)(nil)
+
+// NewFeistel derives 16 round subkeys from an arbitrary-length key and
+// returns a 64-bit-block cipher.
+func NewFeistel(key []byte) *Feistel {
+	f, err := NewFeistelBlock(key, 64)
+	if err != nil {
+		panic("crypto: NewFeistel: " + err.Error()) // 64 always valid
+	}
+	return f
+}
+
+// NewFeistelBlock is NewFeistel with an explicit block size in bits.
+// blockBits must be even and in [16, 64].
+func NewFeistelBlock(key []byte, blockBits int) (*Feistel, error) {
+	if blockBits < 16 || blockBits > 64 || blockBits%2 != 0 {
+		return nil, fmt.Errorf("crypto: Feistel block size must be even and in [16,64], got %d", blockBits)
+	}
+	f := &Feistel{
+		halfBits:  uint(blockBits / 2),
+		blockBits: blockBits,
+	}
+	f.halfMask = uint32((uint64(1) << f.halfBits) - 1)
+	h := sha256.Sum256(key)
+	for r := 0; r < feistelRounds; r++ {
+		var buf [34]byte
+		copy(buf[:32], h[:])
+		buf[32] = byte(r)
+		buf[33] = byte(blockBits) // bind subkeys to the block size
+		f.subkeys[r] = sha256.Sum256(buf[:])
+	}
+	return f, nil
+}
+
+// NewFeistelUint64 is a convenience for fixed-width keys (per-object
+// random numbers are 48-bit values).
+func NewFeistelUint64(key uint64) *Feistel {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], key)
+	return NewFeistel(buf[:])
+}
+
+// NewFeistelUint64Block combines NewFeistelUint64 and NewFeistelBlock.
+func NewFeistelUint64Block(key uint64, blockBits int) (*Feistel, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], key)
+	return NewFeistelBlock(buf[:], blockBits)
+}
+
+// BlockBits returns the cipher's block size in bits.
+func (f *Feistel) BlockBits() int { return f.blockBits }
+
+// round is the Feistel round function: the low k bits of
+// SHA-256(subkey ∥ half).
+func (f *Feistel) round(r int, half uint32) uint32 {
+	var buf [36]byte
+	copy(buf[:32], f.subkeys[r][:])
+	binary.BigEndian.PutUint32(buf[32:], half)
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint32(sum[:4]) & f.halfMask
+}
+
+// Encrypt implements BlockCipher64. Bits of the input above the block
+// size are ignored; the output always fits in the block size.
+func (f *Feistel) Encrypt(block uint64) uint64 {
+	l := uint32(block>>f.halfBits) & f.halfMask
+	r := uint32(block) & f.halfMask
+	for i := 0; i < feistelRounds; i++ {
+		l, r = r, l^f.round(i, r)
+	}
+	// Swap halves on output, the standard final-permutation trick that
+	// makes decryption the same network with reversed subkeys.
+	return uint64(r)<<f.halfBits | uint64(l)
+}
+
+// Decrypt implements BlockCipher64.
+func (f *Feistel) Decrypt(block uint64) uint64 {
+	l := uint32(block>>f.halfBits) & f.halfMask
+	r := uint32(block) & f.halfMask
+	for i := feistelRounds - 1; i >= 0; i-- {
+		l, r = r, l^f.round(i, r)
+	}
+	return uint64(r)<<f.halfBits | uint64(l)
+}
+
+// Name implements BlockCipher64.
+func (f *Feistel) Name() string { return "feistel16-sha256" }
+
+// XORCipher is the deliberately broken cipher the paper warns about:
+// "EXCLUSIVE-OR'ing a constant with the concatenated RIGHTS and RANDOM
+// fields will not do." It is provided solely so experiment E2 can
+// demonstrate the attack: flipping a rights bit in the ciphertext flips
+// exactly that bit in the plaintext without disturbing the known
+// constant, so tampering goes undetected.
+type XORCipher struct {
+	// Pad is the 64-bit XOR pad acting as the "key".
+	Pad uint64
+}
+
+var _ BlockCipher64 = XORCipher{}
+
+// Encrypt implements BlockCipher64.
+func (c XORCipher) Encrypt(block uint64) uint64 { return block ^ c.Pad }
+
+// Decrypt implements BlockCipher64.
+func (c XORCipher) Decrypt(block uint64) uint64 { return block ^ c.Pad }
+
+// Name implements BlockCipher64.
+func (c XORCipher) Name() string { return "xor (insecure)" }
+
+// CipherFactory constructs a BlockCipher64 from a 64-bit key. The
+// capability schemes and the key matrix are parameterized by a factory
+// so experiments can swap ciphers.
+type CipherFactory func(key uint64) BlockCipher64
+
+// FeistelFactory is the default CipherFactory.
+func FeistelFactory(key uint64) BlockCipher64 { return NewFeistelUint64(key) }
+
+// XORFactory builds the insecure XOR cipher; for experiment E2 only.
+func XORFactory(key uint64) BlockCipher64 { return XORCipher{Pad: key} }
+
+// EncryptBytes applies the cipher in ECB fashion over an 8-byte-aligned
+// buffer. The §2.4 key matrix encrypts 16-byte capabilities as two
+// blocks. ECB over two high-entropy blocks (each contains part of a
+// 48-bit sparse value) matches the paper's "encrypt the capabilities in
+// any message" without inventing modes the paper does not discuss.
+func EncryptBytes(c BlockCipher64, buf []byte) error {
+	if len(buf)%8 != 0 {
+		return fmt.Errorf("crypto: EncryptBytes needs 8-byte-aligned buffer, got %d bytes", len(buf))
+	}
+	for i := 0; i < len(buf); i += 8 {
+		binary.BigEndian.PutUint64(buf[i:], c.Encrypt(binary.BigEndian.Uint64(buf[i:])))
+	}
+	return nil
+}
+
+// DecryptBytes inverts EncryptBytes.
+func DecryptBytes(c BlockCipher64, buf []byte) error {
+	if len(buf)%8 != 0 {
+		return fmt.Errorf("crypto: DecryptBytes needs 8-byte-aligned buffer, got %d bytes", len(buf))
+	}
+	for i := 0; i < len(buf); i += 8 {
+		binary.BigEndian.PutUint64(buf[i:], c.Decrypt(binary.BigEndian.Uint64(buf[i:])))
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package crypto
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFeistelRoundTrip(t *testing.T) {
+	f := NewFeistelUint64(0x1234567890ab)
+	prop := func(block uint64) bool { return f.Decrypt(f.Encrypt(block)) == block }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeistelKeysDiffer(t *testing.T) {
+	a := NewFeistelUint64(1)
+	b := NewFeistelUint64(2)
+	same := 0
+	for x := uint64(0); x < 256; x++ {
+		if a.Encrypt(x) == b.Encrypt(x) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different keys agreed on %d/256 blocks", same)
+	}
+}
+
+func TestFeistelAvalanche(t *testing.T) {
+	// Flipping one plaintext bit should flip roughly half the
+	// ciphertext bits — the paper's "mixes the bits thoroughly".
+	f := NewFeistelUint64(0xfeedface)
+	totalFlips := 0
+	const trials = 256
+	for i := 0; i < trials; i++ {
+		x := uint64(i) * 0x9e3779b97f4a7c15
+		c0 := f.Encrypt(x)
+		c1 := f.Encrypt(x ^ 1<<(i%64))
+		totalFlips += bits.OnesCount64(c0 ^ c1)
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f bits flipped of 64; want ≈32", avg)
+	}
+}
+
+func TestFeistelVariableLengthKeys(t *testing.T) {
+	a := NewFeistel([]byte("short"))
+	b := NewFeistel([]byte("a considerably longer key with more than thirty-two bytes in it"))
+	if a.Encrypt(42) == b.Encrypt(42) {
+		t.Fatal("distinct string keys produced equal ciphertext")
+	}
+	if got := a.Decrypt(a.Encrypt(42)); got != 42 {
+		t.Fatalf("round trip failed: %d", got)
+	}
+}
+
+func TestXORCipherRoundTrip(t *testing.T) {
+	c := XORCipher{Pad: 0xabcdef}
+	prop := func(block uint64) bool { return c.Decrypt(c.Encrypt(block)) == block }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORCipherIsMalleable(t *testing.T) {
+	// The property the paper warns about: bit flips in ciphertext
+	// translate to the same bit flips in plaintext.
+	c := XORCipher{Pad: 0x1122334455667788}
+	pt := uint64(0x00ff00ff00ff00ff)
+	ct := c.Encrypt(pt)
+	tampered := c.Decrypt(ct ^ (1 << 50))
+	if tampered != pt^(1<<50) {
+		t.Fatal("XOR cipher unexpectedly non-malleable")
+	}
+}
+
+func TestFeistelIsNotMalleable(t *testing.T) {
+	// Contrast with XOR: a ciphertext bit flip scrambles the plaintext.
+	f := NewFeistelUint64(0x1122334455667788)
+	pt := uint64(0x00ff00ff00ff00ff)
+	ct := f.Encrypt(pt)
+	tampered := f.Decrypt(ct ^ (1 << 50))
+	if tampered == pt^(1<<50) || tampered == pt {
+		t.Fatal("Feistel behaved malleably under a ciphertext bit flip")
+	}
+	if n := bits.OnesCount64(tampered ^ pt); n < 16 {
+		t.Fatalf("ciphertext bit flip changed only %d plaintext bits", n)
+	}
+}
+
+func TestEncryptDecryptBytes(t *testing.T) {
+	f := NewFeistelUint64(99)
+	msg := []byte("sixteen by bytes") // 16 bytes, two blocks
+	buf := append([]byte(nil), msg...)
+	if err := EncryptBytes(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, msg) {
+		t.Fatal("encryption left buffer unchanged")
+	}
+	if err := DecryptBytes(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("round trip mismatch: %q", buf)
+	}
+}
+
+func TestEncryptBytesAlignment(t *testing.T) {
+	f := NewFeistelUint64(1)
+	if err := EncryptBytes(f, make([]byte, 7)); err == nil {
+		t.Error("EncryptBytes accepted a 7-byte buffer")
+	}
+	if err := DecryptBytes(f, make([]byte, 9)); err == nil {
+		t.Error("DecryptBytes accepted a 9-byte buffer")
+	}
+	if err := EncryptBytes(f, nil); err != nil {
+		t.Errorf("EncryptBytes(nil) = %v, want nil (zero blocks)", err)
+	}
+}
+
+func TestCipherFactories(t *testing.T) {
+	if FeistelFactory(5).Name() != "feistel16-sha256" {
+		t.Error("FeistelFactory wrong cipher")
+	}
+	if XORFactory(5).Name() != "xor (insecure)" {
+		t.Error("XORFactory wrong cipher")
+	}
+	if XORFactory(7).Encrypt(0) != 7 {
+		t.Error("XORFactory did not key the pad")
+	}
+}
+
+func TestFeistelBlockSizes(t *testing.T) {
+	for _, bitsN := range []int{16, 24, 48, 56, 64} {
+		f, err := NewFeistelBlock([]byte("key"), bitsN)
+		if err != nil {
+			t.Fatalf("block %d: %v", bitsN, err)
+		}
+		if f.BlockBits() != bitsN {
+			t.Fatalf("BlockBits = %d, want %d", f.BlockBits(), bitsN)
+		}
+		mask := uint64(1)<<uint(bitsN) - 1
+		if bitsN == 64 {
+			mask = ^uint64(0)
+		}
+		for x := uint64(0); x < 1000; x++ {
+			v := x * 0x9e3779b97f4a7c15 & mask
+			ct := f.Encrypt(v)
+			if ct&^mask != 0 {
+				t.Fatalf("block %d: ciphertext %#x exceeds block", bitsN, ct)
+			}
+			if got := f.Decrypt(ct); got != v {
+				t.Fatalf("block %d: round trip %#x -> %#x", bitsN, v, got)
+			}
+		}
+	}
+}
+
+func TestFeistelBlockSizeValidation(t *testing.T) {
+	for _, bad := range []int{0, 8, 15, 17, 66, -2} {
+		if _, err := NewFeistelBlock([]byte("k"), bad); err == nil {
+			t.Errorf("NewFeistelBlock accepted block size %d", bad)
+		}
+	}
+}
+
+func TestFeistelBlockSizesIndependent(t *testing.T) {
+	// Same key, different block sizes must not produce related outputs.
+	f56, err := NewFeistelBlock([]byte("k"), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64 := NewFeistel([]byte("k"))
+	if f56.Encrypt(12345) == f64.Encrypt(12345)&(1<<56-1) {
+		t.Fatal("block sizes share keystream structure")
+	}
+}
+
+func TestFeistelHighInputBitsIgnored(t *testing.T) {
+	f, err := NewFeistelBlock([]byte("k"), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Encrypt(5) != f.Encrypt(5|1<<60) {
+		t.Fatal("bits above block size affected ciphertext")
+	}
+}

@@ -1,0 +1,142 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+)
+
+// Mask48 selects the low 48 bits of a uint64. Ports, check fields and
+// signatures in the paper are 48-bit quantities carried here in the low
+// bits of a uint64.
+const Mask48 = (uint64(1) << 48) - 1
+
+// OneWay is a public one-way function on 48-bit values, the F of the
+// paper: given G it is straightforward to compute P = F(G), but given P
+// it is infeasible to find G. The F-box applies it to get-ports,
+// reply ports, and signatures; rights-protection scheme 2 applies it to
+// the object random number XORed with the rights byte.
+//
+// Implementations must be deterministic and must only produce values
+// with the high 16 bits clear.
+type OneWay interface {
+	// F maps a 48-bit value to a 48-bit value.
+	F(x uint64) uint64
+	// Name identifies the function (for tooling and experiment output).
+	Name() string
+}
+
+// SHA48 is the default OneWay: SHA-256 over the 8-byte big-endian
+// encoding of the input together with a fixed domain-separation tag,
+// truncated to 48 bits. Preimage resistance reduces to that of
+// SHA-256.
+type SHA48 struct {
+	// Tag separates independent uses of the function (port transform
+	// vs. signature transform vs. capability check). Distinct tags
+	// give independent random oracles. The zero value is usable.
+	Tag byte
+}
+
+var _ OneWay = SHA48{}
+
+// F implements OneWay.
+func (s SHA48) F(x uint64) uint64 {
+	var buf [9]byte
+	buf[0] = s.Tag
+	binary.BigEndian.PutUint64(buf[1:], x&Mask48)
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8]) & Mask48
+}
+
+// Name implements OneWay.
+func (s SHA48) Name() string {
+	if s.Tag == 0 {
+		return "sha48"
+	}
+	return "sha48/" + string('0'+s.Tag%10)
+}
+
+// Purdy is a historical one-way function in the style of Purdy (1974),
+// which the paper cites: a sparse high-degree polynomial over GF(p),
+//
+//	F(x) = x^e + a4*x^4 + a3*x^3 + a2*x^2 + a1*x + a0  (mod p)
+//
+// with p a prime just below 2^48 and e a large exponent chosen so that
+// inverting requires root-finding of an astronomically high-degree
+// polynomial. Purdy used p = 2^64 - 59; we use the largest prime below
+// 2^48 so the output fits the paper's 48-bit fields.
+//
+// Purdy is included for fidelity to the 1986 toolbox and for the
+// experiment comparing one-way function costs; SHA48 is the default.
+type Purdy struct{}
+
+var _ OneWay = Purdy{}
+
+// purdyP is the largest prime below 2^48: 2^48 - 59.
+const purdyP = (uint64(1) << 48) - 59
+
+// purdyExp is the large exponent of the leading term. Purdy suggests
+// e = 2^24 + 17 scale; gcd(e, p-1) need not be 1 (the function need
+// not be a permutation, only hard to invert).
+const purdyExp = (uint64(1) << 24) + 17
+
+// Polynomial coefficients: arbitrary odd constants, fixed for all time
+// ("nothing up my sleeve": decimal digits of pi).
+const (
+	purdyA4 = 3141592653589793 % purdyP
+	purdyA3 = 2384626433832795 % purdyP
+	purdyA2 = 288419716939937 % purdyP
+	purdyA1 = 5105820974944592 % purdyP
+	purdyA0 = 3078164062862089 % purdyP
+)
+
+// F implements OneWay.
+func (Purdy) F(x uint64) uint64 {
+	x &= Mask48
+	x %= purdyP
+	r := PowMod(x, purdyExp, purdyP)
+	x2 := MulMod(x, x, purdyP)
+	x3 := MulMod(x2, x, purdyP)
+	x4 := MulMod(x3, x, purdyP)
+	r = addMod(r, MulMod(purdyA4, x4, purdyP), purdyP)
+	r = addMod(r, MulMod(purdyA3, x3, purdyP), purdyP)
+	r = addMod(r, MulMod(purdyA2, x2, purdyP), purdyP)
+	r = addMod(r, MulMod(purdyA1, x, purdyP), purdyP)
+	r = addMod(r, purdyA0, purdyP)
+	return r & Mask48
+}
+
+// Name implements OneWay.
+func (Purdy) Name() string { return "purdy48" }
+
+// MulMod returns a*b mod m using a 128-bit intermediate product, for
+// any m > 0. It never overflows.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// PowMod returns base^exp mod m by square-and-multiply. m must be > 1.
+func PowMod(base, exp, m uint64) uint64 {
+	base %= m
+	result := uint64(1) % m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod(result, base, m)
+		}
+		base = MulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+func addMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 || s >= m {
+		s -= m
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSHA48Deterministic(t *testing.T) {
+	f := SHA48{}
+	if f.F(12345) != f.F(12345) {
+		t.Fatal("SHA48 not deterministic")
+	}
+}
+
+func TestSHA48Output48Bits(t *testing.T) {
+	f := SHA48{}
+	prop := func(x uint64) bool { return f.F(x)&^Mask48 == 0 }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHA48IgnoresHighBits(t *testing.T) {
+	// Inputs are 48-bit quantities; high input bits must not matter.
+	f := SHA48{}
+	prop := func(x uint64) bool { return f.F(x) == f.F(x&Mask48) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHA48TagsAreIndependent(t *testing.T) {
+	a, b := SHA48{Tag: 1}, SHA48{Tag: 2}
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.F(x) == b.F(x) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("tagged SHA48 collided on %d/1000 inputs; tags not separating domains", same)
+	}
+}
+
+func TestSHA48NoTrivialFixedPoint(t *testing.T) {
+	f := SHA48{}
+	for _, x := range []uint64{0, 1, Mask48} {
+		if f.F(x) == x {
+			t.Errorf("F(%#x) = %#x is a fixed point", x, x)
+		}
+	}
+}
+
+func TestPurdyOutput48Bits(t *testing.T) {
+	f := Purdy{}
+	prop := func(x uint64) bool { return f.F(x)&^Mask48 == 0 }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurdyDeterministicAndSpreading(t *testing.T) {
+	f := Purdy{}
+	seen := make(map[uint64]int, 4096)
+	for x := uint64(0); x < 4096; x++ {
+		y := f.F(x)
+		if y2 := f.F(x); y2 != y {
+			t.Fatalf("Purdy not deterministic at %d: %d vs %d", x, y, y2)
+		}
+		seen[y]++
+	}
+	// A degree-2^24 polynomial over a 48-bit field should essentially
+	// never collide on 4096 consecutive inputs.
+	if len(seen) < 4090 {
+		t.Fatalf("Purdy collided heavily: %d distinct outputs of 4096", len(seen))
+	}
+}
+
+func TestOneWayNames(t *testing.T) {
+	if (SHA48{}).Name() != "sha48" {
+		t.Errorf("SHA48 name = %q", SHA48{}.Name())
+	}
+	if (Purdy{}).Name() != "purdy48" {
+		t.Errorf("Purdy name = %q", Purdy{}.Name())
+	}
+	if (SHA48{Tag: 3}).Name() == "sha48" {
+		t.Error("tagged SHA48 should not share the untagged name")
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	tests := []struct {
+		a, b, m, want uint64
+	}{
+		{0, 0, 1, 0},
+		{7, 8, 5, 1},
+		{Mask48, Mask48, purdyP, func() uint64 {
+			// (2^48-1)^2 mod (2^48-59): compute independently via
+			// (m+58)^2 = m^2 + 116m + 3364 ≡ 3364 (mod m).
+			return 3364 % purdyP
+		}()},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 58, 58 * 58},
+	}
+	for _, tc := range tests {
+		if got := MulMod(tc.a, tc.b, tc.m); got != tc.want {
+			t.Errorf("MulMod(%d,%d,%d) = %d, want %d", tc.a, tc.b, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestMulModMatchesNaive(t *testing.T) {
+	// For small operands the naive product fits in uint64; cross-check.
+	prop := func(a, b uint32, m uint32) bool {
+		if m == 0 {
+			m = 1
+		}
+		return MulMod(uint64(a), uint64(b), uint64(m)) == uint64(a)*uint64(b)%uint64(m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	tests := []struct {
+		b, e, m, want uint64
+	}{
+		{2, 10, 1 << 20, 1024},
+		{3, 0, 7, 1},
+		{0, 5, 7, 0},
+		{5, 1, 7, 5},
+		{2, 64, 1<<61 - 1, PowMod(PowMod(2, 32, 1<<61-1), 2, 1<<61-1)},
+	}
+	for _, tc := range tests {
+		if got := PowMod(tc.b, tc.e, tc.m); got != tc.want {
+			t.Errorf("PowMod(%d,%d,%d) = %d, want %d", tc.b, tc.e, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestPowModFermat(t *testing.T) {
+	// Fermat's little theorem: a^(p-1) ≡ 1 mod p for prime p, a ≠ 0.
+	const p = purdyP
+	for _, a := range []uint64{2, 3, 12345, Mask48 - 1} {
+		if got := PowMod(a, p-1, p); got != 1 {
+			t.Errorf("a=%d: a^(p-1) mod p = %d, want 1", a, got)
+		}
+	}
+}
+
+func TestAddMod(t *testing.T) {
+	// Overflow path: a+b wraps uint64.
+	m := ^uint64(0) - 4
+	if got := addMod(m-1, m-2, m); got != (m-3)%m {
+		t.Errorf("addMod overflow path wrong: got %d", got)
+	}
+	if got := addMod(3, 4, 5); got != 2 {
+		t.Errorf("addMod(3,4,5) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,61 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Source yields the sparse random values the whole design lives on:
+// secret get-ports, object check numbers, signatures, conventional
+// keys. The default source is crypto/rand; tests and experiments use
+// the deterministic source for reproducibility.
+type Source interface {
+	// Uint64 returns a uniformly random 64-bit value.
+	Uint64() uint64
+}
+
+// Rand48 draws a 48-bit sparse value from s.
+func Rand48(s Source) uint64 { return s.Uint64() & Mask48 }
+
+// systemSource reads from crypto/rand.
+type systemSource struct{}
+
+// SystemSource returns the cryptographically secure default source.
+func SystemSource() Source { return systemSource{} }
+
+func (systemSource) Uint64() uint64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; if the
+		// kernel CSPRNG is broken there is no meaningful recovery.
+		panic(fmt.Sprintf("crypto: system randomness unavailable: %v", err))
+	}
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// SeededSource is a deterministic Source for tests and experiments
+// (SplitMix64). It is safe for concurrent use.
+type SeededSource struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+var _ Source = (*SeededSource)(nil)
+
+// NewSeededSource returns a deterministic source seeded with seed.
+func NewSeededSource(seed uint64) *SeededSource {
+	return &SeededSource{state: seed}
+}
+
+// Uint64 implements Source using the SplitMix64 generator.
+func (s *SeededSource) Uint64() uint64 {
+	s.mu.Lock()
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	s.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

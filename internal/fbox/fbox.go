@@ -1,0 +1,354 @@
+// Package fbox implements the paper's F-box (§2.2, Fig. 1): the small
+// interface box between each processor and the network through which
+// every message must pass, applying the public one-way function F to
+// the reply-port and signature header fields of outgoing messages and
+// admitting inbound messages only for ports on which the host has an
+// outstanding GET.
+//
+// Ports come in pairs (G, P) with P = F(G). A server does GET(G); its
+// F-box listens for frames addressed to put-port P = F(G). Clients do
+// PUT(P). An intruder who knows only P and does GET(P) ends up
+// listening on the useless port F(P), so server impersonation fails.
+//
+// The F-box also implements the paper's digital signatures: an outgoing
+// message carries a signature field S which the F-box transforms to
+// F(S) in transit; receivers compare it against the sender's published
+// F(S).
+//
+// The paper puts the F-box in VLSI on the network interface. Here it is
+// a software shim that owns the machine's NIC; the substitution
+// preserves the security argument because code built on this package
+// has no other path to the wire (see DESIGN.md).
+package fbox
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+)
+
+// Port re-exports the 48-bit Amoeba port type; capabilities carry the
+// put-port of their server in the same type.
+type Port = cap.Port
+
+// Message is what hosts hand to and receive from their F-box.
+type Message struct {
+	// Dest is the destination put-port (P). The F-box transmits it
+	// untransformed; the receiving F-box uses it to find the GET.
+	Dest Port
+	// Reply is, on send, the sender's secret reply get-port (G'); the
+	// F-box transmits F(G'). On receive it is therefore the put-port
+	// P' = F(G') to which a reply should be PUT.
+	Reply Port
+	// Sig is, on send, the sender's secret signature (S); the F-box
+	// transmits F(S). On receive it is F(S), to be compared with the
+	// sender's published value. Zero means unsigned.
+	Sig Port
+	// Payload is the message body (opaque to the F-box).
+	Payload []byte
+}
+
+// Received is an inbound message plus its hardware source machine.
+type Received struct {
+	Message
+	// From is the source machine stamped by the network.
+	From amnet.MachineID
+}
+
+// Errors.
+var (
+	// ErrPortBusy is returned by Get for a port with an active listener.
+	ErrPortBusy = errors.New("fbox: GET already outstanding for this port")
+	// ErrClosed is returned after the F-box is closed.
+	ErrClosed = errors.New("fbox: closed")
+	// ErrBadFrame is reported for undecodable frames (dropped).
+	ErrBadFrame = errors.New("fbox: malformed frame")
+)
+
+// frame kinds on the wire.
+const (
+	kindMessage = 0x01
+	kindLocate  = 0x02
+	kindLocateR = 0x03
+)
+
+// wire header: kind(1) dest(6) reply(6) sig(6) = 19 bytes.
+const headerSize = 19
+
+// FBox is the per-machine function box. It owns the NIC: all traffic
+// in and out of the machine flows through it.
+type FBox struct {
+	nic amnet.NIC
+	f   crypto.OneWay
+
+	mu        sync.Mutex
+	listeners map[Port]*Listener
+	locates   map[Port]bool // ports this F-box answers LOCATE for
+	waiters   map[Port][]chan amnet.MachineID
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New wraps a NIC in an F-box using the given one-way function (nil
+// selects SHA-48 with the port-transform tag). The F-box starts its
+// receive pump immediately.
+func New(nic amnet.NIC, f crypto.OneWay) *FBox {
+	if f == nil {
+		f = crypto.SHA48{Tag: 1}
+	}
+	fb := &FBox{
+		nic:       nic,
+		f:         f,
+		listeners: make(map[Port]*Listener),
+		locates:   make(map[Port]bool),
+		waiters:   make(map[Port][]chan amnet.MachineID),
+		done:      make(chan struct{}),
+	}
+	fb.wg.Add(1)
+	go fb.pump()
+	return fb
+}
+
+// F applies the F-box's public one-way function to a port.
+func (fb *FBox) F(p Port) Port {
+	return Port(fb.f.F(uint64(p))) & cap.PortMask
+}
+
+// Machine returns the machine this F-box is attached to.
+func (fb *FBox) Machine() amnet.MachineID { return fb.nic.ID() }
+
+// Listener receives messages for one GET port.
+type Listener struct {
+	fb   *FBox
+	put  Port // the transformed port the listener is keyed by
+	ch   chan Received
+	once sync.Once
+}
+
+// Recv returns the listener's message channel; closed when the
+// listener (or its F-box) is closed.
+func (l *Listener) Recv() <-chan Received { return l.ch }
+
+// Port returns the put-port this listener serves (F of the get-port).
+func (l *Listener) Port() Port { return l.put }
+
+// Close cancels the GET.
+func (l *Listener) Close() {
+	l.once.Do(func() {
+		l.fb.mu.Lock()
+		if l.fb.listeners[l.put] == l {
+			delete(l.fb.listeners, l.put)
+			delete(l.fb.locates, l.put)
+		}
+		l.fb.mu.Unlock()
+		close(l.ch)
+	})
+}
+
+// Get implements GET(G): the F-box computes P = F(G) and delivers
+// arriving messages addressed to P. The get-port G never leaves the
+// machine. advertise controls whether this F-box answers LOCATE
+// broadcasts for P (public services advertise; a client's one-shot
+// reply ports do not, shrinking the attack surface).
+func (fb *FBox) Get(g Port, advertise bool) (*Listener, error) {
+	put := fb.F(g)
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return nil, ErrClosed
+	}
+	if _, busy := fb.listeners[put]; busy {
+		return nil, fmt.Errorf("%w: %v", ErrPortBusy, put)
+	}
+	l := &Listener{fb: fb, put: put, ch: make(chan Received, 64)}
+	fb.listeners[put] = l
+	if advertise {
+		fb.locates[put] = true
+	}
+	return l, nil
+}
+
+// Put implements PUT(P): send a message to the machine dst, addressed
+// to put-port msg.Dest. The F-box transforms the reply and signature
+// fields with F on the way out; the destination field passes through
+// untransformed. Hosts therefore place their *secret* reply get-port
+// and signature in the message; only the one-way images touch the wire.
+func (fb *FBox) Put(dst amnet.MachineID, msg Message) error {
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return ErrClosed
+	}
+	fb.mu.Unlock()
+	return fb.nic.Send(dst, encodeFrame(kindMessage, transformOut(fb, msg)))
+}
+
+// transformOut applies the F-box transformation to an outgoing message.
+func transformOut(fb *FBox, msg Message) Message {
+	if msg.Reply != 0 {
+		msg.Reply = fb.F(msg.Reply)
+	}
+	if msg.Sig != 0 {
+		msg.Sig = fb.F(msg.Sig)
+	}
+	return msg
+}
+
+// Locate broadcasts a LOCATE for put-port p. Machines whose F-box has
+// an advertised GET outstanding for p answer with their machine ID.
+// Replies arrive on the returned channel; callers time out on their own
+// and must call cancel when done. Package locate layers caching and
+// retry on top.
+func (fb *FBox) Locate(p Port) (replies <-chan amnet.MachineID, cancel func(), err error) {
+	ch := make(chan amnet.MachineID, 8)
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	fb.waiters[p] = append(fb.waiters[p], ch)
+	fb.mu.Unlock()
+
+	cancel = func() {
+		fb.mu.Lock()
+		defer fb.mu.Unlock()
+		ws := fb.waiters[p]
+		for i, w := range ws {
+			if w == ch {
+				fb.waiters[p] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(fb.waiters[p]) == 0 {
+			delete(fb.waiters, p)
+		}
+	}
+
+	var buf [headerSize]byte
+	buf[0] = kindLocate
+	putPort(buf[1:7], p)
+	if err := fb.nic.Broadcast(buf[:]); err != nil {
+		cancel()
+		return nil, nil, fmt.Errorf("fbox: locate broadcast: %w", err)
+	}
+	return ch, cancel, nil
+}
+
+// Close shuts the F-box and its NIC down.
+func (fb *FBox) Close() error {
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return nil
+	}
+	fb.closed = true
+	listeners := make([]*Listener, 0, len(fb.listeners))
+	for _, l := range fb.listeners {
+		listeners = append(listeners, l)
+	}
+	fb.mu.Unlock()
+
+	close(fb.done)
+	err := fb.nic.Close()
+	for _, l := range listeners {
+		l.Close()
+	}
+	fb.wg.Wait()
+	return err
+}
+
+// pump is the receive loop: decode, filter, deliver.
+func (fb *FBox) pump() {
+	defer fb.wg.Done()
+	for {
+		select {
+		case <-fb.done:
+			return
+		case f, ok := <-fb.nic.Recv():
+			if !ok {
+				return
+			}
+			fb.handleFrame(f)
+		}
+	}
+}
+
+func (fb *FBox) handleFrame(f amnet.Frame) {
+	kind, msg, err := decodeFrame(f.Payload)
+	if err != nil {
+		return // malformed: drop, as hardware would
+	}
+	switch kind {
+	case kindMessage:
+		fb.mu.Lock()
+		l := fb.listeners[msg.Dest]
+		fb.mu.Unlock()
+		if l == nil {
+			return // no GET outstanding: the F-box does not admit it
+		}
+		select {
+		case l.ch <- Received{Message: msg, From: f.Src}:
+		default: // listener queue full: drop
+		}
+	case kindLocate:
+		fb.mu.Lock()
+		_, here := fb.locates[msg.Dest]
+		fb.mu.Unlock()
+		if !here {
+			return
+		}
+		var buf [headerSize]byte
+		buf[0] = kindLocateR
+		putPort(buf[1:7], msg.Dest)
+		// Best effort; the querier retries.
+		_ = fb.nic.Send(f.Src, buf[:])
+	case kindLocateR:
+		fb.mu.Lock()
+		ws := append([]chan amnet.MachineID(nil), fb.waiters[msg.Dest]...)
+		fb.mu.Unlock()
+		for _, w := range ws {
+			select {
+			case w <- f.Src:
+			default:
+			}
+		}
+	}
+}
+
+// encodeFrame lays a message out as kind ∥ dest ∥ reply ∥ sig ∥ payload.
+func encodeFrame(kind byte, msg Message) []byte {
+	buf := make([]byte, headerSize+len(msg.Payload))
+	buf[0] = kind
+	putPort(buf[1:7], msg.Dest)
+	putPort(buf[7:13], msg.Reply)
+	putPort(buf[13:19], msg.Sig)
+	copy(buf[headerSize:], msg.Payload)
+	return buf
+}
+
+func decodeFrame(buf []byte) (byte, Message, error) {
+	if len(buf) < headerSize {
+		return 0, Message{}, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(buf))
+	}
+	return buf[0], Message{
+		Dest:    getPort(buf[1:7]),
+		Reply:   getPort(buf[7:13]),
+		Sig:     getPort(buf[13:19]),
+		Payload: buf[headerSize:],
+	}, nil
+}
+
+func putPort(dst []byte, p Port) {
+	binary.BigEndian.PutUint16(dst[0:], uint16(p>>32))
+	binary.BigEndian.PutUint32(dst[2:], uint32(p))
+}
+
+func getPort(src []byte) Port {
+	return Port(binary.BigEndian.Uint16(src[0:]))<<32 | Port(binary.BigEndian.Uint32(src[2:]))
+}

@@ -1,0 +1,49 @@
+package fbox
+
+import (
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+)
+
+// Signer is a sender's digital-signature identity (§2.2): a random
+// secret S whose one-way image F(S) the owner publishes. The owner
+// places S in the Sig field of outgoing messages; the F-box transmits
+// F(S); receivers compare the arrived value against the published one.
+// Only the true owner knows "what number to put in the third field to
+// insure that the publicly-known F(S) comes out".
+type Signer struct {
+	secret Port
+	public Port
+}
+
+// NewSigner draws a fresh signature secret from src (nil selects
+// crypto/rand) under the one-way function f (nil selects the default
+// F-box function).
+func NewSigner(src crypto.Source, f crypto.OneWay) Signer {
+	if src == nil {
+		src = crypto.SystemSource()
+	}
+	if f == nil {
+		f = crypto.SHA48{Tag: 1}
+	}
+	s := Port(crypto.Rand48(src)) & cap.PortMask
+	return Signer{secret: s, public: Port(f.F(uint64(s))) & cap.PortMask}
+}
+
+// Secret returns S, to be placed in Message.Sig by the owner only.
+func (s Signer) Secret() Port { return s.secret }
+
+// Public returns the published verification value F(S).
+func (s Signer) Public() Port { return s.public }
+
+// Verifies reports whether a received message's transformed signature
+// matches this identity's published value.
+func (s Signer) Verifies(received Received) bool {
+	return received.Sig != 0 && received.Sig == s.public
+}
+
+// VerifySignature checks a received message against any published
+// value (for verifiers that only hold the public F(S)).
+func VerifySignature(received Received, published Port) bool {
+	return received.Sig != 0 && received.Sig == published
+}

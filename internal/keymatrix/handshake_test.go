@@ -1,0 +1,164 @@
+package keymatrix
+
+import (
+	"errors"
+	"testing"
+
+	"amoeba/internal/crypto"
+)
+
+func handshakeKey(t *testing.T) *crypto.RSAPrivateKey {
+	t.Helper()
+	key, err := crypto.GenerateRSA(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestHandshakeInstallsWorkingKeys(t *testing.T) {
+	priv := handshakeKey(t)
+	client := NewGuard(mClient, nil)
+	server := NewGuard(mServer, nil)
+	if err := Bootstrap(client, server, priv, crypto.NewSeededSource(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !client.HasKeys(mServer) || !server.HasKeys(mClient) {
+		t.Fatal("handshake did not install both directions")
+	}
+	c := testCap()
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Open(enc, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("keys installed by handshake do not round-trip")
+	}
+	// Reverse direction too.
+	enc2, err := server.Seal(c, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := client.Open(enc2, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != c {
+		t.Fatal("reverse keys do not round-trip")
+	}
+}
+
+func TestHandshakeStepByStep(t *testing.T) {
+	priv := handshakeKey(t)
+	src := crypto.NewSeededSource(2)
+	k, req, err := NewKeyRequest(&priv.RSAPublicKey, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSrv, kRev, rep, err := HandleKeyRequest(priv, req, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kSrv != k {
+		t.Fatalf("server decrypted K = %#x, want %#x", kSrv, k)
+	}
+	kRevClient, err := OpenKeyReply(&priv.RSAPublicKey, k, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kRevClient != kRev {
+		t.Fatalf("client got K' = %#x, want %#x", kRevClient, kRev)
+	}
+}
+
+func TestHandshakeRejectsImpostorServer(t *testing.T) {
+	// An impostor who does not own the private key cannot produce a
+	// verifiable reply: signature check fails.
+	priv := handshakeKey(t)
+	impostor := handshakeKey(t)
+	src := crypto.NewSeededSource(3)
+	k, req, err := NewKeyRequest(&priv.RSAPublicKey, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The impostor cannot even decrypt the request; suppose he makes up
+	// a reply with his own key pair.
+	_, _, rep, err := HandleKeyRequest(impostor, KeyRequest{Ciphertext: mustEncrypt(t, impostor, 0x1234)}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKeyReply(&priv.RSAPublicKey, k, rep); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("impostor reply accepted: %v", err)
+	}
+	_ = req
+}
+
+func mustEncrypt(t *testing.T, key *crypto.RSAPrivateKey, k uint64) []byte {
+	t.Helper()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(k >> (56 - 8*i))
+	}
+	ct, err := key.RSAPublicKey.Encrypt(nil, buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestHandshakeRejectsTamperedReply(t *testing.T) {
+	priv := handshakeKey(t)
+	src := crypto.NewSeededSource(4)
+	k, req, err := NewKeyRequest(&priv.RSAPublicKey, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rep, err := HandleKeyRequest(priv, req, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Ciphertext[3] ^= 1
+	if _, err := OpenKeyReply(&priv.RSAPublicKey, k, rep); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("tampered reply accepted: %v", err)
+	}
+}
+
+func TestHandshakeRejectsReplayedOldReply(t *testing.T) {
+	// Replay across reboots: the client's fresh K differs, so an old
+	// reply (sealed under the previous K) fails the echo check.
+	priv := handshakeKey(t)
+	src := crypto.NewSeededSource(5)
+	kOld, reqOld, err := NewKeyRequest(&priv.RSAPublicKey, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, oldReply, err := HandleKeyRequest(priv, reqOld, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New session: new K.
+	kNew, _, err := NewKeyRequest(&priv.RSAPublicKey, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kNew == kOld {
+		t.Skip("seeded key collision")
+	}
+	if _, err := OpenKeyReply(&priv.RSAPublicKey, kNew, oldReply); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("old reply replayed into new session accepted: %v", err)
+	}
+}
+
+func TestHandshakeMalformedInputs(t *testing.T) {
+	priv := handshakeKey(t)
+	if _, _, _, err := HandleKeyRequest(priv, KeyRequest{Ciphertext: []byte{1, 2, 3}}, nil); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("garbage request: %v", err)
+	}
+	if _, err := OpenKeyReply(&priv.RSAPublicKey, 1, KeyReply{Ciphertext: []byte{1}}); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("short reply: %v", err)
+	}
+}

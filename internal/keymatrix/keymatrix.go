@@ -1,0 +1,270 @@
+// Package keymatrix implements §2.4, "Protection without F-Boxes": a
+// conceptual matrix M of conventional encryption keys, rows labelled by
+// source machine and columns by destination machine, selecting a unique
+// key for encrypting the capabilities in any message. The defence
+// rests on the network's unforgeable source address: an intruder I who
+// captures a message from client C to server S and plays it back will
+// have it decrypted under M[I][S] instead of M[C][S], yielding garbage
+// capabilities that fail the server's check.
+//
+// Each machine holds only its own row and column of the matrix (its
+// Guard). To avoid running the cipher on every message, guards keep
+// the paper's hashed caches: clients cache (unencrypted capability,
+// destination, encrypted capability) triples; servers cache (encrypted
+// capability, source, unencrypted capability) triples.
+//
+// The matrix is populated by the public-key bootstrap handshake in
+// handshake.go.
+package keymatrix
+
+import (
+	"sync"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+)
+
+// Matrix is the full conceptual key matrix. Only tests and single-
+// process simulations hold a whole Matrix; a real deployment gives
+// each machine a Guard populated by handshakes, holding just one row
+// and one column.
+type Matrix struct {
+	src crypto.Source
+
+	mu   sync.Mutex
+	keys map[[2]amnet.MachineID]uint64
+}
+
+// NewMatrix builds an empty matrix drawing keys from src (nil selects
+// crypto/rand).
+func NewMatrix(src crypto.Source) *Matrix {
+	if src == nil {
+		src = crypto.SystemSource()
+	}
+	return &Matrix{src: src, keys: make(map[[2]amnet.MachineID]uint64)}
+}
+
+// Key returns M[from][to], creating it on first use. Directional:
+// M[a][b] and M[b][a] are independent keys (the paper's "possibly
+// symmetric" matrix; directional is the stronger choice).
+func (m *Matrix) Key(from, to amnet.MachineID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k, ok := m.keys[[2]amnet.MachineID{from, to}]
+	if !ok {
+		k = m.src.Uint64()
+		m.keys[[2]amnet.MachineID{from, to}] = k
+	}
+	return k
+}
+
+// Guard builds machine's view of the matrix: its row (keys for
+// sending) and column (keys for receiving) against every machine in
+// peers. A nil factory selects the Feistel cipher.
+func (m *Matrix) Guard(machine amnet.MachineID, peers []amnet.MachineID, factory crypto.CipherFactory) *Guard {
+	g := NewGuard(machine, factory)
+	for _, p := range peers {
+		g.SetSendKey(p, m.Key(machine, p))
+		g.SetRecvKey(p, m.Key(p, machine))
+	}
+	return g
+}
+
+// DynamicGuard returns a guard that fetches missing keys from the
+// matrix on demand. Only single-process simulations can use it (it
+// holds the whole matrix); distributed deployments install keys via
+// the bootstrap handshake instead.
+func (m *Matrix) DynamicGuard(machine amnet.MachineID, factory crypto.CipherFactory) *Guard {
+	g := NewGuard(machine, factory)
+	g.lookup = m.Key
+	return g
+}
+
+// Guard is one machine's holdings: M[me][X] and M[X][me] for all X,
+// plus the capability caches. Safe for concurrent use.
+type Guard struct {
+	machine amnet.MachineID
+	factory crypto.CipherFactory
+	// lookup, if set, supplies keys missing from the maps (dynamic
+	// guards over a full Matrix).
+	lookup func(from, to amnet.MachineID) uint64
+
+	mu       sync.Mutex
+	sendKeys map[amnet.MachineID]uint64 // M[me][dst]
+	recvKeys map[amnet.MachineID]uint64 // M[src][me]
+	ciphers  map[uint64]crypto.BlockCipher64
+
+	sealCache map[sealKey][cap.Size]byte
+	openCache map[openKey]cap.Capability
+	stats     CacheStats
+}
+
+type sealKey struct {
+	plain cap.Capability
+	dst   amnet.MachineID
+}
+
+type openKey struct {
+	enc [cap.Size]byte
+	src amnet.MachineID
+}
+
+// CacheStats counts cache effectiveness for experiment E8.
+type CacheStats struct {
+	SealHits   uint64
+	SealMisses uint64
+	OpenHits   uint64
+	OpenMisses uint64
+}
+
+// NewGuard builds an empty guard for machine (keys installed later by
+// handshakes). A nil factory selects the Feistel cipher.
+func NewGuard(machine amnet.MachineID, factory crypto.CipherFactory) *Guard {
+	if factory == nil {
+		factory = crypto.FeistelFactory
+	}
+	return &Guard{
+		machine:   machine,
+		factory:   factory,
+		sendKeys:  make(map[amnet.MachineID]uint64),
+		recvKeys:  make(map[amnet.MachineID]uint64),
+		ciphers:   make(map[uint64]crypto.BlockCipher64),
+		sealCache: make(map[sealKey][cap.Size]byte),
+		openCache: make(map[openKey]cap.Capability),
+	}
+}
+
+// Machine returns the machine this guard belongs to.
+func (g *Guard) Machine() amnet.MachineID { return g.machine }
+
+// SetSendKey installs M[me][dst], clearing any cached seals for dst.
+func (g *Guard) SetSendKey(dst amnet.MachineID, key uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sendKeys[dst] = key
+	for k := range g.sealCache {
+		if k.dst == dst {
+			delete(g.sealCache, k)
+		}
+	}
+}
+
+// SetRecvKey installs M[src][me], clearing any cached opens for src.
+func (g *Guard) SetRecvKey(src amnet.MachineID, key uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.recvKeys[src] = key
+	for k := range g.openCache {
+		if k.src == src {
+			delete(g.openCache, k)
+		}
+	}
+}
+
+// HasKeys reports whether both directions to peer are installed.
+func (g *Guard) HasKeys(peer amnet.MachineID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, s := g.sendKeys[peer]
+	_, r := g.recvKeys[peer]
+	return s && r
+}
+
+// cipherFor returns (creating if needed) the cipher for a key.
+// Callers hold g.mu.
+func (g *Guard) cipherFor(key uint64) crypto.BlockCipher64 {
+	c, ok := g.ciphers[key]
+	if !ok {
+		c = g.factory(key)
+		g.ciphers[key] = c
+	}
+	return c
+}
+
+// ErrNoKey is returned when no key is installed for the peer.
+type ErrNoKey struct {
+	Peer amnet.MachineID
+}
+
+// Error implements error.
+func (e *ErrNoKey) Error() string {
+	return "keymatrix: no key installed for " + e.Peer.String()
+}
+
+// Seal encrypts a capability for transmission to dst under M[me][dst],
+// consulting the client-side cache first. The 16-byte result replaces
+// the capability on the wire; the data need not be encrypted (§2.4).
+func (g *Guard) Seal(c cap.Capability, dst amnet.MachineID) ([cap.Size]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if enc, ok := g.sealCache[sealKey{plain: c, dst: dst}]; ok {
+		g.stats.SealHits++
+		return enc, nil
+	}
+	key, ok := g.sendKeys[dst]
+	if !ok {
+		if g.lookup == nil {
+			return [cap.Size]byte{}, &ErrNoKey{Peer: dst}
+		}
+		key = g.lookup(g.machine, dst)
+		g.sendKeys[dst] = key
+	}
+	g.stats.SealMisses++
+	enc := c.Encode()
+	// Two 8-byte blocks; see crypto.EncryptBytes for the mode note.
+	if err := crypto.EncryptBytes(g.cipherFor(key), enc[:]); err != nil {
+		return [cap.Size]byte{}, err
+	}
+	g.sealCache[sealKey{plain: c, dst: dst}] = enc
+	return enc, nil
+}
+
+// Open decrypts a received 16-byte capability under M[src][me],
+// consulting the server-side cache first. Note that Open cannot itself
+// detect forgery or replay: a wrong key simply yields a garbage
+// capability, which the object server's table check then rejects —
+// exactly the paper's argument.
+func (g *Guard) Open(enc [cap.Size]byte, src amnet.MachineID) (cap.Capability, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.openCache[openKey{enc: enc, src: src}]; ok {
+		g.stats.OpenHits++
+		return c, nil
+	}
+	key, ok := g.recvKeys[src]
+	if !ok {
+		if g.lookup == nil {
+			return cap.Nil, &ErrNoKey{Peer: src}
+		}
+		key = g.lookup(src, g.machine)
+		g.recvKeys[src] = key
+	}
+	g.stats.OpenMisses++
+	buf := enc
+	if err := crypto.DecryptBytes(g.cipherFor(key), buf[:]); err != nil {
+		return cap.Nil, err
+	}
+	c, err := cap.Decode(buf[:])
+	if err != nil {
+		return cap.Nil, err
+	}
+	g.openCache[openKey{enc: enc, src: src}] = c
+	return c, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (g *Guard) Stats() CacheStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// FlushCaches empties both capability caches (benchmarks use it to
+// measure the miss path).
+func (g *Guard) FlushCaches() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sealCache = make(map[sealKey][cap.Size]byte)
+	g.openCache = make(map[openKey]cap.Capability)
+}

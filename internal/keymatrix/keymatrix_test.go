@@ -1,0 +1,275 @@
+package keymatrix
+
+import (
+	"errors"
+	"testing"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+)
+
+const (
+	mClient   amnet.MachineID = 1
+	mServer   amnet.MachineID = 2
+	mIntruder amnet.MachineID = 3
+)
+
+func testCap() cap.Capability {
+	return cap.Capability{Server: 0xabc, Object: 42, Rights: cap.RightRead, Check: 0x123456789a}
+}
+
+func testGuards(t *testing.T) (client, server, intruder *Guard) {
+	t.Helper()
+	m := NewMatrix(crypto.NewSeededSource(0x2461))
+	peers := []amnet.MachineID{mClient, mServer, mIntruder}
+	return m.Guard(mClient, peers, nil), m.Guard(mServer, peers, nil), m.Guard(mIntruder, peers, nil)
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	client, server, _ := testGuards(t)
+	c := testCap()
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc == c.Encode() {
+		t.Fatal("sealing left the capability in the clear")
+	}
+	got, err := server.Open(enc, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %v want %v", got, c)
+	}
+}
+
+func TestReplayFromOtherMachineYieldsGarbage(t *testing.T) {
+	// The core §2.4 claim: intruder I captures C→S traffic and plays it
+	// back; S sees source I and decrypts under M[I][S], producing a
+	// capability that "fails to make sense".
+	client, server, _ := testGuards(t)
+	c := testCap()
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := server.Open(enc, mIntruder) // source says I, not C
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == c {
+		t.Fatal("replay from another machine decrypted to the real capability")
+	}
+}
+
+func TestDirectionalKeys(t *testing.T) {
+	// M[C][S] and M[S][C] are independent: a capability sealed C→S does
+	// not open as S→C traffic.
+	client, server, _ := testGuards(t)
+	c := testCap()
+	encCS, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Open(encCS, mServer) // pretend it came back S→C
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == c {
+		t.Fatal("directional keys are not independent")
+	}
+	_ = server
+}
+
+func TestSealCacheHits(t *testing.T) {
+	client, server, _ := testGuards(t)
+	c := testCap()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Seal(c, mServer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := client.Stats()
+	if s.SealMisses != 1 || s.SealHits != 4 {
+		t.Fatalf("seal stats %+v", s)
+	}
+
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := server.Open(enc, mClient); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := server.Stats()
+	if st.OpenMisses != 1 || st.OpenHits != 4 {
+		t.Fatalf("open stats %+v", st)
+	}
+}
+
+func TestFlushCaches(t *testing.T) {
+	client, _, _ := testGuards(t)
+	c := testCap()
+	if _, err := client.Seal(c, mServer); err != nil {
+		t.Fatal(err)
+	}
+	client.FlushCaches()
+	if _, err := client.Seal(c, mServer); err != nil {
+		t.Fatal(err)
+	}
+	if s := client.Stats(); s.SealMisses != 2 {
+		t.Fatalf("stats after flush %+v", s)
+	}
+}
+
+func TestNoKeyInstalled(t *testing.T) {
+	g := NewGuard(mClient, nil)
+	var wantErr *ErrNoKey
+	if _, err := g.Seal(testCap(), mServer); !errors.As(err, &wantErr) {
+		t.Fatalf("Seal without key: %v", err)
+	}
+	if _, err := g.Open([16]byte{}, mServer); !errors.As(err, &wantErr) {
+		t.Fatalf("Open without key: %v", err)
+	}
+	if g.HasKeys(mServer) {
+		t.Fatal("HasKeys true on empty guard")
+	}
+}
+
+func TestSetKeyInvalidatesCaches(t *testing.T) {
+	client, server, _ := testGuards(t)
+	c := testCap()
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(enc, mClient); err != nil {
+		t.Fatal(err)
+	}
+	// Re-key the link (as after a reboot handshake): cached seal for the
+	// old key must not be reused.
+	client.SetSendKey(mServer, 0xDEAD)
+	server.SetRecvKey(mClient, 0xDEAD)
+	enc2, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc2 == enc {
+		t.Fatal("stale sealed capability served from cache after re-key")
+	}
+	got, err := server.Open(enc2, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("round trip broken after re-key")
+	}
+}
+
+func TestMatrixKeyStable(t *testing.T) {
+	m := NewMatrix(crypto.NewSeededSource(1))
+	if m.Key(1, 2) != m.Key(1, 2) {
+		t.Fatal("matrix key not stable")
+	}
+	if m.Key(1, 2) == m.Key(2, 1) {
+		t.Fatal("directional keys collided (astronomically unlikely)")
+	}
+}
+
+func TestGuardMachine(t *testing.T) {
+	g := NewGuard(7, nil)
+	if g.Machine() != 7 {
+		t.Fatalf("Machine() = %v", g.Machine())
+	}
+}
+
+func TestErrNoKeyMessage(t *testing.T) {
+	e := &ErrNoKey{Peer: 5}
+	if e.Error() != "keymatrix: no key installed for m5" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestEndToEndWithObjectTable(t *testing.T) {
+	// Full integration: a genuine sealed capability passes the server's
+	// table check; a replayed one decrypts to garbage and fails it.
+	client, server, _ := testGuards(t)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := cap.NewTable(scheme, 0xabc, crypto.NewSeededSource(5))
+	owner, err := table.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc, err := client.Seal(owner, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine, err := server.Open(enc, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Validate(genuine); err != nil {
+		t.Fatalf("genuine sealed capability rejected: %v", err)
+	}
+
+	replayed, err := server.Open(enc, mIntruder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := table.Validate(replayed); err == nil {
+		t.Fatal("replayed capability validated")
+	}
+}
+
+func TestDynamicGuard(t *testing.T) {
+	m := NewMatrix(crypto.NewSeededSource(0xD1A))
+	client := m.DynamicGuard(mClient, nil)
+	server := m.DynamicGuard(mServer, nil)
+	c := testCap()
+	// No keys pre-installed: the dynamic guard pulls them from the
+	// matrix on demand.
+	enc, err := client.Seal(c, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Open(enc, mClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("dynamic guards do not share matrix keys")
+	}
+	// Still directional.
+	wrongWay, err := client.Open(enc, mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrongWay == c {
+		t.Fatal("dynamic guard lost key directionality")
+	}
+}
+
+func TestDynamicGuardReplayStillFails(t *testing.T) {
+	m := NewMatrix(crypto.NewSeededSource(0xD1B))
+	client := m.DynamicGuard(mClient, nil)
+	server := m.DynamicGuard(mServer, nil)
+	enc, err := client.Seal(testCap(), mServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := server.Open(enc, mIntruder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == testCap() {
+		t.Fatal("replay from intruder decrypted correctly")
+	}
+}

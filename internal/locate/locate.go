@@ -1,0 +1,159 @@
+// Package locate resolves Amoeba ports to machines: the paper's
+// "cache of (port, machine-number) pairs. If a port is not in the
+// cache, it can be found by broadcasting a LOCATE message" (§2.2).
+//
+// The cache learns from successful lookups and is invalidated by the
+// RPC layer when a cached machine stops answering (a server may have
+// migrated or crashed; the next request re-broadcasts).
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/fbox"
+)
+
+// ErrNotFound is returned when no machine answers a LOCATE within the
+// configured attempts.
+var ErrNotFound = errors.New("locate: port not located")
+
+// Config tunes the resolver. The zero value gets sensible defaults.
+type Config struct {
+	// Timeout bounds each broadcast round (default 250ms).
+	Timeout time.Duration
+	// Attempts is the number of broadcast rounds (default 3).
+	Attempts int
+	// TTL bounds how long a cache entry is trusted without
+	// reconfirmation (default 1 minute; 0 keeps entries forever).
+	TTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.TTL == 0 {
+		c.TTL = time.Minute
+	}
+	return c
+}
+
+type entry struct {
+	at      amnet.MachineID
+	learned time.Time
+}
+
+// Resolver locates ports through an F-box and caches the results.
+// It is safe for concurrent use.
+type Resolver struct {
+	fb  *fbox.FBox
+	cfg Config
+	now func() time.Time // test hook
+
+	mu    sync.Mutex
+	cache map[cap.Port]entry
+	stats Stats
+}
+
+// Stats counts resolver activity for experiment E12.
+type Stats struct {
+	Hits       uint64 // answered from cache
+	Misses     uint64 // required broadcasting
+	Broadcasts uint64 // LOCATE rounds sent
+	Failures   uint64 // lookups that exhausted all attempts
+}
+
+// New builds a resolver over fb.
+func New(fb *fbox.FBox, cfg Config) *Resolver {
+	return &Resolver{
+		fb:    fb,
+		cfg:   cfg.withDefaults(),
+		now:   time.Now,
+		cache: make(map[cap.Port]entry),
+	}
+}
+
+// Lookup returns the machine serving put-port p, consulting the cache
+// first and broadcasting LOCATE rounds on a miss.
+func (r *Resolver) Lookup(p cap.Port) (amnet.MachineID, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[p]; ok && (r.cfg.TTL < 0 || r.now().Sub(e.learned) < r.cfg.TTL) {
+		r.stats.Hits++
+		r.mu.Unlock()
+		return e.at, nil
+	}
+	r.stats.Misses++
+	r.mu.Unlock()
+
+	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		r.mu.Lock()
+		r.stats.Broadcasts++
+		r.mu.Unlock()
+		at, err := r.broadcastOnce(p)
+		if err == nil {
+			r.mu.Lock()
+			r.cache[p] = entry{at: at, learned: r.now()}
+			r.mu.Unlock()
+			return at, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return 0, err
+		}
+	}
+	r.mu.Lock()
+	r.stats.Failures++
+	r.mu.Unlock()
+	return 0, fmt.Errorf("%w: %v after %d attempts", ErrNotFound, p, r.cfg.Attempts)
+}
+
+func (r *Resolver) broadcastOnce(p cap.Port) (amnet.MachineID, error) {
+	replies, cancel, err := r.fb.Locate(p)
+	if err != nil {
+		return 0, fmt.Errorf("locate: %w", err)
+	}
+	defer cancel()
+	select {
+	case at := <-replies:
+		return at, nil
+	case <-time.After(r.cfg.Timeout):
+		return 0, ErrNotFound
+	}
+}
+
+// Invalidate drops the cache entry for p (the RPC layer calls this when
+// a transaction to the cached machine times out).
+func (r *Resolver) Invalidate(p cap.Port) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.cache, p)
+}
+
+// Insert seeds the cache (used by static cluster configurations that
+// know their topology, avoiding the initial broadcast).
+func (r *Resolver) Insert(p cap.Port, at amnet.MachineID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[p] = entry{at: at, learned: r.now()}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// CacheLen returns the number of cached ports.
+func (r *Resolver) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}

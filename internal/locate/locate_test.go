@@ -1,0 +1,181 @@
+package locate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+)
+
+type rig struct {
+	net    *amnet.SimNet
+	client *fbox.FBox
+	server *fbox.FBox
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	n := amnet.NewSimNet(amnet.SimConfig{})
+	t.Cleanup(func() { n.Close() })
+	attach := func() *fbox.FBox {
+		nic, err := n.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := fbox.New(nic, nil)
+		t.Cleanup(func() { fb.Close() })
+		return fb
+	}
+	return &rig{net: n, client: attach(), server: attach()}
+}
+
+func fastCfg() Config {
+	return Config{Timeout: 100 * time.Millisecond, Attempts: 2}
+}
+
+func TestLookupViaBroadcast(t *testing.T) {
+	r := newRig(t)
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(1)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+	res := New(r.client, fastCfg())
+	at, err := res.Lookup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != r.server.Machine() {
+		t.Fatalf("located %v, want %v", at, r.server.Machine())
+	}
+	s := res.Stats()
+	if s.Misses != 1 || s.Broadcasts == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLookupCachesResult(t *testing.T) {
+	r := newRig(t)
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(2)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+	res := New(r.client, fastCfg())
+	if _, err := res.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := res.Lookup(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := res.Stats()
+	if s.Hits != 5 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 5 hits 1 miss", s)
+	}
+	if res.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d", res.CacheLen())
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	r := newRig(t)
+	res := New(r.client, fastCfg())
+	start := time.Now()
+	_, err := res.Lookup(cap.Port(0xdead))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("gave up after %v; should have retried", elapsed)
+	}
+	if s := res.Stats(); s.Failures != 1 || s.Broadcasts != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInvalidateForcesRebroadcast(t *testing.T) {
+	r := newRig(t)
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(3)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+	res := New(r.client, fastCfg())
+	if _, err := res.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	res.Invalidate(p)
+	if _, err := res.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Stats(); s.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 misses", s)
+	}
+}
+
+func TestInsertSeedsCache(t *testing.T) {
+	r := newRig(t)
+	res := New(r.client, fastCfg())
+	res.Insert(cap.Port(7), r.server.Machine())
+	at, err := res.Lookup(cap.Port(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != r.server.Machine() {
+		t.Fatalf("at = %v", at)
+	}
+	if s := res.Stats(); s.Hits != 1 || s.Broadcasts != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	r := newRig(t)
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(4)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+	cfg := fastCfg()
+	cfg.TTL = 10 * time.Millisecond
+	res := New(r.client, cfg)
+	if _, err := res.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	// Warp the clock past the TTL.
+	res.now = func() time.Time { return time.Now().Add(time.Hour) }
+	if _, err := res.Lookup(p); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Stats(); s.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 misses after TTL expiry", s)
+	}
+}
+
+func TestNegativeTTLNeverExpires(t *testing.T) {
+	r := newRig(t)
+	cfg := fastCfg()
+	cfg.TTL = -1
+	res := New(r.client, cfg)
+	res.Insert(cap.Port(9), r.server.Machine())
+	res.now = func() time.Time { return time.Now().Add(1000 * time.Hour) }
+	if _, err := res.Lookup(cap.Port(9)); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Stats(); s.Hits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Timeout <= 0 || c.Attempts <= 0 || c.TTL <= 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,185 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/locate"
+)
+
+// ErrTimeout is returned when a transaction exhausts its retries
+// without a reply.
+var ErrTimeout = errors.New("rpc: transaction timed out")
+
+// ClientConfig tunes a Client. The zero value gets sensible defaults.
+type ClientConfig struct {
+	// Timeout bounds each attempt's wait for a reply (default 1s).
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a timeout
+	// (default 2). Each retry re-locates the destination port, so a
+	// migrated or restarted server is found again.
+	Retries int
+	// Source supplies reply-port randomness (default crypto/rand).
+	Source crypto.Source
+	// Sealer, if set, encrypts the capability in every request header
+	// under the §2.4 key matrix (and decrypts capabilities in replies).
+	// The server must share the matrix (Server.SetSealer).
+	Sealer CapSealer
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Source == nil {
+		c.Source = crypto.SystemSource()
+	}
+	return c
+}
+
+// Client performs blocking transactions through an F-box. It is safe
+// for concurrent use; each transaction has its own one-shot reply port.
+type Client struct {
+	fb  *fbox.FBox
+	res *locate.Resolver
+	cfg ClientConfig
+}
+
+// NewClient builds a client over fb, resolving ports with res.
+func NewClient(fb *fbox.FBox, res *locate.Resolver, cfg ClientConfig) *Client {
+	return &Client{fb: fb, res: res, cfg: cfg.withDefaults()}
+}
+
+// Resolver exposes the client's locate cache (for seeding and stats).
+func (c *Client) Resolver() *locate.Resolver { return c.res }
+
+// Trans performs one blocking transaction: locate the server machine,
+// PUT the request at the destination port with a fresh reply port, and
+// wait for the reply. On timeout the locate cache entry is invalidated
+// and the transaction retried.
+func (c *Client) Trans(dest cap.Port, req Request) (Reply, error) {
+	return c.trans(dest, req, 0)
+}
+
+// TransSigned is Trans with a signature: the signer's secret rides in
+// the message header and is transformed to F(S) by the F-box (§2.2).
+func (c *Client) TransSigned(dest cap.Port, req Request, signer fbox.Signer) (Reply, error) {
+	return c.trans(dest, req, signer.Secret())
+}
+
+func (c *Client) trans(dest cap.Port, req Request, sig cap.Port) (Reply, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		machine, err := c.res.Lookup(dest)
+		if err != nil {
+			return Reply{}, fmt.Errorf("rpc: locating %v: %w", dest, err)
+		}
+		sealed, err := sealRequestCap(c.cfg.Sealer, req, machine)
+		if err != nil {
+			return Reply{}, fmt.Errorf("rpc: sealing capability: %w", err)
+		}
+		rep, err := c.attempt(machine, dest, EncodeRequest(sealed), sig)
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrTimeout) {
+			// The server may have moved or restarted: forget the
+			// cached location and re-broadcast on the next attempt.
+			c.res.Invalidate(dest)
+			continue
+		}
+		return Reply{}, err
+	}
+	return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w", dest, c.cfg.Retries+1, lastErr)
+}
+
+// attempt sends one request and waits one timeout for the reply.
+func (c *Client) attempt(machine amnet.MachineID, dest cap.Port, payload []byte, sig cap.Port) (Reply, error) {
+	// Fresh one-shot reply port per attempt: stray replies from a
+	// previous timed-out attempt cannot be confused with this one.
+	gPrime := cap.Port(crypto.Rand48(c.cfg.Source))
+	l, err := c.fb.Get(gPrime, false)
+	if err != nil {
+		return Reply{}, fmt.Errorf("rpc: reply port: %w", err)
+	}
+	defer l.Close()
+
+	msg := fbox.Message{Dest: dest, Reply: gPrime, Sig: sig, Payload: payload}
+	if err := c.fb.Put(machine, msg); err != nil {
+		return Reply{}, fmt.Errorf("rpc: put: %w", err)
+	}
+	select {
+	case m, ok := <-l.Recv():
+		if !ok {
+			return Reply{}, fbox.ErrClosed
+		}
+		rep, err := DecodeReply(m.Payload)
+		if err != nil {
+			return Reply{}, err
+		}
+		rep, err = openReplyCap(c.cfg.Sealer, rep, m.From)
+		if err != nil {
+			return Reply{}, fmt.Errorf("rpc: opening reply capability: %w", err)
+		}
+		return rep, nil
+	case <-time.After(c.cfg.Timeout):
+		return Reply{}, ErrTimeout
+	}
+}
+
+// Call is the convenience most callers want: it sends op on the
+// object named by capability c0 (routing to c0.Server) and converts
+// non-OK statuses into *StatusError values.
+func (c *Client) Call(c0 cap.Capability, op uint16, data []byte) (Reply, error) {
+	rep, err := c.Trans(c0.Server, Request{Cap: c0, Op: op, Data: data})
+	if err != nil {
+		return Reply{}, err
+	}
+	if rep.Status != StatusOK {
+		return rep, &StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep, nil
+}
+
+// Restrict asks the server to fabricate a weaker capability (OpRestrict).
+func (c *Client) Restrict(c0 cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	rep, err := c.Call(c0, OpRestrict, []byte{byte(mask)})
+	if err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// Revoke asks the server to re-key the object (OpRevoke), invalidating
+// every outstanding capability; the fresh owner capability is returned.
+func (c *Client) Revoke(c0 cap.Capability) (cap.Capability, error) {
+	rep, err := c.Call(c0, OpRevoke, nil)
+	if err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// Validate asks the server which rights the capability conveys
+// (OpValidate).
+func (c *Client) Validate(c0 cap.Capability) (cap.Rights, error) {
+	rep, err := c.Call(c0, OpValidate, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(rep.Data) != 1 {
+		return 0, fmt.Errorf("%w: validate reply %d bytes", ErrBadMessage, len(rep.Data))
+	}
+	return cap.Rights(rep.Data[0]), nil
+}

@@ -1,0 +1,231 @@
+// Package rpc implements the Amoeba remote-operation model of §2.1:
+// clients perform operations on objects by sending a request message to
+// the object's server and blocking until the reply arrives — "a simple
+// remote procedure call mechanism" with no connections, virtual
+// circuits, or any long-lived communication structure.
+//
+// The standard message format provides a place for one capability in
+// the header (the object operated on), an operation code, and
+// parameters; additional capabilities travel in the data field as the
+// application sees fit.
+//
+// Each transaction uses a fresh one-shot reply port: the client picks a
+// random get-port G', includes it in the request (the F-box transmits
+// P' = F(G') per §2.2), and the server PUTs the reply to P'.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"amoeba/internal/cap"
+)
+
+// Status is the outcome of a transaction, carried in every reply.
+// StatusOK is deliberately the zero value so a zero Reply is a success.
+type Status uint16
+
+const (
+	// StatusOK means the operation succeeded.
+	StatusOK Status = iota
+	// StatusBadCapability means the capability failed validation:
+	// forged, tampered, revoked, or for an unknown object.
+	StatusBadCapability
+	// StatusNoPermission means the capability is genuine but lacks a
+	// right the operation demands.
+	StatusNoPermission
+	// StatusBadRequest means the parameters were malformed.
+	StatusBadRequest
+	// StatusNoSuchOp means the server has no handler for the opcode.
+	StatusNoSuchOp
+	// StatusServerError means the operation failed inside the server.
+	StatusServerError
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadCapability:
+		return "bad capability"
+	case StatusNoPermission:
+		return "no permission"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusNoSuchOp:
+		return "no such operation"
+	case StatusServerError:
+		return "server error"
+	default:
+		return fmt.Sprintf("status(%d)", uint16(s))
+	}
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+// StatusError wraps a non-OK Status as a Go error.
+type StatusError struct {
+	Status Status
+	// Detail optionally carries the server's message (reply data).
+	Detail string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("rpc: %s: %s", e.Status, e.Detail)
+	}
+	return "rpc: " + e.Status.String()
+}
+
+// IsStatus reports whether err is a StatusError with the given status.
+func IsStatus(err error, s Status) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == s
+}
+
+// StatusFromErr maps the capability-layer errors onto wire statuses.
+// Servers use it so every handler reports uniformly.
+func StatusFromErr(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, cap.ErrPermission):
+		return StatusNoPermission
+	case errors.Is(err, cap.ErrInvalidCapability), errors.Is(err, cap.ErrNoSuchObject):
+		return StatusBadCapability
+	default:
+		return StatusServerError
+	}
+}
+
+// Request is a client's transaction request.
+type Request struct {
+	// Cap names (and authorizes the operation on) the object.
+	Cap cap.Capability
+	// Op is the operation code; its meaning is private to the server.
+	Op uint16
+	// Data carries the parameters.
+	Data []byte
+}
+
+// Reply is a server's transaction reply.
+type Reply struct {
+	// Status reports the outcome.
+	Status Status
+	// Cap optionally carries a capability (e.g. for a created object).
+	Cap cap.Capability
+	// Data carries the results; for non-OK statuses it may carry a
+	// human-readable detail string.
+	Data []byte
+}
+
+// ErrReply builds an error reply with a detail message.
+func ErrReply(s Status, detail string) Reply {
+	return Reply{Status: s, Data: []byte(detail)}
+}
+
+// ErrReplyFromErr builds an error reply from a Go error.
+func ErrReplyFromErr(err error) Reply {
+	return Reply{Status: StatusFromErr(err), Data: []byte(err.Error())}
+}
+
+// OkReply builds a success reply carrying data.
+func OkReply(data []byte) Reply { return Reply{Status: StatusOK, Data: data} }
+
+// CapReply builds a success reply carrying a capability.
+func CapReply(c cap.Capability) Reply { return Reply{Status: StatusOK, Cap: c} }
+
+// Standard opcodes offered by every server that calls
+// Server.ServeTable: capability maintenance is uniform across services.
+const (
+	// OpRestrict asks the server to fabricate a capability with fewer
+	// rights: data is a one-byte mask; the new capability returns in
+	// Reply.Cap (§2.3: "send the capability back to the server along
+	// with a bit mask").
+	OpRestrict uint16 = 0xfff0
+	// OpRevoke asks the server to replace the object's random number,
+	// invalidating all outstanding capabilities; the fresh owner
+	// capability returns in Reply.Cap.
+	OpRevoke uint16 = 0xfff1
+	// OpValidate asks the server to validate the capability and report
+	// the rights it conveys (one byte). Tooling uses it.
+	OpValidate uint16 = 0xfff2
+	// OpEcho returns the request data unchanged (diagnostics, benches).
+	OpEcho uint16 = 0xfffe
+)
+
+// Wire formats. Request: op(2) cap(16) dlen(4) data. Reply:
+// status(2) cap(16) dlen(4) data.
+const wireHeader = 2 + cap.Size + 4
+
+// ErrBadMessage is returned for undecodable request/reply payloads.
+var ErrBadMessage = errors.New("rpc: malformed message")
+
+// EncodeRequest serializes a request for the F-box payload.
+func EncodeRequest(req Request) []byte {
+	buf := make([]byte, 0, wireHeader+len(req.Data))
+	var op [2]byte
+	binary.BigEndian.PutUint16(op[:], req.Op)
+	buf = append(buf, op[:]...)
+	buf = req.Cap.AppendTo(buf)
+	var dl [4]byte
+	binary.BigEndian.PutUint32(dl[:], uint32(len(req.Data)))
+	buf = append(buf, dl[:]...)
+	return append(buf, req.Data...)
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(buf []byte) (Request, error) {
+	if len(buf) < wireHeader {
+		return Request{}, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(buf))
+	}
+	op := binary.BigEndian.Uint16(buf[0:2])
+	c, err := cap.Decode(buf[2 : 2+cap.Size])
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	n := binary.BigEndian.Uint32(buf[2+cap.Size : wireHeader])
+	if uint32(len(buf)-wireHeader) != n {
+		return Request{}, fmt.Errorf("%w: data length %d, have %d", ErrBadMessage, n, len(buf)-wireHeader)
+	}
+	return Request{Cap: c, Op: op, Data: buf[wireHeader:]}, nil
+}
+
+// EncodeReply serializes a reply for the F-box payload.
+func EncodeReply(rep Reply) []byte {
+	buf := make([]byte, 0, wireHeader+len(rep.Data))
+	var st [2]byte
+	binary.BigEndian.PutUint16(st[:], uint16(rep.Status))
+	buf = append(buf, st[:]...)
+	buf = rep.Cap.AppendTo(buf)
+	var dl [4]byte
+	binary.BigEndian.PutUint32(dl[:], uint32(len(rep.Data)))
+	buf = append(buf, dl[:]...)
+	return append(buf, rep.Data...)
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(buf []byte) (Reply, error) {
+	if len(buf) < wireHeader {
+		return Reply{}, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(buf))
+	}
+	status := Status(binary.BigEndian.Uint16(buf[0:2]))
+	c, err := cap.Decode(buf[2 : 2+cap.Size])
+	if err != nil {
+		return Reply{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	n := binary.BigEndian.Uint32(buf[2+cap.Size : wireHeader])
+	if uint32(len(buf)-wireHeader) != n {
+		return Reply{}, fmt.Errorf("%w: data length %d, have %d", ErrBadMessage, n, len(buf)-wireHeader)
+	}
+	return Reply{Status: status, Cap: c, Data: buf[wireHeader:]}, nil
+}

@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+)
+
+// Handler processes one request and produces the reply. Handlers run
+// on their own goroutine, so a handler may itself perform RPC (the
+// directory server does, for cross-server path lookups).
+type Handler func(ctx Context, req Request) Reply
+
+// Context carries per-message metadata into handlers.
+type Context struct {
+	// From is the hardware source machine of the request.
+	From amnet.MachineID
+	// Sig is the F-transformed signature F(S) of the request, or zero
+	// if unsigned; compare with a published value via fbox.VerifySignature.
+	Sig cap.Port
+}
+
+// Server is an Amoeba service process: it chooses a secret get-port G,
+// does GET(G) through its F-box, and dispatches arriving requests to
+// registered handlers. "Every server has one or more ports to which
+// client processes can send messages to contact the service" (§2.2).
+type Server struct {
+	fb  *fbox.FBox
+	get cap.Port
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	table    *cap.Table
+	sealer   CapSealer
+	listener *fbox.Listener
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server with a fresh secret get-port drawn from
+// src (nil selects crypto/rand). The put-port P = F(G) is available
+// from PutPort for distribution to clients.
+func NewServer(fb *fbox.FBox, src crypto.Source) *Server {
+	if src == nil {
+		src = crypto.SystemSource()
+	}
+	return &Server{
+		fb:       fb,
+		get:      cap.Port(crypto.Rand48(src)),
+		handlers: make(map[uint16]Handler),
+	}
+}
+
+// NewServerWithPort creates a server listening on a specific secret
+// get-port (services that must reappear at a well-known put-port after
+// a restart persist G and pass it here).
+func NewServerWithPort(fb *fbox.FBox, g cap.Port) *Server {
+	return &Server{fb: fb, get: g, handlers: make(map[uint16]Handler)}
+}
+
+// PutPort returns the public put-port P = F(G).
+func (s *Server) PutPort() cap.Port { return s.fb.F(s.get) }
+
+// GetPort returns the secret get-port G. Callers must keep it secret;
+// it exists so a service can persist its identity across restarts.
+func (s *Server) GetPort() cap.Port { return s.get }
+
+// Handle registers a handler for an opcode. It must be called before
+// Start; registering twice for one opcode panics (a wiring bug).
+func (s *Server) Handle(op uint16, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("rpc: Handle after Start")
+	}
+	if _, dup := s.handlers[op]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for op %#04x", op))
+	}
+	s.handlers[op] = h
+}
+
+// ServeTable wires the standard capability-maintenance opcodes
+// (OpRestrict, OpRevoke, OpValidate, OpEcho) to a capability table.
+// Every Amoeba service calls this; it is what makes capability
+// handling uniform across services.
+func (s *Server) ServeTable(t *cap.Table) {
+	s.mu.Lock()
+	s.table = t
+	s.mu.Unlock()
+	s.Handle(OpRestrict, func(_ Context, req Request) Reply {
+		if len(req.Data) != 1 {
+			return ErrReply(StatusBadRequest, "restrict wants a 1-byte mask")
+		}
+		nc, err := t.Restrict(req.Cap, cap.Rights(req.Data[0]))
+		if err != nil {
+			return ErrReplyFromErr(err)
+		}
+		return CapReply(nc)
+	})
+	s.Handle(OpRevoke, func(_ Context, req Request) Reply {
+		nc, err := t.Revoke(req.Cap)
+		if err != nil {
+			return ErrReplyFromErr(err)
+		}
+		return CapReply(nc)
+	})
+	s.Handle(OpValidate, func(_ Context, req Request) Reply {
+		rights, err := t.Validate(req.Cap)
+		if err != nil {
+			return ErrReplyFromErr(err)
+		}
+		return OkReply([]byte{byte(rights)})
+	})
+	s.Handle(OpEcho, func(_ Context, req Request) Reply {
+		return OkReply(req.Data)
+	})
+}
+
+// Table returns the table registered via ServeTable (nil if none).
+func (s *Server) Table() *cap.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table
+}
+
+// SetSealer installs a §2.4 capability sealer: request capabilities
+// are decrypted under M[source][me] before dispatch, and capabilities
+// in replies are encrypted under M[me][source]. Clients must share the
+// matrix (ClientConfig.Sealer). Call before Start.
+func (s *Server) SetSealer(sealer CapSealer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("rpc: SetSealer after Start")
+	}
+	s.sealer = sealer
+}
+
+// Start performs GET(G) and begins dispatching. The server advertises
+// its port for LOCATE broadcasts.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("rpc: server already started")
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return fbox.ErrClosed
+	}
+	l, err := s.fb.Get(s.get, true)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("rpc: GET(G): %w", err)
+	}
+	s.listener = l
+	s.started = true
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.loop(l)
+	return nil
+}
+
+func (s *Server) loop(l *fbox.Listener) {
+	defer s.wg.Done()
+	for m := range l.Recv() {
+		req, err := DecodeRequest(m.Payload)
+		if err != nil {
+			s.reply(m, ErrReply(StatusBadRequest, err.Error()))
+			continue
+		}
+		s.mu.Lock()
+		h := s.handlers[req.Op]
+		sealer := s.sealer
+		s.mu.Unlock()
+		if sealer != nil {
+			// A failed Open yields a garbage capability rather than an
+			// error (wrong keys are indistinguishable from forgery);
+			// genuine errors here mean no key is installed for the
+			// source machine.
+			req, err = openRequestCap(sealer, req, m.From)
+			if err != nil {
+				s.reply(m, ErrReply(StatusBadCapability, err.Error()))
+				continue
+			}
+		}
+		if h == nil {
+			s.reply(m, ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", req.Op)))
+			continue
+		}
+		s.wg.Add(1)
+		go func(m fbox.Received, req Request) {
+			defer s.wg.Done()
+			s.reply(m, h(Context{From: m.From, Sig: m.Sig}, req))
+		}(m, req)
+	}
+}
+
+func (s *Server) reply(m fbox.Received, rep Reply) {
+	if m.Reply == 0 {
+		return // no reply requested
+	}
+	s.mu.Lock()
+	sealer := s.sealer
+	s.mu.Unlock()
+	if sealer != nil {
+		sealed, err := sealReplyCap(sealer, rep, m.From)
+		if err != nil {
+			rep = ErrReply(StatusServerError, "sealing reply capability: "+err.Error())
+		} else {
+			rep = sealed
+		}
+	}
+	// Best effort: an unreachable client retries with a new port.
+	_ = s.fb.Put(m.From, fbox.Message{Dest: m.Reply, Payload: EncodeReply(rep)})
+}
+
+// Close stops the dispatch loop. It does not close the F-box (several
+// servers may share one machine).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

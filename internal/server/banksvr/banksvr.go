@@ -1,0 +1,334 @@
+// Package banksvr implements the Amoeba bank server (§3.6): the basis
+// for resource control and accounting. It manages "bank account"
+// objects holding virtual money in multiple, possibly convertible,
+// possibly inconvertible currencies; the principal operation transfers
+// virtual money between accounts. Servers charge for resources (the
+// file server charging x dollars per kiloblock implements quotas), and
+// clients may pre-pay a server "to eliminate the overhead of going
+// back to the bank on each request".
+//
+// Rights on account capabilities: RightRead shows balances, RightWrite
+// withdraws (transfers out), RightCreate deposits (transfers in). A
+// deposit-only capability (RightCreate alone) is what a server
+// publishes so anyone can pay it.
+package banksvr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+)
+
+// Operation codes.
+const (
+	// OpCreateAccount creates an account: data = curLen(1) ∥ currency ∥
+	// amount(8) initial grant. The initial grant is bank policy: the
+	// production configuration (MintingAllowed=false) only honours it
+	// from the treasury's own balance. Returns the account capability.
+	OpCreateAccount uint16 = 0x0600 + iota
+	// OpBalance returns the account's balances:
+	// count(2) ∥ count × (curLen(1) ∥ currency ∥ amount(8)).
+	// Needs RightRead.
+	OpBalance
+	// OpTransfer moves money: cap = source account (needs RightWrite);
+	// data = destination capability(16) ∥ curLen(1) ∥ currency ∥
+	// amount(8). The destination capability needs RightCreate.
+	OpTransfer
+	// OpConvert exchanges currency within one account: data =
+	// fromLen(1) ∥ from ∥ toLen(1) ∥ to ∥ amount(8). Uses the bank's
+	// exchange-rate table; inconvertible pairs fail. Needs RightWrite.
+	OpConvert
+	// OpDestroyAccount destroys an account; any remaining balance
+	// returns to the treasury. Needs RightDestroy.
+	OpDestroyAccount
+)
+
+// MaxCurrency bounds a currency name.
+const MaxCurrency = 32
+
+// Rate is an exchange rate between two currencies: Amount in the
+// destination currency per unit of the source currency, as a rational
+// (Num/Den) so the arithmetic stays exact.
+type Rate struct {
+	Num uint64
+	Den uint64
+}
+
+// Config sets bank policy.
+type Config struct {
+	// Treasury is the initial money supply, per currency, owned by the
+	// bank itself and granted to newly created accounts.
+	Treasury map[string]int64
+	// Rates maps "from/to" currency pairs to exchange rates. Pairs not
+	// present are inconvertible (the paper allows both kinds).
+	Rates map[[2]string]Rate
+	// MintingAllowed, if true, lets CreateAccount grant money that is
+	// not backed by the treasury (convenient for examples; off in
+	// quota-enforcing configurations).
+	MintingAllowed bool
+}
+
+type account struct {
+	balances map[string]int64
+}
+
+// Server is a bank server instance.
+type Server struct {
+	rpc   *rpc.Server
+	table *cap.Table
+	cfg   Config
+
+	mu       sync.Mutex
+	treasury map[string]int64
+	accounts map[uint32]*account
+}
+
+// New builds a bank server. Call Start to begin serving.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config) *Server {
+	treasury := make(map[string]int64, len(cfg.Treasury))
+	for c, v := range cfg.Treasury {
+		treasury[c] = v
+	}
+	s := &Server{
+		cfg:      cfg,
+		treasury: treasury,
+		accounts: make(map[uint32]*account),
+	}
+	s.rpc = rpc.NewServer(fb, src)
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpCreateAccount, s.createAccount)
+	s.rpc.Handle(OpBalance, s.balance)
+	s.rpc.Handle(OpTransfer, s.transfer)
+	s.rpc.Handle(OpConvert, s.convert)
+	s.rpc.Handle(OpDestroyAccount, s.destroyAccount)
+	return s
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table.
+func (s *Server) Table() *cap.Table { return s.table }
+
+func validCurrency(c string) error {
+	if c == "" || len(c) > MaxCurrency {
+		return fmt.Errorf("banksvr: bad currency %q", c)
+	}
+	return nil
+}
+
+func (s *Server) createAccount(_ rpc.Context, req rpc.Request) rpc.Reply {
+	currency, rest, err := takeCurrency(req.Data)
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	if len(rest) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "create account wants currency ∥ amount(8)")
+	}
+	amount := int64(binary.BigEndian.Uint64(rest))
+	if amount < 0 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "negative initial grant")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cfg.MintingAllowed {
+		if s.treasury[currency] < amount {
+			return rpc.ErrReply(rpc.StatusServerError,
+				fmt.Sprintf("treasury has %d %s, grant wants %d", s.treasury[currency], currency, amount))
+		}
+		s.treasury[currency] -= amount
+	}
+	c, err := s.table.Create()
+	if err != nil {
+		if !s.cfg.MintingAllowed {
+			s.treasury[currency] += amount // roll the debit back
+		}
+		return rpc.ErrReplyFromErr(err)
+	}
+	acct := &account{balances: make(map[string]int64)}
+	if amount > 0 {
+		acct.balances[currency] = amount
+	}
+	s.accounts[c.Object] = acct
+	return rpc.CapReply(c)
+}
+
+// acctLocked fetches an account; callers hold s.mu.
+func (s *Server) acctLocked(obj uint32) (*account, error) {
+	a := s.accounts[obj]
+	if a == nil {
+		return nil, fmt.Errorf("banksvr: object %d: %w", obj, cap.ErrNoSuchObject)
+	}
+	return a, nil
+}
+
+func (s *Server) balance(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, err := s.table.Demand(req.Cap, cap.RightRead); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.acctLocked(req.Cap.Object)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	currencies := make([]string, 0, len(a.balances))
+	for c := range a.balances {
+		currencies = append(currencies, c)
+	}
+	sort.Strings(currencies)
+	out := make([]byte, 2)
+	binary.BigEndian.PutUint16(out, uint16(len(currencies)))
+	for _, c := range currencies {
+		out = append(out, byte(len(c)))
+		out = append(out, c...)
+		var amt [8]byte
+		binary.BigEndian.PutUint64(amt[:], uint64(a.balances[c]))
+		out = append(out, amt[:]...)
+	}
+	return rpc.OkReply(out)
+}
+
+func (s *Server) transfer(_ rpc.Context, req rpc.Request) rpc.Reply {
+	// Withdrawal needs RightWrite on the source.
+	if _, err := s.table.Demand(req.Cap, cap.RightWrite); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if len(req.Data) < cap.Size+1 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "transfer wants dest cap(16) ∥ currency ∥ amount(8)")
+	}
+	dest, err := cap.Decode(req.Data[:cap.Size])
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	currency, rest, err := takeCurrency(req.Data[cap.Size:])
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	if len(rest) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "transfer wants amount(8)")
+	}
+	amount := int64(binary.BigEndian.Uint64(rest))
+	if amount <= 0 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "transfer amount must be positive")
+	}
+	// Deposit needs RightCreate on the destination. The destination
+	// must be an account at this bank.
+	if _, err := s.table.Demand(dest, cap.RightCreate); err != nil {
+		return rpc.ErrReplyFromErr(fmt.Errorf("destination: %w", err))
+	}
+	if dest.Object == req.Cap.Object {
+		return rpc.ErrReply(rpc.StatusBadRequest, "transfer to self")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from, err := s.acctLocked(req.Cap.Object)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	to, err := s.acctLocked(dest.Object)
+	if err != nil {
+		return rpc.ErrReplyFromErr(fmt.Errorf("destination: %w", err))
+	}
+	if from.balances[currency] < amount {
+		return rpc.ErrReply(rpc.StatusServerError,
+			fmt.Sprintf("insufficient funds: have %d %s, need %d", from.balances[currency], currency, amount))
+	}
+	from.balances[currency] -= amount
+	to.balances[currency] += amount
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) convert(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, err := s.table.Demand(req.Cap, cap.RightWrite); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	fromCur, rest, err := takeCurrency(req.Data)
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	toCur, rest, err := takeCurrency(rest)
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	if len(rest) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "convert wants amount(8)")
+	}
+	amount := int64(binary.BigEndian.Uint64(rest))
+	if amount <= 0 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "convert amount must be positive")
+	}
+	rate, ok := s.cfg.Rates[[2]string{fromCur, toCur}]
+	if !ok {
+		return rpc.ErrReply(rpc.StatusServerError,
+			fmt.Sprintf("%s is not convertible to %s", fromCur, toCur))
+	}
+	out := int64(uint64(amount) * rate.Num / rate.Den)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.acctLocked(req.Cap.Object)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if a.balances[fromCur] < amount {
+		return rpc.ErrReply(rpc.StatusServerError,
+			fmt.Sprintf("insufficient funds: have %d %s, need %d", a.balances[fromCur], fromCur, amount))
+	}
+	a.balances[fromCur] -= amount
+	a.balances[toCur] += out
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) destroyAccount(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, err := s.table.Demand(req.Cap, cap.RightDestroy); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.acctLocked(req.Cap.Object)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	for c, v := range a.balances {
+		s.treasury[c] += v
+	}
+	delete(s.accounts, req.Cap.Object)
+	return rpc.OkReply(nil)
+}
+
+// takeCurrency parses curLen(1) ∥ currency from data, returning the
+// currency and the remainder.
+func takeCurrency(data []byte) (string, []byte, error) {
+	if len(data) < 1 {
+		return "", nil, fmt.Errorf("banksvr: missing currency")
+	}
+	n := int(data[0])
+	if len(data) < 1+n {
+		return "", nil, fmt.Errorf("banksvr: truncated currency")
+	}
+	c := string(data[1 : 1+n])
+	if err := validCurrency(c); err != nil {
+		return "", nil, err
+	}
+	return c, data[1+n:], nil
+}
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }

@@ -1,0 +1,110 @@
+package banksvr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+)
+
+// Client is the typed client for a bank server.
+type Client struct {
+	c    *rpc.Client
+	port cap.Port
+}
+
+// NewClient builds a client speaking to the bank at port.
+func NewClient(c *rpc.Client, port cap.Port) *Client {
+	return &Client{c: c, port: port}
+}
+
+// Port returns the bank's put-port.
+func (b *Client) Port() cap.Port { return b.port }
+
+// CreateAccount opens an account with an initial grant in one currency
+// and returns the owner capability.
+func (b *Client) CreateAccount(currency string, amount int64) (cap.Capability, error) {
+	data := appendCurrency(nil, currency)
+	var amt [8]byte
+	binary.BigEndian.PutUint64(amt[:], uint64(amount))
+	data = append(data, amt[:]...)
+	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpCreateAccount, Data: data})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return cap.Nil, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep.Cap, nil
+}
+
+// Balance returns the account's balances by currency.
+func (b *Client) Balance(acct cap.Capability) (map[string]int64, error) {
+	rep, err := b.c.Call(acct, OpBalance, nil)
+	if err != nil {
+		return nil, err
+	}
+	buf := rep.Data
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("banksvr: balance reply %d bytes", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	out := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("banksvr: balance reply truncated")
+		}
+		cl := int(buf[0])
+		if len(buf) < 1+cl+8 {
+			return nil, fmt.Errorf("banksvr: balance reply truncated")
+		}
+		cur := string(buf[1 : 1+cl])
+		out[cur] = int64(binary.BigEndian.Uint64(buf[1+cl:]))
+		buf = buf[1+cl+8:]
+	}
+	return out, nil
+}
+
+// Transfer withdraws amount of currency from src (needs RightWrite)
+// and deposits it into dest (needs RightCreate).
+func (b *Client) Transfer(src, dest cap.Capability, currency string, amount int64) error {
+	data := dest.AppendTo(nil)
+	data = appendCurrency(data, currency)
+	var amt [8]byte
+	binary.BigEndian.PutUint64(amt[:], uint64(amount))
+	data = append(data, amt[:]...)
+	_, err := b.c.Call(src, OpTransfer, data)
+	return err
+}
+
+// Convert exchanges amount of from-currency into to-currency within
+// one account, at the bank's posted rate.
+func (b *Client) Convert(acct cap.Capability, from, to string, amount int64) error {
+	data := appendCurrency(nil, from)
+	data = appendCurrency(data, to)
+	var amt [8]byte
+	binary.BigEndian.PutUint64(amt[:], uint64(amount))
+	data = append(data, amt[:]...)
+	_, err := b.c.Call(acct, OpConvert, data)
+	return err
+}
+
+// DestroyAccount closes the account; remaining funds return to the
+// bank's treasury.
+func (b *Client) DestroyAccount(acct cap.Capability) error {
+	_, err := b.c.Call(acct, OpDestroyAccount, nil)
+	return err
+}
+
+// Restrict fabricates a weaker capability via the bank. A deposit-only
+// capability is Restrict(acct, cap.RightCreate).
+func (b *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return b.c.Restrict(c, mask)
+}
+
+func appendCurrency(dst []byte, c string) []byte {
+	dst = append(dst, byte(len(c)))
+	return append(dst, c...)
+}

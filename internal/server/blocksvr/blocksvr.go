@@ -1,0 +1,316 @@
+// Package blocksvr implements the Amoeba block server (§3.2): "The
+// block server can be requested to allocate a disk block and return a
+// capability for it. Using this capability, the block can be written,
+// read, or deallocated. The block server has no concept of a file."
+//
+// Splitting the block server from the file server lets any user build
+// special-purpose file systems without touching disk storage
+// management; package flatfs is exactly such a client.
+package blocksvr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+	"amoeba/internal/vdisk"
+)
+
+// Operation codes.
+const (
+	// OpAlloc allocates one block and returns its capability.
+	OpAlloc uint16 = 0x0200 + iota
+	// OpRead reads the whole block. Needs RightRead.
+	OpRead
+	// OpWrite replaces the block: data = block bytes (shorter writes
+	// are zero-padded to the block size). Needs RightWrite.
+	OpWrite
+	// OpFree deallocates the block. Needs RightDestroy.
+	OpFree
+	// OpStat returns blockSize(4) ∥ nblocks(4) ∥ nfree(4). No
+	// capability needed (it names no object).
+	OpStat
+)
+
+// ErrDiskFull is reported (as a server-error status) when no blocks
+// remain.
+var errDiskFull = fmt.Errorf("blocksvr: disk full")
+
+// Server is a block server instance over one virtual disk. Block
+// capabilities use the block number as the object number, so the
+// object table and the allocation bitmap stay aligned.
+type Server struct {
+	rpc   *rpc.Server
+	table *cap.Table
+	disk  vdisk.Store
+
+	mu    sync.Mutex
+	used  []bool
+	nfree uint32
+	next  uint32 // allocation cursor
+}
+
+// New builds a block server over disk. Call Start to begin serving.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, disk vdisk.Store) (*Server, error) {
+	return build(rpc.NewServer(fb, src), scheme, src, disk)
+}
+
+// NewWithPort is New with an explicit secret get-port, for services
+// that must reappear at the same put-port after a restart (pair with
+// RestoreState and a persistent disk).
+func NewWithPort(fb *fbox.FBox, scheme cap.Scheme, g cap.Port, disk vdisk.Store) (*Server, error) {
+	return build(rpc.NewServerWithPort(fb, g), scheme, nil, disk)
+}
+
+func build(server *rpc.Server, scheme cap.Scheme, src crypto.Source, disk vdisk.Store) (*Server, error) {
+	if disk.NBlocks() > cap.ObjectMask {
+		return nil, fmt.Errorf("blocksvr: disk has %d blocks; capabilities address at most %d",
+			disk.NBlocks(), cap.ObjectMask)
+	}
+	s := &Server{
+		disk:  disk,
+		used:  make([]bool, disk.NBlocks()),
+		nfree: disk.NBlocks(),
+	}
+	s.rpc = server
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpAlloc, s.alloc)
+	s.rpc.Handle(OpRead, s.read)
+	s.rpc.Handle(OpWrite, s.write)
+	s.rpc.Handle(OpFree, s.free)
+	s.rpc.Handle(OpStat, s.stat)
+	return s, nil
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table (experiments use it).
+func (s *Server) Table() *cap.Table { return s.table }
+
+func (s *Server) alloc(_ rpc.Context, _ rpc.Request) rpc.Reply {
+	s.mu.Lock()
+	if s.nfree == 0 {
+		s.mu.Unlock()
+		return rpc.ErrReplyFromErr(errDiskFull)
+	}
+	var block uint32
+	found := false
+	for i := uint32(0); i < s.disk.NBlocks(); i++ {
+		b := (s.next + i) % s.disk.NBlocks()
+		if !s.used[b] {
+			block = b
+			found = true
+			break
+		}
+	}
+	if !found { // nfree said otherwise; internal inconsistency
+		s.mu.Unlock()
+		return rpc.ErrReplyFromErr(errDiskFull)
+	}
+	s.used[block] = true
+	s.nfree--
+	s.next = block + 1
+	s.mu.Unlock()
+
+	c, err := s.table.CreateObject(block)
+	if err != nil {
+		s.mu.Lock()
+		s.used[block] = false
+		s.nfree++
+		s.mu.Unlock()
+		return rpc.ErrReplyFromErr(err)
+	}
+	return rpc.CapReply(c)
+}
+
+// demandBlock validates the capability and checks the block is live.
+func (s *Server) demandBlock(c cap.Capability, need cap.Rights) (uint32, error) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return 0, err
+	}
+	block := c.Object
+	s.mu.Lock()
+	live := block < uint32(len(s.used)) && s.used[block]
+	s.mu.Unlock()
+	if !live {
+		return 0, fmt.Errorf("blocksvr: block %d not allocated: %w", block, cap.ErrNoSuchObject)
+	}
+	return block, nil
+}
+
+func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
+	block, err := s.demandBlock(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	data, err := s.disk.Read(block)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	return rpc.OkReply(data)
+}
+
+func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
+	block, err := s.demandBlock(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if len(req.Data) > s.disk.BlockSize() {
+		return rpc.ErrReply(rpc.StatusBadRequest,
+			fmt.Sprintf("write of %d bytes into %d-byte block", len(req.Data), s.disk.BlockSize()))
+	}
+	buf := make([]byte, s.disk.BlockSize())
+	copy(buf, req.Data)
+	if err := s.disk.Write(block, buf); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) free(_ rpc.Context, req rpc.Request) rpc.Reply {
+	block, err := s.demandBlock(req.Cap, cap.RightDestroy)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	// Zero on free so the next holder of this block number cannot read
+	// stale contents.
+	if err := s.disk.Zero(block); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	s.used[block] = false
+	s.nfree++
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) stat(_ rpc.Context, _ rpc.Request) rpc.Reply {
+	s.mu.Lock()
+	nfree := s.nfree
+	s.mu.Unlock()
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out[0:], uint32(s.disk.BlockSize()))
+	binary.BigEndian.PutUint32(out[4:], s.disk.NBlocks())
+	binary.BigEndian.PutUint32(out[8:], nfree)
+	return rpc.OkReply(out)
+}
+
+// Client is the typed client for a block server.
+type Client struct {
+	c    *rpc.Client
+	port cap.Port
+}
+
+// NewClient builds a client speaking to the block server at port.
+func NewClient(c *rpc.Client, port cap.Port) *Client {
+	return &Client{c: c, port: port}
+}
+
+// Port returns the server's put-port.
+func (b *Client) Port() cap.Port { return b.port }
+
+// Alloc allocates a block and returns its capability.
+func (b *Client) Alloc() (cap.Capability, error) {
+	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpAlloc})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return cap.Nil, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep.Cap, nil
+}
+
+// Read returns the block's contents.
+func (b *Client) Read(blk cap.Capability) ([]byte, error) {
+	rep, err := b.c.Call(blk, OpRead, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Write replaces the block's contents (zero-padded to the block size).
+func (b *Client) Write(blk cap.Capability, data []byte) error {
+	_, err := b.c.Call(blk, OpWrite, data)
+	return err
+}
+
+// Free deallocates the block.
+func (b *Client) Free(blk cap.Capability) error {
+	_, err := b.c.Call(blk, OpFree, nil)
+	return err
+}
+
+// Stat returns the disk geometry and free count.
+func (b *Client) Stat() (blockSize, nblocks, nfree uint32, err error) {
+	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpStat})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return 0, 0, 0, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	if len(rep.Data) != 12 {
+		return 0, 0, 0, fmt.Errorf("blocksvr: stat reply %d bytes", len(rep.Data))
+	}
+	return binary.BigEndian.Uint32(rep.Data[0:]),
+		binary.BigEndian.Uint32(rep.Data[4:]),
+		binary.BigEndian.Uint32(rep.Data[8:]), nil
+}
+
+// Restrict fabricates a weaker capability via the server.
+func (b *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return b.c.Restrict(c, mask)
+}
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SnapshotState serializes the server's capability table (which, with
+// object numbers equal to block numbers, fully determines the
+// allocation state). Pair with a persistent vdisk.FileDisk so a
+// restarted block server honours previously issued block capabilities.
+func (s *Server) SnapshotState() []byte { return s.table.Snapshot() }
+
+// RestoreState rebuilds the capability table and the allocation bitmap
+// from a SnapshotState taken by a previous incarnation. Call before
+// Start. The daemon must reuse the same get-port (the table binds
+// capabilities to the put-port).
+func (s *Server) RestoreState(snap []byte) error {
+	if err := s.table.Restore(snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.used {
+		s.used[i] = false
+	}
+	s.nfree = s.disk.NBlocks()
+	for _, obj := range s.table.Objects() {
+		if obj >= s.disk.NBlocks() {
+			return fmt.Errorf("blocksvr: snapshot names block %d beyond disk (%d blocks)", obj, s.disk.NBlocks())
+		}
+		if !s.used[obj] {
+			s.used[obj] = true
+			s.nfree--
+		}
+	}
+	return nil
+}

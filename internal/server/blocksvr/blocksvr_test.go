@@ -1,0 +1,213 @@
+package blocksvr
+
+import (
+	"bytes"
+	"testing"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/servertest"
+	"amoeba/internal/vdisk"
+)
+
+func newServer(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *Client, *vdisk.Disk) {
+	t.Helper()
+	r := servertest.New(t, 0xB10C)
+	disk, err := vdisk.New(nblocks, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(r.NewFBox(t), scheme, r.Src, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return r, NewClient(r.Client, s.PutPort()), disk
+}
+
+func TestAllocReadWriteFree(t *testing.T) {
+	_, b, _ := newServer(t, 16, 64)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(blk, []byte("block payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Read(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:13], []byte("block payload")) {
+		t.Fatalf("read %q", got[:13])
+	}
+	if len(got) != 64 {
+		t.Fatalf("read returned %d bytes, want full block", len(got))
+	}
+	if err := b.Free(blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("read of freed block: %v", err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	_, b, _ := newServer(t, 8, 32)
+	bs, nb, nf, err := b.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs != 32 || nb != 8 || nf != 8 {
+		t.Fatalf("stat = %d/%d/%d", bs, nb, nf)
+	}
+	if _, err := b.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, nf, err = b.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf != 7 {
+		t.Fatalf("nfree after alloc = %d", nf)
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	_, b, _ := newServer(t, 2, 32)
+	for i := 0; i < 2; i++ {
+		if _, err := b.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Alloc(); !rpc.IsStatus(err, rpc.StatusServerError) {
+		t.Fatalf("alloc on full disk: %v", err)
+	}
+}
+
+func TestFreedBlockIsZeroedAndReusable(t *testing.T) {
+	_, b, _ := newServer(t, 1, 32)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(blk, bytes.Repeat([]byte{0xFF}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(blk); err != nil {
+		t.Fatal(err)
+	}
+	blk2, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk2.Object != blk.Object {
+		t.Fatalf("expected block reuse, got %d then %d", blk.Object, blk2.Object)
+	}
+	got, err := b.Read(blk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatal("reused block leaked previous contents")
+	}
+	// The old capability must not work on the recycled block.
+	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("stale capability read recycled block: %v", err)
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	_, b, _ := newServer(t, 4, 32)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(blk, make([]byte, 33)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestBlockRights(t *testing.T) {
+	_, b, _ := newServer(t, 4, 32)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := b.Restrict(blk, cap.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(ro); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(ro, []byte("x")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("write with read-only: %v", err)
+	}
+	if err := b.Free(ro); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("free with read-only: %v", err)
+	}
+}
+
+func TestDiskFaultSurfacesAsServerError(t *testing.T) {
+	_, b, disk := newServer(t, 4, 32)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := bytes.ErrTooLarge // any sentinel
+	disk.SetFault(func(op string, block uint32) error {
+		if op == "read" {
+			return boom
+		}
+		return nil
+	})
+	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusServerError) {
+		t.Fatalf("disk fault surfaced as: %v", err)
+	}
+	disk.SetFault(nil)
+	if _, err := b.Read(blk); err != nil {
+		t.Fatalf("read after fault cleared: %v", err)
+	}
+}
+
+func TestTooManyBlocksRejected(t *testing.T) {
+	r := servertest.New(t, 1)
+	disk, err := vdisk.New(cap.ObjectMask+1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(r.NewFBox(t), scheme, r.Src, disk); err == nil {
+		t.Fatal("accepted disk with more blocks than object numbers")
+	}
+}
+
+func TestForgedBlockCapability(t *testing.T) {
+	_, b, _ := newServer(t, 4, 32)
+	blk, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := blk
+	forged.Check ^= 0x40
+	if _, err := b.Read(forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("forged read: %v", err)
+	}
+	// Guessing an unallocated block number fails too.
+	forged = blk
+	forged.Object = 3
+	if _, err := b.Read(forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("guessed object read: %v", err)
+	}
+}

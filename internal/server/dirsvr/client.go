@@ -1,0 +1,169 @@
+package dirsvr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+)
+
+// Entry is one (name, capability) pair of a directory listing.
+type Entry struct {
+	Name string
+	Cap  cap.Capability
+}
+
+// Client is the typed client for directory services. A single Client
+// can traverse directories managed by *any number* of directory
+// servers: every operation routes to the server named by the directory
+// capability it is given, so cross-server graphs need nothing special.
+type Client struct {
+	c *rpc.Client
+}
+
+// NewClient builds a directory client over an RPC client.
+func NewClient(c *rpc.Client) *Client { return &Client{c: c} }
+
+// CreateDir creates an empty directory on the directory server at
+// port and returns its capability.
+func (d *Client) CreateDir(port cap.Port) (cap.Capability, error) {
+	rep, err := d.c.Trans(port, rpc.Request{Op: OpCreateDir})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return cap.Nil, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep.Cap, nil
+}
+
+// Lookup returns the capability stored under name in dir.
+func (d *Client) Lookup(dir cap.Capability, name string) (cap.Capability, error) {
+	rep, err := d.c.Call(dir, OpLookup, []byte(name))
+	if err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// Enter stores (name, entry) in dir.
+func (d *Client) Enter(dir cap.Capability, name string, entry cap.Capability) error {
+	buf := make([]byte, 2, 2+len(name)+cap.Size)
+	binary.BigEndian.PutUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = entry.AppendTo(buf)
+	_, err := d.c.Call(dir, OpEnter, buf)
+	return err
+}
+
+// Remove deletes the entry under name in dir.
+func (d *Client) Remove(dir cap.Capability, name string) error {
+	_, err := d.c.Call(dir, OpRemove, []byte(name))
+	return err
+}
+
+// List returns dir's entries sorted by name.
+func (d *Client) List(dir cap.Capability) ([]Entry, error) {
+	rep, err := d.c.Call(dir, OpList, nil)
+	if err != nil {
+		return nil, err
+	}
+	buf := rep.Data
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("dirsvr: list reply %d bytes", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("dirsvr: list reply truncated at entry %d", i)
+		}
+		nl := int(binary.BigEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < nl+cap.Size {
+			return nil, fmt.Errorf("dirsvr: list reply truncated at entry %d", i)
+		}
+		name := string(buf[:nl])
+		c, err := cap.Decode(buf[nl : nl+cap.Size])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Entry{Name: name, Cap: c})
+		buf = buf[nl+cap.Size:]
+	}
+	return out, nil
+}
+
+// DestroyDir destroys an empty directory.
+func (d *Client) DestroyDir(dir cap.Capability) error {
+	_, err := d.c.Call(dir, OpDestroyDir, nil)
+	return err
+}
+
+// Restrict fabricates a weaker capability via the managing server.
+func (d *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return d.c.Restrict(c, mask)
+}
+
+// LookupPath resolves a slash-separated path relative to root by
+// iterative Lookup calls. If an intermediate capability names a
+// directory managed by a different server, the next request simply
+// goes there — §3.4's transparent distribution. Empty components
+// (leading, trailing or doubled slashes) are ignored.
+func (d *Client) LookupPath(root cap.Capability, path string) (cap.Capability, error) {
+	cur := root
+	for _, comp := range strings.Split(path, "/") {
+		if comp == "" {
+			continue
+		}
+		next, err := d.Lookup(cur, comp)
+		if err != nil {
+			return cap.Nil, fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// EnterPath resolves the directory part of path and enters the final
+// component there.
+func (d *Client) EnterPath(root cap.Capability, path string, entry cap.Capability) error {
+	dir, base, err := d.splitPath(root, path)
+	if err != nil {
+		return err
+	}
+	return d.Enter(dir, base, entry)
+}
+
+// RemovePath resolves the directory part of path and removes the final
+// component's entry.
+func (d *Client) RemovePath(root cap.Capability, path string) error {
+	dir, base, err := d.splitPath(root, path)
+	if err != nil {
+		return err
+	}
+	return d.Remove(dir, base)
+}
+
+func (d *Client) splitPath(root cap.Capability, path string) (dir cap.Capability, base string, err error) {
+	comps := make([]string, 0, 8)
+	for _, comp := range strings.Split(path, "/") {
+		if comp != "" {
+			comps = append(comps, comp)
+		}
+	}
+	if len(comps) == 0 {
+		return cap.Nil, "", fmt.Errorf("dirsvr: path %q has no components", path)
+	}
+	dir = root
+	for _, comp := range comps[:len(comps)-1] {
+		dir, err = d.Lookup(dir, comp)
+		if err != nil {
+			return cap.Nil, "", fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
+		}
+	}
+	return dir, comps[len(comps)-1], nil
+}

@@ -1,0 +1,239 @@
+// Package dirsvr implements the Amoeba directory server (§3.4):
+// directories are sets of (ASCII name, capability) pairs. The primary
+// operation presents a directory capability plus a string and gets back
+// the capability the string names. Enter and Remove maintain entries.
+//
+// Crucially, "the capabilities within a directory need not all be file
+// capabilities and certainly need not all be located in the same place
+// or managed by the same server": a looked-up capability may name a
+// directory on a *different* directory server, and the client-side
+// LookupPath helper simply sends the next lookup to whatever server the
+// returned capability names. The distribution is completely
+// transparent.
+package dirsvr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+)
+
+// Operation codes.
+const (
+	// OpCreateDir creates an empty directory; returns its capability.
+	OpCreateDir uint16 = 0x0400 + iota
+	// OpLookup looks a name up: data = name bytes. Returns the stored
+	// capability. Needs RightRead.
+	OpLookup
+	// OpEnter adds an entry: data = nameLen(2) ∥ name ∥ capability(16).
+	// Needs RightWrite.
+	OpEnter
+	// OpRemove deletes an entry: data = name bytes. Needs RightWrite.
+	OpRemove
+	// OpList returns all entries, sorted by name:
+	// count(2) ∥ count × (nameLen(2) ∥ name ∥ capability(16)).
+	// Needs RightRead.
+	OpList
+	// OpDestroyDir destroys an empty directory. Needs RightDestroy.
+	OpDestroyDir
+)
+
+// MaxNameLen bounds a single component name.
+const MaxNameLen = 255
+
+type directory struct {
+	mu      sync.RWMutex
+	entries map[string]cap.Capability
+}
+
+// Server is a directory server instance.
+type Server struct {
+	rpc   *rpc.Server
+	table *cap.Table
+
+	mu   sync.RWMutex
+	dirs map[uint32]*directory
+}
+
+// New builds a directory server. Call Start to begin serving.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
+	s := &Server{dirs: make(map[uint32]*directory)}
+	s.rpc = rpc.NewServer(fb, src)
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpCreateDir, s.createDir)
+	s.rpc.Handle(OpLookup, s.lookup)
+	s.rpc.Handle(OpEnter, s.enter)
+	s.rpc.Handle(OpRemove, s.remove)
+	s.rpc.Handle(OpList, s.list)
+	s.rpc.Handle(OpDestroyDir, s.destroyDir)
+	return s
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table.
+func (s *Server) Table() *cap.Table { return s.table }
+
+func (s *Server) createDir(_ rpc.Context, _ rpc.Request) rpc.Reply {
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	s.dirs[c.Object] = &directory{entries: make(map[string]cap.Capability)}
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+func (s *Server) dir(c cap.Capability, need cap.Rights) (*directory, error) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	d := s.dirs[c.Object]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil, fmt.Errorf("dirsvr: object %d: %w", c.Object, cap.ErrNoSuchObject)
+	}
+	return d, nil
+}
+
+func validName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("dirsvr: empty name")
+	case len(name) > MaxNameLen:
+		return fmt.Errorf("dirsvr: name longer than %d bytes", MaxNameLen)
+	case strings.ContainsRune(name, '/'):
+		return fmt.Errorf("dirsvr: component name contains '/'")
+	}
+	return nil
+}
+
+func (s *Server) lookup(_ rpc.Context, req rpc.Request) rpc.Reply {
+	d, err := s.dir(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	name := string(req.Data)
+	if err := validName(name); err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	d.mu.RLock()
+	c, ok := d.entries[name]
+	d.mu.RUnlock()
+	if !ok {
+		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("no entry %q", name))
+	}
+	return rpc.CapReply(c)
+}
+
+func (s *Server) enter(_ rpc.Context, req rpc.Request) rpc.Reply {
+	d, err := s.dir(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if len(req.Data) < 2 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "enter wants nameLen(2) ∥ name ∥ cap(16)")
+	}
+	n := int(binary.BigEndian.Uint16(req.Data))
+	if len(req.Data) != 2+n+cap.Size {
+		return rpc.ErrReply(rpc.StatusBadRequest, "enter parameter length mismatch")
+	}
+	name := string(req.Data[2 : 2+n])
+	if err := validName(name); err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	entry, err := cap.Decode(req.Data[2+n:])
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.entries[name]; dup {
+		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("entry %q exists", name))
+	}
+	d.entries[name] = entry
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) remove(_ rpc.Context, req rpc.Request) rpc.Reply {
+	d, err := s.dir(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	name := string(req.Data)
+	if err := validName(name); err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[name]; !ok {
+		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("no entry %q", name))
+	}
+	delete(d.entries, name)
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) list(_ rpc.Context, req rpc.Request) rpc.Reply {
+	d, err := s.dir(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	d.mu.RLock()
+	names := make([]string, 0, len(d.entries))
+	for name := range d.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]byte, 2)
+	binary.BigEndian.PutUint16(out, uint16(len(names)))
+	for _, name := range names {
+		var nl [2]byte
+		binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
+		out = append(out, nl[:]...)
+		out = append(out, name...)
+		out = d.entries[name].AppendTo(out)
+	}
+	d.mu.RUnlock()
+	return rpc.OkReply(out)
+}
+
+func (s *Server) destroyDir(_ rpc.Context, req rpc.Request) rpc.Reply {
+	d, err := s.dir(req.Cap, cap.RightDestroy)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	d.mu.RLock()
+	n := len(d.entries)
+	d.mu.RUnlock()
+	if n != 0 {
+		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("directory not empty (%d entries)", n))
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.dirs, req.Cap.Object)
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }

@@ -1,0 +1,423 @@
+// Package flatfs implements the Amoeba flat file server (§3.3): files
+// are linear byte sequences with CREATE FILE, DESTROY FILE, WRITE FILE
+// and READ FILE, each operation naming the file by capability and a
+// position by parameter. "The server does not have any concept of an
+// 'open' file. One can operate on any file for which a valid
+// capability can be presented."
+//
+// True to the modular design of §3.2, the flat file server stores its
+// data through a *block server client*: it is itself an ordinary
+// client of another capability-protected service, holding block
+// capabilities in its file tables. The two servers may run on
+// different machines; the file server neither knows nor cares.
+package flatfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/blocksvr"
+)
+
+// Operation codes.
+const (
+	// OpCreate creates an empty file and returns its capability.
+	OpCreate uint16 = 0x0300 + iota
+	// OpDestroy destroys the file, freeing its blocks. Needs
+	// RightDestroy.
+	OpDestroy
+	// OpWrite writes at a position: data = pos(8) ∥ bytes. The file
+	// grows as needed. Needs RightWrite.
+	OpWrite
+	// OpRead reads from a position: data = pos(8) ∥ length(4); returns
+	// up to length bytes, short at end of file. Needs RightRead.
+	OpRead
+	// OpSize returns the file size (8 bytes). Needs RightRead.
+	OpSize
+	// OpTruncate sets the size: data = size(8). Shrinking frees whole
+	// blocks beyond the new end. Needs RightWrite.
+	OpTruncate
+)
+
+// MaxFileSize bounds a single file (256 MiB here; the object is to
+// keep runaway tests honest, not to model 1986 drives).
+const MaxFileSize = 256 << 20
+
+// file is the per-file table entry: the block capabilities that make
+// up the file, in order, plus the byte size.
+type file struct {
+	mu     sync.RWMutex
+	size   uint64
+	blocks []cap.Capability
+}
+
+// Server is a flat file server instance.
+type Server struct {
+	rpc    *rpc.Server
+	table  *cap.Table
+	blocks *blocksvr.Client
+	bsize  uint64
+
+	mu    sync.RWMutex
+	files map[uint32]*file
+}
+
+// New builds a flat file server storing data via blocks, whose block
+// size it learns with a Stat transaction at construction time.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, blocks *blocksvr.Client) (*Server, error) {
+	bs, _, _, err := blocks.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("flatfs: probing block server: %w", err)
+	}
+	s := &Server{
+		blocks: blocks,
+		bsize:  uint64(bs),
+		files:  make(map[uint32]*file),
+	}
+	s.rpc = rpc.NewServer(fb, src)
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpCreate, s.create)
+	s.rpc.Handle(OpDestroy, s.destroy)
+	s.rpc.Handle(OpWrite, s.write)
+	s.rpc.Handle(OpRead, s.read)
+	s.rpc.Handle(OpSize, s.sizeOp)
+	s.rpc.Handle(OpTruncate, s.truncate)
+	return s, nil
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table.
+func (s *Server) Table() *cap.Table { return s.table }
+
+func (s *Server) create(_ rpc.Context, _ rpc.Request) rpc.Reply {
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	s.files[c.Object] = &file{}
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+func (s *Server) lookup(c cap.Capability, need cap.Rights) (*file, error) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	f := s.files[c.Object]
+	s.mu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("flatfs: object %d: %w", c.Object, cap.ErrNoSuchObject)
+	}
+	return f, nil
+}
+
+func (s *Server) destroy(_ rpc.Context, req rpc.Request) rpc.Reply {
+	f, err := s.lookup(req.Cap, cap.RightDestroy)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.files, req.Cap.Object)
+	s.mu.Unlock()
+	f.mu.Lock()
+	blocks := f.blocks
+	f.blocks = nil
+	f.size = 0
+	f.mu.Unlock()
+	// Free the data blocks; best effort (an unreachable block server
+	// leaves orphans, the 1986 answer being a scavenger pass).
+	for _, b := range blocks {
+		_ = s.blocks.Free(b)
+	}
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) < 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "write wants pos(8) ∥ bytes")
+	}
+	f, err := s.lookup(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	pos := binary.BigEndian.Uint64(req.Data)
+	payload := req.Data[8:]
+	if pos+uint64(len(payload)) > MaxFileSize {
+		return rpc.ErrReply(rpc.StatusBadRequest, "file size limit exceeded")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := pos + uint64(len(payload))
+	if err := s.growLocked(f, end); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	// Read-modify-write each spanned block.
+	for off := pos; off < end; {
+		bi := off / s.bsize
+		bo := off % s.bsize
+		n := s.bsize - bo
+		if n > end-off {
+			n = end - off
+		}
+		blk, err := s.blocks.Read(f.blocks[bi])
+		if err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		copy(blk[bo:bo+n], payload[off-pos:])
+		if err := s.blocks.Write(f.blocks[bi], blk); err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		off += n
+	}
+	if end > f.size {
+		f.size = end
+	}
+	return rpc.OkReply(nil)
+}
+
+// growLocked extends the block list to cover [0, end).
+func (s *Server) growLocked(f *file, end uint64) error {
+	need := int((end + s.bsize - 1) / s.bsize)
+	for len(f.blocks) < need {
+		b, err := s.blocks.Alloc()
+		if err != nil {
+			return fmt.Errorf("flatfs: allocating block: %w", err)
+		}
+		f.blocks = append(f.blocks, b)
+	}
+	return nil
+}
+
+func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) != 12 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "read wants pos(8) ∥ length(4)")
+	}
+	f, err := s.lookup(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	pos := binary.BigEndian.Uint64(req.Data)
+	want := uint64(binary.BigEndian.Uint32(req.Data[8:]))
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if pos >= f.size {
+		return rpc.OkReply(nil) // read at or past EOF: empty
+	}
+	if pos+want > f.size {
+		want = f.size - pos
+	}
+	out := make([]byte, 0, want)
+	for off := pos; off < pos+want; {
+		bi := off / s.bsize
+		bo := off % s.bsize
+		n := s.bsize - bo
+		if n > pos+want-off {
+			n = pos + want - off
+		}
+		blk, err := s.blocks.Read(f.blocks[bi])
+		if err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		out = append(out, blk[bo:bo+n]...)
+		off += n
+	}
+	return rpc.OkReply(out)
+}
+
+func (s *Server) sizeOp(_ rpc.Context, req rpc.Request) rpc.Reply {
+	f, err := s.lookup(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], f.size)
+	return rpc.OkReply(out[:])
+}
+
+func (s *Server) truncate(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "truncate wants size(8)")
+	}
+	f, err := s.lookup(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	newSize := binary.BigEndian.Uint64(req.Data)
+	if newSize > MaxFileSize {
+		return rpc.ErrReply(rpc.StatusBadRequest, "file size limit exceeded")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if newSize >= f.size {
+		if err := s.growLocked(f, newSize); err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		f.size = newSize
+		return rpc.OkReply(nil)
+	}
+	keep := int((newSize + s.bsize - 1) / s.bsize)
+	for _, b := range f.blocks[keep:] {
+		_ = s.blocks.Free(b)
+	}
+	f.blocks = f.blocks[:keep]
+	f.size = newSize
+	// Zero the tail of the last kept block so regrowth reads zeros.
+	if keep > 0 && newSize%s.bsize != 0 {
+		blk, err := s.blocks.Read(f.blocks[keep-1])
+		if err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		for i := newSize % s.bsize; i < s.bsize; i++ {
+			blk[i] = 0
+		}
+		if err := s.blocks.Write(f.blocks[keep-1], blk); err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+	}
+	return rpc.OkReply(nil)
+}
+
+// Client is the typed client for a flat file server.
+type Client struct {
+	c    *rpc.Client
+	port cap.Port
+}
+
+// NewClient builds a client speaking to the file server at port.
+func NewClient(c *rpc.Client, port cap.Port) *Client {
+	return &Client{c: c, port: port}
+}
+
+// Port returns the server's put-port.
+func (f *Client) Port() cap.Port { return f.port }
+
+// Create creates an empty file and returns its capability.
+func (f *Client) Create() (cap.Capability, error) {
+	rep, err := f.c.Trans(f.port, rpc.Request{Op: OpCreate})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return cap.Nil, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep.Cap, nil
+}
+
+// Destroy destroys the file.
+func (f *Client) Destroy(fc cap.Capability) error {
+	_, err := f.c.Call(fc, OpDestroy, nil)
+	return err
+}
+
+// transferChunk bounds a single WRITE/READ transaction's data so
+// requests stay well under the network MTU; larger operations are
+// split into a succession of transactions, exactly the §2.3 example's
+// "succession of data messages, each containing the capability and
+// some data".
+const transferChunk = 64 << 10
+
+// WriteAt writes data at pos, growing the file as needed. Writes
+// larger than one transaction's worth are split into a succession of
+// messages; each chunk is atomic, the whole write is not (neither were
+// the paper's).
+func (f *Client) WriteAt(fc cap.Capability, pos uint64, data []byte) error {
+	for {
+		n := len(data)
+		if n > transferChunk {
+			n = transferChunk
+		}
+		buf := make([]byte, 8+n)
+		binary.BigEndian.PutUint64(buf, pos)
+		copy(buf[8:], data[:n])
+		if _, err := f.c.Call(fc, OpWrite, buf); err != nil {
+			return err
+		}
+		pos += uint64(n)
+		data = data[n:]
+		if len(data) == 0 {
+			return nil
+		}
+	}
+}
+
+// ReadAt reads up to length bytes at pos (short at EOF), splitting
+// large reads into a succession of transactions.
+func (f *Client) ReadAt(fc cap.Capability, pos uint64, length uint32) ([]byte, error) {
+	var out []byte
+	for length > 0 {
+		n := length
+		if n > transferChunk {
+			n = transferChunk
+		}
+		var buf [12]byte
+		binary.BigEndian.PutUint64(buf[0:], pos)
+		binary.BigEndian.PutUint32(buf[8:], n)
+		rep, err := f.c.Call(fc, OpRead, buf[:])
+		if err != nil {
+			return nil, err
+		}
+		if out == nil && uint32(len(rep.Data)) == length {
+			return rep.Data, nil // common single-chunk case: no copy
+		}
+		out = append(out, rep.Data...)
+		if uint32(len(rep.Data)) < n {
+			break // EOF
+		}
+		pos += uint64(n)
+		length -= n
+	}
+	return out, nil
+}
+
+// Size returns the file size.
+func (f *Client) Size(fc cap.Capability) (uint64, error) {
+	rep, err := f.c.Call(fc, OpSize, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(rep.Data) != 8 {
+		return 0, fmt.Errorf("flatfs: size reply %d bytes", len(rep.Data))
+	}
+	return binary.BigEndian.Uint64(rep.Data), nil
+}
+
+// Truncate sets the file size.
+func (f *Client) Truncate(fc cap.Capability, size uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], size)
+	_, err := f.c.Call(fc, OpTruncate, buf[:])
+	return err
+}
+
+// Restrict fabricates a weaker capability via the server.
+func (f *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return f.c.Restrict(c, mask)
+}
+
+// Revoke re-keys the file object.
+func (f *Client) Revoke(c cap.Capability) (cap.Capability, error) { return f.c.Revoke(c) }
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }

@@ -1,0 +1,331 @@
+package flatfs
+
+import (
+	"bytes"
+	"testing"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/blocksvr"
+	"amoeba/internal/server/servertest"
+	"amoeba/internal/vdisk"
+)
+
+// newStack builds block server + flat file server on separate machines.
+func newStack(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *Client, *blocksvr.Client) {
+	t.Helper()
+	r := servertest.New(t, 0xF1A7)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(nblocks, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocksvr.New(r.NewFBox(t), scheme, r.Src, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bs.Close() })
+
+	// The file server is a *client* of the block server, on its own
+	// machine with its own RPC client.
+	fsFB := r.NewFBox(t)
+	fsRPC := r.NewClient(t)
+	bclient := blocksvr.NewClient(fsRPC, bs.PutPort())
+	fs, err := New(fsFB, scheme, r.Src, bclient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return r, NewClient(r.Client, fs.PutPort()), blocksvr.NewClient(r.Client, bs.PutPort())
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	_, fc, _ := newStack(t, 64, 64)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("files are linear byte sequences numbered from 0 to size-1")
+	if err := fc.WriteAt(f, 0, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 0, uint32(len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	size, err := fc.Size(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != uint64(len(msg)) {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+func TestWriteSpansBlocks(t *testing.T) {
+	_, fc, _ := newStack(t, 64, 16) // tiny blocks force spanning
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("0123456789"), 10) // 100 bytes over 16-byte blocks
+	if err := fc.WriteAt(f, 5, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("cross-block write corrupted data")
+	}
+	// Leading gap reads as zeros.
+	head, err := fc.ReadAt(f, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, make([]byte, 5)) {
+		t.Fatalf("hole read %v", head)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	_, fc, _ := newStack(t, 16, 32)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bc" {
+		t.Fatalf("short read %q", got)
+	}
+	empty, err := fc.ReadAt(f, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("read past EOF returned %d bytes", len(empty))
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	_, fc, _ := newStack(t, 16, 32)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, []byte("aaaaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 3, []byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaBBBaaaa" {
+		t.Fatalf("overwrite result %q", got)
+	}
+}
+
+func TestDestroyFreesBlocks(t *testing.T) {
+	_, fc, bc := newStack(t, 8, 32)
+	_, _, before, err := bc.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, make([]byte, 100)); err != nil { // 4 blocks
+		t.Fatal(err)
+	}
+	_, _, during, err := bc.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during != before-4 {
+		t.Fatalf("blocks in use: %d -> %d, want 4 fewer", before, during)
+	}
+	if err := fc.Destroy(f); err != nil {
+		t.Fatal(err)
+	}
+	_, _, after, err := bc.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("blocks leaked: before %d after %d", before, after)
+	}
+	if _, err := fc.ReadAt(f, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("read of destroyed file: %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, fc, bc := newStack(t, 16, 16)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, bytes.Repeat([]byte{0xAA}, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Truncate(f, 10); err != nil {
+		t.Fatal(err)
+	}
+	size, err := fc.Size(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 10 {
+		t.Fatalf("size after truncate = %d", size)
+	}
+	_, _, free, err := bc.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 15 { // 40 bytes used 3 blocks; 10 bytes keeps 1
+		t.Fatalf("free blocks after shrink = %d, want 15", free)
+	}
+	// Regrow: the tail must read as zeros, not stale 0xAA.
+	if err := fc.Truncate(f, 16); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 6)) {
+		t.Fatalf("regrown tail leaked data: %v", got)
+	}
+}
+
+func TestFileRights(t *testing.T) {
+	_, fc, _ := newStack(t, 16, 32)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, []byte("private")); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's canonical example: pass read-only access to another
+	// client.
+	readOnly, err := fc.Restrict(f, cap.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(readOnly, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "private" {
+		t.Fatalf("read %q", got)
+	}
+	if err := fc.WriteAt(readOnly, 0, []byte("X")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("write with read-only: %v", err)
+	}
+	if err := fc.Truncate(readOnly, 0); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("truncate with read-only: %v", err)
+	}
+	if err := fc.Destroy(readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("destroy with read-only: %v", err)
+	}
+}
+
+func TestDiskExhaustionSurfaces(t *testing.T) {
+	_, fc, _ := newStack(t, 2, 16)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, make([]byte, 64)); !rpc.IsStatus(err, rpc.StatusServerError) {
+		t.Fatalf("write beyond disk capacity: %v", err)
+	}
+}
+
+func TestRevocationCutsOffReaders(t *testing.T) {
+	_, fc, _ := newStack(t, 16, 32)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := fc.Restrict(f, cap.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := fc.Revoke(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.ReadAt(shared, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("revoked share: %v", err)
+	}
+	if _, err := fc.Size(fresh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeWriteReadChunked(t *testing.T) {
+	// A 300 KiB write exceeds one transaction's worth of data; the
+	// client splits it into the paper's "succession of data messages".
+	_, fc, _ := newStack(t, 1024, 1024)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 300<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := fc.WriteAt(f, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ReadAt(f, 3, uint32(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large chunked transfer corrupted data")
+	}
+	size, err := fc.Size(f)
+	if err != nil || size != uint64(len(payload))+3 {
+		t.Fatalf("size %d %v", size, err)
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	_, fc, _ := newStack(t, 16, 32)
+	f, err := fc.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteAt(f, 0, nil); err != nil {
+		t.Fatalf("zero-length write: %v", err)
+	}
+	got, err := fc.ReadAt(f, 0, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero-length read: %v %v", got, err)
+	}
+}

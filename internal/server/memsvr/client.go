@@ -1,0 +1,152 @@
+package memsvr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+)
+
+// Client is the typed client for a memory server. The parent-process
+// pattern of §3.1 — create segments, load them, MAKE PROCESS — maps
+// directly onto its methods, and by pointing a Client at a memory
+// server on a remote machine "the parent can create the child wherever
+// it wants to".
+type Client struct {
+	c    *rpc.Client
+	port cap.Port
+}
+
+// NewClient builds a client speaking to the memory server at port.
+func NewClient(c *rpc.Client, port cap.Port) *Client {
+	return &Client{c: c, port: port}
+}
+
+// Port returns the server's put-port.
+func (m *Client) Port() cap.Port { return m.port }
+
+// CreateSegment creates a segment of the given size and returns its
+// capability.
+func (m *Client) CreateSegment(size uint32) (cap.Capability, error) {
+	var data [4]byte
+	binary.BigEndian.PutUint32(data[:], size)
+	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpCreateSegment, Data: data[:]})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if err := statusErr(rep); err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// Write loads data into the segment at offset.
+func (m *Client) Write(seg cap.Capability, offset uint32, data []byte) error {
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, offset)
+	copy(buf[4:], data)
+	rep, err := m.c.Call(seg, OpWriteSeg, buf)
+	if err != nil {
+		return err
+	}
+	return statusErr(rep)
+}
+
+// Read returns length bytes from the segment at offset.
+func (m *Client) Read(seg cap.Capability, offset, length uint32) ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], offset)
+	binary.BigEndian.PutUint32(buf[4:], length)
+	rep, err := m.c.Call(seg, OpReadSeg, buf[:])
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Size returns the segment's size.
+func (m *Client) Size(seg cap.Capability) (uint32, error) {
+	rep, err := m.c.Call(seg, OpSegSize, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(rep.Data) != 4 {
+		return 0, fmt.Errorf("memsvr: size reply %d bytes", len(rep.Data))
+	}
+	return binary.BigEndian.Uint32(rep.Data), nil
+}
+
+// DeleteSegment destroys a segment.
+func (m *Client) DeleteSegment(seg cap.Capability) error {
+	_, err := m.c.Call(seg, OpDeleteSegment, nil)
+	return err
+}
+
+// MakeProcess combines segments into a new process and returns the
+// process capability.
+func (m *Client) MakeProcess(segs ...cap.Capability) (cap.Capability, error) {
+	if len(segs) == 0 {
+		return cap.Nil, fmt.Errorf("memsvr: MakeProcess needs at least one segment")
+	}
+	buf := make([]byte, 2, 2+len(segs)*cap.Size)
+	binary.BigEndian.PutUint16(buf, uint16(len(segs)))
+	for _, sc := range segs {
+		buf = sc.AppendTo(buf)
+	}
+	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpMakeProcess, Data: buf})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if err := statusErr(rep); err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// Start starts a process.
+func (m *Client) Start(proc cap.Capability) error {
+	_, err := m.c.Call(proc, OpStartProcess, nil)
+	return err
+}
+
+// Stop stops a running process.
+func (m *Client) Stop(proc cap.Capability) error {
+	_, err := m.c.Call(proc, OpStopProcess, nil)
+	return err
+}
+
+// Stat returns a process's state and segment count.
+func (m *Client) Stat(proc cap.Capability) (state uint8, nsegs int, err error) {
+	rep, err := m.c.Call(proc, OpStatProcess, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rep.Data) != 3 {
+		return 0, 0, fmt.Errorf("memsvr: stat reply %d bytes", len(rep.Data))
+	}
+	return rep.Data[0], int(binary.BigEndian.Uint16(rep.Data[1:])), nil
+}
+
+// DeleteProcess destroys a process object.
+func (m *Client) DeleteProcess(proc cap.Capability) error {
+	_, err := m.c.Call(proc, OpDeleteProcess, nil)
+	return err
+}
+
+// Restrict, Revoke and Validate are inherited capability maintenance.
+func (m *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return m.c.Restrict(c, mask)
+}
+
+// Revoke re-keys the object, invalidating all outstanding capabilities.
+func (m *Client) Revoke(c cap.Capability) (cap.Capability, error) { return m.c.Revoke(c) }
+
+// statusErr converts a non-OK reply obtained via Trans into an error
+// (Call already does this; Trans paths need it explicitly).
+func statusErr(rep rpc.Reply) error {
+	if rep.Status == rpc.StatusOK {
+		return nil
+	}
+	return &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+}

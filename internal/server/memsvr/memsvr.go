@@ -1,0 +1,377 @@
+// Package memsvr implements the Amoeba memory server (§3.1): the
+// process that "manages physical memory and processes at the lowest
+// level". Clients CREATE SEGMENTs, WRITE data into them, READ them
+// back, and combine segment capabilities into a process with MAKE
+// PROCESS, receiving a process capability with which the child can be
+// started, stopped and generally manipulated. A large segment used
+// directly through READ/WRITE is the paper's "electronic disk".
+//
+// In the paper the memory server is part of each kernel but speaks the
+// normal message protocol "so that its clients do not perceive it as
+// being special in any way"; here it is an ordinary rpc.Server, which
+// is exactly that property.
+package memsvr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+)
+
+// Operation codes.
+const (
+	// OpCreateSegment creates a segment: data = size(4). Returns the
+	// segment capability.
+	OpCreateSegment uint16 = 0x0100 + iota
+	// OpWriteSeg writes into a segment: data = offset(4) ∥ bytes.
+	// Needs RightWrite.
+	OpWriteSeg
+	// OpReadSeg reads from a segment: data = offset(4) ∥ length(4).
+	// Needs RightRead.
+	OpReadSeg
+	// OpSegSize returns the segment size (4 bytes). Needs RightRead.
+	OpSegSize
+	// OpDeleteSegment destroys a segment. Needs RightDestroy.
+	OpDeleteSegment
+	// OpMakeProcess builds a process from segments: data = count(2) ∥
+	// count × capability. Every segment capability must be valid and
+	// carry RightRead. Returns the process capability.
+	OpMakeProcess
+	// OpStartProcess moves a process to running. Needs RightWrite.
+	OpStartProcess
+	// OpStopProcess moves a process to stopped. Needs RightWrite.
+	OpStopProcess
+	// OpStatProcess returns state(1) ∥ nsegs(2). Needs RightRead.
+	OpStatProcess
+	// OpDeleteProcess destroys a process object. Needs RightDestroy.
+	OpDeleteProcess
+)
+
+// Process states.
+const (
+	// StateBuilt is a process made but never started.
+	StateBuilt uint8 = iota + 1
+	// StateRunning is a started process.
+	StateRunning
+	// StateStopped is a stopped process.
+	StateStopped
+)
+
+// MaxSegment bounds a single segment (16 MiB), mirroring the bound a
+// 1986 memory server would enforce and keeping the simulation honest.
+const MaxSegment = 16 << 20
+
+type segment struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+type process struct {
+	mu    sync.Mutex
+	state uint8
+	segs  []uint32 // object numbers of the member segments
+}
+
+// Executor is the machine's "CPU": when a process is started, the
+// executor receives the process object number and a copy of each
+// member segment's contents (text, data, stack — in MAKE PROCESS
+// order). The paper's memory server hands the segments to real
+// hardware; the simulation hands them to a Go function. Executors run
+// synchronously inside the start operation: keep them short or hand
+// off internally.
+type Executor func(proc uint32, segments [][]byte)
+
+// Server is a memory server instance.
+type Server struct {
+	rpc   *rpc.Server
+	table *cap.Table
+
+	mu        sync.RWMutex
+	executor  Executor
+	segments  map[uint32]*segment
+	processes map[uint32]*process
+}
+
+// New builds a memory server on fb protecting its objects with scheme.
+// Call Start to begin serving.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
+	s := &Server{
+		segments:  make(map[uint32]*segment),
+		processes: make(map[uint32]*process),
+	}
+	s.rpc = rpc.NewServer(fb, src)
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpCreateSegment, s.createSegment)
+	s.rpc.Handle(OpWriteSeg, s.writeSeg)
+	s.rpc.Handle(OpReadSeg, s.readSeg)
+	s.rpc.Handle(OpSegSize, s.segSize)
+	s.rpc.Handle(OpDeleteSegment, s.deleteSegment)
+	s.rpc.Handle(OpMakeProcess, s.makeProcess)
+	s.rpc.Handle(OpStartProcess, s.startProcess)
+	s.rpc.Handle(OpStopProcess, s.stopProcess)
+	s.rpc.Handle(OpStatProcess, s.statProcess)
+	s.rpc.Handle(OpDeleteProcess, s.deleteProcess)
+	return s
+}
+
+// Start begins serving. Close stops it.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table (experiments use it).
+func (s *Server) Table() *cap.Table { return s.table }
+
+func (s *Server) createSegment(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) != 4 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "create segment wants size(4)")
+	}
+	size := binary.BigEndian.Uint32(req.Data)
+	if size > MaxSegment {
+		return rpc.ErrReply(rpc.StatusBadRequest, fmt.Sprintf("segment size %d exceeds %d", size, MaxSegment))
+	}
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	s.segments[c.Object] = &segment{data: make([]byte, size)}
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+// seg validates the capability against need and returns the segment.
+func (s *Server) seg(c cap.Capability, need cap.Rights) (*segment, rpc.Reply, bool) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, rpc.ErrReplyFromErr(err), false
+	}
+	s.mu.RLock()
+	sg := s.segments[c.Object]
+	s.mu.RUnlock()
+	if sg == nil {
+		return nil, rpc.ErrReply(rpc.StatusBadCapability, "not a segment"), false
+	}
+	return sg, rpc.Reply{}, true
+}
+
+func (s *Server) writeSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) < 4 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "write wants offset(4) ∥ bytes")
+	}
+	sg, errRep, ok := s.seg(req.Cap, cap.RightWrite)
+	if !ok {
+		return errRep
+	}
+	off := binary.BigEndian.Uint32(req.Data)
+	payload := req.Data[4:]
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	if int64(off)+int64(len(payload)) > int64(len(sg.data)) {
+		return rpc.ErrReply(rpc.StatusBadRequest,
+			fmt.Sprintf("write [%d,%d) exceeds segment size %d", off, int64(off)+int64(len(payload)), len(sg.data)))
+	}
+	copy(sg.data[off:], payload)
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) readSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "read wants offset(4) ∥ length(4)")
+	}
+	sg, errRep, ok := s.seg(req.Cap, cap.RightRead)
+	if !ok {
+		return errRep
+	}
+	off := binary.BigEndian.Uint32(req.Data[0:4])
+	n := binary.BigEndian.Uint32(req.Data[4:8])
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	if int64(off)+int64(n) > int64(len(sg.data)) {
+		return rpc.ErrReply(rpc.StatusBadRequest,
+			fmt.Sprintf("read [%d,%d) exceeds segment size %d", off, int64(off)+int64(n), len(sg.data)))
+	}
+	out := make([]byte, n)
+	copy(out, sg.data[off:])
+	return rpc.OkReply(out)
+}
+
+func (s *Server) segSize(_ rpc.Context, req rpc.Request) rpc.Reply {
+	sg, errRep, ok := s.seg(req.Cap, cap.RightRead)
+	if !ok {
+		return errRep
+	}
+	sg.mu.RLock()
+	defer sg.mu.RUnlock()
+	var out [4]byte
+	binary.BigEndian.PutUint32(out[:], uint32(len(sg.data)))
+	return rpc.OkReply(out[:])
+}
+
+func (s *Server) deleteSegment(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, errRep, ok := s.seg(req.Cap, cap.RightDestroy); !ok {
+		return errRep
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.segments, req.Cap.Object)
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) makeProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) < 2 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "make process wants count(2) ∥ caps")
+	}
+	n := int(binary.BigEndian.Uint16(req.Data))
+	if len(req.Data) != 2+n*cap.Size {
+		return rpc.ErrReply(rpc.StatusBadRequest, "segment capability list truncated")
+	}
+	if n == 0 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "a process needs at least one segment")
+	}
+	segs := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		sc, err := cap.Decode(req.Data[2+i*cap.Size : 2+(i+1)*cap.Size])
+		if err != nil {
+			return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+		}
+		// Every constituent segment capability must be genuine and
+		// readable: the process is built from memory its creator could
+		// read anyway.
+		if _, err := s.table.Demand(sc, cap.RightRead); err != nil {
+			return rpc.ErrReplyFromErr(fmt.Errorf("segment %d: %w", i, err))
+		}
+		s.mu.RLock()
+		_, isSeg := s.segments[sc.Object]
+		s.mu.RUnlock()
+		if !isSeg {
+			return rpc.ErrReply(rpc.StatusBadCapability, fmt.Sprintf("capability %d is not a segment", i))
+		}
+		segs = append(segs, sc.Object)
+	}
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	s.processes[c.Object] = &process{state: StateBuilt, segs: segs}
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+// proc validates the capability against need and returns the process.
+func (s *Server) proc(c cap.Capability, need cap.Rights) (*process, rpc.Reply, bool) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, rpc.ErrReplyFromErr(err), false
+	}
+	s.mu.RLock()
+	p := s.processes[c.Object]
+	s.mu.RUnlock()
+	if p == nil {
+		return nil, rpc.ErrReply(rpc.StatusBadCapability, "not a process"), false
+	}
+	return p, rpc.Reply{}, true
+}
+
+// SetExecutor installs the process-start hook (nil removes it).
+func (s *Server) SetExecutor(fn Executor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.executor = fn
+}
+
+func (s *Server) startProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+	p, errRep, ok := s.proc(req.Cap, cap.RightWrite)
+	if !ok {
+		return errRep
+	}
+	p.mu.Lock()
+	if p.state == StateRunning {
+		p.mu.Unlock()
+		return rpc.ErrReply(rpc.StatusServerError, "process already running")
+	}
+	p.state = StateRunning
+	segObjs := append([]uint32(nil), p.segs...)
+	p.mu.Unlock()
+
+	s.mu.RLock()
+	exec := s.executor
+	s.mu.RUnlock()
+	if exec != nil {
+		// Snapshot the segments: the executor sees the memory image as
+		// of the start, like a loaded program.
+		images := make([][]byte, 0, len(segObjs))
+		s.mu.RLock()
+		for _, obj := range segObjs {
+			sg := s.segments[obj]
+			if sg == nil {
+				images = append(images, nil) // segment deleted meanwhile
+				continue
+			}
+			sg.mu.RLock()
+			img := make([]byte, len(sg.data))
+			copy(img, sg.data)
+			sg.mu.RUnlock()
+			images = append(images, img)
+		}
+		s.mu.RUnlock()
+		exec(req.Cap.Object, images)
+	}
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) stopProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+	p, errRep, ok := s.proc(req.Cap, cap.RightWrite)
+	if !ok {
+		return errRep
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state != StateRunning {
+		return rpc.ErrReply(rpc.StatusServerError, "process not running")
+	}
+	p.state = StateStopped
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) statProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+	p, errRep, ok := s.proc(req.Cap, cap.RightRead)
+	if !ok {
+		return errRep
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]byte, 3)
+	out[0] = p.state
+	binary.BigEndian.PutUint16(out[1:], uint16(len(p.segs)))
+	return rpc.OkReply(out)
+}
+
+func (s *Server) deleteProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, errRep, ok := s.proc(req.Cap, cap.RightDestroy); !ok {
+		return errRep
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.processes, req.Cap.Object)
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }

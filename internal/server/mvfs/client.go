@@ -1,0 +1,123 @@
+package mvfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+)
+
+// Client is the typed client for a multiversion file server.
+type Client struct {
+	c    *rpc.Client
+	port cap.Port
+}
+
+// NewClient builds a client speaking to the server at port.
+func NewClient(c *rpc.Client, port cap.Port) *Client {
+	return &Client{c: c, port: port}
+}
+
+// Port returns the server's put-port.
+func (m *Client) Port() cap.Port { return m.port }
+
+// CreateFile creates a file (version 0 empty, committed).
+func (m *Client) CreateFile() (cap.Capability, error) {
+	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpCreateFile})
+	if err != nil {
+		return cap.Nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return cap.Nil, &rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep.Cap, nil
+}
+
+// NewVersion starts an uncommitted version of the file.
+func (m *Client) NewVersion(fileCap cap.Capability) (cap.Capability, error) {
+	rep, err := m.c.Call(fileCap, OpNewVersion, nil)
+	if err != nil {
+		return cap.Nil, err
+	}
+	return rep.Cap, nil
+}
+
+// WritePage writes one page of an uncommitted version (data is
+// zero-padded to PageSize).
+func (m *Client) WritePage(verCap cap.Capability, pageNo uint32, data []byte) error {
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, pageNo)
+	copy(buf[4:], data)
+	_, err := m.c.Call(verCap, OpWritePage, buf)
+	return err
+}
+
+// ReadPage reads a page of the file's current version (with a file
+// capability) or of an uncommitted version (with a version capability).
+func (m *Client) ReadPage(c cap.Capability, pageNo uint32) ([]byte, error) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], pageNo)
+	rep, err := m.c.Call(c, OpReadPage, buf[:])
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// ReadPageVersion reads a page of a specific committed version.
+func (m *Client) ReadPageVersion(fileCap cap.Capability, pageNo, versionNo uint32) ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], pageNo)
+	binary.BigEndian.PutUint32(buf[4:], versionNo)
+	rep, err := m.c.Call(fileCap, OpReadPage, buf[:])
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Commit atomically publishes the version; returns its number and how
+// many pages it actually copied.
+func (m *Client) Commit(verCap cap.Capability) (versionNo, pagesCopied uint32, err error) {
+	rep, err := m.c.Call(verCap, OpCommit, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rep.Data) != 8 {
+		return 0, 0, fmt.Errorf("mvfs: commit reply %d bytes", len(rep.Data))
+	}
+	return binary.BigEndian.Uint32(rep.Data[0:]), binary.BigEndian.Uint32(rep.Data[4:]), nil
+}
+
+// Abort discards an uncommitted version.
+func (m *Client) Abort(verCap cap.Capability) error {
+	_, err := m.c.Call(verCap, OpAbort, nil)
+	return err
+}
+
+// Stat returns the file's version count, current page count and page
+// size.
+func (m *Client) Stat(fileCap cap.Capability) (nversions, npages, pageSize uint32, err error) {
+	rep, err := m.c.Call(fileCap, OpStatFile, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(rep.Data) != 12 {
+		return 0, 0, 0, fmt.Errorf("mvfs: stat reply %d bytes", len(rep.Data))
+	}
+	return binary.BigEndian.Uint32(rep.Data[0:]),
+		binary.BigEndian.Uint32(rep.Data[4:]),
+		binary.BigEndian.Uint32(rep.Data[8:]), nil
+}
+
+// DestroyFile destroys the file and all of its versions.
+func (m *Client) DestroyFile(fileCap cap.Capability) error {
+	_, err := m.c.Call(fileCap, OpDestroyFile, nil)
+	return err
+}
+
+// Restrict fabricates a weaker capability via the server.
+func (m *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return m.c.Restrict(c, mask)
+}

@@ -1,0 +1,336 @@
+// Package mvfs implements the Amoeba multiversion file server (§3.5):
+// files are trees of pages rather than byte sequences, and updates are
+// atomic. A client asks for a new version of a file and receives a
+// capability for it; the new version acts like a page-by-page copy of
+// the original, "although in fact, pages are only copied when they are
+// changed" (copy-on-write). The version is modified at will and then
+// atomically committed, becoming the new file; committed versions are
+// immutable — the design aimed at write-once media.
+//
+// Commit uses the optimistic concurrency control of the underlying
+// technical report (Mullender & Tanenbaum 1982): several uncommitted
+// versions may exist concurrently; a commit succeeds only if the
+// version's base is still the file's current version, otherwise the
+// committer has lost the race and must retry from a fresh version.
+package mvfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+)
+
+// Operation codes.
+const (
+	// OpCreateFile creates a file whose version 0 is empty and
+	// committed; returns the file capability.
+	OpCreateFile uint16 = 0x0500 + iota
+	// OpNewVersion starts an uncommitted version based on the file's
+	// current version: cap = file, needs RightCreate. Returns the
+	// version capability.
+	OpNewVersion
+	// OpWritePage writes one page of an uncommitted version:
+	// cap = version, data = pageNo(4) ∥ bytes (≤ PageSize). Needs
+	// RightWrite.
+	OpWritePage
+	// OpReadPage reads a page: cap = file (current version) or
+	// version; data = pageNo(4), or pageNo(4) ∥ versionNo(4) with a
+	// file capability to read an old version. Needs RightRead.
+	OpReadPage
+	// OpCommit atomically makes an uncommitted version the file's
+	// current version. Needs RightWrite. Returns
+	// versionNo(4) ∥ pagesCopied(4); fails with a conflict if another
+	// version committed first.
+	OpCommit
+	// OpAbort discards an uncommitted version. Needs RightWrite.
+	OpAbort
+	// OpStatFile returns nversions(4) ∥ npagesCurrent(4) ∥ pageSize(4).
+	// Needs RightRead.
+	OpStatFile
+	// OpDestroyFile destroys the file and all versions. Needs
+	// RightDestroy.
+	OpDestroyFile
+)
+
+// PageSize is the fixed page size.
+const PageSize = 1024
+
+// MaxPages bounds a file's page count.
+const MaxPages = 1 << 20
+
+// version is a page tree. Pages are immutable once the version
+// commits; uncommitted versions share unchanged pages with their base
+// (the slices are aliased, never written in place).
+type version struct {
+	fileObj uint32
+	base    int // index in file.versions this version grew from
+	pages   map[uint32][]byte
+	written map[uint32]bool // pages copied (written) in this version
+}
+
+type file struct {
+	mu       sync.RWMutex
+	versions []*version // committed, in order; last is current
+}
+
+// Server is a multiversion file server instance.
+type Server struct {
+	rpc   *rpc.Server
+	table *cap.Table
+
+	mu       sync.RWMutex
+	files    map[uint32]*file
+	building map[uint32]*version // uncommitted versions by object number
+}
+
+// New builds a multiversion file server.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
+	s := &Server{
+		files:    make(map[uint32]*file),
+		building: make(map[uint32]*version),
+	}
+	s.rpc = rpc.NewServer(fb, src)
+	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
+	s.rpc.ServeTable(s.table)
+	s.rpc.Handle(OpCreateFile, s.createFile)
+	s.rpc.Handle(OpNewVersion, s.newVersion)
+	s.rpc.Handle(OpWritePage, s.writePage)
+	s.rpc.Handle(OpReadPage, s.readPage)
+	s.rpc.Handle(OpCommit, s.commit)
+	s.rpc.Handle(OpAbort, s.abort)
+	s.rpc.Handle(OpStatFile, s.statFile)
+	s.rpc.Handle(OpDestroyFile, s.destroyFile)
+	return s
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.rpc.Start() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// PutPort returns the server's public put-port.
+func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+
+// Table exposes the object table.
+func (s *Server) Table() *cap.Table { return s.table }
+
+func (s *Server) createFile(_ rpc.Context, _ rpc.Request) rpc.Reply {
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	v0 := &version{pages: make(map[uint32][]byte), written: make(map[uint32]bool)}
+	s.mu.Lock()
+	s.files[c.Object] = &file{versions: []*version{v0}}
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+func (s *Server) fileFor(c cap.Capability, need cap.Rights) (*file, error) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	f := s.files[c.Object]
+	s.mu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("mvfs: object %d is not a file: %w", c.Object, cap.ErrNoSuchObject)
+	}
+	return f, nil
+}
+
+func (s *Server) versionFor(c cap.Capability, need cap.Rights) (*version, error) {
+	if _, err := s.table.Demand(c, need); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	v := s.building[c.Object]
+	s.mu.RUnlock()
+	if v == nil {
+		return nil, fmt.Errorf("mvfs: object %d is not an uncommitted version: %w", c.Object, cap.ErrNoSuchObject)
+	}
+	return v, nil
+}
+
+func (s *Server) newVersion(_ rpc.Context, req rpc.Request) rpc.Reply {
+	f, err := s.fileFor(req.Cap, cap.RightCreate)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	c, err := s.table.Create()
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	f.mu.RLock()
+	base := len(f.versions) - 1
+	cur := f.versions[base]
+	pages := make(map[uint32][]byte, len(cur.pages))
+	for n, p := range cur.pages {
+		pages[n] = p // COW: share until written
+	}
+	f.mu.RUnlock()
+	v := &version{fileObj: req.Cap.Object, base: base, pages: pages, written: make(map[uint32]bool)}
+	s.mu.Lock()
+	s.building[c.Object] = v
+	s.mu.Unlock()
+	return rpc.CapReply(c)
+}
+
+func (s *Server) writePage(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) < 4 || len(req.Data) > 4+PageSize {
+		return rpc.ErrReply(rpc.StatusBadRequest, "write page wants pageNo(4) ∥ ≤PageSize bytes")
+	}
+	v, err := s.versionFor(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	pageNo := binary.BigEndian.Uint32(req.Data)
+	if pageNo >= MaxPages {
+		return rpc.ErrReply(rpc.StatusBadRequest, "page number too large")
+	}
+	// Copy-on-write: never touch the (possibly shared) old page.
+	page := make([]byte, PageSize)
+	copy(page, req.Data[4:])
+	s.mu.Lock()
+	v.pages[pageNo] = page
+	v.written[pageNo] = true
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) readPage(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if len(req.Data) != 4 && len(req.Data) != 8 {
+		return rpc.ErrReply(rpc.StatusBadRequest, "read page wants pageNo(4) [∥ versionNo(4)]")
+	}
+	pageNo := binary.BigEndian.Uint32(req.Data)
+
+	// A version capability reads the in-progress version.
+	s.mu.RLock()
+	_, isBuilding := s.building[req.Cap.Object]
+	s.mu.RUnlock()
+	if isBuilding && len(req.Data) == 4 {
+		v, err := s.versionFor(req.Cap, cap.RightRead)
+		if err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		s.mu.RLock()
+		page := v.pages[pageNo]
+		s.mu.RUnlock()
+		return rpc.OkReply(clonePage(page))
+	}
+
+	f, err := s.fileFor(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	idx := len(f.versions) - 1
+	if len(req.Data) == 8 {
+		idx = int(binary.BigEndian.Uint32(req.Data[4:]))
+		if idx < 0 || idx >= len(f.versions) {
+			return rpc.ErrReply(rpc.StatusBadRequest, fmt.Sprintf("no version %d", idx))
+		}
+	}
+	return rpc.OkReply(clonePage(f.versions[idx].pages[pageNo]))
+}
+
+// clonePage returns a full-size copy of a page (zero page if nil).
+func clonePage(p []byte) []byte {
+	out := make([]byte, PageSize)
+	copy(out, p)
+	return out
+}
+
+func (s *Server) commit(_ rpc.Context, req rpc.Request) rpc.Reply {
+	v, err := s.versionFor(req.Cap, cap.RightWrite)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.RLock()
+	f := s.files[v.fileObj]
+	s.mu.RUnlock()
+	if f == nil {
+		return rpc.ErrReply(rpc.StatusBadCapability, "file destroyed")
+	}
+	f.mu.Lock()
+	if len(f.versions)-1 != v.base {
+		f.mu.Unlock()
+		// Optimistic concurrency: someone committed first.
+		return rpc.ErrReply(rpc.StatusServerError,
+			fmt.Sprintf("commit conflict: base is version %d, current is %d", v.base, len(f.versions)-1))
+	}
+	f.versions = append(f.versions, v)
+	verNo := uint32(len(f.versions) - 1)
+	f.mu.Unlock()
+
+	s.mu.Lock()
+	delete(s.building, req.Cap.Object)
+	s.mu.Unlock()
+	// The version object is consumed by the commit: its capability is
+	// retired (the file capability reads the new current version).
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint32(out[0:], verNo)
+	binary.BigEndian.PutUint32(out[4:], uint32(len(v.written)))
+	return rpc.OkReply(out)
+}
+
+func (s *Server) abort(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, err := s.versionFor(req.Cap, cap.RightWrite); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.building, req.Cap.Object)
+	s.mu.Unlock()
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	return rpc.OkReply(nil)
+}
+
+func (s *Server) statFile(_ rpc.Context, req rpc.Request) rpc.Reply {
+	f, err := s.fileFor(req.Cap, cap.RightRead)
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out[0:], uint32(len(f.versions)))
+	binary.BigEndian.PutUint32(out[4:], uint32(len(f.versions[len(f.versions)-1].pages)))
+	binary.BigEndian.PutUint32(out[8:], PageSize)
+	return rpc.OkReply(out)
+}
+
+func (s *Server) destroyFile(_ rpc.Context, req rpc.Request) rpc.Reply {
+	if _, err := s.fileFor(req.Cap, cap.RightDestroy); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := s.table.Destroy(req.Cap); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.mu.Lock()
+	delete(s.files, req.Cap.Object)
+	// Orphan any in-progress versions of this file.
+	for obj, v := range s.building {
+		if v.fileObj == req.Cap.Object {
+			delete(s.building, obj)
+			_ = s.table.DestroyObject(obj)
+		}
+	}
+	s.mu.Unlock()
+	return rpc.OkReply(nil)
+}
+
+// SetSealer installs a §2.4 capability sealer on the server transport
+// (call before Start).
+func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }

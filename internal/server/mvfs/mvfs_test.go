@@ -1,0 +1,285 @@
+package mvfs
+
+import (
+	"bytes"
+	"testing"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/servertest"
+)
+
+func newServer(t *testing.T) (*servertest.Rig, *Client) {
+	t.Helper()
+	r := servertest.New(t, 0x3FF5)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(r.NewFBox(t), scheme, r.Src)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return r, NewClient(r.Client, s.PutPort())
+}
+
+func TestVersionCommitCycle(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, np, ps, err := m.Stat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 1 || np != 0 || ps != PageSize {
+		t.Fatalf("fresh file stat %d/%d/%d", nv, np, ps)
+	}
+
+	v, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v, 0, []byte("page zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v, 5, []byte("page five")); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted changes are invisible through the file capability.
+	page, err := m.ReadPage(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, make([]byte, PageSize)) {
+		t.Fatal("uncommitted write visible through file capability")
+	}
+	// But visible through the version capability.
+	page, err = m.ReadPage(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(page[:9]) != "page zero" {
+		t.Fatalf("version read %q", page[:9])
+	}
+
+	verNo, copied, err := m.Commit(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verNo != 1 || copied != 2 {
+		t.Fatalf("commit -> version %d, %d pages copied", verNo, copied)
+	}
+	page, err = m.ReadPage(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(page[:9]) != "page five" {
+		t.Fatalf("post-commit read %q", page[:9])
+	}
+	// The version capability is consumed by commit.
+	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("write to committed version: %v", err)
+	}
+}
+
+func TestCopyOnWriteCopiesOnlyDirtyPages(t *testing.T) {
+	// The §3.5 claim: the new version "acts like it is a page-by-page
+	// copy ... although in fact, pages are only copied when they are
+	// changed".
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit a 50-page base version.
+	v, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint32(0); p < 50; p++ {
+		if err := m.WritePage(v, p, []byte{byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, copied, err := m.Commit(v); err != nil || copied != 50 {
+		t.Fatalf("base commit copied %d (%v)", copied, err)
+	}
+	// New version touching one page: exactly one page copied.
+	v2, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v2, 7, []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if _, copied, err := m.Commit(v2); err != nil || copied != 1 {
+		t.Fatalf("incremental commit copied %d (%v)", copied, err)
+	}
+	// Unchanged pages still readable; changed page updated.
+	page, err := m.ReadPage(f, 3)
+	if err != nil || page[0] != 3 {
+		t.Fatalf("unchanged page: %v %v", page[0], err)
+	}
+	page, err = m.ReadPage(f, 7)
+	if err != nil || string(page[:7]) != "changed" {
+		t.Fatalf("changed page: %q %v", page[:7], err)
+	}
+}
+
+func TestOldVersionsRemainReadable(t *testing.T) {
+	// "A file is thus a sequence of versions" — write-once media.
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		v, err := m.NewVersion(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WritePage(v, 0, []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		page, err := m.ReadPageVersion(f, 0, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page[0] != byte('0'+i) {
+			t.Fatalf("version %d page reads %c", i, page[0])
+		}
+	}
+	if _, err := m.ReadPageVersion(f, 0, 99); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+		t.Fatalf("read of nonexistent version: %v", err)
+	}
+}
+
+func TestOptimisticConcurrencyConflict(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v1, 0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v2, 0, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Commit(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Commit(v2); !rpc.IsStatus(err, rpc.StatusServerError) {
+		t.Fatalf("conflicting commit: %v", err)
+	}
+	// The winner's data is current.
+	page, err := m.ReadPage(f, 0)
+	if err != nil || string(page[:5]) != "first" {
+		t.Fatalf("current page %q %v", page[:5], err)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("write to aborted version: %v", err)
+	}
+	nv, _, _, err := m.Stat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 1 {
+		t.Fatalf("aborted version committed: %d versions", nv)
+	}
+}
+
+func TestVersionRights(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	readOnly, err := m.Restrict(f, cap.RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewVersion(readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+		t.Fatalf("NewVersion with read-only file cap: %v", err)
+	}
+	if _, err := m.ReadPage(readOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePageValidation(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(v, 0, make([]byte, PageSize+1)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+		t.Fatalf("oversized page write: %v", err)
+	}
+	if err := m.WritePage(v, MaxPages, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+		t.Fatalf("page number too large: %v", err)
+	}
+	// Writing through the *file* capability is wrong: versions only.
+	if err := m.WritePage(f, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("WritePage on file capability: %v", err)
+	}
+}
+
+func TestDestroyFileOrphansVersions(t *testing.T) {
+	_, m := newServer(t)
+	f, err := m.CreateFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.NewVersion(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DestroyFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadPage(f, 0); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("read of destroyed file: %v", err)
+	}
+	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+		t.Fatalf("write to orphaned version: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package servertest provides the shared wiring used by every server
+// package's tests and by the experiment harness: a simulated network
+// with one machine per server plus a client machine, F-boxes
+// everywhere, and an rpc.Client with a fast locate configuration.
+package servertest
+
+import (
+	"testing"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/locate"
+	"amoeba/internal/rpc"
+)
+
+// Rig is a little cluster for tests.
+type Rig struct {
+	Net    *amnet.SimNet
+	Client *rpc.Client
+	// Src is a deterministic randomness source shared by the rig.
+	Src *crypto.SeededSource
+
+	clientFB *fbox.FBox
+}
+
+// New builds a rig with a client machine attached. Servers attach via
+// NewFBox.
+func New(t *testing.T, seed uint64) *Rig {
+	t.Helper()
+	n := amnet.NewSimNet(amnet.SimConfig{})
+	t.Cleanup(func() { n.Close() })
+	r := &Rig{Net: n, Src: crypto.NewSeededSource(seed)}
+	r.clientFB = r.NewFBox(t)
+	res := locate.New(r.clientFB, locate.Config{Timeout: 200 * time.Millisecond, Attempts: 3})
+	r.Client = rpc.NewClient(r.clientFB, res, rpc.ClientConfig{
+		Timeout: 750 * time.Millisecond,
+		Retries: 2,
+		Source:  r.Src,
+	})
+	return r
+}
+
+// NewFBox attaches a fresh machine and wraps it in an F-box, cleaned
+// up with the test.
+func (r *Rig) NewFBox(t *testing.T) *fbox.FBox {
+	t.Helper()
+	nic, err := r.Net.Attach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := fbox.New(nic, nil)
+	t.Cleanup(func() { fb.Close() })
+	return fb
+}
+
+// NewClient builds an additional independent RPC client on its own
+// machine (for multi-client tests).
+func (r *Rig) NewClient(t *testing.T) *rpc.Client {
+	t.Helper()
+	fb := r.NewFBox(t)
+	res := locate.New(fb, locate.Config{Timeout: 200 * time.Millisecond, Attempts: 3})
+	return rpc.NewClient(fb, res, rpc.ClientConfig{
+		Timeout: 750 * time.Millisecond,
+		Retries: 2,
+		Source:  r.Src,
+	})
+}

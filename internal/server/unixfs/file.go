@@ -1,0 +1,139 @@
+package unixfs
+
+import (
+	"fmt"
+	"io"
+
+	"amoeba/internal/cap"
+)
+
+// File is a sequential handle on a flat file, the UNIX-ish veneer over
+// the paper's stateless file server. The *handle* (offset bookkeeping)
+// lives entirely in the client — the server still has no concept of an
+// open file; every Read/Write is an independent capability-checked
+// transaction. File implements io.Reader, io.Writer, io.Seeker,
+// io.ReaderAt and io.WriterAt.
+type File struct {
+	fs     *FS
+	cap    cap.Capability
+	offset uint64
+}
+
+// Open returns a handle on the file at path, positioned at byte 0.
+func (fs *FS) Open(path string) (*File, error) {
+	c, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, cap: c}, nil
+}
+
+// OpenCreate opens the file at path, creating it if absent.
+func (fs *FS) OpenCreate(path string) (*File, error) {
+	c, err := fs.Create(path)
+	if err == nil {
+		return &File{fs: fs, cap: c}, nil
+	}
+	f, lerr := fs.Open(path)
+	if lerr != nil {
+		return nil, err // report the create failure, it is more precise
+	}
+	return f, nil
+}
+
+// Cap returns the underlying capability (shareable like any other).
+func (f *File) Cap() cap.Capability { return f.cap }
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	data, err := f.fs.files.ReadAt(f.cap, f.offset, clampUint32(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	f.offset += uint64(n)
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.fs.files.WriteAt(f.cap, f.offset, p); err != nil {
+		return 0, err
+	}
+	f.offset += uint64(len(p))
+	return len(p), nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("unixfs: negative offset %d", off)
+	}
+	data, err := f.fs.files.ReadAt(f.cap, uint64(off), clampUint32(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("unixfs: negative offset %d", off)
+	}
+	if err := f.fs.files.WriteAt(f.cap, uint64(off), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(f.offset)
+	case io.SeekEnd:
+		size, err := f.fs.files.Size(f.cap)
+		if err != nil {
+			return 0, err
+		}
+		base = int64(size)
+	default:
+		return 0, fmt.Errorf("unixfs: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("unixfs: seek to negative position %d", pos)
+	}
+	f.offset = uint64(pos)
+	return pos, nil
+}
+
+// Size returns the current file size.
+func (f *File) Size() (uint64, error) { return f.fs.files.Size(f.cap) }
+
+// Truncate sets the file size.
+func (f *File) Truncate(size uint64) error { return f.fs.files.Truncate(f.cap, size) }
+
+func clampUint32(n int) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > int(^uint32(0)>>1) {
+		return ^uint32(0) >> 1
+	}
+	return uint32(n)
+}

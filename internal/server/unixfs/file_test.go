@@ -1,0 +1,201 @@
+package unixfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFileSequentialReadWrite(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.OpenCreate("seq.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first second" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestFileSeekWhence(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.OpenCreate("seek.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := f.Seek(-3, io.SeekEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 7 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "789" {
+		t.Fatalf("tail read %q", buf)
+	}
+	if _, err := f.Seek(-2, io.SeekCurrent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(f, buf[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != "89" {
+		t.Fatalf("current-relative read %q", buf[:2])
+	}
+	if _, err := f.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestFileReadAtWriteAt(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.OpenCreate("at.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XYZ"), 5); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 5); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if string(buf) != "XYZ" {
+		t.Fatalf("ReadAt %q", buf)
+	}
+	// Short read at EOF returns io.EOF.
+	n, err := f.ReadAt(make([]byte, 10), 6)
+	if n != 2 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short ReadAt: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative ReadAt offset accepted")
+	}
+	if _, err := f.WriteAt(buf, -1); err == nil {
+		t.Fatal("negative WriteAt offset accepted")
+	}
+}
+
+func TestFileEOF(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.OpenCreate("eof.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f) // must terminate at EOF
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ab" {
+		t.Fatalf("read %q", got)
+	}
+	if n, err := f.Read(make([]byte, 4)); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("read past EOF: n=%d err=%v", n, err)
+	}
+	if n, err := f.Read(nil); n != 0 || err != nil {
+		t.Fatalf("zero-length read: n=%d err=%v", n, err)
+	}
+}
+
+func TestFileCopySemantics(t *testing.T) {
+	// io.Copy between two handles exercises Reader+Writer together.
+	fs := newFS(t)
+	src, err := fs.OpenCreate("src.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("amoeba "), 100)
+	if _, err := src.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fs.OpenCreate("dst.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("copied %d of %d", n, len(payload))
+	}
+	got, err := fs.ReadFile("dst.txt", 0, uint32(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("copy corrupted data")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Open("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open missing: %v", err)
+	}
+}
+
+func TestOpenCreateExisting(t *testing.T) {
+	fs := newFS(t)
+	f1, err := fs.OpenCreate("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Write([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs.OpenCreate("x") // existing: opens, does not truncate
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := f2.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4 {
+		t.Fatalf("OpenCreate truncated existing file: size %d", size)
+	}
+	if f2.Cap() != f1.Cap() {
+		t.Fatal("OpenCreate returned a different object")
+	}
+	if err := f2.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	size, err = f1.Size()
+	if err != nil || size != 2 {
+		t.Fatalf("truncate not visible through other handle: %d %v", size, err)
+	}
+}

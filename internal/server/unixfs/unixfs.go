@@ -1,0 +1,274 @@
+// Package unixfs is the paper's "third file system": "a
+// capability-based UNIX file system, to ease the problem of moving
+// existing applications from UNIX to Amoeba" (§3.5). It is a
+// client-side compatibility layer that composes the directory server
+// (for the namespace) and the flat file server (for file bodies) into
+// a familiar path-based API: Mkdir, Create, Open-style handles,
+// ReadAt/WriteAt, Unlink, Rename, Stat, ReadDir.
+//
+// There is no server in this package — a deliberate reproduction of
+// the Amoeba philosophy that new file-system semantics are built *by
+// clients* out of capability-protected building blocks, with no kernel
+// or privileged code involved.
+package unixfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/dirsvr"
+	"amoeba/internal/server/flatfs"
+)
+
+// Errors.
+var (
+	// ErrNotFound is returned when a path component does not exist.
+	ErrNotFound = errors.New("unixfs: no such file or directory")
+	// ErrExists is returned when creating over an existing name.
+	ErrExists = errors.New("unixfs: file exists")
+	// ErrIsDirectory is returned for file operations on directories.
+	ErrIsDirectory = errors.New("unixfs: is a directory")
+	// ErrNotDirectory is returned for directory operations on files.
+	ErrNotDirectory = errors.New("unixfs: not a directory")
+)
+
+// FS is a UNIX-like view rooted at a directory capability. The
+// directory tree may span any number of directory servers; file bodies
+// live on the flat file server the FS was built with (files linked
+// from elsewhere still work — every capability names its own server).
+type FS struct {
+	dirs  *dirsvr.Client
+	files *flatfs.Client
+	root  cap.Capability
+}
+
+// New builds a UNIX-like view: namespace under root (a directory
+// capability), new file bodies on files.
+func New(dirs *dirsvr.Client, files *flatfs.Client, root cap.Capability) *FS {
+	return &FS{dirs: dirs, files: files, root: root}
+}
+
+// Root returns the root directory capability.
+func (fs *FS) Root() cap.Capability { return fs.root }
+
+// Stat describes a name.
+type Stat struct {
+	// Cap is the object's capability.
+	Cap cap.Capability
+	// IsDir reports whether the object is a directory.
+	IsDir bool
+	// Size is the byte size (0 for directories).
+	Size uint64
+}
+
+// Mkdir creates a directory at path (parents must exist). The new
+// directory is created on the same directory server as its parent, so
+// subtrees stay local to their server unless explicitly linked
+// elsewhere.
+func (fs *FS) Mkdir(path string) (cap.Capability, error) {
+	parent, base, err := fs.parent(path)
+	if err != nil {
+		return cap.Nil, err
+	}
+	if _, err := fs.dirs.Lookup(parent, base); err == nil {
+		return cap.Nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	dir, err := fs.dirs.CreateDir(parent.Server)
+	if err != nil {
+		return cap.Nil, err
+	}
+	if err := fs.dirs.Enter(parent, base, dir); err != nil {
+		return cap.Nil, err
+	}
+	return dir, nil
+}
+
+// Create makes an empty file at path and returns its capability.
+func (fs *FS) Create(path string) (cap.Capability, error) {
+	parent, base, err := fs.parent(path)
+	if err != nil {
+		return cap.Nil, err
+	}
+	if _, err := fs.dirs.Lookup(parent, base); err == nil {
+		return cap.Nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	f, err := fs.files.Create()
+	if err != nil {
+		return cap.Nil, err
+	}
+	if err := fs.dirs.Enter(parent, base, f); err != nil {
+		return cap.Nil, err
+	}
+	return f, nil
+}
+
+// Lookup resolves a path to its capability.
+func (fs *FS) Lookup(path string) (cap.Capability, error) {
+	c, err := fs.dirs.LookupPath(fs.root, path)
+	if err != nil {
+		return cap.Nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return c, nil
+}
+
+// WriteFile writes data at offset into the file at path.
+func (fs *FS) WriteFile(path string, offset uint64, data []byte) error {
+	c, err := fs.Lookup(path)
+	if err != nil {
+		return err
+	}
+	if err := fs.files.WriteAt(c, offset, data); err != nil {
+		return fs.translate(c, err)
+	}
+	return nil
+}
+
+// ReadFile reads up to length bytes at offset from the file at path.
+func (fs *FS) ReadFile(path string, offset uint64, length uint32) ([]byte, error) {
+	c, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := fs.files.ReadAt(c, offset, length)
+	if err != nil {
+		return nil, fs.translate(c, err)
+	}
+	return data, nil
+}
+
+// translate maps "wrong object kind" RPC failures to UNIX-flavoured
+// errors: using a directory capability on the file server yields
+// StatusBadCapability (different server or unknown object).
+func (fs *FS) translate(c cap.Capability, err error) error {
+	if rpc.IsStatus(err, rpc.StatusBadCapability) && c.Server != fs.files.Port() {
+		return fmt.Errorf("%w (object on %s)", ErrIsDirectory, c.Server)
+	}
+	return err
+}
+
+// Stat describes the object at path.
+func (fs *FS) Stat(path string) (Stat, error) {
+	c, err := fs.Lookup(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	// A directory answers List; a file answers Size. Try the cheap
+	// file path first when the capability names our file server.
+	if c.Server == fs.files.Port() {
+		size, err := fs.files.Size(c)
+		if err == nil {
+			return Stat{Cap: c, Size: size}, nil
+		}
+	}
+	if _, err := fs.dirs.List(c); err == nil {
+		return Stat{Cap: c, IsDir: true}, nil
+	}
+	return Stat{}, fmt.Errorf("%w: %s is neither file nor directory here", ErrNotFound, path)
+}
+
+// ReadDir lists the directory at path, names sorted.
+func (fs *FS) ReadDir(path string) ([]string, error) {
+	c, err := fs.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := fs.dirs.List(c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotDirectory, path)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Unlink removes the name at path; if it named a file on our file
+// server, the file body is destroyed too (no hard links in this
+// layer).
+func (fs *FS) Unlink(path string) error {
+	parent, base, err := fs.parent(path)
+	if err != nil {
+		return err
+	}
+	c, err := fs.dirs.Lookup(parent, base)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if err := fs.dirs.Remove(parent, base); err != nil {
+		return err
+	}
+	if c.Server == fs.files.Port() {
+		// Best effort: the name is gone either way.
+		_ = fs.files.Destroy(c)
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory at path.
+func (fs *FS) Rmdir(path string) error {
+	parent, base, err := fs.parent(path)
+	if err != nil {
+		return err
+	}
+	c, err := fs.dirs.Lookup(parent, base)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if err := fs.dirs.DestroyDir(c); err != nil {
+		return err // not empty, or not a directory
+	}
+	return fs.dirs.Remove(parent, base)
+}
+
+// Rename moves the entry at oldPath to newPath. Pure namespace
+// surgery: the object capability moves between directories; the object
+// itself is untouched (and may live on any server).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldParent, oldBase, err := fs.parent(oldPath)
+	if err != nil {
+		return err
+	}
+	c, err := fs.dirs.Lookup(oldParent, oldBase)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
+	}
+	newParent, newBase, err := fs.parent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.dirs.Lookup(newParent, newBase); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, newPath)
+	}
+	if err := fs.dirs.Enter(newParent, newBase, c); err != nil {
+		return err
+	}
+	return fs.dirs.Remove(oldParent, oldBase)
+}
+
+// parent resolves the directory containing path's final component.
+func (fs *FS) parent(path string) (cap.Capability, string, error) {
+	comps := make([]string, 0, 8)
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			comps = append(comps, c)
+		}
+	}
+	if len(comps) == 0 {
+		return cap.Nil, "", fmt.Errorf("unixfs: empty path")
+	}
+	cur := fs.root
+	for _, comp := range comps[:len(comps)-1] {
+		next, err := fs.dirs.Lookup(cur, comp)
+		if err != nil {
+			return cap.Nil, "", fmt.Errorf("%w: %s", ErrNotFound, comp)
+		}
+		cur = next
+	}
+	return cur, comps[len(comps)-1], nil
+}

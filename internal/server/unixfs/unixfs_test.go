@@ -1,0 +1,241 @@
+package unixfs
+
+import (
+	"errors"
+	"testing"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/server/blocksvr"
+	"amoeba/internal/server/dirsvr"
+	"amoeba/internal/server/flatfs"
+	"amoeba/internal/server/servertest"
+	"amoeba/internal/vdisk"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	r := servertest.New(t, 0x0F5)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(512, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocksvr.New(r.NewFBox(t), scheme, r.Src, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bs.Close() })
+
+	fsrv, err := flatfs.New(r.NewFBox(t), scheme, r.Src, blocksvr.NewClient(r.NewClient(t), bs.PutPort()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fsrv.Close() })
+
+	dsrv := dirsvr.New(r.NewFBox(t), scheme, r.Src)
+	if err := dsrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dsrv.Close() })
+
+	dirs := dirsvr.NewClient(r.Client)
+	root, err := dirs.CreateDir(dsrv.PutPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dirs, flatfs.NewClient(r.Client, fsrv.PutPort()), root)
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("home"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("home/ast"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("home/ast/paper.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("home/ast/paper.txt", 0, []byte("sparse capabilities")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("home/ast/paper.txt", 7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "capabilities" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestMkdirSemantics(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if _, err := fs.Mkdir("missing/sub"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("mkdir without parent: %v", err)
+	}
+	if _, err := fs.Mkdir(""); err == nil {
+		t.Fatal("empty mkdir succeeded")
+	}
+}
+
+func TestStat(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("file"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("file", 0, []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Stat("dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsDir {
+		t.Fatal("dir not reported as directory")
+	}
+	st, err = fs.Stat("file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IsDir || st.Size != 5 {
+		t.Fatalf("file stat %+v", st)
+	}
+	if _, err := fs.Stat("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat of missing: %v", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zz", "aa", "mm"} {
+		if _, err := fs.Create("d/" + name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "aa" || names[2] != "zz" {
+		t.Fatalf("ReadDir %v", names)
+	}
+	if _, err := fs.ReadDir("d/aa"); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("ReadDir of file: %v", err)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after unlink: %v", err)
+	}
+	if err := fs.Unlink("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unlink: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("d"); err == nil {
+		t.Fatal("rmdir of non-empty directory succeeded")
+	}
+	if err := fs.Unlink("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("d"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after rmdir: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Mkdir("dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("src/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("src/f", 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("src/f", "dst/g"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("dst/g", 0, 7)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after rename: %q %v", got, err)
+	}
+	if _, err := fs.Lookup("src/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old name survives: %v", err)
+	}
+	// Rename onto an existing name fails.
+	if _, err := fs.Create("src/f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("src/f2", "dst/g"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+}
+
+func TestCreateCollision(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Create("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestFileOpsOnDirectory(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Mkdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("d", 0, []byte("x")); err == nil {
+		t.Fatal("write to directory succeeded")
+	}
+	if _, err := fs.ReadFile("d", 0, 1); err == nil {
+		t.Fatal("read of directory succeeded")
+	}
+}

@@ -1,0 +1,174 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func testPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "disk.img")
+}
+
+func TestFileDiskReadWrite(t *testing.T) {
+	d, err := OpenFile(testPath(t), 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	blk := bytes.Repeat([]byte{0xCD}, 64)
+	if err := d.Write(3, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blk) {
+		t.Fatal("round trip failed")
+	}
+	// Untouched blocks read as zeros.
+	zero, err := d.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zero, make([]byte, 64)) {
+		t.Fatal("fresh block not zeroed")
+	}
+}
+
+func TestFileDiskPersistsAcrossReopen(t *testing.T) {
+	path := testPath(t)
+	d, err := OpenFile(path, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := bytes.Repeat([]byte{0x42}, 64)
+	if err := d.Write(5, blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFile(path, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got, err := d2.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blk) {
+		t.Fatal("contents lost across reopen")
+	}
+}
+
+func TestFileDiskGeometryMismatch(t *testing.T) {
+	path := testPath(t)
+	d, err := OpenFile(path, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := OpenFile(path, 16, 64); !errors.Is(err, ErrGeometryMismatch) {
+		t.Fatalf("nblocks mismatch: %v", err)
+	}
+	if _, err := OpenFile(path, 8, 128); !errors.Is(err, ErrGeometryMismatch) {
+		t.Fatalf("block size mismatch: %v", err)
+	}
+}
+
+func TestFileDiskRejectsGarbageFile(t *testing.T) {
+	path := testPath(t)
+	d, err := OpenFile(path, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Corrupt the magic.
+	raw := []byte("this is not a disk file at all!!")
+	if err := writeFilePrefix(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, 4, 32); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestFileDiskBounds(t *testing.T) {
+	d, err := OpenFile(testPath(t), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Read(4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Read: %v", err)
+	}
+	if err := d.Write(0, make([]byte, 31)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("short Write: %v", err)
+	}
+}
+
+func TestFileDiskZeroAndStats(t *testing.T) {
+	d, err := OpenFile(testPath(t), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Write(1, bytes.Repeat([]byte{0xFF}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Zero(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatal("Zero left data")
+	}
+	s := d.Stats()
+	if s.Writes != 2 || s.Reads != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDiskFaultInjection(t *testing.T) {
+	d, err := OpenFile(testPath(t), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	boom := errors.New("bad sector")
+	d.SetFault(func(op string, block uint32) error {
+		if block == 2 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := d.Read(2); !errors.Is(err, boom) {
+		t.Errorf("read fault: %v", err)
+	}
+	if err := d.Write(2, make([]byte, 32)); !errors.Is(err, boom) {
+		t.Errorf("write fault: %v", err)
+	}
+}
+
+// writeFilePrefix overwrites the start of a file in place.
+func writeFilePrefix(path string, data []byte) error {
+	f, err := openRW(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(data, 0)
+	return err
+}

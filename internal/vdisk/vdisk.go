@@ -1,0 +1,138 @@
+// Package vdisk is a fixed-geometry virtual disk: the storage substrate
+// under the block server (§3.2). The paper's block server managed real
+// drives; an in-memory disk with the same interface (numbered
+// fixed-size blocks, whole-block reads and writes) preserves the
+// behaviour the capability layer cares about. Fault injection hooks
+// let tests exercise server error paths.
+package vdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors.
+var (
+	// ErrOutOfRange is returned for block numbers beyond the geometry.
+	ErrOutOfRange = errors.New("vdisk: block number out of range")
+	// ErrBadSize is returned when a write is not exactly one block.
+	ErrBadSize = errors.New("vdisk: write must be exactly one block")
+)
+
+// FaultFunc may be installed to inject I/O errors: it is consulted
+// before every operation with the opcode ("read"/"write") and block
+// number; a non-nil return aborts the operation with that error.
+type FaultFunc func(op string, block uint32) error
+
+// Stats counts disk activity.
+type Stats struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Disk is an in-memory virtual disk. Safe for concurrent use.
+type Disk struct {
+	blockSize int
+	nblocks   uint32
+
+	mu    sync.RWMutex
+	data  []byte
+	fault FaultFunc
+	stats Stats
+}
+
+// New creates a disk with nblocks blocks of blockSize bytes.
+func New(nblocks uint32, blockSize int) (*Disk, error) {
+	if nblocks == 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("vdisk: bad geometry %d×%d", nblocks, blockSize)
+	}
+	const maxBytes = 1 << 31
+	if int64(nblocks)*int64(blockSize) > maxBytes {
+		return nil, fmt.Errorf("vdisk: geometry %d×%d exceeds %d bytes", nblocks, blockSize, maxBytes)
+	}
+	return &Disk{
+		blockSize: blockSize,
+		nblocks:   nblocks,
+		data:      make([]byte, int64(nblocks)*int64(blockSize)),
+	}, nil
+}
+
+// BlockSize returns the block size in bytes.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+// NBlocks returns the number of blocks.
+func (d *Disk) NBlocks() uint32 { return d.nblocks }
+
+// SetFault installs (or clears, with nil) the fault-injection hook.
+func (d *Disk) SetFault(f FaultFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
+}
+
+// Read copies block n into a fresh buffer.
+func (d *Disk) Read(n uint32) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if n >= d.nblocks {
+		return nil, fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+	}
+	if d.fault != nil {
+		if err := d.fault("read", n); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, d.blockSize)
+	copy(buf, d.data[int(n)*d.blockSize:])
+	d.stats.Reads++
+	return buf, nil
+}
+
+// Write replaces block n. data must be exactly one block.
+func (d *Disk) Write(n uint32, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n >= d.nblocks {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+	}
+	if len(data) != d.blockSize {
+		return fmt.Errorf("%w: got %d bytes, block is %d", ErrBadSize, len(data), d.blockSize)
+	}
+	if d.fault != nil {
+		if err := d.fault("write", n); err != nil {
+			return err
+		}
+	}
+	copy(d.data[int(n)*d.blockSize:], data)
+	d.stats.Writes++
+	return nil
+}
+
+// Zero clears block n (deallocation hygiene: freed blocks must not
+// leak their previous contents to the next allocator).
+func (d *Disk) Zero(n uint32) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n >= d.nblocks {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+	}
+	if d.fault != nil {
+		if err := d.fault("write", n); err != nil {
+			return err
+		}
+	}
+	start := int(n) * d.blockSize
+	for i := start; i < start+d.blockSize; i++ {
+		d.data[i] = 0
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Disk) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}

@@ -1,0 +1,176 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, err := New(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := bytes.Repeat([]byte{0xAB}, 64)
+	if err := d.Write(3, blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blk) {
+		t.Fatal("read back wrong data")
+	}
+}
+
+func TestFreshDiskIsZeroed(t *testing.T) {
+	d, err := New(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 32)) {
+		t.Fatal("fresh disk not zeroed")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(0, 64); err == nil {
+		t.Error("accepted 0 blocks")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("accepted 0 block size")
+	}
+	if _, err := New(1<<24, 1<<10); err == nil {
+		t.Error("accepted 16GiB disk")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d, _ := New(4, 16)
+	if _, err := d.Read(4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Read: %v", err)
+	}
+	if err := d.Write(99, make([]byte, 16)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Write: %v", err)
+	}
+	if err := d.Zero(4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Zero: %v", err)
+	}
+}
+
+func TestWriteSizeEnforced(t *testing.T) {
+	d, _ := New(4, 16)
+	if err := d.Write(0, make([]byte, 15)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("short write: %v", err)
+	}
+	if err := d.Write(0, make([]byte, 17)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("long write: %v", err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	d, _ := New(4, 16)
+	if err := d.Write(1, bytes.Repeat([]byte{0xFF}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Zero(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatal("Zero left data behind")
+	}
+}
+
+func TestReadIsolation(t *testing.T) {
+	// Mutating a returned buffer must not corrupt the disk.
+	d, _ := New(2, 8)
+	if err := d.Write(0, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXXX")
+	again, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, []byte("12345678")) {
+		t.Fatal("Read buffer aliased disk storage")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	d, _ := New(4, 16)
+	boom := errors.New("head crash")
+	d.SetFault(func(op string, block uint32) error {
+		if op == "read" && block == 2 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := d.Read(2); !errors.Is(err, boom) {
+		t.Errorf("fault not injected: %v", err)
+	}
+	if _, err := d.Read(1); err != nil {
+		t.Errorf("unfaulted block errored: %v", err)
+	}
+	d.SetFault(nil)
+	if _, err := d.Read(2); err != nil {
+		t.Errorf("fault survived removal: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := New(4, 16)
+	_ = d.Write(0, make([]byte, 16))
+	_, _ = d.Read(0)
+	_, _ = d.Read(0)
+	_ = d.Zero(1)
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d, _ := New(64, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			blk := bytes.Repeat([]byte{byte(g)}, 32)
+			for i := 0; i < 50; i++ {
+				n := uint32((g*50 + i) % 64)
+				if err := d.Write(n, blk); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := d.Read(n); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestAccessors(t *testing.T) {
+	d, _ := New(7, 128)
+	if d.NBlocks() != 7 || d.BlockSize() != 128 {
+		t.Fatalf("geometry %d×%d", d.NBlocks(), d.BlockSize())
+	}
+}
