@@ -25,6 +25,8 @@
 package amoeba
 
 import (
+	"time"
+
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
@@ -98,6 +100,34 @@ const (
 // IsStatus reports whether err is an RPC status error with the given
 // status (e.g. IsStatus(err, StatusNoPermission)).
 func IsStatus(err error, s rpc.Status) bool { return rpc.IsStatus(err, s) }
+
+// CallOption tunes a single RPC transaction; every typed-client and
+// rpc.Client method accepts them after the context. Re-exported here
+// so programs outside this module (which cannot import internal/rpc)
+// can use per-call options through the facade.
+type CallOption = rpc.CallOption
+
+// WithTimeout bounds each attempt's wait for a reply on one call.
+func WithTimeout(d time.Duration) CallOption { return rpc.WithTimeout(d) }
+
+// WithRetries sets the retry count for one call; WithRetries(0) means
+// exactly one attempt.
+func WithRetries(n int) CallOption { return rpc.WithRetries(n) }
+
+// WithSigner signs one transaction with an F-box signature identity.
+func WithSigner(s Signer) CallOption { return rpc.WithSigner(s) }
+
+// Request and Reply are the raw transaction types for programs using
+// Cluster.RPC directly (the typed clients cover the common cases).
+type (
+	// Request is a raw RPC request.
+	Request = rpc.Request
+	// Reply is a raw RPC reply.
+	Reply = rpc.Reply
+)
+
+// OpEcho is the universal diagnostic opcode every service answers.
+const OpEcho = rpc.OpEcho
 
 // NewSeededSource returns a deterministic randomness source, for
 // reproducible clusters in tests and experiments.

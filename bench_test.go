@@ -6,6 +6,7 @@
 package amoeba
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -173,6 +174,7 @@ func BenchmarkE4_Scheme3Restrict(b *testing.B) {
 // back to the server over the network (scheme 2, the paper's "requires
 // going back to the server every time").
 func BenchmarkE4_RestrictLocalVsServer(b *testing.B) {
+	ctx := context.Background()
 	b.Run("scheme3-local", func(b *testing.B) {
 		s := cap.NewCommutativeScheme(nil)
 		secret := s.PrepareSecret(777)
@@ -192,14 +194,14 @@ func BenchmarkE4_RestrictLocalVsServer(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer cl.Close()
-		f, err := cl.Files().Create()
+		f, err := cl.Files().Create(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.Files().Restrict(f, cap.RightRead); err != nil {
+			if _, err := cl.Files().Restrict(ctx, f, cap.RightRead); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -208,19 +210,20 @@ func BenchmarkE4_RestrictLocalVsServer(b *testing.B) {
 
 // E3 companion: the same server restriction under scheme 2 explicitly.
 func BenchmarkE3_RestrictViaServer(b *testing.B) {
+	ctx := context.Background()
 	cl, err := NewCluster(ClusterConfig{Scheme: SchemeOneWay, Seed: 9})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer cl.Close()
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Files().Restrict(f, cap.RightRead); err != nil {
+		if _, err := cl.Files().Restrict(ctx, f, cap.RightRead); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -400,8 +403,9 @@ func benchCluster(b *testing.B) *Cluster {
 }
 
 func BenchmarkE10_SegmentWrite(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
-	seg, err := cl.Memory().CreateSegment(1 << 20)
+	seg, err := cl.Memory().CreateSegment(ctx, 1<<20)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -409,15 +413,16 @@ func BenchmarkE10_SegmentWrite(b *testing.B) {
 	b.ResetTimer()
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
-		if err := cl.Memory().Write(seg, uint32(i%(1<<8))*4096, data); err != nil {
+		if err := cl.Memory().Write(ctx, seg, uint32(i%(1<<8))*4096, data); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkE10_FileWriteRead(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -425,7 +430,7 @@ func BenchmarkE10_FileWriteRead(b *testing.B) {
 	b.Run("write-1k", func(b *testing.B) {
 		b.SetBytes(1024)
 		for i := 0; i < b.N; i++ {
-			if err := cl.Files().WriteAt(f, uint64(i%64)*1024, data); err != nil {
+			if err := cl.Files().WriteAt(ctx, f, uint64(i%64)*1024, data); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -433,7 +438,7 @@ func BenchmarkE10_FileWriteRead(b *testing.B) {
 	b.Run("read-1k", func(b *testing.B) {
 		b.SetBytes(1024)
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.Files().ReadAt(f, uint64(i%64)*1024, 1024); err != nil {
+			if _, err := cl.Files().ReadAt(ctx, f, uint64(i%64)*1024, 1024); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -441,23 +446,24 @@ func BenchmarkE10_FileWriteRead(b *testing.B) {
 }
 
 func BenchmarkE10_DirLookup(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
 	dirs := cl.Dirs()
 	// Build a chain of depth d and look the whole path up.
 	for _, depth := range []int{1, 4, 16} {
-		root, err := dirs.CreateDir(cl.DirPort())
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
 		if err != nil {
 			b.Fatal(err)
 		}
 		cur := root
 		path := ""
 		for i := 0; i < depth; i++ {
-			sub, err := dirs.CreateDir(cl.DirPort())
+			sub, err := dirs.CreateDir(ctx, cl.DirPort())
 			if err != nil {
 				b.Fatal(err)
 			}
 			name := fmt.Sprintf("d%d", i)
-			if err := dirs.Enter(cur, name, sub); err != nil {
+			if err := dirs.Enter(ctx, cur, name, sub); err != nil {
 				b.Fatal(err)
 			}
 			cur = sub
@@ -465,7 +471,7 @@ func BenchmarkE10_DirLookup(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := dirs.LookupPath(root, path); err != nil {
+				if _, err := dirs.LookupPath(ctx, root, path); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -474,28 +480,29 @@ func BenchmarkE10_DirLookup(b *testing.B) {
 }
 
 func BenchmarkE10_MVCommit(b *testing.B) {
+	ctx := context.Background()
 	// COW commit cost as a function of dirtied pages.
 	cl := benchCluster(b)
 	mv := cl.Versions()
 	for _, dirty := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("dirty=%d", dirty), func(b *testing.B) {
-			f, err := mv.CreateFile()
+			f, err := mv.CreateFile(ctx)
 			if err != nil {
 				b.Fatal(err)
 			}
 			page := make([]byte, 1024)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				v, err := mv.NewVersion(f)
+				v, err := mv.NewVersion(ctx, f)
 				if err != nil {
 					b.Fatal(err)
 				}
 				for p := 0; p < dirty; p++ {
-					if err := mv.WritePage(v, uint32(p), page); err != nil {
+					if err := mv.WritePage(ctx, v, uint32(p), page); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if _, _, err := mv.Commit(v); err != nil {
+				if _, _, err := mv.Commit(ctx, v); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -504,23 +511,24 @@ func BenchmarkE10_MVCommit(b *testing.B) {
 }
 
 func BenchmarkE10_BankTransfer(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
 	bank := cl.Bank()
-	src, err := bank.CreateAccount("dollar", 1<<40)
+	src, err := bank.CreateAccount(ctx, "dollar", 1<<40)
 	if err != nil {
 		b.Fatal(err)
 	}
-	dst, err := bank.CreateAccount("dollar", 0)
+	dst, err := bank.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	deposit, err := bank.Restrict(dst, cap.RightCreate)
+	deposit, err := bank.Restrict(ctx, dst, cap.RightCreate)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := bank.Transfer(src, deposit, "dollar", 1); err != nil {
+		if err := bank.Transfer(ctx, src, deposit, "dollar", 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -530,12 +538,13 @@ func BenchmarkE10_BankTransfer(b *testing.B) {
 // E11: the blocking trans() primitive.
 
 func BenchmarkE11_TransSimnet(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
 	port := cl.files.PutPort()
 	payload := make([]byte, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := cl.RPC().Trans(port, rpc.Request{Op: rpc.OpEcho, Data: payload})
+		rep, err := cl.RPC().Trans(ctx, port, rpc.Request{Op: rpc.OpEcho, Data: payload})
 		if err != nil || rep.Status != rpc.StatusOK {
 			b.Fatal(err, rep.Status)
 		}
@@ -543,6 +552,7 @@ func BenchmarkE11_TransSimnet(b *testing.B) {
 }
 
 func BenchmarkE11_TransTCP(b *testing.B) {
+	ctx := context.Background()
 	// Real TCP loopback between two OS processes' worth of stack (one
 	// process, two sockets).
 	reg := map[amnet.MachineID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0"}
@@ -566,7 +576,7 @@ func BenchmarkE11_TransTCP(b *testing.B) {
 
 	src := crypto.NewSeededSource(0x7C9)
 	server := rpc.NewServer(srvFB, src)
-	server.Handle(rpc.OpEcho, func(_ rpc.Context, req rpc.Request) rpc.Reply {
+	server.Handle(rpc.OpEcho, func(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 		return rpc.OkReply(req.Data)
 	})
 	if err := server.Start(); err != nil {
@@ -579,7 +589,7 @@ func BenchmarkE11_TransTCP(b *testing.B) {
 	payload := make([]byte, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := client.Trans(server.PutPort(), rpc.Request{Op: rpc.OpEcho, Data: payload})
+		rep, err := client.Trans(ctx, server.PutPort(), rpc.Request{Op: rpc.OpEcho, Data: payload})
 		if err != nil || rep.Status != rpc.StatusOK {
 			b.Fatal(err, rep.Status)
 		}
@@ -590,6 +600,7 @@ func BenchmarkE11_TransTCP(b *testing.B) {
 // E12: LOCATE — cache hit vs broadcast round.
 
 func BenchmarkE12_Locate(b *testing.B) {
+	ctx := context.Background()
 	cl := benchCluster(b)
 	fb, _, err := cl.NewMachine()
 	if err != nil {
@@ -598,12 +609,12 @@ func BenchmarkE12_Locate(b *testing.B) {
 	port := cl.files.PutPort()
 	b.Run("cache-hit", func(b *testing.B) {
 		res := locate.New(fb, locate.Config{TTL: -1})
-		if _, err := res.Lookup(port); err != nil {
+		if _, err := res.Lookup(ctx, port); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := res.Lookup(port); err != nil {
+			if _, err := res.Lookup(ctx, port); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -612,7 +623,7 @@ func BenchmarkE12_Locate(b *testing.B) {
 		res := locate.New(fb, locate.Config{})
 		for i := 0; i < b.N; i++ {
 			res.Invalidate(port)
-			if _, err := res.Lookup(port); err != nil {
+			if _, err := res.Lookup(ctx, port); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -622,19 +633,20 @@ func BenchmarkE12_Locate(b *testing.B) {
 // E8 ablation: what capability sealing costs per transaction —
 // plain trans() vs. trans() with the §2.4 key matrix active.
 func BenchmarkE8_SealedRPC(b *testing.B) {
+	ctx := context.Background()
 	run := func(b *testing.B, sealed bool) {
 		cl, err := NewCluster(ClusterConfig{Seed: 0x5EA1, SealCapabilities: sealed})
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer cl.Close()
-		f, err := cl.Files().Create()
+		f, err := cl.Files().Create(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.RPC().Validate(f); err != nil {
+			if _, err := cl.RPC().Validate(ctx, f); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package amoeba
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -158,7 +159,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	fileRPC := cl.newRPCClient(fileFB)
-	cl.files, err = flatfs.New(fileFB, scheme, src, blocksvr.NewClient(fileRPC, cl.blocks.PutPort()))
+	cl.files, err = flatfs.New(context.Background(), fileFB, scheme, src, blocksvr.NewClient(fileRPC, cl.blocks.PutPort()))
 	if err != nil {
 		return nil, err
 	}
@@ -314,10 +315,11 @@ func (cl *Cluster) Bank() *banksvr.Client {
 }
 
 // NewUnixFS creates a fresh root directory and returns a UNIX-like
-// view over it (the paper's third file system).
-func (cl *Cluster) NewUnixFS() (*unixfs.FS, error) {
+// view over it (the paper's third file system). The context bounds
+// the root-directory creation transaction only.
+func (cl *Cluster) NewUnixFS(ctx context.Context) (*unixfs.FS, error) {
 	dirs := cl.Dirs()
-	root, err := dirs.CreateDir(cl.dirs.PutPort())
+	root, err := dirs.CreateDir(ctx, cl.dirs.PutPort())
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package amoeba
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 )
@@ -20,39 +21,41 @@ func newTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
 }
 
 func TestClusterBootsAllServices(t *testing.T) {
+	ctx := context.Background()
 	cl := newTestCluster(t, ClusterConfig{})
-	if _, err := cl.Memory().CreateSegment(64); err != nil {
+	if _, err := cl.Memory().CreateSegment(ctx, 64); err != nil {
 		t.Errorf("memory: %v", err)
 	}
-	if _, err := cl.Blocks().Alloc(); err != nil {
+	if _, err := cl.Blocks().Alloc(ctx); err != nil {
 		t.Errorf("blocks: %v", err)
 	}
-	if _, err := cl.Files().Create(); err != nil {
+	if _, err := cl.Files().Create(ctx); err != nil {
 		t.Errorf("files: %v", err)
 	}
-	if _, err := cl.Dirs().CreateDir(cl.DirPort()); err != nil {
+	if _, err := cl.Dirs().CreateDir(ctx, cl.DirPort()); err != nil {
 		t.Errorf("dirs: %v", err)
 	}
-	if _, err := cl.Versions().CreateFile(); err != nil {
+	if _, err := cl.Versions().CreateFile(ctx); err != nil {
 		t.Errorf("versions: %v", err)
 	}
-	if _, err := cl.Bank().CreateAccount("dollar", 10); err != nil {
+	if _, err := cl.Bank().CreateAccount(ctx, "dollar", 10); err != nil {
 		t.Errorf("bank: %v", err)
 	}
 }
 
 func TestClusterEveryScheme(t *testing.T) {
+	ctx := context.Background()
 	for _, id := range []SchemeID{SchemeCompare, SchemeEncrypted, SchemeOneWay, SchemeCommutative} {
 		t.Run(id.String(), func(t *testing.T) {
 			cl := newTestCluster(t, ClusterConfig{Scheme: id, Seed: uint64(id) + 100})
-			f, err := cl.Files().Create()
+			f, err := cl.Files().Create(ctx)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := cl.Files().WriteAt(f, 0, []byte("scheme test")); err != nil {
+			if err := cl.Files().WriteAt(ctx, f, 0, []byte("scheme test")); err != nil {
 				t.Fatal(err)
 			}
-			got, err := cl.Files().ReadAt(f, 0, 11)
+			got, err := cl.Files().ReadAt(ctx, f, 0, 11)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -64,19 +67,20 @@ func TestClusterEveryScheme(t *testing.T) {
 }
 
 func TestPaperRunningExample(t *testing.T) {
+	ctx := context.Background()
 	// §2.3's end-to-end example: create a file, write data into it,
 	// then give another client permission to read (but not modify) it.
 	cl := newTestCluster(t, ClusterConfig{})
 	files := cl.Files()
 
-	f, err := files.Create()
+	f, err := files.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := files.WriteAt(f, 0, []byte("important data")); err != nil {
+	if err := files.WriteAt(ctx, f, 0, []byte("important data")); err != nil {
 		t.Fatal(err)
 	}
-	readOnly, err := files.Restrict(f, RightRead)
+	readOnly, err := files.Restrict(ctx, f, RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,45 +97,47 @@ func TestPaperRunningExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	other := cl.FilesFor(otherRPC)
-	got, err := other.ReadAt(received, 0, 14)
+	got, err := other.ReadAt(ctx, received, 0, 14)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "important data" {
 		t.Fatalf("other client read %q", got)
 	}
-	if err := other.WriteAt(received, 0, []byte("vandalism")); !IsStatus(err, StatusNoPermission) {
+	if err := other.WriteAt(ctx, received, 0, []byte("vandalism")); !IsStatus(err, StatusNoPermission) {
 		t.Fatalf("other client write: %v", err)
 	}
 }
 
 func TestClusterWithLatency(t *testing.T) {
+	ctx := context.Background()
 	cl := newTestCluster(t, ClusterConfig{Latency: 2_000_000 /* 2ms */})
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Files().WriteAt(f, 0, []byte("slow network")); err != nil {
+	if err := cl.Files().WriteAt(ctx, f, 0, []byte("slow network")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnixFSOnCluster(t *testing.T) {
+	ctx := context.Background()
 	cl := newTestCluster(t, ClusterConfig{})
-	fs, err := cl.NewUnixFS()
+	fs, err := cl.NewUnixFS(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Mkdir("etc"); err != nil {
+	if _, err := fs.Mkdir(ctx, "etc"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("etc/motd"); err != nil {
+	if _, err := fs.Create(ctx, "etc/motd"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteFile("etc/motd", 0, []byte("welcome to amoeba")); err != nil {
+	if err := fs.WriteFile(ctx, "etc/motd", 0, []byte("welcome to amoeba")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fs.ReadFile("etc/motd", 0, 64)
+	got, err := fs.ReadFile(ctx, "etc/motd", 0, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +147,14 @@ func TestUnixFSOnCluster(t *testing.T) {
 }
 
 func TestDeterministicClusters(t *testing.T) {
+	ctx := context.Background()
 	run := func() Capability {
 		cl, err := NewCluster(ClusterConfig{Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer cl.Close()
-		f, err := cl.Files().Create()
+		f, err := cl.Files().Create(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,19 +166,21 @@ func TestDeterministicClusters(t *testing.T) {
 }
 
 func TestCrossServiceCapabilityRejected(t *testing.T) {
+	ctx := context.Background()
 	// A capability minted by the file server must not authorize
 	// anything at the directory server, even with the same scheme.
 	cl := newTestCluster(t, ClusterConfig{})
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Dirs().Lookup(f, "x"); err == nil {
+	if _, err := cl.Dirs().Lookup(ctx, f, "x"); err == nil {
 		t.Fatal("file capability accepted by directory server")
 	}
 }
 
 func TestSealedCluster(t *testing.T) {
+	ctx := context.Background()
 	// SealCapabilities composes the §2.4 key matrix with the F-box:
 	// everything still works, and no plaintext capability crosses the
 	// wire.
@@ -180,18 +189,18 @@ func TestSealedCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Files().WriteAt(f, 0, []byte("sealed")); err != nil {
+	if err := cl.Files().WriteAt(ctx, f, 0, []byte("sealed")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Files().ReadAt(f, 0, 6)
+	got, err := cl.Files().ReadAt(ctx, f, 0, 6)
 	if err != nil || string(got) != "sealed" {
 		t.Fatalf("read %q %v", got, err)
 	}
-	weak, err := cl.Files().Restrict(f, RightRead)
+	weak, err := cl.Files().Restrict(ctx, f, RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,33 +230,34 @@ func TestSealedCluster(t *testing.T) {
 }
 
 func TestSealedClusterAllServices(t *testing.T) {
+	ctx := context.Background()
 	cl := newTestCluster(t, ClusterConfig{SealCapabilities: true, Seed: 0x5EA1EE})
-	seg, err := cl.Memory().CreateSegment(64)
+	seg, err := cl.Memory().CreateSegment(ctx, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Memory().Write(seg, 0, []byte("x")); err != nil {
+	if err := cl.Memory().Write(ctx, seg, 0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	dir, err := cl.Dirs().CreateDir(cl.DirPort())
+	dir, err := cl.Dirs().CreateDir(ctx, cl.DirPort())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Dirs().Enter(dir, "seg", seg); err != nil {
+	if err := cl.Dirs().Enter(ctx, dir, "seg", seg); err != nil {
 		t.Fatal(err)
 	}
-	back, err := cl.Dirs().Lookup(dir, "seg")
+	back, err := cl.Dirs().Lookup(ctx, dir, "seg")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if back != seg {
 		t.Fatal("capability corrupted crossing sealed directory server")
 	}
-	acct, err := cl.Bank().CreateAccount("dollar", 5)
+	acct, err := cl.Bank().CreateAccount(ctx, "dollar", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Bank().Balance(acct); err != nil {
+	if _, err := cl.Bank().Balance(ctx, acct); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -71,25 +72,26 @@ func main() {
 	defer fb.Close()
 	res := locate.New(fb, locate.Config{})
 	client := rpc.NewClient(fb, res, rpc.ClientConfig{})
+	ctx := context.Background()
 
 	switch args[0] {
 	case "locate":
 		port := parsePort(arg(args, 1, "port hex"))
-		at, err := res.Lookup(port)
+		at, err := res.Lookup(ctx, port)
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
 		fmt.Printf("port %s served by machine %v\n", port, at)
 	case "echo":
 		port := parsePort(arg(args, 1, "port hex"))
-		rep, err := client.Trans(port, rpc.Request{Op: rpc.OpEcho, Data: []byte(arg(args, 2, "text"))})
+		rep, err := client.Trans(ctx, port, rpc.Request{Op: rpc.OpEcho, Data: []byte(arg(args, 2, "text"))})
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
 		fmt.Printf("%s: %q\n", rep.Status, rep.Data)
 	case "file-create":
 		port := parsePort(arg(args, 1, "port hex"))
-		f, err := flatfs.NewClient(client, port).Create()
+		f, err := flatfs.NewClient(client, port).Create(ctx)
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
@@ -97,7 +99,7 @@ func main() {
 	case "file-write":
 		c := parseCap(arg(args, 1, "capability hex"))
 		pos := parseUint(arg(args, 2, "position"))
-		if err := flatfs.NewClient(client, c.Server).WriteAt(c, pos, []byte(arg(args, 3, "text"))); err != nil {
+		if err := flatfs.NewClient(client, c.Server).WriteAt(ctx, c, pos, []byte(arg(args, 3, "text"))); err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
 		fmt.Println("ok")
@@ -105,7 +107,7 @@ func main() {
 		c := parseCap(arg(args, 1, "capability hex"))
 		pos := parseUint(arg(args, 2, "position"))
 		n := parseUint(arg(args, 3, "length"))
-		data, err := flatfs.NewClient(client, c.Server).ReadAt(c, pos, uint32(n))
+		data, err := flatfs.NewClient(client, c.Server).ReadAt(ctx, c, pos, uint32(n))
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
@@ -116,21 +118,21 @@ func main() {
 		if err != nil || len(maskBytes) != 1 {
 			log.Fatalf("amoeba: rights mask must be 2 hex digits")
 		}
-		weak, err := client.Restrict(c, cap.Rights(maskBytes[0]))
+		weak, err := client.Restrict(ctx, c, cap.Rights(maskBytes[0]))
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
 		printCap(weak)
 	case "revoke":
 		c := parseCap(arg(args, 1, "capability hex"))
-		fresh, err := client.Revoke(c)
+		fresh, err := client.Revoke(ctx, c)
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}
 		printCap(fresh)
 	case "validate":
 		c := parseCap(arg(args, 1, "capability hex"))
-		rights, err := client.Validate(c)
+		rights, err := client.Validate(ctx, c)
 		if err != nil {
 			log.Fatalf("amoeba: %v", err)
 		}

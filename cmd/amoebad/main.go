@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -135,7 +136,7 @@ func main() {
 				log.Printf("file: no local block server; relying on -block-port or cluster LOCATE")
 				log.Fatalf("amoebad: 'file' requires 'block' in the same daemon (run them together or extend the registry)")
 			}
-			s, err := flatfs.New(fb, scheme, src, blocksvr.NewClient(client, port))
+			s, err := flatfs.New(context.Background(), fb, scheme, src, blocksvr.NewClient(client, port))
 			if err != nil {
 				log.Fatalf("amoebad: %v", err)
 			}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -221,6 +222,7 @@ func expE4Sweep() {
 }
 
 func expE4LocalVsServer() {
+	ctx := context.Background()
 	fmt.Println("## E4 — restriction: scheme 3 local vs. scheme 2 server round trip")
 	s3 := cap.NewCommutativeScheme(nil)
 	secret := s3.PrepareSecret(777)
@@ -236,12 +238,12 @@ func expE4LocalVsServer() {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	serverNs := measure(iters(5_000), func() {
-		if _, err := cl.Files().Restrict(f, cap.RightRead); err != nil {
+		if _, err := cl.Files().Restrict(ctx, f, cap.RightRead); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -390,21 +392,22 @@ func expE8() {
 }
 
 func sealedRPCCost(sealed bool) float64 {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 0xE8A, SealCapabilities: sealed})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Warm locate + seal caches.
-	if _, err := cl.RPC().Validate(f); err != nil {
+	if _, err := cl.RPC().Validate(ctx, f); err != nil {
 		log.Fatal(err)
 	}
 	return measure(iters(10_000), func() {
-		if _, err := cl.RPC().Validate(f); err != nil {
+		if _, err := cl.RPC().Validate(ctx, f); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -439,6 +442,7 @@ func expE9() {
 }
 
 func expE10() {
+	ctx := context.Background()
 	fmt.Println("## E10 — the §3 services, end-to-end over the simulated network")
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 0xE10, DiskBlocks: 8192})
 	if err != nil {
@@ -446,79 +450,79 @@ func expE10() {
 	}
 	defer cl.Close()
 
-	seg, err := cl.Memory().CreateSegment(1 << 20)
+	seg, err := cl.Memory().CreateSegment(ctx, 1<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
 	buf := make([]byte, 4096)
 	segNs := measure(iters(5_000), func() {
-		if err := cl.Memory().Write(seg, 0, buf); err != nil {
+		if err := cl.Memory().Write(ctx, seg, 0, buf); err != nil {
 			log.Fatal(err)
 		}
 	})
 
-	file, err := cl.Files().Create()
+	file, err := cl.Files().Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fwNs := measure(iters(2_000), func() {
-		if err := cl.Files().WriteAt(file, 0, buf[:1024]); err != nil {
+		if err := cl.Files().WriteAt(ctx, file, 0, buf[:1024]); err != nil {
 			log.Fatal(err)
 		}
 	})
 	frNs := measure(iters(2_000), func() {
-		if _, err := cl.Files().ReadAt(file, 0, 1024); err != nil {
+		if _, err := cl.Files().ReadAt(ctx, file, 0, 1024); err != nil {
 			log.Fatal(err)
 		}
 	})
 
 	dirs := cl.Dirs()
-	root, err := dirs.CreateDir(cl.DirPort())
+	root, err := dirs.CreateDir(ctx, cl.DirPort())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dirs.Enter(root, "x", file); err != nil {
+	if err := dirs.Enter(ctx, root, "x", file); err != nil {
 		log.Fatal(err)
 	}
 	dlNs := measure(iters(5_000), func() {
-		if _, err := dirs.Lookup(root, "x"); err != nil {
+		if _, err := dirs.Lookup(ctx, root, "x"); err != nil {
 			log.Fatal(err)
 		}
 	})
 
 	mv := cl.Versions()
-	doc, err := mv.CreateFile()
+	doc, err := mv.CreateFile(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mvNs := measure(iters(2_000), func() {
-		v, err := mv.NewVersion(doc)
+		v, err := mv.NewVersion(ctx, doc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := mv.WritePage(v, 0, buf[:1024]); err != nil {
+		if err := mv.WritePage(ctx, v, 0, buf[:1024]); err != nil {
 			log.Fatal(err)
 		}
-		if _, _, err := mv.Commit(v); err != nil {
+		if _, _, err := mv.Commit(ctx, v); err != nil {
 			log.Fatal(err)
 		}
 	})
 
 	bank := cl.Bank()
-	a, err := bank.CreateAccount("dollar", 1<<40)
+	a, err := bank.CreateAccount(ctx, "dollar", 1<<40)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := bank.CreateAccount("dollar", 0)
+	b, err := bank.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := bank.Restrict(b, cap.RightCreate)
+	dep, err := bank.Restrict(ctx, b, cap.RightCreate)
 	if err != nil {
 		log.Fatal(err)
 	}
 	btNs := measure(iters(5_000), func() {
-		if err := bank.Transfer(a, dep, "dollar", 1); err != nil {
+		if err := bank.Transfer(ctx, a, dep, "dollar", 1); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -536,6 +540,7 @@ func expE10() {
 }
 
 func expE11E12() {
+	ctx := context.Background()
 	fmt.Println("## E11/E12 — trans() and LOCATE")
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 0xE11})
 	if err != nil {
@@ -544,7 +549,7 @@ func expE11E12() {
 	defer cl.Close()
 	port := cl.Files().Port()
 	echoNs := measure(iters(10_000), func() {
-		rep, err := cl.RPC().Trans(port, rpc.Request{Op: rpc.OpEcho, Data: []byte("x")})
+		rep, err := cl.RPC().Trans(ctx, port, rpc.Request{Op: rpc.OpEcho, Data: []byte("x")})
 		if err != nil || rep.Status != rpc.StatusOK {
 			log.Fatal(err)
 		}
@@ -554,18 +559,18 @@ func expE11E12() {
 		log.Fatal(err)
 	}
 	res := locate.New(fb, locate.Config{TTL: -1})
-	if _, err := res.Lookup(port); err != nil {
+	if _, err := res.Lookup(ctx, port); err != nil {
 		log.Fatal(err)
 	}
 	hitNs := measure(iters(1_000_000), func() {
-		if _, err := res.Lookup(port); err != nil {
+		if _, err := res.Lookup(ctx, port); err != nil {
 			log.Fatal(err)
 		}
 	})
 	res2 := locate.New(fb, locate.Config{})
 	bcastNs := measure(iters(5_000), func() {
 		res2.Invalidate(port)
-		if _, err := res2.Lookup(port); err != nil {
+		if _, err := res2.Lookup(ctx, port); err != nil {
 			log.Fatal(err)
 		}
 	})

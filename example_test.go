@@ -1,6 +1,7 @@
 package amoeba_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 // Example reproduces the paper's §2.3 running example: create a file,
 // write into it, pass read-only access to another party, revoke.
 func Example() {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 100})
 	if err != nil {
 		log.Fatal(err)
@@ -17,31 +19,31 @@ func Example() {
 	defer cl.Close()
 	files := cl.Files()
 
-	owner, err := files.Create()
+	owner, err := files.Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := files.WriteAt(owner, 0, []byte("hello")); err != nil {
+	if err := files.WriteAt(ctx, owner, 0, []byte("hello")); err != nil {
 		log.Fatal(err)
 	}
-	readOnly, err := files.Restrict(owner, amoeba.RightRead)
+	readOnly, err := files.Restrict(ctx, owner, amoeba.RightRead)
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := files.ReadAt(readOnly, 0, 5)
+	data, err := files.ReadAt(ctx, readOnly, 0, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read: %s\n", data)
 
-	err = files.WriteAt(readOnly, 0, []byte("x"))
+	err = files.WriteAt(ctx, readOnly, 0, []byte("x"))
 	fmt.Println("write with read-only capability denied:",
 		amoeba.IsStatus(err, amoeba.StatusNoPermission))
 
-	if _, err := files.Revoke(owner); err != nil {
+	if _, err := files.Revoke(ctx, owner); err != nil {
 		log.Fatal(err)
 	}
-	_, err = files.ReadAt(readOnly, 0, 1)
+	_, err = files.ReadAt(ctx, readOnly, 0, 1)
 	fmt.Println("old capability dead after revoke:",
 		amoeba.IsStatus(err, amoeba.StatusBadCapability))
 
@@ -72,6 +74,7 @@ func ExampleCapability_Encode() {
 // ExampleClusterConfig_sealed boots a cluster with §2.4 key-matrix
 // sealing layered over the F-box protection.
 func ExampleClusterConfig_sealed() {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{
 		Seed:             7,
 		SealCapabilities: true,
@@ -80,14 +83,14 @@ func ExampleClusterConfig_sealed() {
 		log.Fatal(err)
 	}
 	defer cl.Close()
-	f, err := cl.Files().Create()
+	f, err := cl.Files().Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cl.Files().WriteAt(f, 0, []byte("sealed in flight")); err != nil {
+	if err := cl.Files().WriteAt(ctx, f, 0, []byte("sealed in flight")); err != nil {
 		log.Fatal(err)
 	}
-	data, err := cl.Files().ReadAt(f, 0, 16)
+	data, err := cl.Files().ReadAt(ctx, f, 0, 16)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{
 		Seed: 3,
 		Bank: &banksvr.Config{
@@ -39,15 +41,15 @@ func main() {
 
 	// Accounts: the client gets a 5-dollar quota; the file server
 	// opens an empty account and publishes a deposit-only capability.
-	clientAcct, err := bank.CreateAccount("dollar", 5)
+	clientAcct, err := bank.CreateAccount(ctx, "dollar", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fsAcct, err := bank.CreateAccount("dollar", 0)
+	fsAcct, err := bank.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fsDeposit, err := bank.Restrict(fsAcct, amoeba.RightCreate)
+	fsDeposit, err := bank.Restrict(ctx, fsAcct, amoeba.RightCreate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,15 +59,15 @@ func main() {
 	const pricePerBlock = 1
 	stored := 0
 	for i := 0; ; i++ {
-		if err := bank.Transfer(clientAcct, fsDeposit, "dollar", pricePerBlock); err != nil {
+		if err := bank.Transfer(ctx, clientAcct, fsDeposit, "dollar", pricePerBlock); err != nil {
 			fmt.Printf("block %d refused: %v\n", i, err)
 			break
 		}
-		f, err := files.Create()
+		f, err := files.Create(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := files.WriteAt(f, 0, make([]byte, 1024)); err != nil {
+		if err := files.WriteAt(ctx, f, 0, make([]byte, 1024)); err != nil {
 			log.Fatal(err)
 		}
 		stored++
@@ -73,11 +75,11 @@ func main() {
 	}
 	fmt.Printf("\nstored %d blocks before the quota ran out\n", stored)
 
-	cb, err := bank.Balance(clientAcct)
+	cb, err := bank.Balance(ctx, clientAcct)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fb, err := bank.Balance(fsAcct)
+	fb, err := bank.Balance(ctx, fsAcct)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,10 +88,10 @@ func main() {
 
 	// Multi-currency: the file server converts its dollar income into
 	// francs to buy CPU time (charged in francs, per the paper).
-	if err := bank.Convert(fsAcct, "dollar", "franc", 5); err != nil {
+	if err := bank.Convert(ctx, fsAcct, "dollar", "franc", 5); err != nil {
 		log.Fatal(err)
 	}
-	fb, err = bank.Balance(fsAcct)
+	fb, err = bank.Balance(ctx, fsAcct)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,6 +99,6 @@ func main() {
 
 	// Yen exists but is inconvertible here — the paper's "possibly
 	// inconvertible currencies".
-	err = bank.Convert(fsAcct, "franc", "yen", 1)
+	err = bank.Convert(ctx, fsAcct, "franc", "yen", 1)
 	fmt.Printf("franc->yen conversion refused: %v\n", err)
 }

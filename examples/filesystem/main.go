@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 2})
 	if err != nil {
 		log.Fatalf("booting cluster: %v", err)
@@ -45,41 +47,41 @@ func main() {
 	defer dir2.Close()
 
 	dirs := cl.Dirs()
-	root, err := dirs.CreateDir(cl.DirPort()) // on directory server 1
+	root, err := dirs.CreateDir(ctx, cl.DirPort()) // on directory server 1
 	if err != nil {
 		log.Fatal(err)
 	}
-	remote, err := dirs.CreateDir(dir2.PutPort()) // on directory server 2
+	remote, err := dirs.CreateDir(ctx, dir2.PutPort()) // on directory server 2
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dirs.Enter(root, "projects", remote); err != nil {
+	if err := dirs.Enter(ctx, root, "projects", remote); err != nil {
 		log.Fatal(err)
 	}
 
 	// A file, named on server 2, stored on the flat file server.
 	files := cl.Files()
-	paper, err := files.Create()
+	paper, err := files.Create(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := files.WriteAt(paper, 0, []byte("Using Sparse Capabilities in a Distributed OS")); err != nil {
+	if err := files.WriteAt(ctx, paper, 0, []byte("Using Sparse Capabilities in a Distributed OS")); err != nil {
 		log.Fatal(err)
 	}
-	if err := dirs.Enter(remote, "icdcs86.txt", paper); err != nil {
+	if err := dirs.Enter(ctx, remote, "icdcs86.txt", paper); err != nil {
 		log.Fatal(err)
 	}
 
 	// Path lookup crosses from server 1 to server 2 without the client
 	// doing anything special.
-	got, err := dirs.LookupPath(root, "projects/icdcs86.txt")
+	got, err := dirs.LookupPath(ctx, root, "projects/icdcs86.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("projects/icdcs86.txt -> %v\n", got)
 	fmt.Printf("  root dir is on server %v\n", root.Server)
 	fmt.Printf("  'projects' dir is on server %v (different server, same path syntax)\n", remote.Server)
-	body, err := files.ReadAt(got, 0, 64)
+	body, err := files.ReadAt(ctx, got, 0, 64)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,44 +89,44 @@ func main() {
 
 	// ----- Multiversion files: COW + atomic commit.
 	mv := cl.Versions()
-	doc, err := mv.CreateFile()
+	doc, err := mv.CreateFile(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Base version: 100 pages.
-	v1, err := mv.NewVersion(doc)
+	v1, err := mv.NewVersion(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for p := uint32(0); p < 100; p++ {
-		if err := mv.WritePage(v1, p, []byte{byte(p)}); err != nil {
+		if err := mv.WritePage(ctx, v1, p, []byte{byte(p)}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, copied, err := mv.Commit(v1); err != nil {
+	if _, copied, err := mv.Commit(ctx, v1); err != nil {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("multiversion: base commit wrote %d pages\n", copied)
 	}
 	// Second version: edit one page; only that page is copied.
-	v2, err := mv.NewVersion(doc)
+	v2, err := mv.NewVersion(ctx, doc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := mv.WritePage(v2, 42, []byte("edited")); err != nil {
+	if err := mv.WritePage(ctx, v2, 42, []byte("edited")); err != nil {
 		log.Fatal(err)
 	}
-	verNo, copied, err := mv.Commit(v2)
+	verNo, copied, err := mv.Commit(ctx, v2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("multiversion: version %d committed, %d page(s) copied of 100 (copy-on-write)\n", verNo, copied)
 	// The old version is still readable (write-once media semantics).
-	old, err := mv.ReadPageVersion(doc, 42, 1)
+	old, err := mv.ReadPageVersion(ctx, doc, 42, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cur, err := mv.ReadPage(doc, 42)
+	cur, err := mv.ReadPage(ctx, doc, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,21 +134,21 @@ func main() {
 
 	// ----- The UNIX-like layer over the same servers.
 	fs := unixfs.New(dirs, files, root)
-	if _, err := fs.Mkdir("home"); err != nil {
+	if _, err := fs.Mkdir(ctx, "home"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := fs.Create("home/notes.txt"); err != nil {
+	if _, err := fs.Create(ctx, "home/notes.txt"); err != nil {
 		log.Fatal(err)
 	}
-	if err := fs.WriteFile("home/notes.txt", 0, []byte("capabilities all the way down")); err != nil {
+	if err := fs.WriteFile(ctx, "home/notes.txt", 0, []byte("capabilities all the way down")); err != nil {
 		log.Fatal(err)
 	}
-	names, err := fs.ReadDir("/")
+	names, err := fs.ReadDir(ctx, "/")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("unixfs: / contains %v\n", names)
-	data, err := fs.ReadFile("home/notes.txt", 0, 64)
+	data, err := fs.ReadFile(ctx, "home/notes.txt", 0, 64)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := amoeba.NewCluster(amoeba.ClusterConfig{Seed: 1})
 	if err != nil {
 		log.Fatalf("booting cluster: %v", err)
@@ -25,21 +27,21 @@ func main() {
 
 	// 1. CREATE FILE: the server picks a random number, stores it in
 	// its object table, and returns the owner capability.
-	owner, err := files.Create()
+	owner, err := files.Create(ctx)
 	if err != nil {
 		log.Fatalf("create: %v", err)
 	}
 	fmt.Printf("owner capability:     %v\n", owner)
 
 	// 2. WRITE FILE using the capability.
-	if err := files.WriteAt(owner, 0, []byte("The first file in the new Amoeba system.\n")); err != nil {
+	if err := files.WriteAt(ctx, owner, 0, []byte("The first file in the new Amoeba system.\n")); err != nil {
 		log.Fatalf("write: %v", err)
 	}
 
 	// 3. Fabricate a read-only sub-capability (server round trip under
 	// scheme 2; purely local under scheme 3 — see examples/intruder
 	// and the benches for that comparison).
-	readOnly, err := files.Restrict(owner, amoeba.RightRead)
+	readOnly, err := files.Restrict(ctx, owner, amoeba.RightRead)
 	if err != nil {
 		log.Fatalf("restrict: %v", err)
 	}
@@ -57,14 +59,14 @@ func main() {
 	}
 	friendFiles := cl.FilesFor(friendRPC)
 
-	data, err := friendFiles.ReadAt(received, 0, 128)
+	data, err := friendFiles.ReadAt(ctx, received, 0, 128)
 	if err != nil {
 		log.Fatalf("friend read: %v", err)
 	}
 	fmt.Printf("friend reads:         %q\n", data)
 
 	// The friend cannot write.
-	err = friendFiles.WriteAt(received, 0, []byte("graffiti"))
+	err = friendFiles.WriteAt(ctx, received, 0, []byte("graffiti"))
 	fmt.Printf("friend write denied:  %v\n", err)
 	if !amoeba.IsStatus(err, amoeba.StatusNoPermission) {
 		log.Fatal("expected a permission failure")
@@ -72,16 +74,16 @@ func main() {
 
 	// 5. Revocation (§2.3): the owner asks the server to change the
 	// object's random number; every outstanding capability dies.
-	fresh, err := files.Revoke(owner)
+	fresh, err := files.Revoke(ctx, owner)
 	if err != nil {
 		log.Fatalf("revoke: %v", err)
 	}
-	if _, err := friendFiles.ReadAt(received, 0, 1); amoeba.IsStatus(err, amoeba.StatusBadCapability) {
+	if _, err := friendFiles.ReadAt(ctx, received, 0, 1); amoeba.IsStatus(err, amoeba.StatusBadCapability) {
 		fmt.Println("after revoke:         friend's capability is dead")
 	} else {
 		log.Fatalf("revocation failed: %v", err)
 	}
-	data, err = files.ReadAt(fresh, 0, 16)
+	data, err = files.ReadAt(ctx, fresh, 0, 16)
 	if err != nil {
 		log.Fatalf("owner read with fresh capability: %v", err)
 	}

@@ -1,0 +1,3 @@
+module amoeba
+
+go 1.24

@@ -80,6 +80,12 @@ const (
 // wire header: kind(1) dest(6) reply(6) sig(6) = 19 bytes.
 const headerSize = 19
 
+// listenerQueue is a Listener's buffer depth. It matches the NIC's
+// inbound queue (amnet default 256) so the receive pump can spill an
+// entire backed-up NIC queue into one listener without dropping;
+// beyond that, overflow drops the message, as the hardware would.
+const listenerQueue = 256
+
 // FBox is the per-machine function box. It owns the NIC: all traffic
 // in and out of the machine flows through it.
 type FBox struct {
@@ -146,8 +152,11 @@ func (l *Listener) Close() {
 			delete(l.fb.listeners, l.put)
 			delete(l.fb.locates, l.put)
 		}
-		l.fb.mu.Unlock()
+		// Closing under the F-box lock serializes with the pump's
+		// (non-blocking) deliveries, so a frame in flight can never be
+		// sent on a closed channel.
 		close(l.ch)
+		l.fb.mu.Unlock()
 	})
 }
 
@@ -166,7 +175,7 @@ func (fb *FBox) Get(g Port, advertise bool) (*Listener, error) {
 	if _, busy := fb.listeners[put]; busy {
 		return nil, fmt.Errorf("%w: %v", ErrPortBusy, put)
 	}
-	l := &Listener{fb: fb, put: put, ch: make(chan Received, 64)}
+	l := &Listener{fb: fb, put: put, ch: make(chan Received, listenerQueue)}
 	fb.listeners[put] = l
 	if advertise {
 		fb.locates[put] = true
@@ -286,16 +295,16 @@ func (fb *FBox) handleFrame(f amnet.Frame) {
 	}
 	switch kind {
 	case kindMessage:
+		// Deliver under the lock (the send never blocks): pairs with
+		// Listener.Close, which closes the channel under the same lock.
 		fb.mu.Lock()
-		l := fb.listeners[msg.Dest]
+		if l := fb.listeners[msg.Dest]; l != nil {
+			select {
+			case l.ch <- Received{Message: msg, From: f.Src}:
+			default: // listener queue full: drop
+			}
+		}
 		fb.mu.Unlock()
-		if l == nil {
-			return // no GET outstanding: the F-box does not admit it
-		}
-		select {
-		case l.ch <- Received{Message: msg, From: f.Src}:
-		default: // listener queue full: drop
-		}
 	case kindLocate:
 		fb.mu.Lock()
 		_, here := fb.locates[msg.Dest]

@@ -467,7 +467,7 @@ func TestConcurrentPuts(t *testing.T) {
 	}
 	p := r.server.F(g)
 	const senders, per = 8, 25
-	// Drain concurrently: the listener queue is finite (64), so a
+	// Drain concurrently: the listener queue is finite (256), so a
 	// consumer must keep pace with the senders.
 	type result struct {
 		key [2]byte

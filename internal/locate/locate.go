@@ -8,6 +8,7 @@
 package locate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -82,8 +83,9 @@ func New(fb *fbox.FBox, cfg Config) *Resolver {
 }
 
 // Lookup returns the machine serving put-port p, consulting the cache
-// first and broadcasting LOCATE rounds on a miss.
-func (r *Resolver) Lookup(p cap.Port) (amnet.MachineID, error) {
+// first and broadcasting LOCATE rounds on a miss. Cancelling the
+// context aborts the broadcast waits and returns ctx.Err().
+func (r *Resolver) Lookup(ctx context.Context, p cap.Port) (amnet.MachineID, error) {
 	r.mu.Lock()
 	if e, ok := r.cache[p]; ok && (r.cfg.TTL < 0 || r.now().Sub(e.learned) < r.cfg.TTL) {
 		r.stats.Hits++
@@ -94,10 +96,13 @@ func (r *Resolver) Lookup(p cap.Port) (amnet.MachineID, error) {
 	r.mu.Unlock()
 
 	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		r.mu.Lock()
 		r.stats.Broadcasts++
 		r.mu.Unlock()
-		at, err := r.broadcastOnce(p)
+		at, err := r.broadcastOnce(ctx, p)
 		if err == nil {
 			r.mu.Lock()
 			r.cache[p] = entry{at: at, learned: r.now()}
@@ -114,16 +119,20 @@ func (r *Resolver) Lookup(p cap.Port) (amnet.MachineID, error) {
 	return 0, fmt.Errorf("%w: %v after %d attempts", ErrNotFound, p, r.cfg.Attempts)
 }
 
-func (r *Resolver) broadcastOnce(p cap.Port) (amnet.MachineID, error) {
+func (r *Resolver) broadcastOnce(ctx context.Context, p cap.Port) (amnet.MachineID, error) {
 	replies, cancel, err := r.fb.Locate(p)
 	if err != nil {
 		return 0, fmt.Errorf("locate: %w", err)
 	}
 	defer cancel()
+	timer := time.NewTimer(r.cfg.Timeout)
+	defer timer.Stop()
 	select {
 	case at := <-replies:
 		return at, nil
-	case <-time.After(r.cfg.Timeout):
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-timer.C:
 		return 0, ErrNotFound
 	}
 }

@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -38,6 +39,7 @@ func fastCfg() Config {
 }
 
 func TestLookupViaBroadcast(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(1)))
 	if _, err := r.server.Get(g, true); err != nil {
@@ -45,7 +47,7 @@ func TestLookupViaBroadcast(t *testing.T) {
 	}
 	p := r.server.F(g)
 	res := New(r.client, fastCfg())
-	at, err := res.Lookup(p)
+	at, err := res.Lookup(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,6 +61,7 @@ func TestLookupViaBroadcast(t *testing.T) {
 }
 
 func TestLookupCachesResult(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(2)))
 	if _, err := r.server.Get(g, true); err != nil {
@@ -66,11 +69,11 @@ func TestLookupCachesResult(t *testing.T) {
 	}
 	p := r.server.F(g)
 	res := New(r.client, fastCfg())
-	if _, err := res.Lookup(p); err != nil {
+	if _, err := res.Lookup(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := res.Lookup(p); err != nil {
+		if _, err := res.Lookup(ctx, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,10 +87,11 @@ func TestLookupCachesResult(t *testing.T) {
 }
 
 func TestLookupNotFound(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	res := New(r.client, fastCfg())
 	start := time.Now()
-	_, err := res.Lookup(cap.Port(0xdead))
+	_, err := res.Lookup(ctx, cap.Port(0xdead))
 	if !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
@@ -100,6 +104,7 @@ func TestLookupNotFound(t *testing.T) {
 }
 
 func TestInvalidateForcesRebroadcast(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(3)))
 	if _, err := r.server.Get(g, true); err != nil {
@@ -107,11 +112,11 @@ func TestInvalidateForcesRebroadcast(t *testing.T) {
 	}
 	p := r.server.F(g)
 	res := New(r.client, fastCfg())
-	if _, err := res.Lookup(p); err != nil {
+	if _, err := res.Lookup(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	res.Invalidate(p)
-	if _, err := res.Lookup(p); err != nil {
+	if _, err := res.Lookup(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	if s := res.Stats(); s.Misses != 2 {
@@ -120,10 +125,11 @@ func TestInvalidateForcesRebroadcast(t *testing.T) {
 }
 
 func TestInsertSeedsCache(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	res := New(r.client, fastCfg())
 	res.Insert(cap.Port(7), r.server.Machine())
-	at, err := res.Lookup(cap.Port(7))
+	at, err := res.Lookup(ctx, cap.Port(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,6 +142,7 @@ func TestInsertSeedsCache(t *testing.T) {
 }
 
 func TestTTLExpiry(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(4)))
 	if _, err := r.server.Get(g, true); err != nil {
@@ -145,12 +152,12 @@ func TestTTLExpiry(t *testing.T) {
 	cfg := fastCfg()
 	cfg.TTL = 10 * time.Millisecond
 	res := New(r.client, cfg)
-	if _, err := res.Lookup(p); err != nil {
+	if _, err := res.Lookup(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	// Warp the clock past the TTL.
 	res.now = func() time.Time { return time.Now().Add(time.Hour) }
-	if _, err := res.Lookup(p); err != nil {
+	if _, err := res.Lookup(ctx, p); err != nil {
 		t.Fatal(err)
 	}
 	if s := res.Stats(); s.Misses != 2 {
@@ -159,13 +166,14 @@ func TestTTLExpiry(t *testing.T) {
 }
 
 func TestNegativeTTLNeverExpires(t *testing.T) {
+	ctx := context.Background()
 	r := newRig(t)
 	cfg := fastCfg()
 	cfg.TTL = -1
 	res := New(r.client, cfg)
 	res.Insert(cap.Port(9), r.server.Machine())
 	res.now = func() time.Time { return time.Now().Add(1000 * time.Hour) }
-	if _, err := res.Lookup(cap.Port(9)); err != nil {
+	if _, err := res.Lookup(ctx, cap.Port(9)); err != nil {
 		t.Fatal(err)
 	}
 	if s := res.Stats(); s.Hits != 1 {

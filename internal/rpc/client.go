@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -16,14 +17,26 @@ import (
 // without a reply.
 var ErrTimeout = errors.New("rpc: transaction timed out")
 
-// ClientConfig tunes a Client. The zero value gets sensible defaults.
+// NoRetries is the ClientConfig.Retries sentinel for "no retries at
+// all": a zero value means "use the default" (2), so configurations
+// that genuinely want a single attempt say Retries: NoRetries.
+// Per-call, WithRetries(0) expresses the same thing exactly.
+const NoRetries = -1
+
+// ClientConfig tunes a Client. The zero value gets sensible defaults
+// (see the package documentation for the full default table).
 type ClientConfig struct {
 	// Timeout bounds each attempt's wait for a reply (default 1s).
 	Timeout time.Duration
 	// Retries is how many additional attempts follow a timeout
-	// (default 2). Each retry re-locates the destination port, so a
-	// migrated or restarted server is found again.
+	// (default 2; NoRetries for none). Each retry re-locates the
+	// destination port, so a migrated or restarted server is found
+	// again.
 	Retries int
+	// RetryBackoff is an optional pause inserted before each retry
+	// (default 0). The pause is cut short if the call's context is
+	// cancelled.
+	RetryBackoff time.Duration
 	// Source supplies reply-port randomness (default crypto/rand).
 	Source crypto.Source
 	// Sealer, if set, encrypts the capability in every request header
@@ -36,15 +49,61 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Timeout <= 0 {
 		c.Timeout = time.Second
 	}
-	if c.Retries < 0 {
+	switch {
+	case c.Retries < 0:
+		// NoRetries (or any negative): exactly one attempt.
 		c.Retries = 0
-	} else if c.Retries == 0 {
+	case c.Retries == 0:
 		c.Retries = 2
+	}
+	if c.RetryBackoff < 0 {
+		c.RetryBackoff = 0
 	}
 	if c.Source == nil {
 		c.Source = crypto.SystemSource()
 	}
 	return c
+}
+
+// callOptions is the per-transaction view of the configuration after
+// CallOptions are applied.
+type callOptions struct {
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	sig     cap.Port
+}
+
+// CallOption tunes one transaction, overriding the client-wide
+// configuration for that call only.
+type CallOption func(*callOptions)
+
+// WithTimeout bounds each attempt's wait for a reply on this call.
+func WithTimeout(d time.Duration) CallOption {
+	return func(o *callOptions) {
+		if d > 0 {
+			o.timeout = d
+		}
+	}
+}
+
+// WithRetries sets how many additional attempts follow a timeout on
+// this call. WithRetries(0) means exactly one attempt — unlike the
+// zero value of ClientConfig.Retries, it is honoured literally.
+func WithRetries(n int) CallOption {
+	return func(o *callOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.retries = n
+	}
+}
+
+// WithSigner signs the transaction: the signer's secret rides in the
+// message header and is transformed to F(S) by the F-box (§2.2).
+// It absorbs the old TransSigned entry point.
+func WithSigner(s fbox.Signer) CallOption {
+	return func(o *callOptions) { o.sig = s.Secret() }
 }
 
 // Client performs blocking transactions through an F-box. It is safe
@@ -63,24 +122,45 @@ func NewClient(fb *fbox.FBox, res *locate.Resolver, cfg ClientConfig) *Client {
 // Resolver exposes the client's locate cache (for seeding and stats).
 func (c *Client) Resolver() *locate.Resolver { return c.res }
 
+// options applies the per-call options over the client defaults.
+func (c *Client) options(opts []CallOption) callOptions {
+	o := callOptions{
+		timeout: c.cfg.Timeout,
+		retries: c.cfg.Retries,
+		backoff: c.cfg.RetryBackoff,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // Trans performs one blocking transaction: locate the server machine,
 // PUT the request at the destination port with a fresh reply port, and
 // wait for the reply. On timeout the locate cache entry is invalidated
 // and the transaction retried.
-func (c *Client) Trans(dest cap.Port, req Request) (Reply, error) {
-	return c.trans(dest, req, 0)
-}
-
-// TransSigned is Trans with a signature: the signer's secret rides in
-// the message header and is transformed to F(S) by the F-box (§2.2).
-func (c *Client) TransSigned(dest cap.Port, req Request, signer fbox.Signer) (Reply, error) {
-	return c.trans(dest, req, signer.Secret())
-}
-
-func (c *Client) trans(dest cap.Port, req Request, sig cap.Port) (Reply, error) {
+//
+// The context governs the whole transaction: cancellation or deadline
+// expiry aborts the locate, the reply wait and any retry backoff,
+// returning ctx.Err(). When the context carries a deadline, the
+// remaining budget also rides in the request header so servers that
+// issue nested RPC inherit it (see Request.Budget).
+func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...CallOption) (Reply, error) {
+	o := c.options(opts)
 	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		machine, err := c.res.Lookup(dest)
+	for attempt := 0; attempt <= o.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w (last error: %v)", dest, attempt, err, lastErr)
+			}
+			return Reply{}, fmt.Errorf("rpc: %v: %w", dest, err)
+		}
+		if attempt > 0 && o.backoff > 0 {
+			if err := sleepCtx(ctx, o.backoff); err != nil {
+				return Reply{}, fmt.Errorf("rpc: %v: %w", dest, err)
+			}
+		}
+		machine, err := c.res.Lookup(ctx, dest)
 		if err != nil {
 			return Reply{}, fmt.Errorf("rpc: locating %v: %w", dest, err)
 		}
@@ -88,7 +168,8 @@ func (c *Client) trans(dest cap.Port, req Request, sig cap.Port) (Reply, error) 
 		if err != nil {
 			return Reply{}, fmt.Errorf("rpc: sealing capability: %w", err)
 		}
-		rep, err := c.attempt(machine, dest, EncodeRequest(sealed), sig)
+		sealed.Budget = remainingBudget(ctx)
+		rep, err := c.attempt(ctx, machine, dest, EncodeRequest(sealed), o)
 		if err == nil {
 			return rep, nil
 		}
@@ -101,11 +182,36 @@ func (c *Client) trans(dest cap.Port, req Request, sig cap.Port) (Reply, error) 
 		}
 		return Reply{}, err
 	}
-	return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w", dest, c.cfg.Retries+1, lastErr)
+	return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w", dest, o.retries+1, lastErr)
+}
+
+// remainingBudget converts a context deadline into the wire budget: the
+// time left until the deadline, or 0 when the context has none.
+func remainingBudget(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	if left := time.Until(dl); left > 0 {
+		return left
+	}
+	return time.Nanosecond // expired: smallest non-zero budget
+}
+
+// sleepCtx waits d, returning early with ctx.Err() on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // attempt sends one request and waits one timeout for the reply.
-func (c *Client) attempt(machine amnet.MachineID, dest cap.Port, payload []byte, sig cap.Port) (Reply, error) {
+func (c *Client) attempt(ctx context.Context, machine amnet.MachineID, dest cap.Port, payload []byte, o callOptions) (Reply, error) {
 	// Fresh one-shot reply port per attempt: stray replies from a
 	// previous timed-out attempt cannot be confused with this one.
 	gPrime := cap.Port(crypto.Rand48(c.cfg.Source))
@@ -115,10 +221,12 @@ func (c *Client) attempt(machine amnet.MachineID, dest cap.Port, payload []byte,
 	}
 	defer l.Close()
 
-	msg := fbox.Message{Dest: dest, Reply: gPrime, Sig: sig, Payload: payload}
+	msg := fbox.Message{Dest: dest, Reply: gPrime, Sig: o.sig, Payload: payload}
 	if err := c.fb.Put(machine, msg); err != nil {
 		return Reply{}, fmt.Errorf("rpc: put: %w", err)
 	}
+	timer := time.NewTimer(o.timeout)
+	defer timer.Stop()
 	select {
 	case m, ok := <-l.Recv():
 		if !ok {
@@ -133,7 +241,9 @@ func (c *Client) attempt(machine amnet.MachineID, dest cap.Port, payload []byte,
 			return Reply{}, fmt.Errorf("rpc: opening reply capability: %w", err)
 		}
 		return rep, nil
-	case <-time.After(c.cfg.Timeout):
+	case <-ctx.Done():
+		return Reply{}, fmt.Errorf("rpc: %v: %w", dest, ctx.Err())
+	case <-timer.C:
 		return Reply{}, ErrTimeout
 	}
 }
@@ -141,8 +251,8 @@ func (c *Client) attempt(machine amnet.MachineID, dest cap.Port, payload []byte,
 // Call is the convenience most callers want: it sends op on the
 // object named by capability c0 (routing to c0.Server) and converts
 // non-OK statuses into *StatusError values.
-func (c *Client) Call(c0 cap.Capability, op uint16, data []byte) (Reply, error) {
-	rep, err := c.Trans(c0.Server, Request{Cap: c0, Op: op, Data: data})
+func (c *Client) Call(ctx context.Context, c0 cap.Capability, op uint16, data []byte, opts ...CallOption) (Reply, error) {
+	rep, err := c.Trans(ctx, c0.Server, Request{Cap: c0, Op: op, Data: data}, opts...)
 	if err != nil {
 		return Reply{}, err
 	}
@@ -152,9 +262,17 @@ func (c *Client) Call(c0 cap.Capability, op uint16, data []byte) (Reply, error) 
 	return rep, nil
 }
 
+// TransSigned is Trans with a signature.
+//
+// Deprecated: use Trans(ctx, dest, req, WithSigner(signer)), which
+// also accepts a context.
+func (c *Client) TransSigned(dest cap.Port, req Request, signer fbox.Signer) (Reply, error) {
+	return c.Trans(context.Background(), dest, req, WithSigner(signer))
+}
+
 // Restrict asks the server to fabricate a weaker capability (OpRestrict).
-func (c *Client) Restrict(c0 cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	rep, err := c.Call(c0, OpRestrict, []byte{byte(mask)})
+func (c *Client) Restrict(ctx context.Context, c0 cap.Capability, mask cap.Rights, opts ...CallOption) (cap.Capability, error) {
+	rep, err := c.Call(ctx, c0, OpRestrict, []byte{byte(mask)}, opts...)
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -163,8 +281,8 @@ func (c *Client) Restrict(c0 cap.Capability, mask cap.Rights) (cap.Capability, e
 
 // Revoke asks the server to re-key the object (OpRevoke), invalidating
 // every outstanding capability; the fresh owner capability is returned.
-func (c *Client) Revoke(c0 cap.Capability) (cap.Capability, error) {
-	rep, err := c.Call(c0, OpRevoke, nil)
+func (c *Client) Revoke(ctx context.Context, c0 cap.Capability, opts ...CallOption) (cap.Capability, error) {
+	rep, err := c.Call(ctx, c0, OpRevoke, nil, opts...)
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -173,8 +291,8 @@ func (c *Client) Revoke(c0 cap.Capability) (cap.Capability, error) {
 
 // Validate asks the server which rights the capability conveys
 // (OpValidate).
-func (c *Client) Validate(c0 cap.Capability) (cap.Rights, error) {
-	rep, err := c.Call(c0, OpValidate, nil)
+func (c *Client) Validate(ctx context.Context, c0 cap.Capability, opts ...CallOption) (cap.Rights, error) {
+	rep, err := c.Call(ctx, c0, OpValidate, nil, opts...)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,308 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/locate"
+)
+
+// blackHole registers a handler for op that counts arrivals and never
+// replies within any useful time: it parks on the handler context,
+// which fires on the request's deadline budget or on server Close.
+func blackHole(s *Server, op uint16, hits *atomic.Int64) {
+	s.Handle(op, func(ctx context.Context, _ Meta, _ Request) Reply {
+		if hits != nil {
+			hits.Add(1)
+		}
+		<-ctx.Done()
+		return ErrReply(StatusServerError, "gave up")
+	})
+}
+
+func TestCancelMidTransactionReturnsPromptly(t *testing.T) {
+	r := newTestRig(t, cap.SchemeOneWay)
+	blackHole(r.server, 0x77, nil)
+	r.start(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Generous per-attempt timeout and retries: only cancellation can
+	// end this transaction quickly.
+	_, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: 0x77},
+		WithTimeout(5*time.Second), WithRetries(3))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestDeadlineAbortsBeforeRetryBudget(t *testing.T) {
+	// The simulated network adds more latency than the context allows:
+	// the transaction must stop at the deadline instead of burning
+	// through every per-attempt timeout.
+	n := amnet.NewSimNet(amnet.SimConfig{Latency: 300 * time.Millisecond, Seed: 7})
+	t.Cleanup(func() { n.Close() })
+	attach := func() *fbox.FBox {
+		nic, err := n.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := fbox.New(nic, nil)
+		t.Cleanup(func() { fb.Close() })
+		return fb
+	}
+	src := crypto.NewSeededSource(0xDEAD)
+	serverFB := attach()
+	server := NewServer(serverFB, src)
+	server.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply { return OkReply(req.Data) })
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+
+	clientFB := attach()
+	res := locate.New(clientFB, locate.Config{Timeout: time.Second, Attempts: 3})
+	client := NewClient(clientFB, res, ClientConfig{Timeout: 250 * time.Millisecond, Retries: 5, Source: src})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Trans(ctx, server.PutPort(), Request{Op: OpEcho, Data: []byte("slow")})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Six attempts at 250ms each would be 1.5s; the deadline must cut
+	// the transaction off far earlier.
+	if elapsed > 750*time.Millisecond {
+		t.Fatalf("deadline took %v to fire; retry budget was not abandoned", elapsed)
+	}
+}
+
+func TestWithRetriesZeroMeansSingleAttempt(t *testing.T) {
+	r := newTestRig(t, cap.SchemeOneWay)
+	var hits atomic.Int64
+	blackHole(r.server, 0x78, &hits)
+	r.start(t)
+
+	ctx := context.Background()
+	_, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: 0x78},
+		WithTimeout(100*time.Millisecond), WithRetries(0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", got)
+	}
+}
+
+func TestClientConfigNoRetriesSentinel(t *testing.T) {
+	cfg := ClientConfig{Retries: NoRetries}.withDefaults()
+	if cfg.Retries != 0 {
+		t.Fatalf("NoRetries resolved to %d retries, want 0", cfg.Retries)
+	}
+	if def := (ClientConfig{}).withDefaults(); def.Retries != 2 {
+		t.Fatalf("zero value resolved to %d retries, want default 2", def.Retries)
+	}
+}
+
+func TestRetryBackoffHonoursCancellation(t *testing.T) {
+	r := newTestRig(t, cap.SchemeOneWay)
+	blackHole(r.server, 0x79, nil)
+	r.start(t)
+	res := locate.New(r.clientFB, locate.Config{Timeout: 200 * time.Millisecond, Attempts: 3})
+	client := NewClient(r.clientFB, res, ClientConfig{
+		Timeout:      100 * time.Millisecond,
+		Retries:      3,
+		RetryBackoff: 10 * time.Second, // cancellation must cut this short
+		Source:       crypto.NewSeededSource(3),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond) // after the first timeout, inside the backoff
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.Trans(ctx, r.server.PutPort(), Request{Op: 0x79})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored cancellation (took %v)", elapsed)
+	}
+}
+
+// TestNestedCallInheritsDeadline proves the wire budget: a handler on
+// server A issues a nested transaction to server B, forwarding its
+// handler context; B must observe a request deadline bounded by the
+// original caller's.
+func TestNestedCallInheritsDeadline(t *testing.T) {
+	n := amnet.NewSimNet(amnet.SimConfig{})
+	t.Cleanup(func() { n.Close() })
+	attach := func() *fbox.FBox {
+		nic, err := n.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := fbox.New(nic, nil)
+		t.Cleanup(func() { fb.Close() })
+		return fb
+	}
+	src := crypto.NewSeededSource(0xBEEF)
+
+	// Server B records the budget that arrived on the wire.
+	bFB := attach()
+	b := NewServer(bFB, src)
+	budgetSeen := make(chan time.Duration, 1)
+	b.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply {
+		select {
+		case budgetSeen <- req.Budget:
+		default:
+		}
+		return OkReply(req.Data)
+	})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	// Server A forwards its handler context into a nested call to B.
+	aFB := attach()
+	aClient := NewClient(aFB, locate.New(aFB, locate.Config{Timeout: 200 * time.Millisecond}), ClientConfig{Source: src})
+	a := NewServer(aFB, src)
+	a.Handle(0x11, func(ctx context.Context, _ Meta, req Request) Reply {
+		if _, ok := ctx.Deadline(); !ok {
+			return ErrReply(StatusServerError, "handler context has no deadline")
+		}
+		rep, err := aClient.Trans(ctx, b.PutPort(), Request{Op: OpEcho, Data: req.Data})
+		if err != nil {
+			return ErrReply(StatusServerError, err.Error())
+		}
+		return rep
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+
+	clientFB := attach()
+	client := NewClient(clientFB, locate.New(clientFB, locate.Config{Timeout: 200 * time.Millisecond}), ClientConfig{Source: src})
+
+	const parentBudget = 2 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), parentBudget)
+	defer cancel()
+	rep, err := client.Trans(ctx, a.PutPort(), Request{Op: 0x11, Data: []byte("deep")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusOK || string(rep.Data) != "deep" {
+		t.Fatalf("nested reply %+v", rep)
+	}
+	select {
+	case got := <-budgetSeen:
+		if got <= 0 {
+			t.Fatal("nested request carried no deadline budget")
+		}
+		if got > parentBudget {
+			t.Fatalf("nested budget %v exceeds parent deadline %v", got, parentBudget)
+		}
+	default:
+		t.Fatal("server B never saw the nested request")
+	}
+}
+
+// TestServerCloseCancelsHandlers proves graceful shutdown: handlers in
+// flight observe cancellation when the server closes.
+func TestServerCloseCancelsHandlers(t *testing.T) {
+	r := newTestRig(t, cap.SchemeOneWay)
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	r.server.Handle(0x7a, func(ctx context.Context, _ Meta, _ Request) Reply {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			done <- ctx.Err()
+		case <-time.After(5 * time.Second):
+			done <- errors.New("handler never cancelled")
+		}
+		return ErrReply(StatusServerError, "shutting down")
+	})
+	r.start(t)
+
+	go func() {
+		// Fire-and-forget transaction to get the handler running.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = r.client.Trans(ctx, r.server.PutPort(), Request{Op: 0x7a}, WithRetries(0))
+	}()
+	<-entered
+	if err := r.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("handler saw %v, want cancellation", err)
+	}
+}
+
+// TestWithoutDeadlineKeepsShutdownCancellation proves the cleanup
+// context: inside a handler, WithoutDeadline sheds the request budget
+// but still cancels when the server closes, so post-commit cleanup
+// cannot block shutdown.
+func TestWithoutDeadlineKeepsShutdownCancellation(t *testing.T) {
+	r := newTestRig(t, cap.SchemeOneWay)
+	type obs struct {
+		hadDeadline     bool
+		cleanupDeadline bool
+		cancelled       bool
+	}
+	done := make(chan obs, 1)
+	entered := make(chan struct{})
+	r.server.Handle(0x7b, func(ctx context.Context, _ Meta, _ Request) Reply {
+		cleanup := WithoutDeadline(ctx)
+		_, had := ctx.Deadline()
+		_, cd := cleanup.Deadline()
+		close(entered)
+		select {
+		case <-cleanup.Done():
+			done <- obs{had, cd, true}
+		case <-time.After(5 * time.Second):
+			done <- obs{had, cd, false}
+		}
+		return ErrReply(StatusServerError, "shutting down")
+	})
+	r.start(t)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, _ = r.client.Trans(ctx, r.server.PutPort(), Request{Op: 0x7b}, WithRetries(0))
+	}()
+	<-entered
+	if err := r.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if !got.hadDeadline {
+		t.Error("handler ctx was missing the request-budget deadline")
+	}
+	if got.cleanupDeadline {
+		t.Error("WithoutDeadline kept the request deadline")
+	}
+	if !got.cancelled {
+		t.Error("WithoutDeadline context was not cancelled by Server.Close")
+	}
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func lossyRig(t *testing.T, lossRate float64, seed uint64) (*Client, *Server, *a
 	clientFB, serverFB := attach(), attach()
 	src := crypto.NewSeededSource(seed)
 	server := NewServer(serverFB, src)
-	server.Handle(OpEcho, func(_ Context, req Request) Reply { return OkReply(req.Data) })
+	server.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply { return OkReply(req.Data) })
 	if err := server.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +46,12 @@ func lossyRig(t *testing.T, lossRate float64, seed uint64) (*Client, *Server, *a
 }
 
 func TestTransSurvivesFrameLoss(t *testing.T) {
+	ctx := context.Background()
 	// 30% loss on every frame (requests, replies, LOCATEs): the
 	// client's retry loop must still complete every transaction.
 	client, server, _ := lossyRig(t, 0.30, 0x1055)
 	for i := 0; i < 20; i++ {
-		rep, err := client.Trans(server.PutPort(), Request{Op: OpEcho, Data: []byte{byte(i)}})
+		rep, err := client.Trans(ctx, server.PutPort(), Request{Op: OpEcho, Data: []byte{byte(i)}})
 		if err != nil {
 			t.Fatalf("transaction %d failed under loss: %v", i, err)
 		}
@@ -60,15 +62,16 @@ func TestTransSurvivesFrameLoss(t *testing.T) {
 }
 
 func TestTransFailsCleanlyUnderPartition(t *testing.T) {
+	ctx := context.Background()
 	client, server, n := lossyRig(t, 0, 0xBAD)
 	// Warm the locate cache.
-	if _, err := client.Trans(server.PutPort(), Request{Op: OpEcho}); err != nil {
+	if _, err := client.Trans(ctx, server.PutPort(), Request{Op: OpEcho}); err != nil {
 		t.Fatal(err)
 	}
 	// Cut the link between the two machines.
 	n.Partition(1, 2)
 	start := time.Now()
-	_, err := client.Trans(server.PutPort(), Request{Op: OpEcho})
+	_, err := client.Trans(ctx, server.PutPort(), Request{Op: OpEcho})
 	if err == nil {
 		t.Fatal("transaction crossed a partition")
 	}
@@ -77,12 +80,13 @@ func TestTransFailsCleanlyUnderPartition(t *testing.T) {
 	}
 	// Heal and confirm recovery.
 	n.Heal(1, 2)
-	if _, err := client.Trans(server.PutPort(), Request{Op: OpEcho}); err != nil {
+	if _, err := client.Trans(ctx, server.PutPort(), Request{Op: OpEcho}); err != nil {
 		t.Fatalf("transaction after heal: %v", err)
 	}
 }
 
 func TestTwoServersOneMachine(t *testing.T) {
+	ctx := context.Background()
 	// "Every server has one or more ports": multiple services share a
 	// machine (and its F-box), each with its own get-port.
 	n := amnet.NewSimNet(amnet.SimConfig{})
@@ -102,9 +106,13 @@ func TestTwoServersOneMachine(t *testing.T) {
 
 	src := crypto.NewSeededSource(0x251)
 	s1 := NewServer(hostFB, src)
-	s1.Handle(OpEcho, func(_ Context, req Request) Reply { return OkReply(append([]byte("one:"), req.Data...)) })
+	s1.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply {
+		return OkReply(append([]byte("one:"), req.Data...))
+	})
 	s2 := NewServer(hostFB, src)
-	s2.Handle(OpEcho, func(_ Context, req Request) Reply { return OkReply(append([]byte("two:"), req.Data...)) })
+	s2.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply {
+		return OkReply(append([]byte("two:"), req.Data...))
+	})
 	if err := s1.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -119,17 +127,18 @@ func TestTwoServersOneMachine(t *testing.T) {
 
 	res := locate.New(clientFB, locate.Config{Timeout: 200 * time.Millisecond})
 	client := NewClient(clientFB, res, ClientConfig{Source: src})
-	rep1, err := client.Trans(s1.PutPort(), Request{Op: OpEcho, Data: []byte("x")})
+	rep1, err := client.Trans(ctx, s1.PutPort(), Request{Op: OpEcho, Data: []byte("x")})
 	if err != nil || string(rep1.Data) != "one:x" {
 		t.Fatalf("server one: %q %v", rep1.Data, err)
 	}
-	rep2, err := client.Trans(s2.PutPort(), Request{Op: OpEcho, Data: []byte("x")})
+	rep2, err := client.Trans(ctx, s2.PutPort(), Request{Op: OpEcho, Data: []byte("x")})
 	if err != nil || string(rep2.Data) != "two:x" {
 		t.Fatalf("server two: %q %v", rep2.Data, err)
 	}
 }
 
 func TestConcurrentClientsOneServer(t *testing.T) {
+	ctx := context.Background()
 	n := amnet.NewSimNet(amnet.SimConfig{})
 	t.Cleanup(func() { n.Close() })
 	attach := func() *fbox.FBox {
@@ -170,12 +179,12 @@ func TestConcurrentClientsOneServer(t *testing.T) {
 				return
 			}
 			for i := 0; i < 20; i++ {
-				weak, err := client.Restrict(owner, cap.RightRead)
+				weak, err := client.Restrict(ctx, owner, cap.RightRead)
 				if err != nil {
 					t.Errorf("client %d restrict: %v", g, err)
 					return
 				}
-				rights, err := client.Validate(weak)
+				rights, err := client.Validate(ctx, weak)
 				if err != nil || rights != cap.RightRead {
 					t.Errorf("client %d validate: %v %v", g, rights, err)
 					return

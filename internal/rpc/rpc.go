@@ -12,12 +12,40 @@
 // Each transaction uses a fresh one-shot reply port: the client picks a
 // random get-port G', includes it in the request (the F-box transmits
 // P' = F(G') per §2.2), and the server PUTs the reply to P'.
+//
+// # Context-first API
+//
+// Every client entry point takes a context.Context first and accepts
+// per-call options: Trans(ctx, dest, req, opts...) and
+// Call(ctx, c0, op, data, opts...). Cancellation or deadline expiry
+// aborts the locate broadcast, the reply wait and any retry backoff,
+// returning ctx.Err(). A context deadline additionally rides in the
+// request header as a remaining-time budget (Request.Budget), so a
+// server handler that issues nested RPC — the flat file server calling
+// the block server, say — inherits the original caller's deadline.
+//
+// # Configuration defaults
+//
+// ClientConfig zero values mean "use the default"; explicit per-call
+// options are honoured literally:
+//
+//	Setting               Zero value means        Express "none"/override
+//	ClientConfig.Timeout       1s                 WithTimeout(d) per call
+//	ClientConfig.Retries       2                  Retries: NoRetries, or WithRetries(0)
+//	ClientConfig.RetryBackoff  0 (no backoff)     —
+//	ClientConfig.Source        crypto/rand        any crypto.Source
+//	ClientConfig.Sealer        nil (no sealing)   any CapSealer
+//
+// The Retries zero value historically swallowed an explicit 0; use the
+// NoRetries sentinel (client-wide) or WithRetries(0) (per call) for
+// single-attempt transactions.
 package rpc
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"amoeba/internal/cap"
 )
@@ -113,6 +141,12 @@ type Request struct {
 	Cap cap.Capability
 	// Op is the operation code; its meaning is private to the server.
 	Op uint16
+	// Budget is the time remaining until the caller's deadline, set by
+	// the transport from the call's context (0 = no deadline). It is
+	// carried on the wire with millisecond resolution so a handler that
+	// performs nested RPC can bound the whole call tree by the original
+	// caller's deadline. Application code never sets it.
+	Budget time.Duration
 	// Data carries the parameters.
 	Data []byte
 }
@@ -163,20 +197,39 @@ const (
 	OpEcho uint16 = 0xfffe
 )
 
-// Wire formats. Request: op(2) cap(16) dlen(4) data. Reply:
-// status(2) cap(16) dlen(4) data.
-const wireHeader = 2 + cap.Size + 4
+// Wire formats. Request: op(2) cap(16) budget(4, ms) dlen(4) data.
+// Reply: status(2) cap(16) dlen(4) data.
+const (
+	reqHeader  = 2 + cap.Size + 4 + 4
+	wireHeader = 2 + cap.Size + 4 // reply header
+)
 
 // ErrBadMessage is returned for undecodable request/reply payloads.
 var ErrBadMessage = errors.New("rpc: malformed message")
 
+// budgetToWire converts a deadline budget to wire milliseconds,
+// rounding up so a small positive budget never becomes "no deadline".
+func budgetToWire(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms > time.Duration(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
+}
+
 // EncodeRequest serializes a request for the F-box payload.
 func EncodeRequest(req Request) []byte {
-	buf := make([]byte, 0, wireHeader+len(req.Data))
+	buf := make([]byte, 0, reqHeader+len(req.Data))
 	var op [2]byte
 	binary.BigEndian.PutUint16(op[:], req.Op)
 	buf = append(buf, op[:]...)
 	buf = req.Cap.AppendTo(buf)
+	var bd [4]byte
+	binary.BigEndian.PutUint32(bd[:], budgetToWire(req.Budget))
+	buf = append(buf, bd[:]...)
 	var dl [4]byte
 	binary.BigEndian.PutUint32(dl[:], uint32(len(req.Data)))
 	buf = append(buf, dl[:]...)
@@ -185,7 +238,7 @@ func EncodeRequest(req Request) []byte {
 
 // DecodeRequest parses a request payload.
 func DecodeRequest(buf []byte) (Request, error) {
-	if len(buf) < wireHeader {
+	if len(buf) < reqHeader {
 		return Request{}, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(buf))
 	}
 	op := binary.BigEndian.Uint16(buf[0:2])
@@ -193,11 +246,12 @@ func DecodeRequest(buf []byte) (Request, error) {
 	if err != nil {
 		return Request{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
-	n := binary.BigEndian.Uint32(buf[2+cap.Size : wireHeader])
-	if uint32(len(buf)-wireHeader) != n {
-		return Request{}, fmt.Errorf("%w: data length %d, have %d", ErrBadMessage, n, len(buf)-wireHeader)
+	budget := time.Duration(binary.BigEndian.Uint32(buf[2+cap.Size:2+cap.Size+4])) * time.Millisecond
+	n := binary.BigEndian.Uint32(buf[2+cap.Size+4 : reqHeader])
+	if uint32(len(buf)-reqHeader) != n {
+		return Request{}, fmt.Errorf("%w: data length %d, have %d", ErrBadMessage, n, len(buf)-reqHeader)
 	}
-	return Request{Cap: c, Op: op, Data: buf[wireHeader:]}, nil
+	return Request{Cap: c, Op: op, Budget: budget, Data: buf[reqHeader:]}, nil
 }
 
 // EncodeReply serializes a reply for the F-box payload.

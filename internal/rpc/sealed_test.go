@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -70,12 +71,13 @@ func newSealedRig(t *testing.T) *sealedRig {
 }
 
 func TestSealedTransactionWorks(t *testing.T) {
+	ctx := context.Background()
 	r := newSealedRig(t)
 	owner, err := r.table.Create()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rights, err := r.client.Validate(owner)
+	rights, err := r.client.Validate(ctx, owner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +86,11 @@ func TestSealedTransactionWorks(t *testing.T) {
 	}
 	// Reply capabilities (restrict) are sealed server→client and
 	// opened transparently.
-	weak, err := r.client.Restrict(owner, cap.RightRead)
+	weak, err := r.client.Restrict(ctx, owner, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wr, err := r.client.Validate(weak)
+	wr, err := r.client.Validate(ctx, weak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +100,7 @@ func TestSealedTransactionWorks(t *testing.T) {
 }
 
 func TestSealedCapabilityNeverInClearOnWire(t *testing.T) {
+	ctx := context.Background()
 	r := newSealedRig(t)
 	owner, err := r.table.Create()
 	if err != nil {
@@ -107,7 +110,7 @@ func TestSealedCapabilityNeverInClearOnWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.client.Validate(owner); err != nil {
+	if _, err := r.client.Validate(ctx, owner); err != nil {
 		t.Fatal(err)
 	}
 	wire := owner.Encode()
@@ -132,6 +135,7 @@ func TestSealedCapabilityNeverInClearOnWire(t *testing.T) {
 }
 
 func TestSealedMismatchRejected(t *testing.T) {
+	ctx := context.Background()
 	// A client without the matrix (no sealer) sends plaintext
 	// capabilities; the sealed server decrypts them into garbage and
 	// the table rejects them. Two protection layers composing.
@@ -146,21 +150,23 @@ func TestSealedMismatchRejected(t *testing.T) {
 		Source:  crypto.NewSeededSource(2),
 		// no Sealer
 	})
-	if _, err := plainClient.Validate(owner); !IsStatus(err, StatusBadCapability) {
+	if _, err := plainClient.Validate(ctx, owner); !IsStatus(err, StatusBadCapability) {
 		t.Fatalf("plaintext capability against sealed server: %v", err)
 	}
 }
 
 func TestSealedNilCapabilityPassesThrough(t *testing.T) {
+	ctx := context.Background()
 	// Echo carries no capability; sealing must not mangle it.
 	r := newSealedRig(t)
-	rep, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho, Data: []byte("ping")})
+	rep, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho, Data: []byte("ping")})
 	if err != nil || rep.Status != StatusOK || string(rep.Data) != "ping" {
 		t.Fatalf("echo: %v %v %q", err, rep.Status, rep.Data)
 	}
 }
 
 func TestSealedReplayFromOtherMachineFails(t *testing.T) {
+	ctx := context.Background()
 	// The full §2.4 replay over a real (simulated) wire: the intruder
 	// captures a sealed request frame and re-transmits it verbatim
 	// from his own machine. The server decrypts the capability under
@@ -185,7 +191,7 @@ func TestSealedReplayFromOtherMachineFails(t *testing.T) {
 	r.sGuard.SetRecvKey(intNIC.ID(), 0xD00D)
 	r.sGuard.SetSendKey(intNIC.ID(), 0xD00E)
 
-	if _, err := r.client.Validate(owner); err != nil {
+	if _, err := r.client.Validate(ctx, owner); err != nil {
 		t.Fatal(err)
 	}
 	// Find the captured request frame (client → server).

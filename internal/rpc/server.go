@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,16 +14,38 @@ import (
 
 // Handler processes one request and produces the reply. Handlers run
 // on their own goroutine, so a handler may itself perform RPC (the
-// directory server does, for cross-server path lookups).
-type Handler func(ctx Context, req Request) Reply
+// flat file server does, for nested block-server transactions).
+//
+// The context is cancelled when the server shuts down, and carries a
+// deadline when the client's request arrived with a remaining-time
+// budget (Request.Budget); handlers that issue nested RPC should pass
+// it on so the caller's deadline bounds the whole call tree.
+type Handler func(ctx context.Context, md Meta, req Request) Reply
 
-// Context carries per-message metadata into handlers.
-type Context struct {
+// Meta carries per-message transport metadata into handlers.
+type Meta struct {
 	// From is the hardware source machine of the request.
 	From amnet.MachineID
 	// Sig is the F-transformed signature F(S) of the request, or zero
 	// if unsigned; compare with a published value via fbox.VerifySignature.
 	Sig cap.Port
+}
+
+// baseCtxKey lets WithoutDeadline recover the server's base context
+// from a handler context that carries a request-budget deadline.
+type baseCtxKey struct{}
+
+// WithoutDeadline returns a context for work that is past the point of
+// no return — cleanup after an irreversible state change — and must
+// therefore outlive the caller's deadline. Inside a handler it returns
+// the server's base context, which is still cancelled on Server.Close
+// so shutdown is not blocked; outside a handler it falls back to
+// context.WithoutCancel.
+func WithoutDeadline(ctx context.Context) context.Context {
+	if base, ok := ctx.Value(baseCtxKey{}).(context.Context); ok {
+		return base
+	}
+	return context.WithoutCancel(ctx)
 }
 
 // Server is an Amoeba service process: it chooses a secret get-port G,
@@ -40,6 +63,8 @@ type Server struct {
 	listener *fbox.Listener
 	started  bool
 	closed   bool
+	baseCtx  context.Context
+	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 }
 
@@ -93,7 +118,7 @@ func (s *Server) ServeTable(t *cap.Table) {
 	s.mu.Lock()
 	s.table = t
 	s.mu.Unlock()
-	s.Handle(OpRestrict, func(_ Context, req Request) Reply {
+	s.Handle(OpRestrict, func(_ context.Context, _ Meta, req Request) Reply {
 		if len(req.Data) != 1 {
 			return ErrReply(StatusBadRequest, "restrict wants a 1-byte mask")
 		}
@@ -103,21 +128,21 @@ func (s *Server) ServeTable(t *cap.Table) {
 		}
 		return CapReply(nc)
 	})
-	s.Handle(OpRevoke, func(_ Context, req Request) Reply {
+	s.Handle(OpRevoke, func(_ context.Context, _ Meta, req Request) Reply {
 		nc, err := t.Revoke(req.Cap)
 		if err != nil {
 			return ErrReplyFromErr(err)
 		}
 		return CapReply(nc)
 	})
-	s.Handle(OpValidate, func(_ Context, req Request) Reply {
+	s.Handle(OpValidate, func(_ context.Context, _ Meta, req Request) Reply {
 		rights, err := t.Validate(req.Cap)
 		if err != nil {
 			return ErrReplyFromErr(err)
 		}
 		return OkReply([]byte{byte(rights)})
 	})
-	s.Handle(OpEcho, func(_ Context, req Request) Reply {
+	s.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply {
 		return OkReply(req.Data)
 	})
 }
@@ -143,7 +168,9 @@ func (s *Server) SetSealer(sealer CapSealer) {
 }
 
 // Start performs GET(G) and begins dispatching. The server advertises
-// its port for LOCATE broadcasts.
+// its port for LOCATE broadcasts. The base context handed to every
+// handler is cancelled when Close is called, so in-flight handlers
+// (and any nested RPC they issue) shut down gracefully.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	if s.started {
@@ -161,6 +188,7 @@ func (s *Server) Start() error {
 	}
 	s.listener = l
 	s.started = true
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.mu.Unlock()
 
 	s.wg.Add(1)
@@ -179,6 +207,7 @@ func (s *Server) loop(l *fbox.Listener) {
 		s.mu.Lock()
 		h := s.handlers[req.Op]
 		sealer := s.sealer
+		base := s.baseCtx
 		s.mu.Unlock()
 		if sealer != nil {
 			// A failed Open yields a garbage capability rather than an
@@ -198,7 +227,17 @@ func (s *Server) loop(l *fbox.Listener) {
 		s.wg.Add(1)
 		go func(m fbox.Received, req Request) {
 			defer s.wg.Done()
-			s.reply(m, h(Context{From: m.From, Sig: m.Sig}, req))
+			// The caller's remaining deadline budget (if any) bounds
+			// this handler and every nested RPC it issues; the base
+			// context stays reachable for WithoutDeadline cleanup.
+			ctx := base
+			if req.Budget > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(base, req.Budget)
+				defer cancel()
+			}
+			ctx = context.WithValue(ctx, baseCtxKey{}, base)
+			s.reply(m, h(ctx, Meta{From: m.From, Sig: m.Sig}, req))
 		}(m, req)
 	}
 }
@@ -222,8 +261,9 @@ func (s *Server) reply(m fbox.Received, rep Reply) {
 	_ = s.fb.Put(m.From, fbox.Message{Dest: m.Reply, Payload: EncodeReply(rep)})
 }
 
-// Close stops the dispatch loop. It does not close the F-box (several
-// servers may share one machine).
+// Close stops the dispatch loop, cancels the context handed to every
+// running handler, and waits for them to finish. It does not close the
+// F-box (several servers may share one machine).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -232,9 +272,13 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	l := s.listener
+	cancel := s.cancel
 	s.mu.Unlock()
 	if l != nil {
 		l.Close()
+	}
+	if cancel != nil {
+		cancel()
 	}
 	s.wg.Wait()
 	return nil

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -61,9 +62,10 @@ func (r *testRig) start(t *testing.T) {
 }
 
 func TestTransEcho(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
-	rep, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho, Data: []byte("ping")})
+	rep, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho, Data: []byte("ping")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,9 +75,10 @@ func TestTransEcho(t *testing.T) {
 }
 
 func TestTransUnknownOp(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
-	rep, err := r.client.Trans(r.server.PutPort(), Request{Op: 0x1234})
+	rep, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: 0x1234})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,15 +88,17 @@ func TestTransUnknownOp(t *testing.T) {
 }
 
 func TestCallConvertsStatus(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
-	_, err := r.client.Call(cap.Capability{Server: r.server.PutPort()}, 0x1234, nil)
+	_, err := r.client.Call(ctx, cap.Capability{Server: r.server.PutPort()}, 0x1234, nil)
 	if !IsStatus(err, StatusNoSuchOp) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestEndToEndCapabilityLifecycle(t *testing.T) {
+	ctx := context.Background()
 	// Create (server-side), validate, restrict, revoke over the wire.
 	for _, id := range cap.AllSchemeIDs() {
 		t.Run(id.String(), func(t *testing.T) {
@@ -104,7 +109,7 @@ func TestEndToEndCapabilityLifecycle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rights, err := r.client.Validate(owner)
+			rights, err := r.client.Validate(ctx, owner)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,25 +118,25 @@ func TestEndToEndCapabilityLifecycle(t *testing.T) {
 			}
 
 			if id != cap.SchemeCompare {
-				weak, err := r.client.Restrict(owner, cap.RightRead)
+				weak, err := r.client.Restrict(ctx, owner, cap.RightRead)
 				if err != nil {
 					t.Fatal(err)
 				}
-				wr, err := r.client.Validate(weak)
+				wr, err := r.client.Validate(ctx, weak)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if wr != cap.RightRead {
 					t.Fatalf("restricted rights %v", wr)
 				}
-				fresh, err := r.client.Revoke(owner)
+				fresh, err := r.client.Revoke(ctx, owner)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := r.client.Validate(weak); !IsStatus(err, StatusBadCapability) {
+				if _, err := r.client.Validate(ctx, weak); !IsStatus(err, StatusBadCapability) {
 					t.Fatalf("revoked cap still validates: %v", err)
 				}
-				if _, err := r.client.Validate(fresh); err != nil {
+				if _, err := r.client.Validate(ctx, fresh); err != nil {
 					t.Fatalf("fresh cap: %v", err)
 				}
 			}
@@ -140,6 +145,7 @@ func TestEndToEndCapabilityLifecycle(t *testing.T) {
 }
 
 func TestForgedCapabilityRejectedOverWire(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
 	owner, err := r.table.Create()
@@ -148,32 +154,34 @@ func TestForgedCapabilityRejectedOverWire(t *testing.T) {
 	}
 	forged := owner
 	forged.Check ^= 0x1
-	if _, err := r.client.Validate(forged); !IsStatus(err, StatusBadCapability) {
+	if _, err := r.client.Validate(ctx, forged); !IsStatus(err, StatusBadCapability) {
 		t.Fatalf("forged capability: %v", err)
 	}
 }
 
 func TestTransTimeoutWhenServerDown(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
 	// Resolve once so the port is cached, then kill the server.
-	if _, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho}); err != nil {
+	if _, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho}); err != nil {
 		t.Fatal(err)
 	}
 	r.server.Close()
-	_, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho})
+	_, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho})
 	if err == nil {
 		t.Fatal("transaction to dead server succeeded")
 	}
 }
 
 func TestServerRestartFoundByRetry(t *testing.T) {
+	ctx := context.Background()
 	// A restarted server (same get-port, different machine) is found
 	// again because timeout invalidates the locate cache.
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
 	g := r.server.GetPort()
-	if _, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho}); err != nil {
+	if _, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho}); err != nil {
 		t.Fatal(err)
 	}
 	r.server.Close()
@@ -185,13 +193,13 @@ func TestServerRestartFoundByRetry(t *testing.T) {
 	fb2 := fbox.New(nic, nil)
 	t.Cleanup(func() { fb2.Close() })
 	s2 := NewServerWithPort(fb2, g)
-	s2.Handle(OpEcho, func(_ Context, req Request) Reply { return OkReply(req.Data) })
+	s2.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply { return OkReply(req.Data) })
 	if err := s2.Start(); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s2.Close() })
 
-	rep, err := r.client.Trans(s2.PutPort(), Request{Op: OpEcho, Data: []byte("again")})
+	rep, err := r.client.Trans(ctx, s2.PutPort(), Request{Op: OpEcho, Data: []byte("again")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,6 +209,7 @@ func TestServerRestartFoundByRetry(t *testing.T) {
 }
 
 func TestConcurrentTransactions(t *testing.T) {
+	ctx := context.Background()
 	r := newTestRig(t, cap.SchemeOneWay)
 	r.start(t)
 	var wg sync.WaitGroup
@@ -209,7 +218,7 @@ func TestConcurrentTransactions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := r.client.Trans(r.server.PutPort(), Request{Op: OpEcho, Data: []byte{byte(i)}})
+			rep, err := r.client.Trans(ctx, r.server.PutPort(), Request{Op: OpEcho, Data: []byte{byte(i)}})
 			if err != nil {
 				errs <- err
 				return
@@ -230,9 +239,9 @@ func TestSignedTransaction(t *testing.T) {
 	r := newTestRig(t, cap.SchemeOneWay)
 	signer := fbox.NewSigner(crypto.NewSeededSource(77), nil)
 	sigSeen := make(chan cap.Port, 1)
-	r.server.Handle(0x42, func(ctx Context, _ Request) Reply {
+	r.server.Handle(0x42, func(_ context.Context, md Meta, _ Request) Reply {
 		select {
-		case sigSeen <- ctx.Sig:
+		case sigSeen <- md.Sig:
 		default:
 		}
 		return OkReply(nil)
@@ -254,7 +263,7 @@ func TestHandlerPanicsOnDuplicates(t *testing.T) {
 			t.Fatal("duplicate Handle did not panic")
 		}
 	}()
-	r.server.Handle(OpEcho, func(Context, Request) Reply { return Reply{} })
+	r.server.Handle(OpEcho, func(context.Context, Meta, Request) Reply { return Reply{} })
 }
 
 func TestServerDoubleStart(t *testing.T) {
@@ -277,6 +286,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 }
 
 func TestMalformedRequestGetsBadRequest(t *testing.T) {
+	ctx := context.Background()
 	// Drive the F-box directly with a garbage payload; the server must
 	// answer StatusBadRequest rather than dropping or crashing.
 	r := newTestRig(t, cap.SchemeOneWay)
@@ -287,7 +297,7 @@ func TestMalformedRequestGetsBadRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := locate.New(r.clientFB, locate.Config{Timeout: 200 * time.Millisecond})
-	machine, err := res.Lookup(r.server.PutPort())
+	machine, err := res.Lookup(ctx, r.server.PutPort())
 	if err != nil {
 		t.Fatal(err)
 	}

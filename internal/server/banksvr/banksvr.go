@@ -14,6 +14,8 @@
 package banksvr
 
 import (
+	"context"
+
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -130,7 +132,7 @@ func validCurrency(c string) error {
 	return nil
 }
 
-func (s *Server) createAccount(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) createAccount(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	currency, rest, err := takeCurrency(req.Data)
 	if err != nil {
 		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
@@ -175,7 +177,7 @@ func (s *Server) acctLocked(obj uint32) (*account, error) {
 	return a, nil
 }
 
-func (s *Server) balance(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) balance(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.table.Demand(req.Cap, cap.RightRead); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -202,7 +204,7 @@ func (s *Server) balance(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) transfer(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) transfer(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	// Withdrawal needs RightWrite on the source.
 	if _, err := s.table.Demand(req.Cap, cap.RightWrite); err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -252,7 +254,7 @@ func (s *Server) transfer(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) convert(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) convert(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.table.Demand(req.Cap, cap.RightWrite); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -292,7 +294,7 @@ func (s *Server) convert(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) destroyAccount(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) destroyAccount(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.table.Demand(req.Cap, cap.RightDestroy); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}

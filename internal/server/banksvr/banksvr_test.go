@@ -1,6 +1,7 @@
 package banksvr
 
 import (
+	"context"
 	"testing"
 
 	"amoeba/internal/cap"
@@ -34,12 +35,13 @@ func defaultCfg() Config {
 }
 
 func TestCreateAndBalance(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, defaultCfg())
-	acct, err := b.CreateAccount("dollar", 100)
+	acct, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bal, err := b.Balance(acct)
+	bal, err := b.Balance(ctx, acct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,55 +51,58 @@ func TestCreateAndBalance(t *testing.T) {
 }
 
 func TestTreasuryBacksGrants(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, Config{Treasury: map[string]int64{"dollar": 150}})
-	if _, err := b.CreateAccount("dollar", 100); err != nil {
+	if _, err := b.CreateAccount(ctx, "dollar", 100); err != nil {
 		t.Fatal(err)
 	}
 	// Only 50 left.
-	if _, err := b.CreateAccount("dollar", 100); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if _, err := b.CreateAccount(ctx, "dollar", 100); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("over-treasury grant: %v", err)
 	}
-	if _, err := b.CreateAccount("dollar", 50); err != nil {
+	if _, err := b.CreateAccount(ctx, "dollar", 50); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMintingAllowed(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, Config{MintingAllowed: true})
-	acct, err := b.CreateAccount("yen", 1_000_000)
+	acct, err := b.CreateAccount(ctx, "yen", 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bal, err := b.Balance(acct)
+	bal, err := b.Balance(ctx, acct)
 	if err != nil || bal["yen"] != 1_000_000 {
 		t.Fatalf("balance %v %v", bal, err)
 	}
 }
 
 func TestTransfer(t *testing.T) {
+	ctx := context.Background()
 	// The §3.6 scenario: client pays the file server for a file.
 	_, b := newBank(t, defaultCfg())
-	client, err := b.CreateAccount("dollar", 100)
+	client, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fileServer, err := b.CreateAccount("dollar", 0)
+	fileServer, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The file server publishes a deposit-only capability.
-	depositOnly, err := b.Restrict(fileServer, cap.RightCreate)
+	depositOnly, err := b.Restrict(ctx, fileServer, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(client, depositOnly, "dollar", 30); err != nil {
+	if err := b.Transfer(ctx, client, depositOnly, "dollar", 30); err != nil {
 		t.Fatal(err)
 	}
-	cb, err := b.Balance(client)
+	cb, err := b.Balance(ctx, client)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := b.Balance(fileServer)
+	fb, err := b.Balance(ctx, fileServer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,84 +112,88 @@ func TestTransfer(t *testing.T) {
 }
 
 func TestTransferRequiresRights(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, defaultCfg())
-	src, err := b.CreateAccount("dollar", 100)
+	src, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst, err := b.CreateAccount("dollar", 0)
+	dst, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A deposit-only capability cannot withdraw.
-	depositOnly, err := b.Restrict(src, cap.RightCreate)
+	depositOnly, err := b.Restrict(ctx, src, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(depositOnly, dst, "dollar", 10); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := b.Transfer(ctx, depositOnly, dst, "dollar", 10); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("withdraw with deposit-only: %v", err)
 	}
 	// A read-only destination cannot receive.
-	readOnly, err := b.Restrict(dst, cap.RightRead)
+	readOnly, err := b.Restrict(ctx, dst, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(src, readOnly, "dollar", 10); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := b.Transfer(ctx, src, readOnly, "dollar", 10); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("deposit without RightCreate: %v", err)
 	}
 }
 
 func TestInsufficientFunds(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, defaultCfg())
-	src, err := b.CreateAccount("dollar", 10)
+	src, err := b.CreateAccount(ctx, "dollar", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst, err := b.CreateAccount("dollar", 0)
+	dst, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(src, dst, "dollar", 11); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if err := b.Transfer(ctx, src, dst, "dollar", 11); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("overdraft: %v", err)
 	}
 	// Money is conserved: failed transfer moved nothing.
-	sb, err := b.Balance(src)
+	sb, err := b.Balance(ctx, src)
 	if err != nil || sb["dollar"] != 10 {
 		t.Fatalf("source balance %v %v", sb, err)
 	}
 }
 
 func TestTransferValidation(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, defaultCfg())
-	src, err := b.CreateAccount("dollar", 10)
+	src, err := b.CreateAccount(ctx, "dollar", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(src, src, "dollar", 1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := b.Transfer(ctx, src, src, "dollar", 1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("self transfer: %v", err)
 	}
 	forged := src
 	forged.Object ^= 1
-	if err := b.Transfer(src, forged, "dollar", 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if err := b.Transfer(ctx, src, forged, "dollar", 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("forged destination: %v", err)
 	}
-	if err := b.Transfer(src, src, "", 1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := b.Transfer(ctx, src, src, "", 1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("empty currency: %v", err)
 	}
 }
 
 func TestConvert(t *testing.T) {
+	ctx := context.Background()
 	// "CPU time could be charged in francs, phototypesetter pages in
 	// yen": currencies are separate, with posted conversion rates.
 	_, b := newBank(t, defaultCfg())
-	acct, err := b.CreateAccount("dollar", 100)
+	acct, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Convert(acct, "dollar", "franc", 20); err != nil {
+	if err := b.Convert(ctx, acct, "dollar", "franc", 20); err != nil {
 		t.Fatal(err)
 	}
-	bal, err := b.Balance(acct)
+	bal, err := b.Balance(ctx, acct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,36 +203,38 @@ func TestConvert(t *testing.T) {
 }
 
 func TestInconvertibleCurrency(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, defaultCfg())
-	acct, err := b.CreateAccount("dollar", 100)
+	acct, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Convert(acct, "dollar", "yen", 10); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if err := b.Convert(ctx, acct, "dollar", "yen", 10); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("inconvertible pair: %v", err)
 	}
 }
 
 func TestQuotaScenario(t *testing.T) {
+	ctx := context.Background()
 	// "quotas can be implemented by limiting how many dollars each
 	// client has": a client with 3 dollars at 1 dollar per block can
 	// pay for exactly 3 blocks.
 	_, b := newBank(t, defaultCfg())
-	client, err := b.CreateAccount("dollar", 3)
+	client, err := b.CreateAccount(ctx, "dollar", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fileServer, err := b.CreateAccount("dollar", 0)
+	fileServer, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	deposit, err := b.Restrict(fileServer, cap.RightCreate)
+	deposit, err := b.Restrict(ctx, fileServer, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
 	blocks := 0
 	for i := 0; i < 5; i++ {
-		if err := b.Transfer(client, deposit, "dollar", 1); err != nil {
+		if err := b.Transfer(ctx, client, deposit, "dollar", 1); err != nil {
 			break
 		}
 		blocks++
@@ -234,85 +245,88 @@ func TestQuotaScenario(t *testing.T) {
 }
 
 func TestDestroyAccountReturnsFundsToTreasury(t *testing.T) {
+	ctx := context.Background()
 	_, b := newBank(t, Config{Treasury: map[string]int64{"dollar": 100}})
-	acct, err := b.CreateAccount("dollar", 100)
+	acct, err := b.CreateAccount(ctx, "dollar", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Treasury empty now.
-	if _, err := b.CreateAccount("dollar", 1); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if _, err := b.CreateAccount(ctx, "dollar", 1); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("grant from empty treasury: %v", err)
 	}
-	if err := b.DestroyAccount(acct); err != nil {
+	if err := b.DestroyAccount(ctx, acct); err != nil {
 		t.Fatal(err)
 	}
 	// Funds are back.
-	if _, err := b.CreateAccount("dollar", 100); err != nil {
+	if _, err := b.CreateAccount(ctx, "dollar", 100); err != nil {
 		t.Fatalf("grant after destroy: %v", err)
 	}
-	if _, err := b.Balance(acct); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := b.Balance(ctx, acct); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("balance of destroyed account: %v", err)
 	}
 }
 
 func TestPrepayPattern(t *testing.T) {
+	ctx := context.Background()
 	// "the client can pre-pay for a substantial amount of work": one
 	// large transfer, then the server tracks consumption itself.
 	_, b := newBank(t, defaultCfg())
-	client, err := b.CreateAccount("dollar", 500)
+	client, err := b.CreateAccount(ctx, "dollar", 500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	server, err := b.CreateAccount("dollar", 0)
+	server, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	deposit, err := b.Restrict(server, cap.RightCreate)
+	deposit, err := b.Restrict(ctx, server, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(client, deposit, "dollar", 500); err != nil {
+	if err := b.Transfer(ctx, client, deposit, "dollar", 500); err != nil {
 		t.Fatal(err)
 	}
-	sb, err := b.Balance(server)
+	sb, err := b.Balance(ctx, server)
 	if err != nil || sb["dollar"] != 500 {
 		t.Fatalf("server balance %v %v", sb, err)
 	}
 }
 
 func TestRefundFlow(t *testing.T) {
+	ctx := context.Background()
 	// §3.6: "returning the resource might result in the client getting
 	// his money": the file server (holding write rights on its own
 	// account) transfers back to the client's deposit capability.
 	_, b := newBank(t, defaultCfg())
-	client, err := b.CreateAccount("dollar", 10)
+	client, err := b.CreateAccount(ctx, "dollar", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	server, err := b.CreateAccount("dollar", 0)
+	server, err := b.CreateAccount(ctx, "dollar", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serverDeposit, err := b.Restrict(server, cap.RightCreate)
+	serverDeposit, err := b.Restrict(ctx, server, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clientDeposit, err := b.Restrict(client, cap.RightCreate)
+	clientDeposit, err := b.Restrict(ctx, client, cap.RightCreate)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Client pays for 5 blocks, then frees 2: server refunds 2.
-	if err := b.Transfer(client, serverDeposit, "dollar", 5); err != nil {
+	if err := b.Transfer(ctx, client, serverDeposit, "dollar", 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Transfer(server, clientDeposit, "dollar", 2); err != nil {
+	if err := b.Transfer(ctx, server, clientDeposit, "dollar", 2); err != nil {
 		t.Fatal(err)
 	}
-	cb, err := b.Balance(client)
+	cb, err := b.Balance(ctx, client)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sb, err := b.Balance(server)
+	sb, err := b.Balance(ctx, server)
 	if err != nil {
 		t.Fatal(err)
 	}

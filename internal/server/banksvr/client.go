@@ -1,6 +1,7 @@
 package banksvr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -24,12 +25,12 @@ func (b *Client) Port() cap.Port { return b.port }
 
 // CreateAccount opens an account with an initial grant in one currency
 // and returns the owner capability.
-func (b *Client) CreateAccount(currency string, amount int64) (cap.Capability, error) {
+func (b *Client) CreateAccount(ctx context.Context, currency string, amount int64) (cap.Capability, error) {
 	data := appendCurrency(nil, currency)
 	var amt [8]byte
 	binary.BigEndian.PutUint64(amt[:], uint64(amount))
 	data = append(data, amt[:]...)
-	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpCreateAccount, Data: data})
+	rep, err := b.c.Trans(ctx, b.port, rpc.Request{Op: OpCreateAccount, Data: data})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -40,8 +41,8 @@ func (b *Client) CreateAccount(currency string, amount int64) (cap.Capability, e
 }
 
 // Balance returns the account's balances by currency.
-func (b *Client) Balance(acct cap.Capability) (map[string]int64, error) {
-	rep, err := b.c.Call(acct, OpBalance, nil)
+func (b *Client) Balance(ctx context.Context, acct cap.Capability) (map[string]int64, error) {
+	rep, err := b.c.Call(ctx, acct, OpBalance, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -69,39 +70,39 @@ func (b *Client) Balance(acct cap.Capability) (map[string]int64, error) {
 
 // Transfer withdraws amount of currency from src (needs RightWrite)
 // and deposits it into dest (needs RightCreate).
-func (b *Client) Transfer(src, dest cap.Capability, currency string, amount int64) error {
+func (b *Client) Transfer(ctx context.Context, src, dest cap.Capability, currency string, amount int64) error {
 	data := dest.AppendTo(nil)
 	data = appendCurrency(data, currency)
 	var amt [8]byte
 	binary.BigEndian.PutUint64(amt[:], uint64(amount))
 	data = append(data, amt[:]...)
-	_, err := b.c.Call(src, OpTransfer, data)
+	_, err := b.c.Call(ctx, src, OpTransfer, data)
 	return err
 }
 
 // Convert exchanges amount of from-currency into to-currency within
 // one account, at the bank's posted rate.
-func (b *Client) Convert(acct cap.Capability, from, to string, amount int64) error {
+func (b *Client) Convert(ctx context.Context, acct cap.Capability, from, to string, amount int64) error {
 	data := appendCurrency(nil, from)
 	data = appendCurrency(data, to)
 	var amt [8]byte
 	binary.BigEndian.PutUint64(amt[:], uint64(amount))
 	data = append(data, amt[:]...)
-	_, err := b.c.Call(acct, OpConvert, data)
+	_, err := b.c.Call(ctx, acct, OpConvert, data)
 	return err
 }
 
 // DestroyAccount closes the account; remaining funds return to the
 // bank's treasury.
-func (b *Client) DestroyAccount(acct cap.Capability) error {
-	_, err := b.c.Call(acct, OpDestroyAccount, nil)
+func (b *Client) DestroyAccount(ctx context.Context, acct cap.Capability) error {
+	_, err := b.c.Call(ctx, acct, OpDestroyAccount, nil)
 	return err
 }
 
 // Restrict fabricates a weaker capability via the bank. A deposit-only
 // capability is Restrict(acct, cap.RightCreate).
-func (b *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return b.c.Restrict(c, mask)
+func (b *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return b.c.Restrict(ctx, c, mask)
 }
 
 func appendCurrency(dst []byte, c string) []byte {

@@ -9,6 +9,8 @@
 package blocksvr
 
 import (
+	"context"
+
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -99,7 +101,7 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 // Table exposes the object table (experiments use it).
 func (s *Server) Table() *cap.Table { return s.table }
 
-func (s *Server) alloc(_ rpc.Context, _ rpc.Request) rpc.Reply {
+func (s *Server) alloc(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	s.mu.Lock()
 	if s.nfree == 0 {
 		s.mu.Unlock()
@@ -150,7 +152,7 @@ func (s *Server) demandBlock(c cap.Capability, need cap.Rights) (uint32, error) 
 	return block, nil
 }
 
-func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) read(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	block, err := s.demandBlock(req.Cap, cap.RightRead)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -162,7 +164,7 @@ func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(data)
 }
 
-func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) write(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	block, err := s.demandBlock(req.Cap, cap.RightWrite)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -179,7 +181,7 @@ func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) free(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) free(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	block, err := s.demandBlock(req.Cap, cap.RightDestroy)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -199,7 +201,7 @@ func (s *Server) free(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) stat(_ rpc.Context, _ rpc.Request) rpc.Reply {
+func (s *Server) stat(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	s.mu.Lock()
 	nfree := s.nfree
 	s.mu.Unlock()
@@ -225,8 +227,8 @@ func NewClient(c *rpc.Client, port cap.Port) *Client {
 func (b *Client) Port() cap.Port { return b.port }
 
 // Alloc allocates a block and returns its capability.
-func (b *Client) Alloc() (cap.Capability, error) {
-	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpAlloc})
+func (b *Client) Alloc(ctx context.Context) (cap.Capability, error) {
+	rep, err := b.c.Trans(ctx, b.port, rpc.Request{Op: OpAlloc})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -237,8 +239,8 @@ func (b *Client) Alloc() (cap.Capability, error) {
 }
 
 // Read returns the block's contents.
-func (b *Client) Read(blk cap.Capability) ([]byte, error) {
-	rep, err := b.c.Call(blk, OpRead, nil)
+func (b *Client) Read(ctx context.Context, blk cap.Capability) ([]byte, error) {
+	rep, err := b.c.Call(ctx, blk, OpRead, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -246,20 +248,20 @@ func (b *Client) Read(blk cap.Capability) ([]byte, error) {
 }
 
 // Write replaces the block's contents (zero-padded to the block size).
-func (b *Client) Write(blk cap.Capability, data []byte) error {
-	_, err := b.c.Call(blk, OpWrite, data)
+func (b *Client) Write(ctx context.Context, blk cap.Capability, data []byte) error {
+	_, err := b.c.Call(ctx, blk, OpWrite, data)
 	return err
 }
 
 // Free deallocates the block.
-func (b *Client) Free(blk cap.Capability) error {
-	_, err := b.c.Call(blk, OpFree, nil)
+func (b *Client) Free(ctx context.Context, blk cap.Capability) error {
+	_, err := b.c.Call(ctx, blk, OpFree, nil)
 	return err
 }
 
 // Stat returns the disk geometry and free count.
-func (b *Client) Stat() (blockSize, nblocks, nfree uint32, err error) {
-	rep, err := b.c.Trans(b.port, rpc.Request{Op: OpStat})
+func (b *Client) Stat(ctx context.Context) (blockSize, nblocks, nfree uint32, err error) {
+	rep, err := b.c.Trans(ctx, b.port, rpc.Request{Op: OpStat})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -275,8 +277,8 @@ func (b *Client) Stat() (blockSize, nblocks, nfree uint32, err error) {
 }
 
 // Restrict fabricates a weaker capability via the server.
-func (b *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return b.c.Restrict(c, mask)
+func (b *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return b.c.Restrict(ctx, c, mask)
 }
 
 // SetSealer installs a §2.4 capability sealer on the server transport

@@ -2,6 +2,7 @@ package blocksvr
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"amoeba/internal/cap"
@@ -33,15 +34,16 @@ func newServer(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *C
 }
 
 func TestAllocReadWriteFree(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 16, 64)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Write(blk, []byte("block payload")); err != nil {
+	if err := b.Write(ctx, blk, []byte("block payload")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.Read(blk)
+	got, err := b.Read(ctx, blk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,27 +53,28 @@ func TestAllocReadWriteFree(t *testing.T) {
 	if len(got) != 64 {
 		t.Fatalf("read returned %d bytes, want full block", len(got))
 	}
-	if err := b.Free(blk); err != nil {
+	if err := b.Free(ctx, blk); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := b.Read(ctx, blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("read of freed block: %v", err)
 	}
 }
 
 func TestStat(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 8, 32)
-	bs, nb, nf, err := b.Stat()
+	bs, nb, nf, err := b.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bs != 32 || nb != 8 || nf != 8 {
 		t.Fatalf("stat = %d/%d/%d", bs, nb, nf)
 	}
-	if _, err := b.Alloc(); err != nil {
+	if _, err := b.Alloc(ctx); err != nil {
 		t.Fatal(err)
 	}
-	_, _, nf, err = b.Stat()
+	_, _, nf, err = b.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,37 +84,39 @@ func TestStat(t *testing.T) {
 }
 
 func TestDiskFull(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 2, 32)
 	for i := 0; i < 2; i++ {
-		if _, err := b.Alloc(); err != nil {
+		if _, err := b.Alloc(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := b.Alloc(); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if _, err := b.Alloc(ctx); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("alloc on full disk: %v", err)
 	}
 }
 
 func TestFreedBlockIsZeroedAndReusable(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 1, 32)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Write(blk, bytes.Repeat([]byte{0xFF}, 32)); err != nil {
+	if err := b.Write(ctx, blk, bytes.Repeat([]byte{0xFF}, 32)); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Free(blk); err != nil {
+	if err := b.Free(ctx, blk); err != nil {
 		t.Fatal(err)
 	}
-	blk2, err := b.Alloc()
+	blk2, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if blk2.Object != blk.Object {
 		t.Fatalf("expected block reuse, got %d then %d", blk.Object, blk2.Object)
 	}
-	got, err := b.Read(blk2)
+	got, err := b.Read(ctx, blk2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,46 +124,49 @@ func TestFreedBlockIsZeroedAndReusable(t *testing.T) {
 		t.Fatal("reused block leaked previous contents")
 	}
 	// The old capability must not work on the recycled block.
-	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := b.Read(ctx, blk); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("stale capability read recycled block: %v", err)
 	}
 }
 
 func TestWriteTooLarge(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 4, 32)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Write(blk, make([]byte, 33)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := b.Write(ctx, blk, make([]byte, 33)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("oversized write: %v", err)
 	}
 }
 
 func TestBlockRights(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 4, 32)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro, err := b.Restrict(blk, cap.RightRead)
+	ro, err := b.Restrict(ctx, blk, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Read(ro); err != nil {
+	if _, err := b.Read(ctx, ro); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Write(ro, []byte("x")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := b.Write(ctx, ro, []byte("x")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("write with read-only: %v", err)
 	}
-	if err := b.Free(ro); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := b.Free(ctx, ro); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("free with read-only: %v", err)
 	}
 }
 
 func TestDiskFaultSurfacesAsServerError(t *testing.T) {
+	ctx := context.Background()
 	_, b, disk := newServer(t, 4, 32)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +177,11 @@ func TestDiskFaultSurfacesAsServerError(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := b.Read(blk); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if _, err := b.Read(ctx, blk); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("disk fault surfaced as: %v", err)
 	}
 	disk.SetFault(nil)
-	if _, err := b.Read(blk); err != nil {
+	if _, err := b.Read(ctx, blk); err != nil {
 		t.Fatalf("read after fault cleared: %v", err)
 	}
 }
@@ -194,20 +202,21 @@ func TestTooManyBlocksRejected(t *testing.T) {
 }
 
 func TestForgedBlockCapability(t *testing.T) {
+	ctx := context.Background()
 	_, b, _ := newServer(t, 4, 32)
-	blk, err := b.Alloc()
+	blk, err := b.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	forged := blk
 	forged.Check ^= 0x40
-	if _, err := b.Read(forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := b.Read(ctx, forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("forged read: %v", err)
 	}
 	// Guessing an unallocated block number fails too.
 	forged = blk
 	forged.Object = 3
-	if _, err := b.Read(forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := b.Read(ctx, forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("guessed object read: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package blocksvr
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func TestBlockServerSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
 	// A block server with a file-backed disk + state snapshot: after a
 	// "restart" (new server process, same get-port, same disk file,
 	// restored snapshot), previously issued block capabilities still
@@ -38,18 +40,18 @@ func TestBlockServerSurvivesRestart(t *testing.T) {
 	getPort := s1.rpc.GetPort()
 
 	c1 := NewClient(r.Client, s1.PutPort())
-	blkA, err := c1.Alloc()
+	blkA, err := c1.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Write(blkA, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
+	if err := c1.Write(ctx, blkA, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
 		t.Fatal(err)
 	}
-	blkB, err := c1.Alloc()
+	blkB, err := c1.Alloc(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Free(blkB); err != nil {
+	if err := c1.Free(ctx, blkB); err != nil {
 		t.Fatal(err)
 	}
 	snap := s1.SnapshotState()
@@ -84,7 +86,7 @@ func TestBlockServerSurvivesRestart(t *testing.T) {
 	}
 
 	c2 := NewClient(r.Client, s2.PutPort())
-	got, err := c2.Read(blkA)
+	got, err := c2.Read(ctx, blkA)
 	if err != nil {
 		t.Fatalf("pre-restart capability rejected: %v", err)
 	}
@@ -92,10 +94,10 @@ func TestBlockServerSurvivesRestart(t *testing.T) {
 		t.Fatal("block contents lost across restart")
 	}
 	// The freed block is still free and the stale cap still dead.
-	if _, err := c2.Read(blkB); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := c2.Read(ctx, blkB); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("freed block capability revived: %v", err)
 	}
-	_, _, nfree, err := c2.Stat()
+	_, _, nfree, err := c2.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

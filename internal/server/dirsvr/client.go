@@ -1,6 +1,7 @@
 package dirsvr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -28,8 +29,8 @@ func NewClient(c *rpc.Client) *Client { return &Client{c: c} }
 
 // CreateDir creates an empty directory on the directory server at
 // port and returns its capability.
-func (d *Client) CreateDir(port cap.Port) (cap.Capability, error) {
-	rep, err := d.c.Trans(port, rpc.Request{Op: OpCreateDir})
+func (d *Client) CreateDir(ctx context.Context, port cap.Port) (cap.Capability, error) {
+	rep, err := d.c.Trans(ctx, port, rpc.Request{Op: OpCreateDir})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -40,8 +41,8 @@ func (d *Client) CreateDir(port cap.Port) (cap.Capability, error) {
 }
 
 // Lookup returns the capability stored under name in dir.
-func (d *Client) Lookup(dir cap.Capability, name string) (cap.Capability, error) {
-	rep, err := d.c.Call(dir, OpLookup, []byte(name))
+func (d *Client) Lookup(ctx context.Context, dir cap.Capability, name string) (cap.Capability, error) {
+	rep, err := d.c.Call(ctx, dir, OpLookup, []byte(name))
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -49,24 +50,24 @@ func (d *Client) Lookup(dir cap.Capability, name string) (cap.Capability, error)
 }
 
 // Enter stores (name, entry) in dir.
-func (d *Client) Enter(dir cap.Capability, name string, entry cap.Capability) error {
+func (d *Client) Enter(ctx context.Context, dir cap.Capability, name string, entry cap.Capability) error {
 	buf := make([]byte, 2, 2+len(name)+cap.Size)
 	binary.BigEndian.PutUint16(buf, uint16(len(name)))
 	buf = append(buf, name...)
 	buf = entry.AppendTo(buf)
-	_, err := d.c.Call(dir, OpEnter, buf)
+	_, err := d.c.Call(ctx, dir, OpEnter, buf)
 	return err
 }
 
 // Remove deletes the entry under name in dir.
-func (d *Client) Remove(dir cap.Capability, name string) error {
-	_, err := d.c.Call(dir, OpRemove, []byte(name))
+func (d *Client) Remove(ctx context.Context, dir cap.Capability, name string) error {
+	_, err := d.c.Call(ctx, dir, OpRemove, []byte(name))
 	return err
 }
 
 // List returns dir's entries sorted by name.
-func (d *Client) List(dir cap.Capability) ([]Entry, error) {
-	rep, err := d.c.Call(dir, OpList, nil)
+func (d *Client) List(ctx context.Context, dir cap.Capability) ([]Entry, error) {
+	rep, err := d.c.Call(ctx, dir, OpList, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +99,14 @@ func (d *Client) List(dir cap.Capability) ([]Entry, error) {
 }
 
 // DestroyDir destroys an empty directory.
-func (d *Client) DestroyDir(dir cap.Capability) error {
-	_, err := d.c.Call(dir, OpDestroyDir, nil)
+func (d *Client) DestroyDir(ctx context.Context, dir cap.Capability) error {
+	_, err := d.c.Call(ctx, dir, OpDestroyDir, nil)
 	return err
 }
 
 // Restrict fabricates a weaker capability via the managing server.
-func (d *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return d.c.Restrict(c, mask)
+func (d *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return d.c.Restrict(ctx, c, mask)
 }
 
 // LookupPath resolves a slash-separated path relative to root by
@@ -113,13 +114,13 @@ func (d *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, er
 // directory managed by a different server, the next request simply
 // goes there — §3.4's transparent distribution. Empty components
 // (leading, trailing or doubled slashes) are ignored.
-func (d *Client) LookupPath(root cap.Capability, path string) (cap.Capability, error) {
+func (d *Client) LookupPath(ctx context.Context, root cap.Capability, path string) (cap.Capability, error) {
 	cur := root
 	for _, comp := range strings.Split(path, "/") {
 		if comp == "" {
 			continue
 		}
-		next, err := d.Lookup(cur, comp)
+		next, err := d.Lookup(ctx, cur, comp)
 		if err != nil {
 			return cap.Nil, fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
 		}
@@ -130,25 +131,25 @@ func (d *Client) LookupPath(root cap.Capability, path string) (cap.Capability, e
 
 // EnterPath resolves the directory part of path and enters the final
 // component there.
-func (d *Client) EnterPath(root cap.Capability, path string, entry cap.Capability) error {
-	dir, base, err := d.splitPath(root, path)
+func (d *Client) EnterPath(ctx context.Context, root cap.Capability, path string, entry cap.Capability) error {
+	dir, base, err := d.splitPath(ctx, root, path)
 	if err != nil {
 		return err
 	}
-	return d.Enter(dir, base, entry)
+	return d.Enter(ctx, dir, base, entry)
 }
 
 // RemovePath resolves the directory part of path and removes the final
 // component's entry.
-func (d *Client) RemovePath(root cap.Capability, path string) error {
-	dir, base, err := d.splitPath(root, path)
+func (d *Client) RemovePath(ctx context.Context, root cap.Capability, path string) error {
+	dir, base, err := d.splitPath(ctx, root, path)
 	if err != nil {
 		return err
 	}
-	return d.Remove(dir, base)
+	return d.Remove(ctx, dir, base)
 }
 
-func (d *Client) splitPath(root cap.Capability, path string) (dir cap.Capability, base string, err error) {
+func (d *Client) splitPath(ctx context.Context, root cap.Capability, path string) (dir cap.Capability, base string, err error) {
 	comps := make([]string, 0, 8)
 	for _, comp := range strings.Split(path, "/") {
 		if comp != "" {
@@ -160,7 +161,7 @@ func (d *Client) splitPath(root cap.Capability, path string) (dir cap.Capability
 	}
 	dir = root
 	for _, comp := range comps[:len(comps)-1] {
-		dir, err = d.Lookup(dir, comp)
+		dir, err = d.Lookup(ctx, dir, comp)
 		if err != nil {
 			return cap.Nil, "", fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
 		}

@@ -13,6 +13,8 @@
 package dirsvr
 
 import (
+	"context"
+
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -89,7 +91,7 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 // Table exposes the object table.
 func (s *Server) Table() *cap.Table { return s.table }
 
-func (s *Server) createDir(_ rpc.Context, _ rpc.Request) rpc.Reply {
+func (s *Server) createDir(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, err := s.table.Create()
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -125,7 +127,7 @@ func validName(name string) error {
 	return nil
 }
 
-func (s *Server) lookup(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) lookup(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	d, err := s.dir(req.Cap, cap.RightRead)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -143,7 +145,7 @@ func (s *Server) lookup(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.CapReply(c)
 }
 
-func (s *Server) enter(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) enter(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	d, err := s.dir(req.Cap, cap.RightWrite)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -172,7 +174,7 @@ func (s *Server) enter(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) remove(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) remove(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	d, err := s.dir(req.Cap, cap.RightWrite)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -190,7 +192,7 @@ func (s *Server) remove(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) list(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) list(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	d, err := s.dir(req.Cap, cap.RightRead)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -214,7 +216,7 @@ func (s *Server) list(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) destroyDir(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) destroyDir(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	d, err := s.dir(req.Cap, cap.RightDestroy)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)

@@ -13,6 +13,7 @@
 package flatfs
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -68,9 +69,10 @@ type Server struct {
 }
 
 // New builds a flat file server storing data via blocks, whose block
-// size it learns with a Stat transaction at construction time.
-func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, blocks *blocksvr.Client) (*Server, error) {
-	bs, _, _, err := blocks.Stat()
+// size it learns with a Stat transaction at construction time (bounded
+// by ctx).
+func New(ctx context.Context, fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, blocks *blocksvr.Client) (*Server, error) {
+	bs, _, _, err := blocks.Stat(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("flatfs: probing block server: %w", err)
 	}
@@ -103,7 +105,7 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 // Table exposes the object table.
 func (s *Server) Table() *cap.Table { return s.table }
 
-func (s *Server) create(_ rpc.Context, _ rpc.Request) rpc.Reply {
+func (s *Server) create(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, err := s.table.Create()
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -127,7 +129,7 @@ func (s *Server) lookup(c cap.Capability, need cap.Rights) (*file, error) {
 	return f, nil
 }
 
-func (s *Server) destroy(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) destroy(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	f, err := s.lookup(req.Cap, cap.RightDestroy)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -144,14 +146,17 @@ func (s *Server) destroy(_ rpc.Context, req rpc.Request) rpc.Reply {
 	f.size = 0
 	f.mu.Unlock()
 	// Free the data blocks; best effort (an unreachable block server
-	// leaves orphans, the 1986 answer being a scavenger pass).
+	// leaves orphans, the 1986 answer being a scavenger pass). The file
+	// object is already gone, so this cleanup must not be cut short by
+	// the caller's deadline — but it still aborts on server shutdown.
+	cleanup := rpc.WithoutDeadline(ctx)
 	for _, b := range blocks {
-		_ = s.blocks.Free(b)
+		_ = s.blocks.Free(cleanup, b)
 	}
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) write(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) < 8 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "write wants pos(8) ∥ bytes")
 	}
@@ -167,7 +172,7 @@ func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	end := pos + uint64(len(payload))
-	if err := s.growLocked(f, end); err != nil {
+	if err := s.growLocked(ctx, f, end); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
 	// Read-modify-write each spanned block.
@@ -178,12 +183,12 @@ func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
 		if n > end-off {
 			n = end - off
 		}
-		blk, err := s.blocks.Read(f.blocks[bi])
+		blk, err := s.blocks.Read(ctx, f.blocks[bi])
 		if err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
 		copy(blk[bo:bo+n], payload[off-pos:])
-		if err := s.blocks.Write(f.blocks[bi], blk); err != nil {
+		if err := s.blocks.Write(ctx, f.blocks[bi], blk); err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
 		off += n
@@ -195,10 +200,10 @@ func (s *Server) write(_ rpc.Context, req rpc.Request) rpc.Reply {
 }
 
 // growLocked extends the block list to cover [0, end).
-func (s *Server) growLocked(f *file, end uint64) error {
+func (s *Server) growLocked(ctx context.Context, f *file, end uint64) error {
 	need := int((end + s.bsize - 1) / s.bsize)
 	for len(f.blocks) < need {
-		b, err := s.blocks.Alloc()
+		b, err := s.blocks.Alloc(ctx)
 		if err != nil {
 			return fmt.Errorf("flatfs: allocating block: %w", err)
 		}
@@ -207,7 +212,7 @@ func (s *Server) growLocked(f *file, end uint64) error {
 	return nil
 }
 
-func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) read(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 12 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "read wants pos(8) ∥ length(4)")
 	}
@@ -233,7 +238,7 @@ func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
 		if n > pos+want-off {
 			n = pos + want - off
 		}
-		blk, err := s.blocks.Read(f.blocks[bi])
+		blk, err := s.blocks.Read(ctx, f.blocks[bi])
 		if err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
@@ -243,7 +248,7 @@ func (s *Server) read(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) sizeOp(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) sizeOp(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	f, err := s.lookup(req.Cap, cap.RightRead)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -255,7 +260,7 @@ func (s *Server) sizeOp(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out[:])
 }
 
-func (s *Server) truncate(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) truncate(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 8 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "truncate wants size(8)")
 	}
@@ -270,28 +275,34 @@ func (s *Server) truncate(_ rpc.Context, req rpc.Request) rpc.Reply {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if newSize >= f.size {
-		if err := s.growLocked(f, newSize); err != nil {
+		if err := s.growLocked(ctx, f, newSize); err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
 		f.size = newSize
 		return rpc.OkReply(nil)
 	}
 	keep := int((newSize + s.bsize - 1) / s.bsize)
-	for _, b := range f.blocks[keep:] {
-		_ = s.blocks.Free(b)
-	}
+	freed := f.blocks[keep:]
 	f.blocks = f.blocks[:keep]
 	f.size = newSize
+	// Past the point of no return: the frees and the tail zeroing run
+	// under a context immune to the caller's deadline (see destroy).
+	// Zeroing strictly after the size commit means a lost reply can at
+	// worst leave stale bytes past EOF, never touch live data.
+	cleanup := rpc.WithoutDeadline(ctx)
+	for _, b := range freed {
+		_ = s.blocks.Free(cleanup, b)
+	}
 	// Zero the tail of the last kept block so regrowth reads zeros.
 	if keep > 0 && newSize%s.bsize != 0 {
-		blk, err := s.blocks.Read(f.blocks[keep-1])
+		blk, err := s.blocks.Read(cleanup, f.blocks[keep-1])
 		if err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
 		for i := newSize % s.bsize; i < s.bsize; i++ {
 			blk[i] = 0
 		}
-		if err := s.blocks.Write(f.blocks[keep-1], blk); err != nil {
+		if err := s.blocks.Write(cleanup, f.blocks[keep-1], blk); err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
 	}
@@ -313,8 +324,8 @@ func NewClient(c *rpc.Client, port cap.Port) *Client {
 func (f *Client) Port() cap.Port { return f.port }
 
 // Create creates an empty file and returns its capability.
-func (f *Client) Create() (cap.Capability, error) {
-	rep, err := f.c.Trans(f.port, rpc.Request{Op: OpCreate})
+func (f *Client) Create(ctx context.Context) (cap.Capability, error) {
+	rep, err := f.c.Trans(ctx, f.port, rpc.Request{Op: OpCreate})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -325,8 +336,8 @@ func (f *Client) Create() (cap.Capability, error) {
 }
 
 // Destroy destroys the file.
-func (f *Client) Destroy(fc cap.Capability) error {
-	_, err := f.c.Call(fc, OpDestroy, nil)
+func (f *Client) Destroy(ctx context.Context, fc cap.Capability) error {
+	_, err := f.c.Call(ctx, fc, OpDestroy, nil)
 	return err
 }
 
@@ -341,7 +352,7 @@ const transferChunk = 64 << 10
 // larger than one transaction's worth are split into a succession of
 // messages; each chunk is atomic, the whole write is not (neither were
 // the paper's).
-func (f *Client) WriteAt(fc cap.Capability, pos uint64, data []byte) error {
+func (f *Client) WriteAt(ctx context.Context, fc cap.Capability, pos uint64, data []byte) error {
 	for {
 		n := len(data)
 		if n > transferChunk {
@@ -350,7 +361,7 @@ func (f *Client) WriteAt(fc cap.Capability, pos uint64, data []byte) error {
 		buf := make([]byte, 8+n)
 		binary.BigEndian.PutUint64(buf, pos)
 		copy(buf[8:], data[:n])
-		if _, err := f.c.Call(fc, OpWrite, buf); err != nil {
+		if _, err := f.c.Call(ctx, fc, OpWrite, buf); err != nil {
 			return err
 		}
 		pos += uint64(n)
@@ -363,7 +374,7 @@ func (f *Client) WriteAt(fc cap.Capability, pos uint64, data []byte) error {
 
 // ReadAt reads up to length bytes at pos (short at EOF), splitting
 // large reads into a succession of transactions.
-func (f *Client) ReadAt(fc cap.Capability, pos uint64, length uint32) ([]byte, error) {
+func (f *Client) ReadAt(ctx context.Context, fc cap.Capability, pos uint64, length uint32) ([]byte, error) {
 	var out []byte
 	for length > 0 {
 		n := length
@@ -373,7 +384,7 @@ func (f *Client) ReadAt(fc cap.Capability, pos uint64, length uint32) ([]byte, e
 		var buf [12]byte
 		binary.BigEndian.PutUint64(buf[0:], pos)
 		binary.BigEndian.PutUint32(buf[8:], n)
-		rep, err := f.c.Call(fc, OpRead, buf[:])
+		rep, err := f.c.Call(ctx, fc, OpRead, buf[:])
 		if err != nil {
 			return nil, err
 		}
@@ -391,8 +402,8 @@ func (f *Client) ReadAt(fc cap.Capability, pos uint64, length uint32) ([]byte, e
 }
 
 // Size returns the file size.
-func (f *Client) Size(fc cap.Capability) (uint64, error) {
-	rep, err := f.c.Call(fc, OpSize, nil)
+func (f *Client) Size(ctx context.Context, fc cap.Capability) (uint64, error) {
+	rep, err := f.c.Call(ctx, fc, OpSize, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -403,20 +414,22 @@ func (f *Client) Size(fc cap.Capability) (uint64, error) {
 }
 
 // Truncate sets the file size.
-func (f *Client) Truncate(fc cap.Capability, size uint64) error {
+func (f *Client) Truncate(ctx context.Context, fc cap.Capability, size uint64) error {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], size)
-	_, err := f.c.Call(fc, OpTruncate, buf[:])
+	_, err := f.c.Call(ctx, fc, OpTruncate, buf[:])
 	return err
 }
 
 // Restrict fabricates a weaker capability via the server.
-func (f *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return f.c.Restrict(c, mask)
+func (f *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return f.c.Restrict(ctx, c, mask)
 }
 
 // Revoke re-keys the file object.
-func (f *Client) Revoke(c cap.Capability) (cap.Capability, error) { return f.c.Revoke(c) }
+func (f *Client) Revoke(ctx context.Context, c cap.Capability) (cap.Capability, error) {
+	return f.c.Revoke(ctx, c)
+}
 
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).

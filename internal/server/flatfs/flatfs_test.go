@@ -2,7 +2,10 @@ package flatfs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"amoeba/internal/cap"
 	"amoeba/internal/rpc"
@@ -13,6 +16,7 @@ import (
 
 // newStack builds block server + flat file server on separate machines.
 func newStack(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *Client, *blocksvr.Client) {
+	ctx := context.Background()
 	t.Helper()
 	r := servertest.New(t, 0xF1A7)
 	scheme, err := cap.NewScheme(cap.SchemeOneWay)
@@ -37,7 +41,7 @@ func newStack(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *Cl
 	fsFB := r.NewFBox(t)
 	fsRPC := r.NewClient(t)
 	bclient := blocksvr.NewClient(fsRPC, bs.PutPort())
-	fs, err := New(fsFB, scheme, r.Src, bclient)
+	fs, err := New(ctx, fsFB, scheme, r.Src, bclient)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,23 +53,24 @@ func newStack(t *testing.T, nblocks uint32, blockSize int) (*servertest.Rig, *Cl
 }
 
 func TestCreateWriteRead(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 64, 64)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	msg := []byte("files are linear byte sequences numbered from 0 to size-1")
-	if err := fc.WriteAt(f, 0, msg); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 0, uint32(len(msg)))
+	got, err := fc.ReadAt(ctx, f, 0, uint32(len(msg)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("read %q", got)
 	}
-	size, err := fc.Size(f)
+	size, err := fc.Size(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,16 +80,17 @@ func TestCreateWriteRead(t *testing.T) {
 }
 
 func TestWriteSpansBlocks(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 64, 16) // tiny blocks force spanning
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	msg := bytes.Repeat([]byte("0123456789"), 10) // 100 bytes over 16-byte blocks
-	if err := fc.WriteAt(f, 5, msg); err != nil {
+	if err := fc.WriteAt(ctx, f, 5, msg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 5, 100)
+	got, err := fc.ReadAt(ctx, f, 5, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +98,7 @@ func TestWriteSpansBlocks(t *testing.T) {
 		t.Fatal("cross-block write corrupted data")
 	}
 	// Leading gap reads as zeros.
-	head, err := fc.ReadAt(f, 0, 5)
+	head, err := fc.ReadAt(ctx, f, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,22 +108,23 @@ func TestWriteSpansBlocks(t *testing.T) {
 }
 
 func TestReadPastEOF(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 16, 32)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, []byte("abc")); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 1, 100)
+	got, err := fc.ReadAt(ctx, f, 1, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "bc" {
 		t.Fatalf("short read %q", got)
 	}
-	empty, err := fc.ReadAt(f, 50, 10)
+	empty, err := fc.ReadAt(ctx, f, 50, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,18 +134,19 @@ func TestReadPastEOF(t *testing.T) {
 }
 
 func TestOverwrite(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 16, 32)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, []byte("aaaaaaaaaa")); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, []byte("aaaaaaaaaa")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 3, []byte("BBB")); err != nil {
+	if err := fc.WriteAt(ctx, f, 3, []byte("BBB")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 0, 10)
+	got, err := fc.ReadAt(ctx, f, 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,60 +156,62 @@ func TestOverwrite(t *testing.T) {
 }
 
 func TestDestroyFreesBlocks(t *testing.T) {
+	ctx := context.Background()
 	_, fc, bc := newStack(t, 8, 32)
-	_, _, before, err := bc.Stat()
+	_, _, before, err := bc.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, make([]byte, 100)); err != nil { // 4 blocks
+	if err := fc.WriteAt(ctx, f, 0, make([]byte, 100)); err != nil { // 4 blocks
 		t.Fatal(err)
 	}
-	_, _, during, err := bc.Stat()
+	_, _, during, err := bc.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if during != before-4 {
 		t.Fatalf("blocks in use: %d -> %d, want 4 fewer", before, during)
 	}
-	if err := fc.Destroy(f); err != nil {
+	if err := fc.Destroy(ctx, f); err != nil {
 		t.Fatal(err)
 	}
-	_, _, after, err := bc.Stat()
+	_, _, after, err := bc.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after != before {
 		t.Fatalf("blocks leaked: before %d after %d", before, after)
 	}
-	if _, err := fc.ReadAt(f, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := fc.ReadAt(ctx, f, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("read of destroyed file: %v", err)
 	}
 }
 
 func TestTruncate(t *testing.T) {
+	ctx := context.Background()
 	_, fc, bc := newStack(t, 16, 16)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, bytes.Repeat([]byte{0xAA}, 40)); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, bytes.Repeat([]byte{0xAA}, 40)); err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.Truncate(f, 10); err != nil {
+	if err := fc.Truncate(ctx, f, 10); err != nil {
 		t.Fatal(err)
 	}
-	size, err := fc.Size(f)
+	size, err := fc.Size(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if size != 10 {
 		t.Fatalf("size after truncate = %d", size)
 	}
-	_, _, free, err := bc.Stat()
+	_, _, free, err := bc.Stat(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,10 +219,10 @@ func TestTruncate(t *testing.T) {
 		t.Fatalf("free blocks after shrink = %d, want 15", free)
 	}
 	// Regrow: the tail must read as zeros, not stale 0xAA.
-	if err := fc.Truncate(f, 16); err != nil {
+	if err := fc.Truncate(ctx, f, 16); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 10, 6)
+	got, err := fc.ReadAt(ctx, f, 10, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,76 +232,80 @@ func TestTruncate(t *testing.T) {
 }
 
 func TestFileRights(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 16, 32)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, []byte("private")); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, []byte("private")); err != nil {
 		t.Fatal(err)
 	}
 	// The paper's canonical example: pass read-only access to another
 	// client.
-	readOnly, err := fc.Restrict(f, cap.RightRead)
+	readOnly, err := fc.Restrict(ctx, f, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(readOnly, 0, 7)
+	got, err := fc.ReadAt(ctx, readOnly, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "private" {
 		t.Fatalf("read %q", got)
 	}
-	if err := fc.WriteAt(readOnly, 0, []byte("X")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := fc.WriteAt(ctx, readOnly, 0, []byte("X")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("write with read-only: %v", err)
 	}
-	if err := fc.Truncate(readOnly, 0); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := fc.Truncate(ctx, readOnly, 0); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("truncate with read-only: %v", err)
 	}
-	if err := fc.Destroy(readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := fc.Destroy(ctx, readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("destroy with read-only: %v", err)
 	}
 }
 
 func TestDiskExhaustionSurfaces(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 2, 16)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, make([]byte, 64)); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if err := fc.WriteAt(ctx, f, 0, make([]byte, 64)); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("write beyond disk capacity: %v", err)
 	}
 }
 
 func TestRevocationCutsOffReaders(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 16, 32)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := fc.Restrict(f, cap.RightRead)
+	shared, err := fc.Restrict(ctx, f, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := fc.Revoke(f)
+	fresh, err := fc.Revoke(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fc.ReadAt(shared, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := fc.ReadAt(ctx, shared, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("revoked share: %v", err)
 	}
-	if _, err := fc.Size(fresh); err != nil {
+	if _, err := fc.Size(ctx, fresh); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestLargeWriteReadChunked(t *testing.T) {
+	ctx := context.Background()
 	// A 300 KiB write exceeds one transaction's worth of data; the
 	// client splits it into the paper's "succession of data messages".
 	_, fc, _ := newStack(t, 1024, 1024)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,33 +313,86 @@ func TestLargeWriteReadChunked(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	if err := fc.WriteAt(f, 3, payload); err != nil {
+	if err := fc.WriteAt(ctx, f, 3, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fc.ReadAt(f, 3, uint32(len(payload)))
+	got, err := fc.ReadAt(ctx, f, 3, uint32(len(payload)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("large chunked transfer corrupted data")
 	}
-	size, err := fc.Size(f)
+	size, err := fc.Size(ctx, f)
 	if err != nil || size != uint64(len(payload))+3 {
 		t.Fatalf("size %d %v", size, err)
 	}
 }
 
 func TestZeroLengthOps(t *testing.T) {
+	ctx := context.Background()
 	_, fc, _ := newStack(t, 16, 32)
-	f, err := fc.Create()
+	f, err := fc.Create(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.WriteAt(f, 0, nil); err != nil {
+	if err := fc.WriteAt(ctx, f, 0, nil); err != nil {
 		t.Fatalf("zero-length write: %v", err)
 	}
-	got, err := fc.ReadAt(f, 0, 0)
+	got, err := fc.ReadAt(ctx, f, 0, 0)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("zero-length read: %v %v", got, err)
+	}
+}
+
+// TestCancelledContextAbortsFileOps proves the context flows through
+// the typed client: an already-cancelled context never reaches the
+// wire and surfaces ctx.Err().
+func TestCancelledContextAbortsFileOps(t *testing.T) {
+	ctx := context.Background()
+	_, fc, _ := newStack(t, 64, 64)
+	f, err := fc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := fc.WriteAt(cancelled, f, 0, []byte("never")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("write err = %v, want context.Canceled", err)
+	}
+	if _, err := fc.ReadAt(cancelled, f, 0, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read err = %v, want context.Canceled", err)
+	}
+	// The file is untouched: a normal read sees an empty file.
+	if size, err := fc.Size(ctx, f); err != nil || size != 0 {
+		t.Fatalf("size = %d, %v; want 0 after aborted write", size, err)
+	}
+}
+
+// TestWriteDeadlinePropagatesToBlockServer drives a write whose parent
+// deadline has already expired by the time the file server's nested
+// block transactions run: the file server must report a failure rather
+// than grinding through its block I/O without a bound.
+func TestWriteDeadlinePropagatesToBlockServer(t *testing.T) {
+	ctx := context.Background()
+	_, fc, _ := newStack(t, 256, 64)
+	f, err := fc.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A microscopic but non-zero budget: the client-side guard passes
+	// (the context is live when Trans starts) while the nested block
+	// RPC issued by the file server observes an expired deadline.
+	tiny, cancel := context.WithTimeout(ctx, time.Microsecond)
+	defer cancel()
+	err = fc.WriteAt(tiny, f, 0, bytes.Repeat([]byte("x"), 4096))
+	if err == nil {
+		t.Fatal("write with expired deadline succeeded")
+	}
+	// Either the client's own deadline fired first, or the file server
+	// reported the nested failure as a server error; both prove the
+	// deadline bounded the call tree.
+	if !errors.Is(err, context.DeadlineExceeded) && !rpc.IsStatus(err, rpc.StatusServerError) {
+		t.Fatalf("err = %v, want deadline-bounded failure", err)
 	}
 }

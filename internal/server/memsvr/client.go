@@ -1,6 +1,7 @@
 package memsvr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -28,10 +29,10 @@ func (m *Client) Port() cap.Port { return m.port }
 
 // CreateSegment creates a segment of the given size and returns its
 // capability.
-func (m *Client) CreateSegment(size uint32) (cap.Capability, error) {
+func (m *Client) CreateSegment(ctx context.Context, size uint32) (cap.Capability, error) {
 	var data [4]byte
 	binary.BigEndian.PutUint32(data[:], size)
-	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpCreateSegment, Data: data[:]})
+	rep, err := m.c.Trans(ctx, m.port, rpc.Request{Op: OpCreateSegment, Data: data[:]})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -42,11 +43,11 @@ func (m *Client) CreateSegment(size uint32) (cap.Capability, error) {
 }
 
 // Write loads data into the segment at offset.
-func (m *Client) Write(seg cap.Capability, offset uint32, data []byte) error {
+func (m *Client) Write(ctx context.Context, seg cap.Capability, offset uint32, data []byte) error {
 	buf := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(buf, offset)
 	copy(buf[4:], data)
-	rep, err := m.c.Call(seg, OpWriteSeg, buf)
+	rep, err := m.c.Call(ctx, seg, OpWriteSeg, buf)
 	if err != nil {
 		return err
 	}
@@ -54,11 +55,11 @@ func (m *Client) Write(seg cap.Capability, offset uint32, data []byte) error {
 }
 
 // Read returns length bytes from the segment at offset.
-func (m *Client) Read(seg cap.Capability, offset, length uint32) ([]byte, error) {
+func (m *Client) Read(ctx context.Context, seg cap.Capability, offset, length uint32) ([]byte, error) {
 	var buf [8]byte
 	binary.BigEndian.PutUint32(buf[0:], offset)
 	binary.BigEndian.PutUint32(buf[4:], length)
-	rep, err := m.c.Call(seg, OpReadSeg, buf[:])
+	rep, err := m.c.Call(ctx, seg, OpReadSeg, buf[:])
 	if err != nil {
 		return nil, err
 	}
@@ -66,8 +67,8 @@ func (m *Client) Read(seg cap.Capability, offset, length uint32) ([]byte, error)
 }
 
 // Size returns the segment's size.
-func (m *Client) Size(seg cap.Capability) (uint32, error) {
-	rep, err := m.c.Call(seg, OpSegSize, nil)
+func (m *Client) Size(ctx context.Context, seg cap.Capability) (uint32, error) {
+	rep, err := m.c.Call(ctx, seg, OpSegSize, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -78,14 +79,14 @@ func (m *Client) Size(seg cap.Capability) (uint32, error) {
 }
 
 // DeleteSegment destroys a segment.
-func (m *Client) DeleteSegment(seg cap.Capability) error {
-	_, err := m.c.Call(seg, OpDeleteSegment, nil)
+func (m *Client) DeleteSegment(ctx context.Context, seg cap.Capability) error {
+	_, err := m.c.Call(ctx, seg, OpDeleteSegment, nil)
 	return err
 }
 
 // MakeProcess combines segments into a new process and returns the
 // process capability.
-func (m *Client) MakeProcess(segs ...cap.Capability) (cap.Capability, error) {
+func (m *Client) MakeProcess(ctx context.Context, segs ...cap.Capability) (cap.Capability, error) {
 	if len(segs) == 0 {
 		return cap.Nil, fmt.Errorf("memsvr: MakeProcess needs at least one segment")
 	}
@@ -94,7 +95,7 @@ func (m *Client) MakeProcess(segs ...cap.Capability) (cap.Capability, error) {
 	for _, sc := range segs {
 		buf = sc.AppendTo(buf)
 	}
-	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpMakeProcess, Data: buf})
+	rep, err := m.c.Trans(ctx, m.port, rpc.Request{Op: OpMakeProcess, Data: buf})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -105,20 +106,20 @@ func (m *Client) MakeProcess(segs ...cap.Capability) (cap.Capability, error) {
 }
 
 // Start starts a process.
-func (m *Client) Start(proc cap.Capability) error {
-	_, err := m.c.Call(proc, OpStartProcess, nil)
+func (m *Client) Start(ctx context.Context, proc cap.Capability) error {
+	_, err := m.c.Call(ctx, proc, OpStartProcess, nil)
 	return err
 }
 
 // Stop stops a running process.
-func (m *Client) Stop(proc cap.Capability) error {
-	_, err := m.c.Call(proc, OpStopProcess, nil)
+func (m *Client) Stop(ctx context.Context, proc cap.Capability) error {
+	_, err := m.c.Call(ctx, proc, OpStopProcess, nil)
 	return err
 }
 
 // Stat returns a process's state and segment count.
-func (m *Client) Stat(proc cap.Capability) (state uint8, nsegs int, err error) {
-	rep, err := m.c.Call(proc, OpStatProcess, nil)
+func (m *Client) Stat(ctx context.Context, proc cap.Capability) (state uint8, nsegs int, err error) {
+	rep, err := m.c.Call(ctx, proc, OpStatProcess, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -129,18 +130,20 @@ func (m *Client) Stat(proc cap.Capability) (state uint8, nsegs int, err error) {
 }
 
 // DeleteProcess destroys a process object.
-func (m *Client) DeleteProcess(proc cap.Capability) error {
-	_, err := m.c.Call(proc, OpDeleteProcess, nil)
+func (m *Client) DeleteProcess(ctx context.Context, proc cap.Capability) error {
+	_, err := m.c.Call(ctx, proc, OpDeleteProcess, nil)
 	return err
 }
 
 // Restrict, Revoke and Validate are inherited capability maintenance.
-func (m *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return m.c.Restrict(c, mask)
+func (m *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return m.c.Restrict(ctx, c, mask)
 }
 
 // Revoke re-keys the object, invalidating all outstanding capabilities.
-func (m *Client) Revoke(c cap.Capability) (cap.Capability, error) { return m.c.Revoke(c) }
+func (m *Client) Revoke(ctx context.Context, c cap.Capability) (cap.Capability, error) {
+	return m.c.Revoke(ctx, c)
+}
 
 // statusErr converts a non-OK reply obtained via Trans into an error
 // (Call already does this; Trans paths need it explicitly).

@@ -13,6 +13,8 @@
 package memsvr
 
 import (
+	"context"
+
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -132,7 +134,7 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 // Table exposes the object table (experiments use it).
 func (s *Server) Table() *cap.Table { return s.table }
 
-func (s *Server) createSegment(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) createSegment(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 4 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "create segment wants size(4)")
 	}
@@ -164,7 +166,7 @@ func (s *Server) seg(c cap.Capability, need cap.Rights) (*segment, rpc.Reply, bo
 	return sg, rpc.Reply{}, true
 }
 
-func (s *Server) writeSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) writeSeg(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) < 4 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "write wants offset(4) ∥ bytes")
 	}
@@ -184,7 +186,7 @@ func (s *Server) writeSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) readSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) readSeg(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 8 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "read wants offset(4) ∥ length(4)")
 	}
@@ -205,7 +207,7 @@ func (s *Server) readSeg(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) segSize(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) segSize(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	sg, errRep, ok := s.seg(req.Cap, cap.RightRead)
 	if !ok {
 		return errRep
@@ -217,7 +219,7 @@ func (s *Server) segSize(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out[:])
 }
 
-func (s *Server) deleteSegment(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) deleteSegment(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, errRep, ok := s.seg(req.Cap, cap.RightDestroy); !ok {
 		return errRep
 	}
@@ -230,7 +232,7 @@ func (s *Server) deleteSegment(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) makeProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) makeProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) < 2 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "make process wants count(2) ∥ caps")
 	}
@@ -292,7 +294,7 @@ func (s *Server) SetExecutor(fn Executor) {
 	s.executor = fn
 }
 
-func (s *Server) startProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) startProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	p, errRep, ok := s.proc(req.Cap, cap.RightWrite)
 	if !ok {
 		return errRep
@@ -332,7 +334,7 @@ func (s *Server) startProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) stopProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) stopProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	p, errRep, ok := s.proc(req.Cap, cap.RightWrite)
 	if !ok {
 		return errRep
@@ -346,7 +348,7 @@ func (s *Server) stopProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) statProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) statProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	p, errRep, ok := s.proc(req.Cap, cap.RightRead)
 	if !ok {
 		return errRep
@@ -359,7 +361,7 @@ func (s *Server) statProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) deleteProcess(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) deleteProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, errRep, ok := s.proc(req.Cap, cap.RightDestroy); !ok {
 		return errRep
 	}

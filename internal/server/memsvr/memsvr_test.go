@@ -2,6 +2,7 @@ package memsvr
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"amoeba/internal/cap"
@@ -25,100 +26,105 @@ func newServer(t *testing.T) (*servertest.Rig, *Client) {
 }
 
 func TestSegmentLifecycle(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	seg, err := m.CreateSegment(1024)
+	seg, err := m.CreateSegment(ctx, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(seg, 100, []byte("the child's text segment")); err != nil {
+	if err := m.Write(ctx, seg, 100, []byte("the child's text segment")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := m.Read(seg, 100, 24)
+	got, err := m.Read(ctx, seg, 100, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, []byte("the child's text segment")) {
 		t.Fatalf("read back %q", got)
 	}
-	size, err := m.Size(seg)
+	size, err := m.Size(ctx, seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if size != 1024 {
 		t.Fatalf("size = %d", size)
 	}
-	if err := m.DeleteSegment(seg); err != nil {
+	if err := m.DeleteSegment(ctx, seg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Read(seg, 0, 1); err == nil {
+	if _, err := m.Read(ctx, seg, 0, 1); err == nil {
 		t.Fatal("read from deleted segment succeeded")
 	}
 }
 
 func TestSegmentBounds(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	seg, err := m.CreateSegment(16)
+	seg, err := m.CreateSegment(ctx, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(seg, 10, make([]byte, 7)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := m.Write(ctx, seg, 10, make([]byte, 7)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("overrun write: %v", err)
 	}
-	if _, err := m.Read(seg, 12, 5); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if _, err := m.Read(ctx, seg, 12, 5); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("overrun read: %v", err)
 	}
 	// Boundary-exact operations succeed.
-	if err := m.Write(seg, 8, make([]byte, 8)); err != nil {
+	if err := m.Write(ctx, seg, 8, make([]byte, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Read(seg, 0, 16); err != nil {
+	if _, err := m.Read(ctx, seg, 0, 16); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSegmentTooLarge(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	if _, err := m.CreateSegment(MaxSegment + 1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if _, err := m.CreateSegment(ctx, MaxSegment+1); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("oversized segment: %v", err)
 	}
 }
 
 func TestRightsEnforced(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	seg, err := m.CreateSegment(64)
+	seg, err := m.CreateSegment(ctx, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	readOnly, err := m.Restrict(seg, cap.RightRead)
+	readOnly, err := m.Restrict(ctx, seg, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Read(readOnly, 0, 8); err != nil {
+	if _, err := m.Read(ctx, readOnly, 0, 8); err != nil {
 		t.Fatalf("read with read-only cap: %v", err)
 	}
-	if err := m.Write(readOnly, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := m.Write(ctx, readOnly, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("write with read-only cap: %v", err)
 	}
-	if err := m.DeleteSegment(readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if err := m.DeleteSegment(ctx, readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("delete with read-only cap: %v", err)
 	}
 }
 
 func TestElectronicDisk(t *testing.T) {
+	ctx := context.Background()
 	// §3.1: a segment used as an "electronic disk": create and do
 	// block-sized random reads and writes.
 	_, m := newServer(t)
-	disk, err := m.CreateSegment(64 * 1024)
+	disk, err := m.CreateSegment(ctx, 64*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
 	block := bytes.Repeat([]byte{0x5A}, 512)
 	for _, blockNo := range []uint32{0, 7, 127} {
-		if err := m.Write(disk, blockNo*512, block); err != nil {
+		if err := m.Write(ctx, disk, blockNo*512, block); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := m.Read(disk, 7*512, 512)
+	got, err := m.Read(ctx, disk, 7*512, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,116 +134,120 @@ func TestElectronicDisk(t *testing.T) {
 }
 
 func TestMakeProcess(t *testing.T) {
+	ctx := context.Background()
 	// The §3.1 parent-process pattern: text, data, stack segments, then
 	// MAKE PROCESS with their capabilities.
 	_, m := newServer(t)
 	var segs []cap.Capability
 	for _, content := range []string{"text", "data", "stack"} {
-		seg, err := m.CreateSegment(64)
+		seg, err := m.CreateSegment(ctx, 64)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Write(seg, 0, []byte(content)); err != nil {
+		if err := m.Write(ctx, seg, 0, []byte(content)); err != nil {
 			t.Fatal(err)
 		}
 		segs = append(segs, seg)
 	}
-	proc, err := m.MakeProcess(segs...)
+	proc, err := m.MakeProcess(ctx, segs...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	state, nsegs, err := m.Stat(proc)
+	state, nsegs, err := m.Stat(ctx, proc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if state != StateBuilt || nsegs != 3 {
 		t.Fatalf("stat = state %d nsegs %d", state, nsegs)
 	}
-	if err := m.Start(proc); err != nil {
+	if err := m.Start(ctx, proc); err != nil {
 		t.Fatal(err)
 	}
-	state, _, err = m.Stat(proc)
+	state, _, err = m.Stat(ctx, proc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if state != StateRunning {
 		t.Fatalf("state after start = %d", state)
 	}
-	if err := m.Start(proc); err == nil {
+	if err := m.Start(ctx, proc); err == nil {
 		t.Fatal("double start succeeded")
 	}
-	if err := m.Stop(proc); err != nil {
+	if err := m.Stop(ctx, proc); err != nil {
 		t.Fatal(err)
 	}
-	state, _, err = m.Stat(proc)
+	state, _, err = m.Stat(ctx, proc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if state != StateStopped {
 		t.Fatalf("state after stop = %d", state)
 	}
-	if err := m.Stop(proc); err == nil {
+	if err := m.Stop(ctx, proc); err == nil {
 		t.Fatal("stop of stopped process succeeded")
 	}
-	if err := m.DeleteProcess(proc); err != nil {
+	if err := m.DeleteProcess(ctx, proc); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Stat(proc); err == nil {
+	if _, _, err := m.Stat(ctx, proc); err == nil {
 		t.Fatal("stat of deleted process succeeded")
 	}
 }
 
 func TestMakeProcessValidatesSegments(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	seg, err := m.CreateSegment(8)
+	seg, err := m.CreateSegment(ctx, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	forged := seg
 	forged.Check ^= 1
-	if _, err := m.MakeProcess(forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := m.MakeProcess(ctx, forged); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("forged segment accepted: %v", err)
 	}
-	if _, err := m.MakeProcess(); err == nil {
+	if _, err := m.MakeProcess(ctx); err == nil {
 		t.Fatal("empty MakeProcess succeeded")
 	}
 	// A process capability is not a segment capability.
-	proc, err := m.MakeProcess(seg)
+	proc, err := m.MakeProcess(ctx, seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.MakeProcess(proc); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := m.MakeProcess(ctx, proc); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("process cap accepted as segment: %v", err)
 	}
 	// Segment ops on a process capability must fail too.
-	if _, err := m.Read(proc, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := m.Read(ctx, proc, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("segment read of process object: %v", err)
 	}
 }
 
 func TestRevokeSegment(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	seg, err := m.CreateSegment(8)
+	seg, err := m.CreateSegment(ctx, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := m.Restrict(seg, cap.RightRead)
+	shared, err := m.Restrict(ctx, seg, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := m.Revoke(seg)
+	fresh, err := m.Revoke(ctx, seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Read(shared, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := m.Read(ctx, shared, 0, 1); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("revoked share still reads: %v", err)
 	}
-	if _, err := m.Read(fresh, 0, 1); err != nil {
+	if _, err := m.Read(ctx, fresh, 0, 1); err != nil {
 		t.Fatalf("fresh capability broken: %v", err)
 	}
 }
 
 func TestExecutorReceivesSegmentImages(t *testing.T) {
+	ctx := context.Background()
 	r := servertest.New(t, 0xE6EC)
 	scheme, err := cap.NewScheme(cap.SchemeOneWay)
 	if err != nil {
@@ -258,22 +268,22 @@ func TestExecutorReceivesSegmentImages(t *testing.T) {
 	t.Cleanup(func() { s.Close() })
 	m := NewClient(r.Client, s.PutPort())
 
-	text, err := m.CreateSegment(16)
+	text, err := m.CreateSegment(ctx, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Write(text, 0, []byte("program text")); err != nil {
+	if err := m.Write(ctx, text, 0, []byte("program text")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := m.CreateSegment(8)
+	data, err := m.CreateSegment(ctx, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proc, err := m.MakeProcess(text, data)
+	proc, err := m.MakeProcess(ctx, text, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Start(proc); err != nil {
+	if err := m.Start(ctx, proc); err != nil {
 		t.Fatal(err)
 	}
 	st := <-got
@@ -290,7 +300,7 @@ func TestExecutorReceivesSegmentImages(t *testing.T) {
 		t.Fatalf("data image %d bytes", len(st.images[1]))
 	}
 	// The executor got a snapshot: later writes don't alias it.
-	if err := m.Write(text, 0, []byte("OVERWRITTEN!")); err != nil {
+	if err := m.Write(ctx, text, 0, []byte("OVERWRITTEN!")); err != nil {
 		t.Fatal(err)
 	}
 	if string(st.images[0][:12]) != "program text" {

@@ -1,6 +1,7 @@
 package mvfs
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -23,8 +24,8 @@ func NewClient(c *rpc.Client, port cap.Port) *Client {
 func (m *Client) Port() cap.Port { return m.port }
 
 // CreateFile creates a file (version 0 empty, committed).
-func (m *Client) CreateFile() (cap.Capability, error) {
-	rep, err := m.c.Trans(m.port, rpc.Request{Op: OpCreateFile})
+func (m *Client) CreateFile(ctx context.Context) (cap.Capability, error) {
+	rep, err := m.c.Trans(ctx, m.port, rpc.Request{Op: OpCreateFile})
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -35,8 +36,8 @@ func (m *Client) CreateFile() (cap.Capability, error) {
 }
 
 // NewVersion starts an uncommitted version of the file.
-func (m *Client) NewVersion(fileCap cap.Capability) (cap.Capability, error) {
-	rep, err := m.c.Call(fileCap, OpNewVersion, nil)
+func (m *Client) NewVersion(ctx context.Context, fileCap cap.Capability) (cap.Capability, error) {
+	rep, err := m.c.Call(ctx, fileCap, OpNewVersion, nil)
 	if err != nil {
 		return cap.Nil, err
 	}
@@ -45,20 +46,20 @@ func (m *Client) NewVersion(fileCap cap.Capability) (cap.Capability, error) {
 
 // WritePage writes one page of an uncommitted version (data is
 // zero-padded to PageSize).
-func (m *Client) WritePage(verCap cap.Capability, pageNo uint32, data []byte) error {
+func (m *Client) WritePage(ctx context.Context, verCap cap.Capability, pageNo uint32, data []byte) error {
 	buf := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(buf, pageNo)
 	copy(buf[4:], data)
-	_, err := m.c.Call(verCap, OpWritePage, buf)
+	_, err := m.c.Call(ctx, verCap, OpWritePage, buf)
 	return err
 }
 
 // ReadPage reads a page of the file's current version (with a file
 // capability) or of an uncommitted version (with a version capability).
-func (m *Client) ReadPage(c cap.Capability, pageNo uint32) ([]byte, error) {
+func (m *Client) ReadPage(ctx context.Context, c cap.Capability, pageNo uint32) ([]byte, error) {
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], pageNo)
-	rep, err := m.c.Call(c, OpReadPage, buf[:])
+	rep, err := m.c.Call(ctx, c, OpReadPage, buf[:])
 	if err != nil {
 		return nil, err
 	}
@@ -66,11 +67,11 @@ func (m *Client) ReadPage(c cap.Capability, pageNo uint32) ([]byte, error) {
 }
 
 // ReadPageVersion reads a page of a specific committed version.
-func (m *Client) ReadPageVersion(fileCap cap.Capability, pageNo, versionNo uint32) ([]byte, error) {
+func (m *Client) ReadPageVersion(ctx context.Context, fileCap cap.Capability, pageNo, versionNo uint32) ([]byte, error) {
 	var buf [8]byte
 	binary.BigEndian.PutUint32(buf[0:], pageNo)
 	binary.BigEndian.PutUint32(buf[4:], versionNo)
-	rep, err := m.c.Call(fileCap, OpReadPage, buf[:])
+	rep, err := m.c.Call(ctx, fileCap, OpReadPage, buf[:])
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +80,8 @@ func (m *Client) ReadPageVersion(fileCap cap.Capability, pageNo, versionNo uint3
 
 // Commit atomically publishes the version; returns its number and how
 // many pages it actually copied.
-func (m *Client) Commit(verCap cap.Capability) (versionNo, pagesCopied uint32, err error) {
-	rep, err := m.c.Call(verCap, OpCommit, nil)
+func (m *Client) Commit(ctx context.Context, verCap cap.Capability) (versionNo, pagesCopied uint32, err error) {
+	rep, err := m.c.Call(ctx, verCap, OpCommit, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -91,15 +92,15 @@ func (m *Client) Commit(verCap cap.Capability) (versionNo, pagesCopied uint32, e
 }
 
 // Abort discards an uncommitted version.
-func (m *Client) Abort(verCap cap.Capability) error {
-	_, err := m.c.Call(verCap, OpAbort, nil)
+func (m *Client) Abort(ctx context.Context, verCap cap.Capability) error {
+	_, err := m.c.Call(ctx, verCap, OpAbort, nil)
 	return err
 }
 
 // Stat returns the file's version count, current page count and page
 // size.
-func (m *Client) Stat(fileCap cap.Capability) (nversions, npages, pageSize uint32, err error) {
-	rep, err := m.c.Call(fileCap, OpStatFile, nil)
+func (m *Client) Stat(ctx context.Context, fileCap cap.Capability) (nversions, npages, pageSize uint32, err error) {
+	rep, err := m.c.Call(ctx, fileCap, OpStatFile, nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -112,12 +113,12 @@ func (m *Client) Stat(fileCap cap.Capability) (nversions, npages, pageSize uint3
 }
 
 // DestroyFile destroys the file and all of its versions.
-func (m *Client) DestroyFile(fileCap cap.Capability) error {
-	_, err := m.c.Call(fileCap, OpDestroyFile, nil)
+func (m *Client) DestroyFile(ctx context.Context, fileCap cap.Capability) error {
+	_, err := m.c.Call(ctx, fileCap, OpDestroyFile, nil)
 	return err
 }
 
 // Restrict fabricates a weaker capability via the server.
-func (m *Client) Restrict(c cap.Capability, mask cap.Rights) (cap.Capability, error) {
-	return m.c.Restrict(c, mask)
+func (m *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights) (cap.Capability, error) {
+	return m.c.Restrict(ctx, c, mask)
 }

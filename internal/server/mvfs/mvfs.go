@@ -15,6 +15,8 @@
 package mvfs
 
 import (
+	"context"
+
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -120,7 +122,7 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 // Table exposes the object table.
 func (s *Server) Table() *cap.Table { return s.table }
 
-func (s *Server) createFile(_ rpc.Context, _ rpc.Request) rpc.Reply {
+func (s *Server) createFile(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, err := s.table.Create()
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -158,7 +160,7 @@ func (s *Server) versionFor(c cap.Capability, need cap.Rights) (*version, error)
 	return v, nil
 }
 
-func (s *Server) newVersion(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) newVersion(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	f, err := s.fileFor(req.Cap, cap.RightCreate)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -182,7 +184,7 @@ func (s *Server) newVersion(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.CapReply(c)
 }
 
-func (s *Server) writePage(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) writePage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) < 4 || len(req.Data) > 4+PageSize {
 		return rpc.ErrReply(rpc.StatusBadRequest, "write page wants pageNo(4) ∥ ≤PageSize bytes")
 	}
@@ -204,7 +206,7 @@ func (s *Server) writePage(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) readPage(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) readPage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 4 && len(req.Data) != 8 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "read page wants pageNo(4) [∥ versionNo(4)]")
 	}
@@ -248,7 +250,7 @@ func clonePage(p []byte) []byte {
 	return out
 }
 
-func (s *Server) commit(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) commit(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	v, err := s.versionFor(req.Cap, cap.RightWrite)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -284,7 +286,7 @@ func (s *Server) commit(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) abort(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) abort(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.versionFor(req.Cap, cap.RightWrite); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -297,7 +299,7 @@ func (s *Server) abort(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(nil)
 }
 
-func (s *Server) statFile(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) statFile(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	f, err := s.fileFor(req.Cap, cap.RightRead)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
@@ -311,7 +313,7 @@ func (s *Server) statFile(_ rpc.Context, req rpc.Request) rpc.Reply {
 	return rpc.OkReply(out)
 }
 
-func (s *Server) destroyFile(_ rpc.Context, req rpc.Request) rpc.Reply {
+func (s *Server) destroyFile(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.fileFor(req.Cap, cap.RightDestroy); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}

@@ -2,6 +2,7 @@ package mvfs
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"amoeba/internal/cap"
@@ -25,12 +26,13 @@ func newServer(t *testing.T) (*servertest.Rig, *Client) {
 }
 
 func TestVersionCommitCycle(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, np, ps, err := m.Stat(f)
+	nv, np, ps, err := m.Stat(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,18 +40,18 @@ func TestVersionCommitCycle(t *testing.T) {
 		t.Fatalf("fresh file stat %d/%d/%d", nv, np, ps)
 	}
 
-	v, err := m.NewVersion(f)
+	v, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v, 0, []byte("page zero")); err != nil {
+	if err := m.WritePage(ctx, v, 0, []byte("page zero")); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v, 5, []byte("page five")); err != nil {
+	if err := m.WritePage(ctx, v, 5, []byte("page five")); err != nil {
 		t.Fatal(err)
 	}
 	// Uncommitted changes are invisible through the file capability.
-	page, err := m.ReadPage(f, 0)
+	page, err := m.ReadPage(ctx, f, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestVersionCommitCycle(t *testing.T) {
 		t.Fatal("uncommitted write visible through file capability")
 	}
 	// But visible through the version capability.
-	page, err = m.ReadPage(v, 0)
+	page, err = m.ReadPage(ctx, v, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +67,14 @@ func TestVersionCommitCycle(t *testing.T) {
 		t.Fatalf("version read %q", page[:9])
 	}
 
-	verNo, copied, err := m.Commit(v)
+	verNo, copied, err := m.Commit(ctx, v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if verNo != 1 || copied != 2 {
 		t.Fatalf("commit -> version %d, %d pages copied", verNo, copied)
 	}
-	page, err = m.ReadPage(f, 5)
+	page, err = m.ReadPage(ctx, f, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,76 +82,78 @@ func TestVersionCommitCycle(t *testing.T) {
 		t.Fatalf("post-commit read %q", page[:9])
 	}
 	// The version capability is consumed by commit.
-	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if err := m.WritePage(ctx, v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("write to committed version: %v", err)
 	}
 }
 
 func TestCopyOnWriteCopiesOnlyDirtyPages(t *testing.T) {
+	ctx := context.Background()
 	// The §3.5 claim: the new version "acts like it is a page-by-page
 	// copy ... although in fact, pages are only copied when they are
 	// changed".
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Commit a 50-page base version.
-	v, err := m.NewVersion(f)
+	v, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for p := uint32(0); p < 50; p++ {
-		if err := m.WritePage(v, p, []byte{byte(p)}); err != nil {
+		if err := m.WritePage(ctx, v, p, []byte{byte(p)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, copied, err := m.Commit(v); err != nil || copied != 50 {
+	if _, copied, err := m.Commit(ctx, v); err != nil || copied != 50 {
 		t.Fatalf("base commit copied %d (%v)", copied, err)
 	}
 	// New version touching one page: exactly one page copied.
-	v2, err := m.NewVersion(f)
+	v2, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v2, 7, []byte("changed")); err != nil {
+	if err := m.WritePage(ctx, v2, 7, []byte("changed")); err != nil {
 		t.Fatal(err)
 	}
-	if _, copied, err := m.Commit(v2); err != nil || copied != 1 {
+	if _, copied, err := m.Commit(ctx, v2); err != nil || copied != 1 {
 		t.Fatalf("incremental commit copied %d (%v)", copied, err)
 	}
 	// Unchanged pages still readable; changed page updated.
-	page, err := m.ReadPage(f, 3)
+	page, err := m.ReadPage(ctx, f, 3)
 	if err != nil || page[0] != 3 {
 		t.Fatalf("unchanged page: %v %v", page[0], err)
 	}
-	page, err = m.ReadPage(f, 7)
+	page, err = m.ReadPage(ctx, f, 7)
 	if err != nil || string(page[:7]) != "changed" {
 		t.Fatalf("changed page: %q %v", page[:7], err)
 	}
 }
 
 func TestOldVersionsRemainReadable(t *testing.T) {
+	ctx := context.Background()
 	// "A file is thus a sequence of versions" — write-once media.
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		v, err := m.NewVersion(f)
+		v, err := m.NewVersion(ctx, f)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.WritePage(v, 0, []byte{byte('0' + i)}); err != nil {
+		if err := m.WritePage(ctx, v, 0, []byte{byte('0' + i)}); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := m.Commit(v); err != nil {
+		if _, _, err := m.Commit(ctx, v); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 1; i <= 3; i++ {
-		page, err := m.ReadPageVersion(f, 0, uint32(i))
+		page, err := m.ReadPageVersion(ctx, f, 0, uint32(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,64 +161,66 @@ func TestOldVersionsRemainReadable(t *testing.T) {
 			t.Fatalf("version %d page reads %c", i, page[0])
 		}
 	}
-	if _, err := m.ReadPageVersion(f, 0, 99); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if _, err := m.ReadPageVersion(ctx, f, 0, 99); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("read of nonexistent version: %v", err)
 	}
 }
 
 func TestOptimisticConcurrencyConflict(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := m.NewVersion(f)
+	v1, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := m.NewVersion(f)
+	v2, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v1, 0, []byte("first")); err != nil {
+	if err := m.WritePage(ctx, v1, 0, []byte("first")); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v2, 0, []byte("second")); err != nil {
+	if err := m.WritePage(ctx, v2, 0, []byte("second")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Commit(v1); err != nil {
+	if _, _, err := m.Commit(ctx, v1); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Commit(v2); !rpc.IsStatus(err, rpc.StatusServerError) {
+	if _, _, err := m.Commit(ctx, v2); !rpc.IsStatus(err, rpc.StatusServerError) {
 		t.Fatalf("conflicting commit: %v", err)
 	}
 	// The winner's data is current.
-	page, err := m.ReadPage(f, 0)
+	page, err := m.ReadPage(ctx, f, 0)
 	if err != nil || string(page[:5]) != "first" {
 		t.Fatalf("current page %q %v", page[:5], err)
 	}
 }
 
 func TestAbort(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := m.NewVersion(f)
+	v, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v, 0, []byte("doomed")); err != nil {
+	if err := m.WritePage(ctx, v, 0, []byte("doomed")); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Abort(v); err != nil {
+	if err := m.Abort(ctx, v); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if err := m.WritePage(ctx, v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("write to aborted version: %v", err)
 	}
-	nv, _, _, err := m.Stat(f)
+	nv, _, _, err := m.Stat(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,62 +230,65 @@ func TestAbort(t *testing.T) {
 }
 
 func TestVersionRights(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	readOnly, err := m.Restrict(f, cap.RightRead)
+	readOnly, err := m.Restrict(ctx, f, cap.RightRead)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.NewVersion(readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
+	if _, err := m.NewVersion(ctx, readOnly); !rpc.IsStatus(err, rpc.StatusNoPermission) {
 		t.Fatalf("NewVersion with read-only file cap: %v", err)
 	}
-	if _, err := m.ReadPage(readOnly, 0); err != nil {
+	if _, err := m.ReadPage(ctx, readOnly, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestWritePageValidation(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := m.NewVersion(f)
+	v, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WritePage(v, 0, make([]byte, PageSize+1)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := m.WritePage(ctx, v, 0, make([]byte, PageSize+1)); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("oversized page write: %v", err)
 	}
-	if err := m.WritePage(v, MaxPages, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadRequest) {
+	if err := m.WritePage(ctx, v, MaxPages, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadRequest) {
 		t.Fatalf("page number too large: %v", err)
 	}
 	// Writing through the *file* capability is wrong: versions only.
-	if err := m.WritePage(f, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if err := m.WritePage(ctx, f, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("WritePage on file capability: %v", err)
 	}
 }
 
 func TestDestroyFileOrphansVersions(t *testing.T) {
+	ctx := context.Background()
 	_, m := newServer(t)
-	f, err := m.CreateFile()
+	f, err := m.CreateFile(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := m.NewVersion(f)
+	v, err := m.NewVersion(ctx, f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.DestroyFile(f); err != nil {
+	if err := m.DestroyFile(ctx, f); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.ReadPage(f, 0); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if _, err := m.ReadPage(ctx, f, 0); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("read of destroyed file: %v", err)
 	}
-	if err := m.WritePage(v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
+	if err := m.WritePage(ctx, v, 0, []byte("x")); !rpc.IsStatus(err, rpc.StatusBadCapability) {
 		t.Fatalf("write to orphaned version: %v", err)
 	}
 }

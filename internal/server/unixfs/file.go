@@ -1,6 +1,7 @@
 package unixfs
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,32 +14,47 @@ import (
 // open file; every Read/Write is an independent capability-checked
 // transaction. File implements io.Reader, io.Writer, io.Seeker,
 // io.ReaderAt and io.WriterAt.
+//
+// Those io interfaces cannot carry a context, so the handle captures
+// the context it was opened with and every transaction it issues runs
+// under it; derive a handle with a different lifetime via WithContext.
 type File struct {
 	fs     *FS
+	ctx    context.Context
 	cap    cap.Capability
 	offset uint64
 }
 
 // Open returns a handle on the file at path, positioned at byte 0.
-func (fs *FS) Open(path string) (*File, error) {
-	c, err := fs.Lookup(path)
+// The handle's transactions run under ctx (see File).
+func (fs *FS) Open(ctx context.Context, path string) (*File, error) {
+	c, err := fs.Lookup(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, cap: c}, nil
+	return &File{fs: fs, ctx: ctx, cap: c}, nil
 }
 
 // OpenCreate opens the file at path, creating it if absent.
-func (fs *FS) OpenCreate(path string) (*File, error) {
-	c, err := fs.Create(path)
+func (fs *FS) OpenCreate(ctx context.Context, path string) (*File, error) {
+	c, err := fs.Create(ctx, path)
 	if err == nil {
-		return &File{fs: fs, cap: c}, nil
+		return &File{fs: fs, ctx: ctx, cap: c}, nil
 	}
-	f, lerr := fs.Open(path)
+	f, lerr := fs.Open(ctx, path)
 	if lerr != nil {
 		return nil, err // report the create failure, it is more precise
 	}
 	return f, nil
+}
+
+// WithContext returns an independent handle on the same file whose
+// transactions run under ctx. The offset is copied at derivation time
+// and the two handles advance separately thereafter.
+func (f *File) WithContext(ctx context.Context) *File {
+	nf := *f
+	nf.ctx = ctx
+	return &nf
 }
 
 // Cap returns the underlying capability (shareable like any other).
@@ -49,7 +65,7 @@ func (f *File) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	data, err := f.fs.files.ReadAt(f.cap, f.offset, clampUint32(len(p)))
+	data, err := f.fs.files.ReadAt(f.ctx, f.cap, f.offset, clampUint32(len(p)))
 	if err != nil {
 		return 0, err
 	}
@@ -63,7 +79,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 // Write implements io.Writer.
 func (f *File) Write(p []byte) (int, error) {
-	if err := f.fs.files.WriteAt(f.cap, f.offset, p); err != nil {
+	if err := f.fs.files.WriteAt(f.ctx, f.cap, f.offset, p); err != nil {
 		return 0, err
 	}
 	f.offset += uint64(len(p))
@@ -75,7 +91,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("unixfs: negative offset %d", off)
 	}
-	data, err := f.fs.files.ReadAt(f.cap, uint64(off), clampUint32(len(p)))
+	data, err := f.fs.files.ReadAt(f.ctx, f.cap, uint64(off), clampUint32(len(p)))
 	if err != nil {
 		return 0, err
 	}
@@ -91,7 +107,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("unixfs: negative offset %d", off)
 	}
-	if err := f.fs.files.WriteAt(f.cap, uint64(off), p); err != nil {
+	if err := f.fs.files.WriteAt(f.ctx, f.cap, uint64(off), p); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -106,7 +122,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		base = int64(f.offset)
 	case io.SeekEnd:
-		size, err := f.fs.files.Size(f.cap)
+		size, err := f.fs.files.Size(f.ctx, f.cap)
 		if err != nil {
 			return 0, err
 		}
@@ -123,10 +139,10 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 }
 
 // Size returns the current file size.
-func (f *File) Size() (uint64, error) { return f.fs.files.Size(f.cap) }
+func (f *File) Size() (uint64, error) { return f.fs.files.Size(f.ctx, f.cap) }
 
 // Truncate sets the file size.
-func (f *File) Truncate(size uint64) error { return f.fs.files.Truncate(f.cap, size) }
+func (f *File) Truncate(size uint64) error { return f.fs.files.Truncate(f.ctx, f.cap, size) }
 
 func clampUint32(n int) uint32 {
 	if n < 0 {

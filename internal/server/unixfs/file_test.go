@@ -2,14 +2,16 @@ package unixfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
 )
 
 func TestFileSequentialReadWrite(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	f, err := fs.OpenCreate("seq.txt")
+	f, err := fs.OpenCreate(ctx, "seq.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,8 +34,9 @@ func TestFileSequentialReadWrite(t *testing.T) {
 }
 
 func TestFileSeekWhence(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	f, err := fs.OpenCreate("seek.txt")
+	f, err := fs.OpenCreate(ctx, "seek.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +75,9 @@ func TestFileSeekWhence(t *testing.T) {
 }
 
 func TestFileReadAtWriteAt(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	f, err := fs.OpenCreate("at.txt")
+	f, err := fs.OpenCreate(ctx, "at.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +105,9 @@ func TestFileReadAtWriteAt(t *testing.T) {
 }
 
 func TestFileEOF(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	f, err := fs.OpenCreate("eof.txt")
+	f, err := fs.OpenCreate(ctx, "eof.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,9 +133,10 @@ func TestFileEOF(t *testing.T) {
 }
 
 func TestFileCopySemantics(t *testing.T) {
+	ctx := context.Background()
 	// io.Copy between two handles exercises Reader+Writer together.
 	fs := newFS(t)
-	src, err := fs.OpenCreate("src.txt")
+	src, err := fs.OpenCreate(ctx, "src.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +147,7 @@ func TestFileCopySemantics(t *testing.T) {
 	if _, err := src.Seek(0, io.SeekStart); err != nil {
 		t.Fatal(err)
 	}
-	dst, err := fs.OpenCreate("dst.txt")
+	dst, err := fs.OpenCreate(ctx, "dst.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +158,7 @@ func TestFileCopySemantics(t *testing.T) {
 	if n != int64(len(payload)) {
 		t.Fatalf("copied %d of %d", n, len(payload))
 	}
-	got, err := fs.ReadFile("dst.txt", 0, uint32(len(payload)))
+	got, err := fs.ReadFile(ctx, "dst.txt", 0, uint32(len(payload)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,22 +168,24 @@ func TestFileCopySemantics(t *testing.T) {
 }
 
 func TestOpenMissing(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Open("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Open(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Open missing: %v", err)
 	}
 }
 
 func TestOpenCreateExisting(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	f1, err := fs.OpenCreate("x")
+	f1, err := fs.OpenCreate(ctx, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f1.Write([]byte("keep")); err != nil {
 		t.Fatal(err)
 	}
-	f2, err := fs.OpenCreate("x") // existing: opens, does not truncate
+	f2, err := fs.OpenCreate(ctx, "x") // existing: opens, does not truncate
 	if err != nil {
 		t.Fatal(err)
 	}

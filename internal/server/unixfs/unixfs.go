@@ -13,6 +13,7 @@
 package unixfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -69,46 +70,46 @@ type Stat struct {
 // directory is created on the same directory server as its parent, so
 // subtrees stay local to their server unless explicitly linked
 // elsewhere.
-func (fs *FS) Mkdir(path string) (cap.Capability, error) {
-	parent, base, err := fs.parent(path)
+func (fs *FS) Mkdir(ctx context.Context, path string) (cap.Capability, error) {
+	parent, base, err := fs.parent(ctx, path)
 	if err != nil {
 		return cap.Nil, err
 	}
-	if _, err := fs.dirs.Lookup(parent, base); err == nil {
+	if _, err := fs.dirs.Lookup(ctx, parent, base); err == nil {
 		return cap.Nil, fmt.Errorf("%w: %s", ErrExists, path)
 	}
-	dir, err := fs.dirs.CreateDir(parent.Server)
+	dir, err := fs.dirs.CreateDir(ctx, parent.Server)
 	if err != nil {
 		return cap.Nil, err
 	}
-	if err := fs.dirs.Enter(parent, base, dir); err != nil {
+	if err := fs.dirs.Enter(ctx, parent, base, dir); err != nil {
 		return cap.Nil, err
 	}
 	return dir, nil
 }
 
 // Create makes an empty file at path and returns its capability.
-func (fs *FS) Create(path string) (cap.Capability, error) {
-	parent, base, err := fs.parent(path)
+func (fs *FS) Create(ctx context.Context, path string) (cap.Capability, error) {
+	parent, base, err := fs.parent(ctx, path)
 	if err != nil {
 		return cap.Nil, err
 	}
-	if _, err := fs.dirs.Lookup(parent, base); err == nil {
+	if _, err := fs.dirs.Lookup(ctx, parent, base); err == nil {
 		return cap.Nil, fmt.Errorf("%w: %s", ErrExists, path)
 	}
-	f, err := fs.files.Create()
+	f, err := fs.files.Create(ctx)
 	if err != nil {
 		return cap.Nil, err
 	}
-	if err := fs.dirs.Enter(parent, base, f); err != nil {
+	if err := fs.dirs.Enter(ctx, parent, base, f); err != nil {
 		return cap.Nil, err
 	}
 	return f, nil
 }
 
 // Lookup resolves a path to its capability.
-func (fs *FS) Lookup(path string) (cap.Capability, error) {
-	c, err := fs.dirs.LookupPath(fs.root, path)
+func (fs *FS) Lookup(ctx context.Context, path string) (cap.Capability, error) {
+	c, err := fs.dirs.LookupPath(ctx, fs.root, path)
 	if err != nil {
 		return cap.Nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -116,24 +117,24 @@ func (fs *FS) Lookup(path string) (cap.Capability, error) {
 }
 
 // WriteFile writes data at offset into the file at path.
-func (fs *FS) WriteFile(path string, offset uint64, data []byte) error {
-	c, err := fs.Lookup(path)
+func (fs *FS) WriteFile(ctx context.Context, path string, offset uint64, data []byte) error {
+	c, err := fs.Lookup(ctx, path)
 	if err != nil {
 		return err
 	}
-	if err := fs.files.WriteAt(c, offset, data); err != nil {
+	if err := fs.files.WriteAt(ctx, c, offset, data); err != nil {
 		return fs.translate(c, err)
 	}
 	return nil
 }
 
 // ReadFile reads up to length bytes at offset from the file at path.
-func (fs *FS) ReadFile(path string, offset uint64, length uint32) ([]byte, error) {
-	c, err := fs.Lookup(path)
+func (fs *FS) ReadFile(ctx context.Context, path string, offset uint64, length uint32) ([]byte, error) {
+	c, err := fs.Lookup(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	data, err := fs.files.ReadAt(c, offset, length)
+	data, err := fs.files.ReadAt(ctx, c, offset, length)
 	if err != nil {
 		return nil, fs.translate(c, err)
 	}
@@ -151,32 +152,32 @@ func (fs *FS) translate(c cap.Capability, err error) error {
 }
 
 // Stat describes the object at path.
-func (fs *FS) Stat(path string) (Stat, error) {
-	c, err := fs.Lookup(path)
+func (fs *FS) Stat(ctx context.Context, path string) (Stat, error) {
+	c, err := fs.Lookup(ctx, path)
 	if err != nil {
 		return Stat{}, err
 	}
 	// A directory answers List; a file answers Size. Try the cheap
 	// file path first when the capability names our file server.
 	if c.Server == fs.files.Port() {
-		size, err := fs.files.Size(c)
+		size, err := fs.files.Size(ctx, c)
 		if err == nil {
 			return Stat{Cap: c, Size: size}, nil
 		}
 	}
-	if _, err := fs.dirs.List(c); err == nil {
+	if _, err := fs.dirs.List(ctx, c); err == nil {
 		return Stat{Cap: c, IsDir: true}, nil
 	}
 	return Stat{}, fmt.Errorf("%w: %s is neither file nor directory here", ErrNotFound, path)
 }
 
 // ReadDir lists the directory at path, names sorted.
-func (fs *FS) ReadDir(path string) ([]string, error) {
-	c, err := fs.Lookup(path)
+func (fs *FS) ReadDir(ctx context.Context, path string) ([]string, error) {
+	c, err := fs.Lookup(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := fs.dirs.List(c)
+	entries, err := fs.dirs.List(ctx, c)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotDirectory, path)
 	}
@@ -191,68 +192,76 @@ func (fs *FS) ReadDir(path string) ([]string, error) {
 // Unlink removes the name at path; if it named a file on our file
 // server, the file body is destroyed too (no hard links in this
 // layer).
-func (fs *FS) Unlink(path string) error {
-	parent, base, err := fs.parent(path)
+func (fs *FS) Unlink(ctx context.Context, path string) error {
+	parent, base, err := fs.parent(ctx, path)
 	if err != nil {
 		return err
 	}
-	c, err := fs.dirs.Lookup(parent, base)
+	c, err := fs.dirs.Lookup(ctx, parent, base)
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	if err := fs.dirs.Remove(parent, base); err != nil {
+	if err := fs.dirs.Remove(ctx, parent, base); err != nil {
 		return err
 	}
 	if c.Server == fs.files.Port() {
-		// Best effort: the name is gone either way.
-		_ = fs.files.Destroy(c)
+		// Best effort: the name is already gone, so the body cleanup
+		// must not be cut short by the caller's deadline (the nested
+		// transaction stays bounded by the client's own timeout).
+		_ = fs.files.Destroy(rpc.WithoutDeadline(ctx), c)
 	}
 	return nil
 }
 
 // Rmdir removes an empty directory at path.
-func (fs *FS) Rmdir(path string) error {
-	parent, base, err := fs.parent(path)
+func (fs *FS) Rmdir(ctx context.Context, path string) error {
+	parent, base, err := fs.parent(ctx, path)
 	if err != nil {
 		return err
 	}
-	c, err := fs.dirs.Lookup(parent, base)
+	c, err := fs.dirs.Lookup(ctx, parent, base)
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	if err := fs.dirs.DestroyDir(c); err != nil {
+	if err := fs.dirs.DestroyDir(ctx, c); err != nil {
 		return err // not empty, or not a directory
 	}
-	return fs.dirs.Remove(parent, base)
+	// The directory object is destroyed; removing the now-dangling name
+	// is past the point of no return and must outlive the deadline (a
+	// repeat Rmdir would fail at DestroyDir before ever reaching Remove).
+	return fs.dirs.Remove(rpc.WithoutDeadline(ctx), parent, base)
 }
 
 // Rename moves the entry at oldPath to newPath. Pure namespace
 // surgery: the object capability moves between directories; the object
 // itself is untouched (and may live on any server).
-func (fs *FS) Rename(oldPath, newPath string) error {
-	oldParent, oldBase, err := fs.parent(oldPath)
+func (fs *FS) Rename(ctx context.Context, oldPath, newPath string) error {
+	oldParent, oldBase, err := fs.parent(ctx, oldPath)
 	if err != nil {
 		return err
 	}
-	c, err := fs.dirs.Lookup(oldParent, oldBase)
+	c, err := fs.dirs.Lookup(ctx, oldParent, oldBase)
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
 	}
-	newParent, newBase, err := fs.parent(newPath)
+	newParent, newBase, err := fs.parent(ctx, newPath)
 	if err != nil {
 		return err
 	}
-	if _, err := fs.dirs.Lookup(newParent, newBase); err == nil {
+	if _, err := fs.dirs.Lookup(ctx, newParent, newBase); err == nil {
 		return fmt.Errorf("%w: %s", ErrExists, newPath)
 	}
-	if err := fs.dirs.Enter(newParent, newBase, c); err != nil {
+	if err := fs.dirs.Enter(ctx, newParent, newBase, c); err != nil {
 		return err
 	}
-	return fs.dirs.Remove(oldParent, oldBase)
+	// The entry is committed at its new name; unlinking the old one is
+	// past the point of no return and must outlive the caller's
+	// deadline, or a half-renamed object ends up with two names.
+	return fs.dirs.Remove(rpc.WithoutDeadline(ctx), oldParent, oldBase)
 }
 
 // parent resolves the directory containing path's final component.
-func (fs *FS) parent(path string) (cap.Capability, string, error) {
+func (fs *FS) parent(ctx context.Context, path string) (cap.Capability, string, error) {
 	comps := make([]string, 0, 8)
 	for _, c := range strings.Split(path, "/") {
 		if c != "" {
@@ -264,7 +273,7 @@ func (fs *FS) parent(path string) (cap.Capability, string, error) {
 	}
 	cur := fs.root
 	for _, comp := range comps[:len(comps)-1] {
-		next, err := fs.dirs.Lookup(cur, comp)
+		next, err := fs.dirs.Lookup(ctx, cur, comp)
 		if err != nil {
 			return cap.Nil, "", fmt.Errorf("%w: %s", ErrNotFound, comp)
 		}

@@ -1,6 +1,7 @@
 package unixfs
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func newFS(t *testing.T) *FS {
+	ctx := context.Background()
 	t.Helper()
 	r := servertest.New(t, 0x0F5)
 	scheme, err := cap.NewScheme(cap.SchemeOneWay)
@@ -32,7 +34,7 @@ func newFS(t *testing.T) *FS {
 	}
 	t.Cleanup(func() { bs.Close() })
 
-	fsrv, err := flatfs.New(r.NewFBox(t), scheme, r.Src, blocksvr.NewClient(r.NewClient(t), bs.PutPort()))
+	fsrv, err := flatfs.New(ctx, r.NewFBox(t), scheme, r.Src, blocksvr.NewClient(r.NewClient(t), bs.PutPort()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func newFS(t *testing.T) *FS {
 	t.Cleanup(func() { dsrv.Close() })
 
 	dirs := dirsvr.NewClient(r.Client)
-	root, err := dirs.CreateDir(dsrv.PutPort())
+	root, err := dirs.CreateDir(ctx, dsrv.PutPort())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,20 +58,21 @@ func newFS(t *testing.T) *FS {
 }
 
 func TestCreateWriteReadFile(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("home"); err != nil {
+	if _, err := fs.Mkdir(ctx, "home"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Mkdir("home/ast"); err != nil {
+	if _, err := fs.Mkdir(ctx, "home/ast"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("home/ast/paper.txt"); err != nil {
+	if _, err := fs.Create(ctx, "home/ast/paper.txt"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteFile("home/ast/paper.txt", 0, []byte("sparse capabilities")); err != nil {
+	if err := fs.WriteFile(ctx, "home/ast/paper.txt", 0, []byte("sparse capabilities")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fs.ReadFile("home/ast/paper.txt", 7, 12)
+	got, err := fs.ReadFile(ctx, "home/ast/paper.txt", 7, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,163 +82,171 @@ func TestCreateWriteReadFile(t *testing.T) {
 }
 
 func TestMkdirSemantics(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("a"); err != nil {
+	if _, err := fs.Mkdir(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Mkdir("a"); !errors.Is(err, ErrExists) {
+	if _, err := fs.Mkdir(ctx, "a"); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate mkdir: %v", err)
 	}
-	if _, err := fs.Mkdir("missing/sub"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Mkdir(ctx, "missing/sub"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("mkdir without parent: %v", err)
 	}
-	if _, err := fs.Mkdir(""); err == nil {
+	if _, err := fs.Mkdir(ctx, ""); err == nil {
 		t.Fatal("empty mkdir succeeded")
 	}
 }
 
 func TestStat(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("dir"); err != nil {
+	if _, err := fs.Mkdir(ctx, "dir"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("file"); err != nil {
+	if _, err := fs.Create(ctx, "file"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteFile("file", 0, []byte("12345")); err != nil {
+	if err := fs.WriteFile(ctx, "file", 0, []byte("12345")); err != nil {
 		t.Fatal(err)
 	}
-	st, err := fs.Stat("dir")
+	st, err := fs.Stat(ctx, "dir")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !st.IsDir {
 		t.Fatal("dir not reported as directory")
 	}
-	st, err = fs.Stat("file")
+	st, err = fs.Stat(ctx, "file")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.IsDir || st.Size != 5 {
 		t.Fatalf("file stat %+v", st)
 	}
-	if _, err := fs.Stat("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Stat(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("stat of missing: %v", err)
 	}
 }
 
 func TestReadDir(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("d"); err != nil {
+	if _, err := fs.Mkdir(ctx, "d"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"zz", "aa", "mm"} {
-		if _, err := fs.Create("d/" + name); err != nil {
+		if _, err := fs.Create(ctx, "d/"+name); err != nil {
 			t.Fatal(err)
 		}
 	}
-	names, err := fs.ReadDir("d")
+	names, err := fs.ReadDir(ctx, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(names) != 3 || names[0] != "aa" || names[2] != "zz" {
 		t.Fatalf("ReadDir %v", names)
 	}
-	if _, err := fs.ReadDir("d/aa"); !errors.Is(err, ErrNotDirectory) {
+	if _, err := fs.ReadDir(ctx, "d/aa"); !errors.Is(err, ErrNotDirectory) {
 		t.Fatalf("ReadDir of file: %v", err)
 	}
 }
 
 func TestUnlink(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Create("doomed"); err != nil {
+	if _, err := fs.Create(ctx, "doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Unlink("doomed"); err != nil {
+	if err := fs.Unlink(ctx, "doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Lookup("doomed"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Lookup(ctx, "doomed"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("lookup after unlink: %v", err)
 	}
-	if err := fs.Unlink("doomed"); !errors.Is(err, ErrNotFound) {
+	if err := fs.Unlink(ctx, "doomed"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double unlink: %v", err)
 	}
 }
 
 func TestRmdir(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("d"); err != nil {
+	if _, err := fs.Mkdir(ctx, "d"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("d/f"); err != nil {
+	if _, err := fs.Create(ctx, "d/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rmdir("d"); err == nil {
+	if err := fs.Rmdir(ctx, "d"); err == nil {
 		t.Fatal("rmdir of non-empty directory succeeded")
 	}
-	if err := fs.Unlink("d/f"); err != nil {
+	if err := fs.Unlink(ctx, "d/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rmdir("d"); err != nil {
+	if err := fs.Rmdir(ctx, "d"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Lookup("d"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Lookup(ctx, "d"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("lookup after rmdir: %v", err)
 	}
 }
 
 func TestRename(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("src"); err != nil {
+	if _, err := fs.Mkdir(ctx, "src"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Mkdir("dst"); err != nil {
+	if _, err := fs.Mkdir(ctx, "dst"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("src/f"); err != nil {
+	if _, err := fs.Create(ctx, "src/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteFile("src/f", 0, []byte("payload")); err != nil {
+	if err := fs.WriteFile(ctx, "src/f", 0, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rename("src/f", "dst/g"); err != nil {
+	if err := fs.Rename(ctx, "src/f", "dst/g"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fs.ReadFile("dst/g", 0, 7)
+	got, err := fs.ReadFile(ctx, "dst/g", 0, 7)
 	if err != nil || string(got) != "payload" {
 		t.Fatalf("after rename: %q %v", got, err)
 	}
-	if _, err := fs.Lookup("src/f"); !errors.Is(err, ErrNotFound) {
+	if _, err := fs.Lookup(ctx, "src/f"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("old name survives: %v", err)
 	}
 	// Rename onto an existing name fails.
-	if _, err := fs.Create("src/f2"); err != nil {
+	if _, err := fs.Create(ctx, "src/f2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Rename("src/f2", "dst/g"); !errors.Is(err, ErrExists) {
+	if err := fs.Rename(ctx, "src/f2", "dst/g"); !errors.Is(err, ErrExists) {
 		t.Fatalf("rename onto existing: %v", err)
 	}
 }
 
 func TestCreateCollision(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Create("x"); err != nil {
+	if _, err := fs.Create(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Create("x"); !errors.Is(err, ErrExists) {
+	if _, err := fs.Create(ctx, "x"); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
 }
 
 func TestFileOpsOnDirectory(t *testing.T) {
+	ctx := context.Background()
 	fs := newFS(t)
-	if _, err := fs.Mkdir("d"); err != nil {
+	if _, err := fs.Mkdir(ctx, "d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteFile("d", 0, []byte("x")); err == nil {
+	if err := fs.WriteFile(ctx, "d", 0, []byte("x")); err == nil {
 		t.Fatal("write to directory succeeded")
 	}
-	if _, err := fs.ReadFile("d", 0, 1); err == nil {
+	if _, err := fs.ReadFile(ctx, "d", 0, 1); err == nil {
 		t.Fatal("read of directory succeeded")
 	}
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Run the benchmark suite and record the result in benchmarks/latest.txt
+# (plus a timestamped copy), so successive PRs can diff performance.
+#
+# Usage: scripts/bench.sh [extra go test args]
+#   BENCH_PATTERN=E11 scripts/bench.sh     # subset by name
+#   BENCH_COUNT=5 scripts/bench.sh        # repeat for benchstat
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p benchmarks
+
+pattern="${BENCH_PATTERN:-.}"
+count="${BENCH_COUNT:-1}"
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+
+{
+	echo "# amoeba benchmarks"
+	echo "# date: ${stamp}"
+	echo "# go: $(go version)"
+	echo "# commit: $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+} > benchmarks/latest.txt
+
+go test -run '^$' -bench "$pattern" -count "$count" -benchmem "$@" . \
+	| tee -a benchmarks/latest.txt
+
+cp benchmarks/latest.txt "benchmarks/${stamp}.txt"
+echo "wrote benchmarks/latest.txt and benchmarks/${stamp}.txt" >&2
