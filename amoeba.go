@@ -129,6 +129,19 @@ type (
 // OpEcho is the universal diagnostic opcode every service answers.
 const OpEcho = rpc.OpEcho
 
+// Batch transaction surface: Cluster.RPC().Batch(ctx, dest, reqs)
+// packs several requests into one OpBatch frame; the server fans them
+// out across its worker pool and the replies come back in order. The
+// constants bound a single frame — split larger work across frames.
+const (
+	// OpBatch is the reserved batch-transaction opcode.
+	OpBatch = rpc.OpBatch
+	// MaxBatchItems bounds the sub-requests in one batch frame.
+	MaxBatchItems = rpc.MaxBatchItems
+	// MaxBatchBytes bounds one batch frame's packed payload.
+	MaxBatchBytes = rpc.MaxBatchBytes
+)
+
 // NewSeededSource returns a deterministic randomness source, for
 // reproducible clusters in tests and experiments.
 func NewSeededSource(seed uint64) crypto.Source { return crypto.NewSeededSource(seed) }

@@ -8,6 +8,7 @@ package amoeba
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"amoeba/internal/amnet"
@@ -17,6 +18,9 @@ import (
 	"amoeba/internal/keymatrix"
 	"amoeba/internal/locate"
 	"amoeba/internal/rpc"
+	"amoeba/internal/server/banksvr"
+	"amoeba/internal/server/dirsvr"
+	"amoeba/internal/server/memsvr"
 )
 
 // --------------------------------------------------------------------
@@ -653,4 +657,217 @@ func BenchmarkE8_SealedRPC(b *testing.B) {
 	}
 	b.Run("plain", func(b *testing.B) { run(b, false) })
 	b.Run("sealed", func(b *testing.B) { run(b, true) })
+}
+
+// --------------------------------------------------------------------
+// Batch: the OpBatch transaction vs per-object round trips, and the
+// parallel E10 twins over the sharded stores. See EXPERIMENTS.md E13.
+
+// BenchmarkBatch_FileRead is the headline batching claim: fetching 16
+// KiB of blocks from the block server as 16 individual transactions
+// vs one OpBatch frame, plus the flat file server's end-to-end ReadAt
+// (which batches internally since the throughput overhaul).
+func BenchmarkBatch_FileRead(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b)
+	blocks := cl.Blocks()
+	const nblocks = 16
+	const bsize = 1024
+	caps := make([]cap.Capability, nblocks)
+	payload := make([]byte, bsize)
+	for i := range caps {
+		c, err := blocks.Alloc(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caps[i] = c
+		if err := blocks.Write(ctx, c, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("per-block-roundtrips", func(b *testing.B) {
+		b.SetBytes(nblocks * bsize)
+		for i := 0; i < b.N; i++ {
+			for _, c := range caps {
+				if _, err := blocks.Read(ctx, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.SetBytes(nblocks * bsize)
+		for i := 0; i < b.N; i++ {
+			if _, err := blocks.ReadBatch(ctx, caps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flatfs-readat", func(b *testing.B) {
+		f, err := cl.Files().Create(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, nblocks*bsize)
+		if err := cl.Files().WriteAt(ctx, f, 0, data); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.SetBytes(nblocks * bsize)
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Files().ReadAt(ctx, f, 0, nblocks*bsize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatch_Echo prices the frame packing itself: 16 echoes as
+// 16 transactions vs one batch.
+func BenchmarkBatch_Echo(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b)
+	port := cl.files.PutPort()
+	payload := make([]byte, 64)
+	const n = 16
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				rep, err := cl.RPC().Trans(ctx, port, rpc.Request{Op: rpc.OpEcho, Data: payload})
+				if err != nil || rep.Status != rpc.StatusOK {
+					b.Fatal(err, rep.Status)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		reqs := make([]rpc.Request, n)
+		for j := range reqs {
+			reqs[j] = rpc.Request{Op: rpc.OpEcho, Data: payload}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reps, err := cl.RPC().Batch(ctx, port, reqs)
+			if err != nil || len(reps) != n {
+				b.Fatal(err, len(reps))
+			}
+		}
+	})
+}
+
+// Parallel E10 twins: the same service operations issued from many
+// goroutines at once. Before the sharded stores these serialized on
+// each server's single mutex; now independent objects ride
+// independent shard locks and the worker pool.
+
+func BenchmarkE10_SegmentWriteParallel(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b)
+	mem := cl.Memory()
+	segs := make([]cap.Capability, 32)
+	for i := range segs {
+		var err error
+		segs[i], err = mem.CreateSegment(ctx, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := make([]byte, 4096)
+	var next atomic.Int64
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine is its own workstation: a fresh machine with
+		// its own F-box, reply ports and locate cache, writing its own
+		// segment — the workload the sharded store exists for.
+		_, rc, err := cl.NewMachine()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		mc := memsvr.NewClient(rc, mem.Port())
+		seg := segs[int(next.Add(1))%len(segs)]
+		i := 0
+		for pb.Next() {
+			if err := mc.Write(ctx, seg, uint32(i%8)*4096, data); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkE10_BankTransferParallel(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b)
+	bank := cl.Bank()
+	type pair struct{ src, dst cap.Capability }
+	pairs := make([]pair, 32)
+	for i := range pairs {
+		src, err := bank.CreateAccount(ctx, "dollar", 1<<40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := bank.CreateAccount(ctx, "dollar", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs[i] = pair{src, dst}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		_, rc, err := cl.NewMachine()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		bc := banksvr.NewClient(rc, bank.Port())
+		p := pairs[int(next.Add(1))%len(pairs)]
+		for pb.Next() {
+			if err := bc.Transfer(ctx, p.src, p.dst, "dollar", 1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkE10_DirLookupParallel(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b)
+	dirs := cl.Dirs()
+	roots := make([]cap.Capability, 32)
+	for i := range roots {
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dirs.Enter(ctx, root, "entry", sub); err != nil {
+			b.Fatal(err)
+		}
+		roots[i] = root
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		_, rc, err := cl.NewMachine()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		dc := dirsvr.NewClient(rc)
+		root := roots[int(next.Add(1))%len(roots)]
+		for pb.Next() {
+			if _, err := dc.Lookup(ctx, root, "entry"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

@@ -32,9 +32,17 @@ type ClusterConfig struct {
 	Scheme SchemeID
 	// Seed makes the cluster deterministic; 0 draws from crypto/rand.
 	Seed uint64
-	// Latency and LossRate shape the simulated network.
-	Latency  time.Duration
-	LossRate float64
+	// Latency, Jitter, LossRate, Duplicate and Reorder shape the
+	// simulated network (see amnet.SimConfig); the fault knobs drive
+	// the chaos tests.
+	Latency   time.Duration
+	Jitter    time.Duration
+	LossRate  float64
+	Duplicate float64
+	Reorder   float64
+	// MaxInflight bounds each service's worker pool (0 = the
+	// rpc.DefaultMaxInflight default). See rpc.ServerConfig.
+	MaxInflight int
 	// DiskBlocks and DiskBlockSize set the block server's geometry
 	// (defaults: 4096 × 1 KiB).
 	DiskBlocks    uint32
@@ -73,8 +81,25 @@ type Cluster struct {
 	// matrix is non-nil when SealCapabilities is on.
 	matrix *keymatrix.Matrix
 
-	closers []func() error
+	machines Machines
+	closers  []func() error
 }
+
+// Machines identifies the cluster's machines on the simulated
+// network, for partitioning experiments (SimNet.Partition/Heal).
+type Machines struct {
+	Client   amnet.MachineID
+	Memory   amnet.MachineID
+	Blocks   amnet.MachineID
+	Files    amnet.MachineID
+	Dirs     amnet.MachineID
+	Versions amnet.MachineID
+	Bank     amnet.MachineID
+}
+
+// Machines returns the machine IDs of the cluster's client and
+// service hosts.
+func (cl *Cluster) Machines() Machines { return cl.machines }
 
 // NewCluster boots a cluster with every §3 service running.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
@@ -100,9 +125,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	cl := &Cluster{
 		net: amnet.NewSimNet(amnet.SimConfig{
-			Latency:  cfg.Latency,
-			LossRate: cfg.LossRate,
-			Seed:     cfg.Seed,
+			Latency:   cfg.Latency,
+			Jitter:    cfg.Jitter,
+			LossRate:  cfg.LossRate,
+			Duplicate: cfg.Duplicate,
+			Reorder:   cfg.Reorder,
+			Seed:      cfg.Seed,
 		}),
 		src: src,
 	}
@@ -122,13 +150,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl.client = cl.newRPCClient(cl.clientFB)
+	cl.machines.Client = cl.clientFB.Machine()
 
 	// Memory server.
 	memFB, err := cl.newFBox()
 	if err != nil {
 		return nil, err
 	}
+	cl.machines.Memory = memFB.Machine()
 	cl.memory = memsvr.New(memFB, scheme, src)
+	cl.memory.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(memFB, cl.memory.SetSealer)
 	if err := cl.start(cl.memory.Start, cl.memory.Close); err != nil {
 		return nil, err
@@ -143,10 +174,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.machines.Blocks = blkFB.Machine()
 	cl.blocks, err = blocksvr.New(blkFB, scheme, src, cl.disk)
 	if err != nil {
 		return nil, err
 	}
+	cl.blocks.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(blkFB, cl.blocks.SetSealer)
 	if err := cl.start(cl.blocks.Start, cl.blocks.Close); err != nil {
 		return nil, err
@@ -159,10 +192,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	fileRPC := cl.newRPCClient(fileFB)
+	cl.machines.Files = fileFB.Machine()
 	cl.files, err = flatfs.New(context.Background(), fileFB, scheme, src, blocksvr.NewClient(fileRPC, cl.blocks.PutPort()))
 	if err != nil {
 		return nil, err
 	}
+	cl.files.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(fileFB, cl.files.SetSealer)
 	if err := cl.start(cl.files.Start, cl.files.Close); err != nil {
 		return nil, err
@@ -173,7 +208,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.machines.Dirs = dirFB.Machine()
 	cl.dirs = dirsvr.New(dirFB, scheme, src)
+	cl.dirs.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(dirFB, cl.dirs.SetSealer)
 	if err := cl.start(cl.dirs.Start, cl.dirs.Close); err != nil {
 		return nil, err
@@ -184,7 +221,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.machines.Versions = mvFB.Machine()
 	cl.multi = mvfs.New(mvFB, scheme, src)
+	cl.multi.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(mvFB, cl.multi.SetSealer)
 	if err := cl.start(cl.multi.Start, cl.multi.Close); err != nil {
 		return nil, err
@@ -205,7 +244,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.machines.Bank = bankFB.Machine()
 	cl.bank = banksvr.New(bankFB, scheme, src, bankCfg)
+	cl.bank.SetMaxInflight(cfg.MaxInflight)
 	cl.sealServer(bankFB, cl.bank.SetSealer)
 	if err := cl.start(cl.bank.Start, cl.bank.Close); err != nil {
 		return nil, err

@@ -36,6 +36,17 @@ type SimConfig struct {
 	Jitter time.Duration
 	// LossRate drops each frame with this probability (0..1).
 	LossRate float64
+	// Duplicate delivers each frame twice with this probability
+	// (0..1) — the classic retransmit-crossed-with-reply fault that
+	// at-least-once RPC must tolerate.
+	Duplicate float64
+	// Reorder holds each frame back with this probability (0..1),
+	// delivering it after ReorderWindow so a later frame can overtake
+	// it.
+	Reorder float64
+	// ReorderWindow is how long a reordered frame is held (default
+	// 1ms when Reorder > 0).
+	ReorderWindow time.Duration
 	// AllowSourceForgery permits Tap.InjectAs to forge source
 	// addresses. Leave false to model the paper's assumption; set true
 	// to run the replay-attack-succeeds ablation.
@@ -50,10 +61,12 @@ type SimConfig struct {
 
 // Stats counts network activity, for experiments.
 type Stats struct {
-	Sent      uint64 // frames handed to the network
-	Delivered uint64 // frame deliveries (broadcast counts each copy)
-	Lost      uint64 // frames dropped by the loss model
-	Overrun   uint64 // frames dropped at a full receive queue
+	Sent       uint64 // frames handed to the network
+	Delivered  uint64 // frame deliveries (broadcast counts each copy)
+	Lost       uint64 // frames dropped by the loss model
+	Overrun    uint64 // frames dropped at a full receive queue
+	Duplicated uint64 // extra copies delivered by the duplication model
+	Reordered  uint64 // frames held back by the reordering model
 }
 
 // NewSimNet builds an empty simulated network.
@@ -63,6 +76,9 @@ func NewSimNet(cfg SimConfig) *SimNet {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 0xA0EBA
+	}
+	if cfg.Reorder > 0 && cfg.ReorderWindow <= 0 {
+		cfg.ReorderWindow = time.Millisecond
 	}
 	return &SimNet{
 		cfg:    cfg,
@@ -208,6 +224,19 @@ func (n *SimNet) deliverTo(nic *simNIC, f Frame) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(nic.rnd.Uint64() % uint64(n.cfg.Jitter))
 	}
+	// Reordering: hold the frame past the window so frames sent after
+	// it can overtake it.
+	if n.cfg.Reorder > 0 && nic.chance(n.cfg.Reorder) {
+		delay += n.cfg.ReorderWindow
+		n.bumpReordered()
+	}
+	// Duplication: a second copy arrives shortly after the first —
+	// the shape a retransmission crossing its reply produces.
+	if n.cfg.Duplicate > 0 && nic.chance(n.cfg.Duplicate) {
+		n.bumpDuplicated()
+		dup := delay + n.cfg.ReorderWindow + 100*time.Microsecond
+		time.AfterFunc(dup, func() { nic.deliver(f, n) })
+	}
 	if delay == 0 {
 		nic.deliver(f, n)
 		return
@@ -215,10 +244,12 @@ func (n *SimNet) deliverTo(nic *simNIC, f Frame) {
 	time.AfterFunc(delay, func() { nic.deliver(f, n) })
 }
 
-func (n *SimNet) bumpSent()      { n.statsMu.Lock(); n.stats.Sent++; n.statsMu.Unlock() }
-func (n *SimNet) bumpLost()      { n.statsMu.Lock(); n.stats.Lost++; n.statsMu.Unlock() }
-func (n *SimNet) bumpDelivered() { n.statsMu.Lock(); n.stats.Delivered++; n.statsMu.Unlock() }
-func (n *SimNet) bumpOverrun()   { n.statsMu.Lock(); n.stats.Overrun++; n.statsMu.Unlock() }
+func (n *SimNet) bumpSent()       { n.statsMu.Lock(); n.stats.Sent++; n.statsMu.Unlock() }
+func (n *SimNet) bumpLost()       { n.statsMu.Lock(); n.stats.Lost++; n.statsMu.Unlock() }
+func (n *SimNet) bumpDelivered()  { n.statsMu.Lock(); n.stats.Delivered++; n.statsMu.Unlock() }
+func (n *SimNet) bumpOverrun()    { n.statsMu.Lock(); n.stats.Overrun++; n.statsMu.Unlock() }
+func (n *SimNet) bumpDuplicated() { n.statsMu.Lock(); n.stats.Duplicated++; n.statsMu.Unlock() }
+func (n *SimNet) bumpReordered()  { n.statsMu.Lock(); n.stats.Reordered++; n.statsMu.Unlock() }
 
 // simNIC implements NIC on a SimNet.
 type simNIC struct {

@@ -1,0 +1,119 @@
+package cap
+
+import (
+	"bytes"
+	"testing"
+
+	"amoeba/internal/crypto"
+)
+
+// FuzzCapWire fuzzes the Fig. 2 wire codec: any 16-byte buffer must
+// decode without panicking, and decode∘encode must be the identity in
+// both directions (every decoded capability re-encodes to the same
+// bytes; every in-range capability survives a round trip).
+func FuzzCapWire(f *testing.F) {
+	f.Add(make([]byte, Size))
+	f.Add(bytes.Repeat([]byte{0xFF}, Size))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xAB, 0xCD, 0xEF, 0x5A, 0x0F, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		c, err := Decode(buf)
+		if len(buf) != Size {
+			if err == nil {
+				t.Fatalf("Decode accepted %d bytes", len(buf))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Decode rejected a 16-byte buffer: %v", err)
+		}
+		if !c.Valid() {
+			t.Fatalf("decoded capability out of field range: %+v", c)
+		}
+		w := c.Encode()
+		if !bytes.Equal(w[:], buf) {
+			t.Fatalf("encode(decode(%x)) = %x", buf, w)
+		}
+		c2, err := Decode(w[:])
+		if err != nil || c2 != c {
+			t.Fatalf("round trip changed the capability: %+v vs %+v (%v)", c, c2, err)
+		}
+	})
+}
+
+// FuzzRightsRestrict fuzzes the §2.3 schemes' security invariant:
+// however an owner capability is restricted (any chain of masks, via
+// the server path and — for scheme 3 — the client path), validating
+// the result never grants a right the parent lacked, and tampering
+// with the rights field alone never validates.
+func FuzzRightsRestrict(f *testing.F) {
+	f.Add(uint64(12345), uint8(0x0F), uint8(0xF0), uint8(0xFF))
+	f.Add(uint64(0), uint8(0), uint8(1), uint8(2))
+	f.Add(uint64(0xFFFFFFFFFFFF), uint8(0xAA), uint8(0x55), uint8(0x01))
+	f.Fuzz(func(t *testing.T, raw uint64, m1, m2, forged uint8) {
+		for _, id := range AllSchemeIDs() {
+			if id == SchemeCompare {
+				continue // scheme 0 has no rights distinction by design
+			}
+			s, err := NewScheme(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			secret := s.PrepareSecret(raw & crypto.Mask48)
+			owner := s.Mint(Port(0xABC), 7, secret)
+			if got, err := s.Validate(owner, secret); err != nil || got != AllRights {
+				t.Fatalf("%v: owner validates to %v, %v", id, got, err)
+			}
+
+			// Chain two restrictions through the server path.
+			c1, err := s.Restrict(owner, Rights(m1), secret)
+			if err != nil {
+				t.Fatalf("%v: restrict: %v", id, err)
+			}
+			r1, err := s.Validate(c1, secret)
+			if err != nil {
+				t.Fatalf("%v: restricted cap does not validate: %v", id, err)
+			}
+			if r1&^Rights(m1) != 0 {
+				t.Fatalf("%v: restrict granted %v outside mask %v", id, r1, Rights(m1))
+			}
+			c2, err := s.Restrict(c1, Rights(m2), secret)
+			if err != nil {
+				t.Fatalf("%v: second restrict: %v", id, err)
+			}
+			r2, err := s.Validate(c2, secret)
+			if err != nil {
+				t.Fatalf("%v: twice-restricted cap does not validate: %v", id, err)
+			}
+			if r2&^r1 != 0 {
+				t.Fatalf("%v: restriction escalated %v beyond parent %v", id, r2, r1)
+			}
+
+			// Scheme 3's client-side restriction must obey the same law.
+			if s.CanRestrictLocally() {
+				l1, err := s.RestrictLocal(owner, Rights(m1))
+				if err != nil {
+					t.Fatalf("%v: local restrict: %v", id, err)
+				}
+				lr, err := s.Validate(l1, secret)
+				if err != nil {
+					t.Fatalf("%v: locally restricted cap does not validate: %v", id, err)
+				}
+				if lr&^Rights(m1) != 0 {
+					t.Fatalf("%v: local restrict granted %v outside mask %v", id, lr, Rights(m1))
+				}
+			}
+
+			// Flipping the rights field without the secret must fail:
+			// claiming MORE rights than the capability carries is
+			// forgery under every scheme.
+			tampered := c1
+			tampered.Rights = r1 | ^r1&Rights(forged)
+			if tampered.Rights != r1 {
+				if got, err := s.Validate(tampered, secret); err == nil && got&^r1 != 0 {
+					t.Fatalf("%v: tampered rights %v validated to %v (parent had %v)",
+						id, tampered.Rights, got, r1)
+				}
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"amoeba/internal/crypto"
+	"amoeba/internal/store"
 )
 
 // ErrNoSuchObject is returned when a capability names an object number
@@ -19,15 +20,21 @@ var ErrTableFull = errors.New("cap: object table full (2^24 objects)")
 // Table is the per-server object table of §2.3: for every live object
 // it stores the random number ("the server would then pick a random
 // number, store this number in its object table"). Servers embed one
-// Table and key their own object state by object number. Table is safe
-// for concurrent use.
+// Table and key their own object state by object number.
+//
+// Table is safe for concurrent use, and — since it sits on every
+// operation's hot path via Demand — the secrets live in a lock-striped
+// store.Map, so validations of independent objects do not contend.
+// Only the allocator (object-number assignment and the free list) is
+// behind a single small mutex, and it does no I/O.
 type Table struct {
 	scheme Scheme
 	server Port
 	src    crypto.Source
 
-	mu      sync.RWMutex
-	secrets map[uint32]uint64
+	secrets *store.Map[uint64]
+
+	allocMu sync.Mutex
 	next    uint32
 	free    []uint32 // destroyed object numbers available for reuse
 }
@@ -43,7 +50,7 @@ func NewTable(scheme Scheme, server Port, src crypto.Source) *Table {
 		scheme:  scheme,
 		server:  server & PortMask,
 		src:     src,
-		secrets: make(map[uint32]uint64),
+		secrets: store.New[uint64](0),
 	}
 }
 
@@ -54,23 +61,16 @@ func (t *Table) Scheme() Scheme { return t.scheme }
 func (t *Table) Server() Port { return t.server }
 
 // Len returns the number of live objects.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.secrets)
-}
+func (t *Table) Len() int { return t.secrets.Len() }
 
 // Create allocates a fresh object number, picks and stores its random
 // number, and mints the owner capability (all rights).
 func (t *Table) Create() (Capability, error) {
 	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	obj, err := t.allocLocked()
+	obj, err := t.alloc(secret)
 	if err != nil {
 		return Nil, err
 	}
-	t.secrets[obj] = secret
 	return t.scheme.Mint(t.server, obj, secret), nil
 }
 
@@ -83,26 +83,31 @@ func (t *Table) CreateObject(obj uint32) (Capability, error) {
 		return Nil, fmt.Errorf("cap: object number %d exceeds 24 bits", obj)
 	}
 	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, live := t.secrets[obj]; live {
+	if !t.secrets.PutIfAbsent(obj, secret) {
 		return Nil, fmt.Errorf("cap: object %d already live", obj)
 	}
-	t.secrets[obj] = secret
 	return t.scheme.Mint(t.server, obj, secret), nil
 }
 
-// allocLocked picks an unused 24-bit object number.
-func (t *Table) allocLocked() (uint32, error) {
-	if n := len(t.free); n > 0 {
+// alloc claims an unused 24-bit object number and installs the secret
+// under it in one atomic step (PutIfAbsent), so concurrent Create and
+// CreateObject calls can never claim the same number.
+func (t *Table) alloc(secret uint64) (uint32, error) {
+	t.allocMu.Lock()
+	defer t.allocMu.Unlock()
+	for n := len(t.free); n > 0; n = len(t.free) {
 		obj := t.free[n-1]
 		t.free = t.free[:n-1]
-		return obj, nil
+		// Free-list numbers are normally dead, but CreateObject may
+		// have re-claimed one explicitly; skip those.
+		if t.secrets.PutIfAbsent(obj, secret) {
+			return obj, nil
+		}
 	}
 	for tries := uint32(0); tries <= ObjectMask; tries++ {
 		obj := t.next & ObjectMask
 		t.next++
-		if _, live := t.secrets[obj]; !live {
+		if t.secrets.PutIfAbsent(obj, secret) {
 			return obj, nil
 		}
 	}
@@ -117,9 +122,7 @@ func (t *Table) Validate(c Capability) (Rights, error) {
 		return 0, fmt.Errorf("cap: capability for server %s presented to %s: %w",
 			c.Server, t.server, ErrInvalidCapability)
 	}
-	t.mu.RLock()
-	secret, ok := t.secrets[c.Object&ObjectMask]
-	t.mu.RUnlock()
+	secret, ok := t.secrets.Get(c.Object & ObjectMask)
 	if !ok {
 		return 0, fmt.Errorf("cap: object %d: %w", c.Object, ErrNoSuchObject)
 	}
@@ -153,9 +156,7 @@ func (t *Table) Restrict(c Capability, mask Rights) (Capability, error) {
 		return Nil, fmt.Errorf("cap: capability for server %s presented to %s: %w",
 			c.Server, t.server, ErrInvalidCapability)
 	}
-	t.mu.RLock()
-	secret, ok := t.secrets[c.Object&ObjectMask]
-	t.mu.RUnlock()
+	secret, ok := t.secrets.Get(c.Object & ObjectMask)
 	if !ok {
 		return Nil, fmt.Errorf("cap: object %d: %w", c.Object, ErrNoSuchObject)
 	}
@@ -172,13 +173,11 @@ func (t *Table) Revoke(c Capability) (Capability, error) {
 	}
 	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
 	obj := c.Object & ObjectMask
-	t.mu.Lock()
-	if _, live := t.secrets[obj]; !live {
-		t.mu.Unlock()
+	// Replace, not Put: a destroy that races the re-key must win, or
+	// the revoke would resurrect a dead object.
+	if !t.secrets.Replace(obj, secret) {
 		return Nil, fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
 	}
-	t.secrets[obj] = secret
-	t.mu.Unlock()
 	return t.scheme.Mint(t.server, obj, secret), nil
 }
 
@@ -188,15 +187,7 @@ func (t *Table) Destroy(c Capability) error {
 	if _, err := t.Demand(c, RightDestroy); err != nil {
 		return err
 	}
-	obj := c.Object & ObjectMask
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, live := t.secrets[obj]; !live {
-		return fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
-	}
-	delete(t.secrets, obj)
-	t.free = append(t.free, obj)
-	return nil
+	return t.DestroyObject(c.Object)
 }
 
 // DestroyObject removes an object by number without a capability
@@ -204,13 +195,12 @@ func (t *Table) Destroy(c Capability) error {
 // multiversion server discarding an aborted version).
 func (t *Table) DestroyObject(obj uint32) error {
 	obj &= ObjectMask
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, live := t.secrets[obj]; !live {
+	if _, ok := t.secrets.Delete(obj); !ok {
 		return fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
 	}
-	delete(t.secrets, obj)
+	t.allocMu.Lock()
 	t.free = append(t.free, obj)
+	t.allocMu.Unlock()
 	return nil
 }
 
@@ -219,21 +209,32 @@ func (t *Table) DestroyObject(obj uint32) error {
 // a previous life (a block server with a persistent disk needs this —
 // fresh random numbers would instantly revoke every stored block's
 // capability). The snapshot contains the secrets: protect it like the
-// objects themselves.
+// objects themselves. Entries created or destroyed concurrently with
+// the snapshot may or may not be included.
 func (t *Table) Snapshot() []byte {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	buf := make([]byte, 0, 12+len(t.secrets)*12)
+	t.allocMu.Lock()
+	next := t.next
+	t.allocMu.Unlock()
+	type entry struct {
+		obj    uint32
+		secret uint64
+	}
+	var entries []entry
+	t.secrets.Range(func(obj uint32, secret uint64) bool {
+		entries = append(entries, entry{obj, secret})
+		return true
+	})
+	buf := make([]byte, 0, 12+len(entries)*12)
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[0:], tableSnapMagic)
-	binary.BigEndian.PutUint32(hdr[4:], uint32(len(t.secrets)))
-	binary.BigEndian.PutUint32(hdr[8:], t.next)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(entries)))
+	binary.BigEndian.PutUint32(hdr[8:], next)
 	buf = append(buf, hdr[:]...)
-	for obj, secret := range t.secrets {
-		var e [12]byte
-		binary.BigEndian.PutUint32(e[0:], obj)
-		binary.BigEndian.PutUint64(e[4:], secret)
-		buf = append(buf, e[:]...)
+	for _, e := range entries {
+		var w [12]byte
+		binary.BigEndian.PutUint32(w[0:], e.obj)
+		binary.BigEndian.PutUint64(w[4:], e.secret)
+		buf = append(buf, w[:]...)
 	}
 	return buf
 }
@@ -242,7 +243,9 @@ const tableSnapMagic = 0xA0EB7AB1
 
 // Restore rebuilds the secrets from a Snapshot, replacing any current
 // contents. The scheme and server port must match the snapshotting
-// table's or restored capabilities will not validate.
+// table's or restored capabilities will not validate. Restore must run
+// before the table starts serving requests; it is not atomic against
+// concurrent operations.
 func (t *Table) Restore(data []byte) error {
 	if len(data) < 12 || binary.BigEndian.Uint32(data) != tableSnapMagic {
 		return errors.New("cap: not a table snapshot")
@@ -252,27 +255,19 @@ func (t *Table) Restore(data []byte) error {
 	if uint32(len(data)-12) != n*12 {
 		return fmt.Errorf("cap: snapshot truncated: %d entries, %d bytes", n, len(data))
 	}
-	secrets := make(map[uint32]uint64, n)
+	secrets := store.New[uint64](0)
 	for i := uint32(0); i < n; i++ {
 		e := data[12+i*12:]
-		secrets[binary.BigEndian.Uint32(e)] = binary.BigEndian.Uint64(e[4:])
+		secrets.Put(binary.BigEndian.Uint32(e), binary.BigEndian.Uint64(e[4:]))
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.allocMu.Lock()
 	t.secrets = secrets
 	t.next = next
 	t.free = nil
+	t.allocMu.Unlock()
 	return nil
 }
 
 // Objects returns the live object numbers (unordered). Servers use it
 // after Restore to rebuild their own per-object state indexes.
-func (t *Table) Objects() []uint32 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]uint32, 0, len(t.secrets))
-	for obj := range t.secrets {
-		out = append(out, obj)
-	}
-	return out
-}
+func (t *Table) Objects() []uint32 { return t.secrets.Keys() }

@@ -146,32 +146,48 @@ func (c *Client) options(opts []CallOption) callOptions {
 // remaining budget also rides in the request header so servers that
 // issue nested RPC inherit it (see Request.Budget).
 func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...CallOption) (Reply, error) {
+	rep, _, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) ([]byte, error) {
+		sealed, err := sealRequestCap(c.cfg.Sealer, req, machine)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: sealing capability: %w", err)
+		}
+		sealed.Budget = remainingBudget(ctx)
+		return EncodeRequest(sealed), nil
+	})
+	return rep, err
+}
+
+// transact is the engine under Trans and Batch: locate the server
+// machine, build the payload for it (sealing needs the destination
+// machine, so the payload is rebuilt per attempt), PUT, await the
+// reply, retry on timeout. It returns the machine that answered so
+// callers can open per-item sealed capabilities.
+func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, build func(amnet.MachineID) ([]byte, error)) (Reply, amnet.MachineID, error) {
 	o := c.options(opts)
 	var lastErr error
 	for attempt := 0; attempt <= o.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
-				return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w (last error: %v)", dest, attempt, err, lastErr)
+				return Reply{}, 0, fmt.Errorf("rpc: %v after %d attempts: %w (last error: %v)", dest, attempt, err, lastErr)
 			}
-			return Reply{}, fmt.Errorf("rpc: %v: %w", dest, err)
+			return Reply{}, 0, fmt.Errorf("rpc: %v: %w", dest, err)
 		}
 		if attempt > 0 && o.backoff > 0 {
 			if err := sleepCtx(ctx, o.backoff); err != nil {
-				return Reply{}, fmt.Errorf("rpc: %v: %w", dest, err)
+				return Reply{}, 0, fmt.Errorf("rpc: %v: %w", dest, err)
 			}
 		}
 		machine, err := c.res.Lookup(ctx, dest)
 		if err != nil {
-			return Reply{}, fmt.Errorf("rpc: locating %v: %w", dest, err)
+			return Reply{}, 0, fmt.Errorf("rpc: locating %v: %w", dest, err)
 		}
-		sealed, err := sealRequestCap(c.cfg.Sealer, req, machine)
+		payload, err := build(machine)
 		if err != nil {
-			return Reply{}, fmt.Errorf("rpc: sealing capability: %w", err)
+			return Reply{}, 0, err
 		}
-		sealed.Budget = remainingBudget(ctx)
-		rep, err := c.attempt(ctx, machine, dest, EncodeRequest(sealed), o)
+		rep, err := c.attempt(ctx, machine, dest, payload, o)
 		if err == nil {
-			return rep, nil
+			return rep, machine, nil
 		}
 		lastErr = err
 		if errors.Is(err, ErrTimeout) {
@@ -180,9 +196,78 @@ func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...
 			c.res.Invalidate(dest)
 			continue
 		}
-		return Reply{}, err
+		return Reply{}, 0, err
 	}
-	return Reply{}, fmt.Errorf("rpc: %v after %d attempts: %w", dest, o.retries+1, lastErr)
+	return Reply{}, 0, fmt.Errorf("rpc: %v after %d attempts: %w", dest, o.retries+1, lastErr)
+}
+
+// Batch performs several sub-requests in ONE transaction frame: the
+// requests are packed into an OpBatch message, the server fans them
+// out across its worker pool, and the replies come back together, in
+// order. A multi-object operation — the flat file server fetching
+// every block of a file — costs one network round trip instead of N.
+//
+// The whole frame shares one reply port, one timeout and one retry
+// budget: a retry re-sends (and the server re-executes) every
+// sub-request, so batches of non-idempotent operations carry the same
+// at-least-once caveat as single transactions. Per-sub-request
+// failures are reported in each Reply.Status; Batch itself returns an
+// error only for transport-level failures or a rejected batch frame.
+//
+// The packed payload must fit the network MTU; callers splitting bulk
+// work should size against MaxBatchBytes and MaxBatchItems.
+func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts ...CallOption) ([]Reply, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > MaxBatchItems {
+		return nil, fmt.Errorf("rpc: batch of %d requests exceeds %d", len(reqs), MaxBatchItems)
+	}
+	rep, machine, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) ([]byte, error) {
+		budget := remainingBudget(ctx)
+		items := make([][]byte, len(reqs))
+		size := 0
+		for i, r := range reqs {
+			sealed, err := sealRequestCap(c.cfg.Sealer, r, machine)
+			if err != nil {
+				return nil, fmt.Errorf("rpc: sealing batch item %d: %w", i, err)
+			}
+			sealed.Budget = budget
+			items[i] = EncodeRequest(sealed)
+			size += len(items[i])
+		}
+		if size > MaxBatchBytes {
+			return nil, fmt.Errorf("rpc: batch payload %d bytes exceeds %d", size, MaxBatchBytes)
+		}
+		outer := Request{Op: OpBatch, Data: EncodeBatchItems(items), Budget: budget}
+		return EncodeRequest(outer), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != StatusOK {
+		return nil, &StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	raw, err := DecodeBatchItems(rep.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != len(reqs) {
+		return nil, fmt.Errorf("%w: batch reply has %d items, want %d", ErrBadMessage, len(raw), len(reqs))
+	}
+	out := make([]Reply, len(raw))
+	for i, b := range raw {
+		sub, err := DecodeReply(b)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: batch reply item %d: %w", i, err)
+		}
+		sub, err = openReplyCap(c.cfg.Sealer, sub, machine)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: opening batch reply capability %d: %w", i, err)
+		}
+		out[i] = sub
+	}
+	return out, nil
 }
 
 // remainingBudget converts a context deadline into the wire budget: the

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"time"
 
+	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
 )
 
@@ -195,7 +196,71 @@ const (
 	OpValidate uint16 = 0xfff2
 	// OpEcho returns the request data unchanged (diagnostics, benches).
 	OpEcho uint16 = 0xfffe
+	// OpBatch packs several sub-requests into one transaction frame:
+	// data is count(2) followed by count length-prefixed encoded
+	// requests; the reply data is count(2) followed by count
+	// length-prefixed encoded replies in the same order. The server
+	// implements it natively (fanning the sub-requests out across its
+	// worker pool); Handle refuses to register it. Batches may not
+	// nest. See Client.Batch.
+	OpBatch uint16 = 0xfff3
 )
+
+// MaxBatchItems bounds the sub-requests in one batch (the wire count
+// is 16-bit; the practical bound is the network MTU anyway).
+const MaxBatchItems = 1 << 12
+
+// MaxBatchBytes is the largest total payload a batch should carry:
+// the network MTU less headroom for the outer request header and
+// per-item framing. Clients splitting bulk transfers into batches
+// (the flat file server's block fetches) size against it.
+const MaxBatchBytes = amnet.MTU - 1024
+
+// EncodeBatchItems packs length-prefixed items into a batch payload:
+// count(2) ∥ count × (len(4) ∥ item).
+func EncodeBatchItems(items [][]byte) []byte {
+	size := 2
+	for _, it := range items {
+		size += 4 + len(it)
+	}
+	buf := make([]byte, 0, size)
+	var cnt [2]byte
+	binary.BigEndian.PutUint16(cnt[:], uint16(len(items)))
+	buf = append(buf, cnt[:]...)
+	for _, it := range items {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(it)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, it...)
+	}
+	return buf
+}
+
+// DecodeBatchItems unpacks a batch payload into its items.
+func DecodeBatchItems(buf []byte) ([][]byte, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: batch of %d bytes", ErrBadMessage, len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	items := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("%w: batch item %d truncated", ErrBadMessage, i)
+		}
+		l := binary.BigEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < l {
+			return nil, fmt.Errorf("%w: batch item %d wants %d bytes, have %d", ErrBadMessage, i, l, len(buf))
+		}
+		items = append(items, buf[:l])
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadMessage, len(buf))
+	}
+	return items, nil
+}
 
 // Wire formats. Request: op(2) cap(16) budget(4, ms) dlen(4) data.
 // Reply: status(2) cap(16) dlen(4) data.

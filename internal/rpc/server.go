@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"amoeba/internal/amnet"
@@ -13,8 +14,10 @@ import (
 )
 
 // Handler processes one request and produces the reply. Handlers run
-// on their own goroutine, so a handler may itself perform RPC (the
-// flat file server does, for nested block-server transactions).
+// on a bounded worker pool, so a handler may itself perform RPC (the
+// flat file server does, for nested block-server transactions) — but a
+// handler must never send a request back to its *own* server, which
+// could starve the pool.
 //
 // The context is cancelled when the server shuts down, and carries a
 // deadline when the client's request arrived with a remaining-time
@@ -48,13 +51,39 @@ func WithoutDeadline(ctx context.Context) context.Context {
 	return context.WithoutCancel(ctx)
 }
 
+// ServerConfig tunes a Server. The zero value gets sensible defaults.
+type ServerConfig struct {
+	// Source supplies the secret get-port randomness (nil selects
+	// crypto/rand). Ignored when Port is set.
+	Source crypto.Source
+	// Port pins the secret get-port G (services that must reappear at
+	// a well-known put-port after a restart persist G and pass it
+	// here). Zero draws a fresh port from Source.
+	Port cap.Port
+	// MaxInflight bounds the number of concurrently executing
+	// handlers — the worker pool size (default GOMAXPROCS×4). When
+	// every worker is busy the dispatch loop stops pulling from the
+	// listener, the NIC queue fills, and excess load is shed at the
+	// wire instead of as unbounded goroutines. Clients see a timeout
+	// and retry, exactly as for a lost frame.
+	MaxInflight int
+}
+
+// DefaultMaxInflight returns the worker-pool size used when
+// ServerConfig.MaxInflight is zero.
+func DefaultMaxInflight() int { return 4 * runtime.GOMAXPROCS(0) }
+
 // Server is an Amoeba service process: it chooses a secret get-port G,
 // does GET(G) through its F-box, and dispatches arriving requests to
 // registered handlers. "Every server has one or more ports to which
 // client processes can send messages to contact the service" (§2.2).
+//
+// Dispatch is bounded: requests run on a pool of MaxInflight workers
+// with backpressure, not a goroutine per request.
 type Server struct {
-	fb  *fbox.FBox
-	get cap.Port
+	fb          *fbox.FBox
+	get         cap.Port
+	maxInflight int
 
 	mu       sync.Mutex
 	handlers map[uint16]Handler
@@ -65,28 +94,70 @@ type Server struct {
 	closed   bool
 	baseCtx  context.Context
 	cancel   context.CancelFunc
-	wg       sync.WaitGroup
+
+	// work hands requests to pool workers. It is unbuffered on
+	// purpose: a send succeeds only when a worker is actually free,
+	// which is what makes batch fan-out (trySubmit-or-inline)
+	// deadlock-free.
+	work    chan func()
+	stop    chan struct{}
+	tasks   sync.WaitGroup // accepted requests in flight
+	loopWG  sync.WaitGroup // the dispatch loop
+	workers sync.WaitGroup // pool workers
 }
 
 // NewServer creates a server with a fresh secret get-port drawn from
-// src (nil selects crypto/rand). The put-port P = F(G) is available
-// from PutPort for distribution to clients.
+// src (nil selects crypto/rand) and the default worker pool. The
+// put-port P = F(G) is available from PutPort for distribution to
+// clients.
 func NewServer(fb *fbox.FBox, src crypto.Source) *Server {
-	if src == nil {
-		src = crypto.SystemSource()
-	}
-	return &Server{
-		fb:       fb,
-		get:      cap.Port(crypto.Rand48(src)),
-		handlers: make(map[uint16]Handler),
-	}
+	return NewServerWithConfig(fb, ServerConfig{Source: src})
 }
 
 // NewServerWithPort creates a server listening on a specific secret
 // get-port (services that must reappear at a well-known put-port after
 // a restart persist G and pass it here).
 func NewServerWithPort(fb *fbox.FBox, g cap.Port) *Server {
-	return &Server{fb: fb, get: g, handlers: make(map[uint16]Handler)}
+	return NewServerWithConfig(fb, ServerConfig{Port: g})
+}
+
+// NewServerWithConfig creates a server with explicit tuning.
+func NewServerWithConfig(fb *fbox.FBox, cfg ServerConfig) *Server {
+	g := cfg.Port
+	if g == 0 {
+		src := cfg.Source
+		if src == nil {
+			src = crypto.SystemSource()
+		}
+		g = cap.Port(crypto.Rand48(src))
+	}
+	n := cfg.MaxInflight
+	if n <= 0 {
+		n = DefaultMaxInflight()
+	}
+	return &Server{
+		fb:          fb,
+		get:         g,
+		maxInflight: n,
+		handlers:    make(map[uint16]Handler),
+	}
+}
+
+// MaxInflight returns the worker-pool size.
+func (s *Server) MaxInflight() int { return s.maxInflight }
+
+// SetMaxInflight resizes the worker pool (n <= 0 keeps the current
+// size). Call before Start; like Handle and SetSealer it panics
+// afterwards.
+func (s *Server) SetMaxInflight(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("rpc: SetMaxInflight after Start")
+	}
+	if n > 0 {
+		s.maxInflight = n
+	}
 }
 
 // PutPort returns the public put-port P = F(G).
@@ -97,12 +168,16 @@ func (s *Server) PutPort() cap.Port { return s.fb.F(s.get) }
 func (s *Server) GetPort() cap.Port { return s.get }
 
 // Handle registers a handler for an opcode. It must be called before
-// Start; registering twice for one opcode panics (a wiring bug).
+// Start; registering twice for one opcode panics (a wiring bug), as
+// does registering the reserved OpBatch.
 func (s *Server) Handle(op uint16, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
 		panic("rpc: Handle after Start")
+	}
+	if op == OpBatch {
+		panic("rpc: OpBatch is reserved (the server implements it)")
 	}
 	if _, dup := s.handlers[op]; dup {
 		panic(fmt.Sprintf("rpc: duplicate handler for op %#04x", op))
@@ -171,6 +246,9 @@ func (s *Server) SetSealer(sealer CapSealer) {
 // its port for LOCATE broadcasts. The base context handed to every
 // handler is cancelled when Close is called, so in-flight handlers
 // (and any nested RPC they issue) shut down gracefully.
+//
+// Handlers and the sealer are frozen at Start (Handle and SetSealer
+// panic afterwards), so the dispatch path reads them without locking.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	if s.started {
@@ -189,26 +267,43 @@ func (s *Server) Start() error {
 	s.listener = l
 	s.started = true
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.work = make(chan func())
+	s.stop = make(chan struct{})
 	s.mu.Unlock()
 
-	s.wg.Add(1)
+	for i := 0; i < s.maxInflight; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.loopWG.Add(1)
 	go s.loop(l)
 	return nil
 }
 
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case fn := <-s.work:
+			fn()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
 func (s *Server) loop(l *fbox.Listener) {
-	defer s.wg.Done()
+	defer s.loopWG.Done()
+	s.mu.Lock()
+	sealer := s.sealer
+	base := s.baseCtx
+	s.mu.Unlock()
 	for m := range l.Recv() {
 		req, err := DecodeRequest(m.Payload)
 		if err != nil {
-			s.reply(m, ErrReply(StatusBadRequest, err.Error()))
+			s.reply(sealer, m, ErrReply(StatusBadRequest, err.Error()))
 			continue
 		}
-		s.mu.Lock()
-		h := s.handlers[req.Op]
-		sealer := s.sealer
-		base := s.baseCtx
-		s.mu.Unlock()
 		if sealer != nil {
 			// A failed Open yields a garbage capability rather than an
 			// error (wrong keys are indistinguishable from forgery);
@@ -216,39 +311,124 @@ func (s *Server) loop(l *fbox.Listener) {
 			// source machine.
 			req, err = openRequestCap(sealer, req, m.From)
 			if err != nil {
-				s.reply(m, ErrReply(StatusBadCapability, err.Error()))
+				s.reply(sealer, m, ErrReply(StatusBadCapability, err.Error()))
 				continue
 			}
 		}
-		if h == nil {
-			s.reply(m, ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", req.Op)))
+		if req.Op != OpBatch && s.handlers[req.Op] == nil {
+			s.reply(sealer, m, ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", req.Op)))
 			continue
 		}
-		s.wg.Add(1)
-		go func(m fbox.Received, req Request) {
-			defer s.wg.Done()
-			// The caller's remaining deadline budget (if any) bounds
-			// this handler and every nested RPC it issues; the base
-			// context stays reachable for WithoutDeadline cleanup.
-			ctx := base
-			if req.Budget > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(base, req.Budget)
-				defer cancel()
-			}
-			ctx = context.WithValue(ctx, baseCtxKey{}, base)
-			s.reply(m, h(ctx, Meta{From: m.From, Sig: m.Sig}, req))
-		}(m, req)
+		m, req := m, req
+		s.tasks.Add(1)
+		// Backpressure: when every worker is busy this send blocks,
+		// the listener queue and then the NIC queue fill, and excess
+		// load is shed at the wire — clients time out and retry.
+		s.work <- func() {
+			defer s.tasks.Done()
+			s.serve(base, sealer, m, req)
+		}
 	}
 }
 
-func (s *Server) reply(m fbox.Received, rep Reply) {
+// serve runs one accepted request on a pool worker.
+func (s *Server) serve(base context.Context, sealer CapSealer, m fbox.Received, req Request) {
+	// The caller's remaining deadline budget (if any) bounds this
+	// handler and every nested RPC it issues; the base context stays
+	// reachable for WithoutDeadline cleanup.
+	ctx := base
+	if req.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, req.Budget)
+		defer cancel()
+	}
+	ctx = context.WithValue(ctx, baseCtxKey{}, base)
+	md := Meta{From: m.From, Sig: m.Sig}
+	var rep Reply
+	if req.Op == OpBatch {
+		rep = s.serveBatch(ctx, sealer, md, req)
+	} else {
+		rep = s.handlers[req.Op](ctx, md, req)
+	}
+	s.reply(sealer, m, rep)
+}
+
+// serveBatch fans an OpBatch frame's sub-requests out across the
+// worker pool and packs the replies, preserving order. Sub-requests
+// run concurrently when workers are idle and inline on the batch's own
+// worker otherwise, so a pool saturated with batches still makes
+// progress (no nested-dispatch deadlock).
+func (s *Server) serveBatch(ctx context.Context, sealer CapSealer, md Meta, req Request) Reply {
+	raw, err := DecodeBatchItems(req.Data)
+	if err != nil {
+		return ErrReply(StatusBadRequest, err.Error())
+	}
+	subs := make([]Request, len(raw))
+	for i, b := range raw {
+		sub, err := DecodeRequest(b)
+		if err != nil {
+			return ErrReply(StatusBadRequest, fmt.Sprintf("batch item %d: %v", i, err))
+		}
+		if sub.Op == OpBatch {
+			return ErrReply(StatusBadRequest, "batch transactions may not nest")
+		}
+		if sealer != nil {
+			sub, err = openRequestCap(sealer, sub, md.From)
+			if err != nil {
+				return ErrReply(StatusBadCapability, fmt.Sprintf("batch item %d: %v", i, err))
+			}
+		}
+		subs[i] = sub
+	}
+	replies := make([]Reply, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		i := i
+		run := func() {
+			defer wg.Done()
+			h := s.handlers[subs[i].Op]
+			if h == nil {
+				replies[i] = ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", subs[i].Op))
+				return
+			}
+			replies[i] = h(ctx, md, subs[i])
+		}
+		wg.Add(1)
+		select {
+		case s.work <- run: // an idle worker took it
+		default:
+			run() // pool busy: the batch's own slot guarantees progress
+		}
+	}
+	wg.Wait()
+	items := make([][]byte, len(replies))
+	size := 0
+	for i, rep := range replies {
+		if sealer != nil {
+			sealed, err := sealReplyCap(sealer, rep, md.From)
+			if err != nil {
+				rep = ErrReply(StatusServerError, "sealing reply capability: "+err.Error())
+			} else {
+				rep = sealed
+			}
+		}
+		items[i] = EncodeReply(rep)
+		size += len(items[i])
+	}
+	// An over-MTU reply frame would be dropped by the wire and the
+	// client would retry (re-executing the batch) forever; fail loudly
+	// instead so the caller learns to chunk.
+	if size > MaxBatchBytes {
+		return ErrReply(StatusBadRequest,
+			fmt.Sprintf("batch reply of %d bytes exceeds %d; split the batch", size, MaxBatchBytes))
+	}
+	return OkReply(EncodeBatchItems(items))
+}
+
+func (s *Server) reply(sealer CapSealer, m fbox.Received, rep Reply) {
 	if m.Reply == 0 {
 		return // no reply requested
 	}
-	s.mu.Lock()
-	sealer := s.sealer
-	s.mu.Unlock()
 	if sealer != nil {
 		sealed, err := sealReplyCap(sealer, rep, m.From)
 		if err != nil {
@@ -262,8 +442,9 @@ func (s *Server) reply(m fbox.Received, rep Reply) {
 }
 
 // Close stops the dispatch loop, cancels the context handed to every
-// running handler, and waits for them to finish. It does not close the
-// F-box (several servers may share one machine).
+// running handler, waits for accepted requests to finish, and retires
+// the worker pool. It does not close the F-box (several servers may
+// share one machine).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -273,6 +454,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	l := s.listener
 	cancel := s.cancel
+	stop := s.stop
 	s.mu.Unlock()
 	if l != nil {
 		l.Close()
@@ -280,6 +462,11 @@ func (s *Server) Close() error {
 	if cancel != nil {
 		cancel()
 	}
-	s.wg.Wait()
+	s.loopWG.Wait() // drains any remaining queued messages to workers
+	s.tasks.Wait()  // every accepted request has replied
+	if stop != nil {
+		close(stop)
+	}
+	s.workers.Wait()
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
+	"amoeba/internal/store"
 )
 
 // Operation codes.
@@ -77,18 +78,28 @@ type Config struct {
 }
 
 type account struct {
+	mu sync.Mutex
+	// dead marks an account destroyed between a map lookup and the
+	// lock acquisition; operations that find it fail as if the lookup
+	// had missed.
+	dead     bool
 	balances map[string]int64
 }
 
-// Server is a bank server instance.
+// Server is a bank server instance. Accounts live in a lock-striped
+// map with a lock per account, so transfers between disjoint account
+// pairs run in parallel; a transfer locks its two accounts in object-
+// number order (no deadlock), and only the treasury keeps a global
+// lock — it is touched only by account creation and destruction.
 type Server struct {
 	rpc   *rpc.Server
 	table *cap.Table
 	cfg   Config
 
-	mu       sync.Mutex
-	treasury map[string]int64
-	accounts map[uint32]*account
+	treasuryMu sync.Mutex
+	treasury   map[string]int64
+
+	accounts *store.Map[*account]
 }
 
 // New builds a bank server. Call Start to begin serving.
@@ -100,7 +111,7 @@ func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config) *Serve
 	s := &Server{
 		cfg:      cfg,
 		treasury: treasury,
-		accounts: make(map[uint32]*account),
+		accounts: store.New[*account](0),
 	}
 	s.rpc = rpc.NewServer(fb, src)
 	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
@@ -144,19 +155,23 @@ func (s *Server) createAccount(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	if amount < 0 {
 		return rpc.ErrReply(rpc.StatusBadRequest, "negative initial grant")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.cfg.MintingAllowed {
+		s.treasuryMu.Lock()
 		if s.treasury[currency] < amount {
+			have := s.treasury[currency]
+			s.treasuryMu.Unlock()
 			return rpc.ErrReply(rpc.StatusServerError,
-				fmt.Sprintf("treasury has %d %s, grant wants %d", s.treasury[currency], currency, amount))
+				fmt.Sprintf("treasury has %d %s, grant wants %d", have, currency, amount))
 		}
 		s.treasury[currency] -= amount
+		s.treasuryMu.Unlock()
 	}
 	c, err := s.table.Create()
 	if err != nil {
 		if !s.cfg.MintingAllowed {
+			s.treasuryMu.Lock()
 			s.treasury[currency] += amount // roll the debit back
+			s.treasuryMu.Unlock()
 		}
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -164,28 +179,37 @@ func (s *Server) createAccount(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	if amount > 0 {
 		acct.balances[currency] = amount
 	}
-	s.accounts[c.Object] = acct
+	s.accounts.Put(c.Object, acct)
 	return rpc.CapReply(c)
 }
 
-// acctLocked fetches an account; callers hold s.mu.
-func (s *Server) acctLocked(obj uint32) (*account, error) {
-	a := s.accounts[obj]
-	if a == nil {
+// acct fetches a live account. The caller locks it before use and
+// must re-check the dead flag under the lock.
+func (s *Server) acct(obj uint32) (*account, error) {
+	a, ok := s.accounts.Get(obj)
+	if !ok {
 		return nil, fmt.Errorf("banksvr: object %d: %w", obj, cap.ErrNoSuchObject)
 	}
 	return a, nil
+}
+
+// errDead is the lookup-raced-with-destroy error.
+func errDead(obj uint32) rpc.Reply {
+	return rpc.ErrReplyFromErr(fmt.Errorf("banksvr: object %d: %w", obj, cap.ErrNoSuchObject))
 }
 
 func (s *Server) balance(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if _, err := s.table.Demand(req.Cap, cap.RightRead); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.acctLocked(req.Cap.Object)
+	a, err := s.acct(req.Cap.Object)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dead {
+		return errDead(req.Cap.Object)
 	}
 	currencies := make([]string, 0, len(a.balances))
 	for c := range a.balances {
@@ -235,15 +259,30 @@ func (s *Server) transfer(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 	if dest.Object == req.Cap.Object {
 		return rpc.ErrReply(rpc.StatusBadRequest, "transfer to self")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	from, err := s.acctLocked(req.Cap.Object)
+	from, err := s.acct(req.Cap.Object)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	to, err := s.acctLocked(dest.Object)
+	to, err := s.acct(dest.Object)
 	if err != nil {
 		return rpc.ErrReplyFromErr(fmt.Errorf("destination: %w", err))
+	}
+	// Lock both accounts in object-number order so concurrent
+	// transfers over the same pair (in either direction) cannot
+	// deadlock.
+	first, second := from, to
+	if dest.Object < req.Cap.Object {
+		first, second = to, from
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if from.dead {
+		return errDead(req.Cap.Object)
+	}
+	if to.dead {
+		return rpc.ErrReplyFromErr(fmt.Errorf("destination: banksvr: object %d: %w", dest.Object, cap.ErrNoSuchObject))
 	}
 	if from.balances[currency] < amount {
 		return rpc.ErrReply(rpc.StatusServerError,
@@ -279,11 +318,14 @@ func (s *Server) convert(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Rep
 			fmt.Sprintf("%s is not convertible to %s", fromCur, toCur))
 	}
 	out := int64(uint64(amount) * rate.Num / rate.Den)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.acctLocked(req.Cap.Object)
+	a, err := s.acct(req.Cap.Object)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dead {
+		return errDead(req.Cap.Object)
 	}
 	if a.balances[fromCur] < amount {
 		return rpc.ErrReply(rpc.StatusServerError,
@@ -298,19 +340,36 @@ func (s *Server) destroyAccount(_ context.Context, _ rpc.Meta, req rpc.Request) 
 	if _, err := s.table.Demand(req.Cap, cap.RightDestroy); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.acctLocked(req.Cap.Object)
+	a, err := s.acct(req.Cap.Object)
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
-		return rpc.ErrReplyFromErr(err)
+	a.mu.Lock()
+	if a.dead {
+		a.mu.Unlock()
+		return errDead(req.Cap.Object)
 	}
-	for c, v := range a.balances {
+	// Once dead is set (under the account lock), racing transfers
+	// fail cleanly and no deposit can slip in after the balance
+	// snapshot below.
+	a.dead = true
+	remaining := a.balances
+	a.balances = nil
+	a.mu.Unlock()
+	// Setting dead above elected THE destroyer. The account leaves the
+	// map before the table frees the number (a delete after Destroy
+	// could clobber a new account that reused it), and the winner
+	// retires the (already Demand-checked) table entry by number, so a
+	// concurrent revoke cannot leave an orphaned entry behind.
+	s.accounts.Delete(req.Cap.Object)
+	s.treasuryMu.Lock()
+	for c, v := range remaining {
 		s.treasury[c] += v
 	}
-	delete(s.accounts, req.Cap.Object)
+	s.treasuryMu.Unlock()
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.OkReply(nil)
 }
 
@@ -334,3 +393,7 @@ func takeCurrency(data []byte) (string, []byte, error) {
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).
 func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
@@ -45,15 +46,27 @@ var errDiskFull = fmt.Errorf("blocksvr: disk full")
 // Server is a block server instance over one virtual disk. Block
 // capabilities use the block number as the object number, so the
 // object table and the allocation bitmap stay aligned.
+//
+// Locking discipline: the data path takes NO server-wide lock — the
+// capability check goes through the lock-striped table, liveness is an
+// atomic load, and each block has its own mutex held across its vdisk
+// I/O. Per-block locks mean disk operations on *different* blocks
+// always overlap, while free/write races on the *same* block are
+// serialized (a write that passed validation can never land on a
+// block after it has been freed, zeroed and reallocated). Only the
+// allocator (bitmap scan, free count, cursor) takes allocMu, and it
+// is pure in-memory work.
 type Server struct {
 	rpc   *rpc.Server
 	table *cap.Table
 	disk  vdisk.Store
 
-	mu    sync.Mutex
-	used  []bool
-	nfree uint32
-	next  uint32 // allocation cursor
+	used  []atomic.Bool // liveness per block; mutated under allocMu/block lock
+	locks []sync.Mutex  // per-block I/O locks
+
+	allocMu sync.Mutex
+	nfree   uint32
+	next    uint32 // allocation cursor
 }
 
 // New builds a block server over disk. Call Start to begin serving.
@@ -75,7 +88,8 @@ func build(server *rpc.Server, scheme cap.Scheme, src crypto.Source, disk vdisk.
 	}
 	s := &Server{
 		disk:  disk,
-		used:  make([]bool, disk.NBlocks()),
+		used:  make([]atomic.Bool, disk.NBlocks()),
+		locks: make([]sync.Mutex, disk.NBlocks()),
 		nfree: disk.NBlocks(),
 	}
 	s.rpc = server
@@ -102,51 +116,50 @@ func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
 func (s *Server) Table() *cap.Table { return s.table }
 
 func (s *Server) alloc(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
-	s.mu.Lock()
+	s.allocMu.Lock()
 	if s.nfree == 0 {
-		s.mu.Unlock()
+		s.allocMu.Unlock()
 		return rpc.ErrReplyFromErr(errDiskFull)
 	}
 	var block uint32
 	found := false
 	for i := uint32(0); i < s.disk.NBlocks(); i++ {
 		b := (s.next + i) % s.disk.NBlocks()
-		if !s.used[b] {
+		if !s.used[b].Load() {
 			block = b
 			found = true
 			break
 		}
 	}
 	if !found { // nfree said otherwise; internal inconsistency
-		s.mu.Unlock()
+		s.allocMu.Unlock()
 		return rpc.ErrReplyFromErr(errDiskFull)
 	}
-	s.used[block] = true
+	s.used[block].Store(true)
 	s.nfree--
 	s.next = block + 1
-	s.mu.Unlock()
+	s.allocMu.Unlock()
 
 	c, err := s.table.CreateObject(block)
 	if err != nil {
-		s.mu.Lock()
-		s.used[block] = false
+		s.allocMu.Lock()
+		s.used[block].Store(false)
 		s.nfree++
-		s.mu.Unlock()
+		s.allocMu.Unlock()
 		return rpc.ErrReplyFromErr(err)
 	}
 	return rpc.CapReply(c)
 }
 
 // demandBlock validates the capability and checks the block is live.
+// It takes no lock beyond the table lookup: liveness is an atomic
+// load, so the data path never serializes behind the allocator.
 func (s *Server) demandBlock(c cap.Capability, need cap.Rights) (uint32, error) {
 	if _, err := s.table.Demand(c, need); err != nil {
 		return 0, err
 	}
 	block := c.Object
-	s.mu.Lock()
-	live := block < uint32(len(s.used)) && s.used[block]
-	s.mu.Unlock()
-	if !live {
+	if block >= uint32(len(s.used)) || !s.used[block].Load() {
 		return 0, fmt.Errorf("blocksvr: block %d not allocated: %w", block, cap.ErrNoSuchObject)
 	}
 	return block, nil
@@ -155,6 +168,15 @@ func (s *Server) demandBlock(c cap.Capability, need cap.Rights) (uint32, error) 
 func (s *Server) read(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	block, err := s.demandBlock(req.Cap, cap.RightRead)
 	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
+	s.locks[block].Lock()
+	defer s.locks[block].Unlock()
+	// Re-VALIDATE under the block lock, not just re-check liveness: if
+	// a free won the race and the block was reallocated, the new owner
+	// has a fresh secret, so a stale capability fails here (an ABA the
+	// used flag alone cannot see).
+	if _, err := s.demandBlock(req.Cap, cap.RightRead); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
 	data, err := s.disk.Read(block)
@@ -175,6 +197,12 @@ func (s *Server) write(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply
 	}
 	buf := make([]byte, s.disk.BlockSize())
 	copy(buf, req.Data)
+	s.locks[block].Lock()
+	defer s.locks[block].Unlock()
+	// See read: re-validate, don't just re-check the reusable flag.
+	if _, err := s.demandBlock(req.Cap, cap.RightWrite); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	if err := s.disk.Write(block, buf); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -186,6 +214,12 @@ func (s *Server) free(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply 
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
+	// The block lock spans the table destroy, the zeroing and the
+	// bitmap release: an in-flight read/write that already validated
+	// waits here and then fails its liveness re-check, so no I/O can
+	// land on the block once it is reallocated.
+	s.locks[block].Lock()
+	defer s.locks[block].Unlock()
 	if err := s.table.Destroy(req.Cap); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -194,17 +228,17 @@ func (s *Server) free(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply 
 	if err := s.disk.Zero(block); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	s.used[block] = false
+	s.allocMu.Lock()
+	s.used[block].Store(false)
 	s.nfree++
-	s.mu.Unlock()
+	s.allocMu.Unlock()
 	return rpc.OkReply(nil)
 }
 
 func (s *Server) stat(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
-	s.mu.Lock()
+	s.allocMu.Lock()
 	nfree := s.nfree
-	s.mu.Unlock()
+	s.allocMu.Unlock()
 	out := make([]byte, 12)
 	binary.BigEndian.PutUint32(out[0:], uint32(s.disk.BlockSize()))
 	binary.BigEndian.PutUint32(out[4:], s.disk.NBlocks())
@@ -216,6 +250,13 @@ func (s *Server) stat(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 type Client struct {
 	c    *rpc.Client
 	port cap.Port
+
+	// bsize caches the disk block size (learned from Stat on first
+	// use) for sizing batch transactions against the MTU. The fast
+	// path is a lock-free load; bsizeMu only serializes the one-time
+	// probe so concurrent first users issue a single Stat.
+	bsize   atomic.Int64
+	bsizeMu sync.Mutex
 }
 
 // NewClient builds a client speaking to the block server at port.
@@ -271,9 +312,186 @@ func (b *Client) Stat(ctx context.Context) (blockSize, nblocks, nfree uint32, er
 	if len(rep.Data) != 12 {
 		return 0, 0, 0, fmt.Errorf("blocksvr: stat reply %d bytes", len(rep.Data))
 	}
-	return binary.BigEndian.Uint32(rep.Data[0:]),
+	bs := binary.BigEndian.Uint32(rep.Data[0:])
+	if bs > 0 {
+		b.bsize.Store(int64(bs)) // feed the batch-sizing cache for free
+	}
+	return bs,
 		binary.BigEndian.Uint32(rep.Data[4:]),
 		binary.BigEndian.Uint32(rep.Data[8:]), nil
+}
+
+// batchItemOverhead is a conservative per-item wire overhead for
+// sizing batch transactions: request header, reply header and the
+// batch length prefixes.
+const batchItemOverhead = 64
+
+// batchBlockSize returns the disk block size, probing Stat once and
+// caching the answer.
+func (b *Client) batchBlockSize(ctx context.Context) (int, error) {
+	if bs := b.bsize.Load(); bs != 0 {
+		return int(bs), nil
+	}
+	b.bsizeMu.Lock()
+	defer b.bsizeMu.Unlock()
+	if bs := b.bsize.Load(); bs != 0 { // lost the probe race: done
+		return int(bs), nil
+	}
+	bs, _, _, err := b.Stat(ctx)
+	if err != nil {
+		return 0, err
+	}
+	b.bsize.Store(int64(bs))
+	return int(bs), nil
+}
+
+// chunk splits n items into runs of at most per (per >= 1), calling fn
+// with each [lo, hi) range and stopping on the first error.
+func chunk(n, per int, fn func(lo, hi int) error) error {
+	if per < 1 {
+		per = 1
+	}
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBatch reads many blocks in as few transactions as possible: the
+// block capabilities are packed into OpBatch frames sized against the
+// network MTU, the server fans the reads out across its worker pool,
+// and the contents come back in order — one round trip where a loop
+// over Read would take N. Any failed sub-read fails the whole call.
+func (b *Client) ReadBatch(ctx context.Context, blks []cap.Capability, opts ...rpc.CallOption) ([][]byte, error) {
+	if len(blks) == 0 {
+		return nil, nil
+	}
+	bsize, err := b.batchBlockSize(ctx)
+	if err != nil {
+		return nil, err
+	}
+	per := rpc.MaxBatchBytes / (bsize + batchItemOverhead)
+	out := make([][]byte, 0, len(blks))
+	err = chunk(len(blks), per, func(lo, hi int) error {
+		reqs := make([]rpc.Request, hi-lo)
+		for i, c := range blks[lo:hi] {
+			reqs[i] = rpc.Request{Cap: c, Op: OpRead}
+		}
+		reps, err := b.c.Batch(ctx, b.port, reqs, opts...)
+		if err != nil {
+			return err
+		}
+		for i, rep := range reps {
+			if rep.Status != rpc.StatusOK {
+				return fmt.Errorf("blocksvr: batch read item %d: %w", lo+i,
+					&rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)})
+			}
+			out = append(out, rep.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBatch writes many blocks in as few transactions as possible
+// (see ReadBatch). data[i] replaces the block named by blks[i],
+// zero-padded to the block size. Any failed sub-write fails the whole
+// call; earlier sub-writes in the same frame may have been applied
+// (batches are not transactionally atomic, matching the paper's
+// individual operations).
+func (b *Client) WriteBatch(ctx context.Context, blks []cap.Capability, data [][]byte, opts ...rpc.CallOption) error {
+	if len(blks) != len(data) {
+		return fmt.Errorf("blocksvr: WriteBatch: %d capabilities, %d payloads", len(blks), len(data))
+	}
+	if len(blks) == 0 {
+		return nil
+	}
+	bsize, err := b.batchBlockSize(ctx)
+	if err != nil {
+		return err
+	}
+	per := rpc.MaxBatchBytes / (bsize + batchItemOverhead)
+	return chunk(len(blks), per, func(lo, hi int) error {
+		reqs := make([]rpc.Request, hi-lo)
+		for i := range reqs {
+			reqs[i] = rpc.Request{Cap: blks[lo+i], Op: OpWrite, Data: data[lo+i]}
+		}
+		reps, err := b.c.Batch(ctx, b.port, reqs, opts...)
+		if err != nil {
+			return err
+		}
+		for i, rep := range reps {
+			if rep.Status != rpc.StatusOK {
+				return fmt.Errorf("blocksvr: batch write item %d: %w", lo+i,
+					&rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)})
+			}
+		}
+		return nil
+	})
+}
+
+// AllocBatch allocates n blocks in as few transactions as possible,
+// returning their capabilities. On a partial failure the blocks
+// already allocated are returned along with the error so the caller
+// can free them.
+func (b *Client) AllocBatch(ctx context.Context, n int, opts ...rpc.CallOption) ([]cap.Capability, error) {
+	out := make([]cap.Capability, 0, n)
+	err := chunk(n, 1024, func(lo, hi int) error {
+		reqs := make([]rpc.Request, hi-lo)
+		for i := range reqs {
+			reqs[i] = rpc.Request{Op: OpAlloc}
+		}
+		reps, err := b.c.Batch(ctx, b.port, reqs, opts...)
+		if err != nil {
+			return err
+		}
+		for i, rep := range reps {
+			if rep.Status != rpc.StatusOK {
+				return fmt.Errorf("blocksvr: batch alloc item %d: %w", lo+i,
+					&rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)})
+			}
+			out = append(out, rep.Cap)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// FreeBatch deallocates many blocks in as few transactions as
+// possible. It keeps going past per-block failures (a destroy sweep
+// wants every block it can release gone) and returns the first error.
+func (b *Client) FreeBatch(ctx context.Context, blks []cap.Capability, opts ...rpc.CallOption) error {
+	var firstErr error
+	_ = chunk(len(blks), 1024, func(lo, hi int) error {
+		reqs := make([]rpc.Request, hi-lo)
+		for i := range reqs {
+			reqs[i] = rpc.Request{Cap: blks[lo+i], Op: OpFree}
+		}
+		reps, err := b.c.Batch(ctx, b.port, reqs, opts...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return nil // keep freeing the rest
+		}
+		for i, rep := range reps {
+			if rep.Status != rpc.StatusOK && firstErr == nil {
+				firstErr = fmt.Errorf("blocksvr: batch free item %d: %w", lo+i,
+					&rpc.StatusError{Status: rep.Status, Detail: string(rep.Data)})
+			}
+		}
+		return nil
+	})
+	return firstErr
 }
 
 // Restrict fabricates a weaker capability via the server.
@@ -299,20 +517,24 @@ func (s *Server) RestoreState(snap []byte) error {
 	if err := s.table.Restore(snap); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
 	for i := range s.used {
-		s.used[i] = false
+		s.used[i].Store(false)
 	}
 	s.nfree = s.disk.NBlocks()
 	for _, obj := range s.table.Objects() {
 		if obj >= s.disk.NBlocks() {
 			return fmt.Errorf("blocksvr: snapshot names block %d beyond disk (%d blocks)", obj, s.disk.NBlocks())
 		}
-		if !s.used[obj] {
-			s.used[obj] = true
+		if !s.used[obj].Load() {
+			s.used[obj].Store(true)
 			s.nfree--
 		}
 	}
 	return nil
 }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -25,6 +25,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
+	"amoeba/internal/store"
 )
 
 // Operation codes.
@@ -55,18 +56,19 @@ type directory struct {
 	entries map[string]cap.Capability
 }
 
-// Server is a directory server instance.
+// Server is a directory server instance. The directory index is a
+// lock-striped map keyed by object number; each directory carries its
+// own lock, so lookups in unrelated directories never contend.
 type Server struct {
 	rpc   *rpc.Server
 	table *cap.Table
 
-	mu   sync.RWMutex
-	dirs map[uint32]*directory
+	dirs *store.Map[*directory]
 }
 
 // New builds a directory server. Call Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
-	s := &Server{dirs: make(map[uint32]*directory)}
+	s := &Server{dirs: store.New[*directory](0)}
 	s.rpc = rpc.NewServer(fb, src)
 	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
 	s.rpc.ServeTable(s.table)
@@ -96,9 +98,7 @@ func (s *Server) createDir(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Rep
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	s.dirs[c.Object] = &directory{entries: make(map[string]cap.Capability)}
-	s.mu.Unlock()
+	s.dirs.Put(c.Object, &directory{entries: make(map[string]cap.Capability)})
 	return rpc.CapReply(c)
 }
 
@@ -106,10 +106,8 @@ func (s *Server) dir(c cap.Capability, need cap.Rights) (*directory, error) {
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	d := s.dirs[c.Object]
-	s.mu.RUnlock()
-	if d == nil {
+	d, ok := s.dirs.Get(c.Object)
+	if !ok {
 		return nil, fmt.Errorf("dirsvr: object %d: %w", c.Object, cap.ErrNoSuchObject)
 	}
 	return d, nil
@@ -227,15 +225,23 @@ func (s *Server) destroyDir(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 	if n != 0 {
 		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("directory not empty (%d entries)", n))
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
+	// Winning the state delete elects THE destroyer: state leaves the
+	// map before the number can be reused, and only the winner retires
+	// the (already Demand-checked) table entry — by number, so a
+	// concurrent revoke cannot leave an orphaned entry behind.
+	if _, ok := s.dirs.Delete(req.Cap.Object); !ok {
+		return rpc.ErrReplyFromErr(fmt.Errorf("dirsvr: object %d: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.dirs, req.Cap.Object)
-	s.mu.Unlock()
 	return rpc.OkReply(nil)
 }
 
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).
 func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -1,0 +1,64 @@
+package dirsvr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/servertest"
+)
+
+// TestSoakConcurrentClients hammers the directory server with 64
+// concurrent client machines sharing one root directory (per-client
+// entry names) while churning private directories. Run under -race.
+func TestSoakConcurrentClients(t *testing.T) {
+	ctx := context.Background()
+	r := servertest.New(t, 0xD14C)
+	s := newServer(t, r)
+	root, err := NewClient(r.Client).CreateDir(ctx, s.PutPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Soak(t, servertest.SoakClients, 5, func(ctx context.Context, c *rpc.Client, g, i int) error {
+		dc := NewClient(c)
+		sub, err := dc.CreateDir(ctx, s.PutPort())
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("c%d-i%d", g, i)
+		if err := dc.Enter(ctx, root, name, sub); err != nil {
+			return err
+		}
+		got, err := dc.Lookup(ctx, root, name)
+		if err != nil {
+			return err
+		}
+		if got != sub {
+			return fmt.Errorf("lookup %q returned a different capability", name)
+		}
+		// Entries inside the private directory exercise per-directory
+		// locks without cross-client contention.
+		if err := dc.Enter(ctx, sub, "self", sub); err != nil {
+			return err
+		}
+		if _, err := dc.List(ctx, root); err != nil {
+			return err
+		}
+		if err := dc.Remove(ctx, root, name); err != nil {
+			return err
+		}
+		if err := dc.Remove(ctx, sub, "self"); err != nil {
+			return err
+		}
+		return dc.DestroyDir(ctx, sub)
+	})
+	// The root must be empty again: every client removed its entries.
+	entries, err := NewClient(r.Client).List(ctx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("root has %d leftover entries", len(entries))
+	}
+}

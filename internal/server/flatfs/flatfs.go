@@ -23,6 +23,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/blocksvr"
+	"amoeba/internal/store"
 )
 
 // Operation codes.
@@ -57,15 +58,18 @@ type file struct {
 	blocks []cap.Capability
 }
 
-// Server is a flat file server instance.
+// Server is a flat file server instance. The file index is a
+// lock-striped map keyed by object number with a lock per file, so
+// operations on different files proceed in parallel; block transfers
+// to the block server ride OpBatch frames, so a spanning read or
+// write costs one nested round trip instead of one per block.
 type Server struct {
 	rpc    *rpc.Server
 	table  *cap.Table
 	blocks *blocksvr.Client
 	bsize  uint64
 
-	mu    sync.RWMutex
-	files map[uint32]*file
+	files *store.Map[*file]
 }
 
 // New builds a flat file server storing data via blocks, whose block
@@ -79,7 +83,7 @@ func New(ctx context.Context, fb *fbox.FBox, scheme cap.Scheme, src crypto.Sourc
 	s := &Server{
 		blocks: blocks,
 		bsize:  uint64(bs),
-		files:  make(map[uint32]*file),
+		files:  store.New[*file](0),
 	}
 	s.rpc = rpc.NewServer(fb, src)
 	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
@@ -110,9 +114,7 @@ func (s *Server) create(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply 
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	s.files[c.Object] = &file{}
-	s.mu.Unlock()
+	s.files.Put(c.Object, &file{})
 	return rpc.CapReply(c)
 }
 
@@ -120,10 +122,8 @@ func (s *Server) lookup(c cap.Capability, need cap.Rights) (*file, error) {
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	f := s.files[c.Object]
-	s.mu.RUnlock()
-	if f == nil {
+	f, ok := s.files.Get(c.Object)
+	if !ok {
 		return nil, fmt.Errorf("flatfs: object %d: %w", c.Object, cap.ErrNoSuchObject)
 	}
 	return f, nil
@@ -134,25 +134,27 @@ func (s *Server) destroy(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.R
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
+	// Winning the state delete elects THE destroyer: state leaves the
+	// map before the number can be reused, and only the winner retires
+	// the (already Demand-checked) table entry — by number, so a
+	// concurrent revoke cannot leave an orphaned entry behind.
+	if _, ok := s.files.Delete(req.Cap.Object); !ok {
+		return rpc.ErrReplyFromErr(fmt.Errorf("flatfs: object %d: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.files, req.Cap.Object)
-	s.mu.Unlock()
 	f.mu.Lock()
 	blocks := f.blocks
 	f.blocks = nil
 	f.size = 0
 	f.mu.Unlock()
-	// Free the data blocks; best effort (an unreachable block server
-	// leaves orphans, the 1986 answer being a scavenger pass). The file
-	// object is already gone, so this cleanup must not be cut short by
-	// the caller's deadline — but it still aborts on server shutdown.
-	cleanup := rpc.WithoutDeadline(ctx)
-	for _, b := range blocks {
-		_ = s.blocks.Free(cleanup, b)
-	}
+	// Free the data blocks in batched frames; best effort (an
+	// unreachable block server leaves orphans, the 1986 answer being a
+	// scavenger pass). The file object is already gone, so this
+	// cleanup must not be cut short by the caller's deadline — but it
+	// still aborts on server shutdown.
+	_ = s.blocks.FreeBatch(rpc.WithoutDeadline(ctx), blocks)
 	return rpc.OkReply(nil)
 }
 
@@ -175,23 +177,62 @@ func (s *Server) write(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Rep
 	if err := s.growLocked(ctx, f, end); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	// Read-modify-write each spanned block.
-	for off := pos; off < end; {
-		bi := off / s.bsize
-		bo := off % s.bsize
-		n := s.bsize - bo
-		if n > end-off {
-			n = end - off
+	// An empty write only extends the file (possibly growing it) —
+	// there is no span to rewrite.
+	if len(payload) == 0 {
+		if end > f.size {
+			f.size = end
 		}
-		blk, err := s.blocks.Read(ctx, f.blocks[bi])
+		return rpc.OkReply(nil)
+	}
+	// Read-modify-write, batched: only boundary blocks the payload
+	// covers partially need their current contents fetched; interior
+	// blocks are fully overwritten. All reads ride one batch frame,
+	// then all writes ride another — two nested round trips for the
+	// whole span instead of two per block.
+	first := pos / s.bsize
+	last := (end - 1) / s.bsize
+	var partial []cap.Capability
+	var partialIdx []uint64
+	for bi := first; bi <= last; bi++ {
+		bstart := bi * s.bsize
+		if pos > bstart || end < bstart+s.bsize {
+			partial = append(partial, f.blocks[bi])
+			partialIdx = append(partialIdx, bi)
+		}
+	}
+	old := make(map[uint64][]byte, len(partial))
+	if len(partial) > 0 {
+		blks, err := s.blocks.ReadBatch(ctx, partial)
 		if err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
-		copy(blk[bo:bo+n], payload[off-pos:])
-		if err := s.blocks.Write(ctx, f.blocks[bi], blk); err != nil {
-			return rpc.ErrReplyFromErr(err)
+		for i, bi := range partialIdx {
+			old[bi] = blks[i]
 		}
-		off += n
+	}
+	caps := make([]cap.Capability, 0, last-first+1)
+	images := make([][]byte, 0, last-first+1)
+	for bi := first; bi <= last; bi++ {
+		blk := old[bi]
+		if blk == nil {
+			blk = make([]byte, s.bsize)
+		}
+		bstart := bi * s.bsize
+		lo := uint64(0)
+		if pos > bstart {
+			lo = pos - bstart
+		}
+		hi := s.bsize
+		if end < bstart+s.bsize {
+			hi = end - bstart
+		}
+		copy(blk[lo:hi], payload[bstart+lo-pos:])
+		caps = append(caps, f.blocks[bi])
+		images = append(images, blk)
+	}
+	if err := s.blocks.WriteBatch(ctx, caps, images); err != nil {
+		return rpc.ErrReplyFromErr(err)
 	}
 	if end > f.size {
 		f.size = end
@@ -199,15 +240,18 @@ func (s *Server) write(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Rep
 	return rpc.OkReply(nil)
 }
 
-// growLocked extends the block list to cover [0, end).
+// growLocked extends the block list to cover [0, end), allocating all
+// missing blocks in one batched transaction.
 func (s *Server) growLocked(ctx context.Context, f *file, end uint64) error {
 	need := int((end + s.bsize - 1) / s.bsize)
-	for len(f.blocks) < need {
-		b, err := s.blocks.Alloc(ctx)
+	if missing := need - len(f.blocks); missing > 0 {
+		bs, err := s.blocks.AllocBatch(ctx, missing)
+		// Keep whatever was allocated — it is tracked for later
+		// freeing either way.
+		f.blocks = append(f.blocks, bs...)
 		if err != nil {
-			return fmt.Errorf("flatfs: allocating block: %w", err)
+			return fmt.Errorf("flatfs: allocating %d blocks: %w", missing, err)
 		}
-		f.blocks = append(f.blocks, b)
 	}
 	return nil
 }
@@ -230,6 +274,17 @@ func (s *Server) read(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 	if pos+want > f.size {
 		want = f.size - pos
 	}
+	if want == 0 {
+		return rpc.OkReply(nil)
+	}
+	// Fetch every spanned block in one batched transaction — the
+	// headline win over a per-block read loop (see BenchmarkBatch_*).
+	first := pos / s.bsize
+	last := (pos + want - 1) / s.bsize
+	blks, err := s.blocks.ReadBatch(ctx, f.blocks[first:last+1])
+	if err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	out := make([]byte, 0, want)
 	for off := pos; off < pos+want; {
 		bi := off / s.bsize
@@ -238,11 +293,7 @@ func (s *Server) read(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 		if n > pos+want-off {
 			n = pos + want - off
 		}
-		blk, err := s.blocks.Read(ctx, f.blocks[bi])
-		if err != nil {
-			return rpc.ErrReplyFromErr(err)
-		}
-		out = append(out, blk[bo:bo+n]...)
+		out = append(out, blks[bi-first][bo:bo+n]...)
 		off += n
 	}
 	return rpc.OkReply(out)
@@ -282,7 +333,7 @@ func (s *Server) truncate(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.
 		return rpc.OkReply(nil)
 	}
 	keep := int((newSize + s.bsize - 1) / s.bsize)
-	freed := f.blocks[keep:]
+	freed := append([]cap.Capability(nil), f.blocks[keep:]...)
 	f.blocks = f.blocks[:keep]
 	f.size = newSize
 	// Past the point of no return: the frees and the tail zeroing run
@@ -290,9 +341,7 @@ func (s *Server) truncate(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.
 	// Zeroing strictly after the size commit means a lost reply can at
 	// worst leave stale bytes past EOF, never touch live data.
 	cleanup := rpc.WithoutDeadline(ctx)
-	for _, b := range freed {
-		_ = s.blocks.Free(cleanup, b)
-	}
+	_ = s.blocks.FreeBatch(cleanup, freed)
 	// Zero the tail of the last kept block so regrowth reads zeros.
 	if keep > 0 && newSize%s.bsize != 0 {
 		blk, err := s.blocks.Read(cleanup, f.blocks[keep-1])
@@ -434,3 +483,7 @@ func (f *Client) Revoke(ctx context.Context, c cap.Capability) (cap.Capability, 
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).
 func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -23,6 +23,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
+	"amoeba/internal/store"
 )
 
 // Operation codes.
@@ -88,23 +89,27 @@ type process struct {
 // off internally.
 type Executor func(proc uint32, segments [][]byte)
 
-// Server is a memory server instance.
+// Server is a memory server instance. Segment and process state live
+// in lock-striped maps (see internal/store) keyed by object number, so
+// operations on independent objects never contend; each segment and
+// process carries its own lock for its contents.
 type Server struct {
 	rpc   *rpc.Server
 	table *cap.Table
 
-	mu        sync.RWMutex
-	executor  Executor
-	segments  map[uint32]*segment
-	processes map[uint32]*process
+	execMu   sync.RWMutex
+	executor Executor
+
+	segments  *store.Map[*segment]
+	processes *store.Map[*process]
 }
 
 // New builds a memory server on fb protecting its objects with scheme.
 // Call Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
 	s := &Server{
-		segments:  make(map[uint32]*segment),
-		processes: make(map[uint32]*process),
+		segments:  store.New[*segment](0),
+		processes: store.New[*process](0),
 	}
 	s.rpc = rpc.NewServer(fb, src)
 	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
@@ -146,9 +151,7 @@ func (s *Server) createSegment(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	s.segments[c.Object] = &segment{data: make([]byte, size)}
-	s.mu.Unlock()
+	s.segments.Put(c.Object, &segment{data: make([]byte, size)})
 	return rpc.CapReply(c)
 }
 
@@ -157,10 +160,8 @@ func (s *Server) seg(c cap.Capability, need cap.Rights) (*segment, rpc.Reply, bo
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, rpc.ErrReplyFromErr(err), false
 	}
-	s.mu.RLock()
-	sg := s.segments[c.Object]
-	s.mu.RUnlock()
-	if sg == nil {
+	sg, ok := s.segments.Get(c.Object)
+	if !ok {
 		return nil, rpc.ErrReply(rpc.StatusBadCapability, "not a segment"), false
 	}
 	return sg, rpc.Reply{}, true
@@ -223,12 +224,16 @@ func (s *Server) deleteSegment(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	if _, errRep, ok := s.seg(req.Cap, cap.RightDestroy); !ok {
 		return errRep
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
+	// Winning the state delete elects THE destroyer: state leaves the
+	// map before the number can be reused, and only the winner retires
+	// the (already Demand-checked) table entry — by number, so a
+	// concurrent revoke cannot leave an orphaned entry behind.
+	if _, ok := s.segments.Delete(req.Cap.Object); !ok {
+		return rpc.ErrReply(rpc.StatusBadCapability, "not a segment")
+	}
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.segments, req.Cap.Object)
-	s.mu.Unlock()
 	return rpc.OkReply(nil)
 }
 
@@ -255,10 +260,7 @@ func (s *Server) makeProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc
 		if _, err := s.table.Demand(sc, cap.RightRead); err != nil {
 			return rpc.ErrReplyFromErr(fmt.Errorf("segment %d: %w", i, err))
 		}
-		s.mu.RLock()
-		_, isSeg := s.segments[sc.Object]
-		s.mu.RUnlock()
-		if !isSeg {
+		if _, isSeg := s.segments.Get(sc.Object); !isSeg {
 			return rpc.ErrReply(rpc.StatusBadCapability, fmt.Sprintf("capability %d is not a segment", i))
 		}
 		segs = append(segs, sc.Object)
@@ -267,9 +269,7 @@ func (s *Server) makeProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rpc
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	s.processes[c.Object] = &process{state: StateBuilt, segs: segs}
-	s.mu.Unlock()
+	s.processes.Put(c.Object, &process{state: StateBuilt, segs: segs})
 	return rpc.CapReply(c)
 }
 
@@ -278,10 +278,8 @@ func (s *Server) proc(c cap.Capability, need cap.Rights) (*process, rpc.Reply, b
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, rpc.ErrReplyFromErr(err), false
 	}
-	s.mu.RLock()
-	p := s.processes[c.Object]
-	s.mu.RUnlock()
-	if p == nil {
+	p, ok := s.processes.Get(c.Object)
+	if !ok {
 		return nil, rpc.ErrReply(rpc.StatusBadCapability, "not a process"), false
 	}
 	return p, rpc.Reply{}, true
@@ -289,8 +287,8 @@ func (s *Server) proc(c cap.Capability, need cap.Rights) (*process, rpc.Reply, b
 
 // SetExecutor installs the process-start hook (nil removes it).
 func (s *Server) SetExecutor(fn Executor) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 	s.executor = fn
 }
 
@@ -308,17 +306,16 @@ func (s *Server) startProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rp
 	segObjs := append([]uint32(nil), p.segs...)
 	p.mu.Unlock()
 
-	s.mu.RLock()
+	s.execMu.RLock()
 	exec := s.executor
-	s.mu.RUnlock()
+	s.execMu.RUnlock()
 	if exec != nil {
 		// Snapshot the segments: the executor sees the memory image as
 		// of the start, like a loaded program.
 		images := make([][]byte, 0, len(segObjs))
-		s.mu.RLock()
 		for _, obj := range segObjs {
-			sg := s.segments[obj]
-			if sg == nil {
+			sg, ok := s.segments.Get(obj)
+			if !ok {
 				images = append(images, nil) // segment deleted meanwhile
 				continue
 			}
@@ -328,7 +325,6 @@ func (s *Server) startProcess(_ context.Context, _ rpc.Meta, req rpc.Request) rp
 			sg.mu.RUnlock()
 			images = append(images, img)
 		}
-		s.mu.RUnlock()
 		exec(req.Cap.Object, images)
 	}
 	return rpc.OkReply(nil)
@@ -365,15 +361,20 @@ func (s *Server) deleteProcess(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	if _, errRep, ok := s.proc(req.Cap, cap.RightDestroy); !ok {
 		return errRep
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
+	// See deleteSegment for the winner-elect ordering.
+	if _, ok := s.processes.Delete(req.Cap.Object); !ok {
+		return rpc.ErrReply(rpc.StatusBadCapability, "not a process")
+	}
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.processes, req.Cap.Object)
-	s.mu.Unlock()
 	return rpc.OkReply(nil)
 }
 
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).
 func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

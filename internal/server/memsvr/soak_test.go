@@ -1,0 +1,51 @@
+package memsvr
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"amoeba/internal/rpc"
+	"amoeba/internal/server/servertest"
+)
+
+// TestSoakConcurrentClients hammers the memory server with 64
+// concurrent client machines, each cycling private segments while
+// reading a shared one — the sharded-store workload. Run under -race.
+func TestSoakConcurrentClients(t *testing.T) {
+	r, m := newServer(t)
+	ctx := context.Background()
+	shared, err := m.CreateSegment(ctx, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(ctx, shared, 0, []byte("shared text")); err != nil {
+		t.Fatal(err)
+	}
+	port := m.Port()
+	r.Soak(t, servertest.SoakClients, 6, func(ctx context.Context, c *rpc.Client, g, i int) error {
+		mc := NewClient(c, port)
+		seg, err := mc.CreateSegment(ctx, 256)
+		if err != nil {
+			return err
+		}
+		payload := []byte(fmt.Sprintf("client %d iter %d", g, i))
+		if err := mc.Write(ctx, seg, uint32(g%32), payload); err != nil {
+			return err
+		}
+		got, err := mc.Read(ctx, seg, uint32(g%32), uint32(len(payload)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("read back %q, want %q", got, payload)
+		}
+		if sh, err := mc.Read(ctx, shared, 0, 11); err != nil {
+			return err
+		} else if string(sh) != "shared text" {
+			return fmt.Errorf("shared segment corrupted: %q", sh)
+		}
+		return mc.DeleteSegment(ctx, seg)
+	})
+}

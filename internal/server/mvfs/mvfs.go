@@ -25,6 +25,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
+	"amoeba/internal/store"
 )
 
 // Operation codes.
@@ -67,10 +68,14 @@ const MaxPages = 1 << 20
 
 // version is a page tree. Pages are immutable once the version
 // commits; uncommitted versions share unchanged pages with their base
-// (the slices are aliased, never written in place).
+// (the slices are aliased, never written in place). Each version has
+// its own lock, so concurrent clients building different versions
+// never contend.
 type version struct {
 	fileObj uint32
 	base    int // index in file.versions this version grew from
+
+	mu      sync.RWMutex
 	pages   map[uint32][]byte
 	written map[uint32]bool // pages copied (written) in this version
 }
@@ -80,21 +85,22 @@ type file struct {
 	versions []*version // committed, in order; last is current
 }
 
-// Server is a multiversion file server instance.
+// Server is a multiversion file server instance. Files and
+// in-progress versions live in lock-striped maps keyed by object
+// number; per-file and per-version locks cover their contents.
 type Server struct {
 	rpc   *rpc.Server
 	table *cap.Table
 
-	mu       sync.RWMutex
-	files    map[uint32]*file
-	building map[uint32]*version // uncommitted versions by object number
+	files    *store.Map[*file]
+	building *store.Map[*version] // uncommitted versions by object number
 }
 
 // New builds a multiversion file server.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
 	s := &Server{
-		files:    make(map[uint32]*file),
-		building: make(map[uint32]*version),
+		files:    store.New[*file](0),
+		building: store.New[*version](0),
 	}
 	s.rpc = rpc.NewServer(fb, src)
 	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
@@ -128,9 +134,7 @@ func (s *Server) createFile(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Re
 		return rpc.ErrReplyFromErr(err)
 	}
 	v0 := &version{pages: make(map[uint32][]byte), written: make(map[uint32]bool)}
-	s.mu.Lock()
-	s.files[c.Object] = &file{versions: []*version{v0}}
-	s.mu.Unlock()
+	s.files.Put(c.Object, &file{versions: []*version{v0}})
 	return rpc.CapReply(c)
 }
 
@@ -138,10 +142,8 @@ func (s *Server) fileFor(c cap.Capability, need cap.Rights) (*file, error) {
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	f := s.files[c.Object]
-	s.mu.RUnlock()
-	if f == nil {
+	f, ok := s.files.Get(c.Object)
+	if !ok {
 		return nil, fmt.Errorf("mvfs: object %d is not a file: %w", c.Object, cap.ErrNoSuchObject)
 	}
 	return f, nil
@@ -151,10 +153,8 @@ func (s *Server) versionFor(c cap.Capability, need cap.Rights) (*version, error)
 	if _, err := s.table.Demand(c, need); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	v := s.building[c.Object]
-	s.mu.RUnlock()
-	if v == nil {
+	v, ok := s.building.Get(c.Object)
+	if !ok {
 		return nil, fmt.Errorf("mvfs: object %d is not an uncommitted version: %w", c.Object, cap.ErrNoSuchObject)
 	}
 	return v, nil
@@ -172,15 +172,22 @@ func (s *Server) newVersion(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 	f.mu.RLock()
 	base := len(f.versions) - 1
 	cur := f.versions[base]
+	f.mu.RUnlock()
+	cur.mu.RLock()
 	pages := make(map[uint32][]byte, len(cur.pages))
 	for n, p := range cur.pages {
 		pages[n] = p // COW: share until written
 	}
-	f.mu.RUnlock()
+	cur.mu.RUnlock()
 	v := &version{fileObj: req.Cap.Object, base: base, pages: pages, written: make(map[uint32]bool)}
-	s.mu.Lock()
-	s.building[c.Object] = v
-	s.mu.Unlock()
+	s.building.Put(c.Object, v)
+	if _, live := s.files.Get(req.Cap.Object); !live {
+		// The file was destroyed while we were building the version;
+		// do not leave an orphan behind.
+		s.building.Delete(c.Object)
+		_ = s.table.DestroyObject(c.Object)
+		return rpc.ErrReply(rpc.StatusBadCapability, "file destroyed")
+	}
 	return rpc.CapReply(c)
 }
 
@@ -199,10 +206,10 @@ func (s *Server) writePage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.R
 	// Copy-on-write: never touch the (possibly shared) old page.
 	page := make([]byte, PageSize)
 	copy(page, req.Data[4:])
-	s.mu.Lock()
+	v.mu.Lock()
 	v.pages[pageNo] = page
 	v.written[pageNo] = true
-	s.mu.Unlock()
+	v.mu.Unlock()
 	return rpc.OkReply(nil)
 }
 
@@ -213,17 +220,15 @@ func (s *Server) readPage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 	pageNo := binary.BigEndian.Uint32(req.Data)
 
 	// A version capability reads the in-progress version.
-	s.mu.RLock()
-	_, isBuilding := s.building[req.Cap.Object]
-	s.mu.RUnlock()
+	_, isBuilding := s.building.Get(req.Cap.Object)
 	if isBuilding && len(req.Data) == 4 {
 		v, err := s.versionFor(req.Cap, cap.RightRead)
 		if err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
-		s.mu.RLock()
+		v.mu.RLock()
 		page := v.pages[pageNo]
-		s.mu.RUnlock()
+		v.mu.RUnlock()
 		return rpc.OkReply(clonePage(page))
 	}
 
@@ -232,15 +237,20 @@ func (s *Server) readPage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 		return rpc.ErrReplyFromErr(err)
 	}
 	f.mu.RLock()
-	defer f.mu.RUnlock()
 	idx := len(f.versions) - 1
 	if len(req.Data) == 8 {
 		idx = int(binary.BigEndian.Uint32(req.Data[4:]))
 		if idx < 0 || idx >= len(f.versions) {
+			f.mu.RUnlock()
 			return rpc.ErrReply(rpc.StatusBadRequest, fmt.Sprintf("no version %d", idx))
 		}
 	}
-	return rpc.OkReply(clonePage(f.versions[idx].pages[pageNo]))
+	v := f.versions[idx]
+	f.mu.RUnlock()
+	v.mu.RLock()
+	page := clonePage(v.pages[pageNo])
+	v.mu.RUnlock()
+	return rpc.OkReply(page)
 }
 
 // clonePage returns a full-size copy of a page (zero page if nil).
@@ -255,34 +265,33 @@ func (s *Server) commit(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.RLock()
-	f := s.files[v.fileObj]
-	s.mu.RUnlock()
-	if f == nil {
+	f, ok := s.files.Get(v.fileObj)
+	if !ok {
 		return rpc.ErrReply(rpc.StatusBadCapability, "file destroyed")
 	}
 	f.mu.Lock()
-	if len(f.versions)-1 != v.base {
+	if cur := len(f.versions) - 1; cur != v.base {
 		f.mu.Unlock()
 		// Optimistic concurrency: someone committed first.
 		return rpc.ErrReply(rpc.StatusServerError,
-			fmt.Sprintf("commit conflict: base is version %d, current is %d", v.base, len(f.versions)-1))
+			fmt.Sprintf("commit conflict: base is version %d, current is %d", v.base, cur))
 	}
 	f.versions = append(f.versions, v)
 	verNo := uint32(len(f.versions) - 1)
 	f.mu.Unlock()
 
-	s.mu.Lock()
-	delete(s.building, req.Cap.Object)
-	s.mu.Unlock()
+	s.building.Delete(req.Cap.Object)
 	// The version object is consumed by the commit: its capability is
 	// retired (the file capability reads the new current version).
 	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
+	v.mu.RLock()
+	copied := uint32(len(v.written))
+	v.mu.RUnlock()
 	out := make([]byte, 8)
 	binary.BigEndian.PutUint32(out[0:], verNo)
-	binary.BigEndian.PutUint32(out[4:], uint32(len(v.written)))
+	binary.BigEndian.PutUint32(out[4:], copied)
 	return rpc.OkReply(out)
 }
 
@@ -290,9 +299,7 @@ func (s *Server) abort(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply
 	if _, err := s.versionFor(req.Cap, cap.RightWrite); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.building, req.Cap.Object)
-	s.mu.Unlock()
+	s.building.Delete(req.Cap.Object)
 	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
@@ -305,10 +312,15 @@ func (s *Server) statFile(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 		return rpc.ErrReplyFromErr(err)
 	}
 	f.mu.RLock()
-	defer f.mu.RUnlock()
+	nvers := uint32(len(f.versions))
+	cur := f.versions[len(f.versions)-1]
+	f.mu.RUnlock()
+	cur.mu.RLock()
+	npages := uint32(len(cur.pages))
+	cur.mu.RUnlock()
 	out := make([]byte, 12)
-	binary.BigEndian.PutUint32(out[0:], uint32(len(f.versions)))
-	binary.BigEndian.PutUint32(out[4:], uint32(len(f.versions[len(f.versions)-1].pages)))
+	binary.BigEndian.PutUint32(out[0:], nvers)
+	binary.BigEndian.PutUint32(out[4:], npages)
 	binary.BigEndian.PutUint32(out[8:], PageSize)
 	return rpc.OkReply(out)
 }
@@ -317,22 +329,39 @@ func (s *Server) destroyFile(_ context.Context, _ rpc.Meta, req rpc.Request) rpc
 	if _, err := s.fileFor(req.Cap, cap.RightDestroy); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	if err := s.table.Destroy(req.Cap); err != nil {
+	// Winning the state delete elects THE destroyer: state leaves the
+	// map before the number can be reused, and only the winner retires
+	// the (already Demand-checked) table entry — by number, so a
+	// concurrent revoke cannot leave an orphaned entry behind.
+	if _, ok := s.files.Delete(req.Cap.Object); !ok {
+		return rpc.ErrReplyFromErr(fmt.Errorf("mvfs: object %d is not a file: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
+	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	s.mu.Lock()
-	delete(s.files, req.Cap.Object)
-	// Orphan any in-progress versions of this file.
-	for obj, v := range s.building {
+	// Orphan any in-progress versions of this file. (Collect first:
+	// Range holds shard locks, so deletions happen after the sweep.
+	// A version created concurrently removes itself when it sees the
+	// file gone — see newVersion.)
+	var orphans []uint32
+	s.building.Range(func(obj uint32, v *version) bool {
 		if v.fileObj == req.Cap.Object {
-			delete(s.building, obj)
+			orphans = append(orphans, obj)
+		}
+		return true
+	})
+	for _, obj := range orphans {
+		if _, ok := s.building.Delete(obj); ok {
 			_ = s.table.DestroyObject(obj)
 		}
 	}
-	s.mu.Unlock()
 	return rpc.OkReply(nil)
 }
 
 // SetSealer installs a §2.4 capability sealer on the server transport
 // (call before Start).
 func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

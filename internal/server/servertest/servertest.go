@@ -1,10 +1,15 @@
 // Package servertest provides the shared wiring used by every server
 // package's tests and by the experiment harness: a simulated network
 // with one machine per server plus a client machine, F-boxes
-// everywhere, and an rpc.Client with a fast locate configuration.
+// everywhere, and an rpc.Client with a fast locate configuration —
+// plus the race-soak harness (Soak) every service uses to prove its
+// sharded object store safe under heavy client concurrency.
 package servertest
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -66,4 +71,48 @@ func (r *Rig) NewClient(t *testing.T) *rpc.Client {
 		Retries: 2,
 		Source:  r.Src,
 	})
+}
+
+// SoakClients is the default client count for Soak: enough concurrent
+// machines to light up every shard of a striped object store.
+const SoakClients = 64
+
+// Soak is the shared race-soak harness: it attaches `clients`
+// independent client machines and runs fn from each concurrently,
+// `iters` times per client, failing the test on the first error. Run
+// it under -race — its whole purpose is to drive every service's
+// sharded stores and per-object locks hard enough that the race
+// detector sees any unsynchronized access. Under -short the client
+// count is reduced.
+func (r *Rig) Soak(t *testing.T, clients, iters int, fn func(ctx context.Context, c *rpc.Client, client, iter int) error) {
+	t.Helper()
+	if testing.Short() && clients > 8 {
+		clients = 8
+	}
+	ctx := context.Background()
+	// Clients are created on the test goroutine (NewClient registers
+	// cleanups), then handed to the workers.
+	cs := make([]*rpc.Client, clients)
+	for g := range cs {
+		cs[g] = r.NewClient(t)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := fn(ctx, cs[g], g, i); err != nil {
+					errs <- fmt.Errorf("client %d iter %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors.
@@ -31,15 +32,20 @@ type Stats struct {
 	Writes uint64
 }
 
-// Disk is an in-memory virtual disk. Safe for concurrent use.
+// Disk is an in-memory virtual disk. Safe for concurrent use:
+// independent block reads proceed in parallel under the read lock,
+// with the activity counters kept atomic so they do not reintroduce
+// write sharing on the read path.
 type Disk struct {
 	blockSize int
 	nblocks   uint32
 
+	reads  atomic.Uint64
+	writes atomic.Uint64
+
 	mu    sync.RWMutex
 	data  []byte
 	fault FaultFunc
-	stats Stats
 }
 
 // New creates a disk with nblocks blocks of blockSize bytes.
@@ -85,7 +91,7 @@ func (d *Disk) Read(n uint32) ([]byte, error) {
 	}
 	buf := make([]byte, d.blockSize)
 	copy(buf, d.data[int(n)*d.blockSize:])
-	d.stats.Reads++
+	d.reads.Add(1)
 	return buf, nil
 }
 
@@ -105,7 +111,7 @@ func (d *Disk) Write(n uint32, data []byte) error {
 		}
 	}
 	copy(d.data[int(n)*d.blockSize:], data)
-	d.stats.Writes++
+	d.writes.Add(1)
 	return nil
 }
 
@@ -126,13 +132,11 @@ func (d *Disk) Zero(n uint32) error {
 	for i := start; i < start+d.blockSize; i++ {
 		d.data[i] = 0
 	}
-	d.stats.Writes++
+	d.writes.Add(1)
 	return nil
 }
 
 // Stats returns a snapshot of the counters.
 func (d *Disk) Stats() Stats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.stats
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
 }
