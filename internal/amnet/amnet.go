@@ -17,6 +17,8 @@ package amnet
 import (
 	"errors"
 	"fmt"
+
+	"amoeba/internal/wire"
 )
 
 // MachineID identifies a machine (a network attachment point). It is
@@ -46,6 +48,20 @@ type Frame struct {
 	Dst MachineID
 	// Payload is the frame body. Receivers must treat it as untrusted.
 	Payload []byte
+	// Buf, when non-nil, is the pooled buffer backing Payload. The
+	// receiver owns it: call Release (or Frame.Release) once the
+	// payload and everything aliasing it are done with. Releasing is
+	// optional — an unreleased buffer is garbage-collected — but the
+	// hot paths release, which is what keeps the pool warm.
+	Buf *wire.Buf
+}
+
+// Release returns the frame's pooled buffer (if any) to the pool. The
+// payload is invalid afterwards.
+func (f Frame) Release() {
+	if f.Buf != nil {
+		f.Buf.Release()
+	}
 }
 
 // NIC is one machine's network attachment.
@@ -53,8 +69,15 @@ type NIC interface {
 	// ID returns this machine's address.
 	ID() MachineID
 	// Send transmits payload to dst. The network stamps this NIC's ID
-	// as the frame source.
+	// as the frame source. The payload is copied; the caller keeps
+	// ownership (see SendBuf for the zero-copy path).
 	Send(dst MachineID, payload []byte) error
+	// SendBuf transmits the contents of b to dst, taking ownership of
+	// b: the network prepends any transport header it needs in b's
+	// headroom, hands the same backing array to the receiver where it
+	// can, and releases b when the frame leaves the machine. The
+	// caller must not touch b afterwards, success or failure.
+	SendBuf(dst MachineID, b *wire.Buf) error
 	// Broadcast transmits payload to every attached machine. The
 	// simulated LAN excludes the sender (hardware semantics); the TCP
 	// transport includes it, because a TCP "machine" is a whole daemon

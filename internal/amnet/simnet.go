@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"amoeba/internal/crypto"
+	"amoeba/internal/wire"
 )
 
 // SimNet is the in-memory broadcast LAN used by tests, examples and
@@ -168,21 +169,31 @@ func (n *SimNet) Close() error {
 	return nil
 }
 
-// transmit is the core delivery path. src has already been stamped.
+// cloneFrame duplicates a frame with its own pooled backing buffer,
+// for the cases where one transmitted frame must reach more than one
+// owner (broadcast fan-out, wiretaps, fault-injected duplicates).
+func cloneFrame(f Frame) Frame {
+	b := f.Buf.Clone()
+	return Frame{Src: f.Src, Dst: f.Dst, Payload: b.Bytes(), Buf: b}
+}
+
+// transmit is the core delivery path. src has already been stamped and
+// f.Buf is owned by the network from here on: the unicast fast path
+// hands the very buffer the sender encoded into to the receiver (the
+// sender gave up ownership at SendBuf, so nobody can mutate an
+// in-flight frame); copies are made only where one frame needs several
+// owners — broadcast, wiretaps and duplication faults.
 func (n *SimNet) transmit(f Frame) error {
 	if len(f.Payload) > MTU {
+		f.Release()
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
 	n.mu.RLock()
 	if n.closed {
 		n.mu.RUnlock()
+		f.Release()
 		return ErrClosed
 	}
-	// Copy the payload once so senders cannot mutate in-flight frames.
-	payload := make([]byte, len(f.Payload))
-	copy(payload, f.Payload)
-	f.Payload = payload
-
 	var targets []*simNIC
 	if f.Dst == BroadcastID {
 		targets = make([]*simNIC, 0, len(n.nics))
@@ -195,6 +206,7 @@ func (n *SimNet) transmit(f Frame) error {
 		nic, ok := n.nics[f.Dst]
 		if !ok {
 			n.mu.RUnlock()
+			f.Release()
 			return fmt.Errorf("%w: %v", ErrNoRoute, f.Dst)
 		}
 		if !n.cut[pairKey(f.Src, f.Dst)] {
@@ -207,17 +219,25 @@ func (n *SimNet) transmit(f Frame) error {
 	n.bumpSent()
 	// Taps see every frame, before loss (they sit on the wire).
 	for _, t := range taps {
-		t.deliver(f)
+		t.deliver(cloneFrame(f))
 	}
-	for _, nic := range targets {
-		n.deliverTo(nic, f)
+	if len(targets) == 0 {
+		f.Release()
+		return nil
 	}
+	for _, nic := range targets[1:] {
+		n.deliverTo(nic, cloneFrame(f))
+	}
+	n.deliverTo(targets[0], f)
 	return nil
 }
 
+// deliverTo owns f: every path either hands it to the NIC queue or
+// releases it.
 func (n *SimNet) deliverTo(nic *simNIC, f Frame) {
 	if n.cfg.LossRate > 0 && nic.chance(n.cfg.LossRate) {
 		n.bumpLost()
+		f.Release()
 		return
 	}
 	delay := n.cfg.Latency
@@ -234,8 +254,9 @@ func (n *SimNet) deliverTo(nic *simNIC, f Frame) {
 	// the shape a retransmission crossing its reply produces.
 	if n.cfg.Duplicate > 0 && nic.chance(n.cfg.Duplicate) {
 		n.bumpDuplicated()
+		dupFrame := cloneFrame(f)
 		dup := delay + n.cfg.ReorderWindow + 100*time.Microsecond
-		time.AfterFunc(dup, func() { nic.deliver(f, n) })
+		time.AfterFunc(dup, func() { nic.deliver(dupFrame, n) })
 	}
 	if delay == 0 {
 		nic.deliver(f, n)
@@ -267,13 +288,20 @@ var _ NIC = (*simNIC)(nil)
 func (nic *simNIC) ID() MachineID { return nic.id }
 
 func (nic *simNIC) Send(dst MachineID, payload []byte) error {
+	return nic.SendBuf(dst, wire.NewFrom(payload))
+}
+
+// SendBuf implements NIC: ownership of b transfers to the network,
+// which releases it on every non-delivery path.
+func (nic *simNIC) SendBuf(dst MachineID, b *wire.Buf) error {
 	nic.mu.Lock()
 	closed := nic.closed
 	nic.mu.Unlock()
 	if closed {
+		b.Release()
 		return ErrClosed
 	}
-	return nic.net.transmit(Frame{Src: nic.id, Dst: dst, Payload: payload})
+	return nic.net.transmit(Frame{Src: nic.id, Dst: dst, Payload: b.Bytes(), Buf: b})
 }
 
 func (nic *simNIC) Broadcast(payload []byte) error {
@@ -310,6 +338,7 @@ func (nic *simNIC) deliver(f Frame, n *SimNet) {
 	nic.mu.Lock()
 	defer nic.mu.Unlock()
 	if nic.closed {
+		f.Release()
 		return
 	}
 	select {
@@ -317,6 +346,7 @@ func (nic *simNIC) deliver(f Frame, n *SimNet) {
 		n.bumpDelivered()
 	default:
 		n.bumpOverrun()
+		f.Release()
 	}
 }
 
@@ -348,7 +378,8 @@ func (t *Tap) InjectAs(src, dst MachineID, payload []byte) error {
 	if !t.net.cfg.AllowSourceForgery {
 		return ErrForgeryForbidden
 	}
-	return t.net.transmit(Frame{Src: src, Dst: dst, Payload: payload})
+	b := wire.NewFrom(payload)
+	return t.net.transmit(Frame{Src: src, Dst: dst, Payload: b.Bytes(), Buf: b})
 }
 
 // ErrForgeryForbidden is returned by Tap.InjectAs on networks that
@@ -359,11 +390,13 @@ func (t *Tap) deliver(f Frame) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
+		f.Release()
 		return
 	}
 	select {
 	case t.in <- f:
 	default: // taps never block the network
+		f.Release()
 	}
 }
 

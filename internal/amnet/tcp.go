@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"amoeba/internal/wire"
 )
 
 // TCPNet implements NIC over real TCP, for multi-process clusters run
@@ -105,13 +107,32 @@ func (t *TCPNet) Send(dst MachineID, payload []byte) error {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	if dst == BroadcastID {
+		// Straight to the fan-out: broadcast copies per recipient
+		// anyway, so wrapping payload in a pooled buffer first would
+		// only add a copy.
 		return t.broadcast(payload)
 	}
+	return t.SendBuf(dst, wire.NewFrom(payload))
+}
+
+// SendBuf implements NIC: the 14-byte transport header is prepended in
+// b's headroom and the payload goes to the socket from the same
+// backing array; b is released once written (or on any error path).
+func (t *TCPNet) SendBuf(dst MachineID, b *wire.Buf) error {
+	if b.Len() > MTU {
+		b.Release()
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, b.Len())
+	}
+	if dst == BroadcastID {
+		err := t.broadcast(b.Bytes())
+		b.Release()
+		return err
+	}
 	if dst == t.id {
-		t.loopback(payload)
+		t.loopbackBuf(b)
 		return nil
 	}
-	return t.sendTo(dst, payload)
+	return t.sendTo(dst, b)
 }
 
 // Broadcast implements NIC.
@@ -123,7 +144,7 @@ func (t *TCPNet) Broadcast(payload []byte) error { return t.Send(BroadcastID, pa
 // services inside it (the flat file server locating a co-resident
 // block server) must be reachable by broadcast too.
 func (t *TCPNet) broadcast(payload []byte) error {
-	t.loopback(payload)
+	t.loopbackBuf(wire.NewFrom(payload))
 	t.mu.Lock()
 	ids := make([]MachineID, 0, len(t.registry))
 	for id := range t.registry {
@@ -133,44 +154,47 @@ func (t *TCPNet) broadcast(payload []byte) error {
 	}
 	t.mu.Unlock()
 	for _, id := range ids {
-		_ = t.sendTo(id, payload)
+		_ = t.sendTo(id, wire.NewFrom(payload))
 	}
 	return nil
 }
 
-func (t *TCPNet) loopback(payload []byte) {
-	p := make([]byte, len(payload))
-	copy(p, payload)
+// loopbackBuf owns b: it is handed to the local queue or released.
+func (t *TCPNet) loopbackBuf(b *wire.Buf) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
+		b.Release()
 		return
 	}
 	select {
-	case t.in <- Frame{Src: t.id, Dst: t.id, Payload: p}:
+	case t.in <- Frame{Src: t.id, Dst: t.id, Payload: b.Bytes(), Buf: b}:
 	default:
+		b.Release()
 	}
 }
 
-func (t *TCPNet) sendTo(dst MachineID, payload []byte) error {
+// sendTo owns b; the transport header goes into b's headroom so header
+// and payload leave in one Write from one backing array.
+func (t *TCPNet) sendTo(dst MachineID, b *wire.Buf) error {
+	payloadLen := b.Len()
 	conn, err := t.conn(dst)
 	if err != nil {
+		b.Release()
 		return err
 	}
-	var hdr [14]byte
+	hdr := b.Prepend(14)
 	binary.BigEndian.PutUint16(hdr[0:], tcpMagic)
 	binary.BigEndian.PutUint32(hdr[2:], uint32(t.id))
 	binary.BigEndian.PutUint32(hdr[6:], uint32(dst))
-	binary.BigEndian.PutUint32(hdr[10:], uint32(len(payload)))
-	buf := make([]byte, 0, len(hdr)+len(payload))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
+	binary.BigEndian.PutUint32(hdr[10:], uint32(payloadLen))
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer b.Release()
 	if t.closed {
 		return ErrClosed
 	}
-	if _, err := conn.Write(buf); err != nil {
+	if _, err := conn.Write(b.Bytes()); err != nil {
 		delete(t.conns, dst)
 		conn.Close()
 		return fmt.Errorf("amnet: send to %v: %w", dst, err)
@@ -283,22 +307,29 @@ func (t *TCPNet) readLoop(conn net.Conn) {
 		if n > MTU {
 			return
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		b := wire.Get(0, int(n))
+		if _, err := io.ReadFull(conn, b.Extend(int(n))); err != nil {
+			b.Release()
 			return
 		}
 		if !t.sourcePlausible(src, remoteHost) {
+			b.Release()
 			continue // forged source: drop the frame
 		}
 		t.mu.Lock()
 		closed := t.closed
+		delivered := false
 		if !closed {
 			select {
-			case t.in <- Frame{Src: src, Dst: dst, Payload: payload}:
+			case t.in <- Frame{Src: src, Dst: dst, Payload: b.Bytes(), Buf: b}:
+				delivered = true
 			default:
 			}
 		}
 		t.mu.Unlock()
+		if !delivered {
+			b.Release()
+		}
 		if closed {
 			return
 		}

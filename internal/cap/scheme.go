@@ -179,6 +179,10 @@ const KnownConstant uint64 = 0
 // cipher reproduces the paper's warning (see experiment E2).
 type EncryptedScheme struct {
 	factory func(key uint64) (crypto.BlockCipher64, error)
+	// pooled marks the default Feistel configuration, which runs each
+	// seal/validate on a pooled rekeyed-in-place cipher: zero
+	// allocations per operation instead of one 576-byte key schedule.
+	pooled bool
 }
 
 var _ Scheme = EncryptedScheme{}
@@ -187,9 +191,7 @@ var _ Scheme = EncryptedScheme{}
 // cipher factory, or the default Feistel cipher if factory is nil.
 func NewEncryptedScheme(factory func(key uint64) (crypto.BlockCipher64, error)) (EncryptedScheme, error) {
 	if factory == nil {
-		factory = func(key uint64) (crypto.BlockCipher64, error) {
-			return crypto.NewFeistelUint64Block(key, 56)
-		}
+		return EncryptedScheme{pooled: true}, nil
 	}
 	// Fail fast on a broken factory.
 	if _, err := factory(0); err != nil {
@@ -227,11 +229,33 @@ func (s EncryptedScheme) cipher(secret uint64) crypto.BlockCipher64 {
 	return c
 }
 
+// crypt runs one block through the per-secret cipher: a pooled Feistel
+// scratch on the default path (no allocation), the custom factory
+// otherwise.
+func (s EncryptedScheme) crypt(secret, block uint64, decrypt bool) uint64 {
+	if s.pooled {
+		f, err := crypto.AcquireFeistel(secret, 56)
+		if err != nil {
+			panic("cap: scheme 1 pooled cipher: " + err.Error()) // 56 is always valid
+		}
+		defer crypto.ReleaseFeistel(f)
+		if decrypt {
+			return f.Decrypt(block)
+		}
+		return f.Encrypt(block)
+	}
+	c := s.cipher(secret)
+	if decrypt {
+		return c.Decrypt(block)
+	}
+	return c.Encrypt(block)
+}
+
 // seal encrypts rights into the combined 56-bit field and splits it
 // across the capability's Rights and Check fields.
 func (s EncryptedScheme) seal(c Capability, rights Rights, secret uint64) Capability {
 	block := uint64(rights)<<48 | (KnownConstant & CheckMask)
-	ct := s.cipher(secret).Encrypt(block)
+	ct := s.crypt(secret, block, false)
 	c.Rights = Rights(ct >> 48)
 	c.Check = ct & CheckMask
 	return c
@@ -245,7 +269,7 @@ func (s EncryptedScheme) Mint(server Port, object uint32, secret uint64) Capabil
 // Validate implements Scheme.
 func (s EncryptedScheme) Validate(c Capability, secret uint64) (Rights, error) {
 	ct := uint64(c.Rights)<<48 | c.Check
-	pt := s.cipher(secret).Decrypt(ct)
+	pt := s.crypt(secret, ct, true)
 	if pt&CheckMask != KnownConstant&CheckMask {
 		return 0, ErrInvalidCapability
 	}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // BlockCipher64 is a keyed permutation of 64-bit blocks. Scheme 1
@@ -49,13 +50,21 @@ func NewFeistel(key []byte) *Feistel {
 // NewFeistelBlock is NewFeistel with an explicit block size in bits.
 // blockBits must be even and in [16, 64].
 func NewFeistelBlock(key []byte, blockBits int) (*Feistel, error) {
+	f := new(Feistel)
+	if err := f.rekey(key, blockBits); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// rekey re-derives the cipher in place — the scratch-reuse primitive
+// under the pooled acquire path: no allocation, just the key schedule.
+func (f *Feistel) rekey(key []byte, blockBits int) error {
 	if blockBits < 16 || blockBits > 64 || blockBits%2 != 0 {
-		return nil, fmt.Errorf("crypto: Feistel block size must be even and in [16,64], got %d", blockBits)
+		return fmt.Errorf("crypto: Feistel block size must be even and in [16,64], got %d", blockBits)
 	}
-	f := &Feistel{
-		halfBits:  uint(blockBits / 2),
-		blockBits: blockBits,
-	}
+	f.halfBits = uint(blockBits / 2)
+	f.blockBits = blockBits
 	f.halfMask = uint32((uint64(1) << f.halfBits) - 1)
 	h := sha256.Sum256(key)
 	for r := 0; r < feistelRounds; r++ {
@@ -65,8 +74,31 @@ func NewFeistelBlock(key []byte, blockBits int) (*Feistel, error) {
 		buf[33] = byte(blockBits) // bind subkeys to the block size
 		f.subkeys[r] = sha256.Sum256(buf[:])
 	}
+	return nil
+}
+
+// feistelPool recycles Feistel scratch instances for callers that key
+// a cipher per operation — capability scheme 1 derives one per mint or
+// validate, which used to cost a 576-byte allocation every time.
+var feistelPool = sync.Pool{New: func() any { return new(Feistel) }}
+
+// AcquireFeistel returns a pooled Feistel cipher rekeyed for a 64-bit
+// key and the given block size. Pair with ReleaseFeistel; the caller
+// must not use the cipher after releasing it.
+func AcquireFeistel(key uint64, blockBits int) (*Feistel, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], key)
+	f := feistelPool.Get().(*Feistel)
+	if err := f.rekey(buf[:], blockBits); err != nil {
+		feistelPool.Put(f)
+		return nil, err
+	}
 	return f, nil
 }
+
+// ReleaseFeistel returns a pooled cipher for reuse. The subkeys are
+// left in place (they are re-derived at the next acquire).
+func ReleaseFeistel(f *Feistel) { feistelPool.Put(f) }
 
 // NewFeistelUint64 is a convenience for fixed-width keys (per-object
 // random numbers are 48-bit values).

@@ -30,6 +30,7 @@ import (
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
+	"amoeba/internal/wire"
 )
 
 // Port re-exports the 48-bit Amoeba port type; capabilities carry the
@@ -58,6 +59,20 @@ type Received struct {
 	Message
 	// From is the source machine stamped by the network.
 	From amnet.MachineID
+	// Buf, when non-nil, is the pooled buffer backing Message.Payload.
+	// The consumer owns it: call Release once the payload (and
+	// anything aliasing it) is done with. Releasing is optional — an
+	// unreleased buffer is simply garbage-collected — but the RPC hot
+	// paths release after decoding.
+	Buf *wire.Buf
+}
+
+// Release returns the message's pooled buffer (if any) to the pool.
+// The payload is invalid afterwards.
+func (r Received) Release() {
+	if r.Buf != nil {
+		r.Buf.Release()
+	}
 }
 
 // Errors.
@@ -80,11 +95,24 @@ const (
 // wire header: kind(1) dest(6) reply(6) sig(6) = 19 bytes.
 const headerSize = 19
 
-// listenerQueue is a Listener's buffer depth. It matches the NIC's
-// inbound queue (amnet default 256) so the receive pump can spill an
-// entire backed-up NIC queue into one listener without dropping;
-// beyond that, overflow drops the message, as the hardware would.
+// Headroom is the buffer headroom PutBuf consumes: message builders
+// that reserve at least wire.DefaultHeadroom (≥ Headroom plus the
+// transport's own header) get their frame header prepended in place.
+const Headroom = headerSize
+
+// listenerQueue is a service Listener's buffer depth. It matches the
+// NIC's inbound queue (amnet default 256) so the receive pump can
+// spill an entire backed-up NIC queue into one listener without
+// dropping; beyond that, overflow drops the message, as the hardware
+// would.
 const listenerQueue = 256
+
+// replyQueue is a one-shot reply Listener's buffer depth: one reply is
+// expected, plus room for a fault-injected duplicate. Keeping it tiny
+// is what makes reply listeners cheap enough to pool — the old
+// 256-slot channel per transaction was most of the RPC path's
+// allocation bill.
+const replyQueue = 2
 
 // FBox is the per-machine function box. It owns the NIC: all traffic
 // in and out of the machine flows through it.
@@ -131,33 +159,64 @@ func (fb *FBox) Machine() amnet.MachineID { return fb.nic.ID() }
 
 // Listener receives messages for one GET port.
 type Listener struct {
-	fb   *FBox
-	put  Port // the transformed port the listener is keyed by
-	ch   chan Received
-	once sync.Once
+	fb     *FBox
+	put    Port // the transformed port the listener is keyed by
+	ch     chan Received
+	pooled bool // reply listener: recycled through replyListeners
+	closed bool // guarded by fb.mu
 }
 
-// Recv returns the listener's message channel; closed when the
-// listener (or its F-box) is closed.
+// replyListeners recycles one-shot reply listeners (struct and
+// channel) across transactions.
+var replyListeners = sync.Pool{
+	New: func() any { return &Listener{ch: make(chan Received, replyQueue)} },
+}
+
+// Recv returns the listener's message channel. For service listeners
+// (Get) it is closed when the listener or its F-box is closed; pooled
+// reply listeners (GetReply) keep their channel open for recycling and
+// only see it closed when the whole F-box shuts down.
 func (l *Listener) Recv() <-chan Received { return l.ch }
 
 // Port returns the put-port this listener serves (F of the get-port).
 func (l *Listener) Port() Port { return l.put }
 
-// Close cancels the GET.
+// Close cancels the GET. A pooled reply listener is recycled; a
+// service listener's channel is closed.
 func (l *Listener) Close() {
-	l.once.Do(func() {
-		l.fb.mu.Lock()
-		if l.fb.listeners[l.put] == l {
-			delete(l.fb.listeners, l.put)
-			delete(l.fb.locates, l.put)
+	fb := l.fb
+	fb.mu.Lock()
+	if l.closed {
+		fb.mu.Unlock()
+		return
+	}
+	l.closed = true
+	if fb.listeners[l.put] == l {
+		delete(fb.listeners, l.put)
+		delete(fb.locates, l.put)
+	}
+	if l.pooled && !fb.closed {
+		fb.mu.Unlock()
+		// The map delete above (under the lock the pump delivers
+		// under) guarantees no further sends; drain what raced in
+		// before it, then recycle.
+		for {
+			select {
+			case m := <-l.ch:
+				m.Release()
+				continue
+			default:
+			}
+			break
 		}
-		// Closing under the F-box lock serializes with the pump's
-		// (non-blocking) deliveries, so a frame in flight can never be
-		// sent on a closed channel.
-		close(l.ch)
-		l.fb.mu.Unlock()
-	})
+		replyListeners.Put(l)
+		return
+	}
+	// Closing under the F-box lock serializes with the pump's
+	// (non-blocking) deliveries, so a frame in flight can never be
+	// sent on a closed channel.
+	close(l.ch)
+	fb.mu.Unlock()
 }
 
 // Get implements GET(G): the F-box computes P = F(G) and delivers
@@ -166,6 +225,25 @@ func (l *Listener) Close() {
 // broadcasts for P (public services advertise; a client's one-shot
 // reply ports do not, shrinking the attack surface).
 func (fb *FBox) Get(g Port, advertise bool) (*Listener, error) {
+	return fb.get(g, advertise, nil)
+}
+
+// GetReply is GET(G) for a transaction's one-shot reply port: never
+// advertised, buffered for a single reply (plus a duplicate), and
+// recycled through a pool when closed — the allocation-free fast path
+// under every RPC transaction.
+func (fb *FBox) GetReply(g Port) (*Listener, error) {
+	l := replyListeners.Get().(*Listener)
+	l.pooled = true
+	got, err := fb.get(g, false, l)
+	if err != nil {
+		replyListeners.Put(l)
+		return nil, err
+	}
+	return got, nil
+}
+
+func (fb *FBox) get(g Port, advertise bool, reuse *Listener) (*Listener, error) {
 	put := fb.F(g)
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -175,7 +253,11 @@ func (fb *FBox) Get(g Port, advertise bool) (*Listener, error) {
 	if _, busy := fb.listeners[put]; busy {
 		return nil, fmt.Errorf("%w: %v", ErrPortBusy, put)
 	}
-	l := &Listener{fb: fb, put: put, ch: make(chan Received, listenerQueue)}
+	l := reuse
+	if l == nil {
+		l = &Listener{ch: make(chan Received, listenerQueue)}
+	}
+	l.fb, l.put, l.closed = fb, put, false
 	fb.listeners[put] = l
 	if advertise {
 		fb.locates[put] = true
@@ -189,24 +271,37 @@ func (fb *FBox) Get(g Port, advertise bool) (*Listener, error) {
 // untransformed. Hosts therefore place their *secret* reply get-port
 // and signature in the message; only the one-way images touch the wire.
 func (fb *FBox) Put(dst amnet.MachineID, msg Message) error {
+	b := wire.Get(wire.DefaultHeadroom, len(msg.Payload))
+	b.AppendBytes(msg.Payload)
+	return fb.PutBuf(dst, msg.Dest, msg.Reply, msg.Sig, b)
+}
+
+// PutBuf is the zero-copy PUT: b carries the message payload (built
+// with at least wire.DefaultHeadroom of headroom) and the frame header
+// is prepended in place before the same backing array goes to the NIC.
+// Ownership of b transfers to the F-box/NIC on every path, success or
+// failure. reply and sig are the sender's secrets; their one-way
+// images F(reply), F(sig) are what hit the wire.
+func (fb *FBox) PutBuf(dst amnet.MachineID, dest, reply, sig Port, b *wire.Buf) error {
 	fb.mu.Lock()
 	if fb.closed {
 		fb.mu.Unlock()
+		b.Release()
 		return ErrClosed
 	}
 	fb.mu.Unlock()
-	return fb.nic.Send(dst, encodeFrame(kindMessage, transformOut(fb, msg)))
-}
-
-// transformOut applies the F-box transformation to an outgoing message.
-func transformOut(fb *FBox, msg Message) Message {
-	if msg.Reply != 0 {
-		msg.Reply = fb.F(msg.Reply)
+	if reply != 0 {
+		reply = fb.F(reply)
 	}
-	if msg.Sig != 0 {
-		msg.Sig = fb.F(msg.Sig)
+	if sig != 0 {
+		sig = fb.F(sig)
 	}
-	return msg
+	hdr := b.Prepend(headerSize)
+	hdr[0] = kindMessage
+	putPort(hdr[1:7], dest)
+	putPort(hdr[7:13], reply)
+	putPort(hdr[13:19], sig)
+	return fb.nic.SendBuf(dst, b)
 }
 
 // Locate broadcasts a LOCATE for put-port p. Machines whose F-box has
@@ -257,17 +352,23 @@ func (fb *FBox) Close() error {
 		return nil
 	}
 	fb.closed = true
-	listeners := make([]*Listener, 0, len(fb.listeners))
-	for _, l := range fb.listeners {
-		listeners = append(listeners, l)
+	// Retire every listener inline, under the lock: a snapshot closed
+	// after unlocking could race with an owner's concurrent Close
+	// recycling a pooled reply listener — the stale handle would then
+	// close (and double-pool) a listener already re-registered
+	// elsewhere. Under fb.mu the map holds exactly the live listeners,
+	// closing the channels here is safe against the pump (it delivers
+	// under this lock), and fb.closed stops any re-registration.
+	for put, l := range fb.listeners {
+		delete(fb.listeners, put)
+		delete(fb.locates, put)
+		l.closed = true
+		close(l.ch)
 	}
 	fb.mu.Unlock()
 
 	close(fb.done)
 	err := fb.nic.Close()
-	for _, l := range listeners {
-		l.Close()
-	}
 	fb.wg.Wait()
 	return err
 }
@@ -291,20 +392,31 @@ func (fb *FBox) pump() {
 func (fb *FBox) handleFrame(f amnet.Frame) {
 	kind, msg, err := decodeFrame(f.Payload)
 	if err != nil {
+		f.Release()
 		return // malformed: drop, as hardware would
+	}
+	if kind != kindMessage {
+		defer f.Release()
 	}
 	switch kind {
 	case kindMessage:
 		// Deliver under the lock (the send never blocks): pairs with
 		// Listener.Close, which closes the channel under the same lock.
+		// Ownership of the frame buffer rides into Received; every
+		// non-delivery path releases it.
+		delivered := false
 		fb.mu.Lock()
 		if l := fb.listeners[msg.Dest]; l != nil {
 			select {
-			case l.ch <- Received{Message: msg, From: f.Src}:
+			case l.ch <- Received{Message: msg, From: f.Src, Buf: f.Buf}:
+				delivered = true
 			default: // listener queue full: drop
 			}
 		}
 		fb.mu.Unlock()
+		if !delivered {
+			f.Release()
+		}
 	case kindLocate:
 		fb.mu.Lock()
 		_, here := fb.locates[msg.Dest]

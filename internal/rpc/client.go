@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"amoeba/internal/amnet"
@@ -11,6 +12,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/locate"
+	"amoeba/internal/wire"
 )
 
 // ErrTimeout is returned when a transaction exhausts its retries
@@ -146,15 +148,28 @@ func (c *Client) options(opts []CallOption) callOptions {
 // remaining budget also rides in the request header so servers that
 // issue nested RPC inherit it (see Request.Budget).
 func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...CallOption) (Reply, error) {
-	rep, _, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) ([]byte, error) {
-		sealed, err := sealRequestCap(c.cfg.Sealer, req, machine)
-		if err != nil {
-			return nil, fmt.Errorf("rpc: sealing capability: %w", err)
-		}
-		sealed.Budget = remainingBudget(ctx)
-		return EncodeRequest(sealed), nil
+	rep, _, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) (*wire.Buf, error) {
+		return c.encodeRequest(ctx, req, machine, nil)
 	})
 	return rep, err
+}
+
+// encodeRequest seals and encodes a request into a pooled buffer with
+// headroom for the layers below. The request data is req.Data followed
+// by parts, appended straight into the buffer.
+func (c *Client) encodeRequest(ctx context.Context, req Request, machine amnet.MachineID, parts [][]byte) (*wire.Buf, error) {
+	sealed, err := sealRequestCap(c.cfg.Sealer, req, machine)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: sealing capability: %w", err)
+	}
+	sealed.Budget = remainingBudget(ctx)
+	size := reqHeader + len(sealed.Data)
+	for _, p := range parts {
+		size += len(p)
+	}
+	b := wire.Get(wire.DefaultHeadroom, size)
+	appendRequest(b, sealed, parts...)
+	return b, nil
 }
 
 // transact is the engine under Trans and Batch: locate the server
@@ -162,7 +177,7 @@ func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...
 // machine, so the payload is rebuilt per attempt), PUT, await the
 // reply, retry on timeout. It returns the machine that answered so
 // callers can open per-item sealed capabilities.
-func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, build func(amnet.MachineID) ([]byte, error)) (Reply, amnet.MachineID, error) {
+func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, build func(amnet.MachineID) (*wire.Buf, error)) (Reply, amnet.MachineID, error) {
 	o := c.options(opts)
 	var lastErr error
 	for attempt := 0; attempt <= o.retries; attempt++ {
@@ -223,24 +238,33 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 	if len(reqs) > MaxBatchItems {
 		return nil, fmt.Errorf("rpc: batch of %d requests exceeds %d", len(reqs), MaxBatchItems)
 	}
-	rep, machine, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) ([]byte, error) {
+	rep, machine, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) (*wire.Buf, error) {
 		budget := remainingBudget(ctx)
-		items := make([][]byte, len(reqs))
 		size := 0
-		for i, r := range reqs {
-			sealed, err := sealRequestCap(c.cfg.Sealer, r, machine)
-			if err != nil {
-				return nil, fmt.Errorf("rpc: sealing batch item %d: %w", i, err)
-			}
-			sealed.Budget = budget
-			items[i] = EncodeRequest(sealed)
-			size += len(items[i])
+		for _, r := range reqs {
+			size += reqHeader + len(r.Data)
 		}
 		if size > MaxBatchBytes {
 			return nil, fmt.Errorf("rpc: batch payload %d bytes exceeds %d", size, MaxBatchBytes)
 		}
-		outer := Request{Op: OpBatch, Data: EncodeBatchItems(items), Budget: budget}
-		return EncodeRequest(outer), nil
+		// The whole frame — outer request, item count, every sealed
+		// sub-request — is encoded into one pooled buffer; no
+		// intermediate per-item slices.
+		dataLen := 2 + size + 4*len(reqs)
+		b := wire.Get(wire.DefaultHeadroom, reqHeader+dataLen)
+		appendRequestHeader(b, OpBatch, cap.Nil, budget, dataLen)
+		appendBatchCount(b, len(reqs))
+		for i, r := range reqs {
+			sealed, err := sealRequestCap(c.cfg.Sealer, r, machine)
+			if err != nil {
+				b.Release()
+				return nil, fmt.Errorf("rpc: sealing batch item %d: %w", i, err)
+			}
+			sealed.Budget = budget
+			appendBatchItemHeader(b, reqHeader+len(sealed.Data))
+			appendRequest(b, sealed)
+		}
+		return b, nil
 	})
 	if err != nil {
 		return nil, err
@@ -295,23 +319,43 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// attempt sends one request and waits one timeout for the reply.
-func (c *Client) attempt(ctx context.Context, machine amnet.MachineID, dest cap.Port, payload []byte, o callOptions) (Reply, error) {
+// timerPool recycles attempt timers: with Go's post-1.23 timer
+// semantics Reset after Stop is race-free, so one timer serves many
+// transactions instead of three allocations per attempt.
+var timerPool sync.Pool
+
+func startTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func stopTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// attempt sends one request and waits one timeout for the reply. It
+// owns payload: the buffer is consumed by the PUT (or released on the
+// paths that never reach it).
+func (c *Client) attempt(ctx context.Context, machine amnet.MachineID, dest cap.Port, payload *wire.Buf, o callOptions) (Reply, error) {
 	// Fresh one-shot reply port per attempt: stray replies from a
 	// previous timed-out attempt cannot be confused with this one.
 	gPrime := cap.Port(crypto.Rand48(c.cfg.Source))
-	l, err := c.fb.Get(gPrime, false)
+	l, err := c.fb.GetReply(gPrime)
 	if err != nil {
+		payload.Release()
 		return Reply{}, fmt.Errorf("rpc: reply port: %w", err)
 	}
 	defer l.Close()
 
-	msg := fbox.Message{Dest: dest, Reply: gPrime, Sig: o.sig, Payload: payload}
-	if err := c.fb.Put(machine, msg); err != nil {
+	if err := c.fb.PutBuf(machine, dest, gPrime, o.sig, payload); err != nil {
 		return Reply{}, fmt.Errorf("rpc: put: %w", err)
 	}
-	timer := time.NewTimer(o.timeout)
-	defer timer.Stop()
+	timer := startTimer(o.timeout)
+	defer stopTimer(timer)
 	select {
 	case m, ok := <-l.Recv():
 		if !ok {
@@ -319,12 +363,18 @@ func (c *Client) attempt(ctx context.Context, machine amnet.MachineID, dest cap.
 		}
 		rep, err := DecodeReply(m.Payload)
 		if err != nil {
+			m.Release()
 			return Reply{}, err
 		}
 		rep, err = openReplyCap(c.cfg.Sealer, rep, m.From)
 		if err != nil {
+			m.Release()
 			return Reply{}, fmt.Errorf("rpc: opening reply capability: %w", err)
 		}
+		// Copy the results out of the pooled frame before releasing
+		// it: the caller owns rep.Data outright.
+		rep.Data = append([]byte(nil), rep.Data...)
+		m.Release()
 		return rep, nil
 	case <-ctx.Done():
 		return Reply{}, fmt.Errorf("rpc: %v: %w", dest, ctx.Err())
@@ -338,6 +388,25 @@ func (c *Client) attempt(ctx context.Context, machine amnet.MachineID, dest cap.
 // non-OK statuses into *StatusError values.
 func (c *Client) Call(ctx context.Context, c0 cap.Capability, op uint16, data []byte, opts ...CallOption) (Reply, error) {
 	rep, err := c.Trans(ctx, c0.Server, Request{Cap: c0, Op: op, Data: data}, opts...)
+	if err != nil {
+		return Reply{}, err
+	}
+	if rep.Status != StatusOK {
+		return rep, &StatusError{Status: rep.Status, Detail: string(rep.Data)}
+	}
+	return rep, nil
+}
+
+// CallParts is Call with a vectored payload: the request data is the
+// concatenation of parts, appended piece by piece into the pooled wire
+// buffer. Typed service clients use it to lay a small parameter header
+// (a stack array) in front of bulk data without first gluing them into
+// a fresh intermediate slice.
+func (c *Client) CallParts(ctx context.Context, c0 cap.Capability, op uint16, parts ...[]byte) (Reply, error) {
+	req := Request{Cap: c0, Op: op}
+	rep, _, err := c.transact(ctx, c0.Server, nil, func(machine amnet.MachineID) (*wire.Buf, error) {
+		return c.encodeRequest(ctx, req, machine, parts)
+	})
 	if err != nil {
 		return Reply{}, err
 	}

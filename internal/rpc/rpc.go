@@ -49,6 +49,7 @@ import (
 
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
+	"amoeba/internal/wire"
 )
 
 // Status is the outcome of a transaction, carried in every reply.
@@ -161,6 +162,12 @@ type Reply struct {
 	// Data carries the results; for non-OK statuses it may carry a
 	// human-readable detail string.
 	Data []byte
+	// Buf, when set by a server handler (OkReplyBuf), is the pooled
+	// buffer backing Data; the transport releases it after encoding the
+	// reply onto the wire, so handlers can serve results out of pooled
+	// scratch instead of fresh allocations. Never set on the client
+	// side: replies returned from Trans/Call own their Data outright.
+	Buf *wire.Buf
 }
 
 // ErrReply builds an error reply with a detail message.
@@ -175,6 +182,30 @@ func ErrReplyFromErr(err error) Reply {
 
 // OkReply builds a success reply carrying data.
 func OkReply(data []byte) Reply { return Reply{Status: StatusOK, Data: data} }
+
+// NewReplyBuf returns a pooled buffer sized for a handler result of
+// `capacity` bytes, with headroom reserved for the reply header and
+// the frame headers below it — so a reply built here ships on the
+// wire from this very backing array, never copied again. Pair with
+// OkReplyBuf.
+func NewReplyBuf(capacity int) *wire.Buf {
+	return wire.Get(wire.DefaultHeadroom+wireHeader, capacity)
+}
+
+// OkReplyBuf builds a success reply whose data lives in a pooled
+// buffer (ideally from NewReplyBuf) that the transport consumes when
+// the reply is framed — the zero-copy path for handlers producing
+// bulk results (the block server reads disk blocks straight into one).
+func OkReplyBuf(b *wire.Buf) Reply {
+	return Reply{Status: StatusOK, Data: b.Bytes(), Buf: b}
+}
+
+// releaseBuf returns a handler reply's pooled scratch, if any.
+func (r Reply) releaseBuf() {
+	if r.Buf != nil {
+		r.Buf.Release()
+	}
+}
 
 // CapReply builds a success reply carrying a capability.
 func CapReply(c cap.Capability) Reply { return Reply{Status: StatusOK, Cap: c} }
@@ -236,6 +267,20 @@ func EncodeBatchItems(items [][]byte) []byte {
 	return buf
 }
 
+// appendBatchCount writes a batch payload's leading item count into
+// the pooled buffer — the zero-alloc twin of EncodeBatchItems' count
+// field; keep the layouts in lockstep.
+func appendBatchCount(b *wire.Buf, n int) {
+	binary.BigEndian.PutUint16(b.Extend(2), uint16(n))
+}
+
+// appendBatchItemHeader writes one item's length prefix; the caller
+// appends exactly n bytes of encoded item after it (the layout
+// EncodeBatchItems documents and DecodeBatchItems expects).
+func appendBatchItemHeader(b *wire.Buf, n int) {
+	binary.BigEndian.PutUint32(b.Extend(4), uint32(n))
+}
+
 // DecodeBatchItems unpacks a batch payload into its items.
 func DecodeBatchItems(buf []byte) ([][]byte, error) {
 	if len(buf) < 2 {
@@ -285,7 +330,10 @@ func budgetToWire(d time.Duration) uint32 {
 	return uint32(ms)
 }
 
-// EncodeRequest serializes a request for the F-box payload.
+// EncodeRequest serializes a request for the F-box payload into a
+// fresh slice the caller owns. The transport itself encodes into
+// pooled buffers via appendRequest; this entry point serves tests and
+// tools.
 func EncodeRequest(req Request) []byte {
 	buf := make([]byte, 0, reqHeader+len(req.Data))
 	var op [2]byte
@@ -299,6 +347,33 @@ func EncodeRequest(req Request) []byte {
 	binary.BigEndian.PutUint32(dl[:], uint32(len(req.Data)))
 	buf = append(buf, dl[:]...)
 	return append(buf, req.Data...)
+}
+
+// appendRequest encodes req into the pooled buffer. The request data
+// is req.Data followed by the extra parts, so callers can assemble a
+// payload from scattered pieces (header array + bulk data) without an
+// intermediate allocation.
+func appendRequest(b *wire.Buf, req Request, parts ...[]byte) {
+	dataLen := len(req.Data)
+	for _, p := range parts {
+		dataLen += len(p)
+	}
+	appendRequestHeader(b, req.Op, req.Cap, req.Budget, dataLen)
+	b.AppendBytes(req.Data)
+	for _, p := range parts {
+		b.AppendBytes(p)
+	}
+}
+
+// appendRequestHeader writes just the fixed request header; the caller
+// appends exactly dataLen bytes of request data after it.
+func appendRequestHeader(b *wire.Buf, op uint16, c cap.Capability, budget time.Duration, dataLen int) {
+	hdr := b.Extend(reqHeader)
+	binary.BigEndian.PutUint16(hdr[0:2], op)
+	w := c.Encode()
+	copy(hdr[2:2+cap.Size], w[:])
+	binary.BigEndian.PutUint32(hdr[2+cap.Size:], budgetToWire(budget))
+	binary.BigEndian.PutUint32(hdr[2+cap.Size+4:], uint32(dataLen))
 }
 
 // DecodeRequest parses a request payload.
@@ -319,7 +394,9 @@ func DecodeRequest(buf []byte) (Request, error) {
 	return Request{Cap: c, Op: op, Budget: budget, Data: buf[reqHeader:]}, nil
 }
 
-// EncodeReply serializes a reply for the F-box payload.
+// EncodeReply serializes a reply for the F-box payload into a fresh
+// slice the caller owns (see EncodeRequest; the transport uses
+// appendReply).
 func EncodeReply(rep Reply) []byte {
 	buf := make([]byte, 0, wireHeader+len(rep.Data))
 	var st [2]byte
@@ -330,6 +407,21 @@ func EncodeReply(rep Reply) []byte {
 	binary.BigEndian.PutUint32(dl[:], uint32(len(rep.Data)))
 	buf = append(buf, dl[:]...)
 	return append(buf, rep.Data...)
+}
+
+// appendReply encodes rep into the pooled buffer.
+func appendReply(b *wire.Buf, rep Reply) {
+	putReplyHeader(b.Extend(wireHeader), rep)
+	b.AppendBytes(rep.Data)
+}
+
+// putReplyHeader lays the fixed reply header into hdr (wireHeader
+// bytes): status(2) cap(16) dlen(4).
+func putReplyHeader(hdr []byte, rep Reply) {
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(rep.Status))
+	w := rep.Cap.Encode()
+	copy(hdr[2:2+cap.Size], w[:])
+	binary.BigEndian.PutUint32(hdr[2+cap.Size:], uint32(len(rep.Data)))
 }
 
 // DecodeReply parses a reply payload.

@@ -11,6 +11,7 @@ import (
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
+	"amoeba/internal/wire"
 )
 
 // Handler processes one request and produces the reply. Handlers run
@@ -94,16 +95,29 @@ type Server struct {
 	closed   bool
 	baseCtx  context.Context
 	cancel   context.CancelFunc
+	// handlerCtx is baseCtx pre-wrapped with the WithoutDeadline key,
+	// built once at Start so the no-deadline dispatch path allocates no
+	// context per request.
+	handlerCtx context.Context
 
 	// work hands requests to pool workers. It is unbuffered on
 	// purpose: a send succeeds only when a worker is actually free,
 	// which is what makes batch fan-out (trySubmit-or-inline)
 	// deadlock-free.
-	work    chan func()
+	work    chan job
 	stop    chan struct{}
 	tasks   sync.WaitGroup // accepted requests in flight
 	loopWG  sync.WaitGroup // the dispatch loop
 	workers sync.WaitGroup // pool workers
+}
+
+// job is one unit of worker-pool work: either a decoded request (the
+// common case — carried by value so dispatch allocates nothing) or a
+// batch sub-request closure.
+type job struct {
+	fn  func() // batch fan-out; nil for ordinary requests
+	m   fbox.Received
+	req Request
 }
 
 // NewServer creates a server with a fresh secret get-port drawn from
@@ -267,7 +281,8 @@ func (s *Server) Start() error {
 	s.listener = l
 	s.started = true
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.work = make(chan func())
+	s.handlerCtx = context.WithValue(s.baseCtx, baseCtxKey{}, s.baseCtx)
+	s.work = make(chan job)
 	s.stop = make(chan struct{})
 	s.mu.Unlock()
 
@@ -284,8 +299,13 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for {
 		select {
-		case fn := <-s.work:
-			fn()
+		case j := <-s.work:
+			if j.fn != nil {
+				j.fn()
+				continue
+			}
+			s.serve(j.m, j.req)
+			s.tasks.Done()
 		case <-s.stop:
 			return
 		}
@@ -294,14 +314,13 @@ func (s *Server) worker() {
 
 func (s *Server) loop(l *fbox.Listener) {
 	defer s.loopWG.Done()
-	s.mu.Lock()
+	// Handlers and the sealer are frozen at Start; read them lock-free.
 	sealer := s.sealer
-	base := s.baseCtx
-	s.mu.Unlock()
 	for m := range l.Recv() {
 		req, err := DecodeRequest(m.Payload)
 		if err != nil {
 			s.reply(sealer, m, ErrReply(StatusBadRequest, err.Error()))
+			m.Release()
 			continue
 		}
 		if sealer != nil {
@@ -312,45 +331,47 @@ func (s *Server) loop(l *fbox.Listener) {
 			req, err = openRequestCap(sealer, req, m.From)
 			if err != nil {
 				s.reply(sealer, m, ErrReply(StatusBadCapability, err.Error()))
+				m.Release()
 				continue
 			}
 		}
 		if req.Op != OpBatch && s.handlers[req.Op] == nil {
 			s.reply(sealer, m, ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", req.Op)))
+			m.Release()
 			continue
 		}
-		m, req := m, req
 		s.tasks.Add(1)
 		// Backpressure: when every worker is busy this send blocks,
 		// the listener queue and then the NIC queue fill, and excess
 		// load is shed at the wire — clients time out and retry.
-		s.work <- func() {
-			defer s.tasks.Done()
-			s.serve(base, sealer, m, req)
-		}
+		// Ownership of m's frame buffer rides into the job; the worker
+		// releases it once the reply is on the wire.
+		s.work <- job{m: m, req: req}
 	}
 }
 
-// serve runs one accepted request on a pool worker.
-func (s *Server) serve(base context.Context, sealer CapSealer, m fbox.Received, req Request) {
+// serve runs one accepted request on a pool worker. It owns m's frame
+// buffer: req.Data (and any reply aliasing it, like OpEcho's) stays
+// valid until the reply has been encoded, then the buffer is released.
+func (s *Server) serve(m fbox.Received, req Request) {
+	defer m.Release()
 	// The caller's remaining deadline budget (if any) bounds this
 	// handler and every nested RPC it issues; the base context stays
 	// reachable for WithoutDeadline cleanup.
-	ctx := base
+	ctx := s.handlerCtx
 	if req.Budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(base, req.Budget)
+		ctx, cancel = context.WithTimeout(ctx, req.Budget)
 		defer cancel()
 	}
-	ctx = context.WithValue(ctx, baseCtxKey{}, base)
 	md := Meta{From: m.From, Sig: m.Sig}
 	var rep Reply
 	if req.Op == OpBatch {
-		rep = s.serveBatch(ctx, sealer, md, req)
+		rep = s.serveBatch(ctx, s.sealer, md, req)
 	} else {
 		rep = s.handlers[req.Op](ctx, md, req)
 	}
-	s.reply(sealer, m, rep)
+	s.reply(s.sealer, m, rep)
 }
 
 // serveBatch fans an OpBatch frame's sub-requests out across the
@@ -395,50 +416,88 @@ func (s *Server) serveBatch(ctx context.Context, sealer CapSealer, md Meta, req 
 		}
 		wg.Add(1)
 		select {
-		case s.work <- run: // an idle worker took it
+		case s.work <- job{fn: run}: // an idle worker took it
 		default:
 			run() // pool busy: the batch's own slot guarantees progress
 		}
 	}
 	wg.Wait()
-	items := make([][]byte, len(replies))
 	size := 0
-	for i, rep := range replies {
+	for i := range replies {
 		if sealer != nil {
-			sealed, err := sealReplyCap(sealer, rep, md.From)
+			sealed, err := sealReplyCap(sealer, replies[i], md.From)
 			if err != nil {
-				rep = ErrReply(StatusServerError, "sealing reply capability: "+err.Error())
+				replies[i].releaseBuf()
+				replies[i] = ErrReply(StatusServerError, "sealing reply capability: "+err.Error())
 			} else {
-				rep = sealed
+				replies[i] = sealed
 			}
 		}
-		items[i] = EncodeReply(rep)
-		size += len(items[i])
+		size += wireHeader + len(replies[i].Data)
 	}
 	// An over-MTU reply frame would be dropped by the wire and the
 	// client would retry (re-executing the batch) forever; fail loudly
 	// instead so the caller learns to chunk.
 	if size > MaxBatchBytes {
+		for i := range replies {
+			replies[i].releaseBuf()
+		}
 		return ErrReply(StatusBadRequest,
 			fmt.Sprintf("batch reply of %d bytes exceeds %d; split the batch", size, MaxBatchBytes))
 	}
-	return OkReply(EncodeBatchItems(items))
+	// Pack every sub-reply into one pooled buffer handed onward to the
+	// reply path, which ships it as the reply frame in place.
+	out := NewReplyBuf(2 + size + 4*len(replies))
+	appendBatchCount(out, len(replies))
+	for i := range replies {
+		appendBatchItemHeader(out, wireHeader+len(replies[i].Data))
+		appendReply(out, replies[i])
+		replies[i].releaseBuf()
+	}
+	return Reply{Status: StatusOK, Data: out.Bytes(), Buf: out}
 }
 
 func (s *Server) reply(sealer CapSealer, m fbox.Received, rep Reply) {
 	if m.Reply == 0 {
+		rep.releaseBuf()
 		return // no reply requested
 	}
 	if sealer != nil {
 		sealed, err := sealReplyCap(sealer, rep, m.From)
 		if err != nil {
+			rep.releaseBuf()
 			rep = ErrReply(StatusServerError, "sealing reply capability: "+err.Error())
 		} else {
-			rep = sealed
+			rep = sealed // the pooled Buf (if any) rides along
 		}
 	}
+	var b *wire.Buf
+	if rep.Buf != nil && replyDataIsBuf(rep) {
+		// Zero-copy: the handler built its result in a pooled buffer
+		// (NewReplyBuf reserves header headroom); the reply header is
+		// prepended in place and the same backing array ships.
+		b = rep.Buf
+		putReplyHeader(b.Prepend(wireHeader), rep)
+	} else {
+		// Encode into a pooled frame buffer with headroom for the
+		// F-box header, then retire the handler's scratch.
+		b = wire.Get(wire.DefaultHeadroom, wireHeader+len(rep.Data))
+		appendReply(b, rep)
+		rep.releaseBuf()
+	}
 	// Best effort: an unreachable client retries with a new port.
-	_ = s.fb.Put(m.From, fbox.Message{Dest: m.Reply, Payload: EncodeReply(rep)})
+	_ = s.fb.PutBuf(m.From, m.Reply, 0, 0, b)
+}
+
+// replyDataIsBuf reports whether rep.Data is exactly the live payload
+// of rep.Buf — the precondition for shipping the handler's buffer
+// directly (a sliced or swapped Data falls back to the copying path).
+func replyDataIsBuf(rep Reply) bool {
+	bb := rep.Buf.Bytes()
+	if len(rep.Data) != len(bb) {
+		return false
+	}
+	return len(bb) == 0 || &rep.Data[0] == &bb[0]
 }
 
 // Close stops the dispatch loop, cancels the context handed to every

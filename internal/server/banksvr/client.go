@@ -69,26 +69,22 @@ func (b *Client) Balance(ctx context.Context, acct cap.Capability) (map[string]i
 }
 
 // Transfer withdraws amount of currency from src (needs RightWrite)
-// and deposits it into dest (needs RightCreate).
+// and deposits it into dest (needs RightCreate). The pieces go
+// straight into the pooled wire buffer.
 func (b *Client) Transfer(ctx context.Context, src, dest cap.Capability, currency string, amount int64) error {
-	data := dest.AppendTo(nil)
-	data = appendCurrency(data, currency)
+	w := dest.Encode()
 	var amt [8]byte
 	binary.BigEndian.PutUint64(amt[:], uint64(amount))
-	data = append(data, amt[:]...)
-	_, err := b.c.Call(ctx, src, OpTransfer, data)
+	_, err := b.c.CallParts(ctx, src, OpTransfer, w[:], currencyField(currency), amt[:])
 	return err
 }
 
 // Convert exchanges amount of from-currency into to-currency within
 // one account, at the bank's posted rate.
 func (b *Client) Convert(ctx context.Context, acct cap.Capability, from, to string, amount int64) error {
-	data := appendCurrency(nil, from)
-	data = appendCurrency(data, to)
 	var amt [8]byte
 	binary.BigEndian.PutUint64(amt[:], uint64(amount))
-	data = append(data, amt[:]...)
-	_, err := b.c.Call(ctx, acct, OpConvert, data)
+	_, err := b.c.CallParts(ctx, acct, OpConvert, currencyField(from), currencyField(to), amt[:])
 	return err
 }
 
@@ -109,3 +105,6 @@ func appendCurrency(dst []byte, c string) []byte {
 	dst = append(dst, byte(len(c)))
 	return append(dst, c...)
 }
+
+// currencyField encodes one len-prefixed currency name.
+func currencyField(c string) []byte { return appendCurrency(make([]byte, 0, 1+len(c)), c) }

@@ -21,6 +21,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/vdisk"
+	"amoeba/internal/wire"
 )
 
 // Operation codes.
@@ -179,11 +180,14 @@ func (s *Server) read(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply 
 	if _, err := s.demandBlock(req.Cap, cap.RightRead); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	data, err := s.disk.Read(block)
-	if err != nil {
+	// Read straight into a pooled reply buffer that ships on the wire
+	// as-is: no per-read block allocation, no reply copy.
+	b := rpc.NewReplyBuf(s.disk.BlockSize())
+	if err := s.disk.ReadInto(block, b.Extend(s.disk.BlockSize())); err != nil {
+		b.Release()
 		return rpc.ErrReplyFromErr(err)
 	}
-	return rpc.OkReply(data)
+	return rpc.OkReplyBuf(b)
 }
 
 func (s *Server) write(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -195,15 +199,22 @@ func (s *Server) write(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply
 		return rpc.ErrReply(rpc.StatusBadRequest,
 			fmt.Sprintf("write of %d bytes into %d-byte block", len(req.Data), s.disk.BlockSize()))
 	}
-	buf := make([]byte, s.disk.BlockSize())
-	copy(buf, req.Data)
+	// Zero-pad short writes in pooled scratch (the disk copies it into
+	// its own storage before we release).
+	b := wire.Get(0, s.disk.BlockSize())
+	defer b.Release()
+	img := b.Extend(s.disk.BlockSize())
+	pad := img[copy(img, req.Data):]
+	for i := range pad {
+		pad[i] = 0
+	}
 	s.locks[block].Lock()
 	defer s.locks[block].Unlock()
 	// See read: re-validate, don't just re-check the reusable flag.
 	if _, err := s.demandBlock(req.Cap, cap.RightWrite); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	if err := s.disk.Write(block, buf); err != nil {
+	if err := s.disk.Write(block, img); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
 	return rpc.OkReply(nil)

@@ -76,7 +76,7 @@ type slowDisk struct {
 	cur, peak atomic.Int64
 }
 
-func (d *slowDisk) Read(n uint32) ([]byte, error) {
+func (d *slowDisk) ReadInto(n uint32, dst []byte) error {
 	c := d.cur.Add(1)
 	for {
 		p := d.peak.Load()
@@ -86,7 +86,7 @@ func (d *slowDisk) Read(n uint32) ([]byte, error) {
 	}
 	time.Sleep(d.delay)
 	defer d.cur.Add(-1)
-	return d.Store.Read(n)
+	return d.Store.ReadInto(n, dst)
 }
 
 // TestDiskIOOverlaps is the regression test for the lock-across-I/O

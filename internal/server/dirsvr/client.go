@@ -51,11 +51,10 @@ func (d *Client) Lookup(ctx context.Context, dir cap.Capability, name string) (c
 
 // Enter stores (name, entry) in dir.
 func (d *Client) Enter(ctx context.Context, dir cap.Capability, name string, entry cap.Capability) error {
-	buf := make([]byte, 2, 2+len(name)+cap.Size)
-	binary.BigEndian.PutUint16(buf, uint16(len(name)))
-	buf = append(buf, name...)
-	buf = entry.AppendTo(buf)
-	_, err := d.c.Call(ctx, dir, OpEnter, buf)
+	var nl [2]byte
+	binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
+	w := entry.Encode()
+	_, err := d.c.CallParts(ctx, dir, OpEnter, nl[:], []byte(name), w[:])
 	return err
 }
 
@@ -109,17 +108,46 @@ func (d *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights
 	return d.c.Restrict(ctx, c, mask)
 }
 
-// LookupPath resolves a slash-separated path relative to root by
-// iterative Lookup calls. If an intermediate capability names a
-// directory managed by a different server, the next request simply
-// goes there — §3.4's transparent distribution. Empty components
-// (leading, trailing or doubled slashes) are ignored.
+// LookupPath resolves a slash-separated path relative to root. All
+// components managed by one server resolve in a single OpLookupPath
+// transaction; when an intermediate capability names a directory on a
+// different server, the walk simply continues there — §3.4's
+// transparent distribution — so a path crossing k servers costs k
+// round trips, not one per component. Empty components (leading,
+// trailing or doubled slashes) are ignored. Servers predating
+// OpLookupPath are handled by falling back to per-component Lookup.
 func (d *Client) LookupPath(ctx context.Context, root cap.Capability, path string) (cap.Capability, error) {
+	comps := splitComponents(path)
 	cur := root
-	for _, comp := range strings.Split(path, "/") {
-		if comp == "" {
-			continue
+	for len(comps) > 0 {
+		rep, err := d.c.Call(ctx, cur, OpLookupPath, []byte(strings.Join(comps, "/")))
+		if err != nil {
+			if rpc.IsStatus(err, rpc.StatusNoSuchOp) {
+				return d.lookupPathIterative(ctx, cur, comps, path)
+			}
+			return cap.Nil, fmt.Errorf("dirsvr: resolving %q: %w", path, err)
 		}
+		if len(rep.Data) != 2+cap.Size {
+			return cap.Nil, fmt.Errorf("dirsvr: lookup-path reply %d bytes", len(rep.Data))
+		}
+		consumed := int(binary.BigEndian.Uint16(rep.Data))
+		next, err := cap.Decode(rep.Data[2:])
+		if err != nil {
+			return cap.Nil, err
+		}
+		if consumed == 0 || consumed > len(comps) {
+			return cap.Nil, fmt.Errorf("dirsvr: lookup-path consumed %d of %d components", consumed, len(comps))
+		}
+		cur = next
+		comps = comps[consumed:]
+	}
+	return cur, nil
+}
+
+// lookupPathIterative is the pre-OpLookupPath walk: one Lookup per
+// component.
+func (d *Client) lookupPathIterative(ctx context.Context, cur cap.Capability, comps []string, path string) (cap.Capability, error) {
+	for _, comp := range comps {
 		next, err := d.Lookup(ctx, cur, comp)
 		if err != nil {
 			return cap.Nil, fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
@@ -127,6 +155,17 @@ func (d *Client) LookupPath(ctx context.Context, root cap.Capability, path strin
 		cur = next
 	}
 	return cur, nil
+}
+
+// splitComponents returns path's non-empty components.
+func splitComponents(path string) []string {
+	comps := make([]string, 0, 8)
+	for _, comp := range strings.Split(path, "/") {
+		if comp != "" {
+			comps = append(comps, comp)
+		}
+	}
+	return comps
 }
 
 // EnterPath resolves the directory part of path and enters the final
@@ -150,20 +189,15 @@ func (d *Client) RemovePath(ctx context.Context, root cap.Capability, path strin
 }
 
 func (d *Client) splitPath(ctx context.Context, root cap.Capability, path string) (dir cap.Capability, base string, err error) {
-	comps := make([]string, 0, 8)
-	for _, comp := range strings.Split(path, "/") {
-		if comp != "" {
-			comps = append(comps, comp)
-		}
-	}
+	comps := splitComponents(path)
 	if len(comps) == 0 {
 		return cap.Nil, "", fmt.Errorf("dirsvr: path %q has no components", path)
 	}
 	dir = root
-	for _, comp := range comps[:len(comps)-1] {
-		dir, err = d.Lookup(ctx, dir, comp)
+	if len(comps) > 1 {
+		dir, err = d.LookupPath(ctx, root, strings.Join(comps[:len(comps)-1], "/"))
 		if err != nil {
-			return cap.Nil, "", fmt.Errorf("dirsvr: resolving %q at %q: %w", path, comp, err)
+			return cap.Nil, "", err
 		}
 	}
 	return dir, comps[len(comps)-1], nil

@@ -285,7 +285,9 @@ func (s *Server) read(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	out := make([]byte, 0, want)
+	// Assemble the span in a pooled reply buffer that ships on the
+	// wire in place.
+	out := rpc.NewReplyBuf(int(want))
 	for off := pos; off < pos+want; {
 		bi := off / s.bsize
 		bo := off % s.bsize
@@ -293,10 +295,10 @@ func (s *Server) read(ctx context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 		if n > pos+want-off {
 			n = pos + want - off
 		}
-		out = append(out, blks[bi-first][bo:bo+n]...)
+		out.AppendBytes(blks[bi-first][bo : bo+n])
 		off += n
 	}
-	return rpc.OkReply(out)
+	return rpc.OkReplyBuf(out)
 }
 
 func (s *Server) sizeOp(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -407,10 +409,9 @@ func (f *Client) WriteAt(ctx context.Context, fc cap.Capability, pos uint64, dat
 		if n > transferChunk {
 			n = transferChunk
 		}
-		buf := make([]byte, 8+n)
-		binary.BigEndian.PutUint64(buf, pos)
-		copy(buf[8:], data[:n])
-		if _, err := f.c.Call(ctx, fc, OpWrite, buf); err != nil {
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], pos)
+		if _, err := f.c.CallParts(ctx, fc, OpWrite, hdr[:], data[:n]); err != nil {
 			return err
 		}
 		pos += uint64(n)

@@ -8,6 +8,7 @@ import (
 
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/servertest"
+	"amoeba/internal/wire"
 )
 
 // TestSoakConcurrentClients hammers the flat file server (and,
@@ -41,6 +42,39 @@ func TestSoakConcurrentClients(t *testing.T) {
 		}
 		if sz, err := fc.Size(ctx, fh); err != nil || sz != 64 {
 			return fmt.Errorf("size %d after truncate: %v", sz, err)
+		}
+		return fc.Destroy(ctx, fh)
+	})
+}
+
+// TestSoakWireDebugPoison re-runs the concurrent soak with the wire
+// pool's poison-on-release mode armed: every released buffer is
+// poisoned and checked at reuse, so a handler (or client) that
+// retained a payload past its release and wrote through it panics the
+// run. Combined with -race this is the buffer-lifetime proof for the
+// whole stack — flat file server, nested block-server batches, pooled
+// reply listeners and all.
+func TestSoakWireDebugPoison(t *testing.T) {
+	wire.SetDebug(true)
+	t.Cleanup(func() { wire.SetDebug(false) })
+	r, f, _ := newStack(t, 8192, 128)
+	port := f.Port()
+	r.Soak(t, servertest.SoakClients, 2, func(ctx context.Context, c *rpc.Client, g, i int) error {
+		fc := NewClient(c, port)
+		fh, err := fc.Create(ctx)
+		if err != nil {
+			return err
+		}
+		payload := bytes.Repeat([]byte(fmt.Sprintf("[%d:%d]", g, i)), 48)
+		if err := fc.WriteAt(ctx, fh, 19, payload); err != nil {
+			return err
+		}
+		got, err := fc.ReadAt(ctx, fh, 19, uint32(len(payload)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("read back %d bytes, mismatch", len(got))
 		}
 		return fc.Destroy(ctx, fh)
 	})

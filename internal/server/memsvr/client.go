@@ -42,16 +42,14 @@ func (m *Client) CreateSegment(ctx context.Context, size uint32) (cap.Capability
 	return rep.Cap, nil
 }
 
-// Write loads data into the segment at offset.
+// Write loads data into the segment at offset. The parameter header
+// and the payload are laid into the pooled wire buffer directly — no
+// intermediate concatenation.
 func (m *Client) Write(ctx context.Context, seg cap.Capability, offset uint32, data []byte) error {
-	buf := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(buf, offset)
-	copy(buf[4:], data)
-	rep, err := m.c.Call(ctx, seg, OpWriteSeg, buf)
-	if err != nil {
-		return err
-	}
-	return statusErr(rep)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], offset)
+	_, err := m.c.CallParts(ctx, seg, OpWriteSeg, hdr[:], data)
+	return err
 }
 
 // Read returns length bytes from the segment at offset.

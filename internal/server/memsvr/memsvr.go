@@ -203,9 +203,11 @@ func (s *Server) readSeg(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Rep
 		return rpc.ErrReply(rpc.StatusBadRequest,
 			fmt.Sprintf("read [%d,%d) exceeds segment size %d", off, int64(off)+int64(n), len(sg.data)))
 	}
-	out := make([]byte, n)
-	copy(out, sg.data[off:])
-	return rpc.OkReply(out)
+	// Copy into a pooled reply buffer that ships on the wire in place
+	// — one copy out of the segment, none after.
+	out := rpc.NewReplyBuf(int(n))
+	out.AppendBytes(sg.data[off : int64(off)+int64(n)])
+	return rpc.OkReplyBuf(out)
 }
 
 func (s *Server) segSize(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {

@@ -45,12 +45,12 @@ func (m *Client) NewVersion(ctx context.Context, fileCap cap.Capability) (cap.Ca
 }
 
 // WritePage writes one page of an uncommitted version (data is
-// zero-padded to PageSize).
+// zero-padded to PageSize). Header and page go straight into the
+// pooled wire buffer.
 func (m *Client) WritePage(ctx context.Context, verCap cap.Capability, pageNo uint32, data []byte) error {
-	buf := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(buf, pageNo)
-	copy(buf[4:], data)
-	_, err := m.c.Call(ctx, verCap, OpWritePage, buf)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], pageNo)
+	_, err := m.c.CallParts(ctx, verCap, OpWritePage, hdr[:], data)
 	return err
 }
 

@@ -229,7 +229,7 @@ func (s *Server) readPage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 		v.mu.RLock()
 		page := v.pages[pageNo]
 		v.mu.RUnlock()
-		return rpc.OkReply(clonePage(page))
+		return clonePageReply(page)
 	}
 
 	f, err := s.fileFor(req.Cap, cap.RightRead)
@@ -248,16 +248,23 @@ func (s *Server) readPage(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 	v := f.versions[idx]
 	f.mu.RUnlock()
 	v.mu.RLock()
-	page := clonePage(v.pages[pageNo])
+	page := v.pages[pageNo]
 	v.mu.RUnlock()
-	return rpc.OkReply(page)
+	return clonePageReply(page)
 }
 
-// clonePage returns a full-size copy of a page (zero page if nil).
-func clonePage(p []byte) []byte {
-	out := make([]byte, PageSize)
-	copy(out, p)
-	return out
+// clonePageReply returns a full-size copy of a page (zero page if nil)
+// in a pooled reply buffer the transport releases after framing. The
+// tail is zeroed explicitly: pooled memory arrives with recycled
+// contents.
+func clonePageReply(p []byte) rpc.Reply {
+	out := rpc.NewReplyBuf(PageSize)
+	buf := out.Extend(PageSize)
+	tail := buf[copy(buf, p):]
+	for i := range tail {
+		tail[i] = 0
+	}
+	return rpc.OkReplyBuf(out)
 }
 
 func (s *Server) commit(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {

@@ -30,6 +30,9 @@ type Store interface {
 	BlockSize() int
 	NBlocks() uint32
 	Read(n uint32) ([]byte, error)
+	// ReadInto reads block n into dst (exactly one block): the
+	// allocation-free path under batched reads.
+	ReadInto(n uint32, dst []byte) error
 	Write(n uint32, data []byte) error
 	Zero(n uint32) error
 	Stats() Stats
@@ -132,22 +135,33 @@ func (d *FileDisk) offset(n uint32) int64 {
 
 // Read implements Store.
 func (d *FileDisk) Read(n uint32) ([]byte, error) {
+	buf := make([]byte, d.blockSize)
+	if err := d.ReadInto(n, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadInto implements Store: the file read lands directly in dst.
+func (d *FileDisk) ReadInto(n uint32, dst []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if n >= d.nblocks {
-		return nil, fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+	}
+	if len(dst) != d.blockSize {
+		return fmt.Errorf("%w: got %d bytes, block is %d", ErrBadSize, len(dst), d.blockSize)
 	}
 	if d.fault != nil {
 		if err := d.fault("read", n); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	buf := make([]byte, d.blockSize)
-	if _, err := d.f.ReadAt(buf, d.offset(n)); err != nil {
-		return nil, fmt.Errorf("vdisk: reading block %d: %w", n, err)
+	if _, err := d.f.ReadAt(dst, d.offset(n)); err != nil {
+		return fmt.Errorf("vdisk: reading block %d: %w", n, err)
 	}
 	d.stats.Reads++
-	return buf, nil
+	return nil
 }
 
 // Write implements Store.

@@ -79,20 +79,33 @@ func (d *Disk) SetFault(f FaultFunc) {
 
 // Read copies block n into a fresh buffer.
 func (d *Disk) Read(n uint32) ([]byte, error) {
+	buf := make([]byte, d.blockSize)
+	if err := d.ReadInto(n, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadInto copies block n into dst, which must be exactly one block —
+// the allocation-free read path (callers hand in pooled or reused
+// buffers; the block server reads straight into its wire buffer).
+func (d *Disk) ReadInto(n uint32, dst []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if n >= d.nblocks {
-		return nil, fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, d.nblocks)
+	}
+	if len(dst) != d.blockSize {
+		return fmt.Errorf("%w: got %d bytes, block is %d", ErrBadSize, len(dst), d.blockSize)
 	}
 	if d.fault != nil {
 		if err := d.fault("read", n); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	buf := make([]byte, d.blockSize)
-	copy(buf, d.data[int(n)*d.blockSize:])
+	copy(dst, d.data[int(n)*d.blockSize:])
 	d.reads.Add(1)
-	return buf, nil
+	return nil
 }
 
 // Write replaces block n. data must be exactly one block.

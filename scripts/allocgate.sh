@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Allocation regression gate for the zero-copy wire path: the round-trip
+# transaction benchmark must stay at or under the allocs/op budget (it
+# runs at ~2; the budget leaves slack for runtime noise, not for a new
+# copy layer). CI fails the build past the budget.
+#
+# Usage: scripts/allocgate.sh            # default budget 6
+#        ALLOC_BUDGET=4 scripts/allocgate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+budget="${ALLOC_BUDGET:-6}"
+
+out=$(go test -run '^$' -bench 'BenchmarkE11_TransSimnet$' -benchmem -benchtime 2000x .)
+echo "$out"
+allocs=$(echo "$out" | awk '/^BenchmarkE11_TransSimnet/ {
+	for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+if [ -z "$allocs" ]; then
+	echo "allocgate: could not parse allocs/op from benchmark output" >&2
+	exit 1
+fi
+if [ "$allocs" -gt "$budget" ]; then
+	echo "allocgate: BenchmarkE11_TransSimnet at ${allocs} allocs/op exceeds budget ${budget}" >&2
+	exit 1
+fi
+echo "allocgate: ok — ${allocs} allocs/op (budget ${budget})"

@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
 # Run the benchmark suite and record the result in benchmarks/latest.txt
-# (plus a timestamped copy), so successive PRs can diff performance.
+# (plus a timestamped copy and benchmarks/latest.json), so successive
+# PRs can diff performance.
 #
 # Usage: scripts/bench.sh [extra go test args]
-#   BENCH_PATTERN=E11 scripts/bench.sh     # subset by name
-#   BENCH_COUNT=5 scripts/bench.sh        # repeat for benchstat
+#   BENCH_PATTERN=E11 scripts/bench.sh          # subset by name
+#   BENCH_COUNT=5 scripts/bench.sh              # repeat for benchstat
+#   BENCH_BASELINE=benchmarks/old.txt scripts/bench.sh
+#       # after the run, compare old vs new: uses benchstat when
+#       # installed, otherwise a built-in side-by-side ns/op table
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,6 +17,16 @@ mkdir -p benchmarks
 pattern="${BENCH_PATTERN:-.}"
 count="${BENCH_COUNT:-1}"
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+
+# Snapshot the baseline before the run truncates latest.txt —
+# BENCH_BASELINE=benchmarks/latest.txt ("compare to last run") must
+# diff against the OLD contents, not the file we are about to rewrite.
+baseline_snapshot=""
+if [ -n "${BENCH_BASELINE:-}" ]; then
+	baseline_snapshot="$(mktemp)"
+	trap 'rm -f "$baseline_snapshot"' EXIT
+	cp "$BENCH_BASELINE" "$baseline_snapshot"
+fi
 
 {
 	echo "# amoeba benchmarks"
@@ -24,5 +38,25 @@ stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 go test -run '^$' -bench "$pattern" -count "$count" -benchmem "$@" . \
 	| tee -a benchmarks/latest.txt
 
+go run ./scripts/benchjson < benchmarks/latest.txt > benchmarks/latest.json
+
 cp benchmarks/latest.txt "benchmarks/${stamp}.txt"
-echo "wrote benchmarks/latest.txt and benchmarks/${stamp}.txt" >&2
+echo "wrote benchmarks/latest.txt, benchmarks/latest.json and benchmarks/${stamp}.txt" >&2
+
+if [ -n "$baseline_snapshot" ]; then
+	if command -v benchstat >/dev/null 2>&1; then
+		benchstat "$baseline_snapshot" benchmarks/latest.txt
+	else
+		echo "# benchstat not installed; ns/op old vs new:" >&2
+		awk '
+			/^Benchmark/ {
+				for (i = 1; i <= NF; i++) if ($i == "ns/op") v = $(i-1)
+				if (FNR == NR) old[$1] = v
+				else if ($1 in old) {
+					d = (v - old[$1]) / old[$1] * 100
+					printf "%-60s %12s -> %12s ns/op  (%+.1f%%)\n", $1, old[$1], v, d
+				}
+			}
+		' "$baseline_snapshot" benchmarks/latest.txt
+	fi
+fi
