@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
@@ -21,6 +22,8 @@ import (
 	"amoeba/internal/server/banksvr"
 	"amoeba/internal/server/dirsvr"
 	"amoeba/internal/server/memsvr"
+	"amoeba/internal/vdisk"
+	"amoeba/internal/wal"
 )
 
 // --------------------------------------------------------------------
@@ -870,4 +873,237 @@ func BenchmarkE10_DirLookupParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --------------------------------------------------------------------
+// E18: write-ahead durability (see EXPERIMENTS.md E18).
+
+// BenchmarkWALAppend prices one durable record: stage, group-commit,
+// sync (a no-op on the memory disk, so this is the log's own
+// bookkeeping cost). The parallel variant shows group commit batching
+// concurrent appenders into shared syncs.
+func BenchmarkWALAppend(b *testing.B) {
+	newLog := func(b *testing.B) *wal.Log {
+		b.Helper()
+		disk, err := vdisk.New(8192, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := wal.Open(disk, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		if err := l.Recover(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		return l
+	}
+	rec := make([]byte, 64)
+	append1 := func(b *testing.B, l *wal.Log) {
+		t, err := l.Append(rec)
+		if err == wal.ErrFull {
+			if err := l.Checkpoint([]byte{1}); err != nil {
+				b.Fatal(err)
+			}
+			t, err = l.Append(rec)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		l := newLog(b)
+		b.SetBytes(int64(len(rec)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			append1(b, l)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		l := newLog(b)
+		b.SetBytes(int64(len(rec)))
+		b.SetParallelism(8) // goroutines, not CPUs: batching needs waiters
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				append1(b, l)
+			}
+		})
+		s := l.Stats()
+		if s.Commits > 0 {
+			b.ReportMetric(float64(s.Appends)/float64(s.Commits), "records/sync")
+		}
+	})
+	// groupcommit models a disk whose durability point costs real time
+	// (50µs), the regime group commit exists for: concurrent appenders
+	// share syncs, so throughput beats one-sync-per-record by the
+	// batching factor (see records/sync).
+	b.Run("groupcommit", func(b *testing.B) {
+		disk, err := vdisk.New(8192, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := wal.Open(&delaySyncDisk{Disk: disk, delay: 50 * time.Microsecond}, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		if err := l.Recover(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(rec)))
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				append1(b, l)
+			}
+		})
+		s := l.Stats()
+		if s.Commits > 0 {
+			b.ReportMetric(float64(s.Appends)/float64(s.Commits), "records/sync")
+		}
+	})
+}
+
+// delaySyncDisk makes the memory disk's durability point cost like a
+// real drive flush, so the group-commit benchmark measures batching.
+type delaySyncDisk struct {
+	*vdisk.Disk
+	delay time.Duration
+}
+
+func (d *delaySyncDisk) Sync() error {
+	time.Sleep(d.delay)
+	return d.Disk.Sync()
+}
+
+// BenchmarkRecoveryReplay times a full restart-recovery scan over a
+// 10k-record log: one iteration = open the log, replay every record,
+// close. The acceptance bar is well under a second.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	disk, err := vdisk.New(8192, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Recover(nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	const records = 10_000
+	rec := make([]byte, 64)
+	for i := 0; i < records; i++ {
+		t, err := l.Append(rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rl, err := wal.Open(disk, wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := rl.Recover(nil, func([]byte) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d records, want %d", n, records)
+		}
+		b.StopTimer()
+		rl.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records), "records/op")
+}
+
+// BenchmarkE18_DirEnter compares the directory server's mutating-op
+// round trip volatile vs durable on identical rigs: the delta is the
+// whole write-ahead bill (record encode, staging, group commit). The
+// acceptance bar is durable ≤ 3× volatile.
+func BenchmarkE18_DirEnter(b *testing.B) {
+	ctx := context.Background()
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rig := func(b *testing.B, durable bool) (*rpc.Client, *dirsvr.Server) {
+		b.Helper()
+		n := amnet.NewSimNet(amnet.SimConfig{})
+		b.Cleanup(func() { n.Close() })
+		attach := func() *fbox.FBox {
+			nic, err := n.Attach()
+			if err != nil {
+				b.Fatal(err)
+			}
+			fb := fbox.New(nic, nil)
+			b.Cleanup(func() { fb.Close() })
+			return fb
+		}
+		src := crypto.NewSeededSource(0xE18)
+		var s *dirsvr.Server
+		if durable {
+			disk, err := vdisk.New(8192, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			log, err := wal.Open(disk, wal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s, err = dirsvr.NewDurable(attach(), scheme, src, log, 0); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			s = dirsvr.New(attach(), scheme, src)
+		}
+		if err := s.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		cfb := attach()
+		res := locate.New(cfb, locate.Config{})
+		return rpc.NewClient(cfb, res, rpc.ClientConfig{Source: src}), s
+	}
+	for _, mode := range []struct {
+		name    string
+		durable bool
+	}{{"volatile", false}, {"durable", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			client, s := rig(b, mode.durable)
+			dirs := dirsvr.NewClient(client)
+			root, err := dirs.CreateDir(ctx, s.PutPort())
+			if err != nil {
+				b.Fatal(err)
+			}
+			entry := cap.Capability{Server: 1, Object: 2, Rights: cap.RightRead, Check: 3}
+			// Steady state — alternate enter/remove of one name — so
+			// the measured op is a mutation round trip while the
+			// directory (and therefore each checkpoint snapshot) stays
+			// tiny no matter how long the benchmark runs.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					if err := dirs.Enter(ctx, root, "flip", entry); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := dirs.Remove(ctx, root, "flip"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"amoeba/internal/amnet"
@@ -21,6 +22,7 @@ import (
 	"amoeba/internal/server/mvfs"
 	"amoeba/internal/server/unixfs"
 	"amoeba/internal/vdisk"
+	"amoeba/internal/wal"
 )
 
 // ClusterConfig configures a simulated Amoeba cluster. The zero value
@@ -63,9 +65,17 @@ type ClusterConfig struct {
 // so examples, tests and experiments can stand a whole system up in a
 // few milliseconds; the services themselves are the same code a TCP
 // deployment runs.
+//
+// The directory and bank servers — the two services whose loss would
+// strand capabilities or bend the money supply — run durable: their
+// mutations are written ahead to per-service logs on simulated stable
+// storage, so Kill and Restart model a machine crash the cluster
+// actually recovers from.
 type Cluster struct {
-	net *amnet.SimNet
-	src crypto.Source
+	net    *amnet.SimNet
+	src    crypto.Source
+	scheme cap.Scheme
+	cfg    ClusterConfig
 
 	client   *rpc.Client
 	clientFB *fbox.FBox
@@ -73,16 +83,33 @@ type Cluster struct {
 	memory *memsvr.Server
 	blocks *blocksvr.Server
 	files  *flatfs.Server
-	dirs   *dirsvr.Server
-	multi  *mvfs.Server
-	bank   *banksvr.Server
 	disk   *vdisk.Disk
 
 	// matrix is non-nil when SealCapabilities is on.
 	matrix *keymatrix.Matrix
 
+	closersMu sync.Mutex
+	closers   []func() error
+
+	// mu guards the fields Kill/Restart swap out: the durable servers,
+	// their F-boxes, and the machine map.
+	mu       sync.Mutex
+	dirs     *dirsvr.Server
+	multi    *mvfs.Server
+	bank     *banksvr.Server
+	dirsFB   *fbox.FBox
+	bankFB   *fbox.FBox
+	dirsDown bool
+	bankDown bool
 	machines Machines
-	closers  []func() error
+
+	// Stable storage and identity the durable services carry across
+	// Kill/Restart: the WAL disks survive the crash (they model the
+	// machine's disk), and the get-ports pin the servers' put-ports.
+	dirsWAL *vdisk.Disk
+	bankWAL *vdisk.Disk
+	dirsG   cap.Port
+	bankG   cap.Port
 }
 
 // Machines identifies the cluster's machines on the simulated
@@ -98,8 +125,13 @@ type Machines struct {
 }
 
 // Machines returns the machine IDs of the cluster's client and
-// service hosts.
-func (cl *Cluster) Machines() Machines { return cl.machines }
+// service hosts. A restarted service reappears on a NEW machine (a
+// re-incarnation elsewhere on the LAN) — re-read after Restart.
+func (cl *Cluster) Machines() Machines {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.machines
+}
 
 // NewCluster boots a cluster with every §3 service running.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
@@ -132,7 +164,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Reorder:   cfg.Reorder,
 			Seed:      cfg.Seed,
 		}),
-		src: src,
+		src:    src,
+		scheme: scheme,
+		cfg:    cfg,
 	}
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
@@ -203,16 +237,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Directory server.
-	dirFB, err := cl.newFBox()
-	if err != nil {
+	// Directory server — durable: its write-ahead log lives on a
+	// dedicated simulated disk that survives Kill/Restart, and its
+	// get-port is pinned so the reincarnation answers at the same
+	// put-port every directory capability names.
+	if cl.dirsWAL, err = vdisk.New(walBlocks, walBlockSize); err != nil {
 		return nil, err
 	}
-	cl.machines.Dirs = dirFB.Machine()
-	cl.dirs = dirsvr.New(dirFB, scheme, src)
-	cl.dirs.SetMaxInflight(cfg.MaxInflight)
-	cl.sealServer(dirFB, cl.dirs.SetSealer)
-	if err := cl.start(cl.dirs.Start, cl.dirs.Close); err != nil {
+	cl.dirsG = cap.Port(crypto.Rand48(src))
+	if err := cl.startDirsvr(); err != nil {
 		return nil, err
 	}
 
@@ -229,31 +262,180 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Bank server.
-	bankCfg := banksvr.Config{
+	// Bank server — durable, like the directory server: money must
+	// survive the machine.
+	if cl.bankWAL, err = vdisk.New(walBlocks, walBlockSize); err != nil {
+		return nil, err
+	}
+	cl.bankG = cap.Port(crypto.Rand48(src))
+	if err := cl.startBanksvr(); err != nil {
+		return nil, err
+	}
+
+	ok = true
+	return cl, nil
+}
+
+// WAL geometry for the durable services' simulated disks: 2048 × 512 B
+// (1 MiB) per service, checkpoint-compacted at half full.
+const (
+	walBlocks    = 2048
+	walBlockSize = 512
+)
+
+// startDirsvr boots a directory server incarnation over the cluster's
+// WAL disk; NewCluster and Restart share it.
+func (cl *Cluster) startDirsvr() error {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return err
+	}
+	log, err := wal.Open(cl.dirsWAL, wal.Options{})
+	if err != nil {
+		return err
+	}
+	s, err := dirsvr.NewDurable(fb, cl.scheme, cl.src, log, cl.dirsG)
+	if err != nil {
+		log.Close() // the kernel never took ownership
+		return err
+	}
+	s.SetMaxInflight(cl.cfg.MaxInflight)
+	cl.sealServer(fb, s.SetSealer)
+	if err := cl.start(s.Start, s.Close); err != nil {
+		s.Close() // closes the log; a Restart retry reopens it
+		return err
+	}
+	cl.mu.Lock()
+	cl.dirs, cl.dirsFB, cl.machines.Dirs, cl.dirsDown = s, fb, fb.Machine(), false
+	cl.mu.Unlock()
+	return nil
+}
+
+// bankConfig resolves the bank policy (stable across restarts).
+func (cl *Cluster) bankConfig() banksvr.Config {
+	if cl.cfg.Bank != nil {
+		return *cl.cfg.Bank
+	}
+	return banksvr.Config{
 		MintingAllowed: true,
 		Rates: map[[2]string]banksvr.Rate{
 			{"dollar", "franc"}: {Num: 5, Den: 1},
 			{"franc", "dollar"}: {Num: 1, Den: 5},
 		},
 	}
-	if cfg.Bank != nil {
-		bankCfg = *cfg.Bank
-	}
-	bankFB, err := cl.newFBox()
-	if err != nil {
-		return nil, err
-	}
-	cl.machines.Bank = bankFB.Machine()
-	cl.bank = banksvr.New(bankFB, scheme, src, bankCfg)
-	cl.bank.SetMaxInflight(cfg.MaxInflight)
-	cl.sealServer(bankFB, cl.bank.SetSealer)
-	if err := cl.start(cl.bank.Start, cl.bank.Close); err != nil {
-		return nil, err
-	}
+}
 
-	ok = true
-	return cl, nil
+// startBanksvr boots a bank server incarnation over the cluster's WAL
+// disk; NewCluster and Restart share it.
+func (cl *Cluster) startBanksvr() error {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return err
+	}
+	log, err := wal.Open(cl.bankWAL, wal.Options{})
+	if err != nil {
+		return err
+	}
+	s, err := banksvr.NewDurable(fb, cl.scheme, cl.src, cl.bankConfig(), log, cl.bankG)
+	if err != nil {
+		log.Close() // the kernel never took ownership
+		return err
+	}
+	s.SetMaxInflight(cl.cfg.MaxInflight)
+	cl.sealServer(fb, s.SetSealer)
+	if err := cl.start(s.Start, s.Close); err != nil {
+		s.Close() // closes the log; a Restart retry reopens it
+		return err
+	}
+	cl.mu.Lock()
+	cl.bank, cl.bankFB, cl.machines.Bank, cl.bankDown = s, fb, fb.Machine(), false
+	cl.mu.Unlock()
+	return nil
+}
+
+// durableCtl is the per-service control surface Kill and Restart share
+// — one place that knows which cluster fields belong to which durable
+// service. Build it (and call setDown) under cl.mu.
+type durableCtl struct {
+	name    string
+	fb      *fbox.FBox
+	crash   func() error
+	down    bool
+	setDown func(bool)
+	restart func() error
+}
+
+func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
+	switch m {
+	case cl.machines.Dirs:
+		return &durableCtl{
+			name: "directory", fb: cl.dirsFB, crash: cl.dirs.Crash, down: cl.dirsDown,
+			setDown: func(v bool) { cl.dirsDown = v }, restart: cl.startDirsvr,
+		}
+	case cl.machines.Bank:
+		return &durableCtl{
+			name: "bank", fb: cl.bankFB, crash: cl.bank.Crash, down: cl.bankDown,
+			setDown: func(v bool) { cl.bankDown = v }, restart: cl.startBanksvr,
+		}
+	}
+	return nil
+}
+
+// Kill crashes the service hosted on machine m: the NIC drops off the
+// network mid-conversation and the server dies without flushing or
+// checkpointing — only what its write-ahead log already committed
+// survives. Supported for the durable services (directory and bank).
+func (cl *Cluster) Kill(m amnet.MachineID) error {
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a killable (durable) service", m)
+	}
+	if c.down {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server already down", c.name)
+	}
+	c.setDown(true)
+	cl.mu.Unlock()
+	// The NIC goes first — a crash cuts the machine off mid-
+	// conversation; in-flight replies vanish and clients retry.
+	err := c.fb.Close()
+	if cerr := c.crash(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Restart re-incarnates a killed service on a FRESH machine: the new
+// server recovers its state from the write-ahead log (same disk, same
+// get-port, new machine ID). Clients' cached locations go stale; their
+// next transaction times out, invalidates the cache entry and
+// re-broadcasts LOCATE — §2.2's discovery path for a moved server —
+// which the new incarnation answers.
+func (cl *Cluster) Restart(m amnet.MachineID) error {
+	// Clearing the down flag under the lock claims the restart: a
+	// concurrent Restart of the same service sees "not down" and
+	// fails, so two incarnations can never share one WAL disk.
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a restartable (durable) service", m)
+	}
+	if !c.down {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server is not down", c.name)
+	}
+	c.setDown(false)
+	cl.mu.Unlock()
+	if err := c.restart(); err != nil {
+		cl.mu.Lock()
+		c.setDown(true)
+		cl.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 func (cl *Cluster) newFBox() (*fbox.FBox, error) {
@@ -262,8 +444,14 @@ func (cl *Cluster) newFBox() (*fbox.FBox, error) {
 		return nil, fmt.Errorf("amoeba: attaching machine: %w", err)
 	}
 	fb := fbox.New(nic, nil)
-	cl.closers = append(cl.closers, fb.Close)
+	cl.addCloser(fb.Close)
 	return fb, nil
+}
+
+func (cl *Cluster) addCloser(f func() error) {
+	cl.closersMu.Lock()
+	cl.closers = append(cl.closers, f)
+	cl.closersMu.Unlock()
 }
 
 func (cl *Cluster) newRPCClient(fb *fbox.FBox) *rpc.Client {
@@ -294,19 +482,22 @@ func (cl *Cluster) start(start func() error, close func() error) error {
 	if err := start(); err != nil {
 		return err
 	}
-	cl.closers = append(cl.closers, close)
+	cl.addCloser(close)
 	return nil
 }
 
 // Close shuts every server and machine down.
 func (cl *Cluster) Close() error {
+	cl.closersMu.Lock()
+	closers := cl.closers
+	cl.closers = nil
+	cl.closersMu.Unlock()
 	var firstErr error
-	for i := len(cl.closers) - 1; i >= 0; i-- {
-		if err := cl.closers[i](); err != nil && firstErr == nil {
+	for i := len(closers) - 1; i >= 0; i-- {
+		if err := closers[i](); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	cl.closers = nil
 	if err := cl.net.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -342,7 +533,14 @@ func (cl *Cluster) Dirs() *dirsvr.Client {
 
 // DirPort returns the directory server's put-port (CreateDir needs a
 // server to create the directory on).
-func (cl *Cluster) DirPort() Port { return cl.dirs.PutPort() }
+// The put-port is pinned across Kill/Restart (the get-port is
+// persisted with the log), so a cached DirPort stays valid over a
+// crash.
+func (cl *Cluster) DirPort() Port {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.dirs.PutPort()
+}
 
 // Versions returns a typed client for the multiversion file server
 // (§3.5).
@@ -352,7 +550,10 @@ func (cl *Cluster) Versions() *mvfs.Client {
 
 // Bank returns a typed client for the bank server (§3.6).
 func (cl *Cluster) Bank() *banksvr.Client {
-	return banksvr.NewClient(cl.client, cl.bank.PutPort())
+	cl.mu.Lock()
+	port := cl.bank.PutPort()
+	cl.mu.Unlock()
+	return banksvr.NewClient(cl.client, port)
 }
 
 // NewUnixFS creates a fresh root directory and returns a UNIX-like
@@ -360,7 +561,7 @@ func (cl *Cluster) Bank() *banksvr.Client {
 // the root-directory creation transaction only.
 func (cl *Cluster) NewUnixFS(ctx context.Context) (*unixfs.FS, error) {
 	dirs := cl.Dirs()
-	root, err := dirs.CreateDir(ctx, cl.dirs.PutPort())
+	root, err := dirs.CreateDir(ctx, cl.DirPort())
 	if err != nil {
 		return nil, err
 	}

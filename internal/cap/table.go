@@ -74,6 +74,52 @@ func (t *Table) Create() (Capability, error) {
 	return t.scheme.Mint(t.server, obj, secret), nil
 }
 
+// CreateRecorded is Create, additionally returning the stored random
+// number so a durable service can write it ahead to its log: replaying
+// the record with InstallSecret re-mints the very capability the
+// original reply carried, keeping client-held capabilities valid across
+// a server reincarnation. The secret is as sensitive as the log that
+// stores it.
+func (t *Table) CreateRecorded() (Capability, uint64, error) {
+	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
+	obj, err := t.alloc(secret)
+	if err != nil {
+		return Nil, 0, err
+	}
+	return t.scheme.Mint(t.server, obj, secret), secret, nil
+}
+
+// InstallSecret installs a known (object, secret) pair — the log-replay
+// path for object creation. Replay is trusted: an existing entry is
+// overwritten.
+func (t *Table) InstallSecret(obj uint32, secret uint64) {
+	t.secrets.Put(obj&ObjectMask, secret)
+}
+
+// ReplaceSecret replaces obj's secret only if the object is live — the
+// log-replay path for revocation re-keys. A revoke record that trails
+// a destroy record (the two stage under different locks, so that order
+// is possible) must be a no-op, not a resurrection.
+func (t *Table) ReplaceSecret(obj uint32, secret uint64) {
+	t.secrets.Replace(obj&ObjectMask, secret)
+}
+
+// RevokeRecorded is Revoke, additionally returning the replacement
+// random number for the durable services' logs.
+func (t *Table) RevokeRecorded(c Capability) (Capability, uint64, error) {
+	if _, err := t.Demand(c, RightRevoke); err != nil {
+		return Nil, 0, err
+	}
+	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
+	obj := c.Object & ObjectMask
+	// Replace, not Put: a destroy that races the re-key must win, or
+	// the revoke would resurrect a dead object.
+	if !t.secrets.Replace(obj, secret) {
+		return Nil, 0, fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
+	}
+	return t.scheme.Mint(t.server, obj, secret), secret, nil
+}
+
 // CreateObject is Create with a caller-chosen object number (servers
 // whose objects have natural numbers — the block server's block
 // numbers, for instance — keep capability object numbers aligned with
@@ -168,17 +214,8 @@ func (t *Table) Restrict(c Capability, mask Rights) (Capability, error) {
 // capability for the object is instantly invalidated and a fresh owner
 // capability is returned.
 func (t *Table) Revoke(c Capability) (Capability, error) {
-	if _, err := t.Demand(c, RightRevoke); err != nil {
-		return Nil, err
-	}
-	secret := t.scheme.PrepareSecret(crypto.Rand48(t.src))
-	obj := c.Object & ObjectMask
-	// Replace, not Put: a destroy that races the re-key must win, or
-	// the revoke would resurrect a dead object.
-	if !t.secrets.Replace(obj, secret) {
-		return Nil, fmt.Errorf("cap: object %d: %w", obj, ErrNoSuchObject)
-	}
-	return t.scheme.Mint(t.server, obj, secret), nil
+	nc, _, err := t.RevokeRecorded(c)
+	return nc, err
 }
 
 // Destroy removes the object's entry entirely (the object is gone, not

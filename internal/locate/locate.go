@@ -52,6 +52,14 @@ type entry struct {
 	learned time.Time
 }
 
+// flight is one in-progress broadcast lookup; concurrent Lookups for
+// the same port wait on it instead of broadcasting themselves.
+type flight struct {
+	done chan struct{}
+	at   amnet.MachineID
+	err  error
+}
+
 // Resolver locates ports through an F-box and caches the results.
 // It is safe for concurrent use.
 type Resolver struct {
@@ -59,15 +67,17 @@ type Resolver struct {
 	cfg Config
 	now func() time.Time // test hook
 
-	mu    sync.Mutex
-	cache map[cap.Port]entry
-	stats Stats
+	mu      sync.Mutex
+	cache   map[cap.Port]entry
+	flights map[cap.Port]*flight
+	stats   Stats
 }
 
 // Stats counts resolver activity for experiment E12.
 type Stats struct {
 	Hits       uint64 // answered from cache
 	Misses     uint64 // required broadcasting
+	Coalesced  uint64 // waited on another lookup's broadcast (single-flight)
 	Broadcasts uint64 // LOCATE rounds sent
 	Failures   uint64 // lookups that exhausted all attempts
 }
@@ -75,26 +85,65 @@ type Stats struct {
 // New builds a resolver over fb.
 func New(fb *fbox.FBox, cfg Config) *Resolver {
 	return &Resolver{
-		fb:    fb,
-		cfg:   cfg.withDefaults(),
-		now:   time.Now,
-		cache: make(map[cap.Port]entry),
+		fb:      fb,
+		cfg:     cfg.withDefaults(),
+		now:     time.Now,
+		cache:   make(map[cap.Port]entry),
+		flights: make(map[cap.Port]*flight),
 	}
 }
 
 // Lookup returns the machine serving put-port p, consulting the cache
-// first and broadcasting LOCATE rounds on a miss. Cancelling the
-// context aborts the broadcast waits and returns ctx.Err().
+// first and broadcasting LOCATE rounds on a miss. The broadcast is
+// single-flight per port: when N clients fail over to a restarted
+// server at once, one LOCATE round goes on the wire and the other N-1
+// lookups ride its answer. Cancelling the context aborts the broadcast
+// (or the wait on another's broadcast) and returns ctx.Err().
 func (r *Resolver) Lookup(ctx context.Context, p cap.Port) (amnet.MachineID, error) {
-	r.mu.Lock()
-	if e, ok := r.cache[p]; ok && (r.cfg.TTL < 0 || r.now().Sub(e.learned) < r.cfg.TTL) {
-		r.stats.Hits++
+	for {
+		r.mu.Lock()
+		if e, ok := r.cache[p]; ok && (r.cfg.TTL < 0 || r.now().Sub(e.learned) < r.cfg.TTL) {
+			r.stats.Hits++
+			r.mu.Unlock()
+			return e.at, nil
+		}
+		if f := r.flights[p]; f != nil {
+			r.stats.Coalesced++
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+			if f.err == nil {
+				return f.at, nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				continue // the leader gave up for its own reasons; retry
+			}
+			return 0, f.err
+		}
+		r.stats.Misses++
+		f := &flight{done: make(chan struct{})}
+		r.flights[p] = f
 		r.mu.Unlock()
-		return e.at, nil
-	}
-	r.stats.Misses++
-	r.mu.Unlock()
 
+		f.at, f.err = r.broadcastRounds(ctx, p)
+		r.mu.Lock()
+		delete(r.flights, p)
+		if f.err == nil {
+			r.cache[p] = entry{at: f.at, learned: r.now()}
+		} else if errors.Is(f.err, ErrNotFound) {
+			r.stats.Failures++
+		}
+		r.mu.Unlock()
+		close(f.done)
+		return f.at, f.err
+	}
+}
+
+// broadcastRounds runs the configured number of LOCATE rounds.
+func (r *Resolver) broadcastRounds(ctx context.Context, p cap.Port) (amnet.MachineID, error) {
 	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -104,18 +153,12 @@ func (r *Resolver) Lookup(ctx context.Context, p cap.Port) (amnet.MachineID, err
 		r.mu.Unlock()
 		at, err := r.broadcastOnce(ctx, p)
 		if err == nil {
-			r.mu.Lock()
-			r.cache[p] = entry{at: at, learned: r.now()}
-			r.mu.Unlock()
 			return at, nil
 		}
 		if !errors.Is(err, ErrNotFound) {
 			return 0, err
 		}
 	}
-	r.mu.Lock()
-	r.stats.Failures++
-	r.mu.Unlock()
 	return 0, fmt.Errorf("%w: %v after %d attempts", ErrNotFound, p, r.cfg.Attempts)
 }
 

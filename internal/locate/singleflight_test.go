@@ -1,0 +1,193 @@
+package locate
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+)
+
+// countLocates attaches a wiretap and counts LOCATE broadcast frames
+// (fbox frame kind 0x02 in the first payload byte) until the returned
+// stop function runs.
+func countLocates(t *testing.T, r *rig) (count *atomic.Int64, stop func()) {
+	t.Helper()
+	tap, err := r.net.Tap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count = new(atomic.Int64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for f := range tap.Recv() {
+			if len(f.Payload) > 0 && f.Payload[0] == 0x02 {
+				count.Add(1)
+			}
+			f.Release()
+		}
+	}()
+	return count, func() {
+		tap.Close()
+		<-done
+	}
+}
+
+// TestSingleFlightBroadcast: N concurrent goroutines failing over to a
+// (re)appeared server must put ONE LOCATE round on the wire, not N —
+// the wiretap counts the actual broadcast frames.
+func TestSingleFlightBroadcast(t *testing.T) {
+	// Real latency on the wire: the leader's LOCATE round takes long
+	// enough that the other 31 lookups genuinely coalesce behind it.
+	n := amnet.NewSimNet(amnet.SimConfig{Latency: 5 * time.Millisecond})
+	t.Cleanup(func() { n.Close() })
+	attach := func() *fbox.FBox {
+		nic, err := n.Attach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := fbox.New(nic, nil)
+		t.Cleanup(func() { fb.Close() })
+		return fb
+	}
+	r := &rig{net: n, client: attach(), server: attach()}
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(2)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+	locates, stop := countLocates(t, r)
+
+	res := New(r.client, fastCfg())
+	const clients = 32
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at, err := res.Lookup(context.Background(), p)
+			if err != nil || at != r.server.Machine() {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	stop()
+	if failed.Load() != 0 {
+		t.Fatalf("%d lookups failed", failed.Load())
+	}
+	if n := locates.Load(); n != 1 {
+		t.Fatalf("%d LOCATE frames on the wire for %d concurrent lookups, want 1", n, clients)
+	}
+	s := res.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses %d, want 1 (leader only)", s.Misses)
+	}
+	// Every non-leader either coalesced behind the flight or (having
+	// started after it resolved) hit the cache; with a 10ms round trip
+	// at least some must have coalesced.
+	if s.Coalesced+s.Hits != clients-1 {
+		t.Fatalf("coalesced %d + hits %d != %d", s.Coalesced, s.Hits, clients-1)
+	}
+	if s.Coalesced == 0 {
+		t.Fatal("no lookup coalesced behind the in-flight broadcast")
+	}
+}
+
+// TestSingleFlightWaiterCancel: a waiter's own context cancels its
+// wait without disturbing the leader's broadcast.
+func TestSingleFlightWaiterCancel(t *testing.T) {
+	r := newRig(t)
+	// No server listens: the leader's rounds will run their full
+	// course; the cancelled waiter must return early anyway.
+	p := cap.Port(0x123456)
+	res := New(r.client, Config{Timeout: 300 * time.Millisecond, Attempts: 2})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := res.Lookup(context.Background(), p)
+		leaderDone <- err
+	}()
+	// Wait until the leader's flight is registered.
+	for i := 0; i < 100; i++ {
+		res.mu.Lock()
+		inFlight := res.flights[p] != nil
+		res.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := res.Lookup(ctx, p); err != context.DeadlineExceeded {
+		t.Fatalf("waiter got %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("cancelled waiter was held for the leader's full timeout")
+	}
+	if err := <-leaderDone; err == nil {
+		t.Fatal("leader found a server that does not exist")
+	}
+}
+
+// TestSingleFlightLeaderCancelHandsOff: when the leader aborts on its
+// own cancelled context, a live waiter retries as the new leader
+// rather than inheriting the cancellation.
+func TestSingleFlightLeaderCancelHandsOff(t *testing.T) {
+	r := newRig(t)
+	g := cap.Port(crypto.Rand48(crypto.NewSeededSource(3)))
+	if _, err := r.server.Get(g, true); err != nil {
+		t.Fatal(err)
+	}
+	p := r.server.F(g)
+
+	// Partition the server first so the leader's broadcast hangs.
+	r.net.Partition(r.client.Machine(), r.server.Machine())
+	res := New(r.client, Config{Timeout: 50 * time.Millisecond, Attempts: 100})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := res.Lookup(leaderCtx, p)
+		leaderDone <- err
+	}()
+	for i := 0; i < 100; i++ {
+		res.mu.Lock()
+		inFlight := res.flights[p] != nil
+		res.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterDone := make(chan error, 1)
+	var at int64
+	go func() {
+		got, err := res.Lookup(context.Background(), p)
+		at = int64(got)
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Heal, then abort the leader: the waiter must take over and find
+	// the server.
+	r.net.Heal(r.client.Machine(), r.server.Machine())
+	cancelLeader()
+	if err := <-leaderDone; err == nil {
+		t.Fatal("cancelled leader reported success")
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter-turned-leader failed: %v", err)
+	}
+	if at != int64(r.server.Machine()) {
+		t.Fatalf("waiter located %v, want %v", at, r.server.Machine())
+	}
+}

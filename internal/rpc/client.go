@@ -205,9 +205,11 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 			return rep, machine, nil
 		}
 		lastErr = err
-		if errors.Is(err, ErrTimeout) {
-			// The server may have moved or restarted: forget the
-			// cached location and re-broadcast on the next attempt.
+		if errors.Is(err, ErrTimeout) || errors.Is(err, amnet.ErrNoRoute) {
+			// The server may have moved or restarted: forget the cached
+			// location and re-broadcast on the next attempt. A crashed
+			// machine shows up either as silence (timeout) or, on the
+			// simulated LAN, as no-route — both mean the same thing.
 			c.res.Invalidate(dest)
 			continue
 		}

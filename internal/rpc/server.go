@@ -100,6 +100,14 @@ type Server struct {
 	// context per request.
 	handlerCtx context.Context
 
+	// gate is the quiesce point: every accepted request holds it
+	// shared for its whole execution (a batch counts once, for all its
+	// sub-requests), and Quiesce takes it exclusively — the consistent
+	// instant a durable service's checkpoint needs. Handlers never
+	// re-enter their own server, so the single shared acquisition per
+	// request cannot deadlock against a pending writer.
+	gate sync.RWMutex
+
 	// work hands requests to pool workers. It is unbuffered on
 	// purpose: a send succeeds only when a worker is actually free,
 	// which is what makes batch fan-out (trySubmit-or-inline)
@@ -201,9 +209,23 @@ func (s *Server) Handle(op uint16, h Handler) {
 
 // ServeTable wires the standard capability-maintenance opcodes
 // (OpRestrict, OpRevoke, OpValidate, OpEcho) to a capability table.
-// Every Amoeba service calls this; it is what makes capability
-// handling uniform across services.
+// Every Amoeba service calls this (via the svc kernel); it is what
+// makes capability handling uniform across services.
 func (s *Server) ServeTable(t *cap.Table) {
+	s.ServeTableWithRevoke(t, func(_ context.Context, _ Meta, req Request) Reply {
+		nc, err := t.Revoke(req.Cap)
+		if err != nil {
+			return ErrReplyFromErr(err)
+		}
+		return CapReply(nc)
+	})
+}
+
+// ServeTableWithRevoke is ServeTable with a custom OpRevoke handler —
+// revocation is the one table op that mutates server state, so durable
+// services substitute a handler that writes the re-key ahead to their
+// log before replying.
+func (s *Server) ServeTableWithRevoke(t *cap.Table, revoke Handler) {
 	s.mu.Lock()
 	s.table = t
 	s.mu.Unlock()
@@ -217,13 +239,7 @@ func (s *Server) ServeTable(t *cap.Table) {
 		}
 		return CapReply(nc)
 	})
-	s.Handle(OpRevoke, func(_ context.Context, _ Meta, req Request) Reply {
-		nc, err := t.Revoke(req.Cap)
-		if err != nil {
-			return ErrReplyFromErr(err)
-		}
-		return CapReply(nc)
-	})
+	s.Handle(OpRevoke, revoke)
 	s.Handle(OpValidate, func(_ context.Context, _ Meta, req Request) Reply {
 		rights, err := t.Validate(req.Cap)
 		if err != nil {
@@ -355,6 +371,8 @@ func (s *Server) loop(l *fbox.Listener) {
 // valid until the reply has been encoded, then the buffer is released.
 func (s *Server) serve(m fbox.Received, req Request) {
 	defer m.Release()
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	// The caller's remaining deadline budget (if any) bounds this
 	// handler and every nested RPC it issues; the base context stays
 	// reachable for WithoutDeadline cleanup.
@@ -498,6 +516,17 @@ func replyDataIsBuf(rep Reply) bool {
 		return false
 	}
 	return len(bb) == 0 || &rep.Data[0] == &bb[0]
+}
+
+// Quiesce blocks new request execution and waits for every in-flight
+// handler (and its replies) to finish, returning the resume function.
+// While quiesced the server's state is still — the window in which a
+// durable service snapshots itself for a checkpoint. Dispatch resumes
+// when the returned function is called; requests arriving meanwhile
+// queue up behind the gate (and, past the queues, shed at the wire).
+func (s *Server) Quiesce() (resume func()) {
+	s.gate.Lock()
+	return s.gate.Unlock
 }
 
 // Close stops the dispatch loop, cancels the context handed to every

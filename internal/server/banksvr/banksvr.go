@@ -26,6 +26,8 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/store"
+	"amoeba/internal/svc"
+	"amoeba/internal/wal"
 )
 
 // Operation codes.
@@ -86,13 +88,20 @@ type account struct {
 	balances map[string]int64
 }
 
-// Server is a bank server instance. Accounts live in a lock-striped
-// map with a lock per account, so transfers between disjoint account
-// pairs run in parallel; a transfer locks its two accounts in object-
-// number order (no deadlock), and only the treasury keeps a global
-// lock — it is touched only by account creation and destruction.
+// Server is a bank server instance on the service kernel. Accounts
+// live in a lock-striped map with a lock per account, so transfers
+// between disjoint account pairs run in parallel; a transfer locks its
+// two accounts in object-number order (no deadlock), and only the
+// treasury keeps a global lock — it is touched only by account
+// creation and destruction.
+//
+// Money is the invariant a crash must not bend: built with NewDurable,
+// every transfer, conversion, creation and destruction is written
+// ahead to a log before its reply, and a restarted bank replays to
+// exactly the balances its clients saw acknowledged — conservation
+// holds across the crash.
 type Server struct {
-	rpc   *rpc.Server
+	*svc.Kernel
 	table *cap.Table
 	cfg   Config
 
@@ -102,8 +111,21 @@ type Server struct {
 	accounts *store.Map[*account]
 }
 
-// New builds a bank server. Call Start to begin serving.
+// New builds a volatile bank server. Call Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config) *Server {
+	s, err := NewDurable(fb, scheme, src, cfg, nil, 0)
+	if err != nil { // unreachable: no log means no recovery to fail
+		panic(err)
+	}
+	return s
+}
+
+// NewDurable builds a bank server whose mutations are written ahead to
+// log (nil for a volatile server), recovering any state a previous
+// incarnation logged before it returns. g pins the secret get-port so
+// the restarted bank reappears at the put-port every outstanding
+// account capability names (zero draws a fresh one).
+func NewDurable(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config, log *wal.Log, g cap.Port) (*Server, error) {
 	treasury := make(map[string]int64, len(cfg.Treasury))
 	for c, v := range cfg.Treasury {
 		treasury[c] = v
@@ -113,28 +135,228 @@ func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config) *Serve
 		treasury: treasury,
 		accounts: store.New[*account](0),
 	}
-	s.rpc = rpc.NewServer(fb, src)
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpCreateAccount, s.createAccount)
-	s.rpc.Handle(OpBalance, s.balance)
-	s.rpc.Handle(OpTransfer, s.transfer)
-	s.rpc.Handle(OpConvert, s.convert)
-	s.rpc.Handle(OpDestroyAccount, s.destroyAccount)
-	return s
+	s.Kernel = svc.NewWithConfig(fb, scheme, svc.Config{
+		Source:   src,
+		Port:     g,
+		Log:      log,
+		Snapshot: s.snapshot,
+		Restore:  s.restoreSnapshot,
+	})
+	s.table = s.Table()
+	s.Handle(OpCreateAccount, s.createAccount)
+	s.Handle(OpBalance, s.balance)
+	s.Handle(OpTransfer, s.transfer)
+	s.Handle(OpConvert, s.convert)
+	s.Handle(OpDestroyAccount, s.destroyAccount)
+	if err := s.Recover(s.apply); err != nil {
+		return nil, fmt.Errorf("banksvr: recovering: %w", err)
+	}
+	return s, nil
 }
 
-// Start begins serving.
-func (s *Server) Start() error { return s.rpc.Start() }
+// Redo-record tags (first byte; svc.RecKernel is reserved).
+const (
+	recCreate   byte = 0x01 // obj(4) secret(8) curLen(1) cur amount(8)
+	recTransfer byte = 0x02 // from(4) to(4) curLen(1) cur amount(8)
+	recConvert  byte = 0x03 // obj(4) fromLen(1) from toLen(1) to amount(8) out(8)
+	recDestroy  byte = 0x04 // obj(4)
+)
 
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
+func appendU64(rec []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(rec, b[:]...)
+}
 
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+func recCreateAccount(obj uint32, secret uint64, cur string, amount int64) []byte {
+	rec := make([]byte, 5, 22+len(cur))
+	rec[0] = recCreate
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	rec = appendU64(rec, secret)
+	rec = appendCurrency(rec, cur)
+	return appendU64(rec, uint64(amount))
+}
 
-// Table exposes the object table.
-func (s *Server) Table() *cap.Table { return s.table }
+func recTransferMoney(from, to uint32, cur string, amount int64) []byte {
+	rec := make([]byte, 9, 18+len(cur))
+	rec[0] = recTransfer
+	binary.BigEndian.PutUint32(rec[1:], from)
+	binary.BigEndian.PutUint32(rec[5:], to)
+	rec = appendCurrency(rec, cur)
+	return appendU64(rec, uint64(amount))
+}
+
+// recConvertMoney logs the computed output amount too, so replay does
+// not depend on the (config-supplied, possibly changed) rate table.
+func recConvertMoney(obj uint32, from, to string, amount, out int64) []byte {
+	rec := make([]byte, 5, 23+len(from)+len(to))
+	rec[0] = recConvert
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	rec = appendCurrency(rec, from)
+	rec = appendCurrency(rec, to)
+	rec = appendU64(rec, uint64(amount))
+	return appendU64(rec, uint64(out))
+}
+
+func recDestroyAccount(obj uint32) []byte {
+	rec := make([]byte, 5)
+	rec[0] = recDestroy
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	return rec
+}
+
+// apply replays one redo record. The log is trusted (every record was
+// validated before it was written) and its order is the live commit
+// order, so replay applies mutations without re-checking funds.
+func (s *Server) apply(rec []byte) error {
+	if len(rec) < 5 {
+		return fmt.Errorf("banksvr: short record (%d bytes)", len(rec))
+	}
+	obj := binary.BigEndian.Uint32(rec[1:])
+	switch rec[0] {
+	case recCreate:
+		if len(rec) < 13 {
+			return fmt.Errorf("banksvr: malformed create record")
+		}
+		secret := binary.BigEndian.Uint64(rec[5:])
+		cur, rest, err := takeCurrency(rec[13:])
+		if err != nil || len(rest) != 8 {
+			return fmt.Errorf("banksvr: malformed create record")
+		}
+		amount := int64(binary.BigEndian.Uint64(rest))
+		if !s.cfg.MintingAllowed {
+			s.treasury[cur] -= amount // it was debited live, re-debit
+		}
+		s.table.InstallSecret(obj, secret)
+		acct := &account{balances: make(map[string]int64)}
+		if amount > 0 {
+			acct.balances[cur] = amount
+		}
+		s.accounts.Put(obj, acct)
+	case recTransfer:
+		if len(rec) < 9 {
+			return fmt.Errorf("banksvr: malformed transfer record")
+		}
+		to := binary.BigEndian.Uint32(rec[5:])
+		cur, rest, err := takeCurrency(rec[9:])
+		if err != nil || len(rest) != 8 {
+			return fmt.Errorf("banksvr: malformed transfer record")
+		}
+		amount := int64(binary.BigEndian.Uint64(rest))
+		from, ok := s.accounts.Get(obj)
+		if !ok {
+			return fmt.Errorf("banksvr: transfer record names unknown account %d", obj)
+		}
+		dest, ok := s.accounts.Get(to)
+		if !ok {
+			return fmt.Errorf("banksvr: transfer record names unknown account %d", to)
+		}
+		from.balances[cur] -= amount
+		dest.balances[cur] += amount
+	case recConvert:
+		from, rest, err := takeCurrency(rec[5:])
+		if err != nil {
+			return fmt.Errorf("banksvr: malformed convert record")
+		}
+		to, rest, err := takeCurrency(rest)
+		if err != nil || len(rest) != 16 {
+			return fmt.Errorf("banksvr: malformed convert record")
+		}
+		amount := int64(binary.BigEndian.Uint64(rest))
+		out := int64(binary.BigEndian.Uint64(rest[8:]))
+		a, ok := s.accounts.Get(obj)
+		if !ok {
+			return fmt.Errorf("banksvr: convert record names unknown account %d", obj)
+		}
+		a.balances[from] -= amount
+		a.balances[to] += out
+	case recDestroy:
+		a, ok := s.accounts.Delete(obj)
+		if ok {
+			for c, v := range a.balances {
+				s.treasury[c] += v
+			}
+		}
+		_ = s.table.DestroyObject(obj)
+	default:
+		return fmt.Errorf("banksvr: unknown record tag %#02x", rec[0])
+	}
+	return nil
+}
+
+// snapshot serializes the treasury and every account for a checkpoint.
+// It runs quiesced, so the cut conserves money exactly.
+func (s *Server) snapshot() []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(len(s.treasury)))
+	for c, v := range s.treasury {
+		out = appendCurrency(out, c)
+		out = appendU64(out, uint64(v))
+	}
+	at := len(out)
+	out = append(out, 0, 0, 0, 0)
+	count := 0
+	s.accounts.Range(func(obj uint32, a *account) bool {
+		count++
+		var hdr [6]byte
+		binary.BigEndian.PutUint32(hdr[0:], obj)
+		binary.BigEndian.PutUint16(hdr[4:], uint16(len(a.balances)))
+		out = append(out, hdr[:]...)
+		for c, v := range a.balances {
+			out = appendCurrency(out, c)
+			out = appendU64(out, uint64(v))
+		}
+		return true
+	})
+	binary.BigEndian.PutUint32(out[at:], uint32(count))
+	return out
+}
+
+// restoreSnapshot replaces the treasury and account state.
+func (s *Server) restoreSnapshot(snap []byte) error {
+	bad := fmt.Errorf("banksvr: truncated snapshot")
+	if len(snap) < 4 {
+		return bad
+	}
+	ncur := binary.BigEndian.Uint32(snap)
+	rest := snap[4:]
+	treasury := make(map[string]int64, ncur)
+	for i := uint32(0); i < ncur; i++ {
+		cur, r, err := takeCurrency(rest)
+		if err != nil || len(r) < 8 {
+			return bad
+		}
+		treasury[cur] = int64(binary.BigEndian.Uint64(r))
+		rest = r[8:]
+	}
+	if len(rest) < 4 {
+		return bad
+	}
+	naccts := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	accounts := store.New[*account](0)
+	for i := uint32(0); i < naccts; i++ {
+		if len(rest) < 6 {
+			return bad
+		}
+		obj := binary.BigEndian.Uint32(rest)
+		nbal := binary.BigEndian.Uint16(rest[4:])
+		rest = rest[6:]
+		a := &account{balances: make(map[string]int64, nbal)}
+		for j := uint16(0); j < nbal; j++ {
+			cur, r, err := takeCurrency(rest)
+			if err != nil || len(r) < 8 {
+				return bad
+			}
+			a.balances[cur] = int64(binary.BigEndian.Uint64(r))
+			rest = r[8:]
+		}
+		accounts.Put(obj, a)
+	}
+	s.treasury = treasury
+	s.accounts = accounts
+	return nil
+}
 
 func validCurrency(c string) error {
 	if c == "" || len(c) > MaxCurrency {
@@ -166,13 +388,16 @@ func (s *Server) createAccount(_ context.Context, _ rpc.Meta, req rpc.Request) r
 		s.treasury[currency] -= amount
 		s.treasuryMu.Unlock()
 	}
-	c, err := s.table.Create()
-	if err != nil {
+	refund := func() {
 		if !s.cfg.MintingAllowed {
 			s.treasuryMu.Lock()
 			s.treasury[currency] += amount // roll the debit back
 			s.treasuryMu.Unlock()
 		}
+	}
+	c, secret, err := s.table.CreateRecorded()
+	if err != nil {
+		refund()
 		return rpc.ErrReplyFromErr(err)
 	}
 	acct := &account{balances: make(map[string]int64)}
@@ -180,6 +405,17 @@ func (s *Server) createAccount(_ context.Context, _ rpc.Meta, req rpc.Request) r
 		acct.balances[currency] = amount
 	}
 	s.accounts.Put(c.Object, acct)
+	t, err := s.Append(recCreateAccount(c.Object, secret, currency, amount))
+	if err != nil {
+		// Unlogged: roll the whole creation back.
+		s.accounts.Delete(c.Object)
+		_ = s.table.DestroyObject(c.Object)
+		refund()
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.CapReply(c)
 }
 
@@ -274,23 +510,42 @@ func (s *Server) transfer(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Re
 	if dest.Object < req.Cap.Object {
 		first, second = to, from
 	}
-	first.mu.Lock()
-	defer first.mu.Unlock()
-	second.mu.Lock()
-	defer second.mu.Unlock()
-	if from.dead {
-		return errDead(req.Cap.Object)
+	// The redo record is staged under both account locks — commit order
+	// must match balance-mutation order per account, or a replay could
+	// see a withdrawal before the deposit that funded it — but the
+	// group-commit wait happens after unlock, so hot accounts share
+	// disk syncs instead of serializing on them.
+	var t *wal.Ticket
+	rep := func() rpc.Reply {
+		first.mu.Lock()
+		defer first.mu.Unlock()
+		second.mu.Lock()
+		defer second.mu.Unlock()
+		if from.dead {
+			return errDead(req.Cap.Object)
+		}
+		if to.dead {
+			return rpc.ErrReplyFromErr(fmt.Errorf("destination: banksvr: object %d: %w", dest.Object, cap.ErrNoSuchObject))
+		}
+		if from.balances[currency] < amount {
+			return rpc.ErrReply(rpc.StatusServerError,
+				fmt.Sprintf("insufficient funds: have %d %s, need %d", from.balances[currency], currency, amount))
+		}
+		var aerr error
+		if t, aerr = s.Append(recTransferMoney(req.Cap.Object, dest.Object, currency, amount)); aerr != nil {
+			return rpc.ErrReplyFromErr(aerr)
+		}
+		from.balances[currency] -= amount
+		to.balances[currency] += amount
+		return rpc.OkReply(nil)
+	}()
+	if rep.Status != rpc.StatusOK {
+		return rep
 	}
-	if to.dead {
-		return rpc.ErrReplyFromErr(fmt.Errorf("destination: banksvr: object %d: %w", dest.Object, cap.ErrNoSuchObject))
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
 	}
-	if from.balances[currency] < amount {
-		return rpc.ErrReply(rpc.StatusServerError,
-			fmt.Sprintf("insufficient funds: have %d %s, need %d", from.balances[currency], currency, amount))
-	}
-	from.balances[currency] -= amount
-	to.balances[currency] += amount
-	return rpc.OkReply(nil)
+	return rep
 }
 
 func (s *Server) convert(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -322,18 +577,32 @@ func (s *Server) convert(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Rep
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.dead {
-		return errDead(req.Cap.Object)
+	var t *wal.Ticket
+	rep := func() rpc.Reply {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if a.dead {
+			return errDead(req.Cap.Object)
+		}
+		if a.balances[fromCur] < amount {
+			return rpc.ErrReply(rpc.StatusServerError,
+				fmt.Sprintf("insufficient funds: have %d %s, need %d", a.balances[fromCur], fromCur, amount))
+		}
+		var aerr error
+		if t, aerr = s.Append(recConvertMoney(req.Cap.Object, fromCur, toCur, amount, out)); aerr != nil {
+			return rpc.ErrReplyFromErr(aerr)
+		}
+		a.balances[fromCur] -= amount
+		a.balances[toCur] += out
+		return rpc.OkReply(nil)
+	}()
+	if rep.Status != rpc.StatusOK {
+		return rep
 	}
-	if a.balances[fromCur] < amount {
-		return rpc.ErrReply(rpc.StatusServerError,
-			fmt.Sprintf("insufficient funds: have %d %s, need %d", a.balances[fromCur], fromCur, amount))
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
 	}
-	a.balances[fromCur] -= amount
-	a.balances[toCur] += out
-	return rpc.OkReply(nil)
+	return rep
 }
 
 func (s *Server) destroyAccount(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -348,6 +617,14 @@ func (s *Server) destroyAccount(_ context.Context, _ rpc.Meta, req rpc.Request) 
 	if a.dead {
 		a.mu.Unlock()
 		return errDead(req.Cap.Object)
+	}
+	// The destroy record is staged under the account lock, after every
+	// transfer that touched the account and before any that would have
+	// failed against the dead flag set below.
+	t, aerr := s.Append(recDestroyAccount(req.Cap.Object))
+	if aerr != nil {
+		a.mu.Unlock()
+		return rpc.ErrReplyFromErr(aerr)
 	}
 	// Once dead is set (under the account lock), racing transfers
 	// fail cleanly and no deposit can slip in after the balance
@@ -370,6 +647,9 @@ func (s *Server) destroyAccount(_ context.Context, _ rpc.Meta, req rpc.Request) 
 	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.OkReply(nil)
 }
 
@@ -389,11 +669,3 @@ func takeCurrency(data []byte) (string, []byte, error) {
 	}
 	return c, data[1+n:], nil
 }
-
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

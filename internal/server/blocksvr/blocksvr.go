@@ -20,6 +20,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
+	"amoeba/internal/svc"
 	"amoeba/internal/vdisk"
 	"amoeba/internal/wire"
 )
@@ -58,7 +59,7 @@ var errDiskFull = fmt.Errorf("blocksvr: disk full")
 // allocator (bitmap scan, free count, cursor) takes allocMu, and it
 // is pure in-memory work.
 type Server struct {
-	rpc   *rpc.Server
+	*svc.Kernel
 	table *cap.Table
 	disk  vdisk.Store
 
@@ -70,51 +71,39 @@ type Server struct {
 	next    uint32 // allocation cursor
 }
 
-// New builds a block server over disk. Call Start to begin serving.
+// New builds a block server over disk on the service kernel. Call
+// Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, disk vdisk.Store) (*Server, error) {
-	return build(rpc.NewServer(fb, src), scheme, src, disk)
+	return build(fb, scheme, svc.Config{Source: src}, disk)
 }
 
 // NewWithPort is New with an explicit secret get-port, for services
 // that must reappear at the same put-port after a restart (pair with
 // RestoreState and a persistent disk).
 func NewWithPort(fb *fbox.FBox, scheme cap.Scheme, g cap.Port, disk vdisk.Store) (*Server, error) {
-	return build(rpc.NewServerWithPort(fb, g), scheme, nil, disk)
+	return build(fb, scheme, svc.Config{Port: g}, disk)
 }
 
-func build(server *rpc.Server, scheme cap.Scheme, src crypto.Source, disk vdisk.Store) (*Server, error) {
+func build(fb *fbox.FBox, scheme cap.Scheme, cfg svc.Config, disk vdisk.Store) (*Server, error) {
 	if disk.NBlocks() > cap.ObjectMask {
 		return nil, fmt.Errorf("blocksvr: disk has %d blocks; capabilities address at most %d",
 			disk.NBlocks(), cap.ObjectMask)
 	}
 	s := &Server{
-		disk:  disk,
-		used:  make([]atomic.Bool, disk.NBlocks()),
-		locks: make([]sync.Mutex, disk.NBlocks()),
-		nfree: disk.NBlocks(),
+		Kernel: svc.NewWithConfig(fb, scheme, cfg),
+		disk:   disk,
+		used:   make([]atomic.Bool, disk.NBlocks()),
+		locks:  make([]sync.Mutex, disk.NBlocks()),
+		nfree:  disk.NBlocks(),
 	}
-	s.rpc = server
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpAlloc, s.alloc)
-	s.rpc.Handle(OpRead, s.read)
-	s.rpc.Handle(OpWrite, s.write)
-	s.rpc.Handle(OpFree, s.free)
-	s.rpc.Handle(OpStat, s.stat)
+	s.table = s.Table()
+	s.Handle(OpAlloc, s.alloc)
+	s.Handle(OpRead, s.read)
+	s.Handle(OpWrite, s.write)
+	s.Handle(OpFree, s.free)
+	s.Handle(OpStat, s.stat)
 	return s, nil
 }
-
-// Start begins serving.
-func (s *Server) Start() error { return s.rpc.Start() }
-
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
-
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
-
-// Table exposes the object table (experiments use it).
-func (s *Server) Table() *cap.Table { return s.table }
 
 func (s *Server) alloc(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	s.allocMu.Lock()
@@ -510,10 +499,6 @@ func (b *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights
 	return b.c.Restrict(ctx, c, mask)
 }
 
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
 // SnapshotState serializes the server's capability table (which, with
 // object numbers equal to block numbers, fully determines the
 // allocation state). Pair with a persistent vdisk.FileDisk so a
@@ -545,7 +530,3 @@ func (s *Server) RestoreState(snap []byte) error {
 	}
 	return nil
 }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -37,7 +37,7 @@ func TestBlockServerSurvivesRestart(t *testing.T) {
 	if err := s1.Start(); err != nil {
 		t.Fatal(err)
 	}
-	getPort := s1.rpc.GetPort()
+	getPort := s1.GetPort()
 
 	c1 := NewClient(r.Client, s1.PutPort())
 	blkA, err := c1.Alloc(ctx)

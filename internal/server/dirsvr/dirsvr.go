@@ -26,6 +26,8 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/store"
+	"amoeba/internal/svc"
+	"amoeba/internal/wal"
 )
 
 // Operation codes.
@@ -67,50 +69,230 @@ type directory struct {
 	entries map[string]cap.Capability
 }
 
-// Server is a directory server instance. The directory index is a
-// lock-striped map keyed by object number; each directory carries its
-// own lock, so lookups in unrelated directories never contend.
+// Server is a directory server instance on the service kernel. The
+// directory index is a lock-striped map keyed by object number; each
+// directory carries its own lock, so lookups in unrelated directories
+// never contend.
+//
+// Directories are the system's naming root — losing them to a crash
+// strands every capability filed under a name — so the server is the
+// durability flagship: built with NewDurable, every mutating operation
+// is written ahead to a log and acknowledged only once durable, and a
+// restarted server replays itself back to the exact state its clients
+// saw acknowledged.
 type Server struct {
-	rpc   *rpc.Server
+	*svc.Kernel
 	table *cap.Table
 
 	dirs *store.Map[*directory]
 }
 
-// New builds a directory server. Call Start to begin serving.
+// New builds a volatile directory server. Call Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
-	s := &Server{dirs: store.New[*directory](0)}
-	s.rpc = rpc.NewServer(fb, src)
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpCreateDir, s.createDir)
-	s.rpc.Handle(OpLookup, s.lookup)
-	s.rpc.Handle(OpEnter, s.enter)
-	s.rpc.Handle(OpRemove, s.remove)
-	s.rpc.Handle(OpList, s.list)
-	s.rpc.Handle(OpDestroyDir, s.destroyDir)
-	s.rpc.Handle(OpLookupPath, s.lookupPath)
+	s, err := NewDurable(fb, scheme, src, nil, 0)
+	if err != nil { // unreachable: no log means no recovery to fail
+		panic(err)
+	}
 	return s
 }
 
-// Start begins serving.
-func (s *Server) Start() error { return s.rpc.Start() }
+// NewDurable builds a directory server whose mutations are written
+// ahead to log (nil for a volatile server), recovering any state a
+// previous incarnation logged before it returns. g pins the secret
+// get-port (zero draws a fresh one); a host restarting the service
+// passes the same g so the server reappears at the put-port every
+// outstanding directory capability names.
+func NewDurable(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, log *wal.Log, g cap.Port) (*Server, error) {
+	s := &Server{dirs: store.New[*directory](0)}
+	s.Kernel = svc.NewWithConfig(fb, scheme, svc.Config{
+		Source:   src,
+		Port:     g,
+		Log:      log,
+		Snapshot: s.snapshot,
+		Restore:  s.restoreSnapshot,
+	})
+	s.table = s.Table()
+	s.Handle(OpCreateDir, s.createDir)
+	s.Handle(OpLookup, s.lookup)
+	s.Handle(OpEnter, s.enter)
+	s.Handle(OpRemove, s.remove)
+	s.Handle(OpList, s.list)
+	s.Handle(OpDestroyDir, s.destroyDir)
+	s.Handle(OpLookupPath, s.lookupPath)
+	if err := s.Recover(s.apply); err != nil {
+		return nil, fmt.Errorf("dirsvr: recovering: %w", err)
+	}
+	return s, nil
+}
 
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
+// Redo-record tags (first byte; svc.RecKernel is reserved).
+const (
+	recCreate  byte = 0x01 // obj(4) secret(8)
+	recEnter   byte = 0x02 // obj(4) nameLen(2) name cap(16)
+	recRemove  byte = 0x03 // obj(4) name
+	recDestroy byte = 0x04 // obj(4)
+)
 
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
+func recObj(tag byte, obj uint32) []byte {
+	rec := make([]byte, 5)
+	rec[0] = tag
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	return rec
+}
 
-// Table exposes the object table.
-func (s *Server) Table() *cap.Table { return s.table }
+func recCreateDir(obj uint32, secret uint64) []byte {
+	rec := make([]byte, 13)
+	rec[0] = recCreate
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	binary.BigEndian.PutUint64(rec[5:], secret)
+	return rec
+}
+
+func recEnterDir(obj uint32, name string, c cap.Capability) []byte {
+	rec := make([]byte, 0, 7+len(name)+cap.Size)
+	rec = append(rec, recEnter, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	binary.BigEndian.PutUint16(rec[5:], uint16(len(name)))
+	rec = append(rec, name...)
+	return c.AppendTo(rec)
+}
+
+func recRemoveDir(obj uint32, name string) []byte {
+	rec := make([]byte, 0, 5+len(name))
+	rec = append(rec, recRemove, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	return append(rec, name...)
+}
+
+// apply replays one redo record — the crash-recovery half of the
+// mutating handlers below. The log is trusted: no rights checks, and
+// order is the live commit order, so straight application reproduces
+// the acknowledged state.
+func (s *Server) apply(rec []byte) error {
+	if len(rec) < 5 {
+		return fmt.Errorf("dirsvr: short record (%d bytes)", len(rec))
+	}
+	obj := binary.BigEndian.Uint32(rec[1:])
+	body := rec[5:]
+	switch rec[0] {
+	case recCreate:
+		if len(body) != 8 {
+			return fmt.Errorf("dirsvr: malformed create record")
+		}
+		s.table.InstallSecret(obj, binary.BigEndian.Uint64(body))
+		s.dirs.Put(obj, &directory{entries: make(map[string]cap.Capability)})
+	case recEnter:
+		if len(body) < 2+cap.Size {
+			return fmt.Errorf("dirsvr: malformed enter record")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) != 2+n+cap.Size {
+			return fmt.Errorf("dirsvr: malformed enter record")
+		}
+		c, err := cap.Decode(body[2+n:])
+		if err != nil {
+			return err
+		}
+		// Live staging is totally ordered per directory (every record
+		// stages under d.mu), so a record for a missing directory can
+		// only come from a log written before that invariant held;
+		// skipping it mirrors what the live server's state showed.
+		if d, ok := s.dirs.Get(obj); ok {
+			d.entries[string(body[2:2+n])] = c
+		}
+	case recRemove:
+		if d, ok := s.dirs.Get(obj); ok {
+			delete(d.entries, string(body))
+		}
+	case recDestroy:
+		s.dirs.Delete(obj)
+		_ = s.table.DestroyObject(obj)
+	default:
+		return fmt.Errorf("dirsvr: unknown record tag %#02x", rec[0])
+	}
+	return nil
+}
+
+// snapshot serializes every directory for a checkpoint. It runs
+// quiesced (the kernel has no handler in flight), so the walk is a
+// consistent cut.
+func (s *Server) snapshot() []byte {
+	out := make([]byte, 4)
+	count := 0
+	s.dirs.Range(func(obj uint32, d *directory) bool {
+		count++
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[0:], obj)
+		binary.BigEndian.PutUint32(hdr[4:], uint32(len(d.entries)))
+		out = append(out, hdr[:]...)
+		for name, c := range d.entries {
+			var nl [2]byte
+			binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
+			out = append(out, nl[:]...)
+			out = append(out, name...)
+			out = c.AppendTo(out)
+		}
+		return true
+	})
+	binary.BigEndian.PutUint32(out, uint32(count))
+	return out
+}
+
+// restoreSnapshot replaces the directory index from a snapshot.
+func (s *Server) restoreSnapshot(snap []byte) error {
+	if len(snap) < 4 {
+		return fmt.Errorf("dirsvr: truncated snapshot")
+	}
+	dirs := store.New[*directory](0)
+	count := binary.BigEndian.Uint32(snap)
+	at := 4
+	for i := uint32(0); i < count; i++ {
+		if len(snap)-at < 8 {
+			return fmt.Errorf("dirsvr: truncated snapshot")
+		}
+		obj := binary.BigEndian.Uint32(snap[at:])
+		n := binary.BigEndian.Uint32(snap[at+4:])
+		at += 8
+		d := &directory{entries: make(map[string]cap.Capability, n)}
+		for j := uint32(0); j < n; j++ {
+			if len(snap)-at < 2 {
+				return fmt.Errorf("dirsvr: truncated snapshot")
+			}
+			nl := int(binary.BigEndian.Uint16(snap[at:]))
+			at += 2
+			if len(snap)-at < nl+cap.Size {
+				return fmt.Errorf("dirsvr: truncated snapshot")
+			}
+			name := string(snap[at : at+nl])
+			c, err := cap.Decode(snap[at+nl : at+nl+cap.Size])
+			if err != nil {
+				return err
+			}
+			at += nl + cap.Size
+			d.entries[name] = c
+		}
+		dirs.Put(obj, d)
+	}
+	s.dirs = dirs
+	return nil
+}
 
 func (s *Server) createDir(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
-	c, err := s.table.Create()
+	c, secret, err := s.table.CreateRecorded()
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
 	s.dirs.Put(c.Object, &directory{entries: make(map[string]cap.Capability)})
+	t, err := s.Append(recCreateDir(c.Object, secret))
+	if err != nil {
+		// Unlogged: roll the creation back so memory matches the log.
+		s.dirs.Delete(c.Object)
+		_ = s.table.DestroyObject(c.Object)
+		return rpc.ErrReplyFromErr(err)
+	}
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.CapReply(c)
 }
 
@@ -157,7 +339,7 @@ func (s *Server) lookup(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 
 func (s *Server) lookupPath(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	path := string(req.Data)
-	self := s.rpc.PutPort()
+	self := s.PutPort()
 	cur := req.Cap
 	consumed := 0
 	for _, comp := range strings.Split(path, "/") {
@@ -211,12 +393,34 @@ func (s *Server) enter(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply
 	if err != nil {
 		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
 	}
+	// Stage the record while holding the directory lock — the log's
+	// commit order must match the mutation order — but wait for the
+	// group commit after releasing it, so concurrent writers on this
+	// directory share one disk sync instead of queueing behind it.
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if cur, live := s.dirs.Get(req.Cap.Object); !live || cur != d {
+		// Destroyed between lookup and lock (destruction is serialized
+		// on this same lock): fail rather than write into an orphan.
+		// Pointer identity, not mere presence: the freed number may
+		// already name a NEW directory, and a record staged against it
+		// would replay an entry the new directory never acknowledged.
+		d.mu.Unlock()
+		return rpc.ErrReplyFromErr(fmt.Errorf("dirsvr: object %d: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
 	if _, dup := d.entries[name]; dup {
+		d.mu.Unlock()
 		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("entry %q exists", name))
 	}
+	t, aerr := s.Append(recEnterDir(req.Cap.Object, name, entry))
+	if aerr != nil {
+		d.mu.Unlock()
+		return rpc.ErrReplyFromErr(aerr)
+	}
 	d.entries[name] = entry
+	d.mu.Unlock()
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.OkReply(nil)
 }
 
@@ -230,11 +434,25 @@ func (s *Server) remove(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if cur, live := s.dirs.Get(req.Cap.Object); !live || cur != d {
+		// See enter: identity, not presence (number-reuse ABA).
+		d.mu.Unlock()
+		return rpc.ErrReplyFromErr(fmt.Errorf("dirsvr: object %d: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
 	if _, ok := d.entries[name]; !ok {
+		d.mu.Unlock()
 		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("no entry %q", name))
 	}
+	t, aerr := s.Append(recRemoveDir(req.Cap.Object, name))
+	if aerr != nil {
+		d.mu.Unlock()
+		return rpc.ErrReplyFromErr(aerr)
+	}
 	delete(d.entries, name)
+	d.mu.Unlock()
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.OkReply(nil)
 }
 
@@ -267,29 +485,39 @@ func (s *Server) destroyDir(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 	if err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	d.mu.RLock()
-	n := len(d.entries)
-	d.mu.RUnlock()
-	if n != 0 {
+	// The emptiness check, the state delete and the record staging all
+	// happen under the directory's write lock: enter/remove stage under
+	// the same lock, so the log's per-directory record order is exactly
+	// the mutation order (a destroy can never precede an enter it
+	// actually followed), and no entry can slip into an orphan between
+	// the check and the delete. Winning the state delete elects THE
+	// destroyer: state leaves the map before the number can be reused,
+	// and only the winner retires the (already Demand-checked) table
+	// entry — by number, so a concurrent revoke cannot leave an
+	// orphaned entry behind. The destroy record is staged before the
+	// number is freed, so a racing create that reuses it logs after us.
+	d.mu.Lock()
+	if n := len(d.entries); n != 0 {
+		d.mu.Unlock()
 		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("directory not empty (%d entries)", n))
 	}
-	// Winning the state delete elects THE destroyer: state leaves the
-	// map before the number can be reused, and only the winner retires
-	// the (already Demand-checked) table entry — by number, so a
-	// concurrent revoke cannot leave an orphaned entry behind.
-	if _, ok := s.dirs.Delete(req.Cap.Object); !ok {
+	if cur, live := s.dirs.Get(req.Cap.Object); !live || cur != d {
+		// Identity, not presence: deleting by number alone could take
+		// down a NEW directory that reused it (see enter).
+		d.mu.Unlock()
 		return rpc.ErrReplyFromErr(fmt.Errorf("dirsvr: object %d: %w", req.Cap.Object, cap.ErrNoSuchObject))
+	}
+	s.dirs.Delete(req.Cap.Object)
+	t, aerr := s.Append(recObj(recDestroy, req.Cap.Object))
+	d.mu.Unlock()
+	if aerr != nil {
+		return rpc.ErrReplyFromErr(aerr)
 	}
 	if err := s.table.DestroyObject(req.Cap.Object); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
+	if err := t.Wait(); err != nil {
+		return rpc.ErrReplyFromErr(err)
+	}
 	return rpc.OkReply(nil)
 }
-
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -1,0 +1,366 @@
+package dirsvr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/server/servertest"
+	"amoeba/internal/svc"
+	"amoeba/internal/vdisk"
+	"amoeba/internal/wal"
+)
+
+// model mirrors the acknowledged directory state: directory object
+// numbers to their entries.
+type model map[uint32]map[string]cap.Capability
+
+func (m model) clone() model {
+	c := make(model, len(m))
+	for obj, entries := range m {
+		e := make(map[string]cap.Capability, len(entries))
+		for k, v := range entries {
+			e[k] = v
+		}
+		c[obj] = e
+	}
+	return c
+}
+
+// matches compares a replayed server's state to the model.
+func (s *Server) matches(m model) error {
+	var err error
+	seen := 0
+	s.dirs.Range(func(obj uint32, d *directory) bool {
+		seen++
+		want, ok := m[obj]
+		if !ok {
+			err = fmt.Errorf("replay resurrected directory %d", obj)
+			return false
+		}
+		if len(d.entries) != len(want) {
+			err = fmt.Errorf("directory %d has %d entries, want %d", obj, len(d.entries), len(want))
+			return false
+		}
+		for name, c := range d.entries {
+			if want[name] != c {
+				err = fmt.Errorf("directory %d entry %q diverged", obj, name)
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if seen != len(m) {
+		return fmt.Errorf("replay has %d directories, want %d", seen, len(m))
+	}
+	return nil
+}
+
+// TestCrashMatrixReplay drives a 100-op workload (creates, enters,
+// removes, destroys) against a durable directory server, freezing the
+// WAL disk's exact bytes after every
+// acknowledged operation. It then simulates a crash at EVERY one of
+// those record boundaries: each frozen image is recovered into a fresh
+// server, whose state must equal the model at that point — no
+// acknowledged op lost, no unacknowledged op visible.
+func TestCrashMatrixReplay(t *testing.T) {
+	ctx := context.Background()
+	r := servertest.New(t, 0xC7A5)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := r.NewFBox(t)
+	s, err := NewDurable(fb, scheme, r.Src, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	dc := NewClient(r.Client)
+
+	nops := 100
+	if testing.Short() {
+		nops = 30
+	}
+
+	// The scripted workload: a deterministic mix in which every op is
+	// acknowledged before the disk image is frozen.
+	live := make(model)
+	var dirs []cap.Capability // created, not-yet-destroyed directories
+	images := make([]*vdisk.Disk, 0, nops)
+	models := make([]model, 0, nops)
+
+	for i := 0; i < nops; i++ {
+		switch {
+		case len(dirs) == 0 || i%7 == 0:
+			d, err := dc.CreateDir(ctx, s.PutPort())
+			if err != nil {
+				t.Fatalf("op %d create: %v", i, err)
+			}
+			dirs = append(dirs, d)
+			live[d.Object] = map[string]cap.Capability{}
+		case i%11 == 0 && len(live[dirs[0].Object]) == 0 && len(dirs) > 1:
+			// Destroy an empty directory (the oldest, if drained).
+			d := dirs[0]
+			if err := dc.DestroyDir(ctx, d); err != nil {
+				t.Fatalf("op %d destroy: %v", i, err)
+			}
+			dirs = dirs[1:]
+			delete(live, d.Object)
+		case i%5 == 0 && len(live[dirs[len(dirs)-1].Object]) > 0:
+			// Remove the lexically-first entry of the newest directory.
+			d := dirs[len(dirs)-1]
+			var name string
+			for n := range live[d.Object] {
+				if name == "" || n < name {
+					name = n
+				}
+			}
+			if err := dc.Remove(ctx, d, name); err != nil {
+				t.Fatalf("op %d remove: %v", i, err)
+			}
+			delete(live[d.Object], name)
+		default:
+			d := dirs[len(dirs)-1]
+			name := fmt.Sprintf("e%03d", i)
+			entry := cap.Capability{Server: 0xBEEF, Object: uint32(i), Rights: cap.RightRead, Check: uint64(i) * 77}
+			if err := dc.Enter(ctx, d, name, entry); err != nil {
+				t.Fatalf("op %d enter: %v", i, err)
+			}
+			live[d.Object][name] = entry
+		}
+		// The reply for op i has been received, so its record is on the
+		// "disk"; freeze the exact bytes a crash right now would leave.
+		images = append(images, disk.Clone())
+		models = append(models, live.clone())
+	}
+
+	// Crash at every record boundary: recover each frozen image into a
+	// fresh (never Started) server and diff against the model.
+	replayFB := r.NewFBox(t)
+	for i, img := range images {
+		rlog, err := wal.Open(img, wal.Options{})
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		rs, err := NewDurable(replayFB, scheme, r.Src, rlog, s.GetPort())
+		if err != nil {
+			t.Fatalf("boundary %d: recover: %v", i, err)
+		}
+		if err := rs.matches(models[i]); err != nil {
+			t.Fatalf("crash after op %d: %v", i, err)
+		}
+		if err := rlog.Close(); err != nil {
+			t.Fatalf("boundary %d: close: %v", i, err)
+		}
+	}
+}
+
+// TestDurableRevokeSurvivesCrash: a revocation re-key must be replayed
+// too — recovering the pre-revoke secret would resurrect every revoked
+// capability.
+func TestDurableRevokeSurvivesCrash(t *testing.T) {
+	ctx := context.Background()
+	r := servertest.New(t, 0xC7A6)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurable(r.NewFBox(t), scheme, r.Src, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	dc := NewClient(r.Client)
+	old, err := dc.CreateDir(ctx, s.PutPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := r.Client.Revoke(ctx, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and recover from the disk image.
+	img := disk.Clone()
+	rlog, err := wal.Open(img, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	rs, err := NewDurable(r.NewFBox(t), scheme, r.Src, rlog, s.GetPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Table().Validate(fresh); err != nil {
+		t.Fatalf("post-revoke capability invalid after replay: %v", err)
+	}
+	if _, err := rs.Table().Validate(old); err == nil {
+		t.Fatal("revoked capability resurrected by replay")
+	}
+}
+
+// TestReplayRevokeAfterDestroyDoesNotResurrect: a revoke record can
+// trail the destroy record of the same object in the log (they stage
+// under different locks); replaying it must not re-install the table
+// entry for the destroyed object.
+func TestReplayRevokeAfterDestroyDoesNotResurrect(t *testing.T) {
+	r := servertest.New(t, 0xC7A8)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the adversarial log: create(obj=9), destroy(obj=9),
+	// then a kernel revoke record for obj=9.
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Recover(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	kernelRevoke := make([]byte, 13)
+	kernelRevoke[0] = svc.RecKernel
+	binary.BigEndian.PutUint32(kernelRevoke[1:], 9)
+	binary.BigEndian.PutUint64(kernelRevoke[5:], 0xDEAD)
+	for _, rec := range [][]byte{recCreateDir(9, 0xBEEF), recObj(recDestroy, 9), kernelRevoke} {
+		tk, err := log.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+
+	rlog, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	rs, err := NewDurable(r.NewFBox(t), scheme, r.Src, rlog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rs.Table().Len(); n != 0 {
+		t.Fatalf("replay resurrected %d destroyed object(s)", n)
+	}
+	if _, ok := rs.dirs.Get(9); ok {
+		t.Fatal("replay resurrected the destroyed directory state")
+	}
+}
+
+// TestDurableCheckpointCycle: pressure-driven checkpoints compact the
+// log under a live workload, and recovery from the checkpointed log
+// still lands on the acknowledged state.
+func TestDurableCheckpointCycle(t *testing.T) {
+	ctx := context.Background()
+	r := servertest.New(t, 0xC7A7)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately tiny log: the workload crosses the high-water mark
+	// many times, forcing repeated checkpoint+truncate cycles.
+	disk, err := vdisk.New(64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurable(r.NewFBox(t), scheme, r.Src, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	dc := NewClient(r.Client)
+	root, err := dc.CreateDir(ctx, s.PutPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]cap.Capability{}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("n%03d", i)
+		entry := cap.Capability{Server: 1, Object: uint32(i), Rights: cap.RightRead, Check: uint64(i)}
+		if err := dc.Enter(ctx, root, name, entry); err != nil {
+			// ErrFull between pressure and the async checkpoint is
+			// legal; the client-side answer is a retry.
+			if strings.Contains(err.Error(), "full") {
+				i--
+				continue
+			}
+			t.Fatalf("enter %d: %v", i, err)
+		}
+		want[name] = entry
+		if i%3 == 0 {
+			if err := dc.Remove(ctx, root, name); err != nil {
+				t.Fatalf("remove %d: %v", i, err)
+			}
+			delete(want, name)
+		}
+	}
+	// The checkpoint is pressure-driven and asynchronous; give it a
+	// beat to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for log.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tiny log never checkpointed under 200 ops (stats %+v)", log.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	img := disk.Clone()
+	rlog, err := wal.Open(img, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	rs, err := NewDurable(r.NewFBox(t), scheme, r.Src, rlog, s.GetPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.matches(model{root.Object: want}); err != nil {
+		t.Fatal(err)
+	}
+}

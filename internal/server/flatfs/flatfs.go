@@ -24,6 +24,7 @@ import (
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/blocksvr"
 	"amoeba/internal/store"
+	"amoeba/internal/svc"
 )
 
 // Operation codes.
@@ -64,7 +65,7 @@ type file struct {
 // to the block server ride OpBatch frames, so a spanning read or
 // write costs one nested round trip instead of one per block.
 type Server struct {
-	rpc    *rpc.Server
+	*svc.Kernel
 	table  *cap.Table
 	blocks *blocksvr.Client
 	bsize  uint64
@@ -72,42 +73,29 @@ type Server struct {
 	files *store.Map[*file]
 }
 
-// New builds a flat file server storing data via blocks, whose block
-// size it learns with a Stat transaction at construction time (bounded
-// by ctx).
+// New builds a flat file server on the service kernel, storing data
+// via blocks, whose block size it learns with a Stat transaction at
+// construction time (bounded by ctx).
 func New(ctx context.Context, fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, blocks *blocksvr.Client) (*Server, error) {
 	bs, _, _, err := blocks.Stat(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("flatfs: probing block server: %w", err)
 	}
 	s := &Server{
+		Kernel: svc.New(fb, scheme, src),
 		blocks: blocks,
 		bsize:  uint64(bs),
 		files:  store.New[*file](0),
 	}
-	s.rpc = rpc.NewServer(fb, src)
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpCreate, s.create)
-	s.rpc.Handle(OpDestroy, s.destroy)
-	s.rpc.Handle(OpWrite, s.write)
-	s.rpc.Handle(OpRead, s.read)
-	s.rpc.Handle(OpSize, s.sizeOp)
-	s.rpc.Handle(OpTruncate, s.truncate)
+	s.table = s.Table()
+	s.Handle(OpCreate, s.create)
+	s.Handle(OpDestroy, s.destroy)
+	s.Handle(OpWrite, s.write)
+	s.Handle(OpRead, s.read)
+	s.Handle(OpSize, s.sizeOp)
+	s.Handle(OpTruncate, s.truncate)
 	return s, nil
 }
-
-// Start begins serving.
-func (s *Server) Start() error { return s.rpc.Start() }
-
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
-
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
-
-// Table exposes the object table.
-func (s *Server) Table() *cap.Table { return s.table }
 
 func (s *Server) create(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, err := s.table.Create()
@@ -480,11 +468,3 @@ func (f *Client) Restrict(ctx context.Context, c cap.Capability, mask cap.Rights
 func (f *Client) Revoke(ctx context.Context, c cap.Capability) (cap.Capability, error) {
 	return f.c.Revoke(ctx, c)
 }
-
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

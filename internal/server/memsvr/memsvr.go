@@ -24,6 +24,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/store"
+	"amoeba/internal/svc"
 )
 
 // Operation codes.
@@ -89,12 +90,14 @@ type process struct {
 // off internally.
 type Executor func(proc uint32, segments [][]byte)
 
-// Server is a memory server instance. Segment and process state live
-// in lock-striped maps (see internal/store) keyed by object number, so
-// operations on independent objects never contend; each segment and
-// process carries its own lock for its contents.
+// Server is a memory server instance on the service kernel (the
+// scaffolding — transport, object table, lifecycle — lives in
+// internal/svc). Segment and process state live in lock-striped maps
+// (see internal/store) keyed by object number, so operations on
+// independent objects never contend; each segment and process carries
+// its own lock for its contents.
 type Server struct {
-	rpc   *rpc.Server
+	*svc.Kernel
 	table *cap.Table
 
 	execMu   sync.RWMutex
@@ -108,36 +111,23 @@ type Server struct {
 // Call Start to begin serving.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
 	s := &Server{
+		Kernel:    svc.New(fb, scheme, src),
 		segments:  store.New[*segment](0),
 		processes: store.New[*process](0),
 	}
-	s.rpc = rpc.NewServer(fb, src)
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpCreateSegment, s.createSegment)
-	s.rpc.Handle(OpWriteSeg, s.writeSeg)
-	s.rpc.Handle(OpReadSeg, s.readSeg)
-	s.rpc.Handle(OpSegSize, s.segSize)
-	s.rpc.Handle(OpDeleteSegment, s.deleteSegment)
-	s.rpc.Handle(OpMakeProcess, s.makeProcess)
-	s.rpc.Handle(OpStartProcess, s.startProcess)
-	s.rpc.Handle(OpStopProcess, s.stopProcess)
-	s.rpc.Handle(OpStatProcess, s.statProcess)
-	s.rpc.Handle(OpDeleteProcess, s.deleteProcess)
+	s.table = s.Table()
+	s.Handle(OpCreateSegment, s.createSegment)
+	s.Handle(OpWriteSeg, s.writeSeg)
+	s.Handle(OpReadSeg, s.readSeg)
+	s.Handle(OpSegSize, s.segSize)
+	s.Handle(OpDeleteSegment, s.deleteSegment)
+	s.Handle(OpMakeProcess, s.makeProcess)
+	s.Handle(OpStartProcess, s.startProcess)
+	s.Handle(OpStopProcess, s.stopProcess)
+	s.Handle(OpStatProcess, s.statProcess)
+	s.Handle(OpDeleteProcess, s.deleteProcess)
 	return s
 }
-
-// Start begins serving. Close stops it.
-func (s *Server) Start() error { return s.rpc.Start() }
-
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
-
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
-
-// Table exposes the object table (experiments use it).
-func (s *Server) Table() *cap.Table { return s.table }
 
 func (s *Server) createSegment(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 	if len(req.Data) != 4 {
@@ -372,11 +362,3 @@ func (s *Server) deleteProcess(_ context.Context, _ rpc.Meta, req rpc.Request) r
 	}
 	return rpc.OkReply(nil)
 }
-
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

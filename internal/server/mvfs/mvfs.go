@@ -26,6 +26,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/rpc"
 	"amoeba/internal/store"
+	"amoeba/internal/svc"
 )
 
 // Operation codes.
@@ -89,44 +90,31 @@ type file struct {
 // in-progress versions live in lock-striped maps keyed by object
 // number; per-file and per-version locks cover their contents.
 type Server struct {
-	rpc   *rpc.Server
+	*svc.Kernel
 	table *cap.Table
 
 	files    *store.Map[*file]
 	building *store.Map[*version] // uncommitted versions by object number
 }
 
-// New builds a multiversion file server.
+// New builds a multiversion file server on the service kernel.
 func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
 	s := &Server{
+		Kernel:   svc.New(fb, scheme, src),
 		files:    store.New[*file](0),
 		building: store.New[*version](0),
 	}
-	s.rpc = rpc.NewServer(fb, src)
-	s.table = cap.NewTable(scheme, s.rpc.PutPort(), src)
-	s.rpc.ServeTable(s.table)
-	s.rpc.Handle(OpCreateFile, s.createFile)
-	s.rpc.Handle(OpNewVersion, s.newVersion)
-	s.rpc.Handle(OpWritePage, s.writePage)
-	s.rpc.Handle(OpReadPage, s.readPage)
-	s.rpc.Handle(OpCommit, s.commit)
-	s.rpc.Handle(OpAbort, s.abort)
-	s.rpc.Handle(OpStatFile, s.statFile)
-	s.rpc.Handle(OpDestroyFile, s.destroyFile)
+	s.table = s.Table()
+	s.Handle(OpCreateFile, s.createFile)
+	s.Handle(OpNewVersion, s.newVersion)
+	s.Handle(OpWritePage, s.writePage)
+	s.Handle(OpReadPage, s.readPage)
+	s.Handle(OpCommit, s.commit)
+	s.Handle(OpAbort, s.abort)
+	s.Handle(OpStatFile, s.statFile)
+	s.Handle(OpDestroyFile, s.destroyFile)
 	return s
 }
-
-// Start begins serving.
-func (s *Server) Start() error { return s.rpc.Start() }
-
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
-
-// PutPort returns the server's public put-port.
-func (s *Server) PutPort() cap.Port { return s.rpc.PutPort() }
-
-// Table exposes the object table.
-func (s *Server) Table() *cap.Table { return s.table }
 
 func (s *Server) createFile(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, err := s.table.Create()
@@ -364,11 +352,3 @@ func (s *Server) destroyFile(_ context.Context, _ rpc.Meta, req rpc.Request) rpc
 	}
 	return rpc.OkReply(nil)
 }
-
-// SetSealer installs a §2.4 capability sealer on the server transport
-// (call before Start).
-func (s *Server) SetSealer(sealer rpc.CapSealer) { s.rpc.SetSealer(sealer) }
-
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
-func (s *Server) SetMaxInflight(n int) { s.rpc.SetMaxInflight(n) }

@@ -1,0 +1,372 @@
+// Package svc is the service kernel: the scaffolding every Amoeba
+// service otherwise duplicates — an rpc.Server, a cap.Table wired to
+// the standard capability-maintenance opcodes, and the start/close
+// lifecycle — plus, optionally, write-ahead durability.
+//
+// A service embeds *Kernel and inherits Start, Close, PutPort, Table,
+// SetSealer and SetMaxInflight; it registers its operation handlers
+// with Handle and keeps only its own object state.
+//
+// Durability: a kernel built with Config.Log writes redo records ahead
+// of replies. A handler stages its record with Append while it holds
+// the object lock that ordered the mutation (stage order is commit
+// order), releases the lock, and calls Ticket.Wait before replying —
+// group commit batches the concurrent waits into one disk sync. On a
+// restart, Recover restores the newest checkpoint and re-applies the
+// records after it, so every capability a client ever received still
+// names live state: the paper's LOCATE re-broadcast (§2.2) finds the
+// re-incarnated server, and this package is why the reincarnation
+// remembers.
+package svc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+	"amoeba/internal/wal"
+)
+
+// RecKernel tags the kernel's own log records (currently: revocation
+// re-keys). Service-defined record tags must stay below it.
+const RecKernel = 0xFF
+
+// Config tunes a kernel. The zero value is a volatile service with a
+// fresh random get-port.
+type Config struct {
+	// Source supplies port and secret randomness (nil: crypto/rand).
+	Source crypto.Source
+	// Port pins the secret get-port G. A durable service persists G
+	// and passes it on restart so it reappears at the same put-port
+	// P = F(G) — the address every outstanding capability names.
+	Port cap.Port
+	// MaxInflight bounds the worker pool (0 = rpc default).
+	MaxInflight int
+	// Log makes the service durable. The kernel takes ownership: Close
+	// checkpoints into it and closes it. Size the log for the service:
+	// a checkpoint must fit one record (wal.Options.MaxRecord, by
+	// default a quarter of the arena), so the arena needs to hold a
+	// full state snapshot with room to spare — a service that outgrows
+	// it sees ErrFull on appends until state shrinks.
+	Log *wal.Log
+	// Snapshot serializes the service's object state for a checkpoint.
+	// It is called quiesced (no handler in flight). Required with Log.
+	Snapshot func() []byte
+	// Restore replaces the service's object state from a Snapshot
+	// payload; it must reset, not merge (recovery may restore a newer
+	// checkpoint over an older replay). Required with Log.
+	Restore func(snap []byte) error
+}
+
+// Kernel bundles one service's transport, object table and (optional)
+// write-ahead log.
+type Kernel struct {
+	srv     *rpc.Server
+	table   *cap.Table
+	log     *wal.Log
+	snap    func() []byte
+	restore func(snap []byte) error
+
+	revMu sync.Mutex // orders revoke records with their table re-key
+
+	mu        sync.Mutex
+	recovered bool
+	closed    bool
+	stopCk    chan struct{}
+	ckDone    chan struct{}
+}
+
+// New builds a volatile kernel — the common scaffolding call.
+func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Kernel {
+	return NewWithConfig(fb, scheme, Config{Source: src})
+}
+
+// NewWithConfig builds a kernel with explicit tuning. A durable
+// service must call Recover before Start.
+func NewWithConfig(fb *fbox.FBox, scheme cap.Scheme, cfg Config) *Kernel {
+	k := &Kernel{
+		log:     cfg.Log,
+		snap:    cfg.Snapshot,
+		restore: cfg.Restore,
+	}
+	k.srv = rpc.NewServerWithConfig(fb, rpc.ServerConfig{
+		Source:      cfg.Source,
+		Port:        cfg.Port,
+		MaxInflight: cfg.MaxInflight,
+	})
+	k.table = cap.NewTable(scheme, k.srv.PutPort(), cfg.Source)
+	k.serveTable()
+	return k
+}
+
+// serveTable wires the standard capability-maintenance opcodes —
+// rpc.ServeTable, except revocation on a durable kernel is written
+// ahead to the log: a re-key that survived only in memory would
+// resurrect revoked capabilities at the next restart.
+func (k *Kernel) serveTable() {
+	t := k.table
+	k.srv.ServeTableWithRevoke(t, func(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
+		if k.log == nil {
+			nc, err := t.Revoke(req.Cap)
+			if err != nil {
+				return rpc.ErrReplyFromErr(err)
+			}
+			return rpc.CapReply(nc)
+		}
+		// revMu makes record order match re-key order when two revokes
+		// race on one object — replaying the log must land on the same
+		// winning secret the live server handed out last.
+		k.revMu.Lock()
+		nc, secret, err := t.RevokeRecorded(req.Cap)
+		if err != nil {
+			k.revMu.Unlock()
+			return rpc.ErrReplyFromErr(err)
+		}
+		tk, aerr := k.log.Append(revokeRecord(req.Cap.Object, secret))
+		k.revMu.Unlock()
+		if aerr == nil {
+			aerr = tk.Wait()
+		}
+		if aerr != nil {
+			return rpc.ErrReplyFromErr(aerr)
+		}
+		return rpc.CapReply(nc)
+	})
+}
+
+func revokeRecord(obj uint32, secret uint64) []byte {
+	rec := make([]byte, 13)
+	rec[0] = RecKernel
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	binary.BigEndian.PutUint64(rec[5:], secret)
+	return rec
+}
+
+// Handle registers a handler for an opcode (before Start).
+func (k *Kernel) Handle(op uint16, h rpc.Handler) { k.srv.Handle(op, h) }
+
+// PutPort returns the public put-port P = F(G).
+func (k *Kernel) PutPort() cap.Port { return k.srv.PutPort() }
+
+// GetPort returns the secret get-port G. A durable service's host
+// keeps it (as secret as the log) to restart the service at the same
+// put-port.
+func (k *Kernel) GetPort() cap.Port { return k.srv.GetPort() }
+
+// Table exposes the object table.
+func (k *Kernel) Table() *cap.Table { return k.table }
+
+// SetSealer installs a §2.4 capability sealer on the transport (call
+// before Start).
+func (k *Kernel) SetSealer(sealer rpc.CapSealer) { k.srv.SetSealer(sealer) }
+
+// SetMaxInflight resizes the transport worker pool (call before
+// Start); see rpc.ServerConfig.MaxInflight.
+func (k *Kernel) SetMaxInflight(n int) { k.srv.SetMaxInflight(n) }
+
+// Durable reports whether the kernel writes ahead to a log.
+func (k *Kernel) Durable() bool { return k.log != nil }
+
+// Append stages one redo record, returning the group-commit ticket the
+// handler must Wait on before replying. On a volatile kernel it
+// returns (nil, nil), and a nil ticket's Wait is a no-op — handlers
+// are written once, durability decided by construction.
+//
+// Call it while holding the object lock that serialized the mutation:
+// the log's stage order is its replay order.
+//
+// Error policy: a failed Append (log full or wedged) happens BEFORE
+// the mutation, so handlers reply with an error and change nothing. A
+// failed Wait happens after: the in-memory mutation stands, the reply
+// is an error, and the log is wedged — every later mutation fails at
+// Append, so the divergence cannot grow. Whether the failed batch's
+// prefix reached the disk is unknowable (the classic fsync-failure
+// ambiguity); restarting the service resolves it in the log's favor.
+func (k *Kernel) Append(rec []byte) (*wal.Ticket, error) {
+	if k.log == nil {
+		return nil, nil
+	}
+	return k.log.Append(rec)
+}
+
+// Recover replays the log: the newest checkpoint is restored (via
+// Config.Restore and the table snapshot), then every record after it
+// is handed to apply in commit order — kernel records (revocation
+// re-keys) are consumed internally. Recover must run before Start on a
+// durable kernel; on a volatile one it is a no-op, so services call it
+// unconditionally.
+func (k *Kernel) Recover(apply func(rec []byte) error) error {
+	if k.log == nil {
+		return nil
+	}
+	k.mu.Lock()
+	if k.recovered {
+		k.mu.Unlock()
+		return errors.New("svc: already recovered")
+	}
+	k.recovered = true
+	k.mu.Unlock()
+	return k.log.Recover(k.restoreCheckpoint, func(rec []byte) error {
+		if len(rec) > 0 && rec[0] == RecKernel {
+			if len(rec) != 13 {
+				return fmt.Errorf("svc: malformed kernel record (%d bytes)", len(rec))
+			}
+			// Replace, never install: a revoke record can trail the
+			// destroy record of the same object (they stage under
+			// different locks), and replaying it must not resurrect
+			// the destroyed object's table entry.
+			k.table.ReplaceSecret(binary.BigEndian.Uint32(rec[1:]), binary.BigEndian.Uint64(rec[5:]))
+			return nil
+		}
+		return apply(rec)
+	})
+}
+
+const ckMagic = 0xA0EB_C4EC
+
+// envelope packs the table snapshot and the service snapshot into one
+// checkpoint payload.
+func (k *Kernel) envelope() []byte {
+	tsnap := k.table.Snapshot()
+	var ssnap []byte
+	if k.snap != nil {
+		ssnap = k.snap()
+	}
+	out := make([]byte, 0, 12+len(tsnap)+len(ssnap))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], ckMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(tsnap)))
+	out = append(out, hdr[:]...)
+	out = append(out, tsnap...)
+	out = append(out, ssnap...)
+	return out
+}
+
+func (k *Kernel) restoreCheckpoint(snap []byte) error {
+	if len(snap) < 8 || binary.BigEndian.Uint32(snap) != ckMagic {
+		return errors.New("svc: not a checkpoint envelope")
+	}
+	tlen := binary.BigEndian.Uint32(snap[4:])
+	if uint64(8)+uint64(tlen) > uint64(len(snap)) {
+		return errors.New("svc: truncated checkpoint envelope")
+	}
+	if err := k.table.Restore(snap[8 : 8+tlen]); err != nil {
+		return err
+	}
+	if k.restore != nil {
+		return k.restore(snap[8+tlen:])
+	}
+	return nil
+}
+
+// Checkpoint quiesces the service (no handler in flight), snapshots
+// the table and service state, writes the snapshot into the log and
+// truncates everything it covers. The kernel also checkpoints on its
+// own when the log signals pressure, and once more at Close.
+func (k *Kernel) Checkpoint() error {
+	if k.log == nil {
+		return nil
+	}
+	resume := k.srv.Quiesce()
+	defer resume()
+	return k.log.Checkpoint(k.envelope())
+}
+
+// Start begins serving; on durable kernels it also starts the
+// pressure-driven checkpoint loop.
+func (k *Kernel) Start() error {
+	if err := k.srv.Start(); err != nil {
+		return err
+	}
+	if k.log != nil {
+		k.mu.Lock()
+		k.stopCk = make(chan struct{})
+		k.ckDone = make(chan struct{})
+		stop, done := k.stopCk, k.ckDone
+		k.mu.Unlock()
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-k.log.Pressure():
+					// Best effort: a failed checkpoint surfaces as
+					// ErrFull on the appends behind it.
+					_ = k.Checkpoint()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Close drains in-flight requests, writes a final checkpoint and
+// closes the log — the graceful path. See Crash for the other one.
+func (k *Kernel) Close() error {
+	if !k.markClosed() {
+		return nil
+	}
+	k.stopCheckpointer()
+	err := k.srv.Close()
+	if k.log != nil {
+		if ckErr := k.Checkpoint(); err == nil {
+			err = ckErr
+		}
+		if cErr := k.log.Close(); err == nil {
+			err = cErr
+		}
+	}
+	return err
+}
+
+// Crash stops the service the way the process dying would look to the
+// log: no final checkpoint, no final flush. Committed records stay;
+// staged, unacknowledged ones are dropped (wal.Abandon) and the
+// handlers waiting on them get errors — whose replies the dead machine
+// never delivers anyway. The log is abandoned BEFORE the transport
+// drains, so in-flight handlers cannot sneak their records to stable
+// storage post-mortem. Tests and the cluster's Kill use it; everything
+// the next Recover needs is already on the store.
+func (k *Kernel) Crash() error {
+	if !k.markClosed() {
+		return nil
+	}
+	k.stopCheckpointer()
+	var err error
+	if k.log != nil {
+		err = k.log.Abandon()
+	}
+	if cErr := k.srv.Close(); err == nil {
+		err = cErr
+	}
+	return err
+}
+
+// markClosed wins the Close/Crash race exactly once.
+func (k *Kernel) markClosed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return false
+	}
+	k.closed = true
+	return true
+}
+
+func (k *Kernel) stopCheckpointer() {
+	k.mu.Lock()
+	stop, done := k.stopCk, k.ckDone
+	k.stopCk = nil
+	k.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -25,7 +25,7 @@ type FileDisk struct {
 }
 
 // Store is the common interface of Disk and FileDisk; the block server
-// accepts either.
+// and the write-ahead log accept either.
 type Store interface {
 	BlockSize() int
 	NBlocks() uint32
@@ -35,6 +35,10 @@ type Store interface {
 	ReadInto(n uint32, dst []byte) error
 	Write(n uint32, data []byte) error
 	Zero(n uint32) error
+	// Sync forces every completed write onto stable storage before
+	// returning — the durability point the write-ahead log builds its
+	// group commit on. A no-op on the memory disk.
+	Sync() error
 	Stats() Stats
 }
 
@@ -198,10 +202,11 @@ func (d *FileDisk) Stats() Stats {
 	return d.stats
 }
 
-// Sync flushes to stable storage.
+// Sync implements Store: an fsync of the backing file.
 func (d *FileDisk) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.stats.Syncs++
 	return d.f.Sync()
 }
 

@@ -30,6 +30,7 @@ type FaultFunc func(op string, block uint32) error
 type Stats struct {
 	Reads  uint64
 	Writes uint64
+	Syncs  uint64
 }
 
 // Disk is an in-memory virtual disk. Safe for concurrent use:
@@ -42,6 +43,7 @@ type Disk struct {
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
+	syncs  atomic.Uint64
 
 	mu    sync.RWMutex
 	data  []byte
@@ -149,7 +151,30 @@ func (d *Disk) Zero(n uint32) error {
 	return nil
 }
 
+// Sync implements Store. Memory is as stable as this disk gets, so it
+// is a no-op; it exists so the write-ahead log can force durability
+// through the same interface on any backing store. The syncs counter
+// still advances, letting tests assert group-commit batching.
+func (d *Disk) Sync() error {
+	d.syncs.Add(1)
+	return nil
+}
+
+// Clone returns an independent deep copy of the disk's current
+// contents — the crash-matrix tests use it to freeze the exact bytes
+// "on disk" at an instant and replay recovery from them.
+func (d *Disk) Clone() *Disk {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c := &Disk{
+		blockSize: d.blockSize,
+		nblocks:   d.nblocks,
+		data:      append([]byte(nil), d.data...),
+	}
+	return c
+}
+
 // Stats returns a snapshot of the counters.
 func (d *Disk) Stats() Stats {
-	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load(), Syncs: d.syncs.Load()}
 }

@@ -1,0 +1,629 @@
+// Package wal is a write-ahead log over a virtual disk: the durability
+// layer under the Amoeba services. The paper's services survive machine
+// crashes because their state lives behind a server that can be
+// restarted and relocated (§2.2's LOCATE re-broadcast exists precisely
+// so clients find a re-incarnated server); this log is what makes the
+// restarted server remember.
+//
+// Layout: block 0 is a superblock; the remaining blocks form a circular
+// byte arena of CRC-framed records addressed by monotonically
+// increasing offsets. Appends are group-committed — concurrent
+// appenders share one Store.Sync — and a reply is only sent once Wait
+// returns, so every capability a client holds names durable state.
+// Checkpoint writes a state snapshot into the log and advances the
+// superblock's start pointer past everything the snapshot covers,
+// reclaiming the space behind it. Recovery scans from the start
+// pointer, restoring the newest checkpoint it meets and re-applying the
+// records after it; a torn tail (a crash mid-write) fails the CRC or
+// sequence check and is cleanly truncated.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"amoeba/internal/vdisk"
+)
+
+// Errors.
+var (
+	// ErrFull is returned when an append would overwrite live records;
+	// a checkpoint reclaims space.
+	ErrFull = errors.New("wal: log full (checkpoint to reclaim space)")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("wal: closed")
+	// ErrTooLarge is returned for records beyond Options.MaxRecord.
+	ErrTooLarge = errors.New("wal: record too large")
+	// ErrNotRecovered is returned by Append before Recover has run:
+	// appending into an unscanned log would clobber the tail.
+	ErrNotRecovered = errors.New("wal: Recover must run before Append")
+	// ErrCorrupt is returned for an unusable superblock.
+	ErrCorrupt = errors.New("wal: corrupt superblock")
+)
+
+const (
+	superMagic   = 0xA0EBA1A5_0000_0001
+	superVersion = 1
+	superSize    = 40 // magic(8) ver(4) nblocks(4) bs(4) start(8) seq(8) crc(4)
+
+	// frame: size(4) seq(8) kind(1) crc(4) ∥ payload. The CRC covers
+	// the first 13 header bytes and the payload.
+	frameHeader = 17
+
+	kindData       = 0x01
+	kindCheckpoint = 0x02
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a log. The zero value gets sensible defaults.
+type Options struct {
+	// MaxRecord bounds one record's payload (default: the smaller of
+	// 1 MiB and a quarter of the arena, so a checkpoint always fits).
+	MaxRecord int
+	// HighWater is the used-bytes fraction past which the Pressure
+	// channel fires (default 0.5).
+	HighWater float64
+}
+
+// Stats counts log activity.
+type Stats struct {
+	Appends     uint64 // records staged
+	Commits     uint64 // group commits (one Store.Sync each)
+	Checkpoints uint64
+	Used        uint64 // live bytes (head - start)
+	Capacity    uint64 // arena bytes usable before ErrFull
+}
+
+// Ticket is a commit handle: Wait blocks until every record staged in
+// the ticket's batch is on stable storage.
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks for the group commit. A nil ticket (from a volatile
+// kernel) returns immediately.
+func (t *Ticket) Wait() error {
+	if t == nil {
+		return nil
+	}
+	<-t.done
+	return t.err
+}
+
+// Log is a write-ahead log over one vdisk.Store. Safe for concurrent
+// appenders; a single committer goroutine batches their syncs.
+type Log struct {
+	store     vdisk.Store
+	bs        uint64 // block size
+	arena     uint64 // arena bytes (blocks 1..n-1)
+	maxRecord int
+	highWater uint64
+
+	mu        sync.Mutex
+	recovered bool
+	closed    bool
+	abandoned bool  // Abandon: skip the final flush, drop staged bytes
+	ioErr     error // a failed commit wedges the log read-only
+	start     uint64
+	startSeq  uint64
+	head      uint64 // absolute append offset
+	flushed   uint64 // bytes < flushed are on stable storage
+	seq       uint64 // next sequence number
+	buf       []byte // staged bytes [bufStart, bufStart+len(buf))
+	bufStart  uint64 // block-aligned
+	ticket    *Ticket
+	signaled  bool // pressure sent since the last checkpoint
+	stats     Stats
+
+	ckMu sync.Mutex // serializes Checkpoint
+
+	pressure chan struct{}
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Open attaches a log to a store, formatting it when empty. Call
+// Recover before the first Append — it is what finds the tail.
+func Open(store vdisk.Store, opts Options) (*Log, error) {
+	bs := uint64(store.BlockSize())
+	if store.NBlocks() < 5 {
+		return nil, fmt.Errorf("wal: store has %d blocks, need at least 5", store.NBlocks())
+	}
+	l := &Log{
+		store:    store,
+		bs:       bs,
+		arena:    uint64(store.NBlocks()-1) * bs,
+		pressure: make(chan struct{}, 1),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	l.maxRecord = opts.MaxRecord
+	if l.maxRecord <= 0 {
+		l.maxRecord = 1 << 20
+	}
+	if max := int(l.arena / 4); l.maxRecord > max {
+		l.maxRecord = max
+	}
+	hw := opts.HighWater
+	if hw <= 0 || hw >= 1 {
+		hw = 0.5
+	}
+	l.highWater = uint64(float64(l.capacity()) * hw)
+	if err := l.loadSuper(); err != nil {
+		return nil, err
+	}
+	go l.committer()
+	return l, nil
+}
+
+// capacity is the byte budget before ErrFull: one block is reserved so
+// the zero-padded tail block can never alias the start block.
+func (l *Log) capacity() uint64 { return l.arena - l.bs }
+
+func (l *Log) loadSuper() error {
+	blk, err := l.store.Read(0)
+	if err != nil {
+		return fmt.Errorf("wal: reading superblock: %w", err)
+	}
+	if binary.BigEndian.Uint64(blk) == superMagic {
+		if crc32.Checksum(blk[:superSize-4], crcTable) != binary.BigEndian.Uint32(blk[superSize-4:]) {
+			return fmt.Errorf("%w: bad CRC", ErrCorrupt)
+		}
+		if v := binary.BigEndian.Uint32(blk[8:]); v != superVersion {
+			return fmt.Errorf("%w: version %d", ErrCorrupt, v)
+		}
+		nb := binary.BigEndian.Uint32(blk[12:])
+		gbs := binary.BigEndian.Uint32(blk[16:])
+		if nb != l.store.NBlocks() || uint64(gbs) != l.bs {
+			return fmt.Errorf("%w: geometry %d×%d, store is %d×%d",
+				ErrCorrupt, nb, gbs, l.store.NBlocks(), l.bs)
+		}
+		l.start = binary.BigEndian.Uint64(blk[20:])
+		l.startSeq = binary.BigEndian.Uint64(blk[28:])
+		return nil
+	}
+	for _, b := range blk {
+		if b != 0 {
+			return fmt.Errorf("%w: not a write-ahead log", ErrCorrupt)
+		}
+	}
+	// Fresh store: format.
+	l.start, l.startSeq = 0, 1
+	return l.writeSuper()
+}
+
+// writeSuper persists the (start, startSeq) pointers; called at format
+// and after every checkpoint, each time with its own sync.
+func (l *Log) writeSuper() error {
+	blk := make([]byte, l.bs)
+	binary.BigEndian.PutUint64(blk[0:], superMagic)
+	binary.BigEndian.PutUint32(blk[8:], superVersion)
+	binary.BigEndian.PutUint32(blk[12:], l.store.NBlocks())
+	binary.BigEndian.PutUint32(blk[16:], uint32(l.bs))
+	binary.BigEndian.PutUint64(blk[20:], l.start)
+	binary.BigEndian.PutUint64(blk[28:], l.startSeq)
+	binary.BigEndian.PutUint32(blk[superSize-4:], crc32.Checksum(blk[:superSize-4], crcTable))
+	if err := l.store.Write(0, blk); err != nil {
+		return fmt.Errorf("wal: writing superblock: %w", err)
+	}
+	if err := l.store.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing superblock: %w", err)
+	}
+	return nil
+}
+
+// blockOf maps an absolute arena offset to its physical block number.
+func (l *Log) blockOf(off uint64) uint32 { return 1 + uint32((off%l.arena)/l.bs) }
+
+// Recover scans the log from the superblock's start pointer: the
+// newest checkpoint snapshot (if any) is handed to restore, every
+// record after it to apply, in log order. The scan stops — and the log
+// tail is truncated — at the first frame that fails its length, kind,
+// sequence or CRC check: a torn tail from a crash mid-commit. Recover
+// must run (exactly once) before the first Append.
+func (l *Log) Recover(restore func(snap []byte) error, apply func(rec []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.recovered {
+		l.mu.Unlock()
+		return errors.New("wal: already recovered")
+	}
+	off, seq := l.start, l.startSeq
+	l.mu.Unlock()
+
+	s := &scanner{l: l, block: ^uint32(0)}
+	for {
+		rec, kind, next, ok := s.frame(off, seq)
+		if !ok {
+			break
+		}
+		var err error
+		switch kind {
+		case kindCheckpoint:
+			if restore != nil {
+				err = restore(rec)
+			}
+		default:
+			if apply != nil {
+				err = apply(rec)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("wal: replaying record %d: %w", seq, err)
+		}
+		off, seq = next, seq+1
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.head, l.flushed, l.seq = off, off, seq
+	l.bufStart = off - off%l.bs
+	l.buf = l.buf[:0]
+	if off > l.bufStart {
+		// Cache the partial tail block so later appends rewrite it
+		// with the earlier bytes intact.
+		blk, err := l.store.Read(l.blockOf(l.bufStart))
+		if err != nil {
+			return fmt.Errorf("wal: reading tail block: %w", err)
+		}
+		l.buf = append(l.buf, blk[:off-l.bufStart]...)
+	}
+	l.recovered = true
+	return nil
+}
+
+// scanner reads frames sequentially with a one-block cache.
+type scanner struct {
+	l     *Log
+	cache []byte
+	block uint32
+}
+
+// read copies [off, off+len(dst)) arena bytes into dst.
+func (s *scanner) read(off uint64, dst []byte) bool {
+	for len(dst) > 0 {
+		b := s.l.blockOf(off)
+		if b != s.block {
+			blk, err := s.l.store.Read(b)
+			if err != nil {
+				return false
+			}
+			s.cache, s.block = blk, b
+		}
+		at := off % s.l.bs
+		n := copy(dst, s.cache[at:])
+		dst = dst[n:]
+		off += uint64(n)
+	}
+	return true
+}
+
+// frame decodes the frame at off, expecting sequence number seq. It
+// returns the payload, the kind, and the next frame's offset; ok is
+// false at the log's tail (any malformed, stale or torn frame).
+func (s *scanner) frame(off, seq uint64) (rec []byte, kind byte, next uint64, ok bool) {
+	l := s.l
+	var hdr [frameHeader]byte
+	// Header and payload must fit the capacity measured from start.
+	if off-l.start+frameHeader > l.capacity() || !s.read(off, hdr[:]) {
+		return nil, 0, 0, false
+	}
+	size := uint64(binary.BigEndian.Uint32(hdr[0:]))
+	k := hdr[12]
+	if size == 0 || size > uint64(l.maxRecord) ||
+		off-l.start+frameHeader+size > l.capacity() {
+		return nil, 0, 0, false
+	}
+	if k != kindData && k != kindCheckpoint {
+		return nil, 0, 0, false
+	}
+	if binary.BigEndian.Uint64(hdr[4:]) != seq {
+		return nil, 0, 0, false // stale frame from a previous arena lap
+	}
+	rec = make([]byte, size)
+	if !s.read(off+frameHeader, rec) {
+		return nil, 0, 0, false
+	}
+	crc := crc32.Checksum(hdr[:13], crcTable)
+	crc = crc32.Update(crc, crcTable, rec)
+	if crc != binary.BigEndian.Uint32(hdr[13:]) {
+		return nil, 0, 0, false
+	}
+	return rec, k, off + frameHeader + size, true
+}
+
+// Append stages one record and returns the batch's commit ticket; the
+// record is durable once Ticket.Wait returns nil. Callers ordering
+// matters to (a service appending under its object lock) rely on stage
+// order being commit order, which the single staging buffer guarantees.
+func (l *Log) Append(rec []byte) (*Ticket, error) {
+	t, _, _, err := l.stage(kindData, rec)
+	if err != nil {
+		return nil, err
+	}
+	l.kickCommitter()
+	return t, nil
+}
+
+// stage frames rec into the staging buffer under the lock, returning
+// the frame's offset and sequence number.
+func (l *Log) stage(kind byte, rec []byte) (*Ticket, uint64, uint64, error) {
+	if len(rec) == 0 {
+		return nil, 0, 0, errors.New("wal: empty record")
+	}
+	if len(rec) > l.maxRecord {
+		return nil, 0, 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, len(rec), l.maxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return nil, 0, 0, ErrClosed
+	case !l.recovered:
+		return nil, 0, 0, ErrNotRecovered
+	case l.ioErr != nil:
+		return nil, 0, 0, l.ioErr
+	}
+	frameLen := uint64(frameHeader + len(rec))
+	if l.head+frameLen-l.start > l.capacity() {
+		l.signalPressure()
+		return nil, 0, 0, ErrFull
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(rec)))
+	binary.BigEndian.PutUint64(hdr[4:], l.seq)
+	hdr[12] = kind
+	crc := crc32.Checksum(hdr[:13], crcTable)
+	crc = crc32.Update(crc, crcTable, rec)
+	binary.BigEndian.PutUint32(hdr[13:], crc)
+	at, seq := l.head, l.seq
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, rec...)
+	l.head += frameLen
+	l.seq++
+	l.stats.Appends++
+	if l.ticket == nil {
+		l.ticket = &Ticket{done: make(chan struct{})}
+	}
+	if l.head-l.start > l.highWater {
+		l.signalPressure()
+	}
+	return l.ticket, at, seq, nil
+}
+
+// signalPressure nudges the checkpoint listener once per high-water
+// crossing. Callers hold l.mu.
+func (l *Log) signalPressure() {
+	if l.signaled {
+		return
+	}
+	l.signaled = true
+	select {
+	case l.pressure <- struct{}{}:
+	default:
+	}
+}
+
+func (l *Log) kickCommitter() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// committer is the single group-commit goroutine: each run writes every
+// staged byte and issues ONE Store.Sync for the whole batch, then wakes
+// every appender that staged into it.
+func (l *Log) committer() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+			l.commit()
+		case <-l.stop:
+			l.mu.Lock()
+			abandoned := l.abandoned
+			l.mu.Unlock()
+			if !abandoned {
+				l.commit() // final flush for any staged stragglers
+			}
+			return
+		}
+	}
+}
+
+func (l *Log) commit() {
+	l.mu.Lock()
+	t := l.ticket
+	if l.abandoned {
+		// A kick can still be pending when Abandon lands; the crash
+		// contract says staged bytes never reach the store after it.
+		l.ticket = nil
+		l.mu.Unlock()
+		if t != nil {
+			t.err = ErrClosed
+			close(t.done)
+		}
+		return
+	}
+	if l.ioErr != nil {
+		// The log is wedged: a failed batch must NEVER be retried onto
+		// the disk (its appenders were already told it failed), so no
+		// further bytes are written — pending waiters get the error.
+		err := l.ioErr
+		l.ticket = nil
+		l.mu.Unlock()
+		if t != nil {
+			t.err = err
+			close(t.done)
+		}
+		return
+	}
+	if t == nil && l.head == l.flushed {
+		l.mu.Unlock()
+		return
+	}
+	l.ticket = nil
+	data := append([]byte(nil), l.buf...)
+	ds, nf := l.bufStart, l.head
+	l.mu.Unlock()
+
+	err := l.writeRange(ds, data)
+	if err == nil {
+		err = l.store.Sync()
+	}
+
+	l.mu.Lock()
+	if err != nil {
+		l.ioErr = err
+	} else {
+		l.stats.Commits++
+		if nf > l.flushed {
+			l.flushed = nf
+		}
+		// Trim the buffer down to the partial tail block.
+		nb := l.flushed - l.flushed%l.bs
+		if nb > l.bufStart {
+			drop := nb - l.bufStart
+			l.buf = append(l.buf[:0], l.buf[drop:]...)
+			l.bufStart = nb
+		}
+	}
+	l.mu.Unlock()
+	if t != nil {
+		t.err = err
+		close(t.done)
+	}
+}
+
+// writeRange writes the staged bytes [ds, ds+len(data)) block by block,
+// zero-padding the partial tail block (the pad is rewritten by the next
+// commit; a crash leaves zeros the scanner treats as the tail).
+func (l *Log) writeRange(ds uint64, data []byte) error {
+	blk := make([]byte, l.bs)
+	for i := 0; i < len(data); i += int(l.bs) {
+		chunk := data[i:min(i+int(l.bs), len(data))]
+		out := chunk
+		if len(chunk) < int(l.bs) {
+			copy(blk, chunk)
+			clear(blk[len(chunk):])
+			out = blk
+		}
+		if err := l.store.Write(l.blockOf(ds+uint64(i)), out); err != nil {
+			return fmt.Errorf("wal: writing log block: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes snap as a checkpoint record, commits it, and
+// advances the superblock's start pointer to it: every byte before the
+// checkpoint is reclaimed, and the next Recover restores snap first.
+// The caller must guarantee snap is consistent with every record
+// already staged (the service kernel quiesces its handlers around this
+// call).
+func (l *Log) Checkpoint(snap []byte) error {
+	l.ckMu.Lock()
+	defer l.ckMu.Unlock()
+	// A failed checkpoint re-arms the pressure signal, so the next
+	// append re-triggers a retry instead of leaving the log to fill
+	// in silence.
+	rearm := func() {
+		l.mu.Lock()
+		l.signaled = false
+		l.mu.Unlock()
+	}
+	t, at, seq, err := l.stage(kindCheckpoint, snap)
+	if err != nil {
+		rearm()
+		return err
+	}
+	l.kickCommitter()
+	if err := t.Wait(); err != nil {
+		rearm()
+		return err
+	}
+	l.mu.Lock()
+	l.start, l.startSeq = at, seq
+	l.mu.Unlock()
+	if err := l.writeSuper(); err != nil {
+		l.mu.Lock()
+		l.ioErr = err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Lock()
+	l.signaled = false
+	l.stats.Checkpoints++
+	l.mu.Unlock()
+	return nil
+}
+
+// Pressure signals (at most once per checkpoint cycle) when the log
+// crosses its high-water mark; the kernel's checkpoint loop listens.
+func (l *Log) Pressure() <-chan struct{} { return l.pressure }
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Used = l.head - l.start
+	s.Capacity = l.capacity()
+	return s
+}
+
+// Close flushes staged records and stops the committer. Records whose
+// tickets were never waited on are still made durable — a crash (see
+// Abandon) loses them instead, which is safe because their replies
+// were never sent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioErr
+}
+
+// Abandon closes the log the way a machine crash would: staged records
+// that have not yet group-committed are DROPPED — no final flush — and
+// any waiters on the pending batch fail with ErrClosed. Only records
+// whose Wait already returned nil are on the store. The kernel's Crash
+// path uses it so kill/restart tests exercise a genuinely unflushed
+// tail.
+func (l *Log) Abandon() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.abandoned = true
+	t := l.ticket
+	l.ticket = nil
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	if t != nil {
+		t.err = ErrClosed
+		close(t.done)
+	}
+	return nil
+}
