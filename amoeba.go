@@ -27,6 +27,7 @@ package amoeba
 import (
 	"time"
 
+	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
@@ -47,6 +48,10 @@ type (
 	SchemeID = cap.SchemeID
 	// Signer is an F-box digital-signature identity (§2.2).
 	Signer = fbox.Signer
+	// MachineID identifies a machine on the cluster network — the
+	// handle Kill, Restart, AddBackup and Promote take (see
+	// Cluster.Machines).
+	MachineID = amnet.MachineID
 )
 
 // Re-exported rights bits.
@@ -95,6 +100,7 @@ const (
 	StatusBadRequest    = rpc.StatusBadRequest
 	StatusNoSuchOp      = rpc.StatusNoSuchOp
 	StatusServerError   = rpc.StatusServerError
+	StatusConflict      = rpc.StatusConflict
 )
 
 // IsStatus reports whether err is an RPC status error with the given

@@ -18,6 +18,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/keymatrix"
 	"amoeba/internal/locate"
+	"amoeba/internal/repl"
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/banksvr"
 	"amoeba/internal/server/dirsvr"
@@ -1031,16 +1032,19 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 }
 
 // BenchmarkE18_DirEnter compares the directory server's mutating-op
-// round trip volatile vs durable on identical rigs: the delta is the
-// whole write-ahead bill (record encode, staging, group commit). The
-// acceptance bar is durable ≤ 3× volatile.
+// round trip volatile vs durable vs replicated on identical rigs: the
+// volatile→durable delta is the whole write-ahead bill (record encode,
+// staging, group commit), and the durable→replicated delta is the
+// hot-standby bill (one synchronous ship RPC per group commit, the
+// standby's own append+sync, its ack). Acceptance bars: durable ≤ 3×
+// volatile; replicated ≤ 2× durable.
 func BenchmarkE18_DirEnter(b *testing.B) {
 	ctx := context.Background()
 	scheme, err := cap.NewScheme(cap.SchemeOneWay)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rig := func(b *testing.B, durable bool) (*rpc.Client, *dirsvr.Server) {
+	rig := func(b *testing.B, durable, replicated bool) (*rpc.Client, *dirsvr.Server) {
 		b.Helper()
 		n := amnet.NewSimNet(amnet.SimConfig{})
 		b.Cleanup(func() { n.Close() })
@@ -1054,8 +1058,7 @@ func BenchmarkE18_DirEnter(b *testing.B) {
 			return fb
 		}
 		src := crypto.NewSeededSource(0xE18)
-		var s *dirsvr.Server
-		if durable {
+		newDurable := func() (*dirsvr.Server, *fbox.FBox) {
 			disk, err := vdisk.New(8192, 1024)
 			if err != nil {
 				b.Fatal(err)
@@ -1064,9 +1067,17 @@ func BenchmarkE18_DirEnter(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if s, err = dirsvr.NewDurable(attach(), scheme, src, log, 0); err != nil {
+			fb := attach()
+			s, err := dirsvr.NewDurable(fb, scheme, src, log, 0)
+			if err != nil {
 				b.Fatal(err)
 			}
+			return s, fb
+		}
+		var s *dirsvr.Server
+		var sfb *fbox.FBox
+		if durable {
+			s, sfb = newDurable()
 		} else {
 			s = dirsvr.New(attach(), scheme, src)
 		}
@@ -1074,16 +1085,32 @@ func BenchmarkE18_DirEnter(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { s.Close() })
+		if replicated {
+			backup, bfb := newDurable()
+			b.Cleanup(func() { backup.Close() })
+			recv := repl.NewReceiver(bfb, src, backup.Kernel, backup.ReplayFn())
+			if err := recv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { recv.Close() })
+			shipRes := locate.New(sfb, locate.Config{})
+			shipClient := rpc.NewClient(sfb, shipRes, rpc.ClientConfig{Source: src})
+			ship, err := repl.Attach(s.Kernel, shipClient, recv.Port(), repl.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(ship.Stop)
+		}
 		cfb := attach()
 		res := locate.New(cfb, locate.Config{})
 		return rpc.NewClient(cfb, res, rpc.ClientConfig{Source: src}), s
 	}
 	for _, mode := range []struct {
-		name    string
-		durable bool
-	}{{"volatile", false}, {"durable", true}} {
+		name                string
+		durable, replicated bool
+	}{{"volatile", false, false}, {"durable", true, false}, {"replicated", true, true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			client, s := rig(b, mode.durable)
+			client, s := rig(b, mode.durable, mode.replicated)
 			dirs := dirsvr.NewClient(client)
 			root, err := dirs.CreateDir(ctx, s.PutPort())
 			if err != nil {
@@ -1105,5 +1132,58 @@ func BenchmarkE18_DirEnter(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --------------------------------------------------------------------
+// E19: hot-standby replication & failover (see EXPERIMENTS.md E19).
+
+// BenchmarkE19_Failover measures the availability gap a primary crash
+// opens: each iteration stands up a replicated cluster, runs a small
+// acknowledged workload, kills the directory primary, promotes the
+// standby, and times kill → first successful post-failover lookup (the
+// client heals its route via timeout + LOCATE re-broadcast on the way).
+func BenchmarkE19_Failover(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, err := NewCluster(ClusterConfig{Seed: 0xE19_0000 + uint64(i), Replicate: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirs := cl.Dirs()
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := cap.Capability{Server: 1, Object: 2, Rights: cap.RightRead, Check: 3}
+		for j := 0; j < 8; j++ {
+			if err := dirs.Enter(ctx, root, fmt.Sprintf("e%d", j), entry); err != nil {
+				b.Fatal(err)
+			}
+		}
+		primary := cl.Machines().Dirs
+		b.StartTimer()
+		if err := cl.Kill(primary); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Promote(primary); err != nil {
+			b.Fatal(err)
+		}
+		// First op against the promoted standby: the client's cached
+		// route points at the corpse; a short per-attempt timeout makes
+		// the measured gap the failover's, not the default timeout's.
+		lctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		for {
+			if _, err := cl.RPC().Call(lctx, root, dirsvr.OpLookup, []byte("e0"),
+				rpc.WithTimeout(5*time.Millisecond), rpc.WithRetries(400)); err == nil {
+				break
+			} else if lctx.Err() != nil {
+				b.Fatal(err)
+			}
+		}
+		cancel()
+		b.StopTimer()
+		cl.Close()
 	}
 }

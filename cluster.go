@@ -13,6 +13,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/keymatrix"
 	"amoeba/internal/locate"
+	"amoeba/internal/repl"
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/banksvr"
 	"amoeba/internal/server/blocksvr"
@@ -21,6 +22,7 @@ import (
 	"amoeba/internal/server/memsvr"
 	"amoeba/internal/server/mvfs"
 	"amoeba/internal/server/unixfs"
+	"amoeba/internal/svc"
 	"amoeba/internal/vdisk"
 	"amoeba/internal/wal"
 )
@@ -58,6 +60,13 @@ type ClusterConfig struct {
 	// composes with the F-box protection; a wiretap then sees only
 	// ciphertext capabilities. See EXPERIMENTS.md E8.
 	SealCapabilities bool
+	// Replicate boots the durable services (directory and bank) with a
+	// hot standby each: a backup machine holding the same state on its
+	// own write-ahead log, fed synchronously from the primary's commit
+	// path. After Kill of a replicated primary, Promote fails the
+	// service over to its standby with zero acknowledged operations
+	// lost. See EXPERIMENTS.md E19.
+	Replicate bool
 }
 
 // Cluster is a complete single-process Amoeba system on a simulated
@@ -91,6 +100,14 @@ type Cluster struct {
 	closersMu sync.Mutex
 	closers   []func() error
 
+	// lifeMu serializes the lifecycle verbs — Kill, Restart, AddBackup,
+	// Promote — end to end: each publishes intermediate states (down
+	// flags, half-built standbys, a NIC that is closing) that the
+	// others must never observe mid-flight. These are rare operator
+	// actions; coarse serialization is the correctness tool, while mu
+	// below stays the fine-grained field guard.
+	lifeMu sync.Mutex
+
 	// mu guards the fields Kill/Restart swap out: the durable servers,
 	// their F-boxes, and the machine map.
 	mu       sync.Mutex
@@ -110,6 +127,29 @@ type Cluster struct {
 	bankWAL *vdisk.Disk
 	dirsG   cap.Port
 	bankG   cap.Port
+
+	// Hot-standby state (ClusterConfig.Replicate / AddBackup): per
+	// durable service, the standby and the primary-side shipper, plus
+	// the set of machines whose put-port was promoted away — those may
+	// NEVER re-register it (the split-brain guard in Restart).
+	dirsBackup *standby
+	bankBackup *standby
+	dirsShip   *repl.Shipper
+	bankShip   *repl.Shipper
+	promoted   map[amnet.MachineID]string
+}
+
+// standby is a hot backup of one durable service: an un-started service
+// kernel on its own machine and WAL disk, kept current by a
+// repl.Receiver. Promotion stops the receiver and starts the kernel —
+// the service reappears at the same put-port, on the standby's machine.
+type standby struct {
+	fb      *fbox.FBox
+	disk    *vdisk.Disk
+	recv    *repl.Receiver
+	machine amnet.MachineID
+	promote func() error // stop receiver, start kernel, swap cluster fields
+	discard func() error // drop the standby (receiver + kernel die)
 }
 
 // Machines identifies the cluster's machines on the simulated
@@ -164,9 +204,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Reorder:   cfg.Reorder,
 			Seed:      cfg.Seed,
 		}),
-		src:    src,
-		scheme: scheme,
-		cfg:    cfg,
+		src:      src,
+		scheme:   scheme,
+		cfg:      cfg,
+		promoted: make(map[amnet.MachineID]string),
 	}
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
@@ -272,6 +313,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Hot standbys for the durable services: base snapshot + synchronous
+	// WAL shipping from the primaries' commit paths.
+	if cfg.Replicate {
+		if err := cl.AddBackup(cl.Machines().Dirs); err != nil {
+			return nil, err
+		}
+		if err := cl.AddBackup(cl.Machines().Bank); err != nil {
+			return nil, err
+		}
+	}
+
 	ok = true
 	return cl, nil
 }
@@ -353,9 +405,10 @@ func (cl *Cluster) startBanksvr() error {
 	return nil
 }
 
-// durableCtl is the per-service control surface Kill and Restart share
-// — one place that knows which cluster fields belong to which durable
-// service. Build it (and call setDown) under cl.mu.
+// durableCtl is the per-service control surface Kill, Restart,
+// AddBackup and Promote share — one place that knows which cluster
+// fields belong to which durable service. Build it (and call setDown /
+// clearBackup) under cl.mu.
 type durableCtl struct {
 	name    string
 	fb      *fbox.FBox
@@ -363,6 +416,11 @@ type durableCtl struct {
 	down    bool
 	setDown func(bool)
 	restart func() error
+
+	ship        *repl.Shipper
+	backup      *standby
+	clearBackup func()       // detach the standby bookkeeping (cl.mu held)
+	attach      func() error // build and wire a standby (cl.mu NOT held)
 }
 
 func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
@@ -371,12 +429,287 @@ func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
 		return &durableCtl{
 			name: "directory", fb: cl.dirsFB, crash: cl.dirs.Crash, down: cl.dirsDown,
 			setDown: func(v bool) { cl.dirsDown = v }, restart: cl.startDirsvr,
+			ship: cl.dirsShip, backup: cl.dirsBackup,
+			clearBackup: func() { cl.dirsBackup, cl.dirsShip = nil, nil },
+			attach:      cl.attachDirsBackup,
 		}
 	case cl.machines.Bank:
 		return &durableCtl{
 			name: "bank", fb: cl.bankFB, crash: cl.bank.Crash, down: cl.bankDown,
 			setDown: func(v bool) { cl.bankDown = v }, restart: cl.startBanksvr,
+			ship: cl.bankShip, backup: cl.bankBackup,
+			clearBackup: func() { cl.bankBackup, cl.bankShip = nil, nil },
+			attach:      cl.attachBankBackup,
 		}
+	}
+	return nil
+}
+
+// newShipClient builds the replication channel's RPC client on the
+// primary's machine. It skips the key-matrix sealer even when
+// SealCapabilities is on: the stream carries WAL records, never
+// capability fields, so there is nothing to seal.
+func (cl *Cluster) newShipClient(fb *fbox.FBox) *rpc.Client {
+	// TTL -1: the receiver's machine never moves within a shipper's
+	// lifetime, so the route needs no periodic reconfirmation (the RPC
+	// layer still evicts it on a delivery failure).
+	res := locate.New(fb, locate.Config{TTL: -1})
+	return rpc.NewClient(fb, res, rpc.ClientConfig{Source: cl.src})
+}
+
+// attachDirsBackup builds a directory-server standby and wires the
+// primary's commit path to it.
+func (cl *Cluster) attachDirsBackup() error {
+	cl.mu.Lock()
+	primary, pfb := cl.dirs, cl.dirsFB
+	cl.mu.Unlock()
+	return cl.attachBackup("directory", primary.Kernel, pfb,
+		func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+			s, err := dirsvr.NewDurable(fb, cl.scheme, cl.src, log, cl.dirsG)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			s.SetMaxInflight(cl.cfg.MaxInflight)
+			cl.sealServer(fb, s.SetSealer)
+			return s, s.Kernel, s.ReplayFn(), nil
+		},
+		func(st *standby, s kernelServer) { // install (cl.mu held)
+			cl.dirsBackup = st
+		},
+		func(st *standby, s kernelServer) { // promote swap (cl.mu held)
+			cl.dirs = s.(*dirsvr.Server)
+			cl.dirsFB, cl.dirsWAL = st.fb, st.disk
+			cl.machines.Dirs = st.machine
+			cl.dirsDown = false
+		},
+		func(ship *repl.Shipper) { cl.dirsShip = ship },
+		func() (bool, bool) { return cl.dirsDown, cl.dirsBackup != nil },
+	)
+}
+
+// attachBankBackup builds a bank-server standby and wires the primary's
+// commit path to it.
+func (cl *Cluster) attachBankBackup() error {
+	cl.mu.Lock()
+	primary, pfb := cl.bank, cl.bankFB
+	cl.mu.Unlock()
+	return cl.attachBackup("bank", primary.Kernel, pfb,
+		func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+			s, err := banksvr.NewDurable(fb, cl.scheme, cl.src, cl.bankConfig(), log, cl.bankG)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			s.SetMaxInflight(cl.cfg.MaxInflight)
+			cl.sealServer(fb, s.SetSealer)
+			return s, s.Kernel, s.ReplayFn(), nil
+		},
+		func(st *standby, s kernelServer) {
+			cl.bankBackup = st
+		},
+		func(st *standby, s kernelServer) {
+			cl.bank = s.(*banksvr.Server)
+			cl.bankFB, cl.bankWAL = st.fb, st.disk
+			cl.machines.Bank = st.machine
+			cl.bankDown = false
+		},
+		func(ship *repl.Shipper) { cl.bankShip = ship },
+		func() (bool, bool) { return cl.bankDown, cl.bankBackup != nil },
+	)
+}
+
+// kernelServer is the slice of a durable service the standby machinery
+// needs: lifecycle plus nothing else.
+type kernelServer interface {
+	Start() error
+	Close() error
+	Crash() error
+}
+
+// attachBackup is the service-agnostic half of AddBackup: stand the
+// standby kernel up on a fresh machine and WAL disk, start its
+// receiver, and attach the primary's shipper (which quiesces the
+// primary, ships the base snapshot, and hooks the commit path).
+func (cl *Cluster) attachBackup(
+	name string,
+	primary *svc.Kernel,
+	primaryFB *fbox.FBox,
+	build func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error),
+	install func(st *standby, s kernelServer),
+	swap func(st *standby, s kernelServer),
+	setShip func(*repl.Shipper),
+	state func() (down, hasBackup bool),
+) error {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return err
+	}
+	disk, err := vdisk.New(walBlocks, walBlockSize)
+	if err != nil {
+		return err
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		return err
+	}
+	s, kern, replay, err := build(fb, log)
+	if err != nil {
+		log.Close() // the kernel never took ownership
+		return err
+	}
+	cl.addCloser(s.Close)
+	recv := repl.NewReceiver(fb, cl.src, kern, replay)
+	if err := recv.Start(); err != nil {
+		return err
+	}
+	cl.addCloser(recv.Close)
+	ship, err := repl.Attach(primary, cl.newShipClient(primaryFB), recv.Port(), repl.Options{})
+	if err != nil {
+		recv.Close()
+		return fmt.Errorf("amoeba: attaching %s backup: %w", name, err)
+	}
+	cl.addCloser(func() error { ship.Stop(); return nil })
+
+	st := &standby{fb: fb, disk: disk, recv: recv, machine: fb.Machine()}
+	st.promote = func() error {
+		if err := recv.Close(); err != nil {
+			return err
+		}
+		if err := s.Start(); err != nil {
+			return err
+		}
+		cl.mu.Lock()
+		swap(st, s)
+		cl.mu.Unlock()
+		return nil
+	}
+	st.discard = func() error {
+		err := recv.Close()
+		if cErr := s.Crash(); err == nil {
+			err = cErr
+		}
+		return err
+	}
+
+	cl.mu.Lock()
+	if down, has := state(); down || has {
+		cl.mu.Unlock()
+		ship.Stop()
+		st.discard()
+		return fmt.Errorf("amoeba: %s server changed while attaching its backup", name)
+	}
+	install(st, s)
+	setShip(ship)
+	cl.mu.Unlock()
+	return nil
+}
+
+// AddBackup attaches a hot standby to the durable service hosted on
+// machine m: a fresh machine with its own write-ahead log receives the
+// primary's base snapshot and, from then on, every committed record —
+// synchronously, before the primary acknowledges the mutation to its
+// client. One backup per service; the primary must be up.
+func (cl *Cluster) AddBackup(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a replicable (durable) service", m)
+	}
+	if c.down {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server is down; restart or promote first", c.name)
+	}
+	if c.backup != nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server already has a backup", c.name)
+	}
+	attach := c.attach
+	cl.mu.Unlock()
+	return attach()
+}
+
+// DropBackup detaches and discards the durable service's hot standby
+// (the primary stays up, unreplicated). The recovery verb for a LOST
+// stream — a standby that stopped acknowledging is a stale snapshot
+// the shipper wrote off — after which AddBackup re-bases a fresh one
+// without any availability outage on the primary.
+func (cl *Cluster) DropBackup(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a replicable (durable) service", m)
+	}
+	if c.backup == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server has no backup to drop", c.name)
+	}
+	st, ship := c.backup, c.ship
+	c.clearBackup()
+	cl.mu.Unlock()
+	if ship != nil {
+		ship.Stop()
+	}
+	return st.discard()
+}
+
+// Promote fails the durable service hosted on (dead) machine m over to
+// its hot standby: the standby's receiver stops, its kernel starts, and
+// the service advertises the SAME put-port from the standby's machine —
+// clients' stale routes time out, invalidate and re-broadcast LOCATE
+// (§2.2), landing on the new incarnation with every acknowledged
+// operation intact. The old machine is permanently barred from
+// re-registering the port (see Restart's split-brain guard).
+//
+// The primary must have been Killed first: promoting alongside a live
+// primary would put two servers behind one port.
+func (cl *Cluster) Promote(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a promotable (durable) service", m)
+	}
+	if c.backup == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server has no backup to promote", c.name)
+	}
+	if !c.down {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s primary is still up; kill it before promoting (split-brain)", c.name)
+	}
+	if c.ship != nil && c.ship.Lost() {
+		// The stream died before the primary did: the standby is a
+		// stale snapshot missing every op acked after the loss —
+		// promoting it would contradict those acknowledgements.
+		// Restart the primary from its own log instead (its disk has
+		// everything), then DropBackup + AddBackup to re-replicate.
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s backup was lost before the crash (stale stream); Restart the primary instead", c.name)
+	}
+	st, ship := c.backup, c.ship
+	c.clearBackup()
+	cl.promoted[m] = c.name
+	cl.mu.Unlock()
+	if ship != nil {
+		ship.Stop()
+	}
+	if err := st.promote(); err != nil {
+		// The standby failed to take the port: nothing registered it,
+		// so the dead machine keeps its right to Restart — un-retire it
+		// and discard the broken standby (its receiver may already be
+		// closed). The service stays down until Restart.
+		_ = st.discard()
+		cl.mu.Lock()
+		delete(cl.promoted, m)
+		cl.mu.Unlock()
+		return err
 	}
 	return nil
 }
@@ -386,6 +719,8 @@ func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
 // checkpointing — only what its write-ahead log already committed
 // survives. Supported for the durable services (directory and bank).
 func (cl *Cluster) Kill(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
 	c := cl.durableCtlLocked(m)
 	if c == nil {
@@ -398,9 +733,23 @@ func (cl *Cluster) Kill(m amnet.MachineID) error {
 	}
 	c.setDown(true)
 	cl.mu.Unlock()
-	// The NIC goes first — a crash cuts the machine off mid-
-	// conversation; in-flight replies vanish and clients retry.
+	// The NIC goes FIRST — a crash cuts the machine off mid-
+	// conversation; in-flight replies vanish and clients retry. The
+	// order against the shipper matters: were the stream stopped while
+	// the NIC still carried replies, an in-flight handler could commit
+	// locally, skip the (stopped) ship, and still acknowledge its
+	// client — an acked op the standby never saw, lost at promotion.
+	// With the NIC down, any op whose ship was cut off can no longer
+	// reach its client either, so "acknowledged" still implies "on the
+	// standby".
 	err := c.fb.Close()
+	// Then the shipper dies with its machine: aborting any in-flight
+	// ship attempt unwedges handlers blocked on replication acks so the
+	// crash drains. The standby stays alive and based — ready for
+	// Promote.
+	if c.ship != nil {
+		c.ship.Stop()
+	}
 	if cerr := c.crash(); err == nil {
 		err = cerr
 	}
@@ -414,10 +763,21 @@ func (cl *Cluster) Kill(m amnet.MachineID) error {
 // re-broadcasts LOCATE — §2.2's discovery path for a moved server —
 // which the new incarnation answers.
 func (cl *Cluster) Restart(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
 	// Clearing the down flag under the lock claims the restart: a
 	// concurrent Restart of the same service sees "not down" and
 	// fails, so two incarnations can never share one WAL disk.
 	cl.mu.Lock()
+	// The split-brain guard: a machine whose put-port was promoted away
+	// may NEVER re-register it. Its WAL disk is a dead branch of
+	// history — the promoted incarnation has acknowledged operations
+	// this machine's log never saw — and a second server behind the
+	// port would split clients between two divergent states.
+	if name, was := cl.promoted[m]; was {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v's %s put-port was promoted to a backup; refusing to re-register it (split-brain)", m, name)
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -428,7 +788,18 @@ func (cl *Cluster) Restart(m amnet.MachineID) error {
 		return fmt.Errorf("amoeba: %s server is not down", c.name)
 	}
 	c.setDown(false)
+	// Restart, not Promote, wins this outage: the stale standby's
+	// stream died with the primary's shipper, so it is discarded here —
+	// AddBackup re-bases a fresh one from the restarted primary.
+	st, ship := c.backup, c.ship
+	c.clearBackup()
 	cl.mu.Unlock()
+	if ship != nil {
+		ship.Stop()
+	}
+	if st != nil {
+		_ = st.discard()
+	}
 	if err := c.restart(); err != nil {
 		cl.mu.Lock()
 		c.setDown(true)

@@ -188,6 +188,19 @@ func (r *Resolver) Invalidate(p cap.Port) {
 	delete(r.cache, p)
 }
 
+// Evict drops the cache entry for p only if it still names machine at.
+// This is the failover-safe invalidation: a transaction that timed out
+// against a dead machine must not clobber an entry a concurrent lookup
+// already refreshed to the server's NEW home — during a promotion storm
+// that race would send the whole client herd back to broadcast.
+func (r *Resolver) Evict(p cap.Port, at amnet.MachineID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.cache[p]; ok && e.at == at {
+		delete(r.cache, p)
+	}
+}
+
 // Insert seeds the cache (used by static cluster configurations that
 // know their topology, avoiding the initial broadcast).
 func (r *Resolver) Insert(p cap.Port, at amnet.MachineID) {

@@ -124,6 +124,38 @@ func TestInvalidateForcesRebroadcast(t *testing.T) {
 	}
 }
 
+// TestEvictSparesRefreshedEntry: Evict only drops the entry if it
+// still names the suspect machine — a transaction that timed out
+// against a dead machine must not clobber the route a concurrent
+// lookup already refreshed to the server's new (promoted) home.
+func TestEvictSparesRefreshedEntry(t *testing.T) {
+	ctx := context.Background()
+	r := newRig(t)
+	res := New(r.client, fastCfg())
+
+	dead := r.server.Machine() + 100 // a machine id nobody answers for
+	res.Insert(cap.Port(9), dead)
+	res.Evict(cap.Port(9), dead)
+	if res.CacheLen() != 0 {
+		t.Fatal("matching eviction kept the entry")
+	}
+
+	// The entry was refreshed to the new machine meanwhile: an eviction
+	// blaming the OLD machine must leave it alone.
+	res.Insert(cap.Port(9), r.server.Machine())
+	res.Evict(cap.Port(9), dead)
+	at, err := res.Lookup(ctx, cap.Port(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != r.server.Machine() {
+		t.Fatalf("at = %v", at)
+	}
+	if s := res.Stats(); s.Hits != 1 || s.Broadcasts != 0 {
+		t.Fatalf("refreshed entry was evicted: %+v", s)
+	}
+}
+
 func TestInsertSeedsCache(t *testing.T) {
 	ctx := context.Background()
 	r := newRig(t)

@@ -1,0 +1,182 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/crypto"
+	"amoeba/internal/fbox"
+	"amoeba/internal/rpc"
+	"amoeba/internal/svc"
+	"amoeba/internal/wal"
+)
+
+// ReceiverStats counts replication traffic on the standby.
+type ReceiverStats struct {
+	Frames      uint64 // ship frames processed
+	Applied     uint64 // records applied (incl. checkpoints)
+	Skipped     uint64 // stale/duplicate items ignored
+	Gaps        uint64 // frames rejected with a sequence gap
+	Rebased     uint64 // base snapshots installed
+	Checkpoints uint64 // in-stream checkpoints applied (standby log compactions)
+	High        uint64 // durable high-water sequence
+	Based       bool
+}
+
+// Receiver is the standby half of the replication channel: an RPC
+// server on the backup machine's own private port that appends shipped
+// records to the standby kernel's log and applies them to its state.
+// The standby kernel must be durable, Recovered, and NOT Started — its
+// state belongs to the stream until promotion. Batches are serialized
+// by a mutex, so the service's replay applier runs single-threaded,
+// exactly as it does during crash recovery.
+//
+// An acknowledgement (the high sequence in each reply) is sent only
+// after the batch's records are durable on the standby's OWN log: a
+// promoted backup that itself crashes still replays every record it
+// ever acknowledged.
+type Receiver struct {
+	srv   *rpc.Server
+	k     *svc.Kernel
+	apply func(rec []byte) error
+
+	mu    sync.Mutex
+	st    stream
+	dead  error // a failed commit on the standby's own log is fatal
+	stats ReceiverStats
+}
+
+// NewReceiver builds a receiver feeding the standby kernel k, applying
+// service records through apply (the same function the service hands to
+// svc.Kernel.Recover). Call Start to begin listening; the receiver's
+// port (a fresh private one, NOT the service port) is what the primary
+// ships to.
+func NewReceiver(fb *fbox.FBox, src crypto.Source, k *svc.Kernel, apply func(rec []byte) error) *Receiver {
+	r := &Receiver{k: k, apply: apply}
+	r.srv = rpc.NewServer(fb, src)
+	// Inline dispatch: the stream is serialized by r.mu anyway, so the
+	// worker-pool handoff would buy nothing and cost two goroutine
+	// switches on the path that gates the primary's client replies.
+	r.srv.HandleInline(OpShip, r.handleShip)
+	r.srv.HandleInline(OpSeq, r.handleSeq)
+	return r
+}
+
+// Port returns the receiver's put-port (the shipper's destination).
+func (r *Receiver) Port() cap.Port { return r.srv.PutPort() }
+
+// Start begins receiving (advertises the private port for LOCATE).
+func (r *Receiver) Start() error { return r.srv.Start() }
+
+// Close stops the receiver. Promotion closes it before starting the
+// service kernel, so a stale primary's ships bounce off a dead port
+// instead of mutating a now-live service.
+func (r *Receiver) Close() error { return r.srv.Close() }
+
+// High returns the durable high-water sequence acknowledged so far.
+func (r *Receiver) High() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st.high()
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.High = r.st.high()
+	s.Based = r.st.based
+	return s
+}
+
+// conflict is the sequence-gap rejection: the shipper reads the high
+// water out of the payload and back-fills from there.
+func conflict(high uint64) rpc.Reply {
+	return rpc.Reply{Status: rpc.StatusConflict, Data: ackData(high)}
+}
+
+func (r *Receiver) handleShip(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
+	items, rebase, err := Decode(req.Data)
+	if err != nil {
+		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dead != nil {
+		return rpc.ErrReplyFromErr(r.dead)
+	}
+	r.stats.Frames++
+	gap := false
+	var last *wal.Ticket
+	for _, it := range items {
+		v, rec, err := r.st.offer(it, rebase)
+		if err != nil {
+			r.st.reset()
+			return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
+		}
+		switch v {
+		case vSkip:
+			r.stats.Skipped++
+		case vWait:
+			// fragment buffered
+		case vGap:
+			gap = true
+		case vApply:
+			t, err := r.k.ReplicaApply(rec, r.apply)
+			if err != nil {
+				r.st.reset()
+				return rpc.ErrReplyFromErr(err)
+			}
+			last = t
+			r.st.applied(rec, rebase)
+			r.stats.Applied++
+			switch {
+			case rebase:
+				r.stats.Rebased++
+			case rec.Checkpoint:
+				r.stats.Checkpoints++
+			}
+		}
+		if gap {
+			break
+		}
+	}
+	// Durability before acknowledgement: the standby's own log must
+	// cover every record in the frame before its sequence counts as
+	// high water. One inline flush + wait covers them all — the log
+	// commits in stage order, so the LAST record's ticket implies the
+	// rest (and a checkpoint's nil ticket was durable synchronously) —
+	// and flushing on this goroutine keeps the ack (which gates the
+	// primary's client reply) off the committer's wake-up latency. A failed
+	// commit here is fatal: the stream has advanced past records the
+	// standby's disk never took, so no later frame may be acknowledged
+	// either — the shipper sees the persistent error and declares the
+	// backup lost.
+	if last != nil {
+		r.k.Flush()
+	}
+	if err := last.Wait(); err != nil {
+		r.dead = fmt.Errorf("repl: standby log failed: %w", err)
+		return rpc.ErrReplyFromErr(r.dead)
+	}
+	if gap {
+		r.stats.Gaps++
+		return conflict(r.st.high())
+	}
+	return rpc.OkReply(ackData(r.st.high()))
+}
+
+func (r *Receiver) handleSeq(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]byte, 0, 9)
+	if r.st.based {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return rpc.OkReply(append(out, ackData(r.st.high())...))
+}

@@ -1,0 +1,306 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/rpc"
+	"amoeba/internal/svc"
+	"amoeba/internal/wal"
+)
+
+// ErrBackupLost is recorded when the backup stops acknowledging for
+// Options.Attempts consecutive tries: the primary keeps serving
+// (availability over replication) and drops the stream; attach a fresh
+// backup to re-replicate.
+var ErrBackupLost = errors.New("repl: backup lost (stopped acknowledging)")
+
+// Options tunes a shipper. The zero value gets sensible defaults.
+type Options struct {
+	// Timeout bounds one ship RPC attempt (default 1s).
+	Timeout time.Duration
+	// Attempts is how many consecutive failures the shipper tolerates
+	// before declaring the backup lost (default 8). Each attempt
+	// already carries the RPC client's own retries, so a lost frame or
+	// two never burns an attempt.
+	Attempts int
+	// Backoff is the pause between failed attempts (default 5ms).
+	Backoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 8
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 5 * time.Millisecond
+	}
+	return o
+}
+
+// ShipperStats counts replication traffic on the primary.
+type ShipperStats struct {
+	Batches uint64 // commit batches offered by the log's sink
+	Frames  uint64 // ship frames sent (incl. catch-up and retries)
+	Records uint64 // records shipped (first transmission)
+	Retries uint64 // failed attempts that were retried
+	CatchUp uint64 // records re-shipped after a receiver gap
+	Dropped uint64 // records NOT shipped (stopped or lost)
+	Acked   uint64 // receiver's durable high-water sequence
+	Lost    bool   // the backup was declared lost
+}
+
+// Shipper is the primary half of the replication channel. Attach wires
+// it into a durable kernel's commit path: the kernel quiesces, ships a
+// base snapshot (so the standby starts from the primary's exact state),
+// and installs the shipper as the log's commit sink. From then on every
+// group commit's records are shipped synchronously — the commit's
+// tickets (and therefore the clients' replies) wait for the standby's
+// durable acknowledgement. One ship RPC per commit batch: replication
+// rides group commit and adds no fsyncs on the primary.
+//
+// Failure policy: a sequence-gap rejection is healed in place by
+// re-shipping from the receiver's high water (wal.ReadFrom); transport
+// failures are retried Options.Attempts times and then the backup is
+// declared lost — the primary answers on, unreplicated, rather than
+// stalling its clients forever behind a dead standby.
+type Shipper struct {
+	k    *svc.Kernel
+	c    *rpc.Client
+	dest cap.Port
+	o    Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	opts   []rpc.CallOption // per-attempt timeout/retries, built once
+
+	// mu serializes every ship path (the committer's sink calls and the
+	// base ship) and guards the state below.
+	mu      sync.Mutex
+	stopped bool
+	lost    bool
+	stats   ShipperStats
+}
+
+// Attach starts replicating kernel k to the receiver at dest, shipping
+// through client c (a client on the primary's machine). It returns once
+// the standby holds the primary's base snapshot; every mutation the
+// primary acknowledges afterwards is on the standby first.
+func Attach(k *svc.Kernel, c *rpc.Client, dest cap.Port, o Options) (*Shipper, error) {
+	s := &Shipper{k: k, c: c, dest: dest, o: o.withDefaults()}
+	s.opts = []rpc.CallOption{rpc.WithTimeout(s.o.Timeout), rpc.WithRetries(1)}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	err := k.AttachReplica(func(snap []byte, next uint64) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Seq next-1 makes the receiver expect exactly the next record
+		// the primary will commit.
+		return s.shipLocked([]wal.Record{{Seq: next - 1, Checkpoint: true, Data: snap}}, true)
+	}, s.sink)
+	if err != nil {
+		s.cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stop detaches the shipper from the kernel and aborts any in-flight
+// ship RPC. Records committed after Stop are not shipped. Kill and
+// Promote paths call it; it is idempotent.
+func (s *Shipper) Stop() {
+	s.cancel() // first: unblocks a sink mid-RPC so the lock frees fast
+	s.k.DetachReplica()
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Lost reports whether the backup was declared lost.
+func (s *Shipper) Lost() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}
+
+// Lag returns how many committed records the backup has not yet
+// acknowledged (0 on a healthy synchronous stream).
+func (s *Shipper) Lag() uint64 {
+	s.mu.Lock()
+	acked := s.stats.Acked
+	s.mu.Unlock()
+	head := s.k.NextSeq() - 1
+	if head <= acked {
+		return 0
+	}
+	return head - acked
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// sink is the log's commit sink: called from the single committer
+// goroutine, after the local sync, before the batch's tickets complete.
+func (s *Shipper) sink(recs []wal.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.lost {
+		s.stats.Dropped += uint64(len(recs))
+		return
+	}
+	s.stats.Batches++
+	s.stats.Records += uint64(len(recs))
+	_ = s.shipLocked(recs, false) // loss is recorded in s.lost/stats
+}
+
+// shipLocked ships recs (already in sequence order) under s.mu.
+func (s *Shipper) shipLocked(recs []wal.Record, rebase bool) error {
+	end := recs[len(recs)-1].Seq + 1
+	for _, frame := range Encode(recs, rebase) {
+		if err := s.sendFrame(frame, end, rebase); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendFrame delivers one frame. A sequence-gap rejection is healed by
+// re-shipping everything from the receiver's high water through the end
+// of the batch out of the primary's own log (every batch record is
+// committed before the sink runs, so the log has them all); transport
+// failures are retried until the attempt budget is spent.
+func (s *Shipper) sendFrame(frame Frame, batchEnd uint64, rebase bool) error {
+	fails := 0
+	for {
+		if s.ctx.Err() != nil {
+			s.stats.Dropped++
+			return s.ctx.Err()
+		}
+		s.stats.Frames++
+		// s.ctx carries only cancellation (Stop); the per-attempt
+		// timeout rides the call option, so no deadline context is
+		// built on this hot path.
+		rep, err := s.c.Trans(s.ctx, s.dest, rpc.Request{Op: OpShip, Data: frame.Payload}, s.opts...)
+		if err == nil {
+			switch rep.Status {
+			case rpc.StatusOK:
+				if high, aerr := ParseAck(rep.Data); aerr == nil && high > s.stats.Acked {
+					s.stats.Acked = high
+				}
+				return nil
+			case rpc.StatusConflict:
+				// A rebase frame can never gap; for the in-sequence
+				// stream, back-fill from the receiver's high water. If
+				// the catch-up covers the whole batch, this frame (and
+				// the batch's remaining frames, as duplicates) is done.
+				high, aerr := ParseAck(rep.Data)
+				if aerr == nil && !rebase {
+					if high+1 < batchEnd {
+						if cerr := s.catchUp(high+1, batchEnd); cerr != nil {
+							return cerr
+						}
+					}
+					if s.stats.Acked >= batchEnd-1 {
+						return nil
+					}
+				}
+			}
+		}
+		fails++
+		s.stats.Retries++
+		if fails >= s.o.Attempts {
+			s.lost = true
+			s.stats.Lost = true
+			s.k.DetachReplica()
+			return ErrBackupLost
+		}
+		select {
+		case <-s.ctx.Done():
+		case <-time.After(s.o.Backoff):
+		}
+	}
+}
+
+// catchUp re-ships the committed records in [from, to) out of the
+// primary's own log. ErrSeqTruncated cannot normally happen — the
+// receiver's high water only trails records it was already shipped,
+// which a checkpoint cannot outrun because checkpoints ship through the
+// same ordered stream — so it is treated as a lost backup.
+func (s *Shipper) catchUp(from, to uint64) error {
+	batch := make([]wal.Record, 0, 64)
+	size := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		s.stats.CatchUp += uint64(len(batch))
+		for _, frame := range Encode(batch, false) {
+			if err := s.sendCatchUpFrame(frame.Payload); err != nil {
+				return err
+			}
+		}
+		batch, size = batch[:0], 0
+		return nil
+	}
+	err := s.k.ReadFrom(from, func(r wal.Record) error {
+		if r.Seq >= to {
+			return errStopScan
+		}
+		// ReadFrom's record data aliases its scan buffer; copy for the
+		// frames we batch up.
+		r.Data = append([]byte(nil), r.Data...)
+		batch = append(batch, r)
+		size += len(r.Data)
+		if size >= MaxShipBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return err
+	}
+	return flush()
+}
+
+var errStopScan = errors.New("repl: scan complete")
+
+// sendCatchUpFrame is sendFrame without gap-healing (catch-up must not
+// recurse); a conflict here means the receiver advanced meanwhile,
+// which the outer retry resolves.
+func (s *Shipper) sendCatchUpFrame(frame []byte) error {
+	fails := 0
+	for {
+		if s.ctx.Err() != nil {
+			return s.ctx.Err()
+		}
+		s.stats.Frames++
+		rep, err := s.c.Trans(s.ctx, s.dest, rpc.Request{Op: OpShip, Data: frame}, s.opts...)
+		if err == nil && (rep.Status == rpc.StatusOK || rep.Status == rpc.StatusConflict) {
+			if high, aerr := ParseAck(rep.Data); aerr == nil && high > s.stats.Acked {
+				s.stats.Acked = high
+			}
+			return nil
+		}
+		fails++
+		s.stats.Retries++
+		if fails >= s.o.Attempts {
+			s.lost = true
+			s.stats.Lost = true
+			s.k.DetachReplica()
+			return ErrBackupLost
+		}
+		select {
+		case <-s.ctx.Done():
+		case <-time.After(s.o.Backoff):
+		}
+	}
+}

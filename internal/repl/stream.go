@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"fmt"
+
+	"amoeba/internal/wal"
+)
+
+// verdict is stream.offer's decision for one item.
+type verdict int
+
+const (
+	// vApply: the item completes a record; apply it, then call applied.
+	vApply verdict = iota
+	// vSkip: stale or duplicate — already applied, ignore.
+	vSkip
+	// vWait: a fragment was buffered; the record is not yet complete.
+	vWait
+	// vGap: the item's sequence is ahead of the stream — records were
+	// lost in transit; reject the frame so the shipper back-fills.
+	vGap
+)
+
+// stream is the receiver's sequencing core, kept free of I/O so the
+// fuzz harness can drive it directly with adversarial inputs. It
+// enforces the replication stream's safety rules:
+//
+//   - nothing applies before a base (rebase) checkpoint arrives;
+//   - each record applies exactly once, in sequence order — stale and
+//     duplicate items (network duplicates, RPC retries) are skipped,
+//     future items (a gap) are rejected;
+//   - fragments reassemble strictly in order, and a duplicate of the
+//     frame that is mid-assembly re-offers its fragments harmlessly;
+//   - a duplicate rebase that would rewind an already-advanced stream
+//     (a delayed base frame redelivered by the network) is skipped.
+//
+// offer never mutates the applied horizon; the caller advances it with
+// applied() only after the record really was applied, so an apply
+// failure leaves the stream consistent for the shipper's retry.
+type stream struct {
+	based    bool
+	expected uint64 // next sequence to apply
+	part     *partial
+}
+
+// partial is a record mid-reassembly.
+type partial struct {
+	seq        uint64
+	checkpoint bool
+	rebase     bool
+	total      uint32
+	buf        []byte
+}
+
+// high is the acknowledged high-water sequence (0 before the base).
+func (st *stream) high() uint64 {
+	if !st.based || st.expected == 0 {
+		return 0
+	}
+	return st.expected - 1
+}
+
+// reset drops any partial reassembly (after a failed apply, so the
+// shipper's retry rebuilds the record from its first fragment).
+func (st *stream) reset() { st.part = nil }
+
+// offer examines one decoded item and says what to do with it. When it
+// returns vApply, rec is the complete record; the caller applies it and
+// then calls applied(rec, rebase).
+func (st *stream) offer(it Item, rebase bool) (v verdict, rec wal.Record, err error) {
+	if rebase {
+		if !it.Checkpoint {
+			return 0, rec, fmt.Errorf("repl: rebase item %d is not a checkpoint", it.Seq)
+		}
+		// A redelivered base from before the stream advanced must not
+		// rewind state that newer records already moved.
+		if st.based && it.Seq < st.expected {
+			return vSkip, rec, nil
+		}
+		return st.assemble(it, true)
+	}
+	if !st.based {
+		return vGap, rec, nil
+	}
+	switch {
+	case it.Seq < st.expected:
+		return vSkip, rec, nil
+	case it.Seq > st.expected:
+		return vGap, rec, nil
+	}
+	return st.assemble(it, false)
+}
+
+// assemble routes an in-sequence item through fragment reassembly.
+func (st *stream) assemble(it Item, rebase bool) (verdict, wal.Record, error) {
+	whole := it.Off == 0 && uint32(len(it.Frag)) == it.Total
+	if whole {
+		st.part = nil
+		return vApply, wal.Record{Seq: it.Seq, Checkpoint: it.Checkpoint, Data: it.Frag}, nil
+	}
+	p := st.part
+	if p == nil || p.seq != it.Seq || p.rebase != rebase {
+		if it.Off != 0 {
+			return vGap, wal.Record{}, nil // lost the head of this record
+		}
+		st.part = &partial{
+			seq:        it.Seq,
+			checkpoint: it.Checkpoint,
+			rebase:     rebase,
+			total:      it.Total,
+			buf:        append(make([]byte, 0, it.Total), it.Frag...),
+		}
+		return st.finish()
+	}
+	if p.checkpoint != it.Checkpoint || p.total != it.Total {
+		return 0, wal.Record{}, fmt.Errorf("repl: record %d fragments disagree on shape", it.Seq)
+	}
+	filled := uint32(len(p.buf))
+	switch {
+	case it.Off+uint32(len(it.Frag)) <= filled:
+		return vSkip, wal.Record{}, nil // duplicate fragment (RPC retry)
+	case it.Off == filled:
+		p.buf = append(p.buf, it.Frag...)
+		return st.finish()
+	default:
+		return vGap, wal.Record{}, nil // missing bytes between filled and Off
+	}
+}
+
+// finish checks whether the partial under assembly is complete.
+func (st *stream) finish() (verdict, wal.Record, error) {
+	p := st.part
+	if uint32(len(p.buf)) > p.total {
+		st.part = nil
+		return 0, wal.Record{}, fmt.Errorf("repl: record %d overflows its declared size", p.seq)
+	}
+	if uint32(len(p.buf)) < p.total {
+		return vWait, wal.Record{}, nil
+	}
+	st.part = nil
+	return vApply, wal.Record{Seq: p.seq, Checkpoint: p.checkpoint, Data: p.buf}, nil
+}
+
+// applied advances the stream past a successfully applied record.
+func (st *stream) applied(rec wal.Record, rebase bool) {
+	if rebase {
+		st.based = true
+	}
+	st.expected = rec.Seq + 1
+	st.part = nil
+}

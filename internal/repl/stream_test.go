@@ -1,0 +1,125 @@
+package repl
+
+import (
+	"testing"
+
+	"amoeba/internal/wal"
+)
+
+// offerAll pushes records through a stream the way the receiver does,
+// returning the sequence numbers that were applied.
+func offerAll(t *testing.T, st *stream, recs []wal.Record, rebase bool) (applied []uint64, gaps int) {
+	t.Helper()
+	for _, f := range Encode(recs, rebase) {
+		items, rb, err := Decode(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			v, rec, err := st.offer(it, rb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch v {
+			case vApply:
+				applied = append(applied, rec.Seq)
+				st.applied(rec, rb)
+			case vGap:
+				gaps++
+			}
+		}
+	}
+	return applied, gaps
+}
+
+func rec(seq uint64) wal.Record { return wal.Record{Seq: seq, Data: []byte{byte(seq)}} }
+
+func TestStreamOrderAndRebase(t *testing.T) {
+	st := &stream{}
+	// Nothing applies before a base.
+	if _, gaps := offerAll(t, st, []wal.Record{rec(1)}, false); gaps != 1 {
+		t.Fatal("un-based stream accepted a record")
+	}
+	base := []wal.Record{{Seq: 0, Checkpoint: true, Data: []byte("base")}}
+	if applied, _ := offerAll(t, st, base, true); len(applied) != 1 {
+		t.Fatal("base not applied")
+	}
+	applied, gaps := offerAll(t, st, []wal.Record{rec(1), rec(2), rec(3)}, false)
+	if len(applied) != 3 || gaps != 0 {
+		t.Fatalf("in-order stream: applied %v gaps %d", applied, gaps)
+	}
+	if st.high() != 3 {
+		t.Fatalf("high %d, want 3", st.high())
+	}
+
+	// Duplicates (an RPC retry re-delivering the whole batch): skipped.
+	applied, gaps = offerAll(t, st, []wal.Record{rec(2), rec(3)}, false)
+	if len(applied) != 0 || gaps != 0 {
+		t.Fatalf("duplicates: applied %v gaps %d", applied, gaps)
+	}
+
+	// A gap: rejected, high unmoved.
+	if _, gaps = offerAll(t, st, []wal.Record{rec(7)}, false); gaps != 1 {
+		t.Fatal("gap not rejected")
+	}
+	if st.high() != 3 {
+		t.Fatalf("gap moved high to %d", st.high())
+	}
+
+	// A delayed duplicate of the base must not rewind the stream.
+	if applied, _ = offerAll(t, st, base, true); len(applied) != 0 {
+		t.Fatal("stale rebase rewound the stream")
+	}
+	if !st.based || st.expected != 4 {
+		t.Fatalf("stream state disturbed: based=%v expected=%d", st.based, st.expected)
+	}
+
+	// A NEWER rebase (a later base snapshot) resets forward.
+	if applied, _ = offerAll(t, st, []wal.Record{{Seq: 9, Checkpoint: true, Data: []byte("b2")}}, true); len(applied) != 1 {
+		t.Fatal("forward rebase rejected")
+	}
+	if st.high() != 9 {
+		t.Fatalf("high %d after rebase, want 9", st.high())
+	}
+}
+
+func TestStreamFragmentRetry(t *testing.T) {
+	big := make([]byte, MaxShipBytes+100)
+	frames := Encode([]wal.Record{{Seq: 5, Data: big}}, false)
+	if len(frames) != 2 {
+		t.Fatalf("%d frames, want 2", len(frames))
+	}
+	items0, _, _ := Decode(frames[0].Payload)
+	items1, _, _ := Decode(frames[1].Payload)
+
+	st := &stream{based: true, expected: 5}
+	if v, _, _ := st.offer(items0[0], false); v != vWait {
+		t.Fatalf("first fragment verdict %v", v)
+	}
+	// Duplicate of the first fragment (retry): harmless skip.
+	if v, _, _ := st.offer(items0[0], false); v != vSkip {
+		t.Fatal("duplicate fragment not skipped")
+	}
+	// Continuation completes the record.
+	v, rec, _ := st.offer(items1[0], false)
+	if v != vApply || len(rec.Data) != len(big) {
+		t.Fatalf("continuation verdict %v", v)
+	}
+	st.applied(rec, false)
+
+	// A continuation fragment with no head (the head was lost): gap.
+	st2 := &stream{based: true, expected: 5}
+	if v, _, _ := st2.offer(items1[0], false); v != vGap {
+		t.Fatal("headless fragment accepted")
+	}
+	// After a reset (failed apply), the retry rebuilds from scratch.
+	st3 := &stream{based: true, expected: 5}
+	st3.offer(items0[0], false)
+	st3.reset()
+	if v, _, _ := st3.offer(items1[0], false); v != vGap {
+		t.Fatal("post-reset continuation accepted without its head")
+	}
+	if v, _, _ := st3.offer(items0[0], false); v != vWait {
+		t.Fatal("post-reset head rejected")
+	}
+}

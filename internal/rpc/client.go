@@ -180,6 +180,7 @@ func (c *Client) encodeRequest(ctx context.Context, req Request, machine amnet.M
 func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, build func(amnet.MachineID) (*wire.Buf, error)) (Reply, amnet.MachineID, error) {
 	o := c.options(opts)
 	var lastErr error
+	locRetried := false
 	for attempt := 0; attempt <= o.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
@@ -194,7 +195,18 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 		}
 		machine, err := c.res.Lookup(ctx, dest)
 		if err != nil {
-			return Reply{}, 0, fmt.Errorf("rpc: locating %v: %w", dest, err)
+			lastErr = fmt.Errorf("rpc: locating %v: %w", dest, err)
+			if errors.Is(err, locate.ErrNotFound) && !locRetried && attempt < o.retries {
+				// Nobody answered the broadcast — the failover window
+				// between a crash and its standby's promotion looks
+				// exactly like this. One extra round of LOCATE attempts
+				// (the resolver already retried internally) often lands
+				// after the promotion; more would multiply the locate
+				// budget by the retry count for genuinely-gone servers.
+				locRetried = true
+				continue
+			}
+			return Reply{}, 0, lastErr
 		}
 		payload, err := build(machine)
 		if err != nil {
@@ -210,7 +222,10 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 			// location and re-broadcast on the next attempt. A crashed
 			// machine shows up either as silence (timeout) or, on the
 			// simulated LAN, as no-route — both mean the same thing.
-			c.res.Invalidate(dest)
+			// Evict, not Invalidate: only the machine THIS attempt
+			// failed against is suspect; an entry a concurrent lookup
+			// refreshed to the server's new home stays.
+			c.res.Evict(dest, machine)
 			continue
 		}
 		return Reply{}, 0, err

@@ -71,6 +71,11 @@ const (
 	StatusNoSuchOp
 	// StatusServerError means the operation failed inside the server.
 	StatusServerError
+	// StatusConflict means the request is out of step with the server's
+	// state and retrying it unchanged cannot help; the reply data says
+	// where the server stands (the replication channel uses it for
+	// sequence gaps).
+	StatusConflict
 )
 
 // String renders the status.
@@ -88,6 +93,8 @@ func (s Status) String() string {
 		return "no such operation"
 	case StatusServerError:
 		return "server error"
+	case StatusConflict:
+		return "conflict"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}

@@ -88,6 +88,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	handlers map[uint16]Handler
+	inline   map[uint16]bool
 	table    *cap.Table
 	sealer   CapSealer
 	listener *fbox.Listener
@@ -207,6 +208,23 @@ func (s *Server) Handle(op uint16, h Handler) {
 	s.handlers[op] = h
 }
 
+// HandleInline registers a handler executed directly on the dispatch
+// loop — no worker-pool handoff, saving two goroutine switches per
+// request. ONLY for services that are inherently serial (the
+// replication receiver, whose mutex would serialize pool workers
+// anyway): an inline handler blocks ALL of this server's dispatch for
+// as long as it runs, and it must never issue RPC back through a loop
+// it is standing on. Call before Start.
+func (s *Server) HandleInline(op uint16, h Handler) {
+	s.Handle(op, h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inline == nil {
+		s.inline = make(map[uint16]bool)
+	}
+	s.inline[op] = true
+}
+
 // ServeTable wires the standard capability-maintenance opcodes
 // (OpRestrict, OpRevoke, OpValidate, OpEcho) to a capability table.
 // Every Amoeba service calls this (via the svc kernel); it is what
@@ -226,10 +244,22 @@ func (s *Server) ServeTable(t *cap.Table) {
 // services substitute a handler that writes the re-key ahead to their
 // log before replying.
 func (s *Server) ServeTableWithRevoke(t *cap.Table, revoke Handler) {
+	s.ServeTableWith(t, revoke, nil)
+}
+
+// ServeTableWith is the fully-general wiring: a custom revoke handler
+// plus an optional wrapper applied to every table handler (the service
+// kernel passes its durability barrier, so even a Validate reply —
+// which observes table secrets whose re-key record may still be in
+// flight — waits for the log).
+func (s *Server) ServeTableWith(t *cap.Table, revoke Handler, wrap func(Handler) Handler) {
+	if wrap == nil {
+		wrap = func(h Handler) Handler { return h }
+	}
 	s.mu.Lock()
 	s.table = t
 	s.mu.Unlock()
-	s.Handle(OpRestrict, func(_ context.Context, _ Meta, req Request) Reply {
+	s.Handle(OpRestrict, wrap(func(_ context.Context, _ Meta, req Request) Reply {
 		if len(req.Data) != 1 {
 			return ErrReply(StatusBadRequest, "restrict wants a 1-byte mask")
 		}
@@ -238,18 +268,18 @@ func (s *Server) ServeTableWithRevoke(t *cap.Table, revoke Handler) {
 			return ErrReplyFromErr(err)
 		}
 		return CapReply(nc)
-	})
-	s.Handle(OpRevoke, revoke)
-	s.Handle(OpValidate, func(_ context.Context, _ Meta, req Request) Reply {
+	}))
+	s.Handle(OpRevoke, wrap(revoke))
+	s.Handle(OpValidate, wrap(func(_ context.Context, _ Meta, req Request) Reply {
 		rights, err := t.Validate(req.Cap)
 		if err != nil {
 			return ErrReplyFromErr(err)
 		}
 		return OkReply([]byte{byte(rights)})
-	})
-	s.Handle(OpEcho, func(_ context.Context, _ Meta, req Request) Reply {
+	}))
+	s.Handle(OpEcho, wrap(func(_ context.Context, _ Meta, req Request) Reply {
 		return OkReply(req.Data)
-	})
+	}))
 }
 
 // Table returns the table registered via ServeTable (nil if none).
@@ -354,6 +384,14 @@ func (s *Server) loop(l *fbox.Listener) {
 		if req.Op != OpBatch && s.handlers[req.Op] == nil {
 			s.reply(sealer, m, ErrReply(StatusNoSuchOp, fmt.Sprintf("op %#04x", req.Op)))
 			m.Release()
+			continue
+		}
+		if s.inline[req.Op] {
+			// Inline fast path (HandleInline): serve on the dispatch
+			// loop itself. tasks accounting keeps Close's drain exact.
+			s.tasks.Add(1)
+			s.serve(m, req)
+			s.tasks.Done()
 			continue
 		}
 		s.tasks.Add(1)

@@ -125,6 +125,11 @@ func NewDurable(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, log *wal.Lo
 	return s, nil
 }
 
+// ReplayFn exposes the redo-record applier for a hot-standby receiver
+// (repl.NewReceiver): the standby applies the primary's shipped records
+// through exactly the code path crash recovery replays them through.
+func (s *Server) ReplayFn() func(rec []byte) error { return s.apply }
+
 // Redo-record tags (first byte; svc.RecKernel is reserved).
 const (
 	recCreate  byte = 0x01 // obj(4) secret(8)

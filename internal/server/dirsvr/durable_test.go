@@ -63,55 +63,21 @@ func (s *Server) matches(m model) error {
 	return nil
 }
 
-// TestCrashMatrixReplay drives a 100-op workload (creates, enters,
-// removes, destroys) against a durable directory server, freezing the
-// WAL disk's exact bytes after every
-// acknowledged operation. It then simulates a crash at EVERY one of
-// those record boundaries: each frozen image is recovered into a fresh
-// server, whose state must equal the model at that point — no
-// acknowledged op lost, no unacknowledged op visible.
-func TestCrashMatrixReplay(t *testing.T) {
+// runScriptedWorkload drives the deterministic 100-op mix (creates,
+// enters, removes, destroys) the crash and promotion matrices share:
+// after every acknowledged op it calls freeze (the caller clones
+// whichever disk it is auditing) and snapshots the model. It returns
+// the model at every boundary.
+func runScriptedWorkload(t *testing.T, dc *Client, port cap.Port, nops int, freeze func()) []model {
+	t.Helper()
 	ctx := context.Background()
-	r := servertest.New(t, 0xC7A5)
-	scheme, err := cap.NewScheme(cap.SchemeOneWay)
-	if err != nil {
-		t.Fatal(err)
-	}
-	disk, err := vdisk.New(1024, 512)
-	if err != nil {
-		t.Fatal(err)
-	}
-	log, err := wal.Open(disk, wal.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	fb := r.NewFBox(t)
-	s, err := NewDurable(fb, scheme, r.Src, log, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { s.Close() })
-	dc := NewClient(r.Client)
-
-	nops := 100
-	if testing.Short() {
-		nops = 30
-	}
-
-	// The scripted workload: a deterministic mix in which every op is
-	// acknowledged before the disk image is frozen.
 	live := make(model)
 	var dirs []cap.Capability // created, not-yet-destroyed directories
-	images := make([]*vdisk.Disk, 0, nops)
 	models := make([]model, 0, nops)
-
 	for i := 0; i < nops; i++ {
 		switch {
 		case len(dirs) == 0 || i%7 == 0:
-			d, err := dc.CreateDir(ctx, s.PutPort())
+			d, err := dc.CreateDir(ctx, port)
 			if err != nil {
 				t.Fatalf("op %d create: %v", i, err)
 			}
@@ -147,11 +113,58 @@ func TestCrashMatrixReplay(t *testing.T) {
 			}
 			live[d.Object][name] = entry
 		}
-		// The reply for op i has been received, so its record is on the
-		// "disk"; freeze the exact bytes a crash right now would leave.
-		images = append(images, disk.Clone())
+		freeze()
 		models = append(models, live.clone())
 	}
+	return models
+}
+
+// TestCrashMatrixReplay drives a 100-op workload (creates, enters,
+// removes, destroys) against a durable directory server, freezing the
+// WAL disk's exact bytes after every
+// acknowledged operation. It then simulates a crash at EVERY one of
+// those record boundaries: each frozen image is recovered into a fresh
+// server, whose state must equal the model at that point — no
+// acknowledged op lost, no unacknowledged op visible.
+func TestCrashMatrixReplay(t *testing.T) {
+	r := servertest.New(t, 0xC7A5)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := r.NewFBox(t)
+	s, err := NewDurable(fb, scheme, r.Src, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	dc := NewClient(r.Client)
+
+	nops := 100
+	if testing.Short() {
+		nops = 30
+	}
+
+	// The scripted workload: a deterministic mix in which every op is
+	// acknowledged before the disk image is frozen.
+	images := make([]*vdisk.Disk, 0, nops)
+	models := runScriptedWorkload(t, dc, s.PutPort(), nops, func() {
+		// The reply for the op has been received, so its record is on
+		// the "disk"; freeze the exact bytes a crash right now would
+		// leave.
+		images = append(images, disk.Clone())
+	})
 
 	// Crash at every record boundary: recover each frozen image into a
 	// fresh (never Started) server and diff against the model.

@@ -105,13 +105,39 @@ func NewWithConfig(fb *fbox.FBox, scheme cap.Scheme, cfg Config) *Kernel {
 	return k
 }
 
-// serveTable wires the standard capability-maintenance opcodes —
-// rpc.ServeTable, except revocation on a durable kernel is written
-// ahead to the log: a re-key that survived only in memory would
-// resurrect revoked capabilities at the next restart.
+// observed guards a handler's reply with the log's durability barrier:
+// whatever state the handler observed is on stable storage — and, when
+// replicated, on the standby — before the reply leaves. Mutating
+// handlers already wait on their own ticket, so for them the barrier
+// is a cheap re-check; the handlers it exists for are the OBSERVING
+// replies — reads, duplicate-suppression errors ("entry exists"),
+// absences — which would otherwise acknowledge state whose record is
+// still in flight. Without the fence, a client can hold a reply that a
+// crash-plus-failover contradicts: the canonical race is Enter's
+// reply lost, the retry answered "exists" off in-memory state, and the
+// machine killed before the original record reached the standby.
+func (k *Kernel) observed(h rpc.Handler) rpc.Handler {
+	if k.log == nil {
+		return h
+	}
+	return func(ctx context.Context, md rpc.Meta, req rpc.Request) rpc.Reply {
+		rep := h(ctx, md, req)
+		if err := k.log.Barrier(); err != nil {
+			return rpc.ErrReplyFromErr(err)
+		}
+		return rep
+	}
+}
+
+// serveTable wires the standard capability-maintenance opcodes with
+// every reply behind the durability barrier (a Validate or Restrict
+// observes table secrets whose re-key record may still be in flight),
+// and with revocation on a durable kernel written ahead to the log: a
+// re-key that survived only in memory would resurrect revoked
+// capabilities at the next restart.
 func (k *Kernel) serveTable() {
 	t := k.table
-	k.srv.ServeTableWithRevoke(t, func(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
+	k.srv.ServeTableWith(t, func(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
 		if k.log == nil {
 			nc, err := t.Revoke(req.Cap)
 			if err != nil {
@@ -137,7 +163,7 @@ func (k *Kernel) serveTable() {
 			return rpc.ErrReplyFromErr(aerr)
 		}
 		return rpc.CapReply(nc)
-	})
+	}, k.observed)
 }
 
 func revokeRecord(obj uint32, secret uint64) []byte {
@@ -148,8 +174,10 @@ func revokeRecord(obj uint32, secret uint64) []byte {
 	return rec
 }
 
-// Handle registers a handler for an opcode (before Start).
-func (k *Kernel) Handle(op uint16, h rpc.Handler) { k.srv.Handle(op, h) }
+// Handle registers a handler for an opcode (before Start). On a
+// durable kernel the handler's reply is guarded by the durability
+// barrier — see observed.
+func (k *Kernel) Handle(op uint16, h rpc.Handler) { k.srv.Handle(op, k.observed(h)) }
 
 // PutPort returns the public put-port P = F(G).
 func (k *Kernel) PutPort() cap.Port { return k.srv.PutPort() }
@@ -226,6 +254,119 @@ func (k *Kernel) Recover(apply func(rec []byte) error) error {
 		}
 		return apply(rec)
 	})
+}
+
+// AttachReplica begins hot-standby replication from this (durable,
+// primary) kernel: it quiesces the service, hands base the checkpoint
+// envelope of the still state together with the log sequence number the
+// next mutation will get, and — only if base succeeds — installs sink
+// as the log's commit sink before resuming. Every record with sequence
+// ≥ nextSeq is then delivered to sink in commit order, after its group
+// commit and before its ticket completes (see wal.Log.SetSink), so the
+// standby acknowledges a mutation before the client does.
+//
+// base typically ships the envelope to the standby (Receiver installs
+// it via ReplicaApply's checkpoint path); its error aborts the attach
+// with no sink installed.
+func (k *Kernel) AttachReplica(base func(snap []byte, nextSeq uint64) error, sink func([]wal.Record)) error {
+	if k.log == nil {
+		return errors.New("svc: volatile kernel cannot replicate")
+	}
+	resume := k.srv.Quiesce()
+	defer resume()
+	// Quiesced, every staged record has committed (handlers wait on
+	// their tickets before replying), so the envelope and NextSeq are a
+	// consistent cut.
+	if err := base(k.envelope(), k.log.NextSeq()); err != nil {
+		return err
+	}
+	k.log.SetSink(sink)
+	return nil
+}
+
+// DetachReplica stops delivering committed records to the replica sink.
+func (k *Kernel) DetachReplica() {
+	if k.log != nil {
+		k.log.SetSink(nil)
+	}
+}
+
+// Flush commits the log's staged records on the caller's goroutine
+// (see wal.Log.Flush); the replication receiver calls it once per ship
+// frame so its durable acknowledgement never waits out a committer
+// wake-up. No-op on a volatile kernel.
+func (k *Kernel) Flush() {
+	if k.log != nil {
+		k.log.Flush()
+	}
+}
+
+// NextSeq returns the log sequence the next mutation will get (0 on a
+// volatile kernel).
+func (k *Kernel) NextSeq() uint64 {
+	if k.log == nil {
+		return 0
+	}
+	return k.log.NextSeq()
+}
+
+// ReadFrom streams committed log records with sequence ≥ from (the
+// replica catch-up path; see wal.Log.ReadFrom).
+func (k *Kernel) ReadFrom(from uint64, fn func(wal.Record) error) error {
+	if k.log == nil {
+		return errors.New("svc: volatile kernel has no log")
+	}
+	return k.log.ReadFrom(from, fn)
+}
+
+// ReplicaApply applies one shipped record to a STANDBY kernel — a
+// durable kernel that has Recovered but not Started, whose state is
+// mutated only by its replication receiver. A data record is appended
+// to the standby's own log and then routed exactly as Recover routes a
+// replayed record (kernel revoke records re-key the table, service
+// records go to apply); the returned ticket commits it — the receiver
+// waits before acknowledging, so an acknowledged record survives a
+// crash of the standby itself. A checkpoint record replaces the whole
+// kernel state (table + service) and compacts the standby's log; it is
+// durable on return (nil ticket).
+//
+// The standby's log can be smaller than the stream: on ErrFull the
+// kernel checkpoints its own state to reclaim space and retries once.
+func (k *Kernel) ReplicaApply(r wal.Record, apply func(rec []byte) error) (*wal.Ticket, error) {
+	if k.log == nil {
+		return nil, errors.New("svc: volatile kernel cannot apply a replica stream")
+	}
+	if r.Checkpoint {
+		if err := k.restoreCheckpoint(r.Data); err != nil {
+			return nil, err
+		}
+		return nil, k.log.Checkpoint(r.Data)
+	}
+	t, err := k.log.Append(r.Data)
+	if errors.Is(err, wal.ErrFull) {
+		// The standby is quiet (its receiver serializes), so its own
+		// envelope is a consistent cut it can checkpoint behind.
+		if ckErr := k.log.Checkpoint(k.envelope()); ckErr != nil {
+			return nil, ckErr
+		}
+		t, err = k.log.Append(r.Data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Data) > 0 && r.Data[0] == RecKernel {
+		if len(r.Data) != 13 {
+			return nil, fmt.Errorf("svc: malformed kernel record (%d bytes)", len(r.Data))
+		}
+		k.table.ReplaceSecret(binary.BigEndian.Uint32(r.Data[1:]), binary.BigEndian.Uint64(r.Data[5:]))
+		return t, nil
+	}
+	if apply != nil {
+		if err := apply(r.Data); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 const ckMagic = 0xA0EB_C4EC

@@ -42,7 +42,26 @@ var (
 	ErrNotRecovered = errors.New("wal: Recover must run before Append")
 	// ErrCorrupt is returned for an unusable superblock.
 	ErrCorrupt = errors.New("wal: corrupt superblock")
+	// ErrSeqTruncated is returned by ReadFrom when the requested
+	// sequence number lies before the log's start pointer: a checkpoint
+	// reclaimed it, so a replica that far behind needs a fresh base
+	// snapshot, not a record stream.
+	ErrSeqTruncated = errors.New("wal: sequence reclaimed by a checkpoint")
 )
+
+// Record is one log record as seen by a replication sink or a ReadFrom
+// scan: the payload plus the metadata that orders and classifies it.
+type Record struct {
+	// Seq is the record's log sequence number (contiguous; gaps on the
+	// receiving side mean lost shipments).
+	Seq uint64
+	// Checkpoint marks a checkpoint snapshot record; Data is then the
+	// full state envelope, not a redo record.
+	Checkpoint bool
+	// Data is the record payload. Sink callbacks own it (it is copied
+	// out of the staging buffer).
+	Data []byte
+}
 
 const (
 	superMagic   = 0xA0EBA1A5_0000_0001
@@ -83,13 +102,33 @@ type Stats struct {
 type Ticket struct {
 	done chan struct{}
 	err  error
+	// flush, when set (replicated logs), lets the first waiter LEAD the
+	// commit on its own goroutine instead of waiting out the committer's
+	// wake-up — see Wait.
+	flush func()
 }
 
 // Wait blocks for the group commit. A nil ticket (from a volatile
 // kernel) returns immediately.
+//
+// On a replicated log the ticket's latency already contains a network
+// round trip (the batch ships to the standby before tickets complete),
+// so Wait runs the commit pass inline on the caller's goroutine when it
+// can claim it — leader-led group commit. The first waiter commits and
+// ships the whole staged batch; later waiters find nothing staged and
+// fall through to the channel. Batching is preserved (one sync and one
+// ship per batch, whoever leads), and two scheduler hand-offs leave the
+// acknowledgement path of every replicated operation.
 func (t *Ticket) Wait() error {
 	if t == nil {
 		return nil
+	}
+	if t.flush != nil {
+		select {
+		case <-t.done: // already committed
+		default:
+			t.flush()
+		}
 	}
 	<-t.done
 	return t.err
@@ -119,8 +158,14 @@ type Log struct {
 	ticket    *Ticket
 	signaled  bool // pressure sent since the last checkpoint
 	stats     Stats
+	sink      func(recs []Record) // commit sink (replication shipper)
+	pending   []Record            // staged-but-uncommitted sink records
 
 	ckMu sync.Mutex // serializes Checkpoint
+
+	// commitMu serializes commit passes: the committer goroutine and
+	// Flush callers never write the arena concurrently.
+	commitMu sync.Mutex
 
 	pressure chan struct{}
 	kick     chan struct{}
@@ -351,7 +396,13 @@ func (l *Log) Append(rec []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.kickCommitter()
+	// A flush-capable ticket's waiter leads the commit itself (see
+	// Ticket.Wait); kicking the committer too would only race it for
+	// commitMu and re-add the scheduler hop the lead exists to remove.
+	// The committer still covers stragglers at Close.
+	if t.flush == nil {
+		l.kickCommitter()
+	}
 	return t, nil
 }
 
@@ -392,8 +443,20 @@ func (l *Log) stage(kind byte, rec []byte) (*Ticket, uint64, uint64, error) {
 	l.head += frameLen
 	l.seq++
 	l.stats.Appends++
+	if l.sink != nil {
+		// The sink sees the record after its batch commits; copy now so
+		// the caller may reuse rec.
+		l.pending = append(l.pending, Record{
+			Seq:        seq,
+			Checkpoint: kind == kindCheckpoint,
+			Data:       append([]byte(nil), rec...),
+		})
+	}
 	if l.ticket == nil {
 		l.ticket = &Ticket{done: make(chan struct{})}
+		if l.sink != nil {
+			l.ticket.flush = l.Flush
+		}
 	}
 	if l.head-l.start > l.highWater {
 		l.signalPressure()
@@ -443,6 +506,8 @@ func (l *Log) committer() {
 }
 
 func (l *Log) commit() {
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
 	l.mu.Lock()
 	t := l.ticket
 	if l.abandoned {
@@ -476,16 +541,34 @@ func (l *Log) commit() {
 	l.ticket = nil
 	data := append([]byte(nil), l.buf...)
 	ds, nf := l.bufStart, l.head
+	ship, sink := l.pending, l.sink
+	l.pending = nil
 	l.mu.Unlock()
 
 	err := l.writeRange(ds, data)
 	if err == nil {
 		err = l.store.Sync()
 	}
+	// Ship the batch AFTER local durability and BEFORE waking its
+	// appenders: a handler's reply — sent after Ticket.Wait — then
+	// implies the record is on local stable storage AND acknowledged by
+	// the backup, which is what makes failover lossless. The sink rides
+	// the group commit (one call per batch), so replication adds no
+	// fsyncs on the primary.
+	if err == nil && sink != nil && len(ship) > 0 {
+		sink(ship)
+	}
+	l.finishCommit(t, err, nf)
+}
 
+// finishCommit records the commit's outcome and wakes the batch.
+func (l *Log) finishCommit(t *Ticket, err error, nf uint64) {
 	l.mu.Lock()
 	if err != nil {
-		l.ioErr = err
+		if l.ioErr == nil {
+			l.ioErr = err
+		}
+		l.pending = nil // a failed batch is never shipped (nor retried)
 	} else {
 		l.stats.Commits++
 		if nf > l.flushed {
@@ -569,6 +652,120 @@ func (l *Log) Checkpoint(snap []byte) error {
 	return nil
 }
 
+// SetSink installs fn as the log's commit sink: after every successful
+// group commit, the committer hands fn the batch's records — in stage
+// (= commit = replay) order, from the single committer goroutine, and
+// BEFORE the batch's tickets complete, so a handler that replies after
+// Ticket.Wait knows the sink has seen its record. Only records staged
+// after the sink is installed are delivered (a replica attaching
+// mid-life gets the earlier state from a base snapshot instead). A nil
+// fn detaches. The sink must not append to this log.
+func (l *Log) SetSink(fn func(recs []Record)) {
+	l.mu.Lock()
+	l.sink = fn
+	if fn == nil {
+		l.pending = nil
+	}
+	l.mu.Unlock()
+}
+
+// NextSeq returns the sequence number the next staged record will get.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// ReadFrom streams every committed record with sequence number ≥ from
+// to fn, in log order — the catch-up path for a replica that fell
+// behind. It scans stable storage only (staged-but-unsynced bytes are
+// invisible), and is safe to run concurrently with appends. A from
+// before the start pointer returns ErrSeqTruncated: those records were
+// reclaimed by a checkpoint and the replica needs a fresh base.
+func (l *Log) ReadFrom(from uint64, fn func(r Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.recovered {
+		l.mu.Unlock()
+		return ErrNotRecovered
+	}
+	off, seq, flushed := l.start, l.startSeq, l.flushed
+	l.mu.Unlock()
+	if from < seq {
+		return fmt.Errorf("%w: want %d, log starts at %d", ErrSeqTruncated, from, seq)
+	}
+	s := &scanner{l: l, block: ^uint32(0)}
+	for {
+		rec, kind, next, ok := s.frame(off, seq)
+		if !ok || next > flushed {
+			// Tail, or a frame not yet on stable storage: the scan is
+			// complete. Seq contiguity below `flushed` is guaranteed by
+			// the frame seq check itself (a gap reads as a stale frame
+			// and stops the scan), so a clean stop IS gap-free.
+			return nil
+		}
+		if seq >= from {
+			if err := fn(Record{Seq: seq, Checkpoint: kind == kindCheckpoint, Data: rec}); err != nil {
+				return err
+			}
+		}
+		off, seq = next, seq+1
+	}
+}
+
+// Barrier returns once every record staged BEFORE the call is on
+// stable storage and — on a replicated log — delivered to the commit
+// sink. It is the read-your-writes fence for replies that OBSERVE
+// state rather than mutate it: a duplicate-suppression error ("entry
+// exists"), a read, an absence. Such a reply acknowledges state whose
+// record may still be in flight; sending it early would let a client
+// learn state that a crash-plus-failover forgets. With no batch in
+// flight Barrier is two uncontended mutex hops.
+func (l *Log) Barrier() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	t := l.ticket
+	l.mu.Unlock()
+	if t != nil {
+		// The observed record is in this batch or an earlier one;
+		// commits are ordered, so this ticket covers it. Wait
+		// PASSIVELY — leading the commit here (Ticket.Wait's flush)
+		// would split group-commit batches early and charge observers
+		// an extra sync+ship; the batch's own appenders lead it, and
+		// every staged record has an appender about to Wait.
+		<-t.done
+		return t.err
+	}
+	// No pending ticket: the record's batch is either done or mid-pass
+	// (claimed); taking commitMu waits any in-flight pass out.
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioErr
+}
+
+// Flush runs a group-commit pass on the CALLER's goroutine instead of
+// waiting for the committer to wake: the staged batch (if any) is on
+// stable storage — and its tickets complete — before Flush returns.
+// The low-latency path for a single-writer caller like the replication
+// receiver, whose acknowledgement gates the primary's reply; under
+// concurrent appenders it simply becomes one more committer.
+func (l *Log) Flush() {
+	l.mu.Lock()
+	ok := l.recovered && !l.closed
+	l.mu.Unlock()
+	if ok {
+		l.commit()
+	}
+}
+
 // Pressure signals (at most once per checkpoint cycle) when the log
 // crosses its high-water mark; the kernel's checkpoint loop listens.
 func (l *Log) Pressure() <-chan struct{} { return l.pressure }
@@ -621,6 +818,15 @@ func (l *Log) Abandon() error {
 	l.mu.Unlock()
 	close(l.stop)
 	<-l.done
+	// Fence in-flight commit passes: a ticket waiter can LEAD a commit
+	// (Ticket.Wait's flush) and be mid-write when Abandon lands —
+	// draining the committer goroutine alone does not cover it. Taking
+	// commitMu waits any such pass out, so when Abandon returns no
+	// goroutine is writing the store (a Restart may reopen the disk
+	// immediately); a leader that had not yet passed the abandoned
+	// check drops its batch instead (see commit).
+	l.commitMu.Lock()
+	l.commitMu.Unlock() //nolint:staticcheck // empty critical section IS the fence
 	if t != nil {
 		t.err = ErrClosed
 		close(t.done)
