@@ -101,7 +101,15 @@ const (
 	StatusNoSuchOp      = rpc.StatusNoSuchOp
 	StatusServerError   = rpc.StatusServerError
 	StatusConflict      = rpc.StatusConflict
+	StatusOverload      = rpc.StatusOverload
 )
+
+// ErrOverload matches (via errors.Is) the error a call returns when
+// the server shed it at admission: the pool was saturated and the
+// request's deadline budget would not have survived the queue. The
+// client has already applied its budget-aware backoff/retry policy by
+// the time this surfaces — seeing it means the call truly did not run.
+var ErrOverload = rpc.ErrOverload
 
 // IsStatus reports whether err is an RPC status error with the given
 // status (e.g. IsStatus(err, StatusNoPermission)).

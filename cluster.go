@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/keymatrix"
 	"amoeba/internal/locate"
+	"amoeba/internal/obs"
 	"amoeba/internal/repl"
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/banksvr"
@@ -67,6 +70,15 @@ type ClusterConfig struct {
 	// service over to its standby with zero acknowledged operations
 	// lost. See EXPERIMENTS.md E19.
 	Replicate bool
+	// DebugAddr starts an HTTP debug listener serving /metrics
+	// (Prometheus text format), /debug/vars (expvar + JSON metrics),
+	// /debug/requests (the access-log ring) and /debug/pprof. Use
+	// "127.0.0.1:0" for an ephemeral port (see Cluster.DebugURL).
+	// Empty leaves the listener off; metrics are collected either way.
+	DebugAddr string
+	// AccessLogSize bounds the in-memory ring of recent request records
+	// (rounded up to a power of two; default 1024).
+	AccessLogSize int
 }
 
 // Cluster is a complete single-process Amoeba system on a simulated
@@ -96,6 +108,14 @@ type Cluster struct {
 
 	// matrix is non-nil when SealCapabilities is on.
 	matrix *keymatrix.Matrix
+
+	// Observability: one registry and one access-log ring for the whole
+	// cluster, shared by every service's ServerStats. Both are always
+	// on (pure atomics when nobody scrapes); debugURL is set only when
+	// ClusterConfig.DebugAddr started a listener.
+	reg      *obs.Registry
+	ring     *obs.Ring
+	debugURL string
 
 	closersMu sync.Mutex
 	closers   []func() error
@@ -212,6 +232,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
 	}
+	ringSize := cfg.AccessLogSize
+	if ringSize == 0 {
+		ringSize = 1024
+	}
+	cl.reg = obs.NewRegistry()
+	cl.ring = obs.NewRing(ringSize)
 	ok := false
 	defer func() {
 		if !ok {
@@ -235,6 +261,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.machines.Memory = memFB.Machine()
 	cl.memory = memsvr.New(memFB, scheme, src)
 	cl.memory.SetMaxInflight(cfg.MaxInflight)
+	cl.memory.SetObserver(cl.newStats("memory"))
 	cl.sealServer(memFB, cl.memory.SetSealer)
 	if err := cl.start(cl.memory.Start, cl.memory.Close); err != nil {
 		return nil, err
@@ -255,6 +282,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl.blocks.SetMaxInflight(cfg.MaxInflight)
+	cl.blocks.SetObserver(cl.newStats("blocks"))
 	cl.sealServer(blkFB, cl.blocks.SetSealer)
 	if err := cl.start(cl.blocks.Start, cl.blocks.Close); err != nil {
 		return nil, err
@@ -273,6 +301,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl.files.SetMaxInflight(cfg.MaxInflight)
+	cl.files.SetObserver(cl.newStats("files"))
 	cl.sealServer(fileFB, cl.files.SetSealer)
 	if err := cl.start(cl.files.Start, cl.files.Close); err != nil {
 		return nil, err
@@ -298,6 +327,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.machines.Versions = mvFB.Machine()
 	cl.multi = mvfs.New(mvFB, scheme, src)
 	cl.multi.SetMaxInflight(cfg.MaxInflight)
+	cl.multi.SetObserver(cl.newStats("versions"))
 	cl.sealServer(mvFB, cl.multi.SetSealer)
 	if err := cl.start(cl.multi.Start, cl.multi.Close); err != nil {
 		return nil, err
@@ -324,6 +354,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 
+	cl.registerGauges()
+	if cfg.DebugAddr != "" {
+		if err := cl.startDebugServer(cfg.DebugAddr); err != nil {
+			return nil, err
+		}
+	}
+
 	ok = true
 	return cl, nil
 }
@@ -335,6 +372,151 @@ const (
 	walBlockSize = 512
 )
 
+// newStats builds a service's request-metrics + access-log observer.
+// The registry is idempotent on (name, labels), so a restarted or
+// promoted incarnation under the same label continues the original
+// counters instead of resetting them.
+func (cl *Cluster) newStats(service string) *obs.ServerStats {
+	return obs.NewServerStats(cl.reg, cl.ring, service, rpc.StatusName)
+}
+
+// walMetrics builds a durable service's commit-path histograms. Like
+// newStats, re-building for a new incarnation lands on the same series.
+func (cl *Cluster) walMetrics(service string) *wal.Metrics {
+	return &wal.Metrics{
+		SyncLatency:  cl.reg.Histogram("amoeba_wal_sync_ns", obs.L("service", service), "write-ahead log group-commit latency (arena write + sync), nanoseconds"),
+		BatchRecords: cl.reg.Histogram("amoeba_wal_batch_records", obs.L("service", service), "records per write-ahead log group commit"),
+	}
+}
+
+// registerGauges wires the scrape-time gauges: queue depth and queue
+// wait per service, WAL occupancy and replication lag for the durable
+// pair. Gauge functions run only when someone exports the registry, so
+// they may take cl.mu to read through Kill/Restart/Promote swaps.
+func (cl *Cluster) registerGauges() {
+	type source struct {
+		name   string
+		kernel func() *svc.Kernel // nil while the service is down
+	}
+	static := func(k *svc.Kernel) func() *svc.Kernel {
+		return func() *svc.Kernel { return k }
+	}
+	sources := []source{
+		{"memory", static(cl.memory.Kernel)},
+		{"blocks", static(cl.blocks.Kernel)},
+		{"files", static(cl.files.Kernel)},
+		{"versions", static(cl.multi.Kernel)},
+		{"directory", func() *svc.Kernel {
+			cl.mu.Lock()
+			defer cl.mu.Unlock()
+			if cl.dirsDown || cl.dirs == nil {
+				return nil
+			}
+			return cl.dirs.Kernel
+		}},
+		{"bank", func() *svc.Kernel {
+			cl.mu.Lock()
+			defer cl.mu.Unlock()
+			if cl.bankDown || cl.bank == nil {
+				return nil
+			}
+			return cl.bank.Kernel
+		}},
+	}
+	for _, s := range sources {
+		kernel := s.kernel
+		labels := obs.L("service", s.name)
+		cl.reg.GaugeFunc("amoeba_queue_depth", labels, "requests queued for or occupying pool workers", func() float64 {
+			k := kernel()
+			if k == nil {
+				return 0
+			}
+			return float64(k.Inflight())
+		})
+		cl.reg.GaugeFunc("amoeba_queue_wait_ewma_ns", labels, "smoothed recent queue wait, nanoseconds", func() float64 {
+			k := kernel()
+			if k == nil {
+				return 0
+			}
+			return float64(k.QueueWaitEWMA())
+		})
+	}
+	for _, s := range sources[4:] { // the durable pair
+		kernel := s.kernel
+		labels := obs.L("service", s.name)
+		cl.reg.GaugeFunc("amoeba_wal_used_bytes", labels, "live write-ahead log bytes (head - start)", func() float64 {
+			k := kernel()
+			if k == nil {
+				return 0
+			}
+			return float64(k.LogStats().Used)
+		})
+		cl.reg.GaugeFunc("amoeba_wal_capacity_bytes", labels, "write-ahead log arena bytes usable before ErrFull", func() float64 {
+			k := kernel()
+			if k == nil {
+				return 0
+			}
+			return float64(k.LogStats().Capacity)
+		})
+	}
+	ships := []struct {
+		name string
+		ship func() *repl.Shipper
+	}{
+		{"directory", func() *repl.Shipper { cl.mu.Lock(); defer cl.mu.Unlock(); return cl.dirsShip }},
+		{"bank", func() *repl.Shipper { cl.mu.Lock(); defer cl.mu.Unlock(); return cl.bankShip }},
+	}
+	for _, s := range ships {
+		ship := s.ship
+		labels := obs.L("service", s.name)
+		cl.reg.GaugeFunc("amoeba_ship_lag_records", labels, "records committed locally but not yet acknowledged by the standby", func() float64 {
+			sh := ship()
+			if sh == nil {
+				return 0
+			}
+			return float64(sh.Lag())
+		})
+		cl.reg.GaugeFunc("amoeba_ship_lost", labels, "1 when the replication stream was written off (standby is stale)", func() float64 {
+			sh := ship()
+			if sh == nil || !sh.Lost() {
+				return 0
+			}
+			return 1
+		})
+	}
+}
+
+// startDebugServer exposes the registry, access log and pprof on
+// cfg.DebugAddr.
+func (cl *Cluster) startDebugServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("amoeba: debug listener: %w", err)
+	}
+	cl.debugURL = "http://" + ln.Addr().String()
+	srv := &http.Server{Handler: obs.Mux(cl.reg, cl.ring, rpc.StatusName)}
+	go srv.Serve(ln)
+	cl.addCloser(func() error {
+		if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	})
+	return nil
+}
+
+// Metrics returns the cluster-wide metric registry (counters, gauges
+// and latency histograms for every service). Always live, even with no
+// debug listener.
+func (cl *Cluster) Metrics() *obs.Registry { return cl.reg }
+
+// AccessLog returns the cluster-wide ring of recent request records.
+func (cl *Cluster) AccessLog() *obs.Ring { return cl.ring }
+
+// DebugURL returns the debug HTTP server's base URL ("http://host:port"),
+// or "" when ClusterConfig.DebugAddr was empty.
+func (cl *Cluster) DebugURL() string { return cl.debugURL }
+
 // startDirsvr boots a directory server incarnation over the cluster's
 // WAL disk; NewCluster and Restart share it.
 func (cl *Cluster) startDirsvr() error {
@@ -342,7 +524,7 @@ func (cl *Cluster) startDirsvr() error {
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(cl.dirsWAL, wal.Options{})
+	log, err := wal.Open(cl.dirsWAL, wal.Options{Metrics: cl.walMetrics("directory")})
 	if err != nil {
 		return err
 	}
@@ -352,6 +534,7 @@ func (cl *Cluster) startDirsvr() error {
 		return err
 	}
 	s.SetMaxInflight(cl.cfg.MaxInflight)
+	s.SetObserver(cl.newStats("directory"))
 	cl.sealServer(fb, s.SetSealer)
 	if err := cl.start(s.Start, s.Close); err != nil {
 		s.Close() // closes the log; a Restart retry reopens it
@@ -384,7 +567,7 @@ func (cl *Cluster) startBanksvr() error {
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(cl.bankWAL, wal.Options{})
+	log, err := wal.Open(cl.bankWAL, wal.Options{Metrics: cl.walMetrics("bank")})
 	if err != nil {
 		return err
 	}
@@ -394,6 +577,7 @@ func (cl *Cluster) startBanksvr() error {
 		return err
 	}
 	s.SetMaxInflight(cl.cfg.MaxInflight)
+	s.SetObserver(cl.newStats("bank"))
 	cl.sealServer(fb, s.SetSealer)
 	if err := cl.start(s.Start, s.Close); err != nil {
 		s.Close() // closes the log; a Restart retry reopens it
@@ -413,6 +597,7 @@ type durableCtl struct {
 	name    string
 	fb      *fbox.FBox
 	crash   func() error
+	drain   func() error
 	down    bool
 	setDown func(bool)
 	restart func() error
@@ -427,7 +612,8 @@ func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
 	switch m {
 	case cl.machines.Dirs:
 		return &durableCtl{
-			name: "directory", fb: cl.dirsFB, crash: cl.dirs.Crash, down: cl.dirsDown,
+			name: "directory", fb: cl.dirsFB, crash: cl.dirs.Crash, drain: cl.dirs.Drain,
+			down:    cl.dirsDown,
 			setDown: func(v bool) { cl.dirsDown = v }, restart: cl.startDirsvr,
 			ship: cl.dirsShip, backup: cl.dirsBackup,
 			clearBackup: func() { cl.dirsBackup, cl.dirsShip = nil, nil },
@@ -435,7 +621,8 @@ func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
 		}
 	case cl.machines.Bank:
 		return &durableCtl{
-			name: "bank", fb: cl.bankFB, crash: cl.bank.Crash, down: cl.bankDown,
+			name: "bank", fb: cl.bankFB, crash: cl.bank.Crash, drain: cl.bank.Drain,
+			down:    cl.bankDown,
 			setDown: func(v bool) { cl.bankDown = v }, restart: cl.startBanksvr,
 			ship: cl.bankShip, backup: cl.bankBackup,
 			clearBackup: func() { cl.bankBackup, cl.bankShip = nil, nil },
@@ -470,6 +657,11 @@ func (cl *Cluster) attachDirsBackup() error {
 				return nil, nil, nil, err
 			}
 			s.SetMaxInflight(cl.cfg.MaxInflight)
+			// Same service label as the primary: the registry is
+			// idempotent, so after promotion the successor keeps
+			// accumulating into the SAME counters — no series break at
+			// failover.
+			s.SetObserver(cl.newStats("directory"))
 			cl.sealServer(fb, s.SetSealer)
 			return s, s.Kernel, s.ReplayFn(), nil
 		},
@@ -500,6 +692,7 @@ func (cl *Cluster) attachBankBackup() error {
 				return nil, nil, nil, err
 			}
 			s.SetMaxInflight(cl.cfg.MaxInflight)
+			s.SetObserver(cl.newStats("bank")) // same label as the primary; see attachDirsBackup
 			cl.sealServer(fb, s.SetSealer)
 			return s, s.Kernel, s.ReplayFn(), nil
 		},
@@ -547,7 +740,7 @@ func (cl *Cluster) attachBackup(
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(disk, wal.Options{})
+	log, err := wal.Open(disk, wal.Options{Metrics: cl.walMetrics(name)})
 	if err != nil {
 		return err
 	}
@@ -712,6 +905,73 @@ func (cl *Cluster) Promote(m amnet.MachineID) error {
 		return err
 	}
 	return nil
+}
+
+// Drain gracefully retires the durable service hosted on machine m —
+// the planned-maintenance counterpart of Kill. The transport stops
+// admitting (new requests are refused with rpc.StatusOverload, which
+// clients retry with backoff), every in-flight handler finishes,
+// commits, ships to the standby and REPLIES over a NIC that is still
+// up; then the final checkpoint runs and the log closes. Only after
+// the state is cold do the shipper and the NIC go away.
+//
+// With a hot standby attached the drain is a zero-downtime handoff:
+// the standby holds every acknowledged operation (shipping is
+// synchronous), so it immediately takes over the put-port from its own
+// machine. Without one, the service stays down until Restart — which
+// recovers from the drained WAL, whose final checkpoint makes that
+// restart cheap.
+func (cl *Cluster) Drain(m amnet.MachineID) error {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	cl.mu.Lock()
+	c := cl.durableCtlLocked(m)
+	if c == nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: machine %v does not host a drainable (durable) service", m)
+	}
+	if c.down {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: %s server already down", c.name)
+	}
+	c.setDown(true)
+	st, ship := c.backup, c.ship
+	c.clearBackup()
+	cl.mu.Unlock()
+
+	// The reverse of Kill's order: the kernel drains FIRST, while the
+	// NIC still carries replies and the shipper still carries commits —
+	// in-flight work ends acknowledged on both disks, not severed.
+	err := c.drain()
+	if ship != nil {
+		ship.Stop()
+	}
+	if cErr := c.fb.Close(); err == nil {
+		err = cErr
+	}
+	if st == nil {
+		return err
+	}
+	// Handoff. The drained machine's log is complete up to this instant,
+	// but the successor diverges from its first acknowledged op on — so
+	// the old machine is barred from ever re-registering the put-port,
+	// exactly as after Promote.
+	cl.mu.Lock()
+	cl.promoted[m] = c.name
+	cl.mu.Unlock()
+	if pErr := st.promote(); pErr != nil {
+		// Nothing took the port; un-retire the machine (its disk is
+		// still authoritative) and discard the broken standby. The
+		// service stays down until Restart.
+		_ = st.discard()
+		cl.mu.Lock()
+		delete(cl.promoted, m)
+		cl.mu.Unlock()
+		if err == nil {
+			err = pErr
+		}
+	}
+	return err
 }
 
 // Kill crashes the service hosted on machine m: the NIC drops off the

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,6 +32,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/locate"
+	"amoeba/internal/obs"
 	"amoeba/internal/rpc"
 	"amoeba/internal/server/banksvr"
 	"amoeba/internal/server/blocksvr"
@@ -37,6 +40,7 @@ import (
 	"amoeba/internal/server/flatfs"
 	"amoeba/internal/server/memsvr"
 	"amoeba/internal/server/mvfs"
+	"amoeba/internal/svc"
 	"amoeba/internal/vdisk"
 )
 
@@ -50,6 +54,7 @@ var (
 	blockSize  = flag.Int("block-size", 1024, "block server: block size in bytes")
 	diskPath   = flag.String("disk-path", "", "block server: file-backed persistent disk (default in-memory)")
 	statePath  = flag.String("state-path", "", "block server: capability-table snapshot file; with -disk-path and -seed, previously issued block capabilities survive restarts")
+	debugAddr  = flag.String("debug-addr", "", "HTTP debug listener serving /metrics, /debug/vars, /debug/requests and /debug/pprof (empty = off)")
 )
 
 func main() {
@@ -77,6 +82,9 @@ func main() {
 	defer fb.Close()
 	log.Printf("machine %d listening on %s (scheme %v)", *machine, nic.Addr(), cap.SchemeID(*schemeFlag))
 
+	metrics := obs.NewRegistry()
+	ring := obs.NewRing(1024)
+
 	var closers []func() error
 	startSvc := func(name string, put cap.Port, start func() error, close func() error) {
 		if err := start(); err != nil {
@@ -85,12 +93,26 @@ func main() {
 		closers = append(closers, close)
 		fmt.Printf("%s\t%s\n", name, put)
 	}
+	// observe wires a service's request metrics, access-log records and
+	// queue gauges into this daemon's registry (call before startSvc —
+	// the observer must be set before the server starts).
+	observe := func(name string, k *svc.Kernel) {
+		k.SetObserver(obs.NewServerStats(metrics, ring, name, rpc.StatusName))
+		labels := obs.L("service", name)
+		metrics.GaugeFunc("amoeba_queue_depth", labels, "requests queued for or occupying pool workers", func() float64 {
+			return float64(k.Inflight())
+		})
+		metrics.GaugeFunc("amoeba_queue_wait_ewma_ns", labels, "smoothed recent queue wait, nanoseconds", func() float64 {
+			return float64(k.QueueWaitEWMA())
+		})
+	}
 
 	var blockPort cap.Port
 	for _, svc := range strings.Split(*services, ",") {
 		switch strings.TrimSpace(svc) {
 		case "mem":
 			s := memsvr.New(fb, scheme, src)
+			observe("mem", s.Kernel)
 			startSvc("mem", s.PutPort(), s.Start, s.Close)
 		case "block":
 			var disk vdisk.Store
@@ -126,6 +148,7 @@ func main() {
 				})
 			}
 			blockPort = s.PutPort()
+			observe("block", s.Kernel)
 			startSvc("block", s.PutPort(), s.Start, s.Close)
 		case "file":
 			// The file server needs a block server; find one via
@@ -140,12 +163,15 @@ func main() {
 			if err != nil {
 				log.Fatalf("amoebad: %v", err)
 			}
+			observe("file", s.Kernel)
 			startSvc("file", s.PutPort(), s.Start, s.Close)
 		case "dir":
 			s := dirsvr.New(fb, scheme, src)
+			observe("dir", s.Kernel)
 			startSvc("dir", s.PutPort(), s.Start, s.Close)
 		case "mv":
 			s := mvfs.New(fb, scheme, src)
+			observe("mv", s.Kernel)
 			startSvc("mv", s.PutPort(), s.Start, s.Close)
 		case "bank":
 			s := banksvr.New(fb, scheme, src, banksvr.Config{
@@ -155,11 +181,23 @@ func main() {
 					{"franc", "dollar"}: {Num: 1, Den: 5},
 				},
 			})
+			observe("bank", s.Kernel)
 			startSvc("bank", s.PutPort(), s.Start, s.Close)
 		case "":
 		default:
 			log.Fatalf("amoebad: unknown service %q", svc)
 		}
+	}
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("amoebad: debug listener: %v", err)
+		}
+		srv := &http.Server{Handler: obs.Mux(metrics, ring, rpc.StatusName)}
+		go srv.Serve(ln)
+		closers = append(closers, srv.Close)
+		log.Printf("debug http on http://%s", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,73 @@
+// Debug HTTP surface: one mux serving the Prometheus text endpoint,
+// an expvar-style JSON view, the ring access-log dump, and the
+// standard pprof handlers. The listener is optional everywhere — a
+// Cluster or daemon without a debug address pays nothing.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Mux builds the debug handler tree:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/vars       JSON: process expvars merged with reg
+//	/debug/requests   ring access log, newest first (?n=limit)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// ring and statusName may be nil (the requests endpoint then serves
+// an empty array / hex statuses).
+func Mux(reg *Registry, ring *Ring, statusName func(uint16) string) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n\"process\": {")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+		})
+		fmt.Fprintf(w, "\n},\n\"metrics\": ")
+		reg.WriteJSON(w)
+		fmt.Fprintf(w, "\n}\n")
+	})
+
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		n := 0 // 0 = everything in the ring
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if ring == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		ring.WriteJSON(w, n, statusName)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

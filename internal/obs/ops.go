@@ -1,0 +1,57 @@
+// The opcode→name table. Every service used to carry its own implicit
+// opcode naming (a comment next to the const block); metrics labels
+// and access-log dumps need the real thing, and they need to agree
+// with each other and with the wire. So there is exactly one table:
+// each package registers its const block here from init(), and a
+// conflicting re-registration (two packages claiming the same opcode
+// with different names) panics at process start — label drift becomes
+// a startup crash instead of a silent lie on a dashboard.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+var opTable = struct {
+	sync.RWMutex
+	names map[uint16]string
+}{names: make(map[uint16]string)}
+
+// RegisterOps records wire opcode names. Idempotent for identical
+// mappings; panics if an opcode is re-registered under a different
+// name (that is the drift this table exists to prevent).
+func RegisterOps(ops map[uint16]string) {
+	opTable.Lock()
+	defer opTable.Unlock()
+	for op, name := range ops {
+		if prev, ok := opTable.names[op]; ok && prev != name {
+			panic(fmt.Sprintf("obs: opcode %#04x registered as both %q and %q", op, prev, name))
+		}
+		opTable.names[op] = name
+	}
+}
+
+// OpName resolves a wire opcode to its registered name, or a hex
+// rendering for unregistered opcodes. Export-path only.
+func OpName(op uint16) string {
+	opTable.RLock()
+	name, ok := opTable.names[op]
+	opTable.RUnlock()
+	if ok {
+		return name
+	}
+	return fmt.Sprintf("op_%04x", op)
+}
+
+// OpNames returns a copy of the full table (for tests and for
+// freezing per-server metric maps at start).
+func OpNames() map[uint16]string {
+	opTable.RLock()
+	defer opTable.RUnlock()
+	out := make(map[uint16]string, len(opTable.names))
+	for op, name := range opTable.names {
+		out[op] = name
+	}
+	return out
+}

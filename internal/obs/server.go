@@ -1,0 +1,152 @@
+// Per-server instrumentation handle. An rpc.Server carries at most
+// one *ServerStats; the hot path calls Observe (admitted request) or
+// ObserveShed (refused request) with numbers it already has on the
+// stack. Everything name-shaped — service label, opcode label, status
+// label — was resolved at registration time, so the per-request cost
+// is a frozen-map read plus a handful of atomic adds.
+package obs
+
+import (
+	"time"
+)
+
+// MaxStatuses bounds the per-opcode status counter array. Wire
+// statuses are small integers; anything past the bound lands in the
+// last slot rather than out of bounds.
+const MaxStatuses = 16
+
+// OpStats is the per-opcode slice of a server's metrics: one
+// requests_total counter per status.
+type OpStats struct {
+	status [MaxStatuses]*Counter
+}
+
+// ServerStats instruments one rpc.Server. Build with NewServerStats,
+// then Freeze with the server's opcode set before serving; Observe
+// and ObserveShed are then lock-free and allocation-free.
+type ServerStats struct {
+	service string
+	svcIdx  uint16
+	ring    *Ring
+	reg     *Registry
+
+	// statusName renders a wire status for labels; supplied by the
+	// rpc layer so obs stays a leaf package.
+	statusName func(uint16) string
+
+	// ops is written only by Freeze, before the server starts; the
+	// hot path reads it without a lock.
+	ops      map[uint16]*OpStats
+	fallback *OpStats // unregistered opcodes (should not happen)
+
+	queueWait *Histogram
+	handle    *Histogram
+	shed      *Counter
+}
+
+// NewServerStats registers the per-service metric families on reg and
+// interns the service name in the ring (ring may be nil to skip the
+// access log). statusName renders wire statuses for labels.
+func NewServerStats(reg *Registry, ring *Ring, service string, statusName func(uint16) string) *ServerStats {
+	s := &ServerStats{
+		service:    service,
+		reg:        reg,
+		ring:       ring,
+		statusName: statusName,
+		ops:        make(map[uint16]*OpStats),
+	}
+	if ring != nil {
+		s.svcIdx = ring.RegisterService(service)
+	}
+	labels := L("service", service)
+	s.queueWait = reg.Histogram("amoeba_request_queue_wait_ns", labels,
+		"Time a request spent queued before a worker picked it up, in nanoseconds.")
+	s.handle = reg.Histogram("amoeba_request_handle_ns", labels,
+		"Time the handler spent on a request, in nanoseconds.")
+	s.shed = reg.Counter("amoeba_shed_total", labels,
+		"Requests refused by deadline-aware admission control before touching the worker pool.")
+	s.fallback = s.opStats(0)
+	return s
+}
+
+// Service returns the service label.
+func (s *ServerStats) Service() string { return s.service }
+
+// opStats registers the per-status counters for one opcode.
+func (s *ServerStats) opStats(op uint16) *OpStats {
+	o := &OpStats{}
+	opLabel := OpName(op)
+	if op == 0 {
+		opLabel = "unknown"
+	}
+	for st := 0; st < MaxStatuses; st++ {
+		name := s.statusLabel(uint16(st))
+		o.status[st] = s.reg.Counter("amoeba_requests_total",
+			L("service", s.service, "op", opLabel, "status", name),
+			"Requests completed (or shed), by service, opcode and wire status.")
+	}
+	return o
+}
+
+func (s *ServerStats) statusLabel(st uint16) string {
+	if s.statusName != nil {
+		return s.statusName(st)
+	}
+	return OpName(st) // hex fallback keeps labels unique
+}
+
+// Freeze registers per-opcode counters for the server's opcode set.
+// Must be called before the server starts serving; after Freeze the
+// ops map is read-only and the hot path reads it lock-free.
+func (s *ServerStats) Freeze(opcodes []uint16) {
+	for _, op := range opcodes {
+		if _, ok := s.ops[op]; !ok {
+			s.ops[op] = s.opStats(op)
+		}
+	}
+}
+
+func (s *ServerStats) lookup(op uint16) *OpStats {
+	if o, ok := s.ops[op]; ok {
+		return o
+	}
+	return s.fallback
+}
+
+// Observe records one admitted request: status counter, queue-wait
+// and handler-time histograms, and an access-log record.
+func (s *ServerStats) Observe(op uint16, reqID uint64, from uint32, status uint16, queueWait, handle time.Duration) {
+	st := status
+	if st >= MaxStatuses {
+		st = MaxStatuses - 1
+	}
+	s.lookup(op).status[st].Inc()
+	s.queueWait.ObserveDuration(queueWait)
+	s.handle.ObserveDuration(handle)
+	if s.ring != nil {
+		s.ring.Push(s.svcIdx, reqID, op, status, from, queueWait, handle, false)
+	}
+}
+
+// ObserveShed records one refused request: the shed counter, the
+// status counter (the overload status), and an access-log record
+// flagged as shed. queueWait carries the EWMA estimate that triggered
+// the refusal, so the log shows WHY the request was turned away.
+func (s *ServerStats) ObserveShed(op uint16, reqID uint64, from uint32, status uint16, queueWait time.Duration) {
+	s.shed.Inc()
+	st := status
+	if st >= MaxStatuses {
+		st = MaxStatuses - 1
+	}
+	s.lookup(op).status[st].Inc()
+	if s.ring != nil {
+		s.ring.Push(s.svcIdx, reqID, op, status, from, queueWait, 0, true)
+	}
+}
+
+// ShedCount returns the shed counter (for tests and gauges).
+func (s *ServerStats) ShedCount() uint64 { return s.shed.Value() }
+
+// StatusName renders a wire status with the namer the stats were
+// built with (used by the ring dump so log labels match metric ones).
+func (s *ServerStats) StatusName(st uint16) string { return s.statusLabel(st) }

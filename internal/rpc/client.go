@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amoeba/internal/amnet"
@@ -114,11 +115,48 @@ type Client struct {
 	fb  *fbox.FBox
 	res *locate.Resolver
 	cfg ClientConfig
+	// reqID mints wire request identifiers: seeded with process
+	// randomness in the high bits so IDs from different client
+	// processes don't collide in a merged access log, incremented per
+	// transaction.
+	reqID atomic.Uint64
 }
 
 // NewClient builds a client over fb, resolving ports with res.
 func NewClient(fb *fbox.FBox, res *locate.Resolver, cfg ClientConfig) *Client {
-	return &Client{fb: fb, res: res, cfg: cfg.withDefaults()}
+	c := &Client{fb: fb, res: res, cfg: cfg.withDefaults()}
+	c.reqID.Store(crypto.Rand48(c.cfg.Source) << 16)
+	return c
+}
+
+// reqIDCtxKey carries a request ID through a handler's context so
+// nested RPC reuses the originating request's identifier.
+type reqIDCtxKey struct{}
+
+// ContextWithRequestID tags ctx with a wire request ID. The rpc server
+// does this for every budgeted request it dispatches; clients inside
+// handlers then mint nothing and the whole call tree shares one ID.
+func ContextWithRequestID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, reqIDCtxKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID riding ctx (0 if none).
+func RequestIDFromContext(ctx context.Context) uint64 {
+	id, _ := ctx.Value(reqIDCtxKey{}).(uint64)
+	return id
+}
+
+// requestID picks the wire ID for a transaction: the explicit one if
+// the caller set it, the originating request's if we are inside a
+// handler, a freshly minted one otherwise.
+func (c *Client) requestID(ctx context.Context, explicit uint64) uint64 {
+	if explicit != 0 {
+		return explicit
+	}
+	if id := RequestIDFromContext(ctx); id != 0 {
+		return id
+	}
+	return c.reqID.Add(1)
 }
 
 // Resolver exposes the client's locate cache (for seeding and stats).
@@ -163,6 +201,7 @@ func (c *Client) encodeRequest(ctx context.Context, req Request, machine amnet.M
 		return nil, fmt.Errorf("rpc: sealing capability: %w", err)
 	}
 	sealed.Budget = remainingBudget(ctx)
+	sealed.ID = c.requestID(ctx, req.ID)
 	size := reqHeader + len(sealed.Data)
 	for _, p := range parts {
 		size += len(p)
@@ -214,7 +253,31 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 		}
 		rep, err := c.attempt(ctx, machine, dest, payload, o)
 		if err == nil {
-			return rep, machine, nil
+			if rep.Status != StatusOverload || attempt >= o.retries {
+				return rep, machine, nil
+			}
+			// The server shed the request before executing it, so a
+			// retry is always safe — but only worth the wire time if
+			// the caller's deadline can still be met. When the budget
+			// is nearly gone, hand the shed reply back instead of
+			// burning the last of the deadline on backoff.
+			d := overloadBackoff(o.backoff, attempt)
+			if dl, ok := ctx.Deadline(); ok {
+				left := time.Until(dl)
+				if left <= minOverloadRetryBudget {
+					return rep, machine, nil
+				}
+				if d > left/4 {
+					d = left / 4
+				}
+			}
+			lastErr = &StatusError{Status: StatusOverload, Detail: string(rep.Data)}
+			if d > 0 {
+				if serr := sleepCtx(ctx, d); serr != nil {
+					return rep, machine, nil // deadline hit mid-backoff
+				}
+			}
+			continue
 		}
 		lastErr = err
 		if errors.Is(err, ErrTimeout) || errors.Is(err, amnet.ErrNoRoute) {
@@ -257,6 +320,9 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 	}
 	rep, machine, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) (*wire.Buf, error) {
 		budget := remainingBudget(ctx)
+		// One wire ID for the frame and every item in it: the batch is
+		// one logical request as far as correlation goes.
+		id := c.requestID(ctx, 0)
 		size := 0
 		for _, r := range reqs {
 			size += reqHeader + len(r.Data)
@@ -269,7 +335,7 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 		// intermediate per-item slices.
 		dataLen := 2 + size + 4*len(reqs)
 		b := wire.Get(wire.DefaultHeadroom, reqHeader+dataLen)
-		appendRequestHeader(b, OpBatch, cap.Nil, budget, dataLen)
+		appendRequestHeader(b, OpBatch, cap.Nil, budget, id, dataLen)
 		appendBatchCount(b, len(reqs))
 		for i, r := range reqs {
 			sealed, err := sealRequestCap(c.cfg.Sealer, r, machine)
@@ -278,6 +344,7 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 				return nil, fmt.Errorf("rpc: sealing batch item %d: %w", i, err)
 			}
 			sealed.Budget = budget
+			sealed.ID = id
 			appendBatchItemHeader(b, reqHeader+len(sealed.Data))
 			appendRequest(b, sealed)
 		}
@@ -309,6 +376,26 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 		out[i] = sub
 	}
 	return out, nil
+}
+
+// minOverloadRetryBudget is the deadline budget below which a shed
+// reply is returned rather than retried: too little time remains for a
+// retry to plausibly queue, execute and reply.
+const minOverloadRetryBudget = 2 * time.Millisecond
+
+// overloadBackoff is the pause before retrying a shed request:
+// exponential from the configured backoff (or a small default), capped
+// so a burst of sheds converges on a spread-out retry pattern instead
+// of a synchronized stampede back into the queue.
+func overloadBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
 }
 
 // remainingBudget converts a context deadline into the wire budget: the

@@ -49,6 +49,7 @@ import (
 
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
+	"amoeba/internal/obs"
 	"amoeba/internal/wire"
 )
 
@@ -76,6 +77,12 @@ const (
 	// where the server stands (the replication channel uses it for
 	// sequence gaps).
 	StatusConflict
+	// StatusOverload means admission control refused the request before
+	// it touched the worker pool: either its remaining deadline budget
+	// could not survive the current queue wait, or the server is
+	// draining. The work was NOT executed — retrying (elsewhere, or
+	// after backoff) is always safe. Clients surface it as ErrOverload.
+	StatusOverload
 )
 
 // String renders the status.
@@ -95,6 +102,8 @@ func (s Status) String() string {
 		return "server error"
 	case StatusConflict:
 		return "conflict"
+	case StatusOverload:
+		return "overload"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -107,6 +116,11 @@ func (s Status) Err() error {
 	}
 	return &StatusError{Status: s}
 }
+
+// ErrOverload is the typed face of StatusOverload: admission control
+// shed the request before executing it. Test with errors.Is; the
+// match works through the *StatusError the client returns.
+var ErrOverload = errors.New("rpc: overloaded (request shed before execution)")
 
 // StatusError wraps a non-OK Status as a Go error.
 type StatusError struct {
@@ -121,6 +135,12 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("rpc: %s: %s", e.Status, e.Detail)
 	}
 	return "rpc: " + e.Status.String()
+}
+
+// Is maps overload statuses onto ErrOverload so callers can write
+// errors.Is(err, rpc.ErrOverload) without fishing out the status.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrOverload && e.Status == StatusOverload
 }
 
 // IsStatus reports whether err is a StatusError with the given status.
@@ -150,6 +170,13 @@ type Request struct {
 	Cap cap.Capability
 	// Op is the operation code; its meaning is private to the server.
 	Op uint16
+	// ID is the client-minted request identifier riding the wire
+	// header so one logical request can be correlated across machines
+	// (access logs, metrics, nested calls). The transport mints one
+	// when it is zero — and reuses the originating request's ID for
+	// nested RPC issued from inside a handler — so application code
+	// never sets it.
+	ID uint64
 	// Budget is the time remaining until the caller's deadline, set by
 	// the transport from the call's context (0 = no deadline). It is
 	// carried on the wire with millisecond resolution so a handler that
@@ -244,6 +271,22 @@ const (
 	OpBatch uint16 = 0xfff3
 )
 
+func init() {
+	// The standard opcodes name themselves in the shared obs table, the
+	// one source metrics labels and access-log dumps both read.
+	obs.RegisterOps(map[uint16]string{
+		OpRestrict: "restrict",
+		OpRevoke:   "revoke",
+		OpValidate: "validate",
+		OpBatch:    "batch",
+		OpEcho:     "echo",
+	})
+}
+
+// StatusName renders a wire status value for metric and log labels —
+// the func(uint16) obs wants, so obs itself stays below rpc.
+func StatusName(st uint16) string { return Status(st).String() }
+
 // MaxBatchItems bounds the sub-requests in one batch (the wire count
 // is 16-bit; the practical bound is the network MTU anyway).
 const MaxBatchItems = 1 << 12
@@ -314,10 +357,10 @@ func DecodeBatchItems(buf []byte) ([][]byte, error) {
 	return items, nil
 }
 
-// Wire formats. Request: op(2) cap(16) budget(4, ms) dlen(4) data.
-// Reply: status(2) cap(16) dlen(4) data.
+// Wire formats. Request: op(2) cap(16) budget(4, ms) rid(8) dlen(4)
+// data. Reply: status(2) cap(16) dlen(4) data.
 const (
-	reqHeader  = 2 + cap.Size + 4 + 4
+	reqHeader  = 2 + cap.Size + 4 + 8 + 4
 	wireHeader = 2 + cap.Size + 4 // reply header
 )
 
@@ -350,6 +393,9 @@ func EncodeRequest(req Request) []byte {
 	var bd [4]byte
 	binary.BigEndian.PutUint32(bd[:], budgetToWire(req.Budget))
 	buf = append(buf, bd[:]...)
+	var rid [8]byte
+	binary.BigEndian.PutUint64(rid[:], req.ID)
+	buf = append(buf, rid[:]...)
 	var dl [4]byte
 	binary.BigEndian.PutUint32(dl[:], uint32(len(req.Data)))
 	buf = append(buf, dl[:]...)
@@ -365,7 +411,7 @@ func appendRequest(b *wire.Buf, req Request, parts ...[]byte) {
 	for _, p := range parts {
 		dataLen += len(p)
 	}
-	appendRequestHeader(b, req.Op, req.Cap, req.Budget, dataLen)
+	appendRequestHeader(b, req.Op, req.Cap, req.Budget, req.ID, dataLen)
 	b.AppendBytes(req.Data)
 	for _, p := range parts {
 		b.AppendBytes(p)
@@ -374,13 +420,14 @@ func appendRequest(b *wire.Buf, req Request, parts ...[]byte) {
 
 // appendRequestHeader writes just the fixed request header; the caller
 // appends exactly dataLen bytes of request data after it.
-func appendRequestHeader(b *wire.Buf, op uint16, c cap.Capability, budget time.Duration, dataLen int) {
+func appendRequestHeader(b *wire.Buf, op uint16, c cap.Capability, budget time.Duration, id uint64, dataLen int) {
 	hdr := b.Extend(reqHeader)
 	binary.BigEndian.PutUint16(hdr[0:2], op)
 	w := c.Encode()
 	copy(hdr[2:2+cap.Size], w[:])
 	binary.BigEndian.PutUint32(hdr[2+cap.Size:], budgetToWire(budget))
-	binary.BigEndian.PutUint32(hdr[2+cap.Size+4:], uint32(dataLen))
+	binary.BigEndian.PutUint64(hdr[2+cap.Size+4:], id)
+	binary.BigEndian.PutUint32(hdr[2+cap.Size+4+8:], uint32(dataLen))
 }
 
 // DecodeRequest parses a request payload.
@@ -394,11 +441,12 @@ func DecodeRequest(buf []byte) (Request, error) {
 		return Request{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
 	budget := time.Duration(binary.BigEndian.Uint32(buf[2+cap.Size:2+cap.Size+4])) * time.Millisecond
-	n := binary.BigEndian.Uint32(buf[2+cap.Size+4 : reqHeader])
+	id := binary.BigEndian.Uint64(buf[2+cap.Size+4 : 2+cap.Size+4+8])
+	n := binary.BigEndian.Uint32(buf[2+cap.Size+4+8 : reqHeader])
 	if uint32(len(buf)-reqHeader) != n {
 		return Request{}, fmt.Errorf("%w: data length %d, have %d", ErrBadMessage, n, len(buf)-reqHeader)
 	}
-	return Request{Cap: c, Op: op, Budget: budget, Data: buf[reqHeader:]}, nil
+	return Request{Cap: c, Op: op, Budget: budget, ID: id, Data: buf[reqHeader:]}, nil
 }
 
 // EncodeReply serializes a reply for the F-box payload into a fresh

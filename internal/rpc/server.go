@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
+	"amoeba/internal/obs"
 	"amoeba/internal/wire"
 )
 
@@ -33,6 +36,10 @@ type Meta struct {
 	// Sig is the F-transformed signature F(S) of the request, or zero
 	// if unsigned; compare with a published value via fbox.VerifySignature.
 	Sig cap.Port
+	// ReqID is the client-minted request identifier from the wire
+	// header (zero for legacy callers); it ties this request to access
+	// log records on every machine it touched.
+	ReqID uint64
 }
 
 // baseCtxKey lets WithoutDeadline recover the server's base context
@@ -118,6 +125,20 @@ type Server struct {
 	tasks   sync.WaitGroup // accepted requests in flight
 	loopWG  sync.WaitGroup // the dispatch loop
 	workers sync.WaitGroup // pool workers
+
+	// stats, when set before Start, observes every admitted and shed
+	// request (SetObserver). Frozen at Start like the handlers.
+	stats *obs.ServerStats
+
+	// Admission-control state, all read lock-free on the dispatch path:
+	// poolSize mirrors maxInflight for readers outside mu; inflight
+	// counts requests handed to (or queued for) the pool; ewmaWait is
+	// an EWMA of recent queue waits in nanoseconds (α = 1/8, updated at
+	// worker pickup); draining sheds everything once set.
+	poolSize atomic.Int64
+	inflight atomic.Int64
+	ewmaWait atomic.Int64
+	draining atomic.Bool
 }
 
 // job is one unit of worker-pool work: either a decoded request (the
@@ -127,6 +148,7 @@ type job struct {
 	fn  func() // batch fan-out; nil for ordinary requests
 	m   fbox.Received
 	req Request
+	enq time.Time // when dispatch queued it (feeds the queue-wait EWMA)
 }
 
 // NewServer creates a server with a fresh secret get-port drawn from
@@ -158,28 +180,58 @@ func NewServerWithConfig(fb *fbox.FBox, cfg ServerConfig) *Server {
 	if n <= 0 {
 		n = DefaultMaxInflight()
 	}
-	return &Server{
+	s := &Server{
 		fb:          fb,
 		get:         g,
 		maxInflight: n,
 		handlers:    make(map[uint16]Handler),
 	}
+	s.poolSize.Store(int64(n))
+	return s
 }
 
 // MaxInflight returns the worker-pool size.
-func (s *Server) MaxInflight() int { return s.maxInflight }
+func (s *Server) MaxInflight() int { return int(s.poolSize.Load()) }
 
 // SetMaxInflight resizes the worker pool (n <= 0 keeps the current
-// size). Call before Start; like Handle and SetSealer it panics
-// afterwards.
+// size). Before Start it simply records the size. After Start it
+// resizes LIVE: the server quiesces (every in-flight handler
+// finishes), the old workers are told to retire, and n fresh workers
+// take over the same work channel — so an operator (or an admission
+// controller) can grow or shrink concurrency under load without
+// restarting the service. Requests arriving during the resize queue
+// behind the quiesce gate exactly as they do for a checkpoint.
 func (s *Server) SetMaxInflight(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.maxInflight = n
+		s.poolSize.Store(int64(n))
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// Live resize. The quiesce gate is the barrier: once held, no
+	// handler is mid-flight, so every live worker is either idle in its
+	// select or parked on the gate with a claimed job — both exit (or
+	// proceed and then exit) cleanly when their stop channel closes.
+	resume := s.Quiesce()
+	defer resume()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.started {
-		panic("rpc: SetMaxInflight after Start")
+	if s.closed || n == s.maxInflight {
+		return
 	}
-	if n > 0 {
-		s.maxInflight = n
+	close(s.stop) // retire the old generation as it drains
+	s.stop = make(chan struct{})
+	s.maxInflight = n
+	s.poolSize.Store(int64(n))
+	for i := 0; i < n; i++ {
+		s.workers.Add(1)
+		go s.worker(s.stop)
 	}
 }
 
@@ -302,6 +354,19 @@ func (s *Server) SetSealer(sealer CapSealer) {
 	s.sealer = sealer
 }
 
+// SetObserver installs the instrumentation handle that records every
+// admitted and shed request (metrics + access log). Like the handlers
+// and the sealer it is frozen at Start — the per-opcode metric
+// families register then — so the dispatch path reads it lock-free.
+func (s *Server) SetObserver(st *obs.ServerStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		panic("rpc: SetObserver after Start")
+	}
+	s.stats = st
+}
+
 // Start performs GET(G) and begins dispatching. The server advertises
 // its port for LOCATE broadcasts. The base context handed to every
 // handler is cancelled when Close is called, so in-flight handlers
@@ -330,18 +395,31 @@ func (s *Server) Start() error {
 	s.handlerCtx = context.WithValue(s.baseCtx, baseCtxKey{}, s.baseCtx)
 	s.work = make(chan job)
 	s.stop = make(chan struct{})
+	if s.stats != nil {
+		// Freeze the per-opcode metric families now, so the hot path
+		// only ever reads the stats maps.
+		ops := make([]uint16, 0, len(s.handlers)+1)
+		for op := range s.handlers {
+			ops = append(ops, op)
+		}
+		ops = append(ops, OpBatch)
+		s.stats.Freeze(ops)
+	}
 	s.mu.Unlock()
 
 	for i := 0; i < s.maxInflight; i++ {
 		s.workers.Add(1)
-		go s.worker()
+		go s.worker(s.stop)
 	}
 	s.loopWG.Add(1)
 	go s.loop(l)
 	return nil
 }
 
-func (s *Server) worker() {
+// worker runs pool jobs until its generation's stop channel closes.
+// stop is an argument, not the field: a live SetMaxInflight swaps the
+// field for the next generation while this one drains.
+func (s *Server) worker(stop chan struct{}) {
 	defer s.workers.Done()
 	for {
 		select {
@@ -350,9 +428,16 @@ func (s *Server) worker() {
 				j.fn()
 				continue
 			}
-			s.serve(j.m, j.req)
+			// Fold this job's queue wait into the EWMA admission
+			// control reads (α = 1/8; the racy load/store loses an
+			// occasional update, which a smoothed estimate absorbs).
+			wait := time.Since(j.enq)
+			old := s.ewmaWait.Load()
+			s.ewmaWait.Store(old + (int64(wait)-old)/8)
+			s.serve(j.m, j.req, wait)
+			s.inflight.Add(-1)
 			s.tasks.Done()
-		case <-s.stop:
+		case <-stop:
 			return
 		}
 	}
@@ -386,48 +471,101 @@ func (s *Server) loop(l *fbox.Listener) {
 			m.Release()
 			continue
 		}
+		if s.draining.Load() {
+			// Graceful drain: everything new is refused — cheaply, with
+			// a status that tells the client the work was never started.
+			s.shed(sealer, m, req, shedDraining)
+			m.Release()
+			continue
+		}
 		if s.inline[req.Op] {
 			// Inline fast path (HandleInline): serve on the dispatch
 			// loop itself. tasks accounting keeps Close's drain exact.
 			s.tasks.Add(1)
-			s.serve(m, req)
+			s.serve(m, req, 0)
 			s.tasks.Done()
 			continue
 		}
+		// Deadline-aware admission: if the pool is saturated and recent
+		// queue waits already exceed this request's remaining budget,
+		// the request would time out in the queue — executing it then
+		// wastes a worker, disk bandwidth and possibly a WAL write on a
+		// reply nobody is waiting for. Refuse it NOW, before it costs
+		// anything, with a status the client can tell apart from loss.
+		if req.Budget > 0 && s.inflight.Load() >= s.poolSize.Load() &&
+			time.Duration(s.ewmaWait.Load()) >= req.Budget {
+			s.shed(sealer, m, req, shedQueueWait)
+			m.Release()
+			continue
+		}
 		s.tasks.Add(1)
+		s.inflight.Add(1)
 		// Backpressure: when every worker is busy this send blocks,
 		// the listener queue and then the NIC queue fill, and excess
 		// load is shed at the wire — clients time out and retry.
 		// Ownership of m's frame buffer rides into the job; the worker
 		// releases it once the reply is on the wire.
-		s.work <- job{m: m, req: req}
+		s.work <- job{m: m, req: req, enq: time.Now()}
 	}
+}
+
+// Static shed details: the refusal path must stay cheap under the very
+// overload it exists to survive.
+var (
+	shedDraining  = []byte("server draining")
+	shedQueueWait = []byte("queue wait exceeds deadline budget")
+)
+
+// shed refuses a request with StatusOverload before it touches the
+// worker pool, and counts the refusal.
+func (s *Server) shed(sealer CapSealer, m fbox.Received, req Request, detail []byte) {
+	if st := s.stats; st != nil {
+		st.ObserveShed(req.Op, req.ID, uint32(m.From), uint16(StatusOverload),
+			time.Duration(s.ewmaWait.Load()))
+	}
+	s.reply(sealer, m, Reply{Status: StatusOverload, Data: detail})
 }
 
 // serve runs one accepted request on a pool worker. It owns m's frame
 // buffer: req.Data (and any reply aliasing it, like OpEcho's) stays
 // valid until the reply has been encoded, then the buffer is released.
-func (s *Server) serve(m fbox.Received, req Request) {
+// wait is how long the request queued before pickup (0 for inline).
+func (s *Server) serve(m fbox.Received, req Request, wait time.Duration) {
 	defer m.Release()
 	s.gate.RLock()
 	defer s.gate.RUnlock()
 	// The caller's remaining deadline budget (if any) bounds this
 	// handler and every nested RPC it issues; the base context stays
-	// reachable for WithoutDeadline cleanup.
+	// reachable for WithoutDeadline cleanup. The request ID rides the
+	// same context so nested RPC reuses it — the deadline path already
+	// allocates a context, so correlation is free where it matters and
+	// absent (like the deadline) where the caller declined to pay.
 	ctx := s.handlerCtx
 	if req.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, req.Budget)
 		defer cancel()
+		if req.ID != 0 {
+			ctx = ContextWithRequestID(ctx, req.ID)
+		}
 	}
-	md := Meta{From: m.From, Sig: m.Sig}
+	md := Meta{From: m.From, Sig: m.Sig, ReqID: req.ID}
+	st := s.stats
+	var start time.Time
+	if st != nil {
+		start = time.Now()
+	}
 	var rep Reply
 	if req.Op == OpBatch {
 		rep = s.serveBatch(ctx, s.sealer, md, req)
 	} else {
 		rep = s.handlers[req.Op](ctx, md, req)
 	}
+	status := rep.Status
 	s.reply(s.sealer, m, rep)
+	if st != nil {
+		st.Observe(req.Op, req.ID, uint32(m.From), uint16(status), wait, time.Since(start))
+	}
 }
 
 // serveBatch fans an OpBatch frame's sub-requests out across the
@@ -566,6 +704,31 @@ func (s *Server) Quiesce() (resume func()) {
 	s.gate.Lock()
 	return s.gate.Unlock
 }
+
+// Drain flips the server into refuse-everything mode — every request
+// arriving from now on is shed with StatusOverload, never executed —
+// and waits for the requests already admitted to finish. The listener
+// stays up (clients get a crisp refusal rather than silence) and the
+// server's state stops changing, which is the moment a graceful
+// shutdown wants for its final checkpoint. Drain does not reverse;
+// the only exit is Close.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.tasks.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueWaitEWMA returns the smoothed recent queue wait admission
+// control compares deadline budgets against.
+func (s *Server) QueueWaitEWMA() time.Duration {
+	return time.Duration(s.ewmaWait.Load())
+}
+
+// Inflight returns the number of requests currently queued for or
+// occupying pool workers (the queue-depth gauge).
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
 
 // Close stops the dispatch loop, cancels the context handed to every
 // running handler, waits for accepted requests to finish, and retires

@@ -1,0 +1,16 @@
+package banksvr
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpCreateAccount:  "bank.create_account",
+		OpBalance:        "bank.balance",
+		OpTransfer:       "bank.transfer",
+		OpConvert:        "bank.convert",
+		OpDestroyAccount: "bank.destroy_account",
+	})
+}

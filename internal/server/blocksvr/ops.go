@@ -1,0 +1,16 @@
+package blocksvr
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpAlloc: "block.alloc",
+		OpRead:  "block.read",
+		OpWrite: "block.write",
+		OpFree:  "block.free",
+		OpStat:  "block.stat",
+	})
+}

@@ -1,0 +1,18 @@
+package dirsvr
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpCreateDir:  "dir.create",
+		OpLookup:     "dir.lookup",
+		OpEnter:      "dir.enter",
+		OpRemove:     "dir.remove",
+		OpList:       "dir.list",
+		OpDestroyDir: "dir.destroy",
+		OpLookupPath: "dir.lookup_path",
+	})
+}

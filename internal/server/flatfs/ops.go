@@ -1,0 +1,17 @@
+package flatfs
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpCreate:   "file.create",
+		OpDestroy:  "file.destroy",
+		OpWrite:    "file.write",
+		OpRead:     "file.read",
+		OpSize:     "file.size",
+		OpTruncate: "file.truncate",
+	})
+}

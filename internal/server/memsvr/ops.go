@@ -1,0 +1,21 @@
+package memsvr
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpCreateSegment: "mem.create_segment",
+		OpWriteSeg:      "mem.write_seg",
+		OpReadSeg:       "mem.read_seg",
+		OpSegSize:       "mem.seg_size",
+		OpDeleteSegment: "mem.delete_segment",
+		OpMakeProcess:   "mem.make_process",
+		OpStartProcess:  "mem.start_process",
+		OpStopProcess:   "mem.stop_process",
+		OpStatProcess:   "mem.stat_process",
+		OpDeleteProcess: "mem.delete_process",
+	})
+}

@@ -1,0 +1,19 @@
+package mvfs
+
+import "amoeba/internal/obs"
+
+// The wire opcodes name themselves in the shared obs table — the one
+// source metric labels and access-log dumps read, so a label can never
+// drift from the opcode the const block defines.
+func init() {
+	obs.RegisterOps(map[uint16]string{
+		OpCreateFile:  "mvfs.create_file",
+		OpNewVersion:  "mvfs.new_version",
+		OpWritePage:   "mvfs.write_page",
+		OpReadPage:    "mvfs.read_page",
+		OpCommit:      "mvfs.commit",
+		OpAbort:       "mvfs.abort",
+		OpStatFile:    "mvfs.stat_file",
+		OpDestroyFile: "mvfs.destroy_file",
+	})
+}

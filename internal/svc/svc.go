@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
+	"amoeba/internal/obs"
 	"amoeba/internal/rpc"
 	"amoeba/internal/wal"
 )
@@ -194,9 +196,43 @@ func (k *Kernel) Table() *cap.Table { return k.table }
 // before Start).
 func (k *Kernel) SetSealer(sealer rpc.CapSealer) { k.srv.SetSealer(sealer) }
 
-// SetMaxInflight resizes the transport worker pool (call before
-// Start); see rpc.ServerConfig.MaxInflight.
+// SetMaxInflight resizes the transport worker pool — before Start it
+// records the size, after Start it resizes live under the quiesce
+// gate; see rpc.Server.SetMaxInflight.
 func (k *Kernel) SetMaxInflight(n int) { k.srv.SetMaxInflight(n) }
+
+// SetObserver installs the per-request instrumentation handle on the
+// transport (call before Start); see rpc.Server.SetObserver.
+func (k *Kernel) SetObserver(st *obs.ServerStats) { k.srv.SetObserver(st) }
+
+// Inflight returns the transport's current queue depth (requests
+// queued for or occupying pool workers) — the queue-depth gauge.
+func (k *Kernel) Inflight() int { return k.srv.Inflight() }
+
+// QueueWaitEWMA returns the transport's smoothed recent queue wait.
+func (k *Kernel) QueueWaitEWMA() time.Duration { return k.srv.QueueWaitEWMA() }
+
+// LogStats returns the write-ahead log's counters (zero on a volatile
+// kernel) — the WAL gauges read it at scrape time.
+func (k *Kernel) LogStats() wal.Stats {
+	if k.log == nil {
+		return wal.Stats{}
+	}
+	return k.log.Stats()
+}
+
+// Drain is the graceful exit: the transport stops admitting (new
+// requests are shed with rpc.StatusOverload — a crisp refusal clients
+// retry elsewhere, not silence), every in-flight handler finishes and
+// replies, and then the kernel closes — which on a durable service
+// takes the final checkpoint and closes the log. The difference from
+// a bare Close is the shed phase: Close leaves the listener racing
+// arriving work, Drain refuses it first, so nothing is half-admitted
+// when the checkpoint runs.
+func (k *Kernel) Drain() error {
+	k.srv.Drain()
+	return k.Close()
+}
 
 // Durable reports whether the kernel writes ahead to a log.
 func (k *Kernel) Durable() bool { return k.log != nil }

@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
+	"amoeba/internal/obs"
 	"amoeba/internal/vdisk"
 )
 
@@ -86,6 +88,23 @@ type Options struct {
 	// HighWater is the used-bytes fraction past which the Pressure
 	// channel fires (default 0.5).
 	HighWater float64
+	// Metrics, when set, has the commit path observe its group
+	// commits: the wall time of each write+sync pass and how many
+	// records it covered. Sync latency is the floor under every
+	// durable operation's tail, and batch size is whether group commit
+	// is actually grouping — the two numbers that tell an overloaded
+	// durable service apart from a slow disk.
+	Metrics *Metrics
+}
+
+// Metrics receives commit-path observations (see Options.Metrics).
+// Either histogram may be nil to skip it.
+type Metrics struct {
+	// SyncLatency observes nanoseconds per group commit (arena write
+	// plus Store.Sync).
+	SyncLatency *obs.Histogram
+	// BatchRecords observes records per group commit.
+	BatchRecords *obs.Histogram
 }
 
 // Stats counts log activity.
@@ -142,6 +161,7 @@ type Log struct {
 	arena     uint64 // arena bytes (blocks 1..n-1)
 	maxRecord int
 	highWater uint64
+	metrics   *Metrics
 
 	mu        sync.Mutex
 	recovered bool
@@ -158,8 +178,9 @@ type Log struct {
 	ticket    *Ticket
 	signaled  bool // pressure sent since the last checkpoint
 	stats     Stats
-	sink      func(recs []Record) // commit sink (replication shipper)
-	pending   []Record            // staged-but-uncommitted sink records
+	sink       func(recs []Record) // commit sink (replication shipper)
+	pending    []Record            // staged-but-uncommitted sink records
+	stagedRecs uint64              // records in the staged batch (metrics)
 
 	ckMu sync.Mutex // serializes Checkpoint
 
@@ -189,6 +210,7 @@ func Open(store vdisk.Store, opts Options) (*Log, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	l.metrics = opts.Metrics
 	l.maxRecord = opts.MaxRecord
 	if l.maxRecord <= 0 {
 		l.maxRecord = 1 << 20
@@ -443,6 +465,7 @@ func (l *Log) stage(kind byte, rec []byte) (*Ticket, uint64, uint64, error) {
 	l.head += frameLen
 	l.seq++
 	l.stats.Appends++
+	l.stagedRecs++
 	if l.sink != nil {
 		// The sink sees the record after its batch commits; copy now so
 		// the caller may reuse rec.
@@ -543,11 +566,25 @@ func (l *Log) commit() {
 	ds, nf := l.bufStart, l.head
 	ship, sink := l.pending, l.sink
 	l.pending = nil
+	batchRecs := l.stagedRecs
+	l.stagedRecs = 0
 	l.mu.Unlock()
 
+	var syncStart time.Time
+	if l.metrics != nil {
+		syncStart = time.Now()
+	}
 	err := l.writeRange(ds, data)
 	if err == nil {
 		err = l.store.Sync()
+	}
+	if err == nil && l.metrics != nil && batchRecs > 0 {
+		if h := l.metrics.SyncLatency; h != nil {
+			h.ObserveDuration(time.Since(syncStart))
+		}
+		if h := l.metrics.BatchRecords; h != nil {
+			h.Observe(batchRecs)
+		}
 	}
 	// Ship the batch AFTER local durability and BEFORE waking its
 	// appenders: a handler's reply — sent after Ticket.Wait — then
