@@ -1187,3 +1187,53 @@ func BenchmarkE19_Failover(b *testing.B) {
 		cl.Close()
 	}
 }
+
+// --------------------------------------------------------------------
+// E21: replication groups & automatic failover (see EXPERIMENTS.md E21).
+
+// BenchmarkE21_AutoFailover is E19 with nobody at the wheel: a
+// 3-replica directory group, the primary killed, and NO Promote — the
+// standbys' failure detectors must notice the silent lease on their
+// own, elect the highest-acked standby, and start serving. The
+// measured gap (kill → first acknowledged post-failover op) is
+// therefore detection (1.5 lease terms at the default 150 ms term) +
+// election + the client healing its route, where E19's was operator
+// reaction time — here the operator's share is zero by construction.
+func BenchmarkE21_AutoFailover(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, err := NewCluster(ClusterConfig{Seed: 0xE21_0000 + uint64(i), Replicas: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirs := cl.Dirs()
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := cap.Capability{Server: 1, Object: 2, Rights: cap.RightRead, Check: 3}
+		for j := 0; j < 8; j++ {
+			if err := dirs.Enter(ctx, root, fmt.Sprintf("e%d", j), entry); err != nil {
+				b.Fatal(err)
+			}
+		}
+		primary := cl.Machines().Dirs
+		b.StartTimer()
+		if err := cl.Kill(primary); err != nil {
+			b.Fatal(err)
+		}
+		lctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		for {
+			if _, err := cl.RPC().Call(lctx, root, dirsvr.OpLookup, []byte("e0"),
+				rpc.WithTimeout(5*time.Millisecond), rpc.WithRetries(400)); err == nil {
+				break
+			} else if lctx.Err() != nil {
+				b.Fatal(err)
+			}
+		}
+		cancel()
+		b.StopTimer()
+		cl.Close()
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	stdlog "log"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amoeba/internal/amnet"
@@ -70,6 +72,21 @@ type ClusterConfig struct {
 	// service over to its standby with zero acknowledged operations
 	// lost. See EXPERIMENTS.md E19.
 	Replicate bool
+	// Replicas ≥ 2 boots each durable service as a replication GROUP
+	// of that total size (a primary plus Replicas-1 standbys) with
+	// leased leadership and automatic failover: the primary's serving
+	// lease is renewed by acks on the ship stream (bare heartbeats
+	// when idle), a lapsed lease fences acknowledgements, each standby
+	// runs a failure detector, and on primary silence the
+	// highest-acked standby auto-promotes — nobody calls Promote.
+	// Killed or promoted-away machines rejoin as fresh standbys via
+	// Restart. Mutually exclusive with Replicate. See EXPERIMENTS E21.
+	Replicas int
+	// LeaseTerm is the group serving-lease duration (default 150ms).
+	// Standby failure detectors fire after 1.5 terms of silence, so
+	// the guarantee tolerates clock skew up to LeaseTerm/2. Shorter
+	// terms fail over faster but heartbeat more.
+	LeaseTerm time.Duration
 	// DebugAddr starts an HTTP debug listener serving /metrics
 	// (Prometheus text format), /debug/vars (expvar + JSON metrics),
 	// /debug/requests (the access-log ring) and /debug/pprof. Use
@@ -119,6 +136,7 @@ type Cluster struct {
 
 	closersMu sync.Mutex
 	closers   []func() error
+	closing   atomic.Bool // set by Close; late detector fires become no-ops
 
 	// lifeMu serializes the lifecycle verbs — Kill, Restart, AddBackup,
 	// Promote — end to end: each publishes intermediate states (down
@@ -150,13 +168,85 @@ type Cluster struct {
 
 	// Hot-standby state (ClusterConfig.Replicate / AddBackup): per
 	// durable service, the standby and the primary-side shipper, plus
-	// the set of machines whose put-port was promoted away — those may
-	// NEVER re-register it (the split-brain guard in Restart).
+	// the set of machines whose put-port was promoted away. In legacy
+	// mode those machines may never re-register the port (the
+	// split-brain guard in Restart); in group mode Restart routes them
+	// back in as fresh standbys instead.
 	dirsBackup *standby
 	bankBackup *standby
 	dirsShip   *repl.Shipper
 	bankShip   *repl.Shipper
-	promoted   map[amnet.MachineID]string
+	promoted   map[amnet.MachineID]promotedAway
+
+	// Replication groups (ClusterConfig.Replicas): per durable
+	// service, the standby set, the current term and the election
+	// generation. The active shipper doubles into dirsShip/bankShip so
+	// the gauges follow the current primary.
+	dirsGroup *replGroup
+	bankGroup *replGroup
+}
+
+// promotedAway records why a machine may not simply re-register its
+// put-port: the service failed over, and seq is the successor's
+// starting high-water sequence — everything the dead machine's log
+// holds beyond its acknowledged prefix is a dead branch of history.
+type promotedAway struct {
+	service string
+	seq     uint64
+}
+
+// PromotedAwayError is Restart's typed refusal for a machine whose
+// put-port was promoted to a backup (legacy single-standby mode; a
+// replication group re-integrates the machine instead).
+type PromotedAwayError struct {
+	Machine amnet.MachineID
+	Service string
+	// DiscardedSeq is the high-water sequence the successor took over
+	// with; the refused machine's log beyond that point is discarded.
+	DiscardedSeq uint64
+}
+
+func (e *PromotedAwayError) Error() string {
+	return fmt.Sprintf("amoeba: machine %v's %s put-port was promoted to a backup; refusing to re-register it (split-brain); its log beyond seq %d is a dead branch",
+		e.Machine, e.Service, e.DiscardedSeq)
+}
+
+// replGroup is one durable service's replication-group state. Mutable
+// fields (term, gen, standbys, ship) are guarded by cl.mu for reads;
+// mutations additionally hold cl.lifeMu (elections, kills and
+// re-integrations serialize there).
+type replGroup struct {
+	name string
+	term uint64 // current replication epoch (starts at 1)
+	gen  uint64 // election generation; stale detector callbacks no-op
+	ship *repl.Shipper
+	// standbys holds every group member that is not the primary,
+	// including killed ones (down) awaiting re-integration.
+	standbys []*groupStandby
+	// build constructs a fresh standby incarnation of the service.
+	build func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error)
+	// swap makes st the primary in the cluster's service fields and
+	// installs its shipper (called with cl.mu held).
+	swap func(st *groupStandby, ship *repl.Shipper)
+	// primary introspection + shipper bookkeeping (cl.mu held).
+	primaryKernel  func() *svc.Kernel
+	primaryFB      func() *fbox.FBox
+	primaryMachine func() amnet.MachineID
+	setShip        func(*repl.Shipper)
+}
+
+// groupStandby is one non-primary member of a replication group: an
+// un-started service kernel fed by a repl.Receiver, watched by a
+// failure detector.
+type groupStandby struct {
+	fb      *fbox.FBox
+	disk    *vdisk.Disk
+	recv    *repl.Receiver
+	machine amnet.MachineID
+	srv     kernelServer
+	kern    *svc.Kernel
+	det     *repl.Detector
+	down    bool
 }
 
 // standby is a hot backup of one durable service: an un-started service
@@ -198,6 +288,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Scheme == 0 {
 		cfg.Scheme = SchemeOneWay
 	}
+	if cfg.Replicate && cfg.Replicas >= 2 {
+		return nil, errors.New("amoeba: Replicate (manual single standby) and Replicas (auto-failover group) are mutually exclusive")
+	}
 	if cfg.DiskBlocks == 0 {
 		cfg.DiskBlocks = 4096
 	}
@@ -227,7 +320,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		src:      src,
 		scheme:   scheme,
 		cfg:      cfg,
-		promoted: make(map[amnet.MachineID]string),
+		promoted: make(map[amnet.MachineID]promotedAway),
 	}
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
@@ -350,6 +443,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		if err := cl.AddBackup(cl.Machines().Bank); err != nil {
+			return nil, err
+		}
+	}
+	// Replication groups: N-1 standbys per durable service, leased
+	// leadership, automatic failover.
+	if cfg.Replicas >= 2 {
+		cl.dirsGroup = cl.newDirsGroup()
+		cl.bankGroup = cl.newBankGroup()
+		if err := cl.startGroup(cl.dirsGroup); err != nil {
+			return nil, err
+		}
+		if err := cl.startGroup(cl.bankGroup); err != nil {
 			return nil, err
 		}
 	}
@@ -482,6 +587,20 @@ func (cl *Cluster) registerGauges() {
 				return 0
 			}
 			return 1
+		})
+		cl.reg.GaugeFunc("amoeba_lease_valid", labels, "1 while the primary's serving lease holds a majority of fresh grants (always 1 outside group mode)", func() float64 {
+			sh := ship()
+			if sh == nil || !sh.LeaseValid() {
+				return 0
+			}
+			return 1
+		})
+		cl.reg.GaugeFunc("amoeba_repl_term", labels, "current replication epoch (0 = legacy single-standby mode)", func() float64 {
+			sh := ship()
+			if sh == nil {
+				return 0
+			}
+			return float64(sh.Term())
 		})
 	}
 }
@@ -644,6 +763,35 @@ func (cl *Cluster) newShipClient(fb *fbox.FBox) *rpc.Client {
 	return rpc.NewClient(fb, res, rpc.ClientConfig{Source: cl.src})
 }
 
+// buildDirsStandby constructs an un-started directory-server
+// incarnation over its own log — the standby half of both the legacy
+// single-backup path and the replication group.
+func (cl *Cluster) buildDirsStandby(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+	s, err := dirsvr.NewDurable(fb, cl.scheme, cl.src, log, cl.dirsG)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s.SetMaxInflight(cl.cfg.MaxInflight)
+	// Same service label as the primary: the registry is idempotent, so
+	// after promotion the successor keeps accumulating into the SAME
+	// counters — no series break at failover.
+	s.SetObserver(cl.newStats("directory"))
+	cl.sealServer(fb, s.SetSealer)
+	return s, s.Kernel, s.ReplayFn(), nil
+}
+
+// buildBankStandby is buildDirsStandby for the bank server.
+func (cl *Cluster) buildBankStandby(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+	s, err := banksvr.NewDurable(fb, cl.scheme, cl.src, cl.bankConfig(), log, cl.bankG)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s.SetMaxInflight(cl.cfg.MaxInflight)
+	s.SetObserver(cl.newStats("bank")) // same label as the primary; see buildDirsStandby
+	cl.sealServer(fb, s.SetSealer)
+	return s, s.Kernel, s.ReplayFn(), nil
+}
+
 // attachDirsBackup builds a directory-server standby and wires the
 // primary's commit path to it.
 func (cl *Cluster) attachDirsBackup() error {
@@ -651,20 +799,7 @@ func (cl *Cluster) attachDirsBackup() error {
 	primary, pfb := cl.dirs, cl.dirsFB
 	cl.mu.Unlock()
 	return cl.attachBackup("directory", primary.Kernel, pfb,
-		func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
-			s, err := dirsvr.NewDurable(fb, cl.scheme, cl.src, log, cl.dirsG)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			s.SetMaxInflight(cl.cfg.MaxInflight)
-			// Same service label as the primary: the registry is
-			// idempotent, so after promotion the successor keeps
-			// accumulating into the SAME counters — no series break at
-			// failover.
-			s.SetObserver(cl.newStats("directory"))
-			cl.sealServer(fb, s.SetSealer)
-			return s, s.Kernel, s.ReplayFn(), nil
-		},
+		cl.buildDirsStandby,
 		func(st *standby, s kernelServer) { // install (cl.mu held)
 			cl.dirsBackup = st
 		},
@@ -686,16 +821,7 @@ func (cl *Cluster) attachBankBackup() error {
 	primary, pfb := cl.bank, cl.bankFB
 	cl.mu.Unlock()
 	return cl.attachBackup("bank", primary.Kernel, pfb,
-		func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
-			s, err := banksvr.NewDurable(fb, cl.scheme, cl.src, cl.bankConfig(), log, cl.bankG)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			s.SetMaxInflight(cl.cfg.MaxInflight)
-			s.SetObserver(cl.newStats("bank")) // same label as the primary; see attachDirsBackup
-			cl.sealServer(fb, s.SetSealer)
-			return s, s.Kernel, s.ReplayFn(), nil
-		},
+		cl.buildBankStandby,
 		func(st *standby, s kernelServer) {
 			cl.bankBackup = st
 		},
@@ -796,6 +922,378 @@ func (cl *Cluster) attachBackup(
 	return nil
 }
 
+// defaultLeaseTerm is the group serving lease when ClusterConfig
+// leaves LeaseTerm zero.
+const defaultLeaseTerm = 150 * time.Millisecond
+
+func (cl *Cluster) leaseTerm() time.Duration {
+	if cl.cfg.LeaseTerm > 0 {
+		return cl.cfg.LeaseTerm
+	}
+	return defaultLeaseTerm
+}
+
+// detectorGap is how long a standby tolerates primary silence before
+// electing: 1.5 lease terms. The old primary's lease lapses (measured
+// from its own send clock) after 1.0 terms, so even with the two clocks
+// skewed by up to half a term the fence closes before a successor
+// serves.
+func (cl *Cluster) detectorGap() time.Duration {
+	lt := cl.leaseTerm()
+	return lt + lt/2
+}
+
+// groupShipOptions tunes a group-mode shipper for epoch term. The
+// attempt budget is kept small: a dead standby should be declared lost
+// (and shipped around) well before the client-visible RPC deadline.
+func (cl *Cluster) groupShipOptions(term uint64) repl.Options {
+	lt := cl.leaseTerm()
+	return repl.Options{
+		Timeout:   lt,
+		Attempts:  4,
+		Backoff:   2 * time.Millisecond,
+		Reprobe:   lt,
+		LeaseTerm: lt,
+		GroupSize: cl.cfg.Replicas,
+		Term:      term,
+	}
+}
+
+// newDirsGroup binds the directory server's cluster fields into a
+// replication group descriptor.
+func (cl *Cluster) newDirsGroup() *replGroup {
+	return &replGroup{
+		name:  "directory",
+		build: cl.buildDirsStandby,
+		swap: func(st *groupStandby, ship *repl.Shipper) {
+			cl.dirs = st.srv.(*dirsvr.Server)
+			cl.dirsFB, cl.dirsWAL = st.fb, st.disk
+			cl.machines.Dirs = st.machine
+			cl.dirsDown = false
+			cl.dirsShip = ship
+		},
+		primaryKernel:  func() *svc.Kernel { return cl.dirs.Kernel },
+		primaryFB:      func() *fbox.FBox { return cl.dirsFB },
+		primaryMachine: func() amnet.MachineID { return cl.machines.Dirs },
+		setShip:        func(s *repl.Shipper) { cl.dirsShip = s },
+	}
+}
+
+// newBankGroup is newDirsGroup for the bank server.
+func (cl *Cluster) newBankGroup() *replGroup {
+	return &replGroup{
+		name:  "bank",
+		build: cl.buildBankStandby,
+		swap: func(st *groupStandby, ship *repl.Shipper) {
+			cl.bank = st.srv.(*banksvr.Server)
+			cl.bankFB, cl.bankWAL = st.fb, st.disk
+			cl.machines.Bank = st.machine
+			cl.bankDown = false
+			cl.bankShip = ship
+		},
+		primaryKernel:  func() *svc.Kernel { return cl.bank.Kernel },
+		primaryFB:      func() *fbox.FBox { return cl.bankFB },
+		primaryMachine: func() amnet.MachineID { return cl.machines.Bank },
+		setShip:        func(s *repl.Shipper) { cl.bankShip = s },
+	}
+}
+
+// buildGroupStandby stands one standby up on a fresh machine and WAL
+// disk: an un-started service kernel fed by a started receiver.
+func (cl *Cluster) buildGroupStandby(g *replGroup) (*groupStandby, error) {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return nil, err
+	}
+	disk, err := vdisk.New(walBlocks, walBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(disk, wal.Options{Metrics: cl.walMetrics(g.name)})
+	if err != nil {
+		return nil, err
+	}
+	s, kern, replay, err := g.build(fb, log)
+	if err != nil {
+		log.Close() // the kernel never took ownership
+		return nil, err
+	}
+	cl.addCloser(s.Close)
+	recv := repl.NewReceiver(fb, cl.src, kern, replay)
+	if err := recv.Start(); err != nil {
+		return nil, err
+	}
+	cl.addCloser(recv.Close)
+	return &groupStandby{fb: fb, disk: disk, recv: recv, machine: fb.Machine(), srv: s, kern: kern}, nil
+}
+
+// startGroup boots one durable service's replication group: Replicas-1
+// standbys, the primary's fan-out shipper at term 1 with the serving
+// lease installed as both replica fence and admission gate, and a
+// failure detector armed on every standby.
+func (cl *Cluster) startGroup(g *replGroup) error {
+	dests := make([]cap.Port, 0, cl.cfg.Replicas-1)
+	for i := 0; i < cl.cfg.Replicas-1; i++ {
+		st, err := cl.buildGroupStandby(g)
+		if err != nil {
+			return err
+		}
+		g.standbys = append(g.standbys, st)
+		dests = append(dests, st.recv.Port())
+	}
+	cl.mu.Lock()
+	pk, pfb := g.primaryKernel(), g.primaryFB()
+	cl.mu.Unlock()
+	g.term = 1
+	ship, err := repl.AttachGroup(pk, cl.newShipClient(pfb), dests, cl.groupShipOptions(g.term))
+	if err != nil {
+		return fmt.Errorf("amoeba: attaching %s group: %w", g.name, err)
+	}
+	cl.addCloser(func() error { ship.Stop(); return nil })
+	pk.SetReplicaFence(ship.Fence)
+	pk.SetAdmitGate(ship.Fence)
+	cl.mu.Lock()
+	g.ship = ship
+	g.setShip(ship)
+	cl.mu.Unlock()
+	cl.startDetectors(g)
+	return nil
+}
+
+// startDetectors arms a failure detector on every live standby that
+// lacks one, bound to the CURRENT election generation — a detector
+// that fires after a later election resolves to a no-op. Callers hold
+// lifeMu (boot runs before any lifecycle verb can race).
+func (cl *Cluster) startDetectors(g *replGroup) {
+	cl.mu.Lock()
+	gen := g.gen
+	sts := append([]*groupStandby(nil), g.standbys...)
+	cl.mu.Unlock()
+	gap := cl.detectorGap()
+	for _, st := range sts {
+		if st.down || st.det != nil {
+			continue
+		}
+		// The election runs on its own goroutine: onExpire is called
+		// from the detector's poll loop, and the election stops every
+		// detector in the group — including, possibly, a second one
+		// mid-fire, which would deadlock if the first held its loop.
+		det := repl.NewDetector(gap, st.recv.LastContact, func() {
+			go cl.autoFailover(g, gen)
+		}, nil)
+		st.det = det
+		det.Start()
+	}
+}
+
+// rearmFiredDetectors replaces any detector that has fired with a fresh
+// one, after an election was refused or vetoed: the alarm stays armed
+// without the refusal being final. Caller holds lifeMu.
+func (cl *Cluster) rearmFiredDetectors(g *replGroup) {
+	cl.mu.Lock()
+	for _, st := range g.standbys {
+		if st.det != nil && st.det.Fired() {
+			st.det.Stop()
+			st.det = nil
+		}
+	}
+	cl.mu.Unlock()
+	cl.startDetectors(g)
+}
+
+// autoFailover is the election a standby's failure detector fires when
+// the primary has been silent for 1.5 lease terms: the standby with
+// the highest durable high water wins, the others become its peers,
+// and the group moves to the next term. By the time this runs the old
+// primary's lease (1.0 terms, on its own clock) has lapsed, so it is
+// already refusing acknowledgements — the new primary can serve
+// without overlap even before any StatusStale bounce reaches the old
+// one.
+func (cl *Cluster) autoFailover(g *replGroup, gen uint64) {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	if cl.closing.Load() {
+		return // teardown, not an outage
+	}
+	cl.mu.Lock()
+	if g.gen != gen {
+		// A concurrent detector already ran this election (or a later
+		// one); this silence is old news.
+		cl.mu.Unlock()
+		return
+	}
+	// Confirm the silence with the rest of the group before deposing
+	// anyone: the primary heartbeats EVERY live standby, so if any
+	// sibling heard it within half a detector gap the alarm is a local
+	// stall — a GC pause counterfeits a silent primary on the stalled
+	// side only. This is the in-process analogue of a pre-vote round;
+	// electing on one member's say-so under load is how live primaries
+	// get exiled.
+	now := time.Now()
+	for _, st := range g.standbys {
+		if !st.down && now.Sub(st.recv.LastContact()) < cl.detectorGap()/2 {
+			cl.mu.Unlock()
+			cl.reg.Counter("amoeba_elections_refused_total", obs.L("service", g.name),
+				"elections refused (no live quorum, or a sibling still hears the primary)").Inc()
+			cl.rearmFiredDetectors(g)
+			return
+		}
+	}
+	g.gen++
+	var win *groupStandby
+	live := 0
+	for _, st := range g.standbys {
+		if st.down {
+			continue
+		}
+		live++
+		if win == nil || st.recv.High() > win.recv.High() {
+			win = st
+		}
+	}
+	oldMachine := g.primaryMachine()
+	oldShip, oldTerm := g.ship, g.term
+	sts := append([]*groupStandby(nil), g.standbys...)
+	cl.mu.Unlock()
+	if win == nil {
+		return // nobody left to promote; the group is down until Restart
+	}
+	if live < cl.cfg.Replicas/2+1 {
+		// Not enough live members to grant the winner a serving lease:
+		// majorities count the CONFIGURED group, dead members included,
+		// so promoting here would depose a primary that may merely be
+		// slow and install one that can never serve. Refuse the election
+		// and re-arm the fired detector — a live primary's next
+		// heartbeat quiets the alarm, and a truly dead one leaves the
+		// group fenced until Restart restores a quorum, which is exactly
+		// what CP demands.
+		cl.reg.Counter("amoeba_elections_refused_total", obs.L("service", g.name),
+			"elections refused (no live quorum, or a sibling still hears the primary)").Inc()
+		cl.rearmFiredDetectors(g)
+		return
+	}
+	// Quiet the group: the election IS the response to this silence, so
+	// every detector stops (winners and peers get fresh ones below),
+	// and the old primary's shipper — possibly still half-alive on a
+	// machine that merely stalled — is stopped for good.
+	for _, st := range sts {
+		if st.det != nil {
+			st.det.Stop()
+			st.det = nil
+		}
+	}
+	if oldShip != nil {
+		oldShip.Stop()
+	}
+	seq := win.recv.High()
+	var dests []cap.Port
+	for _, st := range sts {
+		if st == win || st.down {
+			continue
+		}
+		dests = append(dests, st.recv.Port())
+	}
+	// The winner's receiver dies before its kernel serves: a stale
+	// primary's ships must bounce off a dead port, not mutate a live
+	// service. The new shipper attaches BEFORE Start — its fence is in
+	// place from the first request, so there is no unfenced window.
+	win.recv.Close()
+	ship, err := repl.AttachGroup(win.kern, cl.newShipClient(win.fb), dests, cl.groupShipOptions(oldTerm+1))
+	if err != nil {
+		stdlog.Printf("amoeba: %s auto-failover: attaching successor shipper: %v", g.name, err)
+		return
+	}
+	cl.addCloser(func() error { ship.Stop(); return nil })
+	win.kern.SetReplicaFence(ship.Fence)
+	win.kern.SetAdmitGate(ship.Fence)
+	if err := win.srv.Start(); err != nil {
+		stdlog.Printf("amoeba: %s auto-failover: starting successor: %v", g.name, err)
+		ship.Stop()
+		return
+	}
+	cl.mu.Lock()
+	g.swap(win, ship)
+	g.ship = ship
+	g.term = oldTerm + 1
+	keep := g.standbys[:0]
+	for _, st := range g.standbys {
+		if st != win {
+			keep = append(keep, st)
+		}
+	}
+	g.standbys = keep
+	// The dead machine's log beyond seq is a dead branch of history;
+	// Restart re-attaches it as a FRESH standby instead of letting it
+	// re-register the port.
+	cl.promoted[oldMachine] = promotedAway{service: g.name, seq: seq}
+	cl.mu.Unlock()
+	cl.reg.Counter("amoeba_failovers_total", obs.L("service", g.name),
+		"automatic failovers (standby self-promotions)").Inc()
+	stdlog.Printf("amoeba: %s auto-failover: machine %v promoted at seq %d (term %d)",
+		g.name, win.machine, seq, oldTerm+1)
+	cl.startDetectors(g)
+}
+
+// reintegrate attaches one fresh standby to a running group — the
+// Restart path for a machine that was killed, or promoted away, or
+// whose stream was written off. Caller holds lifeMu.
+func (cl *Cluster) reintegrate(g *replGroup) error {
+	st, err := cl.buildGroupStandby(g)
+	if err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	ship := g.ship
+	cl.mu.Unlock()
+	if ship == nil {
+		return fmt.Errorf("amoeba: %s group has no primary to re-integrate with", g.name)
+	}
+	// AddPeer quiesces the primary, ships the base snapshot, and adds
+	// the peer inside the quiesced window — no gap to catch up.
+	if err := ship.AddPeer(st.recv.Port()); err != nil {
+		return fmt.Errorf("amoeba: re-integrating %s standby: %w", g.name, err)
+	}
+	cl.mu.Lock()
+	g.standbys = append(g.standbys, st)
+	cl.mu.Unlock()
+	cl.reg.Counter("amoeba_reintegrations_total", obs.L("service", g.name),
+		"machines re-attached to a replication group as fresh standbys").Inc()
+	cl.startDetectors(g)
+	return nil
+}
+
+// groupOfLocked returns the replication group machine m belongs to and
+// its standby record (nil when m is the group's primary). Caller holds
+// cl.mu.
+func (cl *Cluster) groupOfLocked(m amnet.MachineID) (*replGroup, *groupStandby) {
+	for _, g := range []*replGroup{cl.dirsGroup, cl.bankGroup} {
+		if g == nil {
+			continue
+		}
+		if g.primaryMachine() == m {
+			return g, nil
+		}
+		for _, st := range g.standbys {
+			if st.machine == m {
+				return g, st
+			}
+		}
+	}
+	return nil, nil
+}
+
+// groupByNameLocked resolves a service name to its replication group
+// (nil when that service is not group-replicated). Caller holds cl.mu.
+func (cl *Cluster) groupByNameLocked(name string) *replGroup {
+	if cl.dirsGroup != nil && cl.dirsGroup.name == name {
+		return cl.dirsGroup
+	}
+	if cl.bankGroup != nil && cl.bankGroup.name == name {
+		return cl.bankGroup
+	}
+	return nil
+}
+
 // AddBackup attaches a hot standby to the durable service hosted on
 // machine m: a fresh machine with its own write-ahead log receives the
 // primary's base snapshot and, from then on, every committed record —
@@ -805,6 +1303,10 @@ func (cl *Cluster) AddBackup(m amnet.MachineID) error {
 	cl.lifeMu.Lock()
 	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
+	if g, _ := cl.groupOfLocked(m); g != nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: the %s replication group manages its own membership; use Kill and Restart", g.name)
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -832,6 +1334,10 @@ func (cl *Cluster) DropBackup(m amnet.MachineID) error {
 	cl.lifeMu.Lock()
 	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
+	if g, _ := cl.groupOfLocked(m); g != nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: the %s replication group manages its own membership; use Kill and Restart", g.name)
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -864,6 +1370,10 @@ func (cl *Cluster) Promote(m amnet.MachineID) error {
 	cl.lifeMu.Lock()
 	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
+	if g, _ := cl.groupOfLocked(m); g != nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: the %s replication group elects its own primary; nobody calls Promote", g.name)
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -888,7 +1398,7 @@ func (cl *Cluster) Promote(m amnet.MachineID) error {
 	}
 	st, ship := c.backup, c.ship
 	c.clearBackup()
-	cl.promoted[m] = c.name
+	cl.promoted[m] = promotedAway{service: c.name, seq: st.recv.High()}
 	cl.mu.Unlock()
 	if ship != nil {
 		ship.Stop()
@@ -925,6 +1435,10 @@ func (cl *Cluster) Drain(m amnet.MachineID) error {
 	cl.lifeMu.Lock()
 	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
+	if g, _ := cl.groupOfLocked(m); g != nil {
+		cl.mu.Unlock()
+		return fmt.Errorf("amoeba: the %s replication group fails over automatically; Kill the machine instead of draining it", g.name)
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -957,7 +1471,7 @@ func (cl *Cluster) Drain(m amnet.MachineID) error {
 	// the old machine is barred from ever re-registering the put-port,
 	// exactly as after Promote.
 	cl.mu.Lock()
-	cl.promoted[m] = c.name
+	cl.promoted[m] = promotedAway{service: c.name, seq: st.recv.High()}
 	cl.mu.Unlock()
 	if pErr := st.promote(); pErr != nil {
 		// Nothing took the port; un-retire the machine (its disk is
@@ -982,6 +1496,37 @@ func (cl *Cluster) Kill(m amnet.MachineID) error {
 	cl.lifeMu.Lock()
 	defer cl.lifeMu.Unlock()
 	cl.mu.Lock()
+	// A group STANDBY dies quietly: its detector stops (it must not
+	// respond to its own death by electing anyone), the shipper drops
+	// the peer — majorities still count the configured group size, so
+	// losing standbys never loosens the quorum — and the machine waits
+	// for Restart to rejoin. A group PRIMARY falls through to the
+	// common path below: NIC, shipper, crash — and the surviving
+	// standbys' detectors run the election.
+	if g, st := cl.groupOfLocked(m); g != nil && st != nil {
+		if st.down {
+			cl.mu.Unlock()
+			return fmt.Errorf("amoeba: %s standby on machine %v already down", g.name, m)
+		}
+		st.down = true
+		det, ship := st.det, g.ship
+		st.det = nil
+		cl.mu.Unlock()
+		if det != nil {
+			det.Stop()
+		}
+		if ship != nil {
+			ship.DropPeer(st.recv.Port())
+		}
+		err := st.fb.Close()
+		if cErr := st.recv.Close(); err == nil {
+			err = cErr
+		}
+		if cErr := st.srv.Crash(); err == nil {
+			err = cErr
+		}
+		return err
+	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
 		cl.mu.Unlock()
@@ -1033,10 +1578,52 @@ func (cl *Cluster) Restart(m amnet.MachineID) error {
 	// may NEVER re-register it. Its WAL disk is a dead branch of
 	// history — the promoted incarnation has acknowledged operations
 	// this machine's log never saw — and a second server behind the
-	// port would split clients between two divergent states.
-	if name, was := cl.promoted[m]; was {
+	// port would split clients between two divergent states. In group
+	// mode that is not a dead end: the machine rejoins as a FRESH
+	// standby (new disk, base snapshot from the current primary), its
+	// old log discarded.
+	if pa, was := cl.promoted[m]; was {
+		if g := cl.groupByNameLocked(pa.service); g != nil {
+			delete(cl.promoted, m)
+			cl.mu.Unlock()
+			stdlog.Printf("amoeba: machine %v rejoining the %s group as a fresh standby; its log beyond seq %d is discarded",
+				m, pa.service, pa.seq)
+			if err := cl.reintegrate(g); err != nil {
+				cl.mu.Lock()
+				cl.promoted[m] = pa // the machine stays retired
+				cl.mu.Unlock()
+				return err
+			}
+			return nil
+		}
 		cl.mu.Unlock()
-		return fmt.Errorf("amoeba: machine %v's %s put-port was promoted to a backup; refusing to re-register it (split-brain)", m, name)
+		cl.reg.Counter("amoeba_restart_refused_total", obs.L("service", pa.service),
+			"restarts refused by the split-brain guard").Inc()
+		stdlog.Printf("amoeba: refusing restart of machine %v: %s put-port promoted away; its log beyond seq %d is a dead branch",
+			m, pa.service, pa.seq)
+		return &PromotedAwayError{Machine: m, Service: pa.service, DiscardedSeq: pa.seq}
+	}
+	// Group membership: a killed standby rejoins as a fresh standby; a
+	// killed primary must wait for the survivors' election to finish
+	// (after which this machine lands in the promoted map above).
+	if g, st := cl.groupOfLocked(m); g != nil {
+		if st == nil {
+			cl.mu.Unlock()
+			return fmt.Errorf("amoeba: machine %v is the %s group primary; wait for auto-failover, then Restart re-attaches it", m, g.name)
+		}
+		if !st.down {
+			cl.mu.Unlock()
+			return fmt.Errorf("amoeba: %s standby on machine %v is not down", g.name, m)
+		}
+		keep := g.standbys[:0]
+		for _, s := range g.standbys {
+			if s != st {
+				keep = append(keep, s)
+			}
+		}
+		g.standbys = keep
+		cl.mu.Unlock()
+		return cl.reintegrate(g)
 	}
 	c := cl.durableCtlLocked(m)
 	if c == nil {
@@ -1119,6 +1706,29 @@ func (cl *Cluster) start(start func() error, close func() error) error {
 
 // Close shuts every server and machine down.
 func (cl *Cluster) Close() error {
+	// Quiet the failure detectors before tearing anything down: closing
+	// the receivers below looks exactly like a dead primary, and a
+	// detector that fires mid-teardown would run an election over closed
+	// resources. The flag catches fires already in flight (queued on
+	// lifeMu); the Stops catch future ones. Taking lifeMu first lets any
+	// election already running finish on live resources.
+	cl.closing.Store(true)
+	cl.lifeMu.Lock()
+	for _, g := range []*replGroup{cl.dirsGroup, cl.bankGroup} {
+		if g == nil {
+			continue
+		}
+		cl.mu.Lock()
+		sts := append([]*groupStandby(nil), g.standbys...)
+		cl.mu.Unlock()
+		for _, st := range sts {
+			if st.det != nil {
+				st.det.Stop()
+				st.det = nil
+			}
+		}
+	}
+	cl.lifeMu.Unlock()
 	cl.closersMu.Lock()
 	closers := cl.closers
 	cl.closers = nil

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
@@ -65,6 +66,10 @@ type Received struct {
 	// unreleased buffer is simply garbage-collected — but the RPC hot
 	// paths release after decoding.
 	Buf *wire.Buf
+	// At is when the frame came off the NIC. Queue-wait accounting
+	// starts here, not at dispatch: time spent in the listener queue is
+	// wait the sender's deadline is already paying for.
+	At time.Time
 }
 
 // Release returns the message's pooled buffer (if any) to the pool.
@@ -408,7 +413,7 @@ func (fb *FBox) handleFrame(f amnet.Frame) {
 		fb.mu.Lock()
 		if l := fb.listeners[msg.Dest]; l != nil {
 			select {
-			case l.ch <- Received{Message: msg, From: f.Src, Buf: f.Buf}:
+			case l.ch <- Received{Message: msg, From: f.Src, Buf: f.Buf, At: time.Now()}:
 				delivered = true
 			default: // listener queue full: drop
 			}

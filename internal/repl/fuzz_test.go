@@ -17,11 +17,12 @@ func FuzzDecode(f *testing.F) {
 	for _, fr := range Encode([]wal.Record{
 		{Seq: 1, Data: []byte("hello")},
 		{Seq: 2, Checkpoint: true, Data: bytes.Repeat([]byte{7}, 300)},
-	}, false) {
+	}, false, 3) {
 		f.Add(fr.Payload)
 	}
+	f.Add(EncodeHeartbeat(9))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		items, rebase, err := Decode(data)
+		items, rebase, _, err := Decode(data)
 		if err != nil {
 			return
 		}
@@ -48,10 +49,13 @@ func FuzzEncodeRoundTrip(f *testing.F) {
 		}
 		st := &stream{based: true, expected: seq}
 		var got []wal.Record
-		for _, fr := range Encode(recs, false) {
-			items, rebase, err := Decode(fr.Payload)
+		for _, fr := range Encode(recs, false, seq^0xBEEF) {
+			items, rebase, term, err := Decode(fr.Payload)
 			if err != nil {
 				t.Fatalf("self-encoded frame rejected: %v", err)
+			}
+			if term != seq^0xBEEF {
+				t.Fatalf("term round-tripped to %d", term)
 			}
 			if fr.FirstSeq != items[0].Seq {
 				t.Fatalf("frame FirstSeq %d, first item %d", fr.FirstSeq, items[0].Seq)

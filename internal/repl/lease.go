@@ -1,0 +1,96 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lease errors, surfaced to clients as rpc.StatusOverload by the
+// kernel's replica fence — the client backs off, retries, and LOCATE
+// routes it to whoever holds the port by then.
+var (
+	// ErrLeaseLapsed means a majority of the group has stopped granting
+	// renewals: the primary no longer knows it is the primary, so it
+	// must not acknowledge durable operations.
+	ErrLeaseLapsed = errors.New("repl: serving lease lapsed (no majority of grants)")
+	// ErrSealed means a committed batch failed to reach a majority of
+	// the group: acknowledging it — or anything after it — could be
+	// contradicted by an election among the majority that never saw it.
+	ErrSealed = errors.New("repl: group sealed (batch missed majority)")
+	// ErrDeposed means a peer has seen a higher term: an election has
+	// already replaced this primary.
+	ErrDeposed = errors.New("repl: deposed (newer term observed)")
+)
+
+// Detector is a standby's failure detector: it watches the receiver's
+// last-contact clock and fires onExpire exactly once when the primary's
+// heartbeats have been silent for longer than the expiry gap. The gap
+// must exceed the primary's lease term by the cluster's assumed clock
+// skew: the primary measures its lease from frame SEND time and the
+// standby measures silence from frame RECEIVE time, so with clocks
+// within the skew bound the old primary stops acknowledging strictly
+// before any standby starts an election — the split-brain guard is
+// time plus quorum, not an operator's memory of who was promoted.
+type Detector struct {
+	gap      time.Duration
+	contact  func() time.Time
+	onExpire func()
+	now      func() time.Time
+
+	fired atomic.Bool
+	once  sync.Once
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewDetector builds (but does not start) a detector. contact returns
+// the receiver's last term-valid frame arrival; onExpire runs at most
+// once, on the detector's own goroutine. now is the clock (nil selects
+// time.Now — tests inject a skewed one).
+func NewDetector(gap time.Duration, contact func() time.Time, onExpire func(), now func() time.Time) *Detector {
+	if now == nil {
+		now = time.Now
+	}
+	return &Detector{
+		gap:      gap,
+		contact:  contact,
+		onExpire: onExpire,
+		now:      now,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start begins watching. Polling at a quarter of the gap bounds the
+// detection latency at gap + gap/4 without a timer reset per frame.
+func (d *Detector) Start() {
+	go func() {
+		defer close(d.done)
+		tick := time.NewTicker(d.gap / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if d.now().Sub(d.contact()) > d.gap {
+					d.fired.Store(true)
+					d.onExpire()
+					return
+				}
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop cancels the watch (idempotent; safe against a concurrent fire —
+// onExpire may still run once if it was already in flight).
+func (d *Detector) Stop() {
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Fired reports whether the detector has fired.
+func (d *Detector) Fired() bool { return d.fired.Load() }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
@@ -41,10 +43,18 @@ type Receiver struct {
 	srv   *rpc.Server
 	k     *svc.Kernel
 	apply func(rec []byte) error
+	now   func() time.Time
+
+	// contact is the arrival time (unixnano) of the last TERM-VALID
+	// ship frame — heartbeats included, OpSeq probes excluded (a
+	// deposed primary's reprobes must not suppress the failure
+	// detector). It is what the standby's Detector watches.
+	contact atomic.Int64
 
 	mu    sync.Mutex
 	st    stream
-	dead  error // a failed commit on the standby's own log is fatal
+	term  uint64 // highest replication epoch seen; lower-term frames bounce
+	dead  error  // a failed commit on the standby's own log is fatal
 	stats ReceiverStats
 }
 
@@ -54,7 +64,7 @@ type Receiver struct {
 // port (a fresh private one, NOT the service port) is what the primary
 // ships to.
 func NewReceiver(fb *fbox.FBox, src crypto.Source, k *svc.Kernel, apply func(rec []byte) error) *Receiver {
-	r := &Receiver{k: k, apply: apply}
+	r := &Receiver{k: k, apply: apply, now: time.Now}
 	r.srv = rpc.NewServer(fb, src)
 	// Inline dispatch: the stream is serialized by r.mu anyway, so the
 	// worker-pool handoff would buy nothing and cost two goroutine
@@ -67,8 +77,31 @@ func NewReceiver(fb *fbox.FBox, src crypto.Source, k *svc.Kernel, apply func(rec
 // Port returns the receiver's put-port (the shipper's destination).
 func (r *Receiver) Port() cap.Port { return r.srv.PutPort() }
 
+// SetClock injects the clock used for last-contact stamps (tests skew
+// it); call before Start.
+func (r *Receiver) SetClock(now func() time.Time) { r.now = now }
+
 // Start begins receiving (advertises the private port for LOCATE).
-func (r *Receiver) Start() error { return r.srv.Start() }
+// The contact clock starts now: a standby that never hears from its
+// primary at all should still detect the silence, measured from its
+// own birth rather than from a heartbeat that never came.
+func (r *Receiver) Start() error {
+	r.contact.Store(r.now().UnixNano())
+	return r.srv.Start()
+}
+
+// LastContact returns the arrival time of the last term-valid ship
+// frame (the failure detector's input).
+func (r *Receiver) LastContact() time.Time {
+	return time.Unix(0, r.contact.Load())
+}
+
+// Term returns the highest replication epoch this receiver has seen.
+func (r *Receiver) Term() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term
+}
 
 // Close stops the receiver. Promotion closes it before starting the
 // service kernel, so a stale primary's ships bounce off a dead port
@@ -99,7 +132,7 @@ func conflict(high uint64) rpc.Reply {
 }
 
 func (r *Receiver) handleShip(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
-	items, rebase, err := Decode(req.Data)
+	items, rebase, term, err := Decode(req.Data)
 	if err != nil {
 		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
 	}
@@ -107,6 +140,20 @@ func (r *Receiver) handleShip(_ context.Context, _ rpc.Meta, req rpc.Request) rp
 	defer r.mu.Unlock()
 	if r.dead != nil {
 		return rpc.ErrReplyFromErr(r.dead)
+	}
+	// Epoch fencing: a frame from a lower term is a deposed primary's
+	// — its stream must not touch this standby's state (and must not
+	// read as a sign of life), it must learn it has been superseded.
+	if term < r.term {
+		return rpc.Reply{Status: rpc.StatusStale, Data: ackData(r.term)}
+	}
+	r.term = term
+	r.contact.Store(r.now().UnixNano())
+	if len(items) == 0 {
+		// Heartbeat: nothing to apply, just acknowledge (the ack is
+		// the lease grant) with the durable high water.
+		r.stats.Frames++
+		return rpc.OkReply(ackData(r.st.high()))
 	}
 	r.stats.Frames++
 	gap := false

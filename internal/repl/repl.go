@@ -21,14 +21,19 @@
 //
 // Wire format of one ship frame (the payload of an OpShip request):
 //
-//	flags(1) ∥ count(2) ∥ count × item
+//	flags(1) ∥ term(8) ∥ count(2) ∥ count × item
 //	item: seq(8) ∥ kind(1) ∥ total(4) ∥ off(4) ∥ fragLen(4) ∥ frag
 //
 // Records larger than a frame are fragmented (off/total); the receiver
 // reassembles in order. flags bit 0 marks a rebase frame: its (single,
 // possibly fragmented) checkpoint record replaces the standby's whole
 // state and resets the expected sequence — how a standby attaches to a
-// primary mid-life. Replies carry high(8), the receiver's durable
+// primary mid-life. A frame with count = 0 is a heartbeat: it renews
+// the sender's lease grant and refreshes the receiver's failure
+// detector without carrying records. term is the sender's replication
+// epoch; a receiver that has seen a higher term rejects the frame with
+// rpc.StatusStale (the sender is a deposed primary) and otherwise
+// adopts the term. Replies carry high(8), the receiver's durable
 // high-water sequence; a sequence gap is rejected with
 // rpc.StatusConflict (same high(8) payload) and the shipper heals it
 // by re-shipping from the receiver's high water via wal.ReadFrom.
@@ -56,7 +61,7 @@ const (
 
 	flagRebase = 0x01
 
-	frameHdr = 3  // flags(1) count(2)
+	frameHdr = 11 // flags(1) term(8) count(2)
 	itemHdr  = 21 // seq(8) kind(1) total(4) off(4) fragLen(4)
 )
 
@@ -85,9 +90,10 @@ type Frame struct {
 	FirstSeq uint64
 }
 
-// Encode packs records into one or more ship frames, splitting records
-// that exceed MaxShipBytes into fragments.
-func Encode(recs []wal.Record, rebase bool) []Frame {
+// Encode packs records into one or more ship frames stamped with the
+// sender's term, splitting records that exceed MaxShipBytes into
+// fragments.
+func Encode(recs []wal.Record, rebase bool, term uint64) []Frame {
 	flags := byte(0)
 	if rebase {
 		flags = flagRebase
@@ -105,16 +111,18 @@ func Encode(recs []wal.Record, rebase bool) []Frame {
 	var frames []Frame
 	cur := make([]byte, frameHdr, need)
 	cur[0] = flags
+	binary.BigEndian.PutUint64(cur[1:9], term)
 	count := 0
 	var first uint64
 	flush := func() {
 		if count == 0 {
 			return
 		}
-		binary.BigEndian.PutUint16(cur[1:3], uint16(count))
+		binary.BigEndian.PutUint16(cur[9:11], uint16(count))
 		frames = append(frames, Frame{Payload: cur, FirstSeq: first})
 		cur = make([]byte, frameHdr, need)
 		cur[0] = flags
+		binary.BigEndian.PutUint64(cur[1:9], term)
 		count = 0
 	}
 	for _, r := range recs {
@@ -155,17 +163,26 @@ func Encode(recs []wal.Record, rebase bool) []Frame {
 	return frames
 }
 
+// EncodeHeartbeat builds the empty ship frame that renews a lease: no
+// records, just the sender's term.
+func EncodeHeartbeat(term uint64) []byte {
+	b := make([]byte, frameHdr)
+	binary.BigEndian.PutUint64(b[1:9], term)
+	return b
+}
+
 // Decode parses one ship frame. It never panics on arbitrary input
 // (fuzzed); a malformed frame returns an error.
-func Decode(frame []byte) (items []Item, rebase bool, err error) {
+func Decode(frame []byte) (items []Item, rebase bool, term uint64, err error) {
 	if len(frame) < frameHdr {
-		return nil, false, fmt.Errorf("repl: short frame (%d bytes)", len(frame))
+		return nil, false, 0, fmt.Errorf("repl: short frame (%d bytes)", len(frame))
 	}
 	flags := frame[0]
 	if flags&^flagRebase != 0 {
-		return nil, false, fmt.Errorf("repl: unknown flags %#02x", flags)
+		return nil, false, 0, fmt.Errorf("repl: unknown flags %#02x", flags)
 	}
-	count := int(binary.BigEndian.Uint16(frame[1:3]))
+	term = binary.BigEndian.Uint64(frame[1:9])
+	count := int(binary.BigEndian.Uint16(frame[9:11]))
 	at := frameHdr
 	cap := count
 	if cap > 64 {
@@ -174,7 +191,7 @@ func Decode(frame []byte) (items []Item, rebase bool, err error) {
 	items = make([]Item, 0, cap)
 	for i := 0; i < count; i++ {
 		if len(frame)-at < itemHdr {
-			return nil, false, fmt.Errorf("repl: truncated item %d", i)
+			return nil, false, 0, fmt.Errorf("repl: truncated item %d", i)
 		}
 		seq := binary.BigEndian.Uint64(frame[at:])
 		kind := frame[at+8]
@@ -183,13 +200,13 @@ func Decode(frame []byte) (items []Item, rebase bool, err error) {
 		fl := binary.BigEndian.Uint32(frame[at+17:])
 		at += itemHdr
 		if kind != kindData && kind != kindCheckpoint {
-			return nil, false, fmt.Errorf("repl: item %d: unknown kind %#02x", i, kind)
+			return nil, false, 0, fmt.Errorf("repl: item %d: unknown kind %#02x", i, kind)
 		}
 		if total > MaxRecordTotal || off > total || fl > total-off {
-			return nil, false, fmt.Errorf("repl: item %d: bad geometry total=%d off=%d frag=%d", i, total, off, fl)
+			return nil, false, 0, fmt.Errorf("repl: item %d: bad geometry total=%d off=%d frag=%d", i, total, off, fl)
 		}
 		if uint32(len(frame)-at) < fl {
-			return nil, false, fmt.Errorf("repl: item %d: truncated fragment", i)
+			return nil, false, 0, fmt.Errorf("repl: item %d: truncated fragment", i)
 		}
 		items = append(items, Item{
 			Seq:        seq,
@@ -201,9 +218,9 @@ func Decode(frame []byte) (items []Item, rebase bool, err error) {
 		at += int(fl)
 	}
 	if at != len(frame) {
-		return nil, false, fmt.Errorf("repl: %d trailing bytes", len(frame)-at)
+		return nil, false, 0, fmt.Errorf("repl: %d trailing bytes", len(frame)-at)
 	}
-	return items, flags&flagRebase != 0, nil
+	return items, flags&flagRebase != 0, term, nil
 }
 
 // ackData encodes a reply payload carrying the high-water sequence.

@@ -379,7 +379,7 @@ func TestReceiverRejectsStaleDupAndGap(t *testing.T) {
 	raw := r.newClientOn(r.attach())
 
 	// A duplicate of an already-applied record: skipped, same high.
-	dup := Encode([]wal.Record{{Seq: high, Data: []byte{0x01, 'x'}}}, false)
+	dup := Encode([]wal.Record{{Seq: high, Data: []byte{0x01, 'x'}}}, false, 0)
 	rep, err := raw.Trans(ctx, rc.recv.Port(), rpc.Request{Op: OpShip, Data: dup[0].Payload})
 	if err != nil || rep.Status != rpc.StatusOK {
 		t.Fatalf("dup ship: %v %+v", err, rep)
@@ -392,7 +392,7 @@ func TestReceiverRejectsStaleDupAndGap(t *testing.T) {
 	}
 
 	// A future record (sequence gap): StatusConflict carrying high.
-	gap := Encode([]wal.Record{{Seq: high + 5, Data: []byte{0x01, 'x'}}}, false)
+	gap := Encode([]wal.Record{{Seq: high + 5, Data: []byte{0x01, 'x'}}}, false, 0)
 	rep, err = raw.Trans(ctx, rc.recv.Port(), rpc.Request{Op: OpShip, Data: gap[0].Payload})
 	if err != nil || rep.Status != rpc.StatusConflict {
 		t.Fatalf("gap ship: %v %+v", err, rep)
@@ -438,14 +438,14 @@ func TestShipFragmentedRecord(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i * 31)
 	}
-	frames := Encode([]wal.Record{{Seq: 42, Data: big}}, false)
+	frames := Encode([]wal.Record{{Seq: 42, Data: big}}, false, 0)
 	if len(frames) < 3 {
 		t.Fatalf("big record packed into %d frames, want ≥ 3", len(frames))
 	}
 	st := &stream{based: true, expected: 42}
 	var got []wal.Record
 	for _, f := range frames {
-		items, rebase, err := Decode(f.Payload)
+		items, rebase, _, err := Decode(f.Payload)
 		if err != nil {
 			t.Fatal(err)
 		}

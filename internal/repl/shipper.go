@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amoeba/internal/cap"
@@ -12,23 +13,48 @@ import (
 	"amoeba/internal/wal"
 )
 
-// ErrBackupLost is recorded when the backup stops acknowledging for
+// ErrBackupLost is recorded when a backup stops acknowledging for
 // Options.Attempts consecutive tries: the primary keeps serving
-// (availability over replication) and drops the stream; attach a fresh
-// backup to re-replicate.
+// (availability over replication) and stops shipping to that peer — but
+// unlike a write-off, a slow re-probe keeps ticking, and when the peer
+// answers again it is re-based through the snapshot path and rejoins
+// the stream with no operator involved.
 var ErrBackupLost = errors.New("repl: backup lost (stopped acknowledging)")
 
-// Options tunes a shipper. The zero value gets sensible defaults.
+// Options tunes a shipper. The zero value gets sensible defaults
+// (single-backup legacy mode: no lease, no heartbeats, term 0).
 type Options struct {
 	// Timeout bounds one ship RPC attempt (default 1s).
 	Timeout time.Duration
 	// Attempts is how many consecutive failures the shipper tolerates
-	// before declaring the backup lost (default 8). Each attempt
+	// before declaring a backup lost (default 8). Each attempt
 	// already carries the RPC client's own retries, so a lost frame or
 	// two never burns an attempt.
 	Attempts int
 	// Backoff is the pause between failed attempts (default 5ms).
 	Backoff time.Duration
+	// Reprobe is the interval at which LOST peers are probed for signs
+	// of life (default 16×Backoff). A transient partition or a long GC
+	// pause on a standby used to write it off permanently; now contact
+	// triggers a re-base via the snapshot path.
+	Reprobe time.Duration
+	// LeaseTerm, when positive, enables group mode: the shipper sends
+	// bare heartbeat frames at LeaseTerm/3 when the stream is idle,
+	// counts each peer's acknowledgement (of anything) as a lease
+	// grant, and Fence refuses acknowledgements once a majority of the
+	// configured group has been silent for a full term.
+	LeaseTerm time.Duration
+	// GroupSize is the configured replica count N (primary plus all
+	// standbys, including currently-dead ones) that majorities are
+	// computed against; 0 defaults to 1+len(peers) at attach.
+	GroupSize int
+	// Term is the replication epoch stamped on every frame this
+	// shipper sends. A receiver that has adopted a higher term rejects
+	// the frame with rpc.StatusStale and the shipper goes deposed.
+	Term uint64
+	// Now is the clock used for lease accounting (nil selects
+	// time.Now; the clock-skew tests inject offsets).
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -41,162 +67,439 @@ func (o Options) withDefaults() Options {
 	if o.Backoff <= 0 {
 		o.Backoff = 5 * time.Millisecond
 	}
+	if o.Reprobe <= 0 {
+		o.Reprobe = 16 * o.Backoff
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	return o
 }
 
 // ShipperStats counts replication traffic on the primary.
 type ShipperStats struct {
-	Batches uint64 // commit batches offered by the log's sink
-	Frames  uint64 // ship frames sent (incl. catch-up and retries)
-	Records uint64 // records shipped (first transmission)
-	Retries uint64 // failed attempts that were retried
-	CatchUp uint64 // records re-shipped after a receiver gap
-	Dropped uint64 // records NOT shipped (stopped or lost)
-	Acked   uint64 // receiver's durable high-water sequence
-	Lost    bool   // the backup was declared lost
+	Batches    uint64 // commit batches offered by the log's sink
+	Frames     uint64 // ship frames sent (incl. catch-up, heartbeats, retries)
+	Records    uint64 // records shipped (first transmission)
+	Retries    uint64 // failed attempts that were retried
+	CatchUp    uint64 // records re-shipped after a receiver gap
+	Dropped    uint64 // records NOT shipped to some peer (stopped or lost)
+	Acked      uint64 // highest durable high-water sequence any peer acked
+	Heartbeats uint64 // bare lease-renewal frames sent
+	Rebases    uint64 // peers re-based after loss or (re)join
+	Lost       bool   // every peer is currently lost
+	Sealed     bool   // a batch missed majority; acknowledgements fenced
+	Deposed    bool   // a newer term was observed; this primary is done
 }
 
-// Shipper is the primary half of the replication channel. Attach wires
-// it into a durable kernel's commit path: the kernel quiesces, ships a
-// base snapshot (so the standby starts from the primary's exact state),
-// and installs the shipper as the log's commit sink. From then on every
-// group commit's records are shipped synchronously — the commit's
-// tickets (and therefore the clients' replies) wait for the standby's
-// durable acknowledgement. One ship RPC per commit batch: replication
-// rides group commit and adds no fsyncs on the primary.
-//
-// Failure policy: a sequence-gap rejection is healed in place by
-// re-shipping from the receiver's high water (wal.ReadFrom); transport
-// failures are retried Options.Attempts times and then the backup is
-// declared lost — the primary answers on, unreplicated, rather than
-// stalling its clients forever behind a dead standby.
-type Shipper struct {
-	k    *svc.Kernel
-	c    *rpc.Client
+// peer is one standby's shipping state. Frames to a peer are
+// serialized by its own mutex (the commit sink, heartbeats and a
+// re-base must not interleave on one stream), so slow peers only slow
+// themselves.
+type peer struct {
 	dest cap.Port
-	o    Options
+
+	mu    sync.Mutex // serializes frames to this peer
+	fails int        // consecutive failed attempts (under mu)
+
+	lost  atomic.Bool
+	acked atomic.Uint64 // this peer's durable high water
+	grant atomic.Int64  // unixnano SEND time of the last acked frame
+}
+
+// Shipper is the primary half of the replication channel, feeding N
+// standbys from one commit sink. Attach wires it into a durable
+// kernel's commit path: the kernel quiesces, ships a base snapshot to
+// every peer, and installs the shipper as the log's commit sink. From
+// then on every group commit's records are shipped to all live peers in
+// parallel — the commit's tickets (and therefore the clients' replies)
+// wait for every live standby's durable acknowledgement, so a double
+// failure still loses nothing that was acknowledged.
+//
+// Group mode (Options.LeaseTerm > 0) adds leased leadership: every
+// acknowledged frame doubles as a lease grant timestamped at its SEND
+// time, bare heartbeats renew grants when the stream is idle, and
+// Fence — installed as the kernel's replica fence and admission gate —
+// refuses acknowledgements when a majority of the configured group has
+// been silent for a full term (the lease lapsed), when a committed
+// batch failed to reach a majority (sealed), or when a peer reported a
+// newer term (deposed). That is the split-brain guard: an isolated old
+// primary stops acknowledging strictly before the standbys' failure
+// detectors (lease term + skew) can elect a successor.
+//
+// Failure policy per peer: a sequence-gap rejection is healed in place
+// by re-shipping from that receiver's high water (wal.ReadFrom);
+// transport failures are retried Options.Attempts times and then the
+// peer is marked lost — shipped around, slow-reprobed, and re-based
+// through the snapshot path when it answers again.
+type Shipper struct {
+	k *svc.Kernel
+	c *rpc.Client
+	o Options
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	opts   []rpc.CallOption // per-attempt timeout/retries, built once
+	hbOpts []rpc.CallOption // heartbeat-only: one short attempt (see below)
 
-	// mu serializes every ship path (the committer's sink calls and the
-	// base ship) and guards the state below.
+	sealed  atomic.Bool
+	deposed atomic.Bool
+
+	// mu guards the peer list and stats; the ship paths themselves run
+	// outside it (per-peer mutexes serialize each stream) so a stalled
+	// peer cannot wedge Stats or Fence.
 	mu      sync.Mutex
+	peers   []*peer
 	stopped bool
-	lost    bool
 	stats   ShipperStats
+
+	wg sync.WaitGroup // heartbeat + reprobe loops
 }
 
-// Attach starts replicating kernel k to the receiver at dest, shipping
-// through client c (a client on the primary's machine). It returns once
+// Attach starts replicating kernel k to the single receiver at dest,
+// shipping through client c (a client on the primary's machine) — the
+// legacy one-standby mode: manual promotion, no lease. It returns once
 // the standby holds the primary's base snapshot; every mutation the
 // primary acknowledges afterwards is on the standby first.
 func Attach(k *svc.Kernel, c *rpc.Client, dest cap.Port, o Options) (*Shipper, error) {
-	s := &Shipper{k: k, c: c, dest: dest, o: o.withDefaults()}
+	return AttachGroup(k, c, []cap.Port{dest}, o)
+}
+
+// AttachGroup starts replicating kernel k to the receivers at dests.
+// With Options.LeaseTerm set this is a replication group: all-live-peer
+// synchronous shipping, lease-fenced acknowledgements, heartbeats.
+func AttachGroup(k *svc.Kernel, c *rpc.Client, dests []cap.Port, o Options) (*Shipper, error) {
+	s := &Shipper{k: k, c: c, o: o.withDefaults()}
+	if s.o.GroupSize <= 0 {
+		s.o.GroupSize = 1 + len(dests)
+	}
 	s.opts = []rpc.CallOption{rpc.WithTimeout(s.o.Timeout), rpc.WithRetries(1)}
+	if s.o.LeaseTerm > 0 {
+		// Heartbeats: ONE attempt, bounded by the tick interval. A grant
+		// is stamped at send time, so an attempt that drags (or a retry
+		// after a lost first attempt) stores a grant that is already
+		// stale when it lands — under load that can wedge a lapsed lease
+		// permanently, because the fence blocks the data traffic that
+		// would otherwise renew it. Better to abandon a slow attempt and
+		// re-stamp fresh at the next tick.
+		s.hbOpts = []rpc.CallOption{rpc.WithTimeout(s.o.LeaseTerm / 3), rpc.WithRetries(0)}
+	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for _, d := range dests {
+		s.peers = append(s.peers, &peer{dest: d})
+	}
 	err := k.AttachReplica(func(snap []byte, next uint64) error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		// Seq next-1 makes the receiver expect exactly the next record
-		// the primary will commit.
-		return s.shipLocked([]wal.Record{{Seq: next - 1, Checkpoint: true, Data: snap}}, true)
+		// Seq next-1 makes every receiver expect exactly the next
+		// record the primary will commit.
+		base := []wal.Record{{Seq: next - 1, Checkpoint: true, Data: snap}}
+		for _, p := range s.peers {
+			if err := s.shipToPeer(p, Encode(base, true, s.o.Term), next, true); err != nil {
+				return err
+			}
+		}
+		return nil
 	}, s.sink)
 	if err != nil {
 		s.cancel()
 		return nil, err
 	}
+	if s.o.LeaseTerm > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
+	s.wg.Add(1)
+	go s.reprobeLoop()
 	return s, nil
 }
 
-// Stop detaches the shipper from the kernel and aborts any in-flight
-// ship RPC. Records committed after Stop are not shipped. Kill and
-// Promote paths call it; it is idempotent.
+// Stop detaches the shipper from the kernel, aborts any in-flight ship
+// RPC and stops the heartbeat/reprobe loops. Records committed after
+// Stop are not shipped. Kill and Promote paths call it; idempotent.
 func (s *Shipper) Stop() {
 	s.cancel() // first: unblocks a sink mid-RPC so the lock frees fast
 	s.k.DetachReplica()
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	s.wg.Wait()
 }
 
-// Lost reports whether the backup was declared lost.
+// Lost reports whether every peer is currently lost (for the single-
+// backup legacy mode: whether THE backup is lost). A lost peer can
+// come back: the reprobe loop re-bases it on contact.
 func (s *Shipper) Lost() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lost
+	if len(s.peers) == 0 {
+		return false
+	}
+	for _, p := range s.peers {
+		if !p.lost.Load() {
+			return false
+		}
+	}
+	return true
 }
 
-// Lag returns how many committed records the backup has not yet
-// acknowledged (0 on a healthy synchronous stream).
+// LostPeers returns how many peers are currently marked lost.
+func (s *Shipper) LostPeers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.peers {
+		if p.lost.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Term returns the replication epoch this shipper stamps on frames.
+func (s *Shipper) Term() uint64 { return s.o.Term }
+
+// Lag returns how many committed records the slowest live peer has not
+// yet acknowledged (0 on a healthy synchronous stream).
 func (s *Shipper) Lag() uint64 {
 	s.mu.Lock()
-	acked := s.stats.Acked
+	low := uint64(0)
+	any := false
+	for _, p := range s.peers {
+		if p.lost.Load() {
+			continue
+		}
+		a := p.acked.Load()
+		if !any || a < low {
+			low, any = a, true
+		}
+	}
+	if !any {
+		low = s.stats.Acked
+	}
 	s.mu.Unlock()
 	head := s.k.NextSeq() - 1
-	if head <= acked {
+	if head <= low {
 		return 0
 	}
-	return head - acked
+	return head - low
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Shipper) Stats() ShipperStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Sealed = s.sealed.Load()
+	st.Deposed = s.deposed.Load()
+	st.Lost = len(s.peers) > 0
+	for _, p := range s.peers {
+		if !p.lost.Load() {
+			st.Lost = false
+		}
+		if a := p.acked.Load(); a > st.Acked {
+			st.Acked = a
+		}
+	}
+	return st
+}
+
+// majority is the quorum size over the CONFIGURED group — dead peers
+// still count toward N, which is exactly what makes the arithmetic a
+// split-brain guard rather than an echo chamber.
+func (s *Shipper) majority() int { return s.o.GroupSize/2 + 1 }
+
+// LeaseValid reports whether a majority of the group (counting the
+// primary itself) has granted a lease renewal within the last term.
+// Grants are timestamped at frame SEND time, so the primary's view of
+// its lease is pessimistic by exactly the network delay — the safe
+// direction.
+func (s *Shipper) LeaseValid() bool {
+	if s.o.LeaseTerm <= 0 {
+		return true
+	}
+	now := s.o.Now()
+	grants := 1 // the primary grants to itself
+	s.mu.Lock()
+	peers := append([]*peer(nil), s.peers...)
+	s.mu.Unlock()
+	for _, p := range peers {
+		if g := p.grant.Load(); g != 0 && now.Sub(time.Unix(0, g)) <= s.o.LeaseTerm {
+			grants++
+		}
+	}
+	return grants >= s.majority()
+}
+
+// Fence is the acknowledgement guard a group primary installs as its
+// kernel's replica fence and admission gate: nil while this shipper is
+// entitled to acknowledge durable operations.
+func (s *Shipper) Fence() error {
+	switch {
+	case s.deposed.Load():
+		return ErrDeposed
+	case s.sealed.Load():
+		return ErrSealed
+	case !s.LeaseValid():
+		return ErrLeaseLapsed
+	}
+	return nil
+}
+
+// depose marks this shipper permanently done: some peer has adopted a
+// newer term, so a successor is (or was) being elected.
+func (s *Shipper) depose() {
+	s.deposed.Store(true)
+}
+
+// AddPeer re-bases a fresh (or returning, or formerly promoted-away)
+// standby at dest through the snapshot path and adds it to the group.
+// The re-base runs quiesced, so the new peer joins with no gap.
+func (s *Shipper) AddPeer(dest cap.Port) error {
+	p := &peer{dest: dest}
+	return s.k.Resnapshot(func(snap []byte, next uint64) error {
+		base := []wal.Record{{Seq: next - 1, Checkpoint: true, Data: snap}}
+		if err := s.shipToPeer(p, Encode(base, true, s.o.Term), next, true); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.peers = append(s.peers, p)
+		s.stats.Rebases++
+		s.mu.Unlock()
+		return nil
+	})
+}
+
+// DropPeer removes the peer at dest from the group (its machine is
+// being restarted with a fresh receiver port, or retired for good).
+func (s *Shipper) DropPeer(dest cap.Port) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.peers {
+		if p.dest == dest {
+			s.peers = append(s.peers[:i], s.peers[i+1:]...)
+			return
+		}
+	}
 }
 
 // sink is the log's commit sink: called from the single committer
 // goroutine, after the local sync, before the batch's tickets complete.
+// It ships to every live peer in parallel and returns when all have
+// durably acknowledged (or spent their attempt budgets): synchronous
+// replication to the whole live group, so even the slowest standby
+// holds every acknowledged op.
 func (s *Shipper) sink(recs []wal.Record) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped || s.lost {
+	if s.stopped || s.deposed.Load() {
 		s.stats.Dropped += uint64(len(recs))
+		s.mu.Unlock()
 		return
 	}
+	peers := append([]*peer(nil), s.peers...)
 	s.stats.Batches++
 	s.stats.Records += uint64(len(recs))
-	_ = s.shipLocked(recs, false) // loss is recorded in s.lost/stats
+	s.mu.Unlock()
+
+	live := make([]*peer, 0, len(peers))
+	for _, p := range peers {
+		if !p.lost.Load() {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		// Group mode: a batch that reaches NOBODY trivially missed its
+		// majority and must seal like any other — skipping the check
+		// here would let the primary acknowledge unreplicated ops in
+		// the window before its lease lapses, and a subsequent election
+		// would silently drop them.
+		if s.o.LeaseTerm > 0 {
+			s.sealed.Store(true)
+		}
+		s.mu.Lock()
+		s.stats.Dropped += uint64(len(recs))
+		s.mu.Unlock()
+		return
+	}
+	frames := Encode(recs, false, s.o.Term)
+	end := recs[len(recs)-1].Seq + 1
+	acks := int32(0)
+	if len(live) == 1 {
+		if s.shipToPeer(live[0], frames, end, false) == nil {
+			acks = 1
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, p := range live {
+			wg.Add(1)
+			go func(p *peer) {
+				defer wg.Done()
+				if s.shipToPeer(p, frames, end, false) == nil {
+					atomic.AddInt32(&acks, 1)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+	// Majority seal, the quorum half of the split-brain guard: if this
+	// batch did not reach a majority of the CONFIGURED group, a
+	// successor could be elected among machines that never saw it —
+	// so neither this batch nor anything after it may be acknowledged.
+	// Sticky on purpose: the fence refuses from here on, clients fail
+	// over, and refusing an op that actually survived is safe (clients
+	// retry; the suites tolerate duplicate side effects), while
+	// acknowledging one that didn't is the one unforgivable lie.
+	if s.o.LeaseTerm > 0 && int(acks)+1 < s.majority() {
+		s.sealed.Store(true)
+	}
 }
 
-// shipLocked ships recs (already in sequence order) under s.mu.
-func (s *Shipper) shipLocked(recs []wal.Record, rebase bool) error {
-	end := recs[len(recs)-1].Seq + 1
-	for _, frame := range Encode(recs, rebase) {
-		if err := s.sendFrame(frame, end, rebase); err != nil {
+// shipToPeer delivers one encoded batch to one peer, serialized with
+// that peer's other traffic.
+func (s *Shipper) shipToPeer(p *peer, frames []Frame, batchEnd uint64, rebase bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, frame := range frames {
+		if err := s.sendFrame(p, frame, batchEnd, rebase); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// sendFrame delivers one frame. A sequence-gap rejection is healed by
-// re-shipping everything from the receiver's high water through the end
-// of the batch out of the primary's own log (every batch record is
-// committed before the sink runs, so the log has them all); transport
-// failures are retried until the attempt budget is spent.
-func (s *Shipper) sendFrame(frame Frame, batchEnd uint64, rebase bool) error {
-	fails := 0
+// sendFrame delivers one frame to one peer (caller holds p.mu). A
+// sequence-gap rejection is healed by re-shipping everything from the
+// receiver's high water through the end of the batch out of the
+// primary's own log (every batch record is committed before the sink
+// runs, so the log has them all); transport failures are retried until
+// the attempt budget is spent, and then the peer is marked lost.
+func (s *Shipper) sendFrame(p *peer, frame Frame, batchEnd uint64, rebase bool) error {
 	for {
 		if s.ctx.Err() != nil {
+			s.mu.Lock()
 			s.stats.Dropped++
+			s.mu.Unlock()
 			return s.ctx.Err()
 		}
+		s.mu.Lock()
 		s.stats.Frames++
+		s.mu.Unlock()
 		// s.ctx carries only cancellation (Stop); the per-attempt
 		// timeout rides the call option, so no deadline context is
-		// built on this hot path.
-		rep, err := s.c.Trans(s.ctx, s.dest, rpc.Request{Op: OpShip, Data: frame.Payload}, s.opts...)
+		// built on this hot path. sent is taken BEFORE the call: a
+		// grant is only as fresh as the moment the renewal left.
+		sent := s.o.Now()
+		rep, err := s.c.Trans(s.ctx, p.dest, rpc.Request{Op: OpShip, Data: frame.Payload}, s.opts...)
 		if err == nil {
 			switch rep.Status {
 			case rpc.StatusOK:
-				if high, aerr := ParseAck(rep.Data); aerr == nil && high > s.stats.Acked {
-					s.stats.Acked = high
+				p.fails = 0
+				if high, aerr := ParseAck(rep.Data); aerr == nil {
+					s.peerAcked(p, high)
 				}
+				p.grant.Store(sent.UnixNano())
 				return nil
+			case rpc.StatusStale:
+				s.depose()
+				return ErrDeposed
 			case rpc.StatusConflict:
 				// A rebase frame can never gap; for the in-sequence
 				// stream, back-fill from the receiver's high water. If
@@ -205,22 +508,23 @@ func (s *Shipper) sendFrame(frame Frame, batchEnd uint64, rebase bool) error {
 				high, aerr := ParseAck(rep.Data)
 				if aerr == nil && !rebase {
 					if high+1 < batchEnd {
-						if cerr := s.catchUp(high+1, batchEnd); cerr != nil {
+						if cerr := s.catchUp(p, high+1, batchEnd); cerr != nil {
 							return cerr
 						}
 					}
-					if s.stats.Acked >= batchEnd-1 {
+					if p.acked.Load() >= batchEnd-1 {
+						p.grant.Store(sent.UnixNano())
 						return nil
 					}
 				}
 			}
 		}
-		fails++
+		p.fails++
+		s.mu.Lock()
 		s.stats.Retries++
-		if fails >= s.o.Attempts {
-			s.lost = true
-			s.stats.Lost = true
-			s.k.DetachReplica()
+		s.mu.Unlock()
+		if p.fails >= s.o.Attempts {
+			p.lost.Store(true)
 			return ErrBackupLost
 		}
 		select {
@@ -230,21 +534,38 @@ func (s *Shipper) sendFrame(frame Frame, batchEnd uint64, rebase bool) error {
 	}
 }
 
+// peerAcked records a durable acknowledgement from one peer.
+func (s *Shipper) peerAcked(p *peer, high uint64) {
+	for {
+		cur := p.acked.Load()
+		if high <= cur || p.acked.CompareAndSwap(cur, high) {
+			break
+		}
+	}
+	s.mu.Lock()
+	if high > s.stats.Acked {
+		s.stats.Acked = high
+	}
+	s.mu.Unlock()
+}
+
 // catchUp re-ships the committed records in [from, to) out of the
-// primary's own log. ErrSeqTruncated cannot normally happen — the
-// receiver's high water only trails records it was already shipped,
-// which a checkpoint cannot outrun because checkpoints ship through the
-// same ordered stream — so it is treated as a lost backup.
-func (s *Shipper) catchUp(from, to uint64) error {
+// primary's own log to one peer. ErrSeqTruncated cannot normally happen
+// — the receiver's high water only trails records it was already
+// shipped, which a checkpoint cannot outrun because checkpoints ship
+// through the same ordered stream — so it is treated as a lost backup.
+func (s *Shipper) catchUp(p *peer, from, to uint64) error {
 	batch := make([]wal.Record, 0, 64)
 	size := 0
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
+		s.mu.Lock()
 		s.stats.CatchUp += uint64(len(batch))
-		for _, frame := range Encode(batch, false) {
-			if err := s.sendCatchUpFrame(frame.Payload); err != nil {
+		s.mu.Unlock()
+		for _, frame := range Encode(batch, false, s.o.Term) {
+			if err := s.sendCatchUpFrame(p, frame.Payload); err != nil {
 				return err
 			}
 		}
@@ -276,26 +597,36 @@ var errStopScan = errors.New("repl: scan complete")
 // sendCatchUpFrame is sendFrame without gap-healing (catch-up must not
 // recurse); a conflict here means the receiver advanced meanwhile,
 // which the outer retry resolves.
-func (s *Shipper) sendCatchUpFrame(frame []byte) error {
-	fails := 0
+func (s *Shipper) sendCatchUpFrame(p *peer, frame []byte) error {
 	for {
 		if s.ctx.Err() != nil {
 			return s.ctx.Err()
 		}
+		s.mu.Lock()
 		s.stats.Frames++
-		rep, err := s.c.Trans(s.ctx, s.dest, rpc.Request{Op: OpShip, Data: frame}, s.opts...)
+		s.mu.Unlock()
+		sent := s.o.Now()
+		rep, err := s.c.Trans(s.ctx, p.dest, rpc.Request{Op: OpShip, Data: frame}, s.opts...)
+		if err == nil && rep.Status == rpc.StatusStale {
+			s.depose()
+			return ErrDeposed
+		}
 		if err == nil && (rep.Status == rpc.StatusOK || rep.Status == rpc.StatusConflict) {
-			if high, aerr := ParseAck(rep.Data); aerr == nil && high > s.stats.Acked {
-				s.stats.Acked = high
+			if high, aerr := ParseAck(rep.Data); aerr == nil {
+				s.peerAcked(p, high)
 			}
+			if rep.Status == rpc.StatusOK {
+				p.grant.Store(sent.UnixNano())
+			}
+			p.fails = 0
 			return nil
 		}
-		fails++
+		p.fails++
+		s.mu.Lock()
 		s.stats.Retries++
-		if fails >= s.o.Attempts {
-			s.lost = true
-			s.stats.Lost = true
-			s.k.DetachReplica()
+		s.mu.Unlock()
+		if p.fails >= s.o.Attempts {
+			p.lost.Store(true)
 			return ErrBackupLost
 		}
 		select {
@@ -303,4 +634,129 @@ func (s *Shipper) sendCatchUpFrame(frame []byte) error {
 		case <-time.After(s.o.Backoff):
 		}
 	}
+}
+
+// heartbeatLoop renews the group lease while the commit stream is
+// idle: one bare frame per live peer per LeaseTerm/3, single attempt —
+// a missed heartbeat just waits for the next tick, and three fit in a
+// term, so one loss never lapses the lease.
+func (s *Shipper) heartbeatLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.o.LeaseTerm / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if s.deposed.Load() {
+			return
+		}
+		hb := EncodeHeartbeat(s.o.Term)
+		s.mu.Lock()
+		peers := append([]*peer(nil), s.peers...)
+		s.mu.Unlock()
+		for _, p := range peers {
+			// Lost peers are heartbeated too: a peer that missed a few
+			// frames is LOST to the data stream (reprobeLoop re-bases
+			// it) but very much alive to the lease — if the primary went
+			// silent toward it, its failure detector would fire and
+			// elect a second primary out of a transient loss. The
+			// heartbeat tells it "your primary lives"; the re-base
+			// catches its data up separately.
+			if !p.mu.TryLock() {
+				// The sink (or a catch-up) is mid-frame to this peer;
+				// its ack will renew the grant better than we can.
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Heartbeats++
+			s.stats.Frames++
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func(p *peer) {
+				// One goroutine per peer per tick: a dead peer burns its
+				// timeout budget alone instead of stalling the loop —
+				// sequentially, one corpse could hold the next peer's
+				// heartbeat past the detector gap and cascade elections
+				// through a healthy group. Pile-up is impossible: the
+				// peer lock is held until this send resolves, so next
+				// tick's TryLock skips the peer.
+				defer s.wg.Done()
+				defer p.mu.Unlock()
+				sent := s.o.Now()
+				rep, err := s.c.Trans(s.ctx, p.dest, rpc.Request{Op: OpShip, Data: hb}, s.hbOpts...)
+				if err != nil {
+					return
+				}
+				switch rep.Status {
+				case rpc.StatusOK:
+					if high, aerr := ParseAck(rep.Data); aerr == nil {
+						s.peerAcked(p, high)
+					}
+					p.grant.Store(sent.UnixNano())
+				case rpc.StatusStale:
+					s.depose()
+				}
+			}(p)
+		}
+	}
+}
+
+// reprobeLoop is the slow path back from the dead: every Reprobe it
+// pings each lost peer's receiver with an OpSeq query (cheap, no
+// records), and a peer that answers is re-based via the snapshot path
+// and resumes as a live member of the group.
+func (s *Shipper) reprobeLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.o.Reprobe)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if s.deposed.Load() {
+			return
+		}
+		s.mu.Lock()
+		peers := append([]*peer(nil), s.peers...)
+		s.mu.Unlock()
+		for _, p := range peers {
+			if !p.lost.Load() || s.ctx.Err() != nil {
+				continue
+			}
+			rep, err := s.c.Trans(s.ctx, p.dest, rpc.Request{Op: OpSeq}, s.opts...)
+			if err != nil || rep.Status != rpc.StatusOK {
+				continue
+			}
+			// Alive again. Re-base it: its log may have holes we
+			// shipped around while it was lost, so the only safe
+			// resumption point is a fresh snapshot.
+			if err := s.rebasePeer(p); err != nil {
+				continue // still flaky; next tick tries again
+			}
+		}
+	}
+}
+
+// rebasePeer ships a returning peer a fresh base snapshot (quiesced, so
+// it rejoins the stream with no gap) and marks it live.
+func (s *Shipper) rebasePeer(p *peer) error {
+	return s.k.Resnapshot(func(snap []byte, next uint64) error {
+		p.mu.Lock()
+		p.fails = 0
+		p.mu.Unlock()
+		base := []wal.Record{{Seq: next - 1, Checkpoint: true, Data: snap}}
+		if err := s.shipToPeer(p, Encode(base, true, s.o.Term), next, true); err != nil {
+			return err
+		}
+		p.lost.Store(false)
+		s.mu.Lock()
+		s.stats.Rebases++
+		s.mu.Unlock()
+		return nil
+	})
 }

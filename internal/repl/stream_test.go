@@ -10,8 +10,8 @@ import (
 // returning the sequence numbers that were applied.
 func offerAll(t *testing.T, st *stream, recs []wal.Record, rebase bool) (applied []uint64, gaps int) {
 	t.Helper()
-	for _, f := range Encode(recs, rebase) {
-		items, rb, err := Decode(f.Payload)
+	for _, f := range Encode(recs, rebase, 0) {
+		items, rb, _, err := Decode(f.Payload)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,12 +85,12 @@ func TestStreamOrderAndRebase(t *testing.T) {
 
 func TestStreamFragmentRetry(t *testing.T) {
 	big := make([]byte, MaxShipBytes+100)
-	frames := Encode([]wal.Record{{Seq: 5, Data: big}}, false)
+	frames := Encode([]wal.Record{{Seq: 5, Data: big}}, false, 0)
 	if len(frames) != 2 {
 		t.Fatalf("%d frames, want 2", len(frames))
 	}
-	items0, _, _ := Decode(frames[0].Payload)
-	items1, _, _ := Decode(frames[1].Payload)
+	items0, _, _, _ := Decode(frames[0].Payload)
+	items1, _, _, _ := Decode(frames[1].Payload)
 
 	st := &stream{based: true, expected: 5}
 	if v, _, _ := st.offer(items0[0], false); v != vWait {

@@ -83,6 +83,10 @@ const (
 	// draining. The work was NOT executed — retrying (elsewhere, or
 	// after backoff) is always safe. Clients surface it as ErrOverload.
 	StatusOverload
+	// StatusStale means the sender's authority is out of date: a newer
+	// epoch has superseded it (the replication channel uses it to fence
+	// a deposed primary's stream). Retrying unchanged cannot help.
+	StatusStale
 )
 
 // String renders the status.
@@ -104,6 +108,8 @@ func (s Status) String() string {
 		return "conflict"
 	case StatusOverload:
 		return "overload"
+	case StatusStale:
+		return "stale epoch"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}

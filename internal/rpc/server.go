@@ -139,6 +139,12 @@ type Server struct {
 	inflight atomic.Int64
 	ewmaWait atomic.Int64
 	draining atomic.Bool
+
+	// admitGate, when set, is consulted before every pool admission; a
+	// non-nil error sheds the request with StatusOverload. The serving
+	// lease installs itself here so a deposed primary refuses new work
+	// at the door. Settable after Start (replication attaches late).
+	admitGate atomic.Value // of func() error
 }
 
 // job is one unit of worker-pool work: either a decoded request (the
@@ -486,17 +492,36 @@ func (s *Server) loop(l *fbox.Listener) {
 			s.tasks.Done()
 			continue
 		}
+		if g, _ := s.admitGate.Load().(func() error); g != nil {
+			if err := g(); err != nil {
+				s.shed(sealer, m, req, []byte(err.Error()))
+				m.Release()
+				continue
+			}
+		}
+		// Queue wait starts when the frame came off the NIC, not when
+		// dispatch got around to it: under a deep burst the listener
+		// queue itself holds requests for most of their budget, and an
+		// EWMA that ignored that time admitted doomed requests.
+		enq := m.At
+		if enq.IsZero() {
+			enq = time.Now() // hand-built Received (tests, loopback)
+		}
 		// Deadline-aware admission: if the pool is saturated and recent
-		// queue waits already exceed this request's remaining budget,
-		// the request would time out in the queue — executing it then
+		// queue waits already exceed this request's REMAINING budget —
+		// budget minus what the listener queue has already consumed —
+		// the request would time out in the queue. Executing it then
 		// wastes a worker, disk bandwidth and possibly a WAL write on a
 		// reply nobody is waiting for. Refuse it NOW, before it costs
 		// anything, with a status the client can tell apart from loss.
-		if req.Budget > 0 && s.inflight.Load() >= s.poolSize.Load() &&
-			time.Duration(s.ewmaWait.Load()) >= req.Budget {
-			s.shed(sealer, m, req, shedQueueWait)
-			m.Release()
-			continue
+		if req.Budget > 0 {
+			remaining := req.Budget - time.Since(enq)
+			if remaining <= 0 || (s.inflight.Load() >= s.poolSize.Load() &&
+				time.Duration(s.ewmaWait.Load()) >= remaining) {
+				s.shed(sealer, m, req, shedQueueWait)
+				m.Release()
+				continue
+			}
 		}
 		s.tasks.Add(1)
 		s.inflight.Add(1)
@@ -505,7 +530,7 @@ func (s *Server) loop(l *fbox.Listener) {
 		// load is shed at the wire — clients time out and retry.
 		// Ownership of m's frame buffer rides into the job; the worker
 		// releases it once the reply is on the wire.
-		s.work <- job{m: m, req: req, enq: time.Now()}
+		s.work <- job{m: m, req: req, enq: enq}
 	}
 }
 
@@ -692,6 +717,16 @@ func replyDataIsBuf(rep Reply) bool {
 		return false
 	}
 	return len(bb) == 0 || &rep.Data[0] == &bb[0]
+}
+
+// SetAdmitGate installs (or, with nil, removes) a predicate consulted
+// before every pool admission; a non-nil error sheds the request with
+// StatusOverload carrying the error text. Unlike the handlers it may be
+// installed or swapped after Start — replication attaches to a running
+// kernel — and it must be cheap and non-blocking: it runs on the
+// dispatch loop under the very overload it exists to manage.
+func (s *Server) SetAdmitGate(g func() error) {
+	s.admitGate.Store(g)
 }
 
 // Quiesce blocks new request execution and waits for every in-flight

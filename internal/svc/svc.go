@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amoeba/internal/cap"
@@ -77,6 +78,14 @@ type Kernel struct {
 
 	revMu sync.Mutex // orders revoke records with their table re-key
 
+	// fence, when set, is consulted after every handler's durability
+	// barrier and before its reply leaves: a non-nil error withholds
+	// the acknowledgement. The replication lease installs itself here —
+	// a primary whose lease has lapsed may have executed the mutation,
+	// but it must not promise the client the mutation is decided, since
+	// a majority of the group may already be electing a successor.
+	fence atomic.Value // of func() error
+
 	mu        sync.Mutex
 	recovered bool
 	closed    bool
@@ -127,9 +136,31 @@ func (k *Kernel) observed(h rpc.Handler) rpc.Handler {
 		if err := k.log.Barrier(); err != nil {
 			return rpc.ErrReplyFromErr(err)
 		}
+		// The replica fence runs AFTER the barrier: by now the record
+		// is locally durable and shipped, so the fence's only question
+		// is whether this kernel is still entitled to acknowledge it.
+		// StatusOverload tells the client to back off and retry — by
+		// then LOCATE finds the successor.
+		if f, _ := k.fence.Load().(func() error); f != nil {
+			if err := f(); err != nil {
+				return rpc.ErrReply(rpc.StatusOverload, err.Error())
+			}
+		}
 		return rep
 	}
 }
+
+// SetReplicaFence installs (nil removes) a predicate consulted after
+// every handler's durability barrier; a non-nil error converts the
+// reply into StatusOverload. Swappable after Start — replication
+// attaches to a running kernel.
+func (k *Kernel) SetReplicaFence(f func() error) { k.fence.Store(f) }
+
+// SetAdmitGate installs (nil removes) an admission predicate on the
+// transport; see rpc.Server.SetAdmitGate. Where the replica fence
+// withholds acknowledgements at the exit, the gate refuses work at the
+// door — a deposed primary should not even execute new mutations.
+func (k *Kernel) SetAdmitGate(g func() error) { k.srv.SetAdmitGate(g) }
 
 // serveTable wires the standard capability-maintenance opcodes with
 // every reply behind the durability barrier (a Validate or Restrict
@@ -318,6 +349,21 @@ func (k *Kernel) AttachReplica(base func(snap []byte, nextSeq uint64) error, sin
 	}
 	k.log.SetSink(sink)
 	return nil
+}
+
+// Resnapshot quiesces the service and hands base a fresh checkpoint
+// envelope plus the next log sequence, exactly as AttachReplica does —
+// but WITHOUT touching the commit sink. The fan-out shipper uses it to
+// re-base one returning standby while the rest of the group keeps its
+// stream: quiesced, no handler is mid-flight and every ticket has been
+// waited, so no sink delivery is concurrent with base.
+func (k *Kernel) Resnapshot(base func(snap []byte, nextSeq uint64) error) error {
+	if k.log == nil {
+		return errors.New("svc: volatile kernel cannot replicate")
+	}
+	resume := k.srv.Quiesce()
+	defer resume()
+	return base(k.envelope(), k.log.NextSeq())
 }
 
 // DetachReplica stops delivering committed records to the replica sink.

@@ -55,6 +55,10 @@ func untilOK(t *testing.T, what string, op func(ctx context.Context) error) {
 		if err == nil {
 			return
 		}
+		// A fenced or overloaded primary answers instantly — without a
+		// pause between tries, fast failures burn the whole attempt
+		// budget inside a single failover window.
+		time.Sleep(100 * time.Millisecond)
 	}
 	t.Fatalf("%s never converged: %v", what, err)
 }
