@@ -1237,3 +1237,50 @@ func BenchmarkE21_AutoFailover(b *testing.B) {
 		cl.Close()
 	}
 }
+
+// BenchmarkE22_WedgedDiskFailover is E21 with a gray failure instead
+// of a crash: the primary's WAL disk starts returning EIO while its
+// NIC stays healthy. The first write springs the trap — the log
+// wedges, the primary self-demotes and is fail-stopped, the standbys'
+// detectors see silence and elect. Measured: fault injection → first
+// acknowledged post-failover write, i.e. E21's detection + election +
+// route-heal bill plus the wedge trip itself.
+func BenchmarkE22_WedgedDiskFailover(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, err := NewCluster(ClusterConfig{Seed: 0xE22_0000 + uint64(i), Replicas: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirs := cl.Dirs()
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := cap.Capability{Server: 1, Object: 2, Rights: cap.RightRead, Check: 3}
+		for j := 0; j < 8; j++ {
+			if err := dirs.Enter(ctx, root, fmt.Sprintf("e%d", j), entry); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fault := cl.WALFault(cl.Machines().Dirs)
+		b.StartTimer()
+		fault.FailWritesAfter(0)
+		lctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		for n := 0; ; n++ {
+			ectx, ecancel := context.WithTimeout(lctx, 100*time.Millisecond)
+			err := dirs.Enter(ectx, root, fmt.Sprintf("p%d", n), entry)
+			ecancel()
+			if err == nil {
+				break
+			}
+			if lctx.Err() != nil {
+				b.Fatal(err)
+			}
+		}
+		cancel()
+		b.StopTimer()
+		cl.Close()
+	}
+}

@@ -166,6 +166,14 @@ type Cluster struct {
 	dirsG   cap.Port
 	bankG   cap.Port
 
+	// walFaults maps each durable incarnation's machine to the fault
+	// injector wrapped around its WAL store — the chaos tests' handle
+	// for killing any machine's disk mid-soak. Keyed by machine because
+	// a machine IS an incarnation here: Restart reopens the same disk
+	// under a new machine and a fresh injector (a replaced disk is a
+	// healthy disk).
+	walFaults map[amnet.MachineID]*vdisk.FaultStore
+
 	// Hot-standby state (ClusterConfig.Replicate / AddBackup): per
 	// durable service, the standby and the primary-side shipper, plus
 	// the set of machines whose put-port was promoted away. In legacy
@@ -317,10 +325,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Reorder:   cfg.Reorder,
 			Seed:      cfg.Seed,
 		}),
-		src:      src,
-		scheme:   scheme,
-		cfg:      cfg,
-		promoted: make(map[amnet.MachineID]promotedAway),
+		src:       src,
+		scheme:    scheme,
+		cfg:       cfg,
+		promoted:  make(map[amnet.MachineID]promotedAway),
+		walFaults: make(map[amnet.MachineID]*vdisk.FaultStore),
 	}
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
@@ -494,6 +503,101 @@ func (cl *Cluster) walMetrics(service string) *wal.Metrics {
 	}
 }
 
+// Help strings for the gray-failure counters, shared by the boot-time
+// registration and the increment sites (the registry is idempotent on
+// (name, labels), and the help text must agree).
+const (
+	wedgedHelp  = "write-ahead logs wedged by an I/O failure (log turned read-only)"
+	demotedHelp = "primaries that fail-stopped themselves over a wedged WAL (gray disk failure converted to a crash)"
+)
+
+// openWAL opens a durable service's write-ahead log over disk, wrapped
+// in a deterministic fault injector keyed by the serving machine —
+// every WAL in the cluster (primaries and standbys alike) can have its
+// disk killed mid-soak via WALFault. The log's wedge callback is wired
+// here too: a wedged WAL bumps amoeba_wal_wedged_total and fail-stops
+// the machine, because a disk that takes nothing makes the machine a
+// liability the moment it keeps answering the network.
+func (cl *Cluster) openWAL(service string, fb *fbox.FBox, disk *vdisk.Disk) (*wal.Log, error) {
+	m := fb.Machine()
+	fs := vdisk.NewFaultStore(disk, cl.cfg.Seed^uint64(m)*0x9E3779B97F4A7C15)
+	log, err := wal.Open(fs, wal.Options{Metrics: cl.walMetrics(service)})
+	if err != nil {
+		return nil, err
+	}
+	log.OnWedge(func(cause error) { cl.onWALWedge(service, m, cause) })
+	cl.mu.Lock()
+	cl.walFaults[m] = fs
+	cl.mu.Unlock()
+	return log, nil
+}
+
+// WALFault returns the disk-fault injector wrapped around the WAL of
+// the durable incarnation on machine m (primary or standby), or nil if
+// m hosts no WAL. Restart reopens the service's disk under a NEW
+// machine with a fresh injector, so injected faults die with the
+// incarnation — re-read Machines after a restart.
+func (cl *Cluster) WALFault(m amnet.MachineID) *vdisk.FaultStore {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.walFaults[m]
+}
+
+// onWALWedge is every WAL's wedge callback (it runs on the log's own
+// callback goroutine, so it may block on the lifecycle lock).
+func (cl *Cluster) onWALWedge(service string, m amnet.MachineID, cause error) {
+	cl.reg.Counter("amoeba_wal_wedged_total", obs.L("service", service), wedgedHelp).Inc()
+	if cl.closing.Load() {
+		return
+	}
+	stdlog.Printf("amoeba: %s WAL on machine %v wedged: %v", service, m, cause)
+	cl.failStopWedged(service, m)
+}
+
+// failStopWedged converts a gray failure into the fail-stop crash the
+// rest of the cluster already understands. A wedged PRIMARY is the
+// nightmare case: its disk takes nothing, yet its NIC keeps answering
+// LOCATE and heartbeats, so no failure detector anywhere would fire.
+// The shipper has already renounced leadership (repl.Shipper.SelfDemote
+// fences acknowledgements and silences heartbeats); tearing the machine
+// down here finishes the job — the NIC goes away, LOCATE stops
+// answering for it, and the standbys elect exactly as if the machine
+// had crashed. A wedged group STANDBY needs none of this: its receiver
+// already answers every frame with its death, which drops it from the
+// ack quorum; the corpse waits for Kill+Restart to re-integrate with a
+// fresh disk.
+func (cl *Cluster) failStopWedged(service string, m amnet.MachineID) {
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	if cl.closing.Load() {
+		return
+	}
+	cl.mu.Lock()
+	if g, st := cl.groupOfLocked(m); g != nil && st != nil {
+		cl.mu.Unlock()
+		return
+	}
+	c := cl.durableCtlLocked(m)
+	if c == nil || c.down {
+		// Not a current primary (already killed, already failed over, or
+		// a legacy standby whose dead receiver suffices).
+		cl.mu.Unlock()
+		return
+	}
+	c.setDown(true)
+	cl.mu.Unlock()
+	cl.reg.Counter("amoeba_self_demotions_total", obs.L("service", service), demotedHelp).Inc()
+	// Kill's teardown order, for Kill's reason: the NIC dies before the
+	// shipper so no handler can commit locally, skip the stopped ship,
+	// and still acknowledge its client.
+	_ = c.fb.Close()
+	if c.ship != nil {
+		c.ship.Stop()
+	}
+	_ = c.crash()
+	stdlog.Printf("amoeba: %s machine %v fail-stopped (wedged WAL); dead disk, dead machine", service, m)
+}
+
 // registerGauges wires the scrape-time gauges: queue depth and queue
 // wait per service, WAL occupancy and replication lag for the durable
 // pair. Gauge functions run only when someone exports the registry, so
@@ -563,6 +667,13 @@ func (cl *Cluster) registerGauges() {
 			}
 			return float64(k.LogStats().Capacity)
 		})
+	}
+	// Gray-failure counters exist from boot (not lazily at first wedge):
+	// a dashboard alerting on rate(amoeba_wal_wedged_total) needs the
+	// series present while it is still zero.
+	for _, name := range []string{"directory", "bank"} {
+		cl.reg.Counter("amoeba_wal_wedged_total", obs.L("service", name), wedgedHelp)
+		cl.reg.Counter("amoeba_self_demotions_total", obs.L("service", name), demotedHelp)
 	}
 	ships := []struct {
 		name string
@@ -643,7 +754,7 @@ func (cl *Cluster) startDirsvr() error {
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(cl.dirsWAL, wal.Options{Metrics: cl.walMetrics("directory")})
+	log, err := cl.openWAL("directory", fb, cl.dirsWAL)
 	if err != nil {
 		return err
 	}
@@ -686,7 +797,7 @@ func (cl *Cluster) startBanksvr() error {
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(cl.bankWAL, wal.Options{Metrics: cl.walMetrics("bank")})
+	log, err := cl.openWAL("bank", fb, cl.bankWAL)
 	if err != nil {
 		return err
 	}
@@ -866,7 +977,7 @@ func (cl *Cluster) attachBackup(
 	if err != nil {
 		return err
 	}
-	log, err := wal.Open(disk, wal.Options{Metrics: cl.walMetrics(name)})
+	log, err := cl.openWAL(name, fb, disk)
 	if err != nil {
 		return err
 	}
@@ -1009,7 +1120,7 @@ func (cl *Cluster) buildGroupStandby(g *replGroup) (*groupStandby, error) {
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(disk, wal.Options{Metrics: cl.walMetrics(g.name)})
+	log, err := cl.openWAL(g.name, fb, disk)
 	if err != nil {
 		return nil, err
 	}
@@ -1140,22 +1251,17 @@ func (cl *Cluster) autoFailover(g *replGroup, gen uint64) {
 		}
 	}
 	g.gen++
-	var win *groupStandby
 	live := 0
 	for _, st := range g.standbys {
-		if st.down {
-			continue
-		}
-		live++
-		if win == nil || st.recv.High() > win.recv.High() {
-			win = st
+		if !st.down {
+			live++
 		}
 	}
 	oldMachine := g.primaryMachine()
 	oldShip, oldTerm := g.ship, g.term
 	sts := append([]*groupStandby(nil), g.standbys...)
 	cl.mu.Unlock()
-	if win == nil {
+	if live == 0 {
 		return // nobody left to promote; the group is down until Restart
 	}
 	if live < cl.cfg.Replicas/2+1 {
@@ -1172,10 +1278,22 @@ func (cl *Cluster) autoFailover(g *replGroup, gen uint64) {
 		cl.rearmFiredDetectors(g)
 		return
 	}
+	// Depose the old primary BEFORE choosing a winner. The old shipper
+	// — possibly still half-alive on a machine that merely stalled or
+	// sits behind a flapping link — could otherwise complete an
+	// in-flight batch after the high waters are read: an op acked by
+	// {old primary, one standby} in that window would be invisible to
+	// the winner pick and destroyed when that standby re-bases onto a
+	// lower-High successor. Once Depose returns the fence refuses every
+	// later acknowledgement (StatusStale — clients re-locate at once
+	// instead of waiting out overload backoffs), so the highest high
+	// water read below bounds every acknowledged op.
+	if oldShip != nil {
+		oldShip.Depose()
+	}
 	// Quiet the group: the election IS the response to this silence, so
 	// every detector stops (winners and peers get fresh ones below),
-	// and the old primary's shipper — possibly still half-alive on a
-	// machine that merely stalled — is stopped for good.
+	// and the old primary's shipper is stopped for good.
 	for _, st := range sts {
 		if st.det != nil {
 			st.det.Stop()
@@ -1184,6 +1302,18 @@ func (cl *Cluster) autoFailover(g *replGroup, gen uint64) {
 	}
 	if oldShip != nil {
 		oldShip.Stop()
+	}
+	var win *groupStandby
+	for _, st := range sts {
+		if st.down {
+			continue
+		}
+		if win == nil || st.recv.High() > win.recv.High() {
+			win = st
+		}
+	}
+	if win == nil {
+		return
 	}
 	seq := win.recv.High()
 	var dests []cap.Port

@@ -24,10 +24,10 @@ import (
 func groupCluster(t *testing.T, seed uint64) *Cluster {
 	t.Helper()
 	cl, err := NewCluster(ClusterConfig{
-		Seed:      seed,
-		LossRate:  0.01,
-		Latency:   50 * time.Microsecond,
-		Jitter:    100 * time.Microsecond,
+		Seed:     seed,
+		LossRate: 0.01,
+		Latency:  50 * time.Microsecond,
+		Jitter:   100 * time.Microsecond,
 		// The production default: short enough for sub-second failovers,
 		// long enough that the race detector's scheduler stalls rarely
 		// counterfeit a 1.5-term silence and false-alarm a detector.

@@ -22,7 +22,8 @@ type SimNet struct {
 	nextID  MachineID
 	nics    map[MachineID]*simNIC
 	taps    []*Tap
-	cut     map[[2]MachineID]bool // severed pairs (partitions)
+	cut     map[[2]MachineID]bool // severed pairs (symmetric partitions)
+	cutDir  map[[2]MachineID]bool // severed directions {src, dst} (gray links)
 	closed  bool
 	stats   Stats
 	statsMu sync.Mutex
@@ -86,6 +87,7 @@ func NewSimNet(cfg SimConfig) *SimNet {
 		nextID: 1,
 		nics:   make(map[MachineID]*simNIC),
 		cut:    make(map[[2]MachineID]bool),
+		cutDir: make(map[[2]MachineID]bool),
 	}
 }
 
@@ -129,11 +131,72 @@ func (n *SimNet) Partition(a, b MachineID) {
 	n.cut[pairKey(a, b)] = true
 }
 
-// Heal restores the link between two machines.
+// Heal restores the link between two machines, clearing symmetric and
+// one-way cuts alike.
 func (n *SimNet) Heal(a, b MachineID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.cut, pairKey(a, b))
+	delete(n.cutDir, [2]MachineID{a, b})
+	delete(n.cutDir, [2]MachineID{b, a})
+}
+
+// PartitionOneWay severs the link from a to b in that direction only:
+// a's frames to b vanish, b still reaches a. This is the gray network
+// fault classic failure detectors are blind to — a primary that can
+// send heartbeats but cannot hear acknowledgements looks perfectly
+// healthy to everyone but itself.
+func (n *SimNet) PartitionOneWay(a, b MachineID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutDir[[2]MachineID{a, b}] = true
+}
+
+// HealOneWay restores the a→b direction only.
+func (n *SimNet) HealOneWay(a, b MachineID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutDir, [2]MachineID{a, b})
+}
+
+// FlapLink cuts and heals the a↔b link on a fixed cadence — the loose
+// cable fault: up for upFor, down for downFor, repeatedly. It returns
+// an idempotent stop function that heals the link and waits for the
+// flapper to exit; tests must call it before tearing the network down.
+func (n *SimNet) FlapLink(a, b MachineID, upFor, downFor time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(upFor):
+			}
+			n.Partition(a, b)
+			select {
+			case <-done:
+				return
+			case <-time.After(downFor):
+			}
+			n.Heal(a, b)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+			n.Heal(a, b)
+		})
+	}
+}
+
+// severed reports whether src→dst is cut, by a symmetric partition or
+// a one-way cut in this direction; callers hold n.mu.
+func (n *SimNet) severed(src, dst MachineID) bool {
+	return n.cut[pairKey(src, dst)] || n.cutDir[[2]MachineID{src, dst}]
 }
 
 func pairKey(a, b MachineID) [2]MachineID {
@@ -198,7 +261,7 @@ func (n *SimNet) transmit(f Frame) error {
 	if f.Dst == BroadcastID {
 		targets = make([]*simNIC, 0, len(n.nics))
 		for id, nic := range n.nics {
-			if id != f.Src && !n.cut[pairKey(f.Src, id)] {
+			if id != f.Src && !n.severed(f.Src, id) {
 				targets = append(targets, nic)
 			}
 		}
@@ -209,7 +272,7 @@ func (n *SimNet) transmit(f Frame) error {
 			f.Release()
 			return fmt.Errorf("%w: %v", ErrNoRoute, f.Dst)
 		}
-		if !n.cut[pairKey(f.Src, f.Dst)] {
+		if !n.severed(f.Src, f.Dst) {
 			targets = []*simNIC{nic}
 		}
 	}

@@ -425,3 +425,95 @@ func TestSimNetFaultsDeterministic(t *testing.T) {
 		t.Fatalf("same seed, different fault pattern:\n%+v\n%+v", a, b)
 	}
 }
+
+func TestSimNetPartitionOneWay(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	n.PartitionOneWay(a.ID(), b.ID())
+	// a → b is dark...
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame crossed one-way partition: %+v", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// ... but b → a still works: the defining gray-link asymmetry.
+	if err := b.Send(a.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a.Recv(), time.Second)
+
+	// Broadcasts obey the direction too.
+	if err := a.Broadcast([]byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("broadcast crossed one-way partition: %+v", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	n.HealOneWay(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Recv(), time.Second)
+}
+
+func TestSimNetHealClearsOneWay(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	n.PartitionOneWay(a.ID(), b.ID())
+	n.PartitionOneWay(b.ID(), a.ID())
+	n.Heal(a.ID(), b.ID())
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Recv(), time.Second)
+	if err := b.Send(a.ID(), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a.Recv(), time.Second)
+}
+
+func TestSimNetFlapLink(t *testing.T) {
+	n := NewSimNet(SimConfig{})
+	defer n.Close()
+	a, _ := n.Attach()
+	b, _ := n.Attach()
+	stop := n.FlapLink(a.ID(), b.ID(), 2*time.Millisecond, 2*time.Millisecond)
+	// While flapping, some sends cross and (with overwhelming
+	// probability over 100 spaced attempts) some are eaten.
+	got := 0
+	for i := 0; i < 100; i++ {
+		if err := a.Send(b.ID(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	drain := time.After(50 * time.Millisecond)
+	for {
+		select {
+		case <-b.Recv():
+			got++
+			continue
+		case <-drain:
+		}
+		break
+	}
+	if got == 0 || got == 100 {
+		t.Fatalf("flapping link delivered %d/100 frames, want some but not all", got)
+	}
+	// stop() heals: the link must be reliable again.
+	stop()
+	if err := a.Send(b.ID(), []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Recv(), time.Second)
+}

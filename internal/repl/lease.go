@@ -2,14 +2,22 @@ package repl
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"amoeba/internal/rpc"
 )
 
-// Lease errors, surfaced to clients as rpc.StatusOverload by the
-// kernel's replica fence — the client backs off, retries, and LOCATE
-// routes it to whoever holds the port by then.
+// Lease errors, surfaced through the kernel's replica fence. The
+// transient one (a lapsed lease, which the next heartbeat round may
+// renew) maps to rpc.StatusOverload — the client backs off and retries
+// in place. The permanent ones (sealed, deposed, self-demoted: this
+// incarnation will never serve again) wrap rpc.ErrStaleAuthority so
+// the fence surfaces them as rpc.StatusStale — the client evicts its
+// cached binding and re-LOCATEs the successor in one round trip
+// instead of grinding through a backoff ladder against a corpse.
 var (
 	// ErrLeaseLapsed means a majority of the group has stopped granting
 	// renewals: the primary no longer knows it is the primary, so it
@@ -18,10 +26,15 @@ var (
 	// ErrSealed means a committed batch failed to reach a majority of
 	// the group: acknowledging it — or anything after it — could be
 	// contradicted by an election among the majority that never saw it.
-	ErrSealed = errors.New("repl: group sealed (batch missed majority)")
+	ErrSealed = fmt.Errorf("repl: group sealed (batch missed majority): %w", rpc.ErrStaleAuthority)
 	// ErrDeposed means a peer has seen a higher term: an election has
 	// already replaced this primary.
-	ErrDeposed = errors.New("repl: deposed (newer term observed)")
+	ErrDeposed = fmt.Errorf("repl: deposed (newer term observed): %w", rpc.ErrStaleAuthority)
+	// ErrSelfDemoted means the primary's own WAL wedged: it can no
+	// longer make anything durable, so it has renounced the leadership
+	// it could only betray. Shipping and heartbeats stop deliberately —
+	// to the group's failure detectors a dead disk is a dead machine.
+	ErrSelfDemoted = fmt.Errorf("repl: self-demoted (local WAL wedged): %w", rpc.ErrStaleAuthority)
 )
 
 // Detector is a standby's failure detector: it watches the receiver's

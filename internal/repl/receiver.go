@@ -219,6 +219,12 @@ func (r *Receiver) handleShip(_ context.Context, _ rpc.Meta, req rpc.Request) rp
 func (r *Receiver) handleSeq(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// A standby whose own log wedged answers probes with its death, not
+	// its high water: an OK here would invite the primary to re-base a
+	// disk that takes nothing, and the ack quorum must not count us.
+	if r.dead != nil {
+		return rpc.ErrReplyFromErr(r.dead)
+	}
 	out := make([]byte, 0, 9)
 	if r.st.based {
 		out = append(out, 1)

@@ -90,6 +90,7 @@ type ShipperStats struct {
 	Lost       bool   // every peer is currently lost
 	Sealed     bool   // a batch missed majority; acknowledgements fenced
 	Deposed    bool   // a newer term was observed; this primary is done
+	Demoted    bool   // local WAL wedged; this primary renounced leadership
 }
 
 // peer is one standby's shipping state. Frames to a peer are
@@ -144,6 +145,7 @@ type Shipper struct {
 
 	sealed  atomic.Bool
 	deposed atomic.Bool
+	demoted atomic.Bool
 
 	// mu guards the peer list and stats; the ship paths themselves run
 	// outside it (per-peer mutexes serialize each stream) so a stalled
@@ -173,7 +175,10 @@ func AttachGroup(k *svc.Kernel, c *rpc.Client, dests []cap.Port, o Options) (*Sh
 	if s.o.GroupSize <= 0 {
 		s.o.GroupSize = 1 + len(dests)
 	}
-	s.opts = []rpc.CallOption{rpc.WithTimeout(s.o.Timeout), rpc.WithRetries(1)}
+	// WithRawStale on both option sets: StatusStale IS the replication
+	// protocol's term fence — the shipper must see it and depose, not
+	// have the client swallow it into an evict-and-relocate dance.
+	s.opts = []rpc.CallOption{rpc.WithTimeout(s.o.Timeout), rpc.WithRetries(1), rpc.WithRawStale()}
 	if s.o.LeaseTerm > 0 {
 		// Heartbeats: ONE attempt, bounded by the tick interval. A grant
 		// is stamped at send time, so an attempt that drags (or a retry
@@ -182,7 +187,7 @@ func AttachGroup(k *svc.Kernel, c *rpc.Client, dests []cap.Port, o Options) (*Sh
 		// permanently, because the fence blocks the data traffic that
 		// would otherwise renew it. Better to abandon a slow attempt and
 		// re-stamp fresh at the next tick.
-		s.hbOpts = []rpc.CallOption{rpc.WithTimeout(s.o.LeaseTerm / 3), rpc.WithRetries(0)}
+		s.hbOpts = []rpc.CallOption{rpc.WithTimeout(s.o.LeaseTerm / 3), rpc.WithRetries(0), rpc.WithRawStale()}
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for _, d := range dests {
@@ -203,6 +208,11 @@ func AttachGroup(k *svc.Kernel, c *rpc.Client, dests []cap.Port, o Options) (*Sh
 		s.cancel()
 		return nil, err
 	}
+	// A wedged WAL is a gray failure the group cannot see: the machine
+	// keeps heartbeating while its disk silently takes nothing. Convert
+	// it to the failure the detectors WERE built for — the primary
+	// renounces leadership the moment its log wedges.
+	k.OnWedge(func(error) { s.SelfDemote() })
 	if s.o.LeaseTerm > 0 {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
@@ -290,6 +300,7 @@ func (s *Shipper) Stats() ShipperStats {
 	st := s.stats
 	st.Sealed = s.sealed.Load()
 	st.Deposed = s.deposed.Load()
+	st.Demoted = s.demoted.Load()
 	st.Lost = len(s.peers) > 0
 	for _, p := range s.peers {
 		if !p.lost.Load() {
@@ -334,6 +345,8 @@ func (s *Shipper) LeaseValid() bool {
 // entitled to acknowledge durable operations.
 func (s *Shipper) Fence() error {
 	switch {
+	case s.demoted.Load():
+		return ErrSelfDemoted
 	case s.deposed.Load():
 		return ErrDeposed
 	case s.sealed.Load():
@@ -344,11 +357,32 @@ func (s *Shipper) Fence() error {
 	return nil
 }
 
-// depose marks this shipper permanently done: some peer has adopted a
-// newer term, so a successor is (or was) being elected.
-func (s *Shipper) depose() {
+// / Depose marks this shipper permanently done: a successor has been (or
+// is being) elected at a newer term. The fence refuses from here on
+// with ErrDeposed — which wraps rpc.ErrStaleAuthority, so clients stop
+// waiting out overload backoffs and re-locate at once — and shipping
+// and heartbeats fall silent. An election MUST call this before
+// choosing its winner: once Depose returns, no further operation can
+// be acknowledged at the old term, so the highest standby high water
+// read afterwards bounds every acknowledged op. Internally it is also
+// how a peer's newer-term bounce fences the shipper. Idempotent.
+func (s *Shipper) Depose() {
 	s.deposed.Store(true)
 }
+
+// SelfDemote renounces leadership from the inside: the primary's own
+// WAL has wedged, so it can never again make an operation durable. The
+// fence refuses from here on, shipping and heartbeats stop, and the
+// standbys' failure detectors — which cannot see a dead disk behind a
+// live NIC — see exactly what they were built to see: silence.
+// Idempotent; safe from the log's wedge callback goroutine.
+func (s *Shipper) SelfDemote() {
+	s.demoted.Store(true)
+}
+
+// Demoted reports whether the shipper has renounced leadership over a
+// wedged local WAL.
+func (s *Shipper) Demoted() bool { return s.demoted.Load() }
 
 // AddPeer re-bases a fresh (or returning, or formerly promoted-away)
 // standby at dest through the snapshot path and adds it to the group.
@@ -389,7 +423,12 @@ func (s *Shipper) DropPeer(dest cap.Port) {
 // holds every acknowledged op.
 func (s *Shipper) sink(recs []wal.Record) {
 	s.mu.Lock()
-	if s.stopped || s.deposed.Load() {
+	// A sealed or demoted primary stops shipping on purpose, not just
+	// acknowledging: its data frames refresh the standbys' last-contact
+	// clocks, and a primary that can never serve again yet keeps the
+	// failure detectors quiet would block the election that is the
+	// group's only way forward.
+	if s.stopped || s.deposed.Load() || s.demoted.Load() || s.sealed.Load() {
 		s.stats.Dropped += uint64(len(recs))
 		s.mu.Unlock()
 		return
@@ -498,7 +537,7 @@ func (s *Shipper) sendFrame(p *peer, frame Frame, batchEnd uint64, rebase bool) 
 				p.grant.Store(sent.UnixNano())
 				return nil
 			case rpc.StatusStale:
-				s.depose()
+				s.Depose()
 				return ErrDeposed
 			case rpc.StatusConflict:
 				// A rebase frame can never gap; for the in-sequence
@@ -608,7 +647,7 @@ func (s *Shipper) sendCatchUpFrame(p *peer, frame []byte) error {
 		sent := s.o.Now()
 		rep, err := s.c.Trans(s.ctx, p.dest, rpc.Request{Op: OpShip, Data: frame}, s.opts...)
 		if err == nil && rep.Status == rpc.StatusStale {
-			s.depose()
+			s.Depose()
 			return ErrDeposed
 		}
 		if err == nil && (rep.Status == rpc.StatusOK || rep.Status == rpc.StatusConflict) {
@@ -650,7 +689,18 @@ func (s *Shipper) heartbeatLoop() {
 			return
 		case <-tick.C:
 		}
-		if s.deposed.Load() {
+		// Deliberate silence on any terminal state — deposed, sealed, or
+		// self-demoted. Sealing and demotion are sticky: this primary
+		// will never acknowledge again, so continuing to heartbeat would
+		// only hold the standbys' detectors open forever and wedge the
+		// whole group behind a leader that cannot lead. Going dark is
+		// what lets the existing election machinery recover: contact
+		// goes stale, detectors fire, the highest standby takes over.
+		// (This is also the liveness half of the one-way-partition
+		// story: a primary that can send but not hear seals under load,
+		// then stops transmitting, so the standbys that were hearing
+		// its one-way traffic finally see the silence they need.)
+		if s.deposed.Load() || s.demoted.Load() || s.sealed.Load() {
 			return
 		}
 		hb := EncodeHeartbeat(s.o.Term)
@@ -697,7 +747,7 @@ func (s *Shipper) heartbeatLoop() {
 					}
 					p.grant.Store(sent.UnixNano())
 				case rpc.StatusStale:
-					s.depose()
+					s.Depose()
 				}
 			}(p)
 		}
@@ -718,7 +768,10 @@ func (s *Shipper) reprobeLoop() {
 			return
 		case <-tick.C:
 		}
-		if s.deposed.Load() {
+		// Same terminal-state silence as the heartbeat loop: a re-based
+		// peer would read as contact, and a sealed/demoted primary must
+		// not touch the group again.
+		if s.deposed.Load() || s.demoted.Load() || s.sealed.Load() {
 			return
 		}
 		s.mu.Lock()

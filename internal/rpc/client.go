@@ -71,10 +71,11 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // callOptions is the per-transaction view of the configuration after
 // CallOptions are applied.
 type callOptions struct {
-	timeout time.Duration
-	retries int
-	backoff time.Duration
-	sig     cap.Port
+	timeout  time.Duration
+	retries  int
+	backoff  time.Duration
+	sig      cap.Port
+	rawStale bool
 }
 
 // CallOption tunes one transaction, overriding the client-wide
@@ -107,6 +108,16 @@ func WithRetries(n int) CallOption {
 // It absorbs the old TransSigned entry point.
 func WithSigner(s fbox.Signer) CallOption {
 	return func(o *callOptions) { o.sig = s.Secret() }
+}
+
+// WithRawStale disables the client's automatic StatusStale failover
+// (evict the cached route and retry elsewhere) for this call: the
+// stale reply is handed back as-is. Protocols that USE StatusStale as
+// a first-class answer — the replication stream, where a stale ack is
+// how a deposed shipper learns about the new term — must see it raw,
+// not have the transport chase a successor on their behalf.
+func WithRawStale() CallOption {
+	return func(o *callOptions) { o.rawStale = true }
 }
 
 // Client performs blocking transactions through an F-box. It is safe
@@ -253,6 +264,18 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 		}
 		rep, err := c.attempt(ctx, machine, dest, payload, o)
 		if err == nil {
+			if rep.Status == StatusStale && !o.rawStale && attempt < o.retries {
+				// The answering machine's authority is gone for good — a
+				// fenced or deposed old primary after a failover. Unlike
+				// overload there is nothing to wait out, so skip the
+				// backoff: evict the cached route and re-LOCATE at once.
+				// By now the successor answers the broadcast, so the
+				// client fails over in one extra round trip instead of
+				// camping on the corpse until its deadline lapses.
+				c.res.Evict(dest, machine)
+				lastErr = &StatusError{Status: StatusStale, Detail: string(rep.Data)}
+				continue
+			}
 			if rep.Status != StatusOverload || attempt >= o.retries {
 				return rep, machine, nil
 			}

@@ -128,6 +128,16 @@ func (s Status) Err() error {
 // match works through the *StatusError the client returns.
 var ErrOverload = errors.New("rpc: overloaded (request shed before execution)")
 
+// ErrStaleAuthority is the typed face of StatusStale on the serving
+// side: the answering server's AUTHORITY is gone — deposed, sealed, a
+// lapsed lease, a wedged log — and no amount of retrying against the
+// same machine can help. Fence and admission-gate predicates wrap this
+// sentinel (errors.Is) to tell the transport "shed me as StatusStale,
+// not StatusOverload", which in turn tells clients to evict the cached
+// route and re-LOCATE immediately instead of backing off against a
+// machine that will never acknowledge again.
+var ErrStaleAuthority = errors.New("rpc: stale authority (superseded by a newer epoch)")
+
 // StatusError wraps a non-OK Status as a Go error.
 type StatusError struct {
 	Status Status
@@ -143,10 +153,17 @@ func (e *StatusError) Error() string {
 	return "rpc: " + e.Status.String()
 }
 
-// Is maps overload statuses onto ErrOverload so callers can write
-// errors.Is(err, rpc.ErrOverload) without fishing out the status.
+// Is maps overload statuses onto ErrOverload (and stale ones onto
+// ErrStaleAuthority) so callers can write errors.Is(err, rpc.ErrOverload)
+// without fishing out the status.
 func (e *StatusError) Is(target error) bool {
-	return target == ErrOverload && e.Status == StatusOverload
+	switch target {
+	case ErrOverload:
+		return e.Status == StatusOverload
+	case ErrStaleAuthority:
+		return e.Status == StatusStale
+	}
+	return false
 }
 
 // IsStatus reports whether err is a StatusError with the given status.

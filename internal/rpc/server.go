@@ -494,7 +494,15 @@ func (s *Server) loop(l *fbox.Listener) {
 		}
 		if g, _ := s.admitGate.Load().(func() error); g != nil {
 			if err := g(); err != nil {
-				s.shed(sealer, m, req, []byte(err.Error()))
+				// A gate refusing because its authority is GONE (deposed,
+				// sealed, wedged — never coming back) says so with
+				// StatusStale, so clients re-LOCATE at once instead of
+				// politely backing off against a corpse.
+				if errors.Is(err, ErrStaleAuthority) {
+					s.shedStatus(sealer, m, req, StatusStale, []byte(err.Error()))
+				} else {
+					s.shed(sealer, m, req, []byte(err.Error()))
+				}
 				m.Release()
 				continue
 			}
@@ -544,11 +552,17 @@ var (
 // shed refuses a request with StatusOverload before it touches the
 // worker pool, and counts the refusal.
 func (s *Server) shed(sealer CapSealer, m fbox.Received, req Request, detail []byte) {
+	s.shedStatus(sealer, m, req, StatusOverload, detail)
+}
+
+// shedStatus is shed with an explicit refusal status (StatusStale for
+// a gate whose authority is permanently gone).
+func (s *Server) shedStatus(sealer CapSealer, m fbox.Received, req Request, status Status, detail []byte) {
 	if st := s.stats; st != nil {
-		st.ObserveShed(req.Op, req.ID, uint32(m.From), uint16(StatusOverload),
+		st.ObserveShed(req.Op, req.ID, uint32(m.From), uint16(status),
 			time.Duration(s.ewmaWait.Load()))
 	}
-	s.reply(sealer, m, Reply{Status: StatusOverload, Data: detail})
+	s.reply(sealer, m, Reply{Status: status, Data: detail})
 }
 
 // serve runs one accepted request on a pool worker. It owns m's frame

@@ -139,10 +139,16 @@ func (k *Kernel) observed(h rpc.Handler) rpc.Handler {
 		// The replica fence runs AFTER the barrier: by now the record
 		// is locally durable and shipped, so the fence's only question
 		// is whether this kernel is still entitled to acknowledge it.
-		// StatusOverload tells the client to back off and retry — by
-		// then LOCATE finds the successor.
+		// A fence refusing because its authority is permanently gone
+		// (deposed, sealed, wedged — wrapping rpc.ErrStaleAuthority)
+		// answers StatusStale, which makes the client evict its cached
+		// route and re-LOCATE immediately; a transient refusal answers
+		// StatusOverload — back off and retry, the lease may come back.
 		if f, _ := k.fence.Load().(func() error); f != nil {
 			if err := f(); err != nil {
+				if errors.Is(err, rpc.ErrStaleAuthority) {
+					return rpc.ErrReply(rpc.StatusStale, err.Error())
+				}
 				return rpc.ErrReply(rpc.StatusOverload, err.Error())
 			}
 		}
@@ -161,6 +167,22 @@ func (k *Kernel) SetReplicaFence(f func() error) { k.fence.Store(f) }
 // withholds acknowledgements at the exit, the gate refuses work at the
 // door — a deposed primary should not even execute new mutations.
 func (k *Kernel) SetAdmitGate(g func() error) { k.srv.SetAdmitGate(g) }
+
+// Wedged reports whether the kernel's log has wedged read-only after
+// an I/O failure (always false for a volatile kernel). A wedged kernel
+// keeps answering the network — reads still work — but every durable
+// op fails with wal.ErrWedged; the machine needs a Restart onto a
+// healthy store.
+func (k *Kernel) Wedged() bool { return k.log != nil && k.log.Wedged() }
+
+// OnWedge registers fn to run (once, on its own goroutine) when the
+// kernel's log wedges — the health signal replication uses to treat a
+// dead disk as a dead machine. No-op on a volatile kernel.
+func (k *Kernel) OnWedge(fn func(err error)) {
+	if k.log != nil {
+		k.log.OnWedge(fn)
+	}
+}
 
 // serveTable wires the standard capability-maintenance opcodes with
 // every reply behind the durability barrier (a Validate or Restrict

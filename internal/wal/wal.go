@@ -49,6 +49,14 @@ var (
 	// reclaimed it, so a replica that far behind needs a fresh base
 	// snapshot, not a record stream.
 	ErrSeqTruncated = errors.New("wal: sequence reclaimed by a checkpoint")
+	// ErrWedged wraps the I/O failure that wedged the log: a failed
+	// commit (or superblock write) makes the log permanently read-only,
+	// and every Append, Barrier and Close after it returns an error
+	// satisfying errors.Is(err, ErrWedged). The gray-failure contract
+	// is built on this sentinel — a machine whose WAL is wedged still
+	// answers the network, so upper layers (kernel fencing, replica
+	// self-demotion) key off the typed error, not off silence.
+	ErrWedged = errors.New("wal: wedged (I/O failure; log is read-only)")
 )
 
 // Record is one log record as seen by a replication sink or a ReadFrom
@@ -163,21 +171,22 @@ type Log struct {
 	highWater uint64
 	metrics   *Metrics
 
-	mu        sync.Mutex
-	recovered bool
-	closed    bool
-	abandoned bool  // Abandon: skip the final flush, drop staged bytes
-	ioErr     error // a failed commit wedges the log read-only
-	start     uint64
-	startSeq  uint64
-	head      uint64 // absolute append offset
-	flushed   uint64 // bytes < flushed are on stable storage
-	seq       uint64 // next sequence number
-	buf       []byte // staged bytes [bufStart, bufStart+len(buf))
-	bufStart  uint64 // block-aligned
-	ticket    *Ticket
-	signaled  bool // pressure sent since the last checkpoint
-	stats     Stats
+	mu         sync.Mutex
+	recovered  bool
+	closed     bool
+	abandoned  bool  // Abandon: skip the final flush, drop staged bytes
+	ioErr      error // a failed commit wedges the log read-only (wraps ErrWedged)
+	onWedge    []func(err error)
+	start      uint64
+	startSeq   uint64
+	head       uint64 // absolute append offset
+	flushed    uint64 // bytes < flushed are on stable storage
+	seq        uint64 // next sequence number
+	buf        []byte // staged bytes [bufStart, bufStart+len(buf))
+	bufStart   uint64 // block-aligned
+	ticket     *Ticket
+	signaled   bool // pressure sent since the last checkpoint
+	stats      Stats
 	sink       func(recs []Record) // commit sink (replication shipper)
 	pending    []Record            // staged-but-uncommitted sink records
 	stagedRecs uint64              // records in the staged batch (metrics)
@@ -598,13 +607,30 @@ func (l *Log) commit() {
 	l.finishCommit(t, err, nf)
 }
 
+// wedge makes the failed operation's error the log's permanent state:
+// ioErr is set (wrapping ErrWedged) and the registered wedge callbacks
+// fire, each on its own goroutine so a callback that takes locks (a
+// replica self-demoting, a cluster tearing the machine down) cannot
+// deadlock the commit path. Only the FIRST failure wedges; callers
+// hold l.mu. The wedged error is returned for the caller to report.
+func (l *Log) wedge(cause error) error {
+	if l.ioErr != nil {
+		return l.ioErr
+	}
+	l.ioErr = fmt.Errorf("%w: %w", ErrWedged, cause)
+	fire := l.onWedge
+	l.onWedge = nil
+	for _, fn := range fire {
+		go fn(l.ioErr)
+	}
+	return l.ioErr
+}
+
 // finishCommit records the commit's outcome and wakes the batch.
 func (l *Log) finishCommit(t *Ticket, err error, nf uint64) {
 	l.mu.Lock()
 	if err != nil {
-		if l.ioErr == nil {
-			l.ioErr = err
-		}
+		err = l.wedge(err)
 		l.pending = nil // a failed batch is never shipped (nor retried)
 	} else {
 		l.stats.Commits++
@@ -678,7 +704,7 @@ func (l *Log) Checkpoint(snap []byte) error {
 	l.mu.Unlock()
 	if err := l.writeSuper(); err != nil {
 		l.mu.Lock()
-		l.ioErr = err
+		err = l.wedge(err)
 		l.mu.Unlock()
 		return err
 	}
@@ -786,6 +812,34 @@ func (l *Log) Barrier() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.ioErr
+}
+
+// Wedged reports whether the log has wedged read-only after an I/O
+// failure. A wedged log never recovers in place: the process must
+// restart onto a healthy store (or a replica must take over).
+func (l *Log) Wedged() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioErr != nil
+}
+
+// OnWedge registers fn to run when the log wedges, with the ErrWedged
+// error that did it. Callbacks fire exactly once, each on its own
+// goroutine (they may take arbitrary locks — the commit path does not
+// wait for them). Registering on an already-wedged log fires fn
+// immediately. This is the health signal gray-failure handling hangs
+// off: the disk died but the machine still talks, so somebody has to
+// say so out loud.
+func (l *Log) OnWedge(fn func(err error)) {
+	l.mu.Lock()
+	if l.ioErr != nil {
+		err := l.ioErr
+		l.mu.Unlock()
+		go fn(err)
+		return
+	}
+	l.onWedge = append(l.onWedge, fn)
+	l.mu.Unlock()
 }
 
 // Flush runs a group-commit pass on the CALLER's goroutine instead of

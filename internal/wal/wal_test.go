@@ -557,3 +557,99 @@ func TestFaultyDiskWedgesLog(t *testing.T) {
 		t.Fatal("wedged log accepted a new append")
 	}
 }
+
+func TestWedgeTypedErrorAndCallback(t *testing.T) {
+	d := newDisk(t, 64, 128)
+	l := openLog(t, d, Options{})
+	recoverAll(t, l)
+	mustAppend(t, l, []byte("ok"))
+
+	fired := make(chan error, 2)
+	l.OnWedge(func(err error) { fired <- err })
+	if l.Wedged() {
+		t.Fatal("healthy log reports wedged")
+	}
+
+	injected := fmt.Errorf("injected write fault")
+	d.SetFault(func(op string, block uint32) error {
+		if op == "write" {
+			return injected
+		}
+		return nil
+	})
+	tk, err := l.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := tk.Wait()
+	if werr == nil {
+		t.Fatal("commit over a failing disk reported success")
+	}
+	if !errors.Is(werr, ErrWedged) {
+		t.Fatalf("failed commit returned %v, want ErrWedged", werr)
+	}
+	if !errors.Is(werr, injected) {
+		t.Fatalf("wedge error %v lost its cause", werr)
+	}
+	if !l.Wedged() {
+		t.Fatal("log not wedged after failed commit")
+	}
+
+	select {
+	case cb := <-fired:
+		if !errors.Is(cb, ErrWedged) {
+			t.Fatalf("callback got %v, want ErrWedged", cb)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wedge callback never fired")
+	}
+
+	// Registering after the fact fires immediately; the original
+	// callback does not fire twice.
+	l.OnWedge(func(err error) { fired <- err })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("late OnWedge registration never fired")
+	}
+
+	// Everything downstream sees the typed error, even after the disk
+	// heals — a failed batch is never retried.
+	d.SetFault(nil)
+	if _, err := l.Append([]byte("next")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append on wedged log: %v, want ErrWedged", err)
+	}
+	if err := l.Barrier(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("barrier on wedged log: %v, want ErrWedged", err)
+	}
+	select {
+	case err := <-fired:
+		t.Fatalf("wedge callback fired twice: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWedgeOnCheckpointFailure(t *testing.T) {
+	d := newDisk(t, 64, 128)
+	l := openLog(t, d, Options{})
+	recoverAll(t, l)
+	mustAppend(t, l, []byte("ok"))
+	fired := make(chan error, 1)
+	l.OnWedge(func(err error) { fired <- err })
+	// Fail only the superblock write: the checkpoint record commits,
+	// then advancing the start pointer wedges.
+	d.SetFault(func(op string, block uint32) error {
+		if op == "write" && block == 0 {
+			return fmt.Errorf("superblock dead")
+		}
+		return nil
+	})
+	if err := l.Checkpoint([]byte("snap")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("checkpoint over dead superblock: %v, want ErrWedged", err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wedge callback never fired for checkpoint failure")
+	}
+}

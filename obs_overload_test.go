@@ -473,6 +473,13 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 		`amoeba_wal_sync_ns_count{service="directory"}`,
 		`amoeba_wal_used_bytes{service="directory"}`,
 		`amoeba_ship_lag_records{service="directory"}`,
+		// The gray-failure counters are registered at boot so a healthy
+		// cluster exports them at zero — a dashboard can alert on their
+		// first increment without ever having seen the series before.
+		`amoeba_wal_wedged_total{service="directory"}`,
+		`amoeba_self_demotions_total{service="directory"}`,
+		`amoeba_wal_wedged_total{service="bank"}`,
+		`amoeba_self_demotions_total{service="bank"}`,
 	} {
 		if !strings.Contains(metrics, series) {
 			t.Errorf("/metrics missing series %s", series)
