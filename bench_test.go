@@ -8,6 +8,8 @@ package amoeba
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -1282,5 +1284,94 @@ func BenchmarkE22_WedgedDiskFailover(b *testing.B) {
 		cancel()
 		b.StopTimer()
 		cl.Close()
+	}
+}
+
+// --------------------------------------------------------------------
+// E23: horizontal sharding (see EXPERIMENTS.md E23).
+
+// BenchmarkE23_ShardedThroughput measures dirsvr WRITE throughput as
+// the service's object space is split across 1, 2, and 4 shard
+// machines behind the SAME put-port. Every shard's WAL disk is slowed
+// to 1ms per block I/O (vdisk.FaultStore.SetSlow) so the durable log —
+// not this box's CPU — is the per-shard bottleneck, as it would be on
+// real hardware: group commit amortizes the sync, but staging is still
+// one block write per 512 bytes of records, so each shard's write
+// bandwidth is capped by its own disk. 64 closed-loop writers alternate
+// Enter/Remove on per-writer directories spread round-robin across the
+// shards; with M shards there are M WALs absorbing the same record
+// stream, so throughput scales with M (EXPERIMENTS.md E23 records the
+// curve; the acceptance bar is ≥1.7x at M=2 and ≥3x at M=4).
+func BenchmarkE23_ShardedThroughput(b *testing.B) {
+	ctx := context.Background()
+	const workers = 64
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl, err := NewCluster(ClusterConfig{Seed: 0xE23, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			dirs := cl.Dirs()
+			roots := make([]cap.Capability, workers)
+			mark := cap.Capability{Server: 1, Object: 2, Rights: cap.RightRead, Check: 3}
+			for i := range roots {
+				if roots[i], err = dirs.CreateDir(ctx, cl.DirPort()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			walMachines := []amnet.MachineID{cl.Machines().Dirs}
+			if shards >= 2 {
+				walMachines = cl.ShardMachines(cl.DirPort())
+			}
+			for _, m := range walMachines {
+				cl.WALFault(m).SetSlow(time.Millisecond)
+			}
+			var (
+				next atomic.Int64
+				wg   sync.WaitGroup
+			)
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					_, rc, err := cl.NewMachine()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					dc := dirsvr.NewClient(rc)
+					name := fmt.Sprintf("w%d", w)
+					// Alternation is per WORKER (the global counter only
+					// meters b.N): each worker enters then removes its own
+					// name so both ops always apply cleanly. The transport
+					// is at-least-once: when a checkpoint stalls a reply
+					// past the retransmit timeout the retry re-applies, so
+					// "exists"/"no entry" against this worker's PRIVATE
+					// name just means the first attempt landed.
+					for j := 0; ; j++ {
+						if next.Add(1) > int64(b.N) {
+							return
+						}
+						if j%2 == 0 {
+							err = dc.Enter(ctx, roots[w], name, mark)
+						} else {
+							err = dc.Remove(ctx, roots[w], name)
+						}
+						if err != nil && !strings.Contains(err.Error(), "exists") &&
+							!strings.Contains(err.Error(), "no entry") {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, m := range walMachines {
+				cl.WALFault(m).SetSlow(0)
+			}
+		})
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"amoeba/internal/server/memsvr"
 	"amoeba/internal/server/mvfs"
 	"amoeba/internal/server/unixfs"
+	"amoeba/internal/shard"
 	"amoeba/internal/svc"
 	"amoeba/internal/vdisk"
 	"amoeba/internal/wal"
@@ -82,6 +83,16 @@ type ClusterConfig struct {
 	// Killed or promoted-away machines rejoin as fresh standbys via
 	// Restart. Mutually exclusive with Replicate. See EXPERIMENTS E21.
 	Replicas int
+	// Shards ≥ 2 partitions each durable service's object space across
+	// that many machines: every shard serves the SAME put-port (one
+	// get-port, M machines), a versioned shard map routes each object
+	// number to its shard, and capability tables mint only numbers that
+	// route back to the minting shard. Each shard may itself be a
+	// replication group (compose with Replicas); Cluster.Migrate moves
+	// single objects between shards live. Mutually exclusive with
+	// Replicate (the legacy single-standby mode predates sharding). See
+	// EXPERIMENTS.md E23.
+	Shards int
 	// LeaseTerm is the group serving-lease duration (default 150ms).
 	// Standby failure detectors fire after 1.5 terms of silence, so
 	// the guarantee tolerates clock skew up to LeaseTerm/2. Shorter
@@ -192,6 +203,15 @@ type Cluster struct {
 	// the gauges follow the current primary.
 	dirsGroup *replGroup
 	bankGroup *replGroup
+
+	// Sharding (ClusterConfig.Shards): the process-wide shard-map
+	// directory every resolver and kernel view reads, plus shards
+	// 1..M-1 of each durable service (shard 0 stays in the legacy
+	// fields above). The slices are append-only after boot (the shards
+	// themselves swap machines in place); guarded by cl.mu.
+	atlas      *shard.Atlas
+	dirShards  []*svcShard
+	bankShards []*svcShard
 }
 
 // promotedAway records why a machine may not simply re-register its
@@ -299,6 +319,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Replicate && cfg.Replicas >= 2 {
 		return nil, errors.New("amoeba: Replicate (manual single standby) and Replicas (auto-failover group) are mutually exclusive")
 	}
+	if cfg.Shards >= 2 && cfg.Replicate {
+		return nil, errors.New("amoeba: Shards and Replicate are mutually exclusive; shard replication composes with Replicas (group mode)")
+	}
 	if cfg.DiskBlocks == 0 {
 		cfg.DiskBlocks = 4096
 	}
@@ -330,6 +353,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:       cfg,
 		promoted:  make(map[amnet.MachineID]promotedAway),
 		walFaults: make(map[amnet.MachineID]*vdisk.FaultStore),
+		atlas:     shard.NewAtlas(),
 	}
 	if cfg.SealCapabilities {
 		cl.matrix = keymatrix.NewMatrix(src)
@@ -445,6 +469,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Extra shards of the durable services (shard 0 is the pair booted
+	// above), then the shard maps — registered only once every shard's
+	// machine is known.
+	if cfg.Shards >= 2 {
+		if err := cl.startShards(); err != nil {
+			return nil, err
+		}
+	}
+
 	// Hot standbys for the durable services: base snapshot + synchronous
 	// WAL shipping from the primaries' commit paths.
 	if cfg.Replicate {
@@ -466,9 +499,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err := cl.startGroup(cl.bankGroup); err != nil {
 			return nil, err
 		}
+		// Every extra shard is its own replication group: per-shard
+		// leases, detectors and elections — one shard's failover never
+		// touches another's.
+		for _, sh := range append(append([]*svcShard(nil), cl.dirShards...), cl.bankShards...) {
+			sh.group = cl.newShardGroup(sh)
+			if err := cl.startGroup(sh.group); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	cl.registerGauges()
+	cl.registerShardMetrics()
 	if cfg.DebugAddr != "" {
 		if err := cl.startDebugServer(cfg.DebugAddr); err != nil {
 			return nil, err
@@ -766,6 +809,7 @@ func (cl *Cluster) startDirsvr() error {
 	s.SetMaxInflight(cl.cfg.MaxInflight)
 	s.SetObserver(cl.newStats("directory"))
 	cl.sealServer(fb, s.SetSealer)
+	cl.installShardView(s.Kernel, 0)
 	if err := cl.start(s.Start, s.Close); err != nil {
 		s.Close() // closes the log; a Restart retry reopens it
 		return err
@@ -773,6 +817,7 @@ func (cl *Cluster) startDirsvr() error {
 	cl.mu.Lock()
 	cl.dirs, cl.dirsFB, cl.machines.Dirs, cl.dirsDown = s, fb, fb.Machine(), false
 	cl.mu.Unlock()
+	cl.syncShardMachine(s.PutPort(), 0, fb.Machine())
 	return nil
 }
 
@@ -809,6 +854,7 @@ func (cl *Cluster) startBanksvr() error {
 	s.SetMaxInflight(cl.cfg.MaxInflight)
 	s.SetObserver(cl.newStats("bank"))
 	cl.sealServer(fb, s.SetSealer)
+	cl.installShardView(s.Kernel, 0)
 	if err := cl.start(s.Start, s.Close); err != nil {
 		s.Close() // closes the log; a Restart retry reopens it
 		return err
@@ -816,6 +862,7 @@ func (cl *Cluster) startBanksvr() error {
 	cl.mu.Lock()
 	cl.bank, cl.bankFB, cl.machines.Bank, cl.bankDown = s, fb, fb.Machine(), false
 	cl.mu.Unlock()
+	cl.syncShardMachine(s.PutPort(), 0, fb.Machine())
 	return nil
 }
 
@@ -859,6 +906,21 @@ func (cl *Cluster) durableCtlLocked(m amnet.MachineID) *durableCtl {
 			attach:      cl.attachBankBackup,
 		}
 	}
+	if sh := cl.shardOfLocked(m); sh != nil {
+		// Extra shards carry the same verbs as shard 0 minus the legacy
+		// single-standby pair (replication for them is group mode only).
+		return &durableCtl{
+			name: sh.service, fb: sh.fb, crash: sh.srv.Crash, drain: sh.kern.Drain,
+			down:        sh.down,
+			setDown:     func(v bool) { sh.down = v },
+			restart:     func() error { return cl.startShard(sh) },
+			ship:        sh.ship,
+			clearBackup: func() {},
+			attach: func() error {
+				return fmt.Errorf("amoeba: %s supports group replication (Replicas), not a legacy backup", sh.service)
+			},
+		}
+	}
 	return nil
 }
 
@@ -888,6 +950,7 @@ func (cl *Cluster) buildDirsStandby(fb *fbox.FBox, log *wal.Log) (kernelServer, 
 	// counters — no series break at failover.
 	s.SetObserver(cl.newStats("directory"))
 	cl.sealServer(fb, s.SetSealer)
+	cl.installShardView(s.Kernel, 0)
 	return s, s.Kernel, s.ReplayFn(), nil
 }
 
@@ -900,6 +963,7 @@ func (cl *Cluster) buildBankStandby(fb *fbox.FBox, log *wal.Log) (kernelServer, 
 	s.SetMaxInflight(cl.cfg.MaxInflight)
 	s.SetObserver(cl.newStats("bank")) // same label as the primary; see buildDirsStandby
 	cl.sealServer(fb, s.SetSealer)
+	cl.installShardView(s.Kernel, 0)
 	return s, s.Kernel, s.ReplayFn(), nil
 }
 
@@ -1082,6 +1146,7 @@ func (cl *Cluster) newDirsGroup() *replGroup {
 			cl.machines.Dirs = st.machine
 			cl.dirsDown = false
 			cl.dirsShip = ship
+			cl.syncShardMachine(cl.dirs.PutPort(), 0, st.machine)
 		},
 		primaryKernel:  func() *svc.Kernel { return cl.dirs.Kernel },
 		primaryFB:      func() *fbox.FBox { return cl.dirsFB },
@@ -1101,6 +1166,7 @@ func (cl *Cluster) newBankGroup() *replGroup {
 			cl.machines.Bank = st.machine
 			cl.bankDown = false
 			cl.bankShip = ship
+			cl.syncShardMachine(cl.bank.PutPort(), 0, st.machine)
 		},
 		primaryKernel:  func() *svc.Kernel { return cl.bank.Kernel },
 		primaryFB:      func() *fbox.FBox { return cl.bankFB },
@@ -1392,11 +1458,24 @@ func (cl *Cluster) reintegrate(g *replGroup) error {
 	return nil
 }
 
+// groupsLocked returns every replication group — the shard-0 pair plus
+// one per extra shard (entries may be nil). Caller holds cl.mu.
+func (cl *Cluster) groupsLocked() []*replGroup {
+	gs := []*replGroup{cl.dirsGroup, cl.bankGroup}
+	for _, sh := range cl.dirShards {
+		gs = append(gs, sh.group)
+	}
+	for _, sh := range cl.bankShards {
+		gs = append(gs, sh.group)
+	}
+	return gs
+}
+
 // groupOfLocked returns the replication group machine m belongs to and
 // its standby record (nil when m is the group's primary). Caller holds
 // cl.mu.
 func (cl *Cluster) groupOfLocked(m amnet.MachineID) (*replGroup, *groupStandby) {
-	for _, g := range []*replGroup{cl.dirsGroup, cl.bankGroup} {
+	for _, g := range cl.groupsLocked() {
 		if g == nil {
 			continue
 		}
@@ -1415,11 +1494,10 @@ func (cl *Cluster) groupOfLocked(m amnet.MachineID) (*replGroup, *groupStandby) 
 // groupByNameLocked resolves a service name to its replication group
 // (nil when that service is not group-replicated). Caller holds cl.mu.
 func (cl *Cluster) groupByNameLocked(name string) *replGroup {
-	if cl.dirsGroup != nil && cl.dirsGroup.name == name {
-		return cl.dirsGroup
-	}
-	if cl.bankGroup != nil && cl.bankGroup.name == name {
-		return cl.bankGroup
+	for _, g := range cl.groupsLocked() {
+		if g != nil && g.name == name {
+			return g
+		}
 	}
 	return nil
 }
@@ -1803,7 +1881,7 @@ func (cl *Cluster) addCloser(f func() error) {
 }
 
 func (cl *Cluster) newRPCClient(fb *fbox.FBox) *rpc.Client {
-	res := locate.New(fb, locate.Config{})
+	res := locate.New(fb, locate.Config{Atlas: cl.atlas})
 	return rpc.NewClient(fb, res, rpc.ClientConfig{
 		Source: cl.src,
 		Sealer: cl.sealerFor(fb),
@@ -1844,7 +1922,10 @@ func (cl *Cluster) Close() error {
 	// election already running finish on live resources.
 	cl.closing.Store(true)
 	cl.lifeMu.Lock()
-	for _, g := range []*replGroup{cl.dirsGroup, cl.bankGroup} {
+	cl.mu.Lock()
+	groups := cl.groupsLocked()
+	cl.mu.Unlock()
+	for _, g := range groups {
 		if g == nil {
 			continue
 		}

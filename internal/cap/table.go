@@ -37,6 +37,12 @@ type Table struct {
 	allocMu sync.Mutex
 	next    uint32
 	free    []uint32 // destroyed object numbers available for reuse
+	// allocFilter, when set, restricts which object numbers the
+	// allocator may claim — a sharded server passes its shard view's
+	// Owns so every shard mints numbers it actually serves, and a
+	// migrated-away number (no longer owned) can never be re-minted
+	// here. Read and written under allocMu.
+	allocFilter func(uint32) bool
 }
 
 // NewTable builds an object table for a server listening on the given
@@ -144,6 +150,9 @@ func (t *Table) alloc(secret uint64) (uint32, error) {
 	for n := len(t.free); n > 0; n = len(t.free) {
 		obj := t.free[n-1]
 		t.free = t.free[:n-1]
+		if t.allocFilter != nil && !t.allocFilter(obj) {
+			continue
+		}
 		// Free-list numbers are normally dead, but CreateObject may
 		// have re-claimed one explicitly; skip those.
 		if t.secrets.PutIfAbsent(obj, secret) {
@@ -153,11 +162,24 @@ func (t *Table) alloc(secret uint64) (uint32, error) {
 	for tries := uint32(0); tries <= ObjectMask; tries++ {
 		obj := t.next & ObjectMask
 		t.next++
+		if t.allocFilter != nil && !t.allocFilter(obj) {
+			continue
+		}
 		if t.secrets.PutIfAbsent(obj, secret) {
 			return obj, nil
 		}
 	}
 	return 0, ErrTableFull
+}
+
+// SetAllocFilter restricts future allocations to object numbers the
+// filter accepts (nil clears it). Sharded servers install their
+// shard view's ownership predicate so each shard mints numbers that
+// route back to it.
+func (t *Table) SetAllocFilter(f func(uint32) bool) {
+	t.allocMu.Lock()
+	t.allocFilter = f
+	t.allocMu.Unlock()
 }
 
 // Validate checks a presented capability: the object must exist here
@@ -239,6 +261,21 @@ func (t *Table) DestroyObject(obj uint32) error {
 	t.free = append(t.free, obj)
 	t.allocMu.Unlock()
 	return nil
+}
+
+// SecretOf returns obj's stored random number — the migration path
+// reads it to re-install the SAME secret on the destination shard, so
+// client-held capabilities stay valid across the move.
+func (t *Table) SecretOf(obj uint32) (uint64, bool) {
+	return t.secrets.Get(obj & ObjectMask)
+}
+
+// ForgetObject drops obj's entry WITHOUT recycling its number: the
+// object still exists, it just lives on another shard now. Unlike
+// DestroyObject the number never enters the free list — re-minting a
+// migrated-away number here would hand two shards the same identity.
+func (t *Table) ForgetObject(obj uint32) {
+	t.secrets.Delete(obj & ObjectMask)
 }
 
 // Snapshot serializes the table's object secrets so a service can

@@ -17,6 +17,7 @@ import (
 	"amoeba/internal/amnet"
 	"amoeba/internal/cap"
 	"amoeba/internal/fbox"
+	"amoeba/internal/shard"
 )
 
 // ErrNotFound is returned when no machine answers a LOCATE within the
@@ -32,6 +33,11 @@ type Config struct {
 	// TTL bounds how long a cache entry is trusted without
 	// reconfirmation (default 1 minute; 0 keeps entries forever).
 	TTL time.Duration
+	// Atlas, when set, lets the resolver route (port, object) pairs on
+	// sharded ports: the object's home shard comes from the port's
+	// shard map, cached here with the same TTL so stale maps self-heal
+	// through StatusWrongShard instead of broadcasts.
+	Atlas *shard.Atlas
 }
 
 func (c Config) withDefaults() Config {
@@ -70,7 +76,24 @@ type Resolver struct {
 	mu      sync.Mutex
 	cache   map[cap.Port]entry
 	flights map[cap.Port]*flight
+	maps    map[cap.Port]mapEntry // cached shard map per sharded port
+	shards  map[portShard]entry   // cached route per (port, shard)
+	rr      uint64                // round-robin cursor for objectless requests
 	stats   Stats
+}
+
+// portShard keys the per-shard route cache: each shard of a port has
+// its own entry, so evicting one shard's dead route cannot clobber its
+// siblings' live ones.
+type portShard struct {
+	p   cap.Port
+	idx int
+}
+
+// mapEntry is a cached shard map plus when it was learned.
+type mapEntry struct {
+	m       *shard.Map
+	learned time.Time
 }
 
 // Stats counts resolver activity for experiment E12.
@@ -90,6 +113,8 @@ func New(fb *fbox.FBox, cfg Config) *Resolver {
 		now:     time.Now,
 		cache:   make(map[cap.Port]entry),
 		flights: make(map[cap.Port]*flight),
+		maps:    make(map[cap.Port]mapEntry),
+		shards:  make(map[portShard]entry),
 	}
 }
 
@@ -142,6 +167,80 @@ func (r *Resolver) Lookup(ctx context.Context, p cap.Port) (amnet.MachineID, err
 	}
 }
 
+// LookupObject resolves (port, object) → machine. On a sharded port
+// (one with a map in the atlas) the object's home shard is computed
+// from the cached map and the per-shard route returned — no broadcast:
+// every shard advertises the same put-port, so a LOCATE answer would
+// be ambiguous; the atlas plays the directory a wire deployment would
+// query. Requests that carry no capability (hasObj false — object
+// creation) are spread round-robin: every shard mints numbers its own
+// ownership filter accepts, so the returned capability routes
+// correctly no matter which shard minted it. Unsharded ports fall
+// through to the plain broadcast Lookup.
+func (r *Resolver) LookupObject(ctx context.Context, p cap.Port, obj uint32, hasObj bool) (amnet.MachineID, error) {
+	if r.cfg.Atlas == nil {
+		return r.Lookup(ctx, p)
+	}
+	now := r.now()
+	r.mu.Lock()
+	e, ok := r.maps[p]
+	m := e.m
+	if !ok || (r.cfg.TTL >= 0 && now.Sub(e.learned) >= r.cfg.TTL) {
+		m = r.cfg.Atlas.Lookup(p)
+		if m != nil {
+			r.maps[p] = mapEntry{m: m, learned: now}
+		} else if ok {
+			delete(r.maps, p)
+		}
+	}
+	if m == nil {
+		r.mu.Unlock()
+		return r.Lookup(ctx, p)
+	}
+	var idx int
+	if hasObj {
+		idx = m.Home(obj)
+	} else {
+		idx = int(r.rr % uint64(m.N))
+		r.rr++
+	}
+	key := portShard{p: p, idx: idx}
+	if se, ok := r.shards[key]; ok && (r.cfg.TTL < 0 || now.Sub(se.learned) < r.cfg.TTL) {
+		r.stats.Hits++
+		r.mu.Unlock()
+		return se.at, nil
+	}
+	r.stats.Misses++
+	at := m.Machines[idx]
+	r.shards[key] = entry{at: at, learned: now}
+	r.mu.Unlock()
+	return at, nil
+}
+
+// Refresh drops p's cached shard map when it is no newer than gen —
+// the client calls it with the generation a StatusWrongShard reply
+// carried, so the retry recomputes the object's home from the current
+// map. Cached per-shard routes survive: the object→shard assignment
+// was stale, not the shard addresses.
+func (r *Resolver) Refresh(p cap.Port, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.maps[p]; ok && (gen == 0 || e.m.Gen <= gen) {
+		delete(r.maps, p)
+	}
+}
+
+// MapGen returns the generation of p's cached shard map (0 when none
+// is cached).
+func (r *Resolver) MapGen(p cap.Port) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.maps[p]; ok {
+		return e.m.Gen
+	}
+	return 0
+}
+
 // broadcastRounds runs the configured number of LOCATE rounds.
 func (r *Resolver) broadcastRounds(ctx context.Context, p cap.Port) (amnet.MachineID, error) {
 	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
@@ -180,24 +279,55 @@ func (r *Resolver) broadcastOnce(ctx context.Context, p cap.Port) (amnet.Machine
 	}
 }
 
-// Invalidate drops the cache entry for p (the RPC layer calls this when
-// a transaction to the cached machine times out).
+// Invalidate drops every cached route and map for p (the RPC layer
+// calls this when a transaction to the cached machine times out).
 func (r *Resolver) Invalidate(p cap.Port) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.cache, p)
+	delete(r.maps, p)
+	for k := range r.shards {
+		if k.p == p {
+			delete(r.shards, k)
+		}
+	}
 }
 
-// Evict drops the cache entry for p only if it still names machine at.
-// This is the failover-safe invalidation: a transaction that timed out
-// against a dead machine must not clobber an entry a concurrent lookup
-// already refreshed to the server's NEW home — during a promotion storm
-// that race would send the whole client herd back to broadcast.
+// Evict drops p's cached routes that still name machine at — and ONLY
+// those. Two properties matter:
+//
+// Failover-safe: a transaction that timed out against a dead machine
+// must not clobber an entry a concurrent lookup already refreshed to
+// the server's NEW home — during a promotion storm that race would
+// send the whole client herd back to broadcast.
+//
+// Shard-aware: on a sharded port only the failing machine's shard
+// routes go; the sibling shards' cached routes survive, so one sick
+// shard cannot force the whole port back through the directory.
+// (Before this fix Evict assumed one machine per port and a failing
+// call to shard 2 clobbered shards 0/1 as collateral.)
 func (r *Resolver) Evict(p cap.Port, at amnet.MachineID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.cache[p]; ok && e.at == at {
 		delete(r.cache, p)
+	}
+	for k, e := range r.shards {
+		if k.p == p && e.at == at {
+			delete(r.shards, k)
+		}
+	}
+	// If the failed machine appears in the cached map, the map's
+	// address for that shard is stale too (mid-failover): drop the map
+	// so the next lookup rereads the atlas, which the cluster updates
+	// when a shard changes primary.
+	if me, ok := r.maps[p]; ok {
+		for _, mach := range me.m.Machines {
+			if mach == at {
+				delete(r.maps, p)
+				break
+			}
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package locate
+
+import (
+	"context"
+	"testing"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/shard"
+)
+
+// shardRig: a resolver wired to an atlas holding a 3-shard map for one
+// port. Objects 0,1,2 hash to shards 0,1,2.
+func shardRig(t *testing.T) (*Resolver, *shard.Atlas, cap.Port, []amnet.MachineID) {
+	t.Helper()
+	r := newRig(t)
+	atlas := shard.NewAtlas()
+	p := cap.Port(0xBEEF)
+	machines := []amnet.MachineID{101, 102, 103}
+	atlas.Register(p, shard.NewMap(machines))
+	cfg := fastCfg()
+	cfg.Atlas = atlas
+	return New(r.client, cfg), atlas, p, machines
+}
+
+func TestLookupObjectRoutesByShard(t *testing.T) {
+	ctx := context.Background()
+	res, _, p, machines := shardRig(t)
+	for obj := uint32(0); obj < 6; obj++ {
+		at, err := res.LookupObject(ctx, p, obj, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := machines[obj%3]; at != want {
+			t.Fatalf("object %d routed to %v, want %v", obj, at, want)
+		}
+	}
+	// 3 route-cache misses (one per shard), 3 hits on the second pass.
+	if s := res.Stats(); s.Misses != 3 || s.Hits != 3 || s.Broadcasts != 0 {
+		t.Fatalf("stats %+v, want 3 misses / 3 hits / 0 broadcasts", s)
+	}
+}
+
+func TestLookupObjectRoundRobinWithoutObject(t *testing.T) {
+	ctx := context.Background()
+	res, _, p, _ := shardRig(t)
+	seen := make(map[amnet.MachineID]int)
+	for i := 0; i < 9; i++ {
+		at, err := res.LookupObject(ctx, p, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[at]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("objectless requests hit %d machines, want all 3: %v", len(seen), seen)
+	}
+	for at, n := range seen {
+		if n != 3 {
+			t.Fatalf("machine %v got %d requests, want an even 3: %v", at, n, seen)
+		}
+	}
+}
+
+// TestShardedEvictSparesSiblingShards is the regression test for the
+// one-machine-per-port eviction bug: a failing call to shard 2 must
+// drop shard 2's cached route and ONLY shard 2's — before the fix the
+// whole port's routes went, and every client re-resolved all shards
+// because one was sick. The resolver's hit/miss counters are the tap:
+// a clobbered sibling shows up as an extra miss.
+func TestShardedEvictSparesSiblingShards(t *testing.T) {
+	ctx := context.Background()
+	res, _, p, machines := shardRig(t)
+	for obj := uint32(0); obj < 3; obj++ {
+		if _, err := res.LookupObject(ctx, p, obj, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := res.Stats()
+	if before.Misses != 3 {
+		t.Fatalf("warmup stats %+v, want 3 misses", before)
+	}
+
+	res.Evict(p, machines[2])
+
+	// Shards 0 and 1 still answer from cache…
+	for obj := uint32(0); obj < 2; obj++ {
+		if _, err := res.LookupObject(ctx, p, obj, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := res.Stats()
+	if s.Hits != before.Hits+2 || s.Misses != before.Misses {
+		t.Fatalf("sibling routes were clobbered: %+v (before %+v)", s, before)
+	}
+	// …and only shard 2 re-resolves.
+	if _, err := res.LookupObject(ctx, p, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Stats(); s.Misses != before.Misses+1 {
+		t.Fatalf("evicted shard did not re-resolve: %+v", s)
+	}
+	// An eviction blaming a machine that serves no shard touches nothing.
+	res.Evict(p, amnet.MachineID(999))
+	if _, err := res.LookupObject(ctx, p, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := res.Stats(); s2.Misses != before.Misses+1 {
+		t.Fatalf("unrelated eviction clobbered a route: %+v", s2)
+	}
+}
+
+// TestRefreshReroutesMigratedObject: after a migration bumps the map,
+// Refresh (driven by a StatusWrongShard reply) makes the resolver
+// re-read the atlas and route the object to its new home — while the
+// sibling shard routes stay cached.
+func TestRefreshReroutesMigratedObject(t *testing.T) {
+	ctx := context.Background()
+	res, atlas, p, machines := shardRig(t)
+	if at, err := res.LookupObject(ctx, p, 5, true); err != nil || at != machines[2] {
+		t.Fatalf("at=%v err=%v, want shard 2 (%v)", at, err, machines[2])
+	}
+
+	// Object 5 migrates to shard 0; the resolver's cached map is stale.
+	atlas.Update(p, func(m *shard.Map) *shard.Map { return m.WithOverride(5, 0) })
+	if at, _ := res.LookupObject(ctx, p, 5, true); at != machines[2] {
+		t.Fatalf("stale map should still route to shard 2, got %v", at)
+	}
+
+	// The server answered WrongShard with its generation; Refresh drops
+	// the stale map and the retry routes to the new home.
+	res.Refresh(p, res.MapGen(p))
+	at, err := res.LookupObject(ctx, p, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != machines[0] {
+		t.Fatalf("refreshed lookup routed to %v, want shard 0 (%v)", at, machines[0])
+	}
+	// A Refresh against an OLDER generation than the cached map is a
+	// no-op (the reply was from a server behind this client's map).
+	res.Refresh(p, 1)
+	if at, _ := res.LookupObject(ctx, p, 5, true); at != machines[0] {
+		t.Fatalf("stale refresh dropped a fresh map; routed to %v", at)
+	}
+}

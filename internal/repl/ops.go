@@ -7,7 +7,8 @@ import "amoeba/internal/obs"
 // drift from the opcode the const block defines.
 func init() {
 	obs.RegisterOps(map[uint16]string{
-		OpShip: "repl.ship",
-		OpSeq:  "repl.seq",
+		OpShip:    "repl.ship",
+		OpSeq:     "repl.seq",
+		OpMigrate: "repl.migrate",
 	})
 }

@@ -197,10 +197,27 @@ func (c *Client) options(opts []CallOption) callOptions {
 // remaining budget also rides in the request header so servers that
 // issue nested RPC inherit it (see Request.Budget).
 func (c *Client) Trans(ctx context.Context, dest cap.Port, req Request, opts ...CallOption) (Reply, error) {
-	rep, _, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) (*wire.Buf, error) {
+	rep, _, err := c.transact(ctx, dest, opts, routeOf(dest, req.Cap), func(machine amnet.MachineID) (*wire.Buf, error) {
 		return c.encodeRequest(ctx, req, machine, nil)
 	})
 	return rep, err
+}
+
+// route is the shard-routing key of a transaction: the object number
+// the request names, when it names one on the destination port. The
+// resolver routes (port, object) to the object's home shard; an
+// objectless request (object creation, echo) is spread round-robin.
+type route struct {
+	obj    uint32
+	hasObj bool
+}
+
+// routeOf derives the routing key from the request's capability.
+func routeOf(dest cap.Port, c0 cap.Capability) route {
+	if c0 != cap.Nil && c0.Server == dest {
+		return route{obj: c0.Object, hasObj: true}
+	}
+	return route{}
 }
 
 // encodeRequest seals and encodes a request into a pooled buffer with
@@ -227,7 +244,7 @@ func (c *Client) encodeRequest(ctx context.Context, req Request, machine amnet.M
 // machine, so the payload is rebuilt per attempt), PUT, await the
 // reply, retry on timeout. It returns the machine that answered so
 // callers can open per-item sealed capabilities.
-func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, build func(amnet.MachineID) (*wire.Buf, error)) (Reply, amnet.MachineID, error) {
+func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, rt route, build func(amnet.MachineID) (*wire.Buf, error)) (Reply, amnet.MachineID, error) {
 	o := c.options(opts)
 	var lastErr error
 	locRetried := false
@@ -243,7 +260,7 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 				return Reply{}, 0, fmt.Errorf("rpc: %v: %w", dest, err)
 			}
 		}
-		machine, err := c.res.Lookup(ctx, dest)
+		machine, err := c.res.LookupObject(ctx, dest, rt.obj, rt.hasObj)
 		if err != nil {
 			lastErr = fmt.Errorf("rpc: locating %v: %w", dest, err)
 			if errors.Is(err, locate.ErrNotFound) && !locRetried && attempt < o.retries {
@@ -274,6 +291,17 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 				// camping on the corpse until its deadline lapses.
 				c.res.Evict(dest, machine)
 				lastErr = &StatusError{Status: StatusStale, Detail: string(rep.Data)}
+				continue
+			}
+			if rep.Status == StatusWrongShard && attempt < o.retries {
+				// We routed on a stale shard map — the object migrated,
+				// or the map changed under us. Nothing was executed.
+				// The reply carries the server's current generation:
+				// refresh the cached map (no broadcast) and re-route;
+				// no backoff, the next attempt routes on a map at least
+				// that new.
+				c.res.Refresh(dest, WrongShardGen(rep.Data))
+				lastErr = &StatusError{Status: StatusWrongShard}
 				continue
 			}
 			if rep.Status != StatusOverload || attempt >= o.retries {
@@ -341,7 +369,9 @@ func (c *Client) Batch(ctx context.Context, dest cap.Port, reqs []Request, opts 
 	if len(reqs) > MaxBatchItems {
 		return nil, fmt.Errorf("rpc: batch of %d requests exceeds %d", len(reqs), MaxBatchItems)
 	}
-	rep, machine, err := c.transact(ctx, dest, opts, func(machine amnet.MachineID) (*wire.Buf, error) {
+	// A batch routes on its first item's capability: mixed-shard
+	// batches are a documented non-goal (callers split per shard).
+	rep, machine, err := c.transact(ctx, dest, opts, routeOf(dest, reqs[0].Cap), func(machine amnet.MachineID) (*wire.Buf, error) {
 		budget := remainingBudget(ctx)
 		// One wire ID for the frame and every item in it: the batch is
 		// one logical request as far as correlation goes.
@@ -531,7 +561,7 @@ func (c *Client) Call(ctx context.Context, c0 cap.Capability, op uint16, data []
 // a fresh intermediate slice.
 func (c *Client) CallParts(ctx context.Context, c0 cap.Capability, op uint16, parts ...[]byte) (Reply, error) {
 	req := Request{Cap: c0, Op: op}
-	rep, _, err := c.transact(ctx, c0.Server, nil, func(machine amnet.MachineID) (*wire.Buf, error) {
+	rep, _, err := c.transact(ctx, c0.Server, nil, routeOf(c0.Server, c0), func(machine amnet.MachineID) (*wire.Buf, error) {
 		return c.encodeRequest(ctx, req, machine, parts)
 	})
 	if err != nil {

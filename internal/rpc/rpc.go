@@ -87,6 +87,12 @@ const (
 	// epoch has superseded it (the replication channel uses it to fence
 	// a deposed primary's stream). Retrying unchanged cannot help.
 	StatusStale
+	// StatusWrongShard means this machine does not own the object the
+	// capability names: the client routed on a stale shard map. The
+	// reply data carries the server's current map generation (8 bytes,
+	// big-endian); the client refreshes its map and retries against
+	// the right shard. The work was NOT executed.
+	StatusWrongShard
 )
 
 // String renders the status.
@@ -110,6 +116,8 @@ func (s Status) String() string {
 		return "overload"
 	case StatusStale:
 		return "stale epoch"
+	case StatusWrongShard:
+		return "wrong shard"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -266,6 +274,24 @@ func (r Reply) releaseBuf() {
 
 // CapReply builds a success reply carrying a capability.
 func CapReply(c cap.Capability) Reply { return Reply{Status: StatusOK, Cap: c} }
+
+// WrongShardReply builds a StatusWrongShard reply stamped with the
+// server's current shard-map generation. Only the misroute path pays
+// the 8-byte allocation.
+func WrongShardReply(gen uint64) Reply {
+	data := make([]byte, 8)
+	binary.BigEndian.PutUint64(data, gen)
+	return Reply{Status: StatusWrongShard, Data: data}
+}
+
+// WrongShardGen extracts the map generation from a StatusWrongShard
+// reply's data (0 if the payload is malformed — older, still valid).
+func WrongShardGen(data []byte) uint64 {
+	if len(data) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(data)
+}
 
 // Standard opcodes offered by every server that calls
 // Server.ServeTable: capability maintenance is uniform across services.

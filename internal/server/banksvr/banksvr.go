@@ -136,11 +136,14 @@ func NewDurable(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, cfg Config,
 		accounts: store.New[*account](0),
 	}
 	s.Kernel = svc.NewWithConfig(fb, scheme, svc.Config{
-		Source:   src,
-		Port:     g,
-		Log:      log,
-		Snapshot: s.snapshot,
-		Restore:  s.restoreSnapshot,
+		Source:        src,
+		Port:          g,
+		Log:           log,
+		Snapshot:      s.snapshot,
+		Restore:       s.restoreSnapshot,
+		ExtractObject: s.extractObject,
+		InstallObject: s.installObject,
+		RemoveObject:  s.removeObject,
 	})
 	s.table = s.Table()
 	s.Handle(OpCreateAccount, s.createAccount)
@@ -315,6 +318,70 @@ func (s *Server) snapshot() []byte {
 	})
 	binary.BigEndian.PutUint32(out[at:], uint32(count))
 	return out
+}
+
+// extractObject pulls one account out of the server for live
+// migration: nbal(2) ∥ nbal × (currency ∥ amount(8)) — the same
+// per-account body the snapshot writes. The dead flag is set under the
+// account lock, so a transfer racing the migration fails cleanly
+// instead of mutating state the destination already owns. The treasury
+// stays put: it is this instance's money supply, not the account's
+// (cross-shard transfers settle against the destination shard's
+// treasury — a documented non-goal to unify).
+func (s *Server) extractObject(obj uint32) ([]byte, error) {
+	a, ok := s.accounts.Get(obj)
+	if !ok {
+		return nil, fmt.Errorf("banksvr: no account %d", obj)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dead {
+		return nil, fmt.Errorf("banksvr: account %d destroyed", obj)
+	}
+	state := make([]byte, 2, 2+len(a.balances)*12)
+	binary.BigEndian.PutUint16(state, uint16(len(a.balances)))
+	for c, v := range a.balances {
+		state = appendCurrency(state, c)
+		state = appendU64(state, uint64(v))
+	}
+	a.dead = true
+	a.balances = nil
+	s.accounts.Delete(obj)
+	return state, nil
+}
+
+// installObject installs a migrated-in account.
+func (s *Server) installObject(obj uint32, state []byte) error {
+	if len(state) < 2 {
+		return fmt.Errorf("banksvr: truncated migrated account %d", obj)
+	}
+	nbal := binary.BigEndian.Uint16(state)
+	rest := state[2:]
+	a := &account{balances: make(map[string]int64, nbal)}
+	for i := uint16(0); i < nbal; i++ {
+		cur, r, err := takeCurrency(rest)
+		if err != nil || len(r) < 8 {
+			return fmt.Errorf("banksvr: truncated migrated account %d", obj)
+		}
+		a.balances[cur] = int64(binary.BigEndian.Uint64(r))
+		rest = r[8:]
+	}
+	s.accounts.Put(obj, a)
+	return nil
+}
+
+// removeObject drops an account whose migrate-out committed (replay
+// path); absence is fine — the in-memory extract already removed it.
+func (s *Server) removeObject(obj uint32) {
+	a, ok := s.accounts.Get(obj)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	a.dead = true
+	a.balances = nil
+	a.mu.Unlock()
+	s.accounts.Delete(obj)
 }
 
 // restoreSnapshot replaces the treasury and account state.

@@ -105,11 +105,14 @@ func New(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source) *Server {
 func NewDurable(fb *fbox.FBox, scheme cap.Scheme, src crypto.Source, log *wal.Log, g cap.Port) (*Server, error) {
 	s := &Server{dirs: store.New[*directory](0)}
 	s.Kernel = svc.NewWithConfig(fb, scheme, svc.Config{
-		Source:   src,
-		Port:     g,
-		Log:      log,
-		Snapshot: s.snapshot,
-		Restore:  s.restoreSnapshot,
+		Source:        src,
+		Port:          g,
+		Log:           log,
+		Snapshot:      s.snapshot,
+		Restore:       s.restoreSnapshot,
+		ExtractObject: s.extractObject,
+		InstallObject: s.installObject,
+		RemoveObject:  s.removeObject,
 	})
 	s.table = s.Table()
 	s.Handle(OpCreateDir, s.createDir)
@@ -282,6 +285,83 @@ func (s *Server) restoreSnapshot(snap []byte) error {
 	return nil
 }
 
+// encodeDirEntries serializes one directory's entries (caller holds
+// d.mu): n(4) ∥ n × (nameLen(2) ∥ name ∥ cap(16)) — the per-directory
+// body of the snapshot format.
+func encodeDirEntries(d *directory) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, uint32(len(d.entries)))
+	for name, c := range d.entries {
+		var nl [2]byte
+		binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
+		out = append(out, nl[:]...)
+		out = append(out, name...)
+		out = c.AppendTo(out)
+	}
+	return out
+}
+
+func decodeDirEntries(state []byte) (map[string]cap.Capability, error) {
+	if len(state) < 4 {
+		return nil, fmt.Errorf("dirsvr: truncated directory state")
+	}
+	n := binary.BigEndian.Uint32(state)
+	at := 4
+	entries := make(map[string]cap.Capability, n)
+	for i := uint32(0); i < n; i++ {
+		if len(state)-at < 2 {
+			return nil, fmt.Errorf("dirsvr: truncated directory state")
+		}
+		nl := int(binary.BigEndian.Uint16(state[at:]))
+		at += 2
+		if len(state)-at < nl+cap.Size {
+			return nil, fmt.Errorf("dirsvr: truncated directory state")
+		}
+		c, err := cap.Decode(state[at+nl : at+nl+cap.Size])
+		if err != nil {
+			return nil, err
+		}
+		entries[string(state[at:at+nl])] = c
+		at += nl + cap.Size
+	}
+	return entries, nil
+}
+
+// extractObject cuts one directory out for migration: serialized and
+// removed under its own write lock, so the cut is exactly the state
+// the last acknowledged mutation left (handlers stage their records
+// under this same lock) and no other directory is touched.
+func (s *Server) extractObject(obj uint32) ([]byte, error) {
+	d, ok := s.dirs.Get(obj)
+	if !ok {
+		return nil, fmt.Errorf("dirsvr: object %d: %w", obj, cap.ErrNoSuchObject)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, live := s.dirs.Get(obj); !live || cur != d {
+		// Destroyed between lookup and lock (see enter).
+		return nil, fmt.Errorf("dirsvr: object %d: %w", obj, cap.ErrNoSuchObject)
+	}
+	state := encodeDirEntries(d)
+	s.dirs.Delete(obj)
+	return state, nil
+}
+
+// installObject adopts a migrated directory (or replays a migrate-in
+// record). Trusted like any replay: an existing object is overwritten.
+func (s *Server) installObject(obj uint32, state []byte) error {
+	entries, err := decodeDirEntries(state)
+	if err != nil {
+		return err
+	}
+	s.dirs.Put(obj, &directory{entries: entries})
+	return nil
+}
+
+// removeObject replays a migrate-out record: the directory left this
+// shard.
+func (s *Server) removeObject(obj uint32) { s.dirs.Delete(obj) }
+
 func (s *Server) createDir(_ context.Context, _ rpc.Meta, _ rpc.Request) rpc.Reply {
 	c, secret, err := s.table.CreateRecorded()
 	if err != nil {
@@ -351,9 +431,10 @@ func (s *Server) lookupPath(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 		if comp == "" {
 			continue
 		}
-		if cur.Server != self || consumed == 0xFFFF {
-			break // next step belongs to another server (or the count
-			// field is full); hand back, the client carries on
+		if cur.Server != self || consumed == 0xFFFF || !s.OwnsObject(cur.Object) {
+			break // next step belongs to another server or another
+			// shard of this port (or the count field is full); hand
+			// back, the client carries on
 		}
 		if err := validName(comp); err != nil {
 			return rpc.ErrReply(rpc.StatusBadRequest, err.Error())

@@ -1,0 +1,215 @@
+// Package shard partitions a service's object space across machines.
+//
+// A port that serves objects from M machines gets a Map: object-number
+// → shard index, static hash (obj mod M) first, with per-object
+// overrides layered on top as objects migrate. Every edit produces a
+// NEW Map with a bumped generation — readers hold an immutable
+// snapshot and never see a map mid-edit, so the hot path is one atomic
+// pointer load with zero locks and zero allocations.
+//
+// The Atlas holds the current Map for every sharded port. In a real
+// deployment it would be a replicated directory service reached over
+// the wire; here it is process-wide shared state (the cluster and all
+// SimNet clients live in one process), which keeps the protocol —
+// versioned map, StatusWrongShard carrying the server's generation,
+// client refresh-and-retry — exactly what the wire version would use.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+)
+
+// Map is an immutable snapshot of the object→shard assignment for one
+// port. Never mutate a Map in place: derive a successor with
+// WithOverride/WithMachine, which bumps Gen.
+type Map struct {
+	// Gen is the map generation, bumped on every change. Servers
+	// stamp it into StatusWrongShard replies; clients use it to tell
+	// "my map is stale" from "the server disagrees with the current
+	// map" (the latter self-heals on the next generation bump).
+	Gen uint64
+	// N is the number of shards (fixed at boot; resharding is a
+	// documented non-goal for now).
+	N int
+	// Machines[i] is the machine currently serving shard i — the
+	// group primary when the shard is a replication group.
+	Machines []amnet.MachineID
+	// overrides maps individual migrated objects to their new shard,
+	// layered over the hash rule.
+	overrides map[uint32]int
+}
+
+// NewMap builds a generation-1 map with pure hash placement.
+func NewMap(machines []amnet.MachineID) *Map {
+	ms := make([]amnet.MachineID, len(machines))
+	copy(ms, machines)
+	return &Map{Gen: 1, N: len(ms), Machines: ms}
+}
+
+// Home returns the shard index owning obj: the override if one exists,
+// otherwise obj mod N.
+func (m *Map) Home(obj uint32) int {
+	obj &= cap.ObjectMask
+	if len(m.overrides) > 0 {
+		if s, ok := m.overrides[obj]; ok {
+			return s
+		}
+	}
+	return int(obj % uint32(m.N))
+}
+
+// Machine returns the machine serving obj's home shard.
+func (m *Map) Machine(obj uint32) amnet.MachineID {
+	return m.Machines[m.Home(obj)]
+}
+
+// Overridden reports whether obj has a migration override.
+func (m *Map) Overridden(obj uint32) bool {
+	_, ok := m.overrides[obj&cap.ObjectMask]
+	return ok
+}
+
+// clone copies m with Gen+1 so the caller can edit the copy.
+func (m *Map) clone() *Map {
+	n := &Map{Gen: m.Gen + 1, N: m.N}
+	n.Machines = make([]amnet.MachineID, len(m.Machines))
+	copy(n.Machines, m.Machines)
+	if len(m.overrides) > 0 {
+		n.overrides = make(map[uint32]int, len(m.overrides))
+		for k, v := range m.overrides {
+			n.overrides[k] = v
+		}
+	}
+	return n
+}
+
+// WithOverride derives a successor map that sends obj to shard dst.
+// If dst is obj's hash home the override is dropped instead (the
+// object moved back), keeping the override set minimal.
+func (m *Map) WithOverride(obj uint32, dst int) *Map {
+	obj &= cap.ObjectMask
+	n := m.clone()
+	if int(obj%uint32(n.N)) == dst {
+		delete(n.overrides, obj)
+		return n
+	}
+	if n.overrides == nil {
+		n.overrides = make(map[uint32]int, 1)
+	}
+	n.overrides[obj] = dst
+	return n
+}
+
+// WithMachine derives a successor map with shard idx served by at —
+// the failover path: the shard's objects stay put, only the address
+// changes.
+func (m *Map) WithMachine(idx int, at amnet.MachineID) *Map {
+	n := m.clone()
+	n.Machines[idx] = at
+	return n
+}
+
+// Atlas holds the current Map per sharded port. Lookups are lock-free
+// (one atomic load plus a read of an immutable Go map) and
+// allocation-free; edits copy.
+type Atlas struct {
+	mu     sync.Mutex // serializes writers
+	byPort atomic.Pointer[map[cap.Port]*atomic.Pointer[Map]]
+}
+
+// NewAtlas returns an empty atlas.
+func NewAtlas() *Atlas { return &Atlas{} }
+
+// Lookup returns the current map for p, or nil if p is not sharded.
+func (a *Atlas) Lookup(p cap.Port) *Map {
+	tab := a.byPort.Load()
+	if tab == nil {
+		return nil
+	}
+	slot, ok := (*tab)[p]
+	if !ok {
+		return nil
+	}
+	return slot.Load()
+}
+
+// Register installs the initial map for p (replacing any prior one).
+func (a *Atlas) Register(p cap.Port, m *Map) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := a.byPort.Load()
+	next := make(map[cap.Port]*atomic.Pointer[Map], 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if slot, ok := next[p]; ok {
+		slot.Store(m)
+	} else {
+		slot = new(atomic.Pointer[Map])
+		slot.Store(m)
+		next[p] = slot
+	}
+	a.byPort.Store(&next)
+}
+
+// Update applies fn to p's current map and installs the result
+// atomically with respect to other writers. fn must derive (not
+// mutate) and may return nil to abort; Update returns the installed
+// map, or nil if p is unknown or fn aborted.
+func (a *Atlas) Update(p cap.Port, fn func(*Map) *Map) *Map {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tab := a.byPort.Load()
+	if tab == nil {
+		return nil
+	}
+	slot, ok := (*tab)[p]
+	if !ok {
+		return nil
+	}
+	next := fn(slot.Load())
+	if next == nil {
+		return nil
+	}
+	slot.Store(next)
+	return next
+}
+
+// View is one server's perspective on one port's map: "am I shard
+// self, and do I own this object right now?" Handed to svc.Kernel so
+// dispatch can answer StatusWrongShard without knowing about clusters.
+type View struct {
+	atlas *Atlas
+	port  cap.Port
+	self  int
+}
+
+// NewView builds the view for shard self of port p.
+func NewView(a *Atlas, p cap.Port, self int) *View {
+	return &View{atlas: a, port: p, self: self}
+}
+
+// Owns reports whether this shard currently owns obj. A port with no
+// registered map is unsharded: everything is owned.
+func (v *View) Owns(obj uint32) bool {
+	m := v.atlas.Lookup(v.port)
+	return m == nil || m.Home(obj) == v.self
+}
+
+// Gen returns the current map generation (0 if unsharded).
+func (v *View) Gen() uint64 {
+	m := v.atlas.Lookup(v.port)
+	if m == nil {
+		return 0
+	}
+	return m.Gen
+}
+
+// Self returns this view's shard index.
+func (v *View) Self() int { return v.self }

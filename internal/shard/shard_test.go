@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+)
+
+func threeShards() *Map {
+	return NewMap([]amnet.MachineID{10, 11, 12})
+}
+
+func TestMapHashPlacement(t *testing.T) {
+	m := threeShards()
+	if m.Gen != 1 || m.N != 3 {
+		t.Fatalf("Gen=%d N=%d, want 1/3", m.Gen, m.N)
+	}
+	for obj := uint32(0); obj < 9; obj++ {
+		if got := m.Home(obj); got != int(obj%3) {
+			t.Fatalf("Home(%d) = %d, want %d", obj, got, obj%3)
+		}
+	}
+	if m.Machine(4) != 11 {
+		t.Fatalf("Machine(4) = %v, want 11", m.Machine(4))
+	}
+	// Object numbers are masked to their 24 bits: high junk bits must
+	// not change the placement.
+	if m.Home(5|^cap.ObjectMask) != m.Home(5) {
+		t.Fatal("Home ignored the object mask")
+	}
+}
+
+func TestMapOverrideLifecycle(t *testing.T) {
+	m := threeShards()
+	m2 := m.WithOverride(5, 0)
+	if m2.Gen != 2 || m2.Home(5) != 0 || !m2.Overridden(5) {
+		t.Fatalf("override: gen=%d home=%d", m2.Gen, m2.Home(5))
+	}
+	// The original is untouched (immutability).
+	if m.Home(5) != 2 || m.Overridden(5) {
+		t.Fatal("WithOverride mutated its receiver")
+	}
+	// Neighbours keep their hash homes.
+	if m2.Home(4) != 1 || m2.Home(6) != 0 {
+		t.Fatal("override leaked onto sibling objects")
+	}
+	// Moving the object back to its hash home DROPS the override.
+	m3 := m2.WithOverride(5, 2)
+	if m3.Gen != 3 || m3.Home(5) != 2 || m3.Overridden(5) {
+		t.Fatalf("move-back: gen=%d home=%d overridden=%v", m3.Gen, m3.Home(5), m3.Overridden(5))
+	}
+}
+
+func TestMapWithMachine(t *testing.T) {
+	m := threeShards().WithOverride(5, 0)
+	m2 := m.WithMachine(1, 99)
+	if m2.Gen != m.Gen+1 || m2.Machines[1] != 99 {
+		t.Fatalf("gen=%d machines=%v", m2.Gen, m2.Machines)
+	}
+	if m.Machines[1] != 11 {
+		t.Fatal("WithMachine mutated its receiver")
+	}
+	if m2.Home(5) != 0 {
+		t.Fatal("WithMachine dropped the overrides")
+	}
+}
+
+func TestAtlasRegisterLookupUpdate(t *testing.T) {
+	a := NewAtlas()
+	p := cap.Port(7)
+	if a.Lookup(p) != nil {
+		t.Fatal("empty atlas returned a map")
+	}
+	if a.Update(p, func(m *Map) *Map { return m }) != nil {
+		t.Fatal("Update on an unknown port did not abort")
+	}
+	a.Register(p, threeShards())
+	if m := a.Lookup(p); m == nil || m.Gen != 1 {
+		t.Fatalf("Lookup = %+v", m)
+	}
+	got := a.Update(p, func(m *Map) *Map { return m.WithOverride(3, 1) })
+	if got == nil || got.Gen != 2 {
+		t.Fatalf("Update returned %+v", got)
+	}
+	if m := a.Lookup(p); m.Gen != 2 || m.Home(3) != 1 {
+		t.Fatalf("update not visible: %+v", m)
+	}
+	// fn returning nil aborts without installing.
+	if a.Update(p, func(m *Map) *Map { return nil }) != nil {
+		t.Fatal("aborted update installed something")
+	}
+	if a.Lookup(p).Gen != 2 {
+		t.Fatal("aborted update changed the map")
+	}
+}
+
+func TestAtlasConcurrentUpdates(t *testing.T) {
+	a := NewAtlas()
+	p := cap.Port(9)
+	a.Register(p, threeShards())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				a.Update(p, func(m *Map) *Map { return m.WithMachine(n%3, amnet.MachineID(n)) })
+				_ = a.Lookup(p).Home(uint32(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 400 serialized derivations on top of gen 1.
+	if g := a.Lookup(p).Gen; g != 401 {
+		t.Fatalf("Gen = %d, want 401 (one per update)", g)
+	}
+}
+
+func TestViewOwnership(t *testing.T) {
+	a := NewAtlas()
+	p := cap.Port(3)
+	v := NewView(a, p, 1)
+	// Unregistered port: everything is owned, generation 0.
+	if !v.Owns(0) || !v.Owns(1) || v.Gen() != 0 {
+		t.Fatal("view over an unsharded port must own everything")
+	}
+	a.Register(p, threeShards())
+	if v.Owns(0) || !v.Owns(1) || v.Owns(2) {
+		t.Fatal("view ownership disagrees with the map")
+	}
+	if v.Gen() != 1 || v.Self() != 1 {
+		t.Fatalf("Gen=%d Self=%d", v.Gen(), v.Self())
+	}
+	// A migration override moves ownership between views immediately.
+	a.Update(p, func(m *Map) *Map { return m.WithOverride(1, 2) })
+	if v.Owns(1) {
+		t.Fatal("view kept ownership of a migrated-away object")
+	}
+	if v.Gen() != 2 {
+		t.Fatalf("Gen = %d after override", v.Gen())
+	}
+}

@@ -33,12 +33,26 @@ import (
 	"amoeba/internal/fbox"
 	"amoeba/internal/obs"
 	"amoeba/internal/rpc"
+	"amoeba/internal/shard"
 	"amoeba/internal/wal"
 )
 
 // RecKernel tags the kernel's own log records (currently: revocation
-// re-keys). Service-defined record tags must stay below it.
+// re-keys). Service-defined record tags must stay below RecMigIn.
 const RecKernel = 0xFF
+
+// RecMigOut is the kernel record sealing a migrate-out: obj (4 bytes)
+// left this shard. Staged only after the destination holds the object
+// durably, so a crash between extract and commit replays the object
+// HERE (and the destination's dark copy never serves — the shard map
+// was not yet bumped).
+const RecMigOut = 0xFE
+
+// RecMigIn is the kernel record sealing a migrate-in: obj (4 bytes) ∥
+// secret (8 bytes) ∥ service state. The same secret re-installs, so
+// every capability clients hold for the object stays valid across the
+// move.
+const RecMigIn = 0xFD
 
 // Config tunes a kernel. The zero value is a volatile service with a
 // fresh random get-port.
@@ -65,6 +79,18 @@ type Config struct {
 	// payload; it must reset, not merge (recovery may restore a newer
 	// checkpoint over an older replay). Required with Log.
 	Restore func(snap []byte) error
+	// ExtractObject serializes ONE object's service state and removes
+	// it, both under the object's own lock (one consistent cut — no
+	// whole-server quiesce). The migration source path. Optional:
+	// services without it cannot migrate objects out.
+	ExtractObject func(obj uint32) ([]byte, error)
+	// InstallObject installs one object's state from an ExtractObject
+	// payload — the migration destination path and the RecMigIn replay
+	// path. Install is trusted: an existing object is overwritten.
+	InstallObject func(obj uint32, state []byte) error
+	// RemoveObject drops one object's state without serializing it —
+	// the RecMigOut replay path. Must tolerate an absent object.
+	RemoveObject func(obj uint32)
 }
 
 // Kernel bundles one service's transport, object table and (optional)
@@ -75,8 +101,26 @@ type Kernel struct {
 	log     *wal.Log
 	snap    func() []byte
 	restore func(snap []byte) error
+	extract func(obj uint32) ([]byte, error)
+	install func(obj uint32, state []byte) error
+	remove  func(obj uint32)
 
 	revMu sync.Mutex // orders revoke records with their table re-key
+
+	// view, when set, is this kernel's shard of its port's object
+	// space: dispatch answers StatusWrongShard for objects other
+	// shards own. Installed by the cluster after construction, so it
+	// is read through an atomic.
+	view atomic.Pointer[shard.View]
+	// gate, when set, names the ONE object currently mid-migration:
+	// dispatch of that object parks until the move settles (a few ms);
+	// every other object passes with a single atomic load.
+	gate atomic.Pointer[migGate]
+	// migMu holds checkpoints off while an extracted object is in
+	// flight: a checkpoint cut between extract and commit would omit
+	// the object from the snapshot while the log still lacks its
+	// migrate-out record — a crash then loses it.
+	migMu sync.Mutex
 
 	// fence, when set, is consulted after every handler's durability
 	// barrier and before its reply leaves: a non-nil error withholds
@@ -105,6 +149,9 @@ func NewWithConfig(fb *fbox.FBox, scheme cap.Scheme, cfg Config) *Kernel {
 		log:     cfg.Log,
 		snap:    cfg.Snapshot,
 		restore: cfg.Restore,
+		extract: cfg.ExtractObject,
+		install: cfg.InstallObject,
+		remove:  cfg.RemoveObject,
 	}
 	k.srv = rpc.NewServerWithConfig(fb, rpc.ServerConfig{
 		Source:      cfg.Source,
@@ -154,6 +201,93 @@ func (k *Kernel) observed(h rpc.Handler) rpc.Handler {
 		}
 		return rep
 	}
+}
+
+// migGate marks one object as mid-migration; dispatch for it parks on
+// done until the move settles.
+type migGate struct {
+	obj  uint32
+	done chan struct{}
+}
+
+// sharded guards a handler with the kernel's shard view: a request for
+// an object another shard owns is refused with StatusWrongShard and
+// the current map generation, never executed. A request for the ONE
+// object currently migrating parks until the move settles, then gets
+// the post-move answer — the "forwarding" that makes a migration
+// invisible to callers beyond a few milliseconds of stall. An
+// unsharded kernel pays a single atomic load.
+//
+// The check runs again on the way out: a handler that raced the
+// extract sees the object vanish and answers BadCapability; if by then
+// the object belongs elsewhere, the honest answer is WrongShard — the
+// client re-routes instead of reporting a phantom deletion.
+func (k *Kernel) sharded(h rpc.Handler) rpc.Handler {
+	return func(ctx context.Context, md rpc.Meta, req rpc.Request) rpc.Reply {
+		v := k.view.Load()
+		routed := v != nil && req.Cap != cap.Nil && req.Cap.Server == k.srv.PutPort()
+		if routed {
+			obj := req.Cap.Object & cap.ObjectMask
+			if err := k.waitGate(ctx, obj); err != nil {
+				return rpc.ErrReplyFromErr(err)
+			}
+			if !v.Owns(obj) {
+				return rpc.WrongShardReply(v.Gen())
+			}
+		}
+		rep := h(ctx, md, req)
+		if routed && rep.Status == rpc.StatusBadCapability {
+			obj := req.Cap.Object & cap.ObjectMask
+			if err := k.waitGate(ctx, obj); err != nil {
+				return rpc.ErrReplyFromErr(err)
+			}
+			if !v.Owns(obj) {
+				return rpc.WrongShardReply(v.Gen())
+			}
+		}
+		return rep
+	}
+}
+
+// waitGate parks while obj is the object mid-migration.
+func (k *Kernel) waitGate(ctx context.Context, obj uint32) error {
+	for {
+		g := k.gate.Load()
+		if g == nil || g.obj != obj {
+			return nil
+		}
+		select {
+		case <-g.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// guard is the full dispatch wrapper: shard ownership outside,
+// durability barrier and replica fence inside.
+func (k *Kernel) guard(h rpc.Handler) rpc.Handler { return k.sharded(k.observed(h)) }
+
+// SetShardView installs this kernel's shard view (nil removes it) —
+// the cluster wires it right after construction, before Start.
+func (k *Kernel) SetShardView(v *shard.View) { k.view.Store(v) }
+
+// OwnsObject reports whether this kernel's shard owns obj (always
+// true when unsharded). Services consult it to stop multi-object
+// walks — a path lookup must not cross a shard boundary silently.
+func (k *Kernel) OwnsObject(obj uint32) bool {
+	v := k.view.Load()
+	return v == nil || v.Owns(obj&cap.ObjectMask)
+}
+
+// ShardGen returns the current shard-map generation this kernel sees
+// (0 when unsharded).
+func (k *Kernel) ShardGen() uint64 {
+	v := k.view.Load()
+	if v == nil {
+		return 0
+	}
+	return v.Gen()
 }
 
 // SetReplicaFence installs (nil removes) a predicate consulted after
@@ -218,7 +352,7 @@ func (k *Kernel) serveTable() {
 			return rpc.ErrReplyFromErr(aerr)
 		}
 		return rpc.CapReply(nc)
-	}, k.observed)
+	}, k.guard)
 }
 
 func revokeRecord(obj uint32, secret uint64) []byte {
@@ -231,8 +365,9 @@ func revokeRecord(obj uint32, secret uint64) []byte {
 
 // Handle registers a handler for an opcode (before Start). On a
 // durable kernel the handler's reply is guarded by the durability
-// barrier — see observed.
-func (k *Kernel) Handle(op uint16, h rpc.Handler) { k.srv.Handle(op, k.observed(h)) }
+// barrier (see observed); on a sharded kernel also by the shard
+// ownership check (see sharded).
+func (k *Kernel) Handle(op uint16, h rpc.Handler) { k.srv.Handle(op, k.guard(h)) }
 
 // PutPort returns the public put-port P = F(G).
 func (k *Kernel) PutPort() cap.Port { return k.srv.PutPort() }
@@ -312,6 +447,166 @@ func (k *Kernel) Append(rec []byte) (*wal.Ticket, error) {
 	return k.log.Append(rec)
 }
 
+// GateObject marks obj as mid-migration: dispatch for it parks until
+// the returned release runs; every other object is untouched. One
+// migration at a time per kernel. The release is idempotent.
+func (k *Kernel) GateObject(obj uint32) (release func(), err error) {
+	g := &migGate{obj: obj & cap.ObjectMask, done: make(chan struct{})}
+	if !k.gate.CompareAndSwap(nil, g) {
+		return nil, errors.New("svc: a migration is already in flight")
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			// Clear before waking: a parked request re-loads the gate,
+			// finds none, and proceeds to the ownership check.
+			k.gate.Store(nil)
+			close(g.done)
+		})
+	}, nil
+}
+
+// ErrNotMigratable is returned when the service did not supply the
+// per-object migration hooks.
+var ErrNotMigratable = errors.New("svc: service has no migration hooks")
+
+// ExtractForMigration cuts obj out of the running service: its table
+// secret and its serialized state, removed from memory under the
+// object's own lock. The cut is IN-MEMORY ONLY — no record is staged,
+// so a crash right now recovers the object here, unharmed. The caller
+// must finish with exactly one of CommitMigrateOut (destination holds
+// it durably) or AbortMigration (put it back); until then checkpoints
+// are held off, since a snapshot cut without the object while the log
+// lacks its migrate-out record would lose it.
+//
+// Call with the object gated (GateObject): the gate keeps new requests
+// out, and the service's object lock (inside ExtractObject) orders the
+// cut after any handler already holding it. Because handlers stage
+// their records under that same lock, the extracted state already
+// reflects every staged mutation — the "WAL tail" for one object is
+// empty by construction.
+func (k *Kernel) ExtractForMigration(obj uint32) (secret uint64, state []byte, err error) {
+	if k.extract == nil {
+		return 0, nil, ErrNotMigratable
+	}
+	obj &= cap.ObjectMask
+	k.migMu.Lock()
+	secret, ok := k.table.SecretOf(obj)
+	if !ok {
+		k.migMu.Unlock()
+		return 0, nil, fmt.Errorf("svc: object %d: %w", obj, cap.ErrNoSuchObject)
+	}
+	state, err = k.extract(obj)
+	if err != nil {
+		k.migMu.Unlock()
+		return 0, nil, err
+	}
+	// Forget, not Destroy: the number must never reach the free list —
+	// it still names a live object, just elsewhere.
+	k.table.ForgetObject(obj)
+	return secret, state, nil
+}
+
+// CommitMigrateOut seals a migrate-out: the destination acknowledged
+// durable custody, so the record making the departure survive OUR
+// restarts goes to the log (and, through the replica sink, to this
+// shard's standbys). Releases the checkpoint hold taken by
+// ExtractForMigration.
+func (k *Kernel) CommitMigrateOut(obj uint32) error {
+	defer k.migMu.Unlock()
+	rec := make([]byte, 5)
+	rec[0] = RecMigOut
+	binary.BigEndian.PutUint32(rec[1:], obj&cap.ObjectMask)
+	tk, err := k.Append(rec)
+	if err == nil {
+		err = tk.Wait()
+	}
+	return err
+}
+
+// AbortMigration undoes ExtractForMigration: the secret and state go
+// back in memory exactly as they were. Nothing was logged either way,
+// so recovery is already correct. Releases the checkpoint hold.
+func (k *Kernel) AbortMigration(obj uint32, secret uint64, state []byte) error {
+	defer k.migMu.Unlock()
+	obj &= cap.ObjectMask
+	k.table.InstallSecret(obj, secret)
+	if k.install == nil {
+		return ErrNotMigratable
+	}
+	return k.install(obj, state)
+}
+
+// InstallMigrated adopts an object on the destination shard: the
+// migrate-in record (same secret — clients' capabilities stay valid)
+// is staged, the object installed in memory, and the group commit
+// waited out, so the acknowledgement the source acts on means durable
+// custody here and on this shard's standbys.
+func (k *Kernel) InstallMigrated(obj uint32, secret uint64, state []byte) error {
+	if k.install == nil {
+		return ErrNotMigratable
+	}
+	obj &= cap.ObjectMask
+	rec := make([]byte, 13+len(state))
+	rec[0] = RecMigIn
+	binary.BigEndian.PutUint32(rec[1:], obj)
+	binary.BigEndian.PutUint64(rec[5:], secret)
+	copy(rec[13:], state)
+	tk, err := k.Append(rec)
+	if err != nil {
+		return err
+	}
+	k.table.InstallSecret(obj, secret)
+	if err := k.install(obj, state); err != nil {
+		return err
+	}
+	if tk != nil {
+		return tk.Wait()
+	}
+	return nil
+}
+
+// applyKernelRec consumes the kernel's own record tags during replay
+// (both recovery and the replica stream); reports whether rec was one.
+func (k *Kernel) applyKernelRec(rec []byte) (bool, error) {
+	if len(rec) == 0 {
+		return false, nil
+	}
+	switch rec[0] {
+	case RecKernel:
+		if len(rec) != 13 {
+			return true, fmt.Errorf("svc: malformed kernel record (%d bytes)", len(rec))
+		}
+		// Replace, never install: a revoke record can trail the
+		// destroy record of the same object (they stage under
+		// different locks), and replaying it must not resurrect
+		// the destroyed object's table entry.
+		k.table.ReplaceSecret(binary.BigEndian.Uint32(rec[1:]), binary.BigEndian.Uint64(rec[5:]))
+		return true, nil
+	case RecMigOut:
+		if len(rec) != 5 {
+			return true, fmt.Errorf("svc: malformed migrate-out record (%d bytes)", len(rec))
+		}
+		obj := binary.BigEndian.Uint32(rec[1:])
+		k.table.ForgetObject(obj)
+		if k.remove != nil {
+			k.remove(obj)
+		}
+		return true, nil
+	case RecMigIn:
+		if len(rec) < 13 {
+			return true, fmt.Errorf("svc: malformed migrate-in record (%d bytes)", len(rec))
+		}
+		obj := binary.BigEndian.Uint32(rec[1:])
+		k.table.InstallSecret(obj, binary.BigEndian.Uint64(rec[5:]))
+		if k.install == nil {
+			return true, ErrNotMigratable
+		}
+		return true, k.install(obj, rec[13:])
+	}
+	return false, nil
+}
+
 // Recover replays the log: the newest checkpoint is restored (via
 // Config.Restore and the table snapshot), then every record after it
 // is handed to apply in commit order — kernel records (revocation
@@ -330,16 +625,8 @@ func (k *Kernel) Recover(apply func(rec []byte) error) error {
 	k.recovered = true
 	k.mu.Unlock()
 	return k.log.Recover(k.restoreCheckpoint, func(rec []byte) error {
-		if len(rec) > 0 && rec[0] == RecKernel {
-			if len(rec) != 13 {
-				return fmt.Errorf("svc: malformed kernel record (%d bytes)", len(rec))
-			}
-			// Replace, never install: a revoke record can trail the
-			// destroy record of the same object (they stage under
-			// different locks), and replaying it must not resurrect
-			// the destroyed object's table entry.
-			k.table.ReplaceSecret(binary.BigEndian.Uint32(rec[1:]), binary.BigEndian.Uint64(rec[5:]))
-			return nil
+		if consumed, err := k.applyKernelRec(rec); consumed {
+			return err
 		}
 		return apply(rec)
 	})
@@ -458,11 +745,10 @@ func (k *Kernel) ReplicaApply(r wal.Record, apply func(rec []byte) error) (*wal.
 	if err != nil {
 		return nil, err
 	}
-	if len(r.Data) > 0 && r.Data[0] == RecKernel {
-		if len(r.Data) != 13 {
-			return nil, fmt.Errorf("svc: malformed kernel record (%d bytes)", len(r.Data))
+	if consumed, err := k.applyKernelRec(r.Data); consumed {
+		if err != nil {
+			return nil, err
 		}
-		k.table.ReplaceSecret(binary.BigEndian.Uint32(r.Data[1:]), binary.BigEndian.Uint64(r.Data[5:]))
 		return t, nil
 	}
 	if apply != nil {
@@ -518,6 +804,11 @@ func (k *Kernel) Checkpoint() error {
 	if k.log == nil {
 		return nil
 	}
+	// migMu: never cut a snapshot while an extracted object is in
+	// flight — it would be in neither the snapshot nor (yet) a
+	// migrate-out record.
+	k.migMu.Lock()
+	defer k.migMu.Unlock()
 	resume := k.srv.Quiesce()
 	defer resume()
 	return k.log.Checkpoint(k.envelope())

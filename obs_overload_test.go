@@ -480,6 +480,13 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 		`amoeba_self_demotions_total{service="directory"}`,
 		`amoeba_wal_wedged_total{service="bank"}`,
 		`amoeba_self_demotions_total{service="bank"}`,
+		// The sharding series are likewise boot-registered: the map
+		// generation reads 0 on an unsharded cluster and the migration
+		// counter exports at zero until the first Cluster.Migrate.
+		`amoeba_shard_map_generation{service="directory"}`,
+		`amoeba_shard_map_generation{service="bank"}`,
+		`amoeba_migrations_total{service="directory"}`,
+		`amoeba_migrations_total{service="bank"}`,
 	} {
 		if !strings.Contains(metrics, series) {
 			t.Errorf("/metrics missing series %s", series)

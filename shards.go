@@ -1,0 +1,403 @@
+package amoeba
+
+import (
+	"context"
+	"fmt"
+
+	"amoeba/internal/amnet"
+	"amoeba/internal/cap"
+	"amoeba/internal/fbox"
+	"amoeba/internal/obs"
+	"amoeba/internal/repl"
+	"amoeba/internal/server/banksvr"
+	"amoeba/internal/server/dirsvr"
+	"amoeba/internal/shard"
+	"amoeba/internal/svc"
+	"amoeba/internal/vdisk"
+	"amoeba/internal/wal"
+)
+
+// svcShard is one extra shard (index ≥ 1) of a sharded durable
+// service. Shard 0 lives in the cluster's legacy fields (dirs/bank and
+// friends), so every pre-sharding test and verb keeps working
+// unchanged; the extra shards carry the same machinery — own machine,
+// own WAL disk, optionally an own replication group — in this struct.
+// All shards of a service share ONE get-port, so they answer at the
+// same put-port every capability names; which machine a request goes
+// to is the shard map's decision, not LOCATE's.
+type svcShard struct {
+	base    string   // the service: "directory" or "bank"
+	service string   // metrics label, e.g. "directory-1"
+	idx     int      // shard index in the map (1..M-1)
+	g       cap.Port // the service's shared get-port
+	put     cap.Port // the service's shared put-port
+	disk    *vdisk.Disk
+
+	// Current primary incarnation (guarded by cl.mu, like the legacy
+	// fields): Kill/Restart and group failover swap these.
+	fb      *fbox.FBox
+	srv     kernelServer
+	kern    *svc.Kernel
+	machine amnet.MachineID
+	down    bool
+	ship    *repl.Shipper
+	group   *replGroup // nil unless ClusterConfig.Replicas ≥ 2
+}
+
+// installShardView wires a freshly built service kernel into the shard
+// map: dispatch refuses objects other shards own (StatusWrongShard),
+// and the capability table only mints object numbers that hash (or are
+// overridden) back to this shard — so a create handled by shard k
+// yields a capability that routes to shard k forever. No-op when the
+// cluster is unsharded: the kernel then pays one nil atomic load per
+// request and nothing else.
+func (cl *Cluster) installShardView(k *svc.Kernel, idx int) {
+	if cl.cfg.Shards < 2 {
+		return
+	}
+	v := shard.NewView(cl.atlas, k.PutPort(), idx)
+	k.SetShardView(v)
+	k.Table().SetAllocFilter(v.Owns)
+}
+
+// syncShardMachine points shard idx of port p at machine at (bumping
+// the map generation); no-op when p is unsharded. Every path that
+// changes which machine serves a shard — boot, restart, group
+// failover — funnels through here, so stale client routes always heal
+// against a map whose generation moved.
+func (cl *Cluster) syncShardMachine(p cap.Port, idx int, at amnet.MachineID) {
+	cl.atlas.Update(p, func(m *shard.Map) *shard.Map { return m.WithMachine(idx, at) })
+}
+
+// shardBuild returns the standby/primary builder for sh — the same
+// shape replGroup.build wants, so an extra shard's replication group
+// reuses the whole group machinery (startGroup, autoFailover,
+// reintegrate) untouched.
+func (cl *Cluster) shardBuild(sh *svcShard) func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+	if sh.base == "directory" {
+		return func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+			s, err := dirsvr.NewDurable(fb, cl.scheme, cl.src, log, sh.g)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			s.SetMaxInflight(cl.cfg.MaxInflight)
+			s.SetObserver(cl.newStats(sh.service))
+			cl.sealServer(fb, s.SetSealer)
+			cl.installShardView(s.Kernel, sh.idx)
+			return s, s.Kernel, s.ReplayFn(), nil
+		}
+	}
+	return func(fb *fbox.FBox, log *wal.Log) (kernelServer, *svc.Kernel, func(rec []byte) error, error) {
+		s, err := banksvr.NewDurable(fb, cl.scheme, cl.src, cl.bankConfig(), log, sh.g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.SetMaxInflight(cl.cfg.MaxInflight)
+		s.SetObserver(cl.newStats(sh.service))
+		cl.sealServer(fb, s.SetSealer)
+		cl.installShardView(s.Kernel, sh.idx)
+		return s, s.Kernel, s.ReplayFn(), nil
+	}
+}
+
+// startShard boots (or re-boots, after Kill) one extra shard's primary
+// over its surviving WAL disk; NewCluster and Restart share it, like
+// startDirsvr for shard 0.
+func (cl *Cluster) startShard(sh *svcShard) error {
+	fb, err := cl.newFBox()
+	if err != nil {
+		return err
+	}
+	log, err := cl.openWAL(sh.service, fb, sh.disk)
+	if err != nil {
+		return err
+	}
+	s, kern, _, err := cl.shardBuild(sh)(fb, log)
+	if err != nil {
+		log.Close() // the kernel never took ownership
+		return err
+	}
+	if err := cl.start(s.Start, s.Close); err != nil {
+		s.Close() // closes the log; a Restart retry reopens it
+		return err
+	}
+	cl.mu.Lock()
+	sh.fb, sh.srv, sh.kern, sh.machine, sh.down = fb, s, kern, fb.Machine(), false
+	cl.mu.Unlock()
+	cl.syncShardMachine(sh.put, sh.idx, fb.Machine())
+	return nil
+}
+
+// startShards boots shards 1..M-1 of both durable services and then
+// registers the shard maps — only once every shard's machine is known,
+// so the maps are never seen half-built. Before registration every
+// kernel's view answers "I own everything" (no map yet), which is
+// harmless: no client exists until NewCluster returns.
+func (cl *Cluster) startShards() error {
+	cl.mu.Lock()
+	dirPut, bankPut := cl.dirs.PutPort(), cl.bank.PutPort()
+	cl.mu.Unlock()
+	for i := 1; i < cl.cfg.Shards; i++ {
+		for _, base := range []struct {
+			name string
+			g    cap.Port
+			put  cap.Port
+		}{
+			{"directory", cl.dirsG, dirPut},
+			{"bank", cl.bankG, bankPut},
+		} {
+			disk, err := vdisk.New(walBlocks, walBlockSize)
+			if err != nil {
+				return err
+			}
+			sh := &svcShard{
+				base:    base.name,
+				service: fmt.Sprintf("%s-%d", base.name, i),
+				idx:     i,
+				g:       base.g,
+				put:     base.put,
+				disk:    disk,
+			}
+			if err := cl.startShard(sh); err != nil {
+				return err
+			}
+			cl.mu.Lock()
+			if base.name == "directory" {
+				cl.dirShards = append(cl.dirShards, sh)
+			} else {
+				cl.bankShards = append(cl.bankShards, sh)
+			}
+			cl.mu.Unlock()
+		}
+	}
+	cl.mu.Lock()
+	dirMachines := []amnet.MachineID{cl.machines.Dirs}
+	for _, sh := range cl.dirShards {
+		dirMachines = append(dirMachines, sh.machine)
+	}
+	bankMachines := []amnet.MachineID{cl.machines.Bank}
+	for _, sh := range cl.bankShards {
+		bankMachines = append(bankMachines, sh.machine)
+	}
+	cl.mu.Unlock()
+	cl.atlas.Register(dirPut, shard.NewMap(dirMachines))
+	cl.atlas.Register(bankPut, shard.NewMap(bankMachines))
+	return nil
+}
+
+// newShardGroup binds an extra shard's fields into a replication-group
+// descriptor; the group machinery (leases, detectors, elections) is
+// shared with shard 0's groups.
+func (cl *Cluster) newShardGroup(sh *svcShard) *replGroup {
+	return &replGroup{
+		name:  sh.service,
+		build: cl.shardBuild(sh),
+		swap: func(st *groupStandby, ship *repl.Shipper) {
+			sh.srv, sh.kern, sh.fb, sh.disk = st.srv, st.kern, st.fb, st.disk
+			sh.machine = st.machine
+			sh.down = false
+			sh.ship = ship
+			cl.syncShardMachine(sh.put, sh.idx, st.machine)
+		},
+		primaryKernel:  func() *svc.Kernel { return sh.kern },
+		primaryFB:      func() *fbox.FBox { return sh.fb },
+		primaryMachine: func() amnet.MachineID { return sh.machine },
+		setShip:        func(s *repl.Shipper) { sh.ship = s },
+	}
+}
+
+// shardOfLocked resolves machine m to the extra shard it currently
+// hosts (nil when m is not an extra-shard primary). Caller holds cl.mu.
+func (cl *Cluster) shardOfLocked(m amnet.MachineID) *svcShard {
+	for _, sh := range cl.dirShards {
+		if sh.machine == m {
+			return sh
+		}
+	}
+	for _, sh := range cl.bankShards {
+		if sh.machine == m {
+			return sh
+		}
+	}
+	return nil
+}
+
+// shardEndpointLocked resolves (put-port, shard index) to the serving
+// kernel and its machine's F-box, plus the service's base name. Caller
+// holds cl.mu.
+func (cl *Cluster) shardEndpointLocked(p cap.Port, idx int) (*svc.Kernel, *fbox.FBox, string, error) {
+	resolve := func(base string, down bool, k *svc.Kernel, fb *fbox.FBox, extras []*svcShard) (*svc.Kernel, *fbox.FBox, string, error) {
+		if idx == 0 {
+			if down {
+				return nil, nil, "", fmt.Errorf("amoeba: %s shard 0 is down", base)
+			}
+			return k, fb, base, nil
+		}
+		for _, sh := range extras {
+			if sh.idx != idx {
+				continue
+			}
+			if sh.down {
+				return nil, nil, "", fmt.Errorf("amoeba: %s is down", sh.service)
+			}
+			return sh.kern, sh.fb, base, nil
+		}
+		return nil, nil, "", fmt.Errorf("amoeba: %s has no shard %d", base, idx)
+	}
+	if cl.dirs != nil && p == cl.dirs.PutPort() {
+		return resolve("directory", cl.dirsDown, cl.dirs.Kernel, cl.dirsFB, cl.dirShards)
+	}
+	if cl.bank != nil && p == cl.bank.PutPort() {
+		return resolve("bank", cl.bankDown, cl.bank.Kernel, cl.bankFB, cl.bankShards)
+	}
+	return nil, nil, "", fmt.Errorf("amoeba: port %v hosts no sharded service", p)
+}
+
+const migrationsHelp = "objects moved live between shards"
+
+// Migrate moves ONE object of the sharded service at put-port p to
+// shard dst, live: the object is gated (requests for it park), cut out
+// of the source under its own lock, shipped over a private migration
+// channel, installed durably on the destination (and its standbys),
+// sealed out of the source's log, and finally re-homed in the shard
+// map — at which point the parked requests wake, bounce with
+// StatusWrongShard and the new generation, and every client re-routes.
+// The object stalls for the few milliseconds this takes; every other
+// object on every shard is untouched.
+//
+// Crash safety hangs on the order above. Until the destination has
+// acknowledged durable custody, nothing is logged anywhere: a failure
+// aborts the move and the object serves from the source again (a crash
+// recovers it there — the copy the destination may hold is dark, since
+// the map never re-homed it, and is overwritten by any later retry).
+// After the acknowledgement the move is decided: the source seals a
+// migrate-out record and the map bumps, so no later state has the
+// object in two places.
+func (cl *Cluster) Migrate(ctx context.Context, p Port, obj uint32, dst int) error {
+	obj &= cap.ObjectMask
+	// lifeMu: a migration must not interleave with failovers or
+	// Kill/Restart swapping the endpoints out from under it. Migrations
+	// are millisecond-scale, so parking lifecycle verbs behind one is
+	// cheap.
+	cl.lifeMu.Lock()
+	defer cl.lifeMu.Unlock()
+	m := cl.atlas.Lookup(p)
+	if m == nil {
+		return fmt.Errorf("amoeba: port %v is not sharded", p)
+	}
+	if dst < 0 || dst >= m.N {
+		return fmt.Errorf("amoeba: destination shard %d out of range (0..%d)", dst, m.N-1)
+	}
+	src := m.Home(obj)
+	if src == dst {
+		return nil
+	}
+	cl.mu.Lock()
+	srcK, srcFB, base, err := cl.shardEndpointLocked(p, src)
+	if err != nil {
+		cl.mu.Unlock()
+		return err
+	}
+	dstK, dstFB, _, err := cl.shardEndpointLocked(p, dst)
+	if err != nil {
+		cl.mu.Unlock()
+		return err
+	}
+	cl.mu.Unlock()
+
+	release, err := srcK.GateObject(obj)
+	if err != nil {
+		return err
+	}
+	defer release()
+	secret, state, err := srcK.ExtractForMigration(obj)
+	if err != nil {
+		return err
+	}
+	abort := func(cause error) error {
+		if aerr := srcK.AbortMigration(obj, secret, state); aerr != nil {
+			return fmt.Errorf("%w (and aborting the migration failed: %v)", cause, aerr)
+		}
+		return cause
+	}
+	// The receiver lives for this one migration: a fresh private port
+	// on the destination's machine, gone when the move settles. Nothing
+	// to keep consistent across failovers that way — the next migration
+	// builds its own against whatever machine is primary then.
+	recv := repl.NewMigrateReceiver(dstFB, cl.src, dstK)
+	if err := recv.Start(); err != nil {
+		return abort(err)
+	}
+	defer recv.Close()
+	if err := repl.ShipObject(ctx, cl.newShipClient(srcFB), recv.Port(), m.Gen+1, obj, secret, state); err != nil {
+		return abort(err)
+	}
+	// The destination holds the object durably: the move is decided.
+	// The migrate-out seal and the map bump both happen even if one of
+	// them errors — leaving the map pointing at a source that logged
+	// the departure (or a wedged source that will fail-stop) beats
+	// leaving two shards claiming the object.
+	commitErr := srcK.CommitMigrateOut(obj)
+	cl.atlas.Update(p, func(cur *shard.Map) *shard.Map { return cur.WithOverride(obj, dst) })
+	cl.reg.Counter("amoeba_migrations_total", obs.L("service", base), migrationsHelp).Inc()
+	return commitErr
+}
+
+// ShardMachines returns the machines currently serving each shard of
+// the service at put-port p (index = shard), or nil when p is
+// unsharded. Re-read after Kill/Restart or a failover — shards move.
+func (cl *Cluster) ShardMachines(p Port) []MachineID {
+	m := cl.atlas.Lookup(p)
+	if m == nil {
+		return nil
+	}
+	out := make([]MachineID, len(m.Machines))
+	copy(out, m.Machines)
+	return out
+}
+
+// ShardMapGen returns the current shard-map generation for put-port p
+// (0 when unsharded). Bumped by every migration and failover.
+func (cl *Cluster) ShardMapGen(p Port) uint64 {
+	m := cl.atlas.Lookup(p)
+	if m == nil {
+		return 0
+	}
+	return m.Gen
+}
+
+// ShardOf returns the shard index currently owning obj at put-port p
+// (0 when unsharded).
+func (cl *Cluster) ShardOf(p Port, obj uint32) int {
+	m := cl.atlas.Lookup(p)
+	if m == nil {
+		return 0
+	}
+	return m.Home(obj)
+}
+
+// registerShardMetrics wires the sharding series: the map-generation
+// gauge per service and the migration counter (present from boot, so
+// dashboards see the zero). Per-shard request counters need no new
+// series — every shard reports through the standard request metrics
+// under its own service label ("directory-1", …).
+func (cl *Cluster) registerShardMetrics() {
+	for _, s := range []struct {
+		name string
+		port cap.Port
+	}{
+		{"directory", cl.dirs.PutPort()},
+		{"bank", cl.bank.PutPort()},
+	} {
+		port := s.port
+		cl.reg.GaugeFunc("amoeba_shard_map_generation", obs.L("service", s.name),
+			"current shard-map generation (0 = unsharded)", func() float64 {
+				m := cl.atlas.Lookup(port)
+				if m == nil {
+					return 0
+				}
+				return float64(m.Gen)
+			})
+		cl.reg.Counter("amoeba_migrations_total", obs.L("service", s.name), migrationsHelp)
+	}
+}
