@@ -489,6 +489,65 @@ func BenchmarkE10_DirLookup(b *testing.B) {
 	}
 }
 
+// --------------------------------------------------------------------
+// E24: lease-cached path lookup. Same walk as E10's DirLookup, but the
+// cluster grants lookup leases, so after one warming walk every
+// iteration is served from the client cache — zero RPCs, zero allocs.
+// Compare against BenchmarkE10_DirLookup at equal depth for the cost
+// of the round trips the lease removed.
+
+func BenchmarkE24_CachedDirLookup(b *testing.B) {
+	ctx := context.Background()
+	cl, err := NewCluster(ClusterConfig{
+		Seed:        0xE24,
+		DiskBlocks:  8192,
+		LookupLease: time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	dirs := cl.Dirs()
+	for _, depth := range []int{1, 4, 16} {
+		root, err := dirs.CreateDir(ctx, cl.DirPort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur := root
+		path := ""
+		for i := 0; i < depth; i++ {
+			sub, err := dirs.CreateDir(ctx, cl.DirPort())
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := fmt.Sprintf("d%d", i)
+			if err := dirs.Enter(ctx, cur, name, sub); err != nil {
+				b.Fatal(err)
+			}
+			cur = sub
+			path += "/" + name
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			// One walk to populate the cache; everything after hits.
+			want, err := dirs.LookupPath(ctx, root, path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := dirs.LookupPath(ctx, root, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatal("cached walk resolved a different capability")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE10_MVCommit(b *testing.B) {
 	ctx := context.Background()
 	// COW commit cost as a function of dirtied pages.

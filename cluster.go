@@ -16,6 +16,7 @@ import (
 	"amoeba/internal/crypto"
 	"amoeba/internal/fbox"
 	"amoeba/internal/keymatrix"
+	"amoeba/internal/lease"
 	"amoeba/internal/locate"
 	"amoeba/internal/obs"
 	"amoeba/internal/repl"
@@ -107,6 +108,15 @@ type ClusterConfig struct {
 	// AccessLogSize bounds the in-memory ring of recent request records
 	// (rounded up to a power of two; default 1024).
 	AccessLogSize int
+	// LookupLease > 0 turns on lease-based client caching of directory
+	// lookups: the directory servers grant a lease of this duration on
+	// every lookup reply, and Dirs() returns a caching client that
+	// answers reads under an unexpired lease locally — zero RPCs.
+	// Mutations bump a per-directory generation carried on the
+	// mutator's reply, so a client's own writes invalidate its cache
+	// instantly; everyone else's staleness is bounded by this duration.
+	// Zero (the default) leaves leases off and the wire byte-identical.
+	LookupLease time.Duration
 }
 
 // Cluster is a complete single-process Amoeba system on a simulated
@@ -144,6 +154,10 @@ type Cluster struct {
 	reg      *obs.Registry
 	ring     *obs.Ring
 	debugURL string
+
+	// lookupCache holds lease-cached directory bindings for every
+	// Dirs() client; non-nil only when ClusterConfig.LookupLease > 0.
+	lookupCache *lease.Cache
 
 	closersMu sync.Mutex
 	closers   []func() error
@@ -364,6 +378,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl.reg = obs.NewRegistry()
 	cl.ring = obs.NewRing(ringSize)
+	// Lookup-cache counters are registered even with leases off, so
+	// dashboards see the series at zero instead of a gap; the cache
+	// itself exists only when the knob is on.
+	lookupCtr := lease.Counters{
+		Hits:        cl.reg.Counter("amoeba_lookup_cache_hits_total", obs.L("service", "directory"), "directory lookups served from the client lease cache"),
+		Misses:      cl.reg.Counter("amoeba_lookup_cache_misses_total", obs.L("service", "directory"), "directory lookups with no cached binding"),
+		Expired:     cl.reg.Counter("amoeba_lookup_cache_expired_total", obs.L("service", "directory"), "cached bindings refused because their lease lapsed"),
+		Invalidated: cl.reg.Counter("amoeba_lookup_cache_invalidated_total", obs.L("service", "directory"), "cached bindings refused because the client's own write superseded them"),
+	}
+	if cfg.LookupLease > 0 {
+		cl.lookupCache = lease.New(0, lookupCtr)
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -808,6 +834,7 @@ func (cl *Cluster) startDirsvr() error {
 	}
 	s.SetMaxInflight(cl.cfg.MaxInflight)
 	s.SetObserver(cl.newStats("directory"))
+	s.SetLookupLease(cl.cfg.LookupLease)
 	cl.sealServer(fb, s.SetSealer)
 	cl.installShardView(s.Kernel, 0)
 	if err := cl.start(s.Start, s.Close); err != nil {
@@ -949,6 +976,7 @@ func (cl *Cluster) buildDirsStandby(fb *fbox.FBox, log *wal.Log) (kernelServer, 
 	// after promotion the successor keeps accumulating into the SAME
 	// counters — no series break at failover.
 	s.SetObserver(cl.newStats("directory"))
+	s.SetLookupLease(cl.cfg.LookupLease)
 	cl.sealServer(fb, s.SetSealer)
 	cl.installShardView(s.Kernel, 0)
 	return s, s.Kernel, s.ReplayFn(), nil
@@ -1978,8 +2006,14 @@ func (cl *Cluster) FilesFor(c *rpc.Client) *flatfs.Client {
 	return flatfs.NewClient(c, cl.files.PutPort())
 }
 
-// Dirs returns a typed client for directory services (§3.4).
+// Dirs returns a typed client for directory services (§3.4). With
+// ClusterConfig.LookupLease set, the client serves lookups from the
+// cluster-wide lease cache — reads under an unexpired lease cost zero
+// RPCs (see package lease for the staleness contract).
 func (cl *Cluster) Dirs() *dirsvr.Client {
+	if cl.lookupCache != nil {
+		return dirsvr.NewCachingClient(cl.client, cl.lookupCache)
+	}
 	return dirsvr.NewClient(cl.client)
 }
 

@@ -1,0 +1,292 @@
+// Package lease implements the client half of lease-based lookup
+// caching: a bounded cache of (directory capability, name) → entry
+// capability bindings, each valid until a server-granted lease expires
+// (the classic lease construction — bounded-staleness reads without
+// per-read coordination, the same primitive the replication groups use
+// for leadership).
+//
+// Correctness rests on three legs:
+//
+//   - Lease expiry bounds staleness for everyone else's writes: a hit
+//     is served only while the server-granted duration (stamped from
+//     the client's clock at request-send time, so the client's window
+//     is strictly inside the server's) has not elapsed.
+//   - Directory generations make the client's OWN writes invalidate
+//     precisely: every dirsvr mutation bumps the directory's
+//     generation and the mutator's reply carries it; the cache keeps a
+//     per-directory floor and refuses any cached binding older than
+//     the floor, so a client never sees its own write undone.
+//   - Revocation fails closed architecturally: a cached capability is
+//     only a name for an object — using it still runs the server-side
+//     secret check, so a revoked capability is refused no matter how
+//     fresh its lease.
+//
+// Keys are full capabilities (port, object, rights, check), so two
+// differently-restricted capabilities for the same directory never
+// share entries — a cache hit can never launder rights.
+package lease
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/obs"
+)
+
+// Key identifies one cached binding: the directory capability exactly
+// as presented (rights and check included) plus the component name.
+type Key struct {
+	Dir  cap.Capability
+	Name string
+}
+
+type entry struct {
+	c      cap.Capability
+	gen    uint64
+	expiry int64      // UnixNano; valid strictly before this instant
+	floor  *floorCell // the owning directory's write floor, shared
+}
+
+// dirID names a directory server-side — the floor table is keyed by
+// it, not by full capability, because a mutation through ONE
+// capability stales bindings cached through ALL of them.
+type dirID struct {
+	server cap.Port
+	object uint32
+}
+
+// floorCell holds one directory's write floor. Every entry under the
+// directory points at the same cell, so the hot read path checks the
+// floor with one atomic load instead of a second map lookup. Writes
+// happen under the cache's write lock; reads are lock-free.
+type floorCell struct {
+	gen atomic.Uint64
+}
+
+// Counters is the cache's observability surface. Nil fields are
+// replaced with throwaway counters so call sites never nil-check.
+type Counters struct {
+	Hits        *obs.Counter // served locally, zero RPCs
+	Misses      *obs.Counter // no binding cached
+	Expired     *obs.Counter // binding present but lease lapsed
+	Invalidated *obs.Counter // binding present but below the write floor
+}
+
+func (c *Counters) fill() {
+	if c.Hits == nil {
+		c.Hits = &obs.Counter{}
+	}
+	if c.Misses == nil {
+		c.Misses = &obs.Counter{}
+	}
+	if c.Expired == nil {
+		c.Expired = &obs.Counter{}
+	}
+	if c.Invalidated == nil {
+		c.Invalidated = &obs.Counter{}
+	}
+}
+
+// Cache is a bounded lookup cache. All methods are safe for concurrent
+// use; the hit path takes a read lock and allocates nothing.
+type Cache struct {
+	// Now is the clock, overridable in tests. Defaults to
+	// time.Now().UnixNano.
+	Now func() int64
+
+	mu      sync.RWMutex
+	entries map[Key]entry
+	floors  map[dirID]*floorCell
+	max     int
+	ctr     Counters
+}
+
+// DefaultMax bounds the cache when New is given max <= 0.
+const DefaultMax = 4096
+
+// New builds a cache holding at most max bindings.
+func New(max int, ctr Counters) *Cache {
+	if max <= 0 {
+		max = DefaultMax
+	}
+	ctr.fill()
+	return &Cache{
+		Now:     func() int64 { return time.Now().UnixNano() },
+		entries: make(map[Key]entry),
+		floors:  make(map[dirID]*floorCell),
+		max:     max,
+		ctr:     ctr,
+	}
+}
+
+// Get returns the cached binding for name in dir if it is still
+// usable at instant now (pass one clock read through a whole path
+// walk). A binding is usable iff its lease has not expired AND its
+// generation is at or above the directory's write floor.
+func (ca *Cache) Get(dir cap.Capability, name string, now int64) (cap.Capability, bool) {
+	ca.mu.RLock()
+	e, ok := ca.entries[Key{Dir: dir, Name: name}]
+	ca.mu.RUnlock()
+	if !ok {
+		ca.ctr.Misses.Inc()
+		return cap.Capability{}, false
+	}
+	if now >= e.expiry {
+		ca.ctr.Expired.Inc()
+		return cap.Capability{}, false
+	}
+	if e.gen < e.floor.gen.Load() {
+		ca.ctr.Invalidated.Inc()
+		return cap.Capability{}, false
+	}
+	ca.ctr.Hits.Inc()
+	return e.c, true
+}
+
+// ResolvePath walks as many leading components of path as cached
+// bindings allow, under a single lock acquisition — the hot fully-
+// cached walk costs one RLock cycle and one map probe per component,
+// with no allocations. It returns the capability reached, the
+// unresolved remainder of path (""), and the number of components
+// served. Component splitting matches the dirsvr walk: empty
+// components (leading, trailing, doubled slashes) are skipped.
+func (ca *Cache) ResolvePath(dir cap.Capability, path string, now int64) (cap.Capability, string, int) {
+	served := 0
+	ca.mu.RLock()
+	for {
+		for len(path) > 0 && path[0] == '/' {
+			path = path[1:]
+		}
+		if path == "" {
+			break
+		}
+		name, after := path, ""
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			name, after = path[:i], path[i+1:]
+		}
+		e, ok := ca.entries[Key{Dir: dir, Name: name}]
+		var stopper *obs.Counter
+		switch {
+		case !ok:
+			stopper = ca.ctr.Misses
+		case now >= e.expiry:
+			stopper = ca.ctr.Expired
+		case e.gen < e.floor.gen.Load():
+			stopper = ca.ctr.Invalidated
+		}
+		if stopper != nil {
+			ca.mu.RUnlock()
+			stopper.Inc()
+			if served > 0 {
+				ca.ctr.Hits.Add(uint64(served))
+			}
+			return dir, path, served
+		}
+		dir, path = e.c, after
+		served++
+	}
+	ca.mu.RUnlock()
+	if served > 0 {
+		ca.ctr.Hits.Add(uint64(served))
+	}
+	return dir, "", served
+}
+
+// Put caches a binding the server just granted a lease on: name in dir
+// resolves to c, observed at directory generation gen, valid until
+// expiry (UnixNano — stamp it from a clock read taken BEFORE the
+// request was sent, so the cached window is conservative).
+func (ca *Cache) Put(dir cap.Capability, name string, c cap.Capability, gen uint64, expiry int64) {
+	k := Key{Dir: dir, Name: name}
+	ca.mu.Lock()
+	if _, present := ca.entries[k]; !present && len(ca.entries) >= ca.max {
+		ca.evictOneLocked()
+	}
+	ca.entries[k] = entry{c: c, gen: gen, expiry: expiry, floor: ca.floorLocked(dir.Server, dir.Object)}
+	ca.mu.Unlock()
+}
+
+// floorLocked returns the directory's floor cell, creating it at zero.
+func (ca *Cache) floorLocked(server cap.Port, object uint32) *floorCell {
+	id := dirID{server: server, object: object}
+	f := ca.floors[id]
+	if f == nil {
+		f = &floorCell{}
+		ca.floors[id] = f
+	}
+	return f
+}
+
+// evictOneLocked drops one binding, preferring an already-dead one.
+// Go's random map iteration makes this a cheap random-replacement
+// policy — fine for a cache whose entries expire on their own anyway.
+func (ca *Cache) evictOneLocked() {
+	now := ca.Now()
+	var victim Key
+	found := false
+	for k, e := range ca.entries {
+		victim, found = k, true
+		if now >= e.expiry {
+			break // a lapsed binding costs nothing to lose
+		}
+	}
+	if found {
+		delete(ca.entries, victim)
+	}
+}
+
+// Observe raises the write floor for a directory to gen: the caller
+// just mutated it and the reply carried the post-mutation generation.
+// Bindings cached at earlier generations stop being served instantly —
+// the client's own writes invalidate precisely, no lease wait.
+func (ca *Cache) Observe(server cap.Port, object uint32, gen uint64) {
+	ca.mu.Lock()
+	f := ca.floorLocked(server, object)
+	if gen > f.gen.Load() {
+		f.gen.Store(gen)
+	}
+	ca.mu.Unlock()
+}
+
+// Drop forgets every binding under a directory and clears its floor —
+// for DestroyDir, after which the object number may be reused by a
+// fresh directory whose generations restart at zero.
+func (ca *Cache) Drop(server cap.Port, object uint32) {
+	id := dirID{server: server, object: object}
+	ca.mu.Lock()
+	for k := range ca.entries {
+		if k.Dir.Server == server && k.Dir.Object == object {
+			delete(ca.entries, k)
+		}
+	}
+	delete(ca.floors, id)
+	ca.mu.Unlock()
+}
+
+// Flush empties the cache (floors included). For tests and for
+// clients that learn out-of-band that their world changed.
+func (ca *Cache) Flush() {
+	ca.mu.Lock()
+	ca.entries = make(map[Key]entry)
+	ca.floors = make(map[dirID]*floorCell)
+	ca.mu.Unlock()
+}
+
+// Len reports the number of cached bindings (expired ones included
+// until evicted or overwritten).
+func (ca *Cache) Len() int {
+	ca.mu.RLock()
+	defer ca.mu.RUnlock()
+	return len(ca.entries)
+}
+
+// Poison makes every future Get under the directory miss until new
+// leases are granted, without forgetting the floor. Used when a
+// destroy reply is lost: fail closed.
+func (ca *Cache) Poison(server cap.Port, object uint32) {
+	ca.Observe(server, object, math.MaxUint64)
+}

@@ -1,0 +1,167 @@
+package lease
+
+import (
+	"fmt"
+	"testing"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/obs"
+)
+
+func testDir(obj uint32) cap.Capability {
+	return cap.Capability{
+		Server: cap.Port(0x0102_0304_0506_0708),
+		Object: obj,
+		Rights: cap.AllRights,
+		Check:  0xDEAD_BEEF_0000_0000 | uint64(obj),
+	}
+}
+
+func testEntry(obj uint32) cap.Capability {
+	c := testDir(obj)
+	c.Check ^= 0x5A5A
+	return c
+}
+
+func TestCacheHitMissExpiry(t *testing.T) {
+	var ctr Counters
+	c := New(0, ctr)
+	clock := int64(1000)
+	c.Now = func() int64 { return clock }
+
+	dir, ent := testDir(1), testEntry(2)
+	if _, ok := c.Get(dir, "a", clock); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(dir, "a", ent, 3, clock+100)
+	if got, ok := c.Get(dir, "a", clock); !ok || got != ent {
+		t.Fatalf("want hit with %v, got %v %v", ent, got, ok)
+	}
+	if _, ok := c.Get(dir, "a", clock+99); !ok {
+		t.Fatal("expired one nanosecond early")
+	}
+	if _, ok := c.Get(dir, "a", clock+100); ok {
+		t.Fatal("served a lapsed lease")
+	}
+}
+
+func TestCacheKeysAreFullCapabilities(t *testing.T) {
+	c := New(0, Counters{})
+	dir := testDir(1)
+	restricted := dir
+	restricted.Rights = cap.RightRead
+	restricted.Check = 0x1111 // restriction re-keys the check
+	c.Put(dir, "a", testEntry(2), 1, 100)
+	if _, ok := c.Get(restricted, "a", 0); ok {
+		t.Fatal("a differently-restricted capability shared a cache entry")
+	}
+}
+
+func TestCacheFloorInvalidatesOwnWrites(t *testing.T) {
+	c := New(0, Counters{})
+	dir := testDir(7)
+	c.Put(dir, "a", testEntry(2), 4, 1_000_000)
+	c.Observe(dir.Server, dir.Object, 5) // my write bumped the dir to gen 5
+	if _, ok := c.Get(dir, "a", 0); ok {
+		t.Fatal("served a binding older than my own write")
+	}
+	c.Put(dir, "a", testEntry(3), 5, 1_000_000)
+	if got, ok := c.Get(dir, "a", 0); !ok || got != testEntry(3) {
+		t.Fatal("binding at the floor generation must serve")
+	}
+	// Floors never move backwards.
+	c.Observe(dir.Server, dir.Object, 2)
+	if _, ok := c.Get(dir, "a", 0); !ok {
+		t.Fatal("a stale Observe moved the floor backwards")
+	}
+}
+
+func TestCacheDropForgetsDirectory(t *testing.T) {
+	c := New(0, Counters{})
+	dir, other := testDir(1), testDir(2)
+	c.Put(dir, "a", testEntry(3), 1, 1_000_000)
+	c.Put(dir, "b", testEntry(4), 1, 1_000_000)
+	c.Put(other, "a", testEntry(5), 1, 1_000_000)
+	c.Observe(dir.Server, dir.Object, 9)
+	c.Drop(dir.Server, dir.Object)
+	if c.Len() != 1 {
+		t.Fatalf("want 1 surviving binding, have %d", c.Len())
+	}
+	if _, ok := c.Get(other, "a", 0); !ok {
+		t.Fatal("Drop took out an unrelated directory")
+	}
+	// The floor was cleared with the directory: a reused object number
+	// restarts at generation zero and must be cacheable again.
+	c.Put(dir, "a", testEntry(6), 0, 1_000_000)
+	if _, ok := c.Get(dir, "a", 0); !ok {
+		t.Fatal("floor survived Drop; reused object number uncacheable")
+	}
+}
+
+func TestCachePoisonFailsClosed(t *testing.T) {
+	c := New(0, Counters{})
+	dir := testDir(1)
+	c.Put(dir, "a", testEntry(2), 1, 1_000_000)
+	c.Poison(dir.Server, dir.Object)
+	if _, ok := c.Get(dir, "a", 0); ok {
+		t.Fatal("poisoned directory still served")
+	}
+	c.Put(dir, "a", testEntry(3), 7, 1_000_000)
+	if _, ok := c.Get(dir, "a", 0); ok {
+		t.Fatal("poison must outlast later leases (floor is max)")
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := New(8, Counters{})
+	dir := testDir(1)
+	for i := 0; i < 100; i++ {
+		c.Put(dir, fmt.Sprintf("n%d", i), testEntry(uint32(i)), 1, 1_000_000)
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache grew to %d bindings past its bound of 8", c.Len())
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	ctr := Counters{
+		Hits:        &obs.Counter{},
+		Misses:      &obs.Counter{},
+		Expired:     &obs.Counter{},
+		Invalidated: &obs.Counter{},
+	}
+	c := New(0, ctr)
+	dir := testDir(1)
+	c.Get(dir, "a", 0)                       // miss
+	c.Put(dir, "a", testEntry(2), 3, 100)    //
+	c.Get(dir, "a", 50)                      // hit
+	c.Get(dir, "a", 100)                     // expired
+	c.Observe(dir.Server, dir.Object, 4)     //
+	c.Get(dir, "a", 50)                      // invalidated
+	for name, want := range map[string]struct {
+		c    *obs.Counter
+		want uint64
+	}{
+		"hits":        {ctr.Hits, 1},
+		"misses":      {ctr.Misses, 1},
+		"expired":     {ctr.Expired, 1},
+		"invalidated": {ctr.Invalidated, 1},
+	} {
+		if got := want.c.Value(); got != want.want {
+			t.Errorf("%s = %d, want %d", name, got, want.want)
+		}
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(0, Counters{})
+	dir := testDir(1)
+	c.Put(dir, "component", testEntry(2), 1, 1<<62)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(dir, "component", 0); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -247,7 +247,18 @@ func (c *Client) encodeRequest(ctx context.Context, req Request, machine amnet.M
 func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption, rt route, build func(amnet.MachineID) (*wire.Buf, error)) (Reply, amnet.MachineID, error) {
 	o := c.options(opts)
 	var lastErr error
-	locRetried := false
+	// backoffNext marks retries that genuinely wait something out — a
+	// timeout, a no-route, an unanswered LOCATE — as the only ones that
+	// sleep RetryBackoff before the next attempt. StatusStale and
+	// StatusWrongShard retries re-route immediately (their "no backoff"
+	// promise used to be broken by an unconditional top-of-loop sleep),
+	// and StatusOverload paces itself with overloadBackoff below.
+	backoffNext := false
+	// locRetries budgets the extra LOCATE rounds after ErrNotFound. One
+	// per authority: a StatusStale eviction re-arms it, so a broadcast
+	// burned on the old topology (say, a WrongShard refresh landing
+	// mid-election) cannot starve the re-locate the NEW primary needs.
+	locRetries := 1
 	for attempt := 0; attempt <= o.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
@@ -255,22 +266,26 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 			}
 			return Reply{}, 0, fmt.Errorf("rpc: %v: %w", dest, err)
 		}
-		if attempt > 0 && o.backoff > 0 {
+		if backoffNext && o.backoff > 0 {
 			if err := sleepCtx(ctx, o.backoff); err != nil {
 				return Reply{}, 0, fmt.Errorf("rpc: %v: %w", dest, err)
 			}
 		}
+		backoffNext = false
 		machine, err := c.res.LookupObject(ctx, dest, rt.obj, rt.hasObj)
 		if err != nil {
 			lastErr = fmt.Errorf("rpc: locating %v: %w", dest, err)
-			if errors.Is(err, locate.ErrNotFound) && !locRetried && attempt < o.retries {
+			if errors.Is(err, locate.ErrNotFound) && locRetries > 0 && attempt < o.retries {
 				// Nobody answered the broadcast — the failover window
 				// between a crash and its standby's promotion looks
 				// exactly like this. One extra round of LOCATE attempts
 				// (the resolver already retried internally) often lands
-				// after the promotion; more would multiply the locate
-				// budget by the retry count for genuinely-gone servers.
-				locRetried = true
+				// after the promotion; more per authority would multiply
+				// the locate budget by the retry count for genuinely-gone
+				// servers. Promotions take real time, so this retry DOES
+				// back off.
+				locRetries--
+				backoffNext = true
 				continue
 			}
 			return Reply{}, 0, lastErr
@@ -288,20 +303,37 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 				// backoff: evict the cached route and re-LOCATE at once.
 				// By now the successor answers the broadcast, so the
 				// client fails over in one extra round trip instead of
-				// camping on the corpse until its deadline lapses.
+				// camping on the corpse until its deadline lapses. The
+				// authority changed, so the locate budget re-arms: any
+				// broadcast burned before this reply went to a topology
+				// that no longer exists.
 				c.res.Evict(dest, machine)
+				if locRetries < 1 {
+					locRetries = 1
+				}
 				lastErr = &StatusError{Status: StatusStale, Detail: string(rep.Data)}
 				continue
 			}
-			if rep.Status == StatusWrongShard && attempt < o.retries {
+			if rep.Status == StatusWrongShard {
 				// We routed on a stale shard map — the object migrated,
 				// or the map changed under us. Nothing was executed.
-				// The reply carries the server's current generation:
-				// refresh the cached map (no broadcast) and re-route;
-				// no backoff, the next attempt routes on a map at least
+				// The reply carries the server's current generation;
+				// record both sides' generations so an exhausted call
+				// reports how far behind the client was, not a blind
+				// status.
+				srvGen := WrongShardGen(rep.Data)
+				cliGen := c.res.MapGen(dest)
+				lastErr = &StatusError{
+					Status: StatusWrongShard,
+					Detail: fmt.Sprintf("server map generation %d, client had %d at send", srvGen, cliGen),
+				}
+				if attempt >= o.retries {
+					break
+				}
+				// Refresh the cached map (no broadcast) and re-route; no
+				// backoff, the next attempt routes on a map at least
 				// that new.
-				c.res.Refresh(dest, WrongShardGen(rep.Data))
-				lastErr = &StatusError{Status: StatusWrongShard}
+				c.res.Refresh(dest, srvGen)
 				continue
 			}
 			if rep.Status != StatusOverload || attempt >= o.retries {
@@ -338,8 +370,10 @@ func (c *Client) transact(ctx context.Context, dest cap.Port, opts []CallOption,
 			// simulated LAN, as no-route — both mean the same thing.
 			// Evict, not Invalidate: only the machine THIS attempt
 			// failed against is suspect; an entry a concurrent lookup
-			// refreshed to the server's new home stays.
+			// refreshed to the server's new home stays. This is the
+			// wait-something-out case RetryBackoff exists for.
 			c.res.Evict(dest, machine)
+			backoffNext = true
 			continue
 		}
 		return Reply{}, 0, err

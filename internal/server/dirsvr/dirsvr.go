@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"amoeba/internal/cap"
 	"amoeba/internal/crypto"
@@ -67,6 +69,15 @@ const MaxNameLen = 255
 type directory struct {
 	mu      sync.RWMutex
 	entries map[string]cap.Capability
+	// gen counts this directory's mutations, under mu. Lookup replies
+	// carry it alongside a lease grant so clients can cache bindings;
+	// enter/remove replies carry the post-mutation value so a client's
+	// own writes invalidate its cache precisely. It is reproduced by
+	// replay (every enter/remove record bumps it, in commit order ==
+	// mutation order), carried by snapshots and migration state, and
+	// the kernel barriers the log before every reply — so a generation
+	// a client ever observed never moves backwards across a restart.
+	gen uint64
 }
 
 // Server is a directory server instance on the service kernel. The
@@ -85,6 +96,26 @@ type Server struct {
 	table *cap.Table
 
 	dirs *store.Map[*directory]
+
+	// leaseNs is the lookup-lease duration granted to clients, in
+	// nanoseconds; zero means no leases and byte-identical legacy
+	// replies. Atomic so it can be set while serving.
+	leaseNs atomic.Int64
+}
+
+// SetLookupLease sets the lease duration granted on lookup replies.
+// Zero (the default) disables leases entirely: replies stay
+// byte-identical to the pre-lease wire format.
+func (s *Server) SetLookupLease(d time.Duration) { s.leaseNs.Store(int64(d)) }
+
+// leaseMicros converts a lease duration to the 4-byte microsecond
+// wire field (capped, not wrapped).
+func leaseMicros(ns int64) uint32 {
+	us := ns / 1e3
+	if us > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(us)
 }
 
 // New builds a volatile directory server. Call Start to begin serving.
@@ -207,10 +238,12 @@ func (s *Server) apply(rec []byte) error {
 		// skipping it mirrors what the live server's state showed.
 		if d, ok := s.dirs.Get(obj); ok {
 			d.entries[string(body[2:2+n])] = c
+			d.gen++ // replay bumps exactly as the live mutation did
 		}
 	case recRemove:
 		if d, ok := s.dirs.Get(obj); ok {
 			delete(d.entries, string(body))
+			d.gen++
 		}
 	case recDestroy:
 		s.dirs.Delete(obj)
@@ -229,9 +262,10 @@ func (s *Server) snapshot() []byte {
 	count := 0
 	s.dirs.Range(func(obj uint32, d *directory) bool {
 		count++
-		var hdr [8]byte
+		var hdr [16]byte
 		binary.BigEndian.PutUint32(hdr[0:], obj)
-		binary.BigEndian.PutUint32(hdr[4:], uint32(len(d.entries)))
+		binary.BigEndian.PutUint64(hdr[4:], d.gen)
+		binary.BigEndian.PutUint32(hdr[12:], uint32(len(d.entries)))
 		out = append(out, hdr[:]...)
 		for name, c := range d.entries {
 			var nl [2]byte
@@ -255,13 +289,14 @@ func (s *Server) restoreSnapshot(snap []byte) error {
 	count := binary.BigEndian.Uint32(snap)
 	at := 4
 	for i := uint32(0); i < count; i++ {
-		if len(snap)-at < 8 {
+		if len(snap)-at < 16 {
 			return fmt.Errorf("dirsvr: truncated snapshot")
 		}
 		obj := binary.BigEndian.Uint32(snap[at:])
-		n := binary.BigEndian.Uint32(snap[at+4:])
-		at += 8
-		d := &directory{entries: make(map[string]cap.Capability, n)}
+		gen := binary.BigEndian.Uint64(snap[at+4:])
+		n := binary.BigEndian.Uint32(snap[at+12:])
+		at += 16
+		d := &directory{entries: make(map[string]cap.Capability, n), gen: gen}
 		for j := uint32(0); j < n; j++ {
 			if len(snap)-at < 2 {
 				return fmt.Errorf("dirsvr: truncated snapshot")
@@ -285,12 +320,15 @@ func (s *Server) restoreSnapshot(snap []byte) error {
 	return nil
 }
 
-// encodeDirEntries serializes one directory's entries (caller holds
-// d.mu): n(4) ∥ n × (nameLen(2) ∥ name ∥ cap(16)) — the per-directory
-// body of the snapshot format.
+// encodeDirEntries serializes one directory's state (caller holds
+// d.mu): gen(8) ∥ n(4) ∥ n × (nameLen(2) ∥ name ∥ cap(16)). The
+// generation travels with the entries so a migrated directory's
+// clients keep their cached-lookup floors intact — generations only
+// ever continue, never restart, while the object lives.
 func encodeDirEntries(d *directory) []byte {
-	out := make([]byte, 4)
-	binary.BigEndian.PutUint32(out, uint32(len(d.entries)))
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint64(out, d.gen)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(d.entries)))
 	for name, c := range d.entries {
 		var nl [2]byte
 		binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
@@ -301,30 +339,31 @@ func encodeDirEntries(d *directory) []byte {
 	return out
 }
 
-func decodeDirEntries(state []byte) (map[string]cap.Capability, error) {
-	if len(state) < 4 {
-		return nil, fmt.Errorf("dirsvr: truncated directory state")
+func decodeDirEntries(state []byte) (map[string]cap.Capability, uint64, error) {
+	if len(state) < 12 {
+		return nil, 0, fmt.Errorf("dirsvr: truncated directory state")
 	}
-	n := binary.BigEndian.Uint32(state)
-	at := 4
+	gen := binary.BigEndian.Uint64(state)
+	n := binary.BigEndian.Uint32(state[8:])
+	at := 12
 	entries := make(map[string]cap.Capability, n)
 	for i := uint32(0); i < n; i++ {
 		if len(state)-at < 2 {
-			return nil, fmt.Errorf("dirsvr: truncated directory state")
+			return nil, 0, fmt.Errorf("dirsvr: truncated directory state")
 		}
 		nl := int(binary.BigEndian.Uint16(state[at:]))
 		at += 2
 		if len(state)-at < nl+cap.Size {
-			return nil, fmt.Errorf("dirsvr: truncated directory state")
+			return nil, 0, fmt.Errorf("dirsvr: truncated directory state")
 		}
 		c, err := cap.Decode(state[at+nl : at+nl+cap.Size])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		entries[string(state[at:at+nl])] = c
 		at += nl + cap.Size
 	}
-	return entries, nil
+	return entries, gen, nil
 }
 
 // extractObject cuts one directory out for migration: serialized and
@@ -350,11 +389,11 @@ func (s *Server) extractObject(obj uint32) ([]byte, error) {
 // installObject adopts a migrated directory (or replays a migrate-in
 // record). Trusted like any replay: an existing object is overwritten.
 func (s *Server) installObject(obj uint32, state []byte) error {
-	entries, err := decodeDirEntries(state)
+	entries, gen, err := decodeDirEntries(state)
 	if err != nil {
 		return err
 	}
-	s.dirs.Put(obj, &directory{entries: entries})
+	s.dirs.Put(obj, &directory{entries: entries, gen: gen})
 	return nil
 }
 
@@ -413,13 +452,25 @@ func (s *Server) lookup(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 	if err := validName(name); err != nil {
 		return rpc.ErrReply(rpc.StatusBadRequest, err.Error())
 	}
+	leaseNs := s.leaseNs.Load()
 	d.mu.RLock()
 	c, ok := d.entries[name]
+	gen := d.gen
 	d.mu.RUnlock()
 	if !ok {
 		return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("no entry %q", name))
 	}
-	return rpc.CapReply(c)
+	rep := rpc.CapReply(c)
+	if leaseNs > 0 {
+		// Lease grant rides the reply data the binding itself doesn't
+		// use: gen(8) ∥ leaseUs(4). The generation is read under the
+		// same lock as the entry, so the pair is a consistent cut.
+		grant := make([]byte, 12)
+		binary.BigEndian.PutUint64(grant, gen)
+		binary.BigEndian.PutUint32(grant[8:], leaseMicros(leaseNs))
+		rep.Data = grant
+	}
+	return rep
 }
 
 func (s *Server) lookupPath(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -427,6 +478,13 @@ func (s *Server) lookupPath(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 	self := s.PutPort()
 	cur := req.Cap
 	consumed := 0
+	leaseNs := s.leaseNs.Load()
+	// With leases on, the reply grows a per-step trailer so the client
+	// can cache EVERY binding the walk crossed, not just the endpoint:
+	// leaseUs(4) ∥ consumed × (dirGen(8) ∥ stepCap(16)). Step i's
+	// directory is step i-1's capability (the client knows both ends),
+	// and each generation is read under the same lock as its entry.
+	var steps []byte
 	for _, comp := range strings.Split(path, "/") {
 		if comp == "" {
 			continue
@@ -445,18 +503,32 @@ func (s *Server) lookupPath(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.
 		}
 		d.mu.RLock()
 		next, ok := d.entries[comp]
+		gen := d.gen
 		d.mu.RUnlock()
 		if !ok {
 			return rpc.ErrReply(rpc.StatusServerError, fmt.Sprintf("no entry %q", comp))
 		}
+		if leaseNs > 0 {
+			var st [8 + cap.Size]byte
+			binary.BigEndian.PutUint64(st[:8], gen)
+			w := next.Encode()
+			copy(st[8:], w[:])
+			steps = append(steps, st[:]...)
+		}
 		cur = next
 		consumed++
 	}
-	var out [2 + cap.Size]byte
+	out := make([]byte, 2+cap.Size, 2+cap.Size+4+len(steps))
 	binary.BigEndian.PutUint16(out[:2], uint16(consumed))
 	w := cur.Encode()
 	copy(out[2:], w[:])
-	return rpc.OkReply(out[:])
+	if leaseNs > 0 {
+		var us [4]byte
+		binary.BigEndian.PutUint32(us[:], leaseMicros(leaseNs))
+		out = append(out, us[:]...)
+		out = append(out, steps...)
+	}
+	return rpc.OkReply(out)
 }
 
 func (s *Server) enter(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -503,11 +575,26 @@ func (s *Server) enter(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply
 		return rpc.ErrReplyFromErr(aerr)
 	}
 	d.entries[name] = entry
+	d.gen++
+	newGen := d.gen
 	d.mu.Unlock()
 	if err := t.Wait(); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	return rpc.OkReply(nil)
+	return s.mutationReply(newGen)
+}
+
+// mutationReply acknowledges a mutation; with leases on it carries the
+// post-mutation directory generation — newGen(8) — so the mutator's
+// own cache floor advances and its cached bindings for this directory
+// stop being served the instant the write is acknowledged.
+func (s *Server) mutationReply(newGen uint64) rpc.Reply {
+	if s.leaseNs.Load() <= 0 {
+		return rpc.OkReply(nil)
+	}
+	data := make([]byte, 8)
+	binary.BigEndian.PutUint64(data, newGen)
+	return rpc.OkReply(data)
 }
 
 func (s *Server) remove(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {
@@ -535,11 +622,13 @@ func (s *Server) remove(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Repl
 		return rpc.ErrReplyFromErr(aerr)
 	}
 	delete(d.entries, name)
+	d.gen++
+	newGen := d.gen
 	d.mu.Unlock()
 	if err := t.Wait(); err != nil {
 		return rpc.ErrReplyFromErr(err)
 	}
-	return rpc.OkReply(nil)
+	return s.mutationReply(newGen)
 }
 
 func (s *Server) list(_ context.Context, _ rpc.Meta, req rpc.Request) rpc.Reply {

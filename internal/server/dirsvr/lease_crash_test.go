@@ -1,0 +1,135 @@
+package dirsvr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba/internal/cap"
+	"amoeba/internal/server/servertest"
+	"amoeba/internal/vdisk"
+	"amoeba/internal/wal"
+)
+
+// TestCrashGenerationsNeverRegress is the durability half of the lease
+// contract: any directory generation a client ever OBSERVED in an
+// acknowledged reply must survive a crash — a restarted server whose
+// generations moved backwards would let a cached binding at generation
+// G validate against a floor the replay forgot, silently undoing the
+// client's own acknowledged writes.
+//
+// The test drives mutations against one directory on a durable server
+// with leases on, freezes the WAL disk after every acknowledged
+// mutation alongside the generation that mutation's reply carried, and
+// replays every frozen image: the recovered generation must equal the
+// acknowledged one exactly. A midpoint checkpoint routes the second
+// half of the boundaries through snapshot+tail-replay recovery too.
+func TestCrashGenerationsNeverRegress(t *testing.T) {
+	ctx := context.Background()
+	r := servertest.New(t, 0xC7A7)
+	scheme, err := cap.NewScheme(cap.SchemeOneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := vdisk.New(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(disk, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurable(r.NewFBox(t), scheme, r.Src, log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLookupLease(time.Minute)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	dc := NewClient(r.Client)
+
+	dir, err := dc.CreateDir(ctx, s.PutPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nops := 60
+	if testing.Short() {
+		nops = 20
+	}
+	type boundary struct {
+		img      *vdisk.Disk
+		ackedGen uint64
+	}
+	var boundaries []boundary
+	mutate := func(i int) uint64 {
+		t.Helper()
+		name := fmt.Sprintf("e%03d", i)
+		entry := cap.Capability{Server: 0xBEEF, Object: uint32(i), Rights: cap.RightRead, Check: uint64(i) * 31}
+		var nl [2]byte
+		binary.BigEndian.PutUint16(nl[:], uint16(len(name)))
+		w := entry.Encode()
+		var rep []byte
+		if i%3 == 2 {
+			// Remove the entry two ops back (guaranteed present).
+			prev := fmt.Sprintf("e%03d", i-2)
+			res, err := r.Client.Call(ctx, dir, OpRemove, []byte(prev))
+			if err != nil {
+				t.Fatalf("op %d remove: %v", i, err)
+			}
+			rep = res.Data
+		} else {
+			res, err := r.Client.CallParts(ctx, dir, OpEnter, nl[:], []byte(name), w[:])
+			if err != nil {
+				t.Fatalf("op %d enter: %v", i, err)
+			}
+			rep = res.Data
+		}
+		if len(rep) != 8 {
+			t.Fatalf("op %d: mutation reply carries %d bytes, want the 8-byte generation", i, len(rep))
+		}
+		return binary.BigEndian.Uint64(rep)
+	}
+	var lastGen uint64
+	for i := 0; i < nops; i++ {
+		g := mutate(i)
+		if g <= lastGen {
+			t.Fatalf("op %d: live generation went %d → %d", i, lastGen, g)
+		}
+		lastGen = g
+		boundaries = append(boundaries, boundary{img: disk.Clone(), ackedGen: g})
+		if i == nops/2 {
+			// Fold the prefix into a snapshot so later boundaries
+			// recover through snapshot + tail replay, not pure replay.
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("op %d: checkpoint: %v", i, err)
+			}
+		}
+	}
+
+	replayFB := r.NewFBox(t)
+	for i, b := range boundaries {
+		rlog, err := wal.Open(b.img, wal.Options{})
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		rs, err := NewDurable(replayFB, scheme, r.Src, rlog, s.GetPort())
+		if err != nil {
+			t.Fatalf("boundary %d: recover: %v", i, err)
+		}
+		d, ok := rs.dirs.Get(dir.Object)
+		if !ok {
+			t.Fatalf("boundary %d: directory lost in replay", i)
+		}
+		if d.gen != b.ackedGen {
+			t.Fatalf("boundary %d: recovered generation %d, client was acknowledged %d", i, d.gen, b.ackedGen)
+		}
+		if err := rlog.Close(); err != nil {
+			t.Fatalf("boundary %d: close: %v", i, err)
+		}
+	}
+}

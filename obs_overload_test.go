@@ -419,8 +419,9 @@ func TestDrainRestartMidSoak(t *testing.T) {
 // JSON view, the access-log ring, and pprof.
 func TestMetricsEndpointSmoke(t *testing.T) {
 	cl, err := NewCluster(ClusterConfig{
-		Seed:      0x0DEB_0650,
-		DebugAddr: "127.0.0.1:0",
+		Seed:        0x0DEB_0650,
+		DebugAddr:   "127.0.0.1:0",
+		LookupLease: time.Minute,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -444,6 +445,14 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 	}
 	if _, err := dirs.Lookup(ctx, root, "missing"); err == nil {
 		t.Fatal("lookup of a missing entry succeeded")
+	}
+	// Two lookups of the same name: the first misses the lease cache
+	// and banks the grant, the second is a cache hit — both series must
+	// export nonzero below.
+	for i := 0; i < 2; i++ {
+		if _, err := dirs.Lookup(ctx, root, "probe"); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	get := func(path string) string {
@@ -487,9 +496,25 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 		`amoeba_shard_map_generation{service="bank"}`,
 		`amoeba_migrations_total{service="directory"}`,
 		`amoeba_migrations_total{service="bank"}`,
+		// The lookup-cache counters are boot-registered too: present (at
+		// zero) even when LookupLease is off.
+		`amoeba_lookup_cache_hits_total{service="directory"}`,
+		`amoeba_lookup_cache_misses_total{service="directory"}`,
+		`amoeba_lookup_cache_expired_total{service="directory"}`,
+		`amoeba_lookup_cache_invalidated_total{service="directory"}`,
 	} {
 		if !strings.Contains(metrics, series) {
 			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+	// With leases on and the probe looked up twice, both sides of the
+	// cache moved: one banked miss, then at least one local hit.
+	for _, nonzero := range []string{
+		`amoeba_lookup_cache_hits_total{service="directory"} 0`,
+		`amoeba_lookup_cache_misses_total{service="directory"} 0`,
+	} {
+		if strings.Contains(metrics, nonzero) {
+			t.Errorf("/metrics series stuck at zero: %s", nonzero)
 		}
 	}
 

@@ -8,12 +8,19 @@
 # counters, latency histograms and the access-log ring add zero
 # allocations per request. CI fails the build past the budget.
 #
-# Usage: scripts/allocgate.sh            # default budget 2
+# A second gate pins the lease-cached path lookup (E24) at ZERO
+# allocs/op: a cache-hit walk of any depth must never touch the heap —
+# the whole point of serving lookups locally is that the hot path costs
+# nanoseconds, and one stray allocation is how that erodes.
+#
+# Usage: scripts/allocgate.sh            # default budgets 2 / 0
 #        ALLOC_BUDGET=4 scripts/allocgate.sh
+#        CACHE_ALLOC_BUDGET=1 scripts/allocgate.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 budget="${ALLOC_BUDGET:-2}"
+cache_budget="${CACHE_ALLOC_BUDGET:-0}"
 
 out=$(go test -run '^$' -bench 'BenchmarkE11_TransSimnet$' -benchmem -benchtime 2000x .)
 echo "$out"
@@ -29,3 +36,18 @@ if [ "$allocs" -gt "$budget" ]; then
 	exit 1
 fi
 echo "allocgate: ok — ${allocs} allocs/op (budget ${budget})"
+
+out=$(go test -run '^$' -bench 'BenchmarkE24_CachedDirLookup/depth=16$' -benchmem -benchtime 2000x .)
+echo "$out"
+callocs=$(echo "$out" | awk '/^BenchmarkE24_CachedDirLookup/ {
+	for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+if [ -z "$callocs" ]; then
+	echo "allocgate: could not parse allocs/op from E24 output" >&2
+	exit 1
+fi
+if [ "$callocs" -gt "$cache_budget" ]; then
+	echo "allocgate: BenchmarkE24_CachedDirLookup/depth=16 at ${callocs} allocs/op exceeds budget ${cache_budget}" >&2
+	exit 1
+fi
+echo "allocgate: ok — cached lookup at ${callocs} allocs/op (budget ${cache_budget})"

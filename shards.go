@@ -82,6 +82,7 @@ func (cl *Cluster) shardBuild(sh *svcShard) func(fb *fbox.FBox, log *wal.Log) (k
 			}
 			s.SetMaxInflight(cl.cfg.MaxInflight)
 			s.SetObserver(cl.newStats(sh.service))
+			s.SetLookupLease(cl.cfg.LookupLease)
 			cl.sealServer(fb, s.SetSealer)
 			cl.installShardView(s.Kernel, sh.idx)
 			return s, s.Kernel, s.ReplayFn(), nil
